@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation A1: barrier implementation cost under the machine model.
+ *
+ * A pure barrier loop (no compute) across thread counts, comparing the
+ * Splash-3 condvar barrier against the Splash-4 sense-reversing atomic
+ * barrier on both machine profiles.  This isolates the single largest
+ * contributor to the headline figures: per-barrier cost grows roughly
+ * linearly with waiter count for the condvar design (serialized
+ * wakeups + mutex re-acquisition) but only with the arrival fetch&add
+ * chain for the atomic design.
+ */
+
+#include "experiment_common.h"
+
+namespace {
+
+using namespace splash;
+
+VTime
+barrierLoopCycles(SuiteVersion suite, const std::string& profile,
+                  int threads, int crossings,
+                  BarrierKind kind = BarrierKind::Auto)
+{
+    World world(threads, suite);
+    auto bar = world.createBarrier(kind);
+    RunConfig config;
+    config.threads = threads;
+    config.suite = suite;
+    config.engine = EngineKind::Sim;
+    config.profile = profile;
+    auto engine = makeEngine(world, config);
+    return engine
+        ->run([&](Context& ctx) {
+            for (int i = 0; i < crossings; ++i)
+                ctx.barrier(bar);
+        })
+        .makespan;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+    bench::ExperimentOptions opts(argc, argv);
+    constexpr int kCrossings = 100;
+
+    Table table({"profile", "threads", "condvar (S3)", "sense (S4)",
+                 "tree (alt)", "condvar/sense"});
+    for (const std::string profile : {"epyc64", "icelake64"}) {
+        for (const int threads : {2, 4, 8, 16, 32, 64}) {
+            const double s3 =
+                static_cast<double>(barrierLoopCycles(
+                    SuiteVersion::Splash3, profile, threads,
+                    kCrossings)) /
+                kCrossings;
+            const double s4 =
+                static_cast<double>(barrierLoopCycles(
+                    SuiteVersion::Splash4, profile, threads,
+                    kCrossings)) /
+                kCrossings;
+            const double tree =
+                static_cast<double>(barrierLoopCycles(
+                    SuiteVersion::Splash4, profile, threads,
+                    kCrossings, BarrierKind::Tree)) /
+                kCrossings;
+            table.cell(profile)
+                .cell(std::to_string(threads))
+                .cell(s3, 0)
+                .cell(s4, 0)
+                .cell(tree, 0)
+                .cell(s3 / s4, 2);
+            table.endRow();
+        }
+    }
+    opts.emit(table, "Ablation A1: per-barrier simulated cost");
+    return 0;
+}

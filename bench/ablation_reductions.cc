@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation A2: reduction strategy cost under the machine model.
+ *
+ * Threads hammer one shared floating-point accumulator.  Strategies:
+ *   locked     -- Splash-3: mutex around a plain double
+ *   spinlocked -- the same critical section under a spin lock
+ *   cas        -- Splash-4: CAS-loop atomic add
+ *   padded     -- per-thread partials (modeled as local work) with a
+ *                 single combining add at the end
+ * The expected ordering at scale: locked >> spinlocked > cas >>
+ * padded, with the gap widening on the chiplet-based EPYC profile.
+ */
+
+#include "experiment_common.h"
+
+namespace {
+
+using namespace splash;
+
+VTime
+reductionCycles(const std::string& strategy, const std::string& profile,
+                int threads, int adds)
+{
+    const SuiteVersion suite = (strategy == "locked")
+                                   ? SuiteVersion::Splash3
+                                   : SuiteVersion::Splash4;
+    World world(threads, suite);
+    auto sum = world.createSum();
+    auto lock = world.createLock(strategy == "spinlocked"
+                                     ? LockKind::Spin
+                                     : LockKind::Mutex);
+    RunConfig config;
+    config.threads = threads;
+    config.suite = suite;
+    config.engine = EngineKind::Sim;
+    config.profile = profile;
+    auto engine = makeEngine(world, config);
+    return engine
+        ->run([&](Context& ctx) {
+            if (strategy == "padded") {
+                // Local accumulation costs ~1 work unit per add, one
+                // shared combine at the end.
+                ctx.work(static_cast<std::uint64_t>(adds));
+                ctx.sumAdd(sum, 1.0);
+            } else if (strategy == "spinlocked") {
+                for (int i = 0; i < adds; ++i) {
+                    ctx.lockAcquire(lock);
+                    ctx.work(1);
+                    ctx.lockRelease(lock);
+                }
+            } else {
+                for (int i = 0; i < adds; ++i)
+                    ctx.sumAdd(sum, 1.0);
+            }
+        })
+        .makespan;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+    bench::ExperimentOptions opts(argc, argv);
+    constexpr int kAdds = 200;
+
+    Table table({"profile", "threads", "locked", "spinlocked", "cas",
+                 "padded", "locked/cas"});
+    for (const std::string profile : {"epyc64", "icelake64"}) {
+        for (const int threads : {2, 4, 8, 16, 32, 64}) {
+            double cycles[4];
+            int idx = 0;
+            for (const std::string strategy :
+                 {"locked", "spinlocked", "cas", "padded"}) {
+                cycles[idx++] =
+                    static_cast<double>(reductionCycles(
+                        strategy, profile, threads, kAdds)) /
+                    kAdds;
+            }
+            table.cell(profile)
+                .cell(std::to_string(threads))
+                .cell(cycles[0], 0)
+                .cell(cycles[1], 0)
+                .cell(cycles[2], 0)
+                .cell(cycles[3], 1)
+                .cell(cycles[0] / cycles[2], 2);
+            table.endRow();
+        }
+    }
+    opts.emit(table,
+              "Ablation A2: simulated cycles per shared add by "
+              "reduction strategy");
+    return 0;
+}

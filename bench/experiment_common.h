@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared plumbing for the experiment binaries in bench/: common CLI
+ * flags, suite iteration, and the Splash-3 vs Splash-4 comparison
+ * runner used by the headline figures.
+ *
+ * Every binary accepts:
+ *   --scale=X    input scale factor (default 1.0; see presets)
+ *   --quick      shorthand for --scale=0.25
+ *   --threads=N  simulated thread count where applicable (default 64)
+ *   --csv        CSV output instead of markdown
+ */
+
+#ifndef SPLASH_BENCH_EXPERIMENT_COMMON_H
+#define SPLASH_BENCH_EXPERIMENT_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "harness/presets.h"
+#include "harness/suite.h"
+#include "util/cli.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace splash {
+namespace bench {
+
+/** Parsed common options. */
+struct ExperimentOptions
+{
+    double scale = 1.0;
+    int threads = 64;
+    bool csv = false;
+
+    ExperimentOptions(int argc, char** argv)
+    {
+        registerAllBenchmarks();
+        CliArgs args(argc, argv);
+        scale = args.getDouble("scale", args.has("quick") ? 0.25 : 1.0);
+        threads = static_cast<int>(args.getInt("threads", 64));
+        csv = args.has("csv");
+    }
+
+    void
+    emit(const Table& table, const std::string& caption) const
+    {
+        if (csv)
+            std::printf("%s", table.toCsv().c_str());
+        else
+            table.print(caption);
+    }
+};
+
+/** One benchmark run under a suite/profile at the preset scale. */
+inline RunResult
+runSuiteBenchmark(const std::string& name, SuiteVersion suite,
+                  const std::string& profile, int threads, double scale)
+{
+    RunConfig config;
+    config.threads = threads;
+    config.suite = suite;
+    config.engine = EngineKind::Sim;
+    config.profile = profile;
+    config.params = benchParams(name, scale);
+    RunResult result = runBenchmark(name, config);
+    if (!result.verified) {
+        fatal(name + " failed verification during experiment: " +
+              result.verifyMessage);
+    }
+    return result;
+}
+
+} // namespace bench
+} // namespace splash
+
+#endif // SPLASH_BENCH_EXPERIMENT_COMMON_H

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Figure 1: Splash-4 vs Splash-3 normalized execution time on the
+ * 64-core AMD EPYC profile (paper: 52% average reduction at 64
+ * threads).
+ */
+
+#include "fig_normalized_time.h"
+
+int
+main(int argc, char** argv)
+{
+    return splash::bench::runNormalizedTimeFigure(
+        argc, argv, "epyc64", "Figure 1 (EPYC 7702)", 52.0);
+}

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Figure 2: Splash-4 vs Splash-3 normalized execution time on the
+ * gem5 Ice Lake profile (paper: 34% average reduction at 64 threads).
+ */
+
+#include "fig_normalized_time.h"
+
+int
+main(int argc, char** argv)
+{
+    return splash::bench::runNormalizedTimeFigure(
+        argc, argv, "icelake64", "Figure 2 (gem5 Ice Lake)", 34.0);
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 3: scalability curves.  For each benchmark and suite, the
+ * speedup over the 1-thread Splash-3 run as the thread count grows.
+ * The ISPASS'21 companion reports Splash-4 improvements of up to 9x
+ * on real machines at high thread counts; the expected shape is that
+ * both suites scale at low counts, Splash-3 flattens (or reverses)
+ * first, and the sync-bound workloads show the largest gaps.
+ *
+ * Extra flag: --full sweeps {1,2,4,8,16,32,64}; the default sweeps
+ * {1,4,16,64}.
+ */
+
+#include "experiment_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+    bench::ExperimentOptions opts(argc, argv);
+    CliArgs args(argc, argv);
+    const std::string profile = args.get("profile", "epyc64");
+
+    std::vector<int> threads = {1, 4, 16, 64};
+    if (args.has("full"))
+        threads = {1, 2, 4, 8, 16, 32, 64};
+
+    std::vector<std::string> headers = {"benchmark", "suite"};
+    for (const int t : threads)
+        headers.push_back("t=" + std::to_string(t));
+    Table table(headers);
+
+    for (const auto& name : suiteOrder()) {
+        const VTime base = bench::runSuiteBenchmark(
+                               name, SuiteVersion::Splash3, profile, 1,
+                               opts.scale)
+                               .simCycles;
+        for (const SuiteVersion suite :
+             {SuiteVersion::Splash3, SuiteVersion::Splash4}) {
+            table.cell(name).cell(toString(suite));
+            for (const int t : threads) {
+                const VTime cycles =
+                    bench::runSuiteBenchmark(name, suite, profile, t,
+                                             opts.scale)
+                        .simCycles;
+                table.cell(static_cast<double>(base) /
+                               static_cast<double>(cycles),
+                           2);
+            }
+            table.endRow();
+        }
+    }
+    opts.emit(table,
+              "Figure 3: speedup over 1-thread Splash-3, profile " +
+                  profile);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 4: where the cycles go.  Per benchmark and suite at 64
+ * threads, the fraction of aggregate thread-cycles spent computing
+ * versus waiting in barriers, locks, atomics, and pause flags.  The
+ * expected shape: Splash-3 runs are dominated by barrier and lock
+ * time at scale, which Splash-4 converts into (much smaller) atomic
+ * time, raising the compute fraction.
+ */
+
+#include "experiment_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+    bench::ExperimentOptions opts(argc, argv);
+    CliArgs args(argc, argv);
+    const std::string profile = args.get("profile", "epyc64");
+
+    Table table({"benchmark", "suite", "compute %", "barrier %",
+                 "lock %", "atomic %", "flag %"});
+    for (const auto& name : suiteOrder()) {
+        for (const SuiteVersion suite :
+             {SuiteVersion::Splash3, SuiteVersion::Splash4}) {
+            const RunResult result = bench::runSuiteBenchmark(
+                name, suite, profile, opts.threads, opts.scale);
+            table.cell(name).cell(toString(suite));
+            for (const TimeCategory cat :
+                 {TimeCategory::Compute, TimeCategory::Barrier,
+                  TimeCategory::Lock, TimeCategory::Atomic,
+                  TimeCategory::Flag}) {
+                table.cell(100.0 * result.categoryFraction(cat), 1);
+            }
+            table.endRow();
+        }
+    }
+    opts.emit(table,
+              "Figure 4: time breakdown by synchronization category, " +
+                  std::to_string(opts.threads) + " threads, profile " +
+                  profile);
+    return 0;
+}

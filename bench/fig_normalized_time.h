@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared implementation of Figures 1 and 2: normalized execution time
+ * of Splash-4 relative to Splash-3 at a fixed thread count on one
+ * machine profile.  The paper reports average reductions of 52%
+ * (AMD EPYC, 64 threads) and 34% (gem5 Ice Lake, 64 threads).
+ */
+
+#ifndef SPLASH_BENCH_FIG_NORMALIZED_TIME_H
+#define SPLASH_BENCH_FIG_NORMALIZED_TIME_H
+
+#include "experiment_common.h"
+
+#include "util/stats_math.h"
+
+namespace splash {
+namespace bench {
+
+inline int
+runNormalizedTimeFigure(int argc, char** argv,
+                        const std::string& profile,
+                        const std::string& figureName,
+                        double paperReductionPct)
+{
+    ExperimentOptions opts(argc, argv);
+
+    Table table({"benchmark", "splash3 cycles", "splash4 cycles",
+                 "normalized (s4/s3)", "reduction %"});
+    std::vector<double> normalized;
+    for (const auto& name : suiteOrder()) {
+        const RunResult s3 = runSuiteBenchmark(
+            name, SuiteVersion::Splash3, profile, opts.threads,
+            opts.scale);
+        const RunResult s4 = runSuiteBenchmark(
+            name, SuiteVersion::Splash4, profile, opts.threads,
+            opts.scale);
+        const double ratio = static_cast<double>(s4.simCycles) /
+                             static_cast<double>(s3.simCycles);
+        normalized.push_back(ratio);
+        table.cell(name)
+            .cell(static_cast<std::uint64_t>(s3.simCycles))
+            .cell(static_cast<std::uint64_t>(s4.simCycles))
+            .cell(ratio, 3)
+            .cell(100.0 * (1.0 - ratio), 1);
+        table.endRow();
+    }
+    const double gmean = geomean(normalized);
+    table.cell("geomean").cell("-").cell("-").cell(gmean, 3).cell(
+        100.0 * (1.0 - gmean), 1);
+    table.endRow();
+    const double amean = mean(normalized);
+    table.cell("mean").cell("-").cell("-").cell(amean, 3).cell(
+        100.0 * (1.0 - amean), 1);
+    table.endRow();
+
+    opts.emit(table,
+              figureName + ": normalized execution time, " +
+                  std::to_string(opts.threads) + " threads, profile " +
+                  profile + " (paper: ~" +
+                  formatDouble(paperReductionPct, 0) +
+                  "% average reduction)");
+    return 0;
+}
+
+} // namespace bench
+} // namespace splash
+
+#endif // SPLASH_BENCH_FIG_NORMALIZED_TIME_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table I: suite inventory -- every benchmark, its default input, and
+ * the static census of synchronization objects it allocates (the
+ * "constructs used" column of the paper's suite description).
+ */
+
+#include "experiment_common.h"
+
+#include "core/benchmark.h"
+#include "core/world.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+    bench::ExperimentOptions opts(argc, argv);
+
+    Table table({"benchmark", "default input", "barriers", "locks",
+                 "tickets", "sums", "stacks", "flags"});
+    for (const auto& name : suiteOrder()) {
+        auto benchmark = makeBenchmark(name);
+        World world(opts.threads, SuiteVersion::Splash4);
+        benchmark->setup(world, benchParams(name, opts.scale));
+        table.cell(name)
+            .cell(benchmark->inputDescription())
+            .cell(static_cast<std::uint64_t>(
+                world.countOf(SyncObjKind::Barrier)))
+            .cell(static_cast<std::uint64_t>(
+                world.countOf(SyncObjKind::Lock)))
+            .cell(static_cast<std::uint64_t>(
+                world.countOf(SyncObjKind::Ticket)))
+            .cell(static_cast<std::uint64_t>(
+                world.countOf(SyncObjKind::Sum)))
+            .cell(static_cast<std::uint64_t>(
+                world.countOf(SyncObjKind::Stack)))
+            .cell(static_cast<std::uint64_t>(
+                world.countOf(SyncObjKind::Flag)));
+        table.endRow();
+    }
+    opts.emit(table, "Table I: benchmark inventory and static "
+                     "synchronization objects");
+    return 0;
+}

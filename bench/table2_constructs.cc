@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table II: dynamic synchronization-construct counts per benchmark
+ * under each suite generation.  Shows where the lock->atomic
+ * transformation moves operations: Splash-3 executes them as lock
+ * acquisitions, Splash-4 as lock-free RMWs, while barrier crossings
+ * stay identical (same algorithm).
+ */
+
+#include "experiment_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+    bench::ExperimentOptions opts(argc, argv);
+    // Dynamic counts are scale-dependent but thread-shape matters
+    // little; a small simulated machine keeps this table fast.
+    const int threads = std::min(opts.threads, 16);
+
+    Table table({"benchmark", "barriers", "explicit locks", "tickets",
+                 "fp sums", "stack ops", "flags", "work units"});
+    for (const auto& name : suiteOrder()) {
+        // Counts are construct-level and identical across suites (the
+        // suites differ in how each construct is realized); one run
+        // per benchmark suffices.
+        const RunResult result = bench::runSuiteBenchmark(
+            name, SuiteVersion::Splash4, "icelake64", threads,
+            opts.scale * 0.5);
+        table.cell(name)
+            .cell(result.totals.barrierCrossings)
+            .cell(result.totals.lockAcquires)
+            .cell(result.totals.ticketOps)
+            .cell(result.totals.sumOps)
+            .cell(result.totals.stackOps)
+            .cell(result.totals.flagOps)
+            .cell(result.totals.workUnits);
+        table.endRow();
+    }
+    opts.emit(table,
+              "Table II: dynamic synchronization-construct counts "
+              "(lock-based in Splash-3, lock-free in Splash-4)");
+    return 0;
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Table III: native microbenchmarks of the synchronization primitives
+ * underlying both suite generations, via google-benchmark.
+ *
+ * Covers the barrier generations (condvar vs sense-reversing vs
+ * tree), the lock ladder (mutex vs TAS/TTAS/ticket/MCS), the
+ * reduction ladder (locked vs CAS-loop vs padded per-thread), and the
+ * task containers (locked vs lock-free).  Each iteration spawns the
+ * worker threads explicitly (Arg = thread count) and performs a fixed
+ * batch of operations per thread, so per-op cost is time/items.  On
+ * the paper's 64-core hardware the lock-based columns degrade with
+ * the thread count much faster than the lock-free ones.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sync/atomic_reduction.h"
+#include "sync/barrier.h"
+#include "sync/lockfree_stack.h"
+#include "sync/spinlock.h"
+#include "sync/task_queue.h"
+
+namespace {
+
+using namespace splash;
+
+constexpr int kOpsPerThread = 512;
+
+/** Run fn(tid) on n threads and join. */
+template <typename Fn>
+void
+runWorkers(int nthreads, Fn&& fn)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(nthreads);
+    for (int tid = 0; tid < nthreads; ++tid)
+        threads.emplace_back(fn, tid);
+    for (auto& t : threads)
+        t.join();
+}
+
+template <typename State>
+void
+finish(State& state)
+{
+    state.SetItemsProcessed(state.iterations() * state.range(0) *
+                            kOpsPerThread);
+}
+
+// ---- barriers -----------------------------------------------------------
+
+template <typename BarrierT>
+void
+barrierBench(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        BarrierT barrier(n);
+        runWorkers(n, [&](int) {
+            for (int i = 0; i < kOpsPerThread; ++i)
+                barrier.arriveAndWait();
+        });
+    }
+    finish(state);
+}
+
+void condBarrier(benchmark::State& s) { barrierBench<CondBarrier>(s); }
+void senseBarrier(benchmark::State& s) { barrierBench<SenseBarrier>(s); }
+void treeBarrier(benchmark::State& s) { barrierBench<TreeBarrier>(s); }
+
+// ---- locks --------------------------------------------------------------
+
+template <typename LockT>
+void
+lockBench(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        LockT lock;
+        long counter = 0;
+        runWorkers(n, [&](int) {
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                lock.lock();
+                benchmark::DoNotOptimize(++counter);
+                lock.unlock();
+            }
+        });
+    }
+    finish(state);
+}
+
+void stdMutexLock(benchmark::State& s) { lockBench<std::mutex>(s); }
+void tasLock(benchmark::State& s) { lockBench<TasLock>(s); }
+void ttasLock(benchmark::State& s) { lockBench<TtasLock>(s); }
+void ticketLock(benchmark::State& s) { lockBench<TicketLock>(s); }
+void mcsLock(benchmark::State& s) { lockBench<McsLock>(s); }
+
+// ---- reductions ---------------------------------------------------------
+
+void
+lockedReduction(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        LockedAccumulator<> acc;
+        runWorkers(n, [&](int) {
+            for (int i = 0; i < kOpsPerThread; ++i)
+                acc.add(1.0);
+        });
+        benchmark::DoNotOptimize(acc.get());
+    }
+    finish(state);
+}
+
+void
+casReduction(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        AtomicAccumulator acc;
+        runWorkers(n, [&](int) {
+            for (int i = 0; i < kOpsPerThread; ++i)
+                acc.add(1.0);
+        });
+        benchmark::DoNotOptimize(acc.get());
+    }
+    finish(state);
+}
+
+void
+paddedReduction(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        PaddedAccumulator acc(n);
+        runWorkers(n, [&](int tid) {
+            for (int i = 0; i < kOpsPerThread; ++i)
+                acc.add(tid, 1.0);
+        });
+        benchmark::DoNotOptimize(acc.combine());
+    }
+    finish(state);
+}
+
+// ---- tickets and stacks -------------------------------------------------
+
+template <typename TicketT>
+void
+ticketBench(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        TicketT ticket;
+        runWorkers(n, [&](int) {
+            for (int i = 0; i < kOpsPerThread; ++i)
+                benchmark::DoNotOptimize(ticket.next());
+        });
+    }
+    finish(state);
+}
+
+void lockedTicket(benchmark::State& s) { ticketBench<LockedTicket>(s); }
+void atomicTicket(benchmark::State& s) { ticketBench<AtomicTicket>(s); }
+
+template <typename StackT>
+void
+stackBench(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        StackT stack(1024);
+        runWorkers(n, [&](int) {
+            std::uint32_t v;
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                stack.push(7);
+                benchmark::DoNotOptimize(stack.pop(v));
+            }
+        });
+    }
+    finish(state);
+}
+
+void lockedStack(benchmark::State& s) { stackBench<LockedStack>(s); }
+void lockFreeStack(benchmark::State& s) { stackBench<LockFreeStack>(s); }
+
+#define SPLASH_PRIM_BENCH(fn) \
+    BENCHMARK(fn)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()
+
+SPLASH_PRIM_BENCH(condBarrier);
+SPLASH_PRIM_BENCH(senseBarrier);
+SPLASH_PRIM_BENCH(treeBarrier);
+SPLASH_PRIM_BENCH(stdMutexLock);
+SPLASH_PRIM_BENCH(tasLock);
+SPLASH_PRIM_BENCH(ttasLock);
+SPLASH_PRIM_BENCH(ticketLock);
+SPLASH_PRIM_BENCH(mcsLock);
+SPLASH_PRIM_BENCH(lockedReduction);
+SPLASH_PRIM_BENCH(casReduction);
+SPLASH_PRIM_BENCH(paddedReduction);
+SPLASH_PRIM_BENCH(lockedTicket);
+SPLASH_PRIM_BENCH(atomicTicket);
+SPLASH_PRIM_BENCH(lockedStack);
+SPLASH_PRIM_BENCH(lockFreeStack);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table IV: coherence-traffic characterization.  The simulation engine
+ * models every synchronization variable as a cache line with an owner;
+ * this table reports the total line transfers (the model's proxy for
+ * coherence traffic on sync data) per benchmark and suite at 64
+ * threads.  Expected shape: Splash-4 cuts the transfers on lock/state
+ * lines dramatically -- a single fetch&add moves one line where a
+ * mutex moves the lock line for acquire and release plus futex state,
+ * and a condvar barrier bounces its mutex line across every waiter.
+ */
+
+#include "experiment_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+    bench::ExperimentOptions opts(argc, argv);
+    CliArgs args(argc, argv);
+    const std::string profile = args.get("profile", "epyc64");
+
+    Table table({"benchmark", "suite", "line transfers",
+                 "per 1k work units", "s3/s4"});
+    for (const auto& name : suiteOrder()) {
+        std::uint64_t transfers[2] = {0, 0};
+        int idx = 0;
+        for (const SuiteVersion suite :
+             {SuiteVersion::Splash3, SuiteVersion::Splash4}) {
+            const RunResult result = bench::runSuiteBenchmark(
+                name, suite, profile, opts.threads, opts.scale * 0.5);
+            transfers[idx] = result.lineTransfers;
+            table.cell(name)
+                .cell(toString(suite))
+                .cell(result.lineTransfers)
+                .cell(1000.0 * static_cast<double>(result.lineTransfers) /
+                          static_cast<double>(result.totals.workUnits),
+                      2)
+                .cell(idx == 1 && transfers[1] > 0
+                          ? formatDouble(
+                                static_cast<double>(transfers[0]) /
+                                    static_cast<double>(transfers[1]),
+                                2)
+                          : std::string("-"));
+            table.endRow();
+            ++idx;
+        }
+    }
+    opts.emit(table,
+              "Table IV: modeled coherence traffic on synchronization "
+              "lines, " + std::to_string(opts.threads) +
+                  " threads, profile " + profile);
+    return 0;
+}

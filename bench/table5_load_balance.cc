@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table V: load-balance characterization.  For every benchmark and
+ * suite at 64 threads, the ratio of the busiest thread's compute
+ * cycles to the mean (1.0 = perfect balance) and the fraction of
+ * threads that did any compute at all.  Dynamic-scheduling workloads
+ * (tile/ticket/task-stack based) should balance well; owner-computes
+ * workloads with coarse decompositions (lu's round-robin blocks, the
+ * waters' cyclic pair rule) show their structural imbalance.  The
+ * suites share decomposition, so the columns should be similar across
+ * generations -- a sanity check that the construct swap does not
+ * change the work distribution.
+ */
+
+#include "experiment_common.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+    bench::ExperimentOptions opts(argc, argv);
+    CliArgs args(argc, argv);
+    const std::string profile = args.get("profile", "epyc64");
+
+    Table table({"benchmark", "suite", "max/mean compute",
+                 "active threads"});
+    for (const auto& name : suiteOrder()) {
+        for (const SuiteVersion suite :
+             {SuiteVersion::Splash3, SuiteVersion::Splash4}) {
+            const RunResult result = bench::runSuiteBenchmark(
+                name, suite, profile, opts.threads, opts.scale * 0.5);
+            std::uint64_t max_compute = 0;
+            std::uint64_t total_compute = 0;
+            int active = 0;
+            for (const auto& stats : result.perThread) {
+                const VTime c = stats.categoryCycles[static_cast<int>(
+                    TimeCategory::Compute)];
+                max_compute = std::max<std::uint64_t>(max_compute, c);
+                total_compute += c;
+                if (stats.workUnits > 0)
+                    ++active;
+            }
+            const double mean_compute =
+                static_cast<double>(total_compute) /
+                static_cast<double>(result.perThread.size());
+            table.cell(name)
+                .cell(toString(suite))
+                .cell(mean_compute > 0
+                          ? static_cast<double>(max_compute) /
+                                mean_compute
+                          : 0.0,
+                      2)
+                .cell(std::to_string(active) + "/" +
+                      std::to_string(result.perThread.size()));
+            table.endRow();
+        }
+    }
+    opts.emit(table,
+              "Table V: compute load balance, " +
+                  std::to_string(opts.threads) + " threads, profile " +
+                  profile);
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Writing your own benchmark against the suite's Context API.
+ *
+ * The workload below is a parallel histogram: threads claim chunks of
+ * a data stream from a shared ticket, count values into per-thread
+ * bins, and merge them under a reduction -- written once, runnable as
+ * Splash-3 (locked counter + locked sums) or Splash-4 (fetch&add +
+ * CAS loops) on either engine.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "engine/engine.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace splash;
+
+/** A user-defined benchmark: parallel histogram with verification. */
+class HistogramBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "histogram"; }
+    std::string description() const override
+    {
+        return "example: ticket-chunked histogram with shared bins";
+    }
+    std::string inputDescription() const override
+    {
+        return std::to_string(kValues) + " values, " +
+               std::to_string(kBins) + " bins";
+    }
+
+    void
+    setup(World& world, const Params& params) override
+    {
+        (void)params;
+        Rng rng(99);
+        values_.resize(kValues);
+        for (auto& v : values_)
+            v = static_cast<std::uint32_t>(rng.below(kBins));
+
+        barrier_ = world.createBarrier();
+        chunkTicket_ = world.createTicket();
+        bins_ = world.createSums(kBins, 0.0);
+    }
+
+    void
+    run(Context& ctx) override
+    {
+        constexpr std::uint64_t kChunk = 1024;
+        std::vector<std::uint64_t> local(kBins, 0);
+
+        // Claim chunks dynamically; count locally.
+        for (;;) {
+            const std::uint64_t start =
+                ctx.ticketNext(chunkTicket_, kChunk);
+            if (start >= values_.size())
+                break;
+            const std::uint64_t end =
+                std::min<std::uint64_t>(values_.size(),
+                                        start + kChunk);
+            for (std::uint64_t i = start; i < end; ++i)
+                ++local[values_[i]];
+            ctx.work(end - start);
+        }
+        // Merge through the shared accumulators.
+        for (std::size_t b = 0; b < kBins; ++b) {
+            if (local[b])
+                ctx.sumAdd(bins_[b], static_cast<double>(local[b]));
+        }
+        ctx.barrier(barrier_);
+        if (ctx.tid() == 0) {
+            total_ = 0;
+            for (std::size_t b = 0; b < kBins; ++b)
+                total_ += ctx.sumRead(bins_[b]);
+        }
+    }
+
+    bool
+    verify(std::string& message) override
+    {
+        if (total_ != static_cast<double>(kValues)) {
+            message = "histogram lost counts: " +
+                      std::to_string(total_);
+            return false;
+        }
+        message = "all " + std::to_string(kValues) +
+                  " values accounted for";
+        return true;
+    }
+
+  private:
+    static constexpr std::size_t kValues = 200000;
+    static constexpr std::size_t kBins = 64;
+
+    std::vector<std::uint32_t> values_;
+    double total_ = -1.0;
+
+    BarrierHandle barrier_;
+    TicketHandle chunkTicket_;
+    std::vector<SumHandle> bins_;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace splash;
+
+    Table table({"suite", "threads", "sim cycles", "verified"});
+    for (const SuiteVersion suite :
+         {SuiteVersion::Splash3, SuiteVersion::Splash4}) {
+        for (const int threads : {4, 16, 64}) {
+            HistogramBenchmark bench;
+            RunConfig config;
+            config.threads = threads;
+            config.suite = suite;
+            config.engine = EngineKind::Sim;
+            config.profile = "epyc64";
+            RunResult result = runBenchmark(bench, config);
+            table.cell(toString(suite))
+                .cell(std::to_string(threads))
+                .cell(static_cast<std::uint64_t>(result.simCycles))
+                .cell(result.verified ? "yes" : "NO");
+            table.endRow();
+            if (!result.verified)
+                return 1;
+        }
+    }
+    table.print("Custom histogram benchmark across generations:");
+    std::printf("\nNote how the Splash-3 version stops scaling once "
+                "the locked\ncounter serializes, while fetch&add "
+                "keeps the threads busy.\n");
+    return 0;
+}

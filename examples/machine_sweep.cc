@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Machine sweep: how one workload scales on the two modeled machines.
+ *
+ *   ./machine_sweep [--benchmark=ocean] [--suite=splash4]
+ *
+ * Runs the chosen benchmark across thread counts on both machine
+ * profiles and prints speedups over the single-threaded run --
+ * showing how the same binary behaves on a chiplet EPYC versus a
+ * monolithic-mesh Ice Lake.
+ */
+
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "harness/presets.h"
+#include "harness/suite.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+    registerAllBenchmarks();
+
+    CliArgs args(argc, argv);
+    const std::string name = args.get("benchmark", "ocean");
+    const SuiteVersion suite = parseSuite(args.get("suite", "splash4"));
+
+    auto cycles_for = [&](const std::string& profile, int threads) {
+        RunConfig config;
+        config.threads = threads;
+        config.suite = suite;
+        config.engine = EngineKind::Sim;
+        config.profile = profile;
+        config.params = benchParams(name, 0.25);
+        RunResult result = runBenchmark(name, config);
+        if (!result.verified) {
+            std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                         result.verifyMessage.c_str());
+            std::exit(1);
+        }
+        return result.simCycles;
+    };
+
+    Table table({"profile", "t=1", "t=4", "t=16", "t=64"});
+    for (const std::string profile : {"epyc64", "icelake64"}) {
+        const VTime base = cycles_for(profile, 1);
+        table.cell(profile);
+        for (const int threads : {1, 4, 16, 64}) {
+            const VTime c = cycles_for(profile, threads);
+            table.cell(static_cast<double>(base) /
+                           static_cast<double>(c),
+                       2);
+        }
+        table.endRow();
+    }
+    table.print(name + " (" + std::string(toString(suite)) +
+                ") speedup over one thread:");
+    return 0;
+}

@@ -1,0 +1,467 @@
+#include "apps/barnes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace splash {
+
+std::unique_ptr<Benchmark>
+BarnesBenchmark::create()
+{
+    return std::make_unique<BarnesBenchmark>();
+}
+
+std::string
+BarnesBenchmark::inputDescription() const
+{
+    return std::to_string(numBodies_) + " bodies, " +
+           std::to_string(steps_) + " steps, theta " +
+           std::to_string(theta_);
+}
+
+void
+BarnesBenchmark::setup(World& world, const Params& params)
+{
+    numBodies_ = static_cast<std::size_t>(
+        params.getInt("bodies", static_cast<std::int64_t>(numBodies_)));
+    steps_ = static_cast<int>(params.getInt("steps", steps_));
+    seed_ = static_cast<std::uint64_t>(params.getInt("seed", 1));
+    panicIf(numBodies_ < 8, "barnes: too few bodies");
+
+    // Uniform ball of equal-mass bodies with small random velocities.
+    Rng rng(seed_);
+    px_.resize(numBodies_); py_.resize(numBodies_);
+    pz_.resize(numBodies_);
+    vx_.resize(numBodies_); vy_.resize(numBodies_);
+    vz_.resize(numBodies_);
+    ax_.assign(numBodies_, 0.0); ay_.assign(numBodies_, 0.0);
+    az_.assign(numBodies_, 0.0);
+    mass_.assign(numBodies_, 1.0 / static_cast<double>(numBodies_));
+    for (std::size_t b = 0; b < numBodies_; ++b) {
+        for (;;) {
+            const double x = rng.uniform(-1.0, 1.0);
+            const double y = rng.uniform(-1.0, 1.0);
+            const double z = rng.uniform(-1.0, 1.0);
+            if (x * x + y * y + z * z <= 1.0) {
+                px_[b] = x; py_[b] = y; pz_[b] = z;
+                break;
+            }
+        }
+        vx_[b] = 0.05 * rng.normal();
+        vy_[b] = 0.05 * rng.normal();
+        vz_[b] = 0.05 * rng.normal();
+    }
+
+    maxNodes_ = 8 * numBodies_ + 64 * kAllocBatch + 64;
+    nodes_ = std::make_unique<Node[]>(maxNodes_);
+
+    barrier_ = world.createBarrier();
+    nodeTicket_ = world.createTicket();
+    buildTicket_ = world.createTicket();
+    forceTicket_ = world.createTicket();
+    nodeLocks_ = world.createLocks(maxNodes_, LockKind::Auto);
+    kinetic_ = world.createSum(0.0);
+    potential_ = world.createSum(0.0);
+}
+
+int
+BarnesBenchmark::octantOf(const Node& node, double x, double y,
+                          double z)
+{
+    return (x > node.cx ? 1 : 0) | (y > node.cy ? 2 : 0) |
+           (z > node.cz ? 4 : 0);
+}
+
+std::int32_t
+BarnesBenchmark::allocNode(Context& ctx, AllocCache& cache, double cx,
+                           double cy, double cz, double half)
+{
+    if (cache.next == cache.end) {
+        cache.next = ctx.ticketNext(nodeTicket_, kAllocBatch);
+        cache.end = cache.next + kAllocBatch;
+    }
+    const std::uint64_t idx = cache.next++;
+    panicIf(idx >= maxNodes_, "barnes: node pool exhausted");
+    Node& node = nodes_[idx];
+    node.cx = cx; node.cy = cy; node.cz = cz;
+    node.half = half;
+    for (auto& slot : node.child)
+        slot.store(-1, std::memory_order_relaxed);
+    node.body.store(-1, std::memory_order_relaxed);
+    node.mass = 0;
+    node.comx = node.comy = node.comz = 0;
+    return static_cast<std::int32_t>(idx);
+}
+
+void
+BarnesBenchmark::insertBody(Context& ctx, AllocCache& cache,
+                            std::int32_t b)
+{
+    const double x = px_[b], y = py_[b], z = pz_[b];
+    std::int32_t cur = 0;
+    int depth = 0;
+    for (;;) {
+        panicIf(++depth > 256, "barnes: insertion depth exceeded");
+        Node& node = nodes_[cur];
+        const int oct = octantOf(node, x, y, z);
+        const std::int32_t child =
+            node.child[oct].load(std::memory_order_acquire);
+        const double q = node.half * 0.5;
+        const double ox = node.cx + ((oct & 1) ? q : -q);
+        const double oy = node.cy + ((oct & 2) ? q : -q);
+        const double oz = node.cz + ((oct & 4) ? q : -q);
+
+        if (child < 0) {
+            // Empty slot: claim it under the node's lock, revalidating
+            // after acquisition (another thread may have raced us).
+            ctx.lockAcquire(nodeLocks_[cur]);
+            if (node.child[oct].load(std::memory_order_relaxed) < 0) {
+                const std::int32_t leaf =
+                    allocNode(ctx, cache, ox, oy, oz, q);
+                nodes_[leaf].body.store(b, std::memory_order_relaxed);
+                node.child[oct].store(leaf, std::memory_order_release);
+                ctx.lockRelease(nodeLocks_[cur]);
+                return;
+            }
+            ctx.lockRelease(nodeLocks_[cur]);
+            continue; // slot was filled meanwhile; re-dispatch
+        }
+
+        if (nodes_[child].body.load(std::memory_order_acquire) < 0) {
+            cur = child; // internal: lock-free descent
+            continue;
+        }
+
+        // Leaf: convert it to an internal chain under its own lock,
+        // revalidating that it is still a leaf after acquisition.
+        ctx.lockAcquire(nodeLocks_[child]);
+        Node& lnode = nodes_[child];
+        const std::int32_t b2 =
+            lnode.body.load(std::memory_order_relaxed);
+        if (b2 < 0) {
+            // Converted by someone else while we were waiting.
+            ctx.lockRelease(nodeLocks_[child]);
+            cur = child;
+            continue;
+        }
+        std::int32_t grow = child;
+        for (;;) {
+            panicIf(++depth > 256, "barnes: split depth exceeded");
+            Node& gnode = nodes_[grow];
+            const int o2 = octantOf(gnode, px_[b2], py_[b2], pz_[b2]);
+            const int ob = octantOf(gnode, x, y, z);
+            const double gq = gnode.half * 0.5;
+            auto sub_center = [&](int o, double& sx, double& sy,
+                                  double& sz) {
+                sx = gnode.cx + ((o & 1) ? gq : -gq);
+                sy = gnode.cy + ((o & 2) ? gq : -gq);
+                sz = gnode.cz + ((o & 4) ? gq : -gq);
+            };
+            double sx, sy, sz;
+            if (o2 != ob) {
+                sub_center(o2, sx, sy, sz);
+                const std::int32_t l2 = allocNode(ctx, cache, sx, sy, sz, gq);
+                nodes_[l2].body.store(b2, std::memory_order_relaxed);
+                gnode.child[o2].store(l2, std::memory_order_release);
+                sub_center(ob, sx, sy, sz);
+                const std::int32_t lb = allocNode(ctx, cache, sx, sy, sz, gq);
+                nodes_[lb].body.store(b, std::memory_order_relaxed);
+                gnode.child[ob].store(lb, std::memory_order_release);
+                break;
+            }
+            sub_center(o2, sx, sy, sz);
+            const std::int32_t next = allocNode(ctx, cache, sx, sy, sz, gq);
+            gnode.child[o2].store(next, std::memory_order_release);
+            grow = next;
+        }
+        // Publish the conversion last: descenders that still saw a
+        // leaf will lock, observe body == -1, and retry as internal.
+        lnode.body.store(-1, std::memory_order_release);
+        ctx.lockRelease(nodeLocks_[child]);
+        return;
+    }
+}
+
+std::uint64_t
+BarnesBenchmark::computeCenters()
+{
+    // Recursive post-order; depth is bounded by the split guard.
+    std::uint64_t visited = 0;
+    auto rec = [&](auto&& self, std::int32_t idx) -> void {
+        Node& node = nodes_[idx];
+        ++visited;
+        const std::int32_t body =
+            node.body.load(std::memory_order_relaxed);
+        if (body >= 0) {
+            node.mass = mass_[body];
+            node.comx = px_[body];
+            node.comy = py_[body];
+            node.comz = pz_[body];
+            return;
+        }
+        node.mass = 0;
+        node.comx = node.comy = node.comz = 0;
+        for (const auto& slot : node.child) {
+            const std::int32_t child =
+                slot.load(std::memory_order_relaxed);
+            if (child < 0)
+                continue;
+            self(self, child);
+            const Node& c = nodes_[child];
+            node.mass += c.mass;
+            node.comx += c.mass * c.comx;
+            node.comy += c.mass * c.comy;
+            node.comz += c.mass * c.comz;
+        }
+        if (node.mass > 0) {
+            node.comx /= node.mass;
+            node.comy /= node.mass;
+            node.comz /= node.mass;
+        }
+    };
+    rec(rec, 0);
+    return visited;
+}
+
+std::uint64_t
+BarnesBenchmark::accelOn(std::int32_t b, double& ax, double& ay,
+                         double& az, double& pot) const
+{
+    ax = ay = az = 0.0;
+    pot = 0.0;
+    std::uint64_t interactions = 0;
+    std::int32_t stack[256];
+    int top = 0;
+    stack[top++] = 0;
+    while (top > 0) {
+        const Node& node = nodes_[stack[--top]];
+        const std::int32_t body =
+            node.body.load(std::memory_order_relaxed);
+        if (body == b || node.mass <= 0.0)
+            continue;
+        const double dx = node.comx - px_[b];
+        const double dy = node.comy - py_[b];
+        const double dz = node.comz - pz_[b];
+        const double r2 = dx * dx + dy * dy + dz * dz + eps2_;
+        const double side = 2.0 * node.half;
+        if (body >= 0 || side * side < theta_ * theta_ * r2) {
+            const double r = std::sqrt(r2);
+            const double f = node.mass / (r2 * r);
+            ax += f * dx;
+            ay += f * dy;
+            az += f * dz;
+            pot -= mass_[b] * node.mass / r;
+            ++interactions;
+        } else {
+            for (const auto& slot : node.child) {
+                const std::int32_t child =
+                    slot.load(std::memory_order_relaxed);
+                if (child >= 0) {
+                    panicIf(top >= 255, "barnes: traversal overflow");
+                    stack[top++] = child;
+                }
+            }
+        }
+    }
+    return interactions;
+}
+
+void
+BarnesBenchmark::directAccel(std::int32_t b, double& ax, double& ay,
+                             double& az) const
+{
+    ax = ay = az = 0.0;
+    for (std::size_t j = 0; j < numBodies_; ++j) {
+        if (static_cast<std::int32_t>(j) == b)
+            continue;
+        const double dx = px_[j] - px_[b];
+        const double dy = py_[j] - py_[b];
+        const double dz = pz_[j] - pz_[b];
+        const double r2 = dx * dx + dy * dy + dz * dz + eps2_;
+        const double r = std::sqrt(r2);
+        const double f = mass_[j] / (r2 * r);
+        ax += f * dx;
+        ay += f * dy;
+        az += f * dz;
+    }
+}
+
+void
+BarnesBenchmark::run(Context& ctx)
+{
+    const int tid = ctx.tid();
+    const int nthreads = ctx.nthreads();
+    const std::size_t n = numBodies_;
+    const std::size_t chunk = (n + nthreads - 1) / nthreads;
+    const std::size_t lo = std::min(n, chunk * tid);
+    const std::size_t hi = std::min(n, lo + chunk);
+    constexpr std::uint64_t kBatch = 16;
+    AllocCache alloc_cache;
+
+    // steps_ integration steps; one extra build so the final tree
+    // matches the final positions for verification.
+    for (int step = 0; step <= steps_; ++step) {
+        // The node ticket restarts every step; drop any cached range.
+        alloc_cache = AllocCache{};
+
+        // --- tree build -------------------------------------------------
+        if (tid == 0) {
+            double m = 0.0;
+            for (std::size_t b = 0; b < n; ++b) {
+                m = std::max({m, std::abs(px_[b]), std::abs(py_[b]),
+                              std::abs(pz_[b])});
+            }
+            rootHalf_ = m * 1.01 + 1e-9;
+            ctx.work(n / 4 + 1);
+            ctx.ticketReset(nodeTicket_, 0);
+            ctx.ticketReset(buildTicket_, 0);
+            ctx.ticketReset(forceTicket_, 0);
+        }
+        ctx.barrier(barrier_);
+        if (tid == 0) {
+            AllocCache root_cache;
+            const std::int32_t root =
+                allocNode(ctx, root_cache, 0.0, 0.0, 0.0, rootHalf_);
+            panicIf(root != 0, "barnes: root must be node 0");
+        }
+        ctx.barrier(barrier_);
+
+        for (;;) {
+            const std::uint64_t start =
+                ctx.ticketNext(buildTicket_, kBatch);
+            if (start >= n)
+                break;
+            const std::uint64_t end = std::min<std::uint64_t>(
+                n, start + kBatch);
+            for (std::uint64_t b = start; b < end; ++b)
+                insertBody(ctx, alloc_cache,
+                           static_cast<std::int32_t>(b));
+            ctx.work(4 * (end - start));
+        }
+        ctx.barrier(barrier_);
+
+        // --- centers of mass (tid 0, accounted) -------------------------
+        if (tid == 0) {
+            const std::uint64_t visited = computeCenters();
+            ctx.work(visited);
+        }
+        ctx.barrier(barrier_);
+        if (step == steps_)
+            break; // final tree built for verification only
+
+        // --- forces ------------------------------------------------------
+        double local_pot = 0.0;
+        for (;;) {
+            const std::uint64_t start =
+                ctx.ticketNext(forceTicket_, kBatch);
+            if (start >= n)
+                break;
+            const std::uint64_t end = std::min<std::uint64_t>(
+                n, start + kBatch);
+            std::uint64_t interactions = 0;
+            for (std::uint64_t b = start; b < end; ++b) {
+                double pot;
+                interactions += accelOn(static_cast<std::int32_t>(b),
+                                        ax_[b], ay_[b], az_[b], pot);
+                local_pot += 0.5 * pot;
+            }
+            ctx.work(interactions);
+        }
+        ctx.sumAdd(potential_, local_pot);
+        ctx.barrier(barrier_);
+
+        // --- integration (owned chunk) -----------------------------------
+        double local_kin = 0.0;
+        for (std::size_t b = lo; b < hi; ++b) {
+            vx_[b] += dt_ * ax_[b];
+            vy_[b] += dt_ * ay_[b];
+            vz_[b] += dt_ * az_[b];
+            px_[b] += dt_ * vx_[b];
+            py_[b] += dt_ * vy_[b];
+            pz_[b] += dt_ * vz_[b];
+            local_kin += 0.5 * mass_[b] *
+                         (vx_[b] * vx_[b] + vy_[b] * vy_[b] +
+                          vz_[b] * vz_[b]);
+        }
+        ctx.work(hi - lo + 1);
+        ctx.sumAdd(kinetic_, local_kin);
+        ctx.barrier(barrier_);
+
+        if (tid == 0) {
+            lastKinetic_ = ctx.sumRead(kinetic_);
+            lastPotential_ = ctx.sumRead(potential_);
+            ctx.sumReset(kinetic_, 0.0);
+            ctx.sumReset(potential_, 0.0);
+        }
+        ctx.barrier(barrier_);
+    }
+}
+
+bool
+BarnesBenchmark::verify(std::string& message)
+{
+    // 1. The final tree must contain every body exactly once.
+    std::vector<int> seen(numBodies_, 0);
+    std::vector<std::int32_t> stack{0};
+    while (!stack.empty()) {
+        const std::int32_t idx = stack.back();
+        stack.pop_back();
+        const Node& node = nodes_[idx];
+        const std::int32_t body =
+            node.body.load(std::memory_order_relaxed);
+        if (body >= 0) {
+            ++seen[body];
+            continue;
+        }
+        for (const auto& slot : node.child) {
+            const std::int32_t child =
+                slot.load(std::memory_order_relaxed);
+            if (child >= 0)
+                stack.push_back(child);
+        }
+    }
+    for (std::size_t b = 0; b < numBodies_; ++b) {
+        if (seen[b] != 1) {
+            message = "barnes: body " + std::to_string(b) +
+                      " appears " + std::to_string(seen[b]) +
+                      " times in the tree";
+            return false;
+        }
+    }
+
+    // 2. Tree-based accelerations approximate direct sums.
+    double rel_acc = 0.0;
+    const int samples = 16;
+    for (int s = 0; s < samples; ++s) {
+        const std::int32_t b = static_cast<std::int32_t>(
+            (s * 2654435761u) % numBodies_);
+        double tx, ty, tz, pot, dx, dy, dz;
+        accelOn(b, tx, ty, tz, pot);
+        directAccel(b, dx, dy, dz);
+        const double dn =
+            std::sqrt(dx * dx + dy * dy + dz * dz) + 1e-30;
+        const double err = std::sqrt((tx - dx) * (tx - dx) +
+                                     (ty - dy) * (ty - dy) +
+                                     (tz - dz) * (tz - dz));
+        rel_acc += err / dn;
+    }
+    rel_acc /= samples;
+    if (rel_acc > 0.08) {
+        message = "barnes: BH force error " + std::to_string(rel_acc) +
+                  " vs direct sum";
+        return false;
+    }
+    if (steps_ > 0 &&
+        (!std::isfinite(lastKinetic_) || lastKinetic_ <= 0.0)) {
+        message = "barnes: unphysical kinetic energy";
+        return false;
+    }
+    message = "barnes: tree holds all bodies; mean force error " +
+              std::to_string(rel_acc);
+    return true;
+}
+
+} // namespace splash

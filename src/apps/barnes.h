@@ -1,0 +1,129 @@
+/**
+ * @file
+ * BARNES: Barnes-Hut hierarchical N-body simulation.
+ *
+ * Each step rebuilds the octree in parallel: bodies are claimed in
+ * batches from a shared ticket, tree nodes are allocated from a pool
+ * through another ticket (fetch&add in Splash-4, a locked counter in
+ * Splash-3), and insertion walks the tree with per-cell lock coupling
+ * (pthread mutexes in Splash-3, lightweight spin acquisition in
+ * Splash-4 -- the app's cell-lock transformation).  Forces use the
+ * theta opening criterion with dynamically claimed body batches;
+ * energies are reduced through shared sums.
+ *
+ * Parameters: bodies, steps, seed.
+ */
+
+#ifndef SPLASH_APPS_BARNES_H
+#define SPLASH_APPS_BARNES_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/benchmark.h"
+
+namespace splash {
+
+/** Barnes-Hut N-body benchmark. */
+class BarnesBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "barnes"; }
+    std::string description() const override
+    {
+        return "Barnes-Hut N-body; locked octree build + ticket "
+               "scheduling";
+    }
+    std::string inputDescription() const override;
+
+    void setup(World& world, const Params& params) override;
+    void run(Context& ctx) override;
+    bool verify(std::string& message) override;
+
+    static std::unique_ptr<Benchmark> create();
+
+  private:
+    /**
+     * Octree node.  Child slots and the body tag are atomic because
+     * insertion descends lock-free (as the original does): a slot
+     * transitions empty -> leaf exactly once, and a node transitions
+     * leaf -> internal exactly once, both under the node's lock, so
+     * readers revalidate after acquiring it.
+     */
+    struct Node
+    {
+        double cx = 0, cy = 0, cz = 0; ///< cell center
+        double half = 0;               ///< half side length
+        std::atomic<std::int32_t> child[8]; ///< -1 empty
+        std::atomic<std::int32_t> body{-1}; ///< >=0 leaf body id
+        double mass = 0;
+        double comx = 0, comy = 0, comz = 0;
+    };
+
+    /** Octant of (x,y,z) relative to the node's center. */
+    static int octantOf(const Node& node, double x, double y, double z);
+
+    /**
+     * Per-thread allocation cache: the original barnes allocates
+     * cells from per-processor pools, so threads claim node-index
+     * batches from the shared ticket instead of one index per node.
+     */
+    struct AllocCache
+    {
+        std::uint64_t next = 0;
+        std::uint64_t end = 0;
+    };
+    static constexpr std::uint64_t kAllocBatch = 32;
+
+    /** Allocate and initialize a node from the pool. */
+    std::int32_t allocNode(Context& ctx, AllocCache& cache, double cx,
+                           double cy, double cz, double half);
+
+    /** Insert one body, locking only the node being modified. */
+    void insertBody(Context& ctx, AllocCache& cache, std::int32_t b);
+
+    /** Serial center-of-mass post-order over the built tree. */
+    std::uint64_t computeCenters();
+
+    /** Barnes-Hut acceleration on body b; returns interaction count. */
+    std::uint64_t accelOn(std::int32_t b, double& ax, double& ay,
+                          double& az, double& pot) const;
+
+    /** Direct-sum acceleration (for verification). */
+    void directAccel(std::int32_t b, double& ax, double& ay,
+                     double& az) const;
+
+    std::size_t numBodies_ = 2048;
+    int steps_ = 2;
+    double theta_ = 0.6;
+    double dt_ = 0.01;
+    double eps2_ = 0.01;
+    std::uint64_t seed_ = 1;
+    std::size_t maxNodes_ = 0;
+
+    // Body state (structure of arrays).
+    std::vector<double> px_, py_, pz_;
+    std::vector<double> vx_, vy_, vz_;
+    std::vector<double> ax_, ay_, az_;
+    std::vector<double> mass_;
+
+    std::unique_ptr<Node[]> nodes_; ///< fixed pool (atomics can't move)
+    double rootHalf_ = 0;    ///< written by tid 0 each step
+    double rootCx_ = 0, rootCy_ = 0, rootCz_ = 0;
+    double lastKinetic_ = 0.0;
+    double lastPotential_ = 0.0;
+
+    BarrierHandle barrier_;
+    TicketHandle nodeTicket_;  ///< pool allocator
+    TicketHandle buildTicket_; ///< body batches for tree build
+    TicketHandle forceTicket_; ///< body batches for force pass
+    std::vector<LockHandle> nodeLocks_;
+    SumHandle kinetic_;
+    SumHandle potential_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_APPS_BARNES_H

@@ -1,0 +1,459 @@
+#include "apps/fmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace splash {
+
+std::unique_ptr<Benchmark>
+FmmBenchmark::create()
+{
+    return std::make_unique<FmmBenchmark>();
+}
+
+std::string
+FmmBenchmark::inputDescription() const
+{
+    return std::to_string(numParticles_) + " charges, order " +
+           std::to_string(order_) + ", " + std::to_string(levels_) +
+           " levels";
+}
+
+FmmBenchmark::Complex
+FmmBenchmark::cellCenter(int level, std::size_t ix, std::size_t iy) const
+{
+    const double h = 1.0 / static_cast<double>(sideAt(level));
+    return {(ix + 0.5) * h, (iy + 0.5) * h};
+}
+
+void
+FmmBenchmark::setup(World& world, const Params& params)
+{
+    numParticles_ = static_cast<std::size_t>(params.getInt(
+        "particles", static_cast<std::int64_t>(numParticles_)));
+    order_ = static_cast<int>(params.getInt("terms", order_));
+    levels_ = static_cast<int>(params.getInt("levels", levels_));
+    seed_ = static_cast<std::uint64_t>(params.getInt("seed", 1));
+    panicIf(levels_ < 2 || levels_ > 8, "fmm: levels out of range");
+    panicIf(order_ < 2 || order_ > 24, "fmm: terms out of range");
+    panicIf(numParticles_ < 16, "fmm: too few particles");
+
+    Rng rng(seed_);
+    posx_.resize(numParticles_);
+    posy_.resize(numParticles_);
+    charge_.resize(numParticles_);
+    potential_.assign(numParticles_, 0.0);
+    field_.assign(numParticles_, Complex{});
+    for (std::size_t i = 0; i < numParticles_; ++i) {
+        posx_[i] = rng.uniform(0.0, 1.0);
+        posy_[i] = rng.uniform(0.0, 1.0);
+        charge_[i] = (i % 2 == 0) ? 1.0 : -1.0;
+    }
+
+    // Finest-level particle lists.
+    const std::size_t fine_side = sideAt(levels_);
+    cellParticles_.assign(fine_side * fine_side, {});
+    for (std::size_t i = 0; i < numParticles_; ++i) {
+        auto cidx = [&](double x) {
+            auto v = static_cast<std::size_t>(x * fine_side);
+            return std::min(v, fine_side - 1);
+        };
+        cellParticles_[cidx(posy_[i]) * fine_side + cidx(posx_[i])]
+            .push_back(static_cast<std::uint32_t>(i));
+    }
+
+    // Expansion storage, one (order_+1)-vector per cell per level.
+    multipole_.assign(levels_ + 1, {});
+    local_.assign(levels_ + 1, {});
+    for (int l = 0; l <= levels_; ++l) {
+        const std::size_t cells = sideAt(l) * sideAt(l);
+        multipole_[l].assign(cells * (order_ + 1), Complex{});
+        local_[l].assign(cells * (order_ + 1), Complex{});
+    }
+
+    // Pascal's triangle up to 2*order_+1.
+    const int bn = 2 * order_ + 2;
+    binom_.assign(static_cast<std::size_t>(bn) * bn, 0.0);
+    for (int n = 0; n < bn; ++n) {
+        binom_[static_cast<std::size_t>(n) * bn + 0] = 1.0;
+        for (int k = 1; k <= n; ++k) {
+            binom_[static_cast<std::size_t>(n) * bn + k] =
+                binom_[static_cast<std::size_t>(n - 1) * bn + k - 1] +
+                ((k <= n - 1)
+                     ? binom_[static_cast<std::size_t>(n - 1) * bn + k]
+                     : 0.0);
+        }
+    }
+
+    totalEnergy_ = 0.0;
+    barrier_ = world.createBarrier();
+    phaseTickets_ = world.createTickets(3 * levels_ + 2);
+    energy_ = world.createSum(0.0);
+}
+
+void
+FmmBenchmark::p2m(std::size_t cell)
+{
+    const std::size_t side = sideAt(levels_);
+    const Complex z0 = cellCenter(levels_, cell % side, cell / side);
+    Complex* a = &multipole_[levels_][cell * (order_ + 1)];
+    for (const std::uint32_t i : cellParticles_[cell]) {
+        const Complex dz = Complex(posx_[i], posy_[i]) - z0;
+        a[0] += charge_[i];
+        Complex pw = dz;
+        for (int k = 1; k <= order_; ++k) {
+            a[k] -= charge_[i] * pw / static_cast<double>(k);
+            pw *= dz;
+        }
+    }
+}
+
+void
+FmmBenchmark::m2m(int level, std::size_t cell)
+{
+    // Gather the four children of `cell` (at level+1) into `cell`.
+    const std::size_t side = sideAt(level);
+    const std::size_t ix = cell % side, iy = cell / side;
+    const Complex z0 = cellCenter(level, ix, iy);
+    Complex* a = &multipole_[level][cell * (order_ + 1)];
+    const std::size_t child_side = sideAt(level + 1);
+    for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+            const std::size_t cx = 2 * ix + dx, cy = 2 * iy + dy;
+            const std::size_t cc = cy * child_side + cx;
+            const Complex* ac =
+                &multipole_[level + 1][cc * (order_ + 1)];
+            const Complex d = cellCenter(level + 1, cx, cy) - z0;
+            a[0] += ac[0];
+            for (int l = 1; l <= order_; ++l) {
+                Complex acc = -ac[0] * std::pow(d, l) /
+                              static_cast<double>(l);
+                Complex dpw = 1.0;
+                for (int k = l; k >= 1; --k) {
+                    // d^(l-k) built from high k downwards.
+                    acc += ac[k] * dpw * binom(l - 1, k - 1);
+                    dpw *= d;
+                }
+                a[l] += acc;
+            }
+        }
+    }
+}
+
+void
+FmmBenchmark::m2l(int level, std::size_t cell)
+{
+    const std::size_t side = sideAt(level);
+    const std::size_t ix = cell % side, iy = cell / side;
+    const Complex zc = cellCenter(level, ix, iy);
+    Complex* b = &local_[level][cell * (order_ + 1)];
+
+    const std::size_t px = ix / 2, py = iy / 2;
+    for (int ny = -1; ny <= 1; ++ny) {
+        for (int nx = -1; nx <= 1; ++nx) {
+            const std::int64_t qx = static_cast<std::int64_t>(px) + nx;
+            const std::int64_t qy = static_cast<std::int64_t>(py) + ny;
+            if (qx < 0 || qy < 0 ||
+                qx >= static_cast<std::int64_t>(side / 2) ||
+                qy >= static_cast<std::int64_t>(side / 2)) {
+                continue;
+            }
+            for (int cy = 0; cy < 2; ++cy) {
+                for (int cx = 0; cx < 2; ++cx) {
+                    const std::int64_t sx = 2 * qx + cx;
+                    const std::int64_t sy = 2 * qy + cy;
+                    if (std::abs(sx - static_cast<std::int64_t>(ix)) <=
+                            1 &&
+                        std::abs(sy - static_cast<std::int64_t>(iy)) <=
+                            1) {
+                        continue; // near neighbor (or self)
+                    }
+                    const std::size_t sc =
+                        static_cast<std::size_t>(sy) * side +
+                        static_cast<std::size_t>(sx);
+                    const Complex* a =
+                        &multipole_[level][sc * (order_ + 1)];
+                    const Complex t =
+                        cellCenter(level, static_cast<std::size_t>(sx),
+                                   static_cast<std::size_t>(sy)) -
+                        zc;
+                    // b_0 += a0 log(-t) + sum a_k (-1)^k / t^k.
+                    Complex acc0 = a[0] * std::log(-t);
+                    Complex tk = t;
+                    double sign = -1.0;
+                    for (int k = 1; k <= order_; ++k) {
+                        acc0 += a[k] * sign / tk;
+                        tk *= t;
+                        sign = -sign;
+                    }
+                    b[0] += acc0;
+                    Complex tl = t;
+                    for (int l = 1; l <= order_; ++l) {
+                        Complex acc = -a[0] /
+                                      (static_cast<double>(l) * tl);
+                        Complex tk2 = t;
+                        double sgn = -1.0;
+                        for (int k = 1; k <= order_; ++k) {
+                            acc += a[k] * sgn *
+                                   binom(l + k - 1, k - 1) / (tl * tk2);
+                            tk2 *= t;
+                            sgn = -sgn;
+                        }
+                        b[l] += acc;
+                        tl *= t;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+FmmBenchmark::l2l(int level, std::size_t childCell)
+{
+    // Shift the parent's local expansion (at level-1) into this child.
+    const std::size_t side = sideAt(level);
+    const std::size_t ix = childCell % side, iy = childCell / side;
+    const std::size_t pside = sideAt(level - 1);
+    const std::size_t pc = (iy / 2) * pside + (ix / 2);
+    const Complex d = cellCenter(level, ix, iy) -
+                      cellCenter(level - 1, ix / 2, iy / 2);
+    const Complex* bp = &local_[level - 1][pc * (order_ + 1)];
+    Complex* b = &local_[level][childCell * (order_ + 1)];
+    for (int l = 0; l <= order_; ++l) {
+        Complex acc = 0.0;
+        Complex dpw = 1.0;
+        for (int k = l; k <= order_; ++k) {
+            acc += bp[k] * binom(k, l) * dpw;
+            dpw *= d;
+        }
+        b[l] += acc;
+    }
+}
+
+std::uint64_t
+FmmBenchmark::l2pAndNear(std::size_t cell)
+{
+    const std::size_t side = sideAt(levels_);
+    const std::size_t ix = cell % side, iy = cell / side;
+    const Complex zc = cellCenter(levels_, ix, iy);
+    const Complex* b = &local_[levels_][cell * (order_ + 1)];
+    std::uint64_t ops = 0;
+
+    for (const std::uint32_t i : cellParticles_[cell]) {
+        const Complex zi(posx_[i], posy_[i]);
+        // Far field: the local expansion gives both the potential and
+        // the field (its z-derivative).
+        Complex psi = 0.0;
+        Complex dpsi = 0.0;
+        Complex dpw = 1.0;  // dz^l
+        Complex dpw1 = 1.0; // dz^(l-1)
+        const Complex dz = zi - zc;
+        for (int l = 0; l <= order_; ++l) {
+            psi += b[l] * dpw;
+            if (l >= 1) {
+                dpsi += static_cast<double>(l) * b[l] * dpw1;
+                dpw1 *= dz;
+            }
+            dpw *= dz;
+        }
+        double pot = psi.real();
+        Complex fld = dpsi;
+        ops += 2 * order_;
+
+        // Near field: direct sums over the 3x3 neighborhood.
+        for (int ny = -1; ny <= 1; ++ny) {
+            for (int nx = -1; nx <= 1; ++nx) {
+                const std::int64_t qx =
+                    static_cast<std::int64_t>(ix) + nx;
+                const std::int64_t qy =
+                    static_cast<std::int64_t>(iy) + ny;
+                if (qx < 0 || qy < 0 ||
+                    qx >= static_cast<std::int64_t>(side) ||
+                    qy >= static_cast<std::int64_t>(side)) {
+                    continue;
+                }
+                const std::size_t nc =
+                    static_cast<std::size_t>(qy) * side +
+                    static_cast<std::size_t>(qx);
+                for (const std::uint32_t j : cellParticles_[nc]) {
+                    if (j == i)
+                        continue;
+                    const double dx = posx_[i] - posx_[j];
+                    const double dy = posy_[i] - posy_[j];
+                    pot += charge_[j] * 0.5 *
+                           std::log(dx * dx + dy * dy);
+                    // d/dz of q log(z - zj) = q / (z - zj).
+                    fld += charge_[j] / Complex(dx, dy);
+                    ops += 2;
+                }
+            }
+        }
+        potential_[i] = pot;
+        field_[i] = fld;
+    }
+    return ops;
+}
+
+void
+FmmBenchmark::run(Context& ctx)
+{
+    int next_ticket = 0;
+    constexpr std::uint64_t kBatch = 4;
+    const auto claim = [&](std::uint64_t total, auto&& fn) {
+        const TicketHandle ticket = phaseTickets_[next_ticket++];
+        for (;;) {
+            const std::uint64_t start = ctx.ticketNext(ticket, kBatch);
+            if (start >= total)
+                break;
+            const std::uint64_t end =
+                std::min<std::uint64_t>(total, start + kBatch);
+            std::uint64_t ops = 0;
+            for (std::uint64_t c = start; c < end; ++c)
+                ops += fn(static_cast<std::size_t>(c));
+            ctx.work(ops + 1);
+        }
+        ctx.barrier(barrier_);
+    };
+
+    const std::uint64_t p2 =
+        static_cast<std::uint64_t>(order_) * order_;
+
+    // Upward pass.
+    claim(sideAt(levels_) * sideAt(levels_), [&](std::size_t c) {
+        p2m(c);
+        return cellParticles_[c].size() * order_;
+    });
+    for (int l = levels_ - 1; l >= 0; --l) {
+        claim(sideAt(l) * sideAt(l), [&](std::size_t c) {
+            m2m(l, c);
+            return 4 * p2;
+        });
+    }
+
+    // Downward pass.
+    for (int l = 2; l <= levels_; ++l) {
+        claim(sideAt(l) * sideAt(l), [&](std::size_t c) {
+            m2l(l, c);
+            return 27 * p2;
+        });
+        if (l < levels_) {
+            claim(sideAt(l + 1) * sideAt(l + 1), [&](std::size_t c) {
+                l2l(l + 1, c);
+                return p2;
+            });
+        }
+    }
+
+    // Evaluation plus near field; reduce the interaction energy.
+    double local_energy = 0.0;
+    {
+        const TicketHandle ticket = phaseTickets_[next_ticket++];
+        const std::uint64_t total =
+            sideAt(levels_) * sideAt(levels_);
+        for (;;) {
+            const std::uint64_t start = ctx.ticketNext(ticket, kBatch);
+            if (start >= total)
+                break;
+            const std::uint64_t end =
+                std::min<std::uint64_t>(total, start + kBatch);
+            std::uint64_t ops = 0;
+            for (std::uint64_t c = start; c < end; ++c) {
+                ops += l2pAndNear(static_cast<std::size_t>(c));
+                for (const std::uint32_t i : cellParticles_[c])
+                    local_energy += charge_[i] * potential_[i];
+            }
+            ctx.work(ops + 1);
+        }
+    }
+    ctx.sumAdd(energy_, local_energy);
+    ctx.barrier(barrier_);
+    if (ctx.tid() == 0)
+        totalEnergy_ = ctx.sumRead(energy_);
+}
+
+FmmBenchmark::Complex
+FmmBenchmark::directField(std::size_t i) const
+{
+    Complex fld{};
+    for (std::size_t j = 0; j < numParticles_; ++j) {
+        if (j == i)
+            continue;
+        fld += charge_[j] / Complex(posx_[i] - posx_[j],
+                                    posy_[i] - posy_[j]);
+    }
+    return fld;
+}
+
+double
+FmmBenchmark::directPotential(std::size_t i) const
+{
+    double pot = 0.0;
+    for (std::size_t j = 0; j < numParticles_; ++j) {
+        if (j == i)
+            continue;
+        const double dx = posx_[i] - posx_[j];
+        const double dy = posy_[i] - posy_[j];
+        pot += charge_[j] * 0.5 * std::log(dx * dx + dy * dy);
+    }
+    return pot;
+}
+
+bool
+FmmBenchmark::verify(std::string& message)
+{
+    // Root multipole must carry the net charge.
+    double net = 0.0;
+    for (const double q : charge_)
+        net += q;
+    const Complex root_a0 = multipole_[0][0];
+    if (std::abs(root_a0.real() - net) > 1e-9 ||
+        std::abs(root_a0.imag()) > 1e-9) {
+        message = "fmm: root multipole charge mismatch";
+        return false;
+    }
+
+    // Sampled potentials and fields against the direct O(n^2) sums.
+    double max_err = 0.0;
+    double scale = 1.0;
+    double max_ferr = 0.0;
+    double fscale = 1.0;
+    const int samples = 32;
+    for (int s = 0; s < samples; ++s) {
+        const std::size_t i =
+            (static_cast<std::size_t>(s) * 2654435761u) %
+            numParticles_;
+        const double direct = directPotential(i);
+        max_err = std::max(max_err,
+                           std::abs(potential_[i] - direct));
+        scale = std::max(scale, std::abs(direct));
+        const Complex dfld = directField(i);
+        max_ferr = std::max(max_ferr, std::abs(field_[i] - dfld));
+        fscale = std::max(fscale, std::abs(dfld));
+    }
+    const double rel = max_err / scale;
+    if (rel > 5e-3) {
+        message = "fmm: potential error " + std::to_string(rel) +
+                  " vs direct sum";
+        return false;
+    }
+    const double frel = max_ferr / fscale;
+    if (frel > 2e-2) {
+        message = "fmm: field error " + std::to_string(frel) +
+                  " vs direct sum";
+        return false;
+    }
+    if (!std::isfinite(totalEnergy_)) {
+        message = "fmm: energy not finite";
+        return false;
+    }
+    message = "fmm: sampled potential rel err " + std::to_string(rel) +
+              ", field rel err " + std::to_string(frel) + ", energy " +
+              std::to_string(totalEnergy_);
+    return true;
+}
+
+} // namespace splash

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * FMM: 2D uniform fast multipole method for point charges.
+ *
+ * Potential of charge q at z_j is q log(z - z_j).  The unit square is
+ * refined into a uniform quadtree; the classic pipeline (P2M, M2M,
+ * M2L over interaction lists, L2L, L2P plus near-field direct sums)
+ * runs phase by phase with barriers between levels and cells claimed
+ * dynamically from per-phase tickets (Splash-3: locked counters,
+ * Splash-4: fetch&add).  The total interaction energy is reduced
+ * through a shared sum.
+ *
+ * Parameters: particles, terms (multipole order), levels, seed.
+ */
+
+#ifndef SPLASH_APPS_FMM_H
+#define SPLASH_APPS_FMM_H
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/benchmark.h"
+
+namespace splash {
+
+/** 2D uniform FMM benchmark. */
+class FmmBenchmark : public Benchmark
+{
+  public:
+    using Complex = std::complex<double>;
+
+    std::string name() const override { return "fmm"; }
+    std::string description() const override
+    {
+        return "2D fast multipole method; per-phase tickets + "
+               "level barriers";
+    }
+    std::string inputDescription() const override;
+
+    void setup(World& world, const Params& params) override;
+    void run(Context& ctx) override;
+    bool verify(std::string& message) override;
+
+    static std::unique_ptr<Benchmark> create();
+
+  private:
+    /** Cells per side at level l. */
+    std::size_t sideAt(int level) const
+    {
+        return std::size_t{1} << level;
+    }
+
+    /** Center of cell (ix, iy) at the given level. */
+    Complex cellCenter(int level, std::size_t ix, std::size_t iy) const;
+
+    double binom(int n, int k) const
+    {
+        return binom_[static_cast<std::size_t>(n) * (2 * order_ + 2) +
+                      k];
+    }
+
+    void p2m(std::size_t cell);
+    void m2m(int level, std::size_t cell);
+    void m2l(int level, std::size_t cell);
+    void l2l(int level, std::size_t cell);
+    std::uint64_t l2pAndNear(std::size_t cell);
+
+    /** Direct potential at particle i from all others (verification). */
+    double directPotential(std::size_t i) const;
+
+    /** Direct field (dPhi/dz) at particle i (verification). */
+    Complex directField(std::size_t i) const;
+
+    std::size_t numParticles_ = 1024;
+    int order_ = 8;  ///< multipole terms beyond the log term
+    int levels_ = 3; ///< finest level (level 0 = the whole box)
+    std::uint64_t seed_ = 1;
+
+    std::vector<double> posx_, posy_, charge_;
+    std::vector<double> potential_;
+    std::vector<Complex> field_; ///< dPhi/dz per particle
+
+    /** Particle lists of the finest-level cells. */
+    std::vector<std::vector<std::uint32_t>> cellParticles_;
+
+    /** Expansion coefficients per level, cell-major. */
+    std::vector<std::vector<Complex>> multipole_;
+    std::vector<std::vector<Complex>> local_;
+
+    std::vector<double> binom_;
+    double totalEnergy_ = 0.0;
+
+    BarrierHandle barrier_;
+    std::vector<TicketHandle> phaseTickets_;
+    SumHandle energy_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_APPS_FMM_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared machinery for the two water molecular-dynamics apps:
+ * deterministic lattice initialization, periodic minimum-image
+ * geometry, and the Lennard-Jones pair interaction (reduced units).
+ */
+
+#ifndef SPLASH_APPS_MD_COMMON_H
+#define SPLASH_APPS_MD_COMMON_H
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace splash {
+
+/** Particle state for the water apps (structure of arrays). */
+struct MdState
+{
+    std::vector<double> px, py, pz; ///< positions in [0, box)
+    std::vector<double> vx, vy, vz; ///< velocities
+
+    std::size_t size() const { return px.size(); }
+};
+
+/**
+ * Initialize @p n molecules on a jittered cubic lattice inside a box
+ * of side @p box, with small zero-net-momentum thermal velocities.
+ */
+inline MdState
+initLattice(std::size_t n, double box, Rng& rng)
+{
+    MdState s;
+    s.px.resize(n); s.py.resize(n); s.pz.resize(n);
+    s.vx.resize(n); s.vy.resize(n); s.vz.resize(n);
+
+    std::size_t side = 1;
+    while (side * side * side < n)
+        ++side;
+    const double cell = box / static_cast<double>(side);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t ix = i % side;
+        const std::size_t iy = (i / side) % side;
+        const std::size_t iz = i / (side * side);
+        s.px[i] = (ix + 0.5) * cell + rng.uniform(-0.1, 0.1) * cell;
+        s.py[i] = (iy + 0.5) * cell + rng.uniform(-0.1, 0.1) * cell;
+        s.pz[i] = (iz + 0.5) * cell + rng.uniform(-0.1, 0.1) * cell;
+        s.vx[i] = 0.2 * rng.normal();
+        s.vy[i] = 0.2 * rng.normal();
+        s.vz[i] = 0.2 * rng.normal();
+    }
+    // Remove the net momentum so drift checks start from zero.
+    double mx = 0, my = 0, mz = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += s.vx[i]; my += s.vy[i]; mz += s.vz[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        s.vx[i] -= mx / n;
+        s.vy[i] -= my / n;
+        s.vz[i] -= mz / n;
+    }
+    return s;
+}
+
+/** Minimum-image displacement component for a box of side @p box. */
+inline double
+minImage(double d, double box)
+{
+    if (d > 0.5 * box)
+        return d - box;
+    if (d < -0.5 * box)
+        return d + box;
+    return d;
+}
+
+/** Wrap a coordinate into [0, box). */
+inline double
+wrapCoord(double x, double box)
+{
+    while (x >= box)
+        x -= box;
+    while (x < 0.0)
+        x += box;
+    return x;
+}
+
+/**
+ * Truncated Lennard-Jones interaction.  Fills the force on particle i
+ * due to j (fx, fy, fz) and returns the pair potential energy; zero
+ * beyond the cutoff.
+ */
+inline double
+ljPair(double dx, double dy, double dz, double cutoff2, double& fx,
+       double& fy, double& fz)
+{
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    fx = fy = fz = 0.0;
+    if (r2 >= cutoff2 || r2 < 1e-12)
+        return 0.0;
+    const double inv2 = 1.0 / r2;
+    const double inv6 = inv2 * inv2 * inv2;
+    const double inv12 = inv6 * inv6;
+    // F = 24 eps (2 (s/r)^12 - (s/r)^6) / r^2 * r_vec, eps=sigma=1.
+    const double fscale = 24.0 * (2.0 * inv12 - inv6) * inv2;
+    fx = fscale * dx;
+    fy = fscale * dy;
+    fz = fscale * dz;
+    return 4.0 * (inv12 - inv6);
+}
+
+} // namespace splash
+
+#endif // SPLASH_APPS_MD_COMMON_H

@@ -1,0 +1,350 @@
+#include "apps/ocean.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace splash {
+
+std::unique_ptr<Benchmark>
+OceanBenchmark::create()
+{
+    return std::make_unique<OceanBenchmark>();
+}
+
+std::string
+OceanBenchmark::inputDescription() const
+{
+    return std::to_string(interior_) + "x" + std::to_string(interior_) +
+           " grid, " + std::to_string(levels_.size()) +
+           "-level V-cycles, tol " + std::to_string(tolerance_);
+}
+
+void
+OceanBenchmark::setup(World& world, const Params& params)
+{
+    interior_ = static_cast<std::size_t>(
+        params.getInt("grid", static_cast<std::int64_t>(interior_)));
+    maxCycles_ = static_cast<int>(
+        params.getInt("iterations", maxCycles_));
+    seed_ = static_cast<std::uint64_t>(params.getInt("seed", 1));
+    panicIf(interior_ < 8, "ocean: grid too small");
+
+    // Vertex-centered coarsening needs aligned grids: a coarse
+    // interior of (m-1)/2 with exactly doubled spacing, i.e. m+1 must
+    // halve evenly at every level.  Round the requested size up so
+    // interior+1 is a multiple of 8 (allowing up to 4 levels).
+    std::size_t p = ((interior_ + 1 + 7) / 8) * 8;
+    interior_ = p - 1;
+    std::size_t depth = 1;
+    while (p % 2 == 0 && p / 2 >= 9 && depth < 6) {
+        p /= 2;
+        ++depth;
+    }
+    levels_.clear();
+    const double h0 = 1.0 / static_cast<double>(interior_ + 1);
+    for (std::size_t l = 0; l < depth; ++l) {
+        Level level;
+        level.interior = ((interior_ + 1) >> l) - 1;
+        level.stride = level.interior + 2;
+        level.h = h0 * static_cast<double>(std::size_t{1} << l);
+        level.phi.assign(level.stride * level.stride, 0.0);
+        level.rhs.assign(level.stride * level.stride, 0.0);
+        level.residual.assign(level.stride * level.stride, 0.0);
+        levels_.push_back(std::move(level));
+    }
+
+    // Deterministic forcing on the finest grid: gaussian vortices of
+    // alternating sign.
+    Rng rng(seed_);
+    Level& fine = levels_[0];
+    for (int v = 0; v < 4; ++v) {
+        const double cx = rng.uniform(0.2, 0.8);
+        const double cy = rng.uniform(0.2, 0.8);
+        const double amp = (v % 2 == 0 ? 1.0 : -1.0) *
+                           rng.uniform(0.5, 1.5);
+        const double width = rng.uniform(0.05, 0.15);
+        for (std::size_t i = 1; i <= fine.interior; ++i) {
+            for (std::size_t j = 1; j <= fine.interior; ++j) {
+                const double x =
+                    static_cast<double>(i) / (fine.interior + 1);
+                const double y =
+                    static_cast<double>(j) / (fine.interior + 1);
+                const double d2 = (x - cx) * (x - cx) +
+                                  (y - cy) * (y - cy);
+                at(fine.rhs, fine, i, j) +=
+                    amp * std::exp(-d2 / (width * width));
+            }
+        }
+    }
+
+    finalResidual_ = -1.0;
+    initialResidual_ = residualNorm();
+    sharedResidual_ = initialResidual_;
+    cyclesUsed_ = 0;
+
+    barrier_ = world.createBarrier();
+    residualSum_ = world.createSum(0.0);
+}
+
+void
+OceanBenchmark::stripe(const Level& level, int tid, int nthreads,
+                       std::size_t& lo, std::size_t& hi) const
+{
+    const std::size_t chunk =
+        (level.interior + nthreads - 1) / nthreads;
+    lo = 1 + std::min(level.interior, chunk * tid);
+    hi = 1 + std::min(level.interior, chunk * tid + chunk);
+}
+
+void
+OceanBenchmark::smooth(Context& ctx, Level& level)
+{
+    const int tid = ctx.tid();
+    const int nthreads = ctx.nthreads();
+    std::size_t lo, hi;
+    stripe(level, tid, nthreads, lo, hi);
+    const double h2 = level.h * level.h;
+
+    for (int color = 0; color < 2; ++color) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            for (std::size_t j = 1 + ((i + color) % 2);
+                 j <= level.interior; j += 2) {
+                const double neighbors =
+                    at(level.phi, level, i - 1, j) +
+                    at(level.phi, level, i + 1, j) +
+                    at(level.phi, level, i, j - 1) +
+                    at(level.phi, level, i, j + 1);
+                at(level.phi, level, i, j) =
+                    0.25 * (neighbors - h2 * at(level.rhs, level, i, j));
+            }
+        }
+        ctx.work((hi - lo) * level.interior / 2 + 1);
+        ctx.barrier(barrier_);
+    }
+}
+
+void
+OceanBenchmark::computeResidual(Context& ctx, Level& level)
+{
+    const int tid = ctx.tid();
+    const int nthreads = ctx.nthreads();
+    std::size_t lo, hi;
+    stripe(level, tid, nthreads, lo, hi);
+    const double inv_h2 = 1.0 / (level.h * level.h);
+
+    for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t j = 1; j <= level.interior; ++j) {
+            const double lap =
+                (at(level.phi, level, i - 1, j) +
+                 at(level.phi, level, i + 1, j) +
+                 at(level.phi, level, i, j - 1) +
+                 at(level.phi, level, i, j + 1) -
+                 4.0 * at(level.phi, level, i, j)) * inv_h2;
+            at(level.residual, level, i, j) =
+                at(level.rhs, level, i, j) - lap;
+        }
+    }
+    ctx.work((hi - lo) * level.interior + 1);
+    ctx.barrier(barrier_);
+}
+
+void
+OceanBenchmark::restrictResidual(Context& ctx, const Level& fine,
+                                 Level& coarse)
+{
+    const int tid = ctx.tid();
+    const int nthreads = ctx.nthreads();
+    std::size_t lo, hi;
+    stripe(coarse, tid, nthreads, lo, hi);
+
+    for (std::size_t ic = lo; ic < hi; ++ic) {
+        const std::size_t fi = 2 * ic;
+        for (std::size_t jc = 1; jc <= coarse.interior; ++jc) {
+            const std::size_t fj = 2 * jc;
+            // Full weighting over the 3x3 fine neighborhood; fine
+            // index 2*m_c == m_f touches only valid cells because
+            // m_f == 2*m_c and the ring beyond is the zero boundary.
+            const double center = at(fine.residual, fine, fi, fj);
+            const double edges =
+                at(fine.residual, fine, fi - 1, fj) +
+                at(fine.residual, fine, fi + 1, fj) +
+                at(fine.residual, fine, fi, fj - 1) +
+                at(fine.residual, fine, fi, fj + 1);
+            const double corners =
+                at(fine.residual, fine, fi - 1, fj - 1) +
+                at(fine.residual, fine, fi - 1, fj + 1) +
+                at(fine.residual, fine, fi + 1, fj - 1) +
+                at(fine.residual, fine, fi + 1, fj + 1);
+            at(coarse.rhs, coarse, ic, jc) =
+                (4.0 * center + 2.0 * edges + corners) / 16.0;
+            // The error equation starts from a zero initial guess.
+            at(coarse.phi, coarse, ic, jc) = 0.0;
+        }
+    }
+    ctx.work((hi - lo) * coarse.interior + 1);
+    ctx.barrier(barrier_);
+}
+
+void
+OceanBenchmark::prolongate(Context& ctx, const Level& coarse,
+                           Level& fine)
+{
+    const int tid = ctx.tid();
+    const int nthreads = ctx.nthreads();
+    std::size_t lo, hi;
+    stripe(fine, tid, nthreads, lo, hi);
+
+    // Bilinear interpolation of the coarse correction; coarse point
+    // (ic, jc) sits at fine (2ic, 2jc).  Odd fine points average the
+    // bracketing coarse points (the zero ring supplies the boundary).
+    for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t j = 1; j <= fine.interior; ++j) {
+            const std::size_t ic = i / 2;
+            const std::size_t jc = j / 2;
+            double corr;
+            if (i % 2 == 0 && j % 2 == 0) {
+                corr = at(coarse.phi, coarse, ic, jc);
+            } else if (i % 2 == 0) {
+                corr = 0.5 * (at(coarse.phi, coarse, ic, jc) +
+                              at(coarse.phi, coarse, ic, jc + 1));
+            } else if (j % 2 == 0) {
+                corr = 0.5 * (at(coarse.phi, coarse, ic, jc) +
+                              at(coarse.phi, coarse, ic + 1, jc));
+            } else {
+                corr = 0.25 * (at(coarse.phi, coarse, ic, jc) +
+                               at(coarse.phi, coarse, ic + 1, jc) +
+                               at(coarse.phi, coarse, ic, jc + 1) +
+                               at(coarse.phi, coarse, ic + 1, jc + 1));
+            }
+            at(fine.phi, fine, i, j) += corr;
+        }
+    }
+    ctx.work((hi - lo) * fine.interior + 1);
+    ctx.barrier(barrier_);
+}
+
+void
+OceanBenchmark::vcycle(Context& ctx, std::size_t l)
+{
+    Level& level = levels_[l];
+    if (l + 1 == levels_.size()) {
+        for (int s = 0; s < coarseSweeps_; ++s)
+            smooth(ctx, level);
+        return;
+    }
+    for (int s = 0; s < preSmooth_; ++s)
+        smooth(ctx, level);
+    computeResidual(ctx, level);
+    restrictResidual(ctx, level, levels_[l + 1]);
+    vcycle(ctx, l + 1);
+    prolongate(ctx, levels_[l + 1], level);
+    for (int s = 0; s < postSmooth_; ++s)
+        smooth(ctx, level);
+}
+
+void
+OceanBenchmark::run(Context& ctx)
+{
+    const int tid = ctx.tid();
+    const int nthreads = ctx.nthreads();
+    Level& fine = levels_[0];
+
+    for (int cycle = 0; cycle < maxCycles_; ++cycle) {
+        vcycle(ctx, 0);
+
+        // Convergence: L2 residual on the finest grid, reduced
+        // through the shared accumulator.
+        computeResidual(ctx, fine);
+        std::size_t lo, hi;
+        stripe(fine, tid, nthreads, lo, hi);
+        double local_sq = 0.0;
+        for (std::size_t i = lo; i < hi; ++i)
+            for (std::size_t j = 1; j <= fine.interior; ++j)
+                local_sq += at(fine.residual, fine, i, j) *
+                            at(fine.residual, fine, i, j);
+        ctx.work((hi - lo) * fine.interior / 2 + 1);
+        ctx.sumAdd(residualSum_, local_sq);
+        ctx.barrier(barrier_);
+
+        if (tid == 0) {
+            sharedResidual_ = std::sqrt(ctx.sumRead(residualSum_)) *
+                              fine.h * fine.h /
+                              static_cast<double>(fine.interior);
+            ctx.sumReset(residualSum_, 0.0);
+            cyclesUsed_ = cycle + 1;
+        }
+        ctx.barrier(barrier_);
+        if (sharedResidual_ < tolerance_ * initialResidual_)
+            break;
+    }
+    if (tid == 0)
+        finalResidual_ = residualNorm();
+}
+
+double
+OceanBenchmark::residualNorm() const
+{
+    const Level& fine = levels_[0];
+    const double inv_h2 = 1.0 / (fine.h * fine.h);
+    double acc = 0.0;
+    for (std::size_t i = 1; i <= fine.interior; ++i) {
+        for (std::size_t j = 1; j <= fine.interior; ++j) {
+            const double lap =
+                (at(fine.phi, fine, i - 1, j) +
+                 at(fine.phi, fine, i + 1, j) +
+                 at(fine.phi, fine, i, j - 1) +
+                 at(fine.phi, fine, i, j + 1) -
+                 4.0 * at(fine.phi, fine, i, j)) * inv_h2;
+            const double r = at(fine.rhs, fine, i, j) - lap;
+            acc += r * r;
+        }
+    }
+    return std::sqrt(acc) * fine.h * fine.h /
+           static_cast<double>(fine.interior);
+}
+
+bool
+OceanBenchmark::verify(std::string& message)
+{
+    if (cyclesUsed_ == 0) {
+        message = "ocean: no V-cycles executed";
+        return false;
+    }
+    // The zero boundary ring of every level must be untouched.
+    for (const Level& level : levels_) {
+        for (std::size_t k = 0; k < level.stride; ++k) {
+            if (level.phi[k] != 0.0 ||
+                level.phi[(level.stride - 1) * level.stride + k] !=
+                    0.0 ||
+                level.phi[k * level.stride] != 0.0 ||
+                level.phi[k * level.stride + level.stride - 1] != 0.0) {
+                message = "ocean: boundary was modified";
+                return false;
+            }
+        }
+    }
+    if (!(sharedResidual_ < tolerance_ * initialResidual_)) {
+        message = "ocean: did not converge in " +
+                  std::to_string(cyclesUsed_) + " V-cycles (residual " +
+                  std::to_string(sharedResidual_) + " vs initial " +
+                  std::to_string(initialResidual_) + ")";
+        return false;
+    }
+    if (!std::isfinite(finalResidual_) ||
+        finalResidual_ > 2.0 * tolerance_ * initialResidual_) {
+        message = "ocean: recomputed residual " +
+                  std::to_string(finalResidual_) +
+                  " inconsistent with the reduction";
+        return false;
+    }
+    message = "ocean: converged in " + std::to_string(cyclesUsed_) +
+              " V-cycles, residual " +
+              std::to_string(finalResidual_ / initialResidual_) +
+              " of initial";
+    return true;
+}
+
+} // namespace splash

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * OCEAN: multigrid elliptic solver on a 2D grid.
+ *
+ * Stand-in for the Splash-2 ocean simulation's dominant phase: the
+ * W/V-cycle multigrid solver over the stream-function grids.  Each
+ * V-cycle red-black smooths, computes the residual, restricts it to
+ * the next-coarser grid (full weighting), recurses, prolongates the
+ * correction back (bilinear), and post-smooths -- threads own row
+ * stripes at every level with barriers between phases, and a global
+ * residual reduction decides convergence.  That reduction is ocean's
+ * classic hot lock in Splash-3 (a CAS-loop atomic add in Splash-4),
+ * and the per-phase barriers dominate at scale.
+ *
+ * Parameters: grid (finest interior size), iterations (max V-cycles),
+ * seed.
+ */
+
+#ifndef SPLASH_APPS_OCEAN_H
+#define SPLASH_APPS_OCEAN_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/benchmark.h"
+
+namespace splash {
+
+/** Multigrid Poisson solver benchmark. */
+class OceanBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "ocean"; }
+    std::string description() const override
+    {
+        return "multigrid grid solver; residual reduction + per-level "
+               "barriers";
+    }
+    std::string inputDescription() const override;
+
+    void setup(World& world, const Params& params) override;
+    void run(Context& ctx) override;
+    bool verify(std::string& message) override;
+
+    static std::unique_ptr<Benchmark> create();
+
+  private:
+    /** One grid level: interior m x m plus a zero boundary ring. */
+    struct Level
+    {
+        std::size_t interior = 0;
+        std::size_t stride = 0; ///< interior + 2
+        double h = 0.0;         ///< mesh spacing
+        std::vector<double> phi;
+        std::vector<double> rhs;
+        std::vector<double> residual;
+    };
+
+    double&
+    at(std::vector<double>& grid, const Level& level, std::size_t i,
+       std::size_t j) const
+    {
+        return grid[i * level.stride + j];
+    }
+    double
+    at(const std::vector<double>& grid, const Level& level,
+       std::size_t i, std::size_t j) const
+    {
+        return grid[i * level.stride + j];
+    }
+
+    /** Row stripe [lo, hi) of a level's interior for this thread. */
+    void stripe(const Level& level, int tid, int nthreads,
+                std::size_t& lo, std::size_t& hi) const;
+
+    /** One red-black smoothing sweep at a level (both colors). */
+    void smooth(Context& ctx, Level& level);
+
+    /** residual := rhs - A phi at a level (owned stripes). */
+    void computeResidual(Context& ctx, Level& level);
+
+    /** Full-weighting restriction of fine.residual into coarse.rhs. */
+    void restrictResidual(Context& ctx, const Level& fine,
+                          Level& coarse);
+
+    /** Bilinear prolongation of coarse.phi added into fine.phi. */
+    void prolongate(Context& ctx, const Level& coarse, Level& fine);
+
+    /** Recursive V-cycle starting at level l. */
+    void vcycle(Context& ctx, std::size_t l);
+
+    /** Serial L2 residual norm at the finest level. */
+    double residualNorm() const;
+
+    std::size_t interior_ = 128;
+    int maxCycles_ = 40;
+    int preSmooth_ = 2;
+    int postSmooth_ = 2;
+    int coarseSweeps_ = 40;
+    double tolerance_ = 1e-4; ///< relative to the initial residual
+    std::uint64_t seed_ = 1;
+
+    std::vector<Level> levels_;
+    double finalResidual_ = -1.0;  ///< captured by tid 0
+    double initialResidual_ = 0.0; ///< residual of phi == 0
+    double sharedResidual_ = 0.0;  ///< written by tid 0, read at barrier
+    int cyclesUsed_ = 0;           ///< captured by tid 0
+
+    BarrierHandle barrier_;
+    SumHandle residualSum_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_APPS_OCEAN_H

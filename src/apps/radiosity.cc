@@ -1,0 +1,281 @@
+#include "apps/radiosity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace splash {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+RadiosityBenchmark::create()
+{
+    return std::make_unique<RadiosityBenchmark>();
+}
+
+double
+RadiosityBenchmark::kernel(std::size_t i, std::size_t j) const
+{
+    if (i == j)
+        return 0.0;
+    const Patch& a = patches_[i];
+    const Patch& b = patches_[j];
+    const double dx = b.cx - a.cx;
+    const double dy = b.cy - a.cy;
+    const double dz = b.cz - a.cz;
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    const double r = std::sqrt(r2);
+    const double cos_a = (a.nx * dx + a.ny * dy + a.nz * dz) / r;
+    const double cos_b = -(b.nx * dx + b.ny * dy + b.nz * dz) / r;
+    if (cos_a <= 0.0 || cos_b <= 0.0)
+        return 0.0;
+    return kernelScale_ * cos_a * cos_b /
+           (kPi * r2 + 0.5 * (a.area + b.area));
+}
+
+std::string
+RadiosityBenchmark::inputDescription() const
+{
+    return "box interior, 6x" + std::to_string(gridPerFace_) + "x" +
+           std::to_string(gridPerFace_) + " patches (" +
+           std::to_string(patches_.size()) + ")";
+}
+
+void
+RadiosityBenchmark::setup(World& world, const Params& params)
+{
+    gridPerFace_ = static_cast<int>(
+        params.getInt("patches", gridPerFace_));
+    maxRounds_ = static_cast<int>(
+        params.getInt("iterations", maxRounds_));
+    seed_ = static_cast<std::uint64_t>(params.getInt("seed", 1));
+    panicIf(gridPerFace_ < 2 || gridPerFace_ > 32,
+            "radiosity: patches per side out of range");
+
+    Rng rng(seed_);
+    patches_.clear();
+    const int g = gridPerFace_;
+    const double h = 1.0 / g;
+    const double area = h * h;
+
+    // Six faces of the unit box; normals point inward.
+    struct Face
+    {
+        // origin + u*su + v*sv parameterization, inward normal.
+        double ox, oy, oz;
+        double ux, uy, uz;
+        double vx, vy, vz;
+        double nx, ny, nz;
+    };
+    const Face faces[6] = {
+        {0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 1, 0},  // floor (y=0)
+        {0, 1, 0, 1, 0, 0, 0, 0, 1, 0, -1, 0}, // ceiling (y=1)
+        {0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1},  // back (z=0)
+        {0, 0, 1, 1, 0, 0, 0, 1, 0, 0, 0, -1}, // front (z=1)
+        {0, 0, 0, 0, 0, 1, 0, 1, 0, 1, 0, 0},  // left (x=0)
+        {1, 0, 0, 0, 0, 1, 0, 1, 0, -1, 0, 0}, // right (x=1)
+    };
+
+    emittedTotal_ = 0.0;
+    for (int f = 0; f < 6; ++f) {
+        const double reflect = 0.4 + 0.35 * rng.uniform();
+        for (int u = 0; u < g; ++u) {
+            for (int v = 0; v < g; ++v) {
+                Patch p;
+                const double cu = (u + 0.5) * h;
+                const double cv = (v + 0.5) * h;
+                p.cx = faces[f].ox + faces[f].ux * cu + faces[f].vx * cv;
+                p.cy = faces[f].oy + faces[f].uy * cu + faces[f].vy * cv;
+                p.cz = faces[f].oz + faces[f].uz * cu + faces[f].vz * cv;
+                p.nx = faces[f].nx;
+                p.ny = faces[f].ny;
+                p.nz = faces[f].nz;
+                p.area = area;
+                p.reflect = reflect;
+                // A central square of the ceiling is the light.
+                const bool lit = (f == 1) &&
+                                 std::abs(cu - 0.5) < 0.25 &&
+                                 std::abs(cv - 0.5) < 0.25;
+                p.emit = lit ? 1.0 : 0.0;
+                emittedTotal_ += p.emit * p.area;
+                patches_.push_back(p);
+            }
+        }
+    }
+
+    // A global scale keeps every F row sum below one (guarantees
+    // convergence; see header).  The kernel itself is computed on the
+    // fly during shooting.
+    const std::size_t n = patches_.size();
+    kernelScale_ = 1.0;
+    double max_row = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            row += kernel(i, j) * patches_[j].area;
+        max_row = std::max(max_row, row);
+    }
+    if (max_row > 0.9)
+        kernelScale_ = 0.9 / max_row;
+
+    radiosity_.resize(n);
+    unshot_.resize(n);
+    shotThisRound_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        radiosity_[i] = patches_[i].emit;
+        unshot_[i] = patches_[i].emit;
+    }
+    roundsUsed_ = 0;
+    remainingUnshot_ = 0.0;
+    converged_ = false;
+    threshold_ = 1e-4 * std::max(emittedTotal_, 1e-12);
+
+    barrier_ = world.createBarrier();
+    taskQueues_.clear();
+    for (int t = 0; t < world.nthreads(); ++t) {
+        taskQueues_.push_back(
+            world.createStack(static_cast<std::uint32_t>(n + 8)));
+    }
+    received_ = world.createSums(n, 0.0);
+    unshotTotal_ = world.createSum(0.0);
+}
+
+void
+RadiosityBenchmark::run(Context& ctx)
+{
+    const int tid = ctx.tid();
+    const int nthreads = ctx.nthreads();
+    const std::size_t n = patches_.size();
+    const std::size_t chunk = (n + nthreads - 1) / nthreads;
+    const std::size_t lo = std::min(n, chunk * tid);
+    const std::size_t hi = std::min(n, lo + chunk);
+
+    for (int round = 0; round < maxRounds_; ++round) {
+        // Select shooters (single thread; cheap scan), dealing tasks
+        // round-robin onto the per-thread queues.
+        if (tid == 0) {
+            const double task_eps = threshold_ / (4.0 * n);
+            std::size_t dealt = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                shotThisRound_[i] =
+                    unshot_[i] * patches_[i].area > task_eps;
+                if (shotThisRound_[i]) {
+                    ctx.stackPush(taskQueues_[dealt++ % nthreads],
+                                  static_cast<std::uint32_t>(i));
+                }
+            }
+            ctx.work(n / 4 + 1);
+        }
+        ctx.barrier(barrier_);
+
+        // Shoot: drain the own queue first, then steal.  No tasks are
+        // pushed during this phase, so a full empty scan terminates.
+        const auto shoot = [&](std::uint32_t shooter) {
+            const double u = unshot_[shooter];
+            const double ai = patches_[shooter].area;
+            for (std::size_t j = 0; j < n; ++j) {
+                const double k = kernel(shooter, j);
+                if (k <= 0.0)
+                    continue;
+                // F_ji = K_ij * A_i, so dB_j = rho_j * u * K_ij * A_i.
+                ctx.sumAdd(received_[j],
+                           patches_[j].reflect * u * k * ai);
+            }
+            ctx.work(4 * n);
+        };
+        for (int probe = 0; probe < nthreads;) {
+            const int victim = (tid + probe) % nthreads;
+            std::uint32_t shooter;
+            if (ctx.stackPop(taskQueues_[victim], shooter)) {
+                shoot(shooter);
+                probe = 0; // fresh work may remain anywhere
+            } else {
+                ++probe;
+            }
+        }
+        ctx.barrier(barrier_);
+
+        // Fold the received energy; shot patches restart from zero.
+        double local_unshot = 0.0;
+        for (std::size_t j = lo; j < hi; ++j) {
+            const double r = ctx.sumRead(received_[j]);
+            ctx.sumReset(received_[j], 0.0);
+            radiosity_[j] += r;
+            unshot_[j] = (shotThisRound_[j] ? 0.0 : unshot_[j]) + r;
+            local_unshot += unshot_[j] * patches_[j].area;
+        }
+        ctx.work(hi - lo + 1);
+        ctx.sumAdd(unshotTotal_, local_unshot);
+        ctx.barrier(barrier_);
+
+        if (tid == 0) {
+            remainingUnshot_ = ctx.sumRead(unshotTotal_);
+            ctx.sumReset(unshotTotal_, 0.0);
+            roundsUsed_ = round + 1;
+            converged_ = remainingUnshot_ < threshold_;
+        }
+        ctx.barrier(barrier_);
+        if (converged_)
+            break;
+    }
+}
+
+bool
+RadiosityBenchmark::verify(std::string& message)
+{
+    const std::size_t n = patches_.size();
+
+    // Reciprocity holds exactly by construction; spot check anyway.
+    for (std::size_t i = 0; i < n; i += 7) {
+        for (std::size_t j = 0; j < n; j += 11) {
+            const double fij = kernel(i, j) * patches_[j].area;
+            const double fji = kernel(j, i) * patches_[i].area;
+            if (std::abs(patches_[i].area * fij -
+                         patches_[j].area * fji) > 1e-12) {
+                message = "radiosity: reciprocity violated";
+                return false;
+            }
+        }
+    }
+
+    if (!converged_) {
+        message = "radiosity: did not converge in " +
+                  std::to_string(roundsUsed_) + " rounds (unshot " +
+                  std::to_string(remainingUnshot_) + ")";
+        return false;
+    }
+
+    // The progressive solution must satisfy B = E + rho * F B up to
+    // the remaining unshot energy.
+    double max_residual = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        double gather = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            gather += kernel(j, i) * patches_[i].area * radiosity_[i];
+        const double residual =
+            radiosity_[j] - patches_[j].emit -
+            patches_[j].reflect * gather;
+        max_residual = std::max(max_residual, std::abs(residual));
+    }
+    // Residual is bounded by the unshot radiosity still in flight.
+    const double bound =
+        threshold_ * 4.0 / (patches_[0].area) / n + 1e-9;
+    if (max_residual > std::max(1e-3, bound)) {
+        message = "radiosity: fixpoint residual " +
+                  std::to_string(max_residual);
+        return false;
+    }
+    message = "radiosity: converged in " +
+              std::to_string(roundsUsed_) + " rounds, residual " +
+              std::to_string(max_residual);
+    return true;
+}
+
+} // namespace splash

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * RADIOSITY: progressive-refinement radiosity inside a closed box.
+ *
+ * The six interior faces are subdivided into patches; a central
+ * ceiling area emits.  Every round, patches with enough unshot energy
+ * become tasks on per-thread work stacks with stealing (the
+ * original's distributed task queues; Splash-3 realizes each as a
+ * lock-protected stack, Splash-4 as a lock-free Treiber stack -- the
+ * app's defining construct) and workers shoot that energy to every
+ * receiving patch through per-patch shared accumulators.  Rounds
+ * proceed until the total unshot energy drops below threshold.
+ *
+ * Form factors use an analytic disc-to-disc approximation computed on
+ * the fly during shooting, as the original computes its form factors
+ * per interaction (ray-cast visibility is unnecessary in an empty
+ * box).  The kernel is symmetric, so reciprocity holds exactly by
+ * construction.
+ *
+ * Parameters: patches (per face side), seed.
+ */
+
+#ifndef SPLASH_APPS_RADIOSITY_H
+#define SPLASH_APPS_RADIOSITY_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/benchmark.h"
+
+namespace splash {
+
+/** Progressive radiosity benchmark. */
+class RadiosityBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "radiosity"; }
+    std::string description() const override
+    {
+        return "progressive radiosity; shared shooting-task stack";
+    }
+    std::string inputDescription() const override;
+
+    void setup(World& world, const Params& params) override;
+    void run(Context& ctx) override;
+    bool verify(std::string& message) override;
+
+    static std::unique_ptr<Benchmark> create();
+
+  private:
+    struct Patch
+    {
+        double cx, cy, cz;  ///< center
+        double nx, ny, nz;  ///< normal (into the box)
+        double area;
+        double reflect;
+        double emit;
+    };
+
+    /**
+     * Symmetric form-factor kernel, computed on the fly as in the
+     * original (the disc-to-disc estimate is radiosity's per-pair
+     * compute); F_ij = kernel(i, j) * A_j.
+     */
+    double kernel(std::size_t i, std::size_t j) const;
+
+    std::vector<Patch> patches_;
+    double kernelScale_ = 1.0; ///< keeps every F row sum below one
+    std::vector<double> radiosity_;  ///< B, folded per round
+    std::vector<double> unshot_;     ///< U, folded per round
+    std::vector<std::uint8_t> shotThisRound_;
+
+    int gridPerFace_ = 6;
+    int maxRounds_ = 60;
+    double threshold_ = 1e-4;
+    std::uint64_t seed_ = 1;
+    double emittedTotal_ = 0.0;
+    int roundsUsed_ = 0;
+    double remainingUnshot_ = 0.0;
+    bool converged_ = false; ///< written by tid 0 between barriers
+
+    BarrierHandle barrier_;
+    std::vector<StackHandle> taskQueues_; ///< one per thread, stealable
+    std::vector<SumHandle> received_;
+    SumHandle unshotTotal_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_APPS_RADIOSITY_H

@@ -1,0 +1,416 @@
+#include "apps/raytrace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace splash {
+
+namespace {
+
+Vec3
+normalize(const Vec3& v)
+{
+    const double len = std::sqrt(v.norm2());
+    return v * (1.0 / len);
+}
+
+} // namespace
+
+std::unique_ptr<Benchmark>
+RaytraceBenchmark::create()
+{
+    return std::make_unique<RaytraceBenchmark>();
+}
+
+std::string
+RaytraceBenchmark::inputDescription() const
+{
+    return std::to_string(width_) + "x" + std::to_string(height_) +
+           " image, " + std::to_string(numSpheres_) +
+           " spheres, depth 2";
+}
+
+void
+RaytraceBenchmark::setup(World& world, const Params& params)
+{
+    width_ = static_cast<std::size_t>(
+        params.getInt("width", static_cast<std::int64_t>(width_)));
+    height_ = static_cast<std::size_t>(
+        params.getInt("height", static_cast<std::int64_t>(height_)));
+    numSpheres_ = static_cast<int>(
+        params.getInt("spheres", numSpheres_));
+    seed_ = static_cast<std::uint64_t>(params.getInt("seed", 1));
+    panicIf(width_ < kTile || height_ < kTile,
+            "raytrace: image smaller than a tile");
+
+    Rng rng(seed_);
+    spheres_.clear();
+    for (int s = 0; s < numSpheres_; ++s) {
+        Sphere sphere;
+        sphere.center = {rng.uniform(-4.0, 4.0), rng.uniform(-0.5, 2.5),
+                         rng.uniform(-9.0, -4.0)};
+        sphere.radius = rng.uniform(0.25, 0.8);
+        sphere.color = {rng.uniform(0.2, 1.0), rng.uniform(0.2, 1.0),
+                        rng.uniform(0.2, 1.0)};
+        sphere.reflect = rng.uniform(0.0, 0.6);
+        spheres_.push_back(sphere);
+    }
+    light_ = {5.0, 8.0, 0.0};
+    buildGrid();
+    image_.assign(width_ * height_ * 3, 0.0);
+
+    barrier_ = world.createBarrier();
+    tileTicket_ = world.createTicket();
+}
+
+void
+RaytraceBenchmark::testSphere(std::size_t s, const Vec3& origin,
+                              const Vec3& dir, double& best,
+                              int& hit) const
+{
+    const Vec3 oc = origin - spheres_[s].center;
+    const double b = oc.dot(dir);
+    const double c = oc.norm2() -
+                     spheres_[s].radius * spheres_[s].radius;
+    const double disc = b * b - c;
+    if (disc < 0.0)
+        return;
+    const double sq = std::sqrt(disc);
+    double t = -b - sq;
+    if (t < 1e-6)
+        t = -b + sq;
+    if (t > 1e-6 && (best < 0.0 || t < best)) {
+        best = t;
+        hit = static_cast<int>(s);
+    }
+}
+
+void
+RaytraceBenchmark::testPlane(const Vec3& origin, const Vec3& dir,
+                             double& best, int& hit) const
+{
+    if (dir.y < -1e-9) {
+        const double t = (-1.0 - origin.y) / dir.y;
+        if (t > 1e-6 && (best < 0.0 || t < best)) {
+            best = t;
+            hit = static_cast<int>(spheres_.size());
+        }
+    }
+}
+
+double
+RaytraceBenchmark::intersectBrute(const Vec3& origin, const Vec3& dir,
+                                  int& hit, std::uint64_t& tests) const
+{
+    double best = -1.0;
+    hit = -1;
+    for (std::size_t s = 0; s < spheres_.size(); ++s) {
+        ++tests;
+        testSphere(s, origin, dir, best, hit);
+    }
+    ++tests;
+    testPlane(origin, dir, best, hit);
+    return best;
+}
+
+void
+RaytraceBenchmark::buildGrid()
+{
+    // Bounding box of all spheres, padded slightly.
+    gridMin_ = {1e30, 1e30, 1e30};
+    gridMax_ = {-1e30, -1e30, -1e30};
+    for (const auto& s : spheres_) {
+        gridMin_.x = std::min(gridMin_.x, s.center.x - s.radius);
+        gridMin_.y = std::min(gridMin_.y, s.center.y - s.radius);
+        gridMin_.z = std::min(gridMin_.z, s.center.z - s.radius);
+        gridMax_.x = std::max(gridMax_.x, s.center.x + s.radius);
+        gridMax_.y = std::max(gridMax_.y, s.center.y + s.radius);
+        gridMax_.z = std::max(gridMax_.z, s.center.z + s.radius);
+    }
+    const Vec3 pad{1e-3, 1e-3, 1e-3};
+    gridMin_ = gridMin_ - pad;
+    gridMax_ = gridMax_ + pad;
+    cellSize_ = {(gridMax_.x - gridMin_.x) / kGrid,
+                 (gridMax_.y - gridMin_.y) / kGrid,
+                 (gridMax_.z - gridMin_.z) / kGrid};
+
+    gridCells_.assign(kGrid * kGrid * kGrid, {});
+    auto cell_index = [&](double v, double lo, double size) {
+        const int i = static_cast<int>((v - lo) / size);
+        return std::max(0, std::min(kGrid - 1, i));
+    };
+    for (std::size_t s = 0; s < spheres_.size(); ++s) {
+        const auto& sp = spheres_[s];
+        const int x0 = cell_index(sp.center.x - sp.radius, gridMin_.x,
+                                  cellSize_.x);
+        const int x1 = cell_index(sp.center.x + sp.radius, gridMin_.x,
+                                  cellSize_.x);
+        const int y0 = cell_index(sp.center.y - sp.radius, gridMin_.y,
+                                  cellSize_.y);
+        const int y1 = cell_index(sp.center.y + sp.radius, gridMin_.y,
+                                  cellSize_.y);
+        const int z0 = cell_index(sp.center.z - sp.radius, gridMin_.z,
+                                  cellSize_.z);
+        const int z1 = cell_index(sp.center.z + sp.radius, gridMin_.z,
+                                  cellSize_.z);
+        for (int z = z0; z <= z1; ++z)
+            for (int y = y0; y <= y1; ++y)
+                for (int x = x0; x <= x1; ++x)
+                    gridCells_[(z * kGrid + y) * kGrid + x].push_back(
+                        static_cast<std::uint16_t>(s));
+    }
+}
+
+double
+RaytraceBenchmark::intersect(const Vec3& origin, const Vec3& dir,
+                             int& hit, std::uint64_t& tests) const
+{
+    double best = -1.0;
+    hit = -1;
+    ++tests;
+    testPlane(origin, dir, best, hit);
+
+    // Clip the ray against the grid's bounding box.
+    double tmin = 0.0, tmax = 1e30;
+    const double o[3] = {origin.x, origin.y, origin.z};
+    const double d[3] = {dir.x, dir.y, dir.z};
+    const double lo[3] = {gridMin_.x, gridMin_.y, gridMin_.z};
+    const double hi[3] = {gridMax_.x, gridMax_.y, gridMax_.z};
+    for (int axis = 0; axis < 3; ++axis) {
+        const double inv = 1.0 / d[axis];
+        double t0 = (lo[axis] - o[axis]) * inv;
+        double t1 = (hi[axis] - o[axis]) * inv;
+        if (t0 > t1)
+            std::swap(t0, t1);
+        tmin = std::max(tmin, t0);
+        tmax = std::min(tmax, t1);
+    }
+    if (tmin > tmax)
+        return best; // the ray misses every sphere
+
+    // 3D-DDA walk through the cells along the ray.
+    const double start_t = tmin + 1e-9;
+    int cell[3];
+    double t_max[3], t_delta[3];
+    int step[3];
+    const double size[3] = {cellSize_.x, cellSize_.y, cellSize_.z};
+    for (int axis = 0; axis < 3; ++axis) {
+        const double p = o[axis] + d[axis] * start_t;
+        int c = static_cast<int>((p - lo[axis]) / size[axis]);
+        cell[axis] = std::max(0, std::min(kGrid - 1, c));
+        if (d[axis] > 0) {
+            step[axis] = 1;
+            const double boundary =
+                lo[axis] + (cell[axis] + 1) * size[axis];
+            t_max[axis] = (boundary - o[axis]) / d[axis];
+            t_delta[axis] = size[axis] / d[axis];
+        } else if (d[axis] < 0) {
+            step[axis] = -1;
+            const double boundary = lo[axis] + cell[axis] * size[axis];
+            t_max[axis] = (boundary - o[axis]) / d[axis];
+            t_delta[axis] = -size[axis] / d[axis];
+        } else {
+            step[axis] = 0;
+            t_max[axis] = 1e30;
+            t_delta[axis] = 1e30;
+        }
+    }
+
+    for (;;) {
+        const auto& list =
+            gridCells_[(cell[2] * kGrid + cell[1]) * kGrid + cell[0]];
+        for (const std::uint16_t s : list) {
+            ++tests;
+            testSphere(s, origin, dir, best, hit);
+        }
+        const double cell_exit =
+            std::min({t_max[0], t_max[1], t_max[2]});
+        if (best > 0.0 && hit != static_cast<int>(spheres_.size()) &&
+            best <= cell_exit) {
+            break; // confirmed nearest sphere hit inside this cell
+        }
+        if (cell_exit > tmax)
+            break; // left the populated region
+        // Advance to the next cell along the smallest t_max.
+        int axis = 0;
+        if (t_max[1] < t_max[axis])
+            axis = 1;
+        if (t_max[2] < t_max[axis])
+            axis = 2;
+        cell[axis] += step[axis];
+        if (cell[axis] < 0 || cell[axis] >= kGrid)
+            break;
+        t_max[axis] += t_delta[axis];
+    }
+    return best;
+}
+
+Vec3
+RaytraceBenchmark::trace(const Vec3& origin, const Vec3& dir, int depth,
+                         std::uint64_t& tests) const
+{
+    int hit;
+    const double t = intersect(origin, dir, hit, tests);
+    if (hit < 0)
+        return {0.1, 0.1, 0.2}; // sky
+
+    const Vec3 point = origin + dir * t;
+    Vec3 normal;
+    Vec3 base_color;
+    double reflect = 0.0;
+    if (hit == static_cast<int>(spheres_.size())) {
+        normal = {0.0, 1.0, 0.0};
+        const int check = (static_cast<int>(std::floor(point.x)) +
+                           static_cast<int>(std::floor(point.z))) & 1;
+        base_color = check ? Vec3{0.9, 0.9, 0.9} : Vec3{0.2, 0.2, 0.2};
+        reflect = 0.1;
+    } else {
+        const Sphere& s = spheres_[hit];
+        normal = normalize(point - s.center);
+        base_color = s.color;
+        reflect = s.reflect;
+    }
+
+    // Ambient plus diffuse with a hard shadow test.
+    Vec3 color = base_color * 0.15;
+    const Vec3 to_light = normalize(light_ - point);
+    const double facing = normal.dot(to_light);
+    if (facing > 0.0) {
+        int shadow_hit;
+        const Vec3 shadow_origin = point + normal * 1e-4;
+        const double st =
+            intersect(shadow_origin, to_light, shadow_hit, tests);
+        const double light_dist =
+            std::sqrt((light_ - point).norm2());
+        if (st < 0.0 || st > light_dist)
+            color = color + base_color * (0.85 * facing);
+    }
+
+    if (reflect > 0.0 && depth > 0) {
+        const Vec3 rdir =
+            normalize(dir - normal * (2.0 * dir.dot(normal)));
+        const Vec3 rcol =
+            trace(point + normal * 1e-4, rdir, depth - 1, tests);
+        color = color + rcol * reflect;
+    }
+    return color;
+}
+
+void
+RaytraceBenchmark::renderTile(std::uint32_t tile,
+                              std::vector<double>& out,
+                              std::uint64_t& tests) const
+{
+    const std::size_t tiles_x = width_ / kTile;
+    const std::size_t tx = (tile % tiles_x) * kTile;
+    const std::size_t ty = (tile / tiles_x) * kTile;
+    const Vec3 origin{0.0, 1.0, 2.0};
+    for (std::size_t py = ty; py < ty + kTile && py < height_; ++py) {
+        for (std::size_t px = tx; px < tx + kTile && px < width_;
+             ++px) {
+            const double u =
+                (2.0 * (px + 0.5) / width_ - 1.0) *
+                (static_cast<double>(width_) / height_);
+            const double v = 1.0 - 2.0 * (py + 0.5) / height_;
+            const Vec3 dir = normalize({u, v, -1.5});
+            const Vec3 c = trace(origin, dir, 2, tests);
+            const std::size_t base = (py * width_ + px) * 3;
+            out[base + 0] = c.x;
+            out[base + 1] = c.y;
+            out[base + 2] = c.z;
+        }
+    }
+}
+
+void
+RaytraceBenchmark::run(Context& ctx)
+{
+    const std::size_t tiles_x = width_ / kTile;
+    const std::size_t tiles_y = (height_ + kTile - 1) / kTile;
+    const std::uint64_t total_tiles = tiles_x * tiles_y;
+
+    for (;;) {
+        const std::uint64_t tile = ctx.ticketNext(tileTicket_);
+        if (tile >= total_tiles)
+            break;
+        std::uint64_t tests = 0;
+        renderTile(static_cast<std::uint32_t>(tile), image_, tests);
+        ctx.work(tests);
+    }
+    ctx.barrier(barrier_);
+}
+
+bool
+RaytraceBenchmark::selfTestGrid(int rays, std::string& message) const
+{
+    Rng rng(seed_ ^ 0xfeedULL);
+    for (int r = 0; r < rays; ++r) {
+        // Rays from around the camera toward the scene volume, plus
+        // some starting inside the grid (shadow-ray style).
+        const Vec3 origin =
+            (r % 3 == 0)
+                ? Vec3{rng.uniform(-3.0, 3.0), rng.uniform(0.0, 2.0),
+                       rng.uniform(-8.0, -5.0)}
+                : Vec3{rng.uniform(-1.0, 1.0), rng.uniform(0.5, 1.5),
+                       rng.uniform(1.0, 3.0)};
+        Vec3 dir{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0),
+                 rng.uniform(-1.5, -0.2)};
+        const double len = std::sqrt(dir.norm2());
+        dir = dir * (1.0 / len);
+
+        int hit_grid, hit_brute;
+        std::uint64_t tests = 0;
+        const double t_grid = intersect(origin, dir, hit_grid, tests);
+        const double t_brute =
+            intersectBrute(origin, dir, hit_brute, tests);
+        if (hit_grid != hit_brute ||
+            std::abs(t_grid - t_brute) > 1e-9) {
+            message = "raytrace: grid disagrees with brute force on "
+                      "ray " + std::to_string(r);
+            return false;
+        }
+    }
+    message = "grid matches brute force on " + std::to_string(rays) +
+              " rays";
+    return true;
+}
+
+bool
+RaytraceBenchmark::verify(std::string& message)
+{
+    if (!selfTestGrid(128, message))
+        return false;
+    // Serial reference render; the parallel image must match exactly
+    // (pixels are independent, so scheduling cannot change values).
+    std::vector<double> reference(image_.size(), 0.0);
+    const std::size_t tiles_x = width_ / kTile;
+    const std::size_t tiles_y = (height_ + kTile - 1) / kTile;
+    std::uint64_t tests = 0;
+    for (std::uint32_t t = 0; t < tiles_x * tiles_y; ++t)
+        renderTile(t, reference, tests);
+
+    double max_diff = 0.0;
+    double energy = 0.0;
+    for (std::size_t i = 0; i < image_.size(); ++i) {
+        max_diff = std::max(max_diff,
+                            std::abs(image_[i] - reference[i]));
+        energy += image_[i];
+    }
+    if (max_diff > 0.0) {
+        message = "raytrace: image differs from serial reference by " +
+                  std::to_string(max_diff);
+        return false;
+    }
+    if (energy <= 0.0) {
+        message = "raytrace: image is black";
+        return false;
+    }
+    message = "raytrace: image matches serial reference (sum " +
+              std::to_string(energy) + ")";
+    return true;
+}
+
+} // namespace splash

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * RAYTRACE: Whitted-style ray tracer over a procedural sphere scene.
+ *
+ * Pixels are grouped into tiles claimed from a shared work counter --
+ * raytrace's signature construct (Splash-3: lock around the counter,
+ * Splash-4: a single fetch&add).  Shading includes hard shadows and
+ * one reflection bounce; every pixel is independent, so the parallel
+ * image must match a serial reference bit-for-bit.
+ *
+ * Parameters: width, height, spheres, seed.
+ */
+
+#ifndef SPLASH_APPS_RAYTRACE_H
+#define SPLASH_APPS_RAYTRACE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/benchmark.h"
+
+namespace splash {
+
+/** Minimal 3-vector for the renderer apps. */
+struct Vec3
+{
+    double x = 0, y = 0, z = 0;
+
+    Vec3 operator+(const Vec3& o) const { return {x+o.x, y+o.y, z+o.z}; }
+    Vec3 operator-(const Vec3& o) const { return {x-o.x, y-o.y, z-o.z}; }
+    Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    Vec3 mul(const Vec3& o) const { return {x*o.x, y*o.y, z*o.z}; }
+    double dot(const Vec3& o) const { return x*o.x + y*o.y + z*o.z; }
+    double norm2() const { return dot(*this); }
+};
+
+/** Whitted ray tracer benchmark. */
+class RaytraceBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "raytrace"; }
+    std::string description() const override
+    {
+        return "Whitted ray tracer; tile queue via shared counter";
+    }
+    std::string inputDescription() const override;
+
+    void setup(World& world, const Params& params) override;
+    void run(Context& ctx) override;
+    bool verify(std::string& message) override;
+
+    static std::unique_ptr<Benchmark> create();
+
+    /**
+     * Check the grid intersector against the brute-force reference on
+     * @p rays deterministic random rays; used by verify() and tests.
+     */
+    bool selfTestGrid(int rays, std::string& message) const;
+
+  private:
+    struct Sphere
+    {
+        Vec3 center;
+        double radius = 1.0;
+        Vec3 color;
+        double reflect = 0.0;
+    };
+
+    /** Trace one ray; bumps @p tests per intersection test. */
+    Vec3 trace(const Vec3& origin, const Vec3& dir, int depth,
+               std::uint64_t& tests) const;
+
+    /** Nearest hit along the ray; returns t or a negative value. */
+    double intersect(const Vec3& origin, const Vec3& dir, int& hit,
+                     std::uint64_t& tests) const;
+
+    /** Brute-force reference intersector (tests every sphere). */
+    double intersectBrute(const Vec3& origin, const Vec3& dir,
+                          int& hit, std::uint64_t& tests) const;
+
+    /** Test one sphere; updates best/hit if closer. */
+    void testSphere(std::size_t s, const Vec3& origin,
+                    const Vec3& dir, double& best, int& hit) const;
+
+    /** Test the ground plane; updates best/hit if closer. */
+    void testPlane(const Vec3& origin, const Vec3& dir, double& best,
+                   int& hit) const;
+
+    /** Build the uniform acceleration grid over the spheres. */
+    void buildGrid();
+
+    void renderTile(std::uint32_t tile, std::vector<double>& out,
+                    std::uint64_t& tests) const;
+
+    std::size_t width_ = 128;
+    std::size_t height_ = 128;
+    int numSpheres_ = 32;
+    std::uint64_t seed_ = 1;
+    static constexpr std::size_t kTile = 16;
+
+    std::vector<Sphere> spheres_;
+    Vec3 light_;
+    std::vector<double> image_; ///< rgb triples, parallel render
+
+    /**
+     * Uniform acceleration grid (the original raytrace's hierarchical
+     * uniform grid, one level): per-cell sphere lists traversed with a
+     * 3D-DDA walk.
+     */
+    static constexpr int kGrid = 8;
+    Vec3 gridMin_, gridMax_;
+    Vec3 cellSize_;
+    std::vector<std::vector<std::uint16_t>> gridCells_;
+
+    BarrierHandle barrier_;
+    TicketHandle tileTicket_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_APPS_RAYTRACE_H

@@ -1,0 +1,268 @@
+#include "apps/volrend.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace splash {
+
+std::unique_ptr<Benchmark>
+VolrendBenchmark::create()
+{
+    return std::make_unique<VolrendBenchmark>();
+}
+
+std::string
+VolrendBenchmark::inputDescription() const
+{
+    return std::to_string(volumeSide_) + "^3 volume, " +
+           std::to_string(width_) + "x" + std::to_string(height_) +
+           " image";
+}
+
+void
+VolrendBenchmark::setup(World& world, const Params& params)
+{
+    volumeSide_ = static_cast<std::size_t>(
+        params.getInt("volume", static_cast<std::int64_t>(volumeSide_)));
+    width_ = static_cast<std::size_t>(
+        params.getInt("width", static_cast<std::int64_t>(width_)));
+    height_ = static_cast<std::size_t>(
+        params.getInt("height", static_cast<std::int64_t>(height_)));
+    seed_ = static_cast<std::uint64_t>(params.getInt("seed", 1));
+    panicIf(volumeSide_ < 8, "volrend: volume too small");
+    panicIf(width_ < kTile || height_ < kTile,
+            "volrend: image smaller than a tile");
+
+    // Density: a handful of gaussian blobs inside the unit cube.
+    Rng rng(seed_);
+    struct Blob
+    {
+        double cx, cy, cz, amp, width;
+    };
+    std::vector<Blob> blobs;
+    for (int b = 0; b < 5; ++b) {
+        blobs.push_back({rng.uniform(0.25, 0.75),
+                         rng.uniform(0.25, 0.75),
+                         rng.uniform(0.25, 0.75),
+                         rng.uniform(0.6, 1.2),
+                         rng.uniform(0.08, 0.2)});
+    }
+    const std::size_t n = volumeSide_;
+    volume_.assign(n * n * n, 0.0f);
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const double x = (i + 0.5) / n;
+                const double y = (j + 0.5) / n;
+                const double z = (k + 0.5) / n;
+                double d = 0.0;
+                for (const auto& blob : blobs) {
+                    const double r2 =
+                        (x - blob.cx) * (x - blob.cx) +
+                        (y - blob.cy) * (y - blob.cy) +
+                        (z - blob.cz) * (z - blob.cz);
+                    d += blob.amp *
+                         std::exp(-r2 / (blob.width * blob.width));
+                }
+                volume_[(k * n + j) * n + i] =
+                    static_cast<float>(d);
+            }
+        }
+    }
+    buildMacroCells();
+    image_.assign(width_ * height_, 0.0);
+
+    barrier_ = world.createBarrier();
+    tileTicket_ = world.createTicket();
+}
+
+double
+VolrendBenchmark::sample(double x, double y, double z) const
+{
+    const std::size_t n = volumeSide_;
+    const double gx = x * n - 0.5;
+    const double gy = y * n - 0.5;
+    const double gz = z * n - 0.5;
+    const auto clampi = [&](double v) {
+        return std::min(static_cast<double>(n - 2),
+                        std::max(0.0, v));
+    };
+    const double cx = clampi(gx), cy = clampi(gy), cz = clampi(gz);
+    const std::size_t i0 = static_cast<std::size_t>(cx);
+    const std::size_t j0 = static_cast<std::size_t>(cy);
+    const std::size_t k0 = static_cast<std::size_t>(cz);
+    const double fx = cx - i0, fy = cy - j0, fz = cz - k0;
+
+    auto v = [&](std::size_t i, std::size_t j, std::size_t k) {
+        return static_cast<double>(volume_[(k * n + j) * n + i]);
+    };
+    const double c00 = v(i0, j0, k0) * (1 - fx) + v(i0+1, j0, k0) * fx;
+    const double c10 = v(i0, j0+1, k0) * (1 - fx) + v(i0+1, j0+1, k0)*fx;
+    const double c01 = v(i0, j0, k0+1) * (1 - fx) + v(i0+1, j0, k0+1)*fx;
+    const double c11 =
+        v(i0, j0+1, k0+1) * (1 - fx) + v(i0+1, j0+1, k0+1) * fx;
+    const double c0 = c00 * (1 - fy) + c10 * fy;
+    const double c1 = c01 * (1 - fy) + c11 * fy;
+    return c0 * (1 - fz) + c1 * fz;
+}
+
+void
+VolrendBenchmark::buildMacroCells()
+{
+    const std::size_t n = volumeSide_;
+    macroMax_.assign(kMacro * kMacro * kMacro, 0.0f);
+    const double scale = static_cast<double>(kMacro) / n;
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t j = 0; j < n; ++j) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const float v = volume_[(k * n + j) * n + i];
+                // A voxel influences samples up to one voxel away
+                // (trilinear support), so spread it into every macro
+                // cell its neighborhood touches.
+                for (int dk = -1; dk <= 1; ++dk) {
+                    for (int dj = -1; dj <= 1; ++dj) {
+                        for (int di = -1; di <= 1; ++di) {
+                            const auto mi = static_cast<std::size_t>(
+                                std::clamp<double>(
+                                    (static_cast<double>(i) + di) *
+                                        scale,
+                                    0.0, kMacro - 1));
+                            const auto mj = static_cast<std::size_t>(
+                                std::clamp<double>(
+                                    (static_cast<double>(j) + dj) *
+                                        scale,
+                                    0.0, kMacro - 1));
+                            const auto mk = static_cast<std::size_t>(
+                                std::clamp<double>(
+                                    (static_cast<double>(k) + dk) *
+                                        scale,
+                                    0.0, kMacro - 1));
+                            auto& slot =
+                                macroMax_[(mk * kMacro + mj) * kMacro +
+                                          mi];
+                            slot = std::max(slot, v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+bool
+VolrendBenchmark::macroTransparent(double x, double y, double z) const
+{
+    auto idx = [&](double v) {
+        const auto i = static_cast<std::size_t>(v * kMacro);
+        return std::min(i, kMacro - 1);
+    };
+    return macroMax_[(idx(z) * kMacro + idx(y)) * kMacro + idx(x)] <
+           kDensityFloor;
+}
+
+double
+VolrendBenchmark::renderPixel(std::size_t px, std::size_t py,
+                              std::uint64_t& steps,
+                              bool skipping) const
+{
+    const double x = (px + 0.5) / width_;
+    const double y = (py + 0.5) / height_;
+    const double dz = 1.0 / (2.0 * volumeSide_);
+    double intensity = 0.0;
+    double transparency = 1.0;
+    for (double z = 0.0; z < 1.0; z += dz) {
+        // Space leaping: a transparent macro cell cannot contribute
+        // (its max density is below the transfer-function floor), so
+        // the sample is skipped without changing the compositing.
+        if (skipping && macroTransparent(x, y, z))
+            continue;
+        ++steps;
+        const double density = sample(x, y, z);
+        const double alpha = alphaOf(density);
+        intensity += transparency * alpha * density;
+        transparency *= (1.0 - alpha);
+        if (transparency < 0.02)
+            break; // early ray termination
+    }
+    return intensity;
+}
+
+void
+VolrendBenchmark::renderTile(std::uint32_t tile,
+                             std::vector<double>& out,
+                             std::uint64_t& steps) const
+{
+    const std::size_t tiles_x = width_ / kTile;
+    const std::size_t tx = (tile % tiles_x) * kTile;
+    const std::size_t ty = (tile / tiles_x) * kTile;
+    for (std::size_t py = ty; py < ty + kTile && py < height_; ++py)
+        for (std::size_t px = tx; px < tx + kTile && px < width_; ++px)
+            out[py * width_ + px] = renderPixel(px, py, steps);
+}
+
+void
+VolrendBenchmark::run(Context& ctx)
+{
+    const std::size_t tiles_x = width_ / kTile;
+    const std::size_t tiles_y = (height_ + kTile - 1) / kTile;
+    const std::uint64_t total_tiles = tiles_x * tiles_y;
+
+    for (;;) {
+        const std::uint64_t tile = ctx.ticketNext(tileTicket_);
+        if (tile >= total_tiles)
+            break;
+        std::uint64_t steps = 0;
+        renderTile(static_cast<std::uint32_t>(tile), image_, steps);
+        ctx.work(steps);
+    }
+    ctx.barrier(barrier_);
+}
+
+bool
+VolrendBenchmark::verify(std::string& message)
+{
+    // Space leaping must be invisible: spot-check rays with and
+    // without the macro-cell skip.
+    for (std::size_t px = 0; px < width_; px += 7) {
+        std::uint64_t steps = 0;
+        const double fast = renderPixel(px, height_ / 2, steps, true);
+        const double slow = renderPixel(px, height_ / 2, steps, false);
+        if (fast != slow) {
+            message = "volrend: macro-cell skipping changed pixel " +
+                      std::to_string(px);
+            return false;
+        }
+    }
+
+    std::vector<double> reference(image_.size(), 0.0);
+    const std::size_t tiles_x = width_ / kTile;
+    const std::size_t tiles_y = (height_ + kTile - 1) / kTile;
+    std::uint64_t steps = 0;
+    for (std::uint32_t t = 0; t < tiles_x * tiles_y; ++t)
+        renderTile(t, reference, steps);
+
+    double max_diff = 0.0;
+    double energy = 0.0;
+    for (std::size_t i = 0; i < image_.size(); ++i) {
+        max_diff = std::max(max_diff,
+                            std::abs(image_[i] - reference[i]));
+        energy += image_[i];
+    }
+    if (max_diff > 0.0) {
+        message = "volrend: image differs from serial reference by " +
+                  std::to_string(max_diff);
+        return false;
+    }
+    if (energy <= 0.0) {
+        message = "volrend: image is black";
+        return false;
+    }
+    message = "volrend: image matches serial reference (sum " +
+              std::to_string(energy) + ")";
+    return true;
+}
+
+} // namespace splash

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * VOLREND: ray-cast volume rendering of a procedural density field.
+ *
+ * Orthographic rays step through an N^3 scalar volume with trilinear
+ * interpolation and front-to-back alpha compositing with early ray
+ * termination.  Image tiles are claimed from a shared counter, the
+ * same construct swap as raytrace (volrend's Splash-3 hot spot is the
+ * lock around its ray/tile queue).
+ *
+ * Parameters: volume (N per side), width/height (image), seed.
+ */
+
+#ifndef SPLASH_APPS_VOLREND_H
+#define SPLASH_APPS_VOLREND_H
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/benchmark.h"
+
+namespace splash {
+
+/** Volume renderer benchmark. */
+class VolrendBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "volrend"; }
+    std::string description() const override
+    {
+        return "ray-cast volume renderer; tile queue via counter";
+    }
+    std::string inputDescription() const override;
+
+    void setup(World& world, const Params& params) override;
+    void run(Context& ctx) override;
+    bool verify(std::string& message) override;
+
+    static std::unique_ptr<Benchmark> create();
+
+  private:
+    double sample(double x, double y, double z) const;
+    double renderPixel(std::size_t px, std::size_t py,
+                       std::uint64_t& steps,
+                       bool skipping = true) const;
+    void renderTile(std::uint32_t tile, std::vector<double>& out,
+                    std::uint64_t& steps) const;
+
+    /** Opacity transfer function (thresholded, enabling skipping). */
+    static double
+    alphaOf(double density)
+    {
+        if (density < kDensityFloor)
+            return 0.0;
+        return std::min(1.0, density * 0.08);
+    }
+
+    /** Build the macro-cell max-density grid for space leaping. */
+    void buildMacroCells();
+
+    /** True when the macro cell containing (x,y,z) is transparent. */
+    bool macroTransparent(double x, double y, double z) const;
+
+    static constexpr double kDensityFloor = 0.01;
+    static constexpr std::size_t kMacro = 8; ///< macro cells per side
+
+    std::size_t volumeSide_ = 48;
+    std::size_t width_ = 128;
+    std::size_t height_ = 128;
+    std::uint64_t seed_ = 1;
+    static constexpr std::size_t kTile = 16;
+
+    std::vector<float> volume_;
+    std::vector<float> macroMax_; ///< per-macro-cell max density
+    std::vector<double> image_;   ///< grayscale intensities
+
+    BarrierHandle barrier_;
+    TicketHandle tileTicket_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_APPS_VOLREND_H

@@ -1,0 +1,215 @@
+#include "apps/water_nsquared.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace splash {
+
+std::unique_ptr<Benchmark>
+WaterNsquaredBenchmark::create()
+{
+    return std::make_unique<WaterNsquaredBenchmark>();
+}
+
+std::string
+WaterNsquaredBenchmark::inputDescription() const
+{
+    return std::to_string(numMolecules_) + " molecules, " +
+           std::to_string(steps_) + " steps, box " +
+           std::to_string(box_);
+}
+
+void
+WaterNsquaredBenchmark::setup(World& world, const Params& params)
+{
+    numMolecules_ = static_cast<std::size_t>(params.getInt(
+        "molecules", static_cast<std::int64_t>(numMolecules_)));
+    steps_ = static_cast<int>(params.getInt("steps", steps_));
+    seed_ = static_cast<std::uint64_t>(params.getInt("seed", 1));
+    panicIf(numMolecules_ < 8, "water-nsquared: too few molecules");
+
+    const double density = 0.6;
+    box_ = std::cbrt(static_cast<double>(numMolecules_) / density);
+    const double cutoff = std::min(2.5, 0.5 * box_ - 1e-9);
+    cutoff2_ = cutoff * cutoff;
+
+    Rng rng(seed_);
+    state_ = initLattice(numMolecules_, box_, rng);
+    fx_.assign(numMolecules_, 0.0);
+    fy_.assign(numMolecules_, 0.0);
+    fz_.assign(numMolecules_, 0.0);
+
+    barrier_ = world.createBarrier();
+    force_ = world.createSums(3 * numMolecules_, 0.0);
+    kinetic_ = world.createSum(0.0);
+    potential_ = world.createSum(0.0);
+}
+
+void
+WaterNsquaredBenchmark::run(Context& ctx)
+{
+    const int tid = ctx.tid();
+    const int nthreads = ctx.nthreads();
+    const std::size_t n = numMolecules_;
+    const std::size_t chunk = (n + nthreads - 1) / nthreads;
+    const std::size_t lo = std::min(n, chunk * tid);
+    const std::size_t hi = std::min(n, lo + chunk);
+
+    // Pair forces: cyclic half-matrix so each unordered pair is
+    // computed exactly once, by the owner of its lower index side.
+    const auto force_phase = [&] {
+        double local_pot = 0.0;
+        std::uint64_t pair_work = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t half = n / 2;
+            for (std::size_t k = 1; k <= half; ++k) {
+                const std::size_t j = (i + k) % n;
+                if (2 * k == n && i > j)
+                    continue; // even n: the diameter pair only once
+                ++pair_work;
+                const double dx =
+                    minImage(state_.px[i] - state_.px[j], box_);
+                const double dy =
+                    minImage(state_.py[i] - state_.py[j], box_);
+                const double dz =
+                    minImage(state_.pz[i] - state_.pz[j], box_);
+                double fx, fy, fz;
+                local_pot +=
+                    ljPair(dx, dy, dz, cutoff2_, fx, fy, fz);
+                if (fx != 0.0 || fy != 0.0 || fz != 0.0) {
+                    ctx.sumAdd(force_[3 * i + 0], fx);
+                    ctx.sumAdd(force_[3 * i + 1], fy);
+                    ctx.sumAdd(force_[3 * i + 2], fz);
+                    ctx.sumAdd(force_[3 * j + 0], -fx);
+                    ctx.sumAdd(force_[3 * j + 1], -fy);
+                    ctx.sumAdd(force_[3 * j + 2], -fz);
+                }
+            }
+        }
+        ctx.work(pair_work * 2 + 1);
+        ctx.sumAdd(potential_, local_pot);
+        ctx.barrier(barrier_);
+    };
+
+    // Drain the shared accumulators into the owned force slots.
+    const auto fold_forces = [&] {
+        for (std::size_t i = lo; i < hi; ++i) {
+            fx_[i] = ctx.sumRead(force_[3 * i + 0]);
+            fy_[i] = ctx.sumRead(force_[3 * i + 1]);
+            fz_[i] = ctx.sumRead(force_[3 * i + 2]);
+            ctx.sumReset(force_[3 * i + 0], 0.0);
+            ctx.sumReset(force_[3 * i + 1], 0.0);
+            ctx.sumReset(force_[3 * i + 2], 0.0);
+        }
+        ctx.work(hi - lo + 1);
+    };
+
+    const auto local_kinetic = [&] {
+        double kin = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+            kin += 0.5 * (state_.vx[i] * state_.vx[i] +
+                          state_.vy[i] * state_.vy[i] +
+                          state_.vz[i] * state_.vz[i]);
+        }
+        return kin;
+    };
+
+    // Velocity Verlet: forces at t = 0, then per step a half-kick,
+    // drift, force recomputation, and the closing half-kick.
+    force_phase();
+    fold_forces();
+    ctx.sumAdd(kinetic_, local_kinetic());
+    ctx.barrier(barrier_);
+    if (tid == 0) {
+        firstEnergy_ =
+            ctx.sumRead(kinetic_) + ctx.sumRead(potential_);
+        ctx.sumReset(kinetic_, 0.0);
+        ctx.sumReset(potential_, 0.0);
+    }
+    ctx.barrier(barrier_);
+
+    for (int step = 0; step < steps_; ++step) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            state_.vx[i] += 0.5 * dt_ * fx_[i];
+            state_.vy[i] += 0.5 * dt_ * fy_[i];
+            state_.vz[i] += 0.5 * dt_ * fz_[i];
+            state_.px[i] = wrapCoord(state_.px[i] + dt_ * state_.vx[i],
+                                     box_);
+            state_.py[i] = wrapCoord(state_.py[i] + dt_ * state_.vy[i],
+                                     box_);
+            state_.pz[i] = wrapCoord(state_.pz[i] + dt_ * state_.vz[i],
+                                     box_);
+        }
+        ctx.work(hi - lo + 1);
+        ctx.barrier(barrier_);
+
+        force_phase();
+        fold_forces();
+
+        for (std::size_t i = lo; i < hi; ++i) {
+            state_.vx[i] += 0.5 * dt_ * fx_[i];
+            state_.vy[i] += 0.5 * dt_ * fy_[i];
+            state_.vz[i] += 0.5 * dt_ * fz_[i];
+        }
+        ctx.work(hi - lo + 1);
+        ctx.sumAdd(kinetic_, local_kinetic());
+        ctx.barrier(barrier_);
+
+        if (tid == 0) {
+            lastKinetic_ = ctx.sumRead(kinetic_);
+            lastPotential_ = ctx.sumRead(potential_);
+            lastEnergy_ = lastKinetic_ + lastPotential_;
+            ctx.sumReset(kinetic_, 0.0);
+            ctx.sumReset(potential_, 0.0);
+        }
+        ctx.barrier(barrier_);
+    }
+}
+
+bool
+WaterNsquaredBenchmark::verify(std::string& message)
+{
+    double mx = 0, my = 0, mz = 0;
+    for (std::size_t i = 0; i < numMolecules_; ++i) {
+        mx += state_.vx[i];
+        my += state_.vy[i];
+        mz += state_.vz[i];
+        if (state_.px[i] < 0 || state_.px[i] >= box_ ||
+            state_.py[i] < 0 || state_.py[i] >= box_ ||
+            state_.pz[i] < 0 || state_.pz[i] >= box_) {
+            message = "water-nsquared: molecule escaped the box";
+            return false;
+        }
+    }
+    const double drift =
+        std::sqrt(mx * mx + my * my + mz * mz) / numMolecules_;
+    if (drift > 1e-9) {
+        message = "water-nsquared: momentum drift " +
+                  std::to_string(drift);
+        return false;
+    }
+    if (!std::isfinite(lastKinetic_) || !std::isfinite(lastPotential_) ||
+        lastKinetic_ <= 0.0) {
+        message = "water-nsquared: unphysical energies";
+        return false;
+    }
+    // Velocity Verlet is symplectic: total energy must be conserved
+    // up to the cutoff discontinuity over these few steps.
+    const double energy_drift = std::abs(lastEnergy_ - firstEnergy_);
+    if (steps_ > 0 &&
+        energy_drift > 0.05 * std::abs(firstEnergy_) + 0.5) {
+        message = "water-nsquared: energy drifted from " +
+                  std::to_string(firstEnergy_) + " to " +
+                  std::to_string(lastEnergy_);
+        return false;
+    }
+    message = "water-nsquared: momentum conserved (drift " +
+              std::to_string(drift) + "), energy " +
+              std::to_string(firstEnergy_) + " -> " +
+              std::to_string(lastEnergy_);
+    return true;
+}
+
+} // namespace splash

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * WATER-NSQUARED: O(n^2) molecular dynamics of a small liquid box.
+ *
+ * Every step computes all pair interactions within the cutoff using
+ * the original's cyclic half-matrix decomposition; force contributions
+ * to the partner molecule land in shared per-molecule accumulators --
+ * the per-molecule locks of Splash-3 versus the atomic CAS adds of
+ * Splash-4, the app's defining transformation.  Global kinetic and
+ * potential energies are reduced through shared sums each step.
+ *
+ * Parameters: molecules, steps, seed.
+ */
+
+#ifndef SPLASH_APPS_WATER_NSQUARED_H
+#define SPLASH_APPS_WATER_NSQUARED_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "apps/md_common.h"
+
+namespace splash {
+
+/** O(n^2) water MD benchmark. */
+class WaterNsquaredBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "water-nsquared"; }
+    std::string description() const override
+    {
+        return "O(n^2) MD; per-molecule force accumulators + energy "
+               "reductions";
+    }
+    std::string inputDescription() const override;
+
+    void setup(World& world, const Params& params) override;
+    void run(Context& ctx) override;
+    bool verify(std::string& message) override;
+
+    static std::unique_ptr<Benchmark> create();
+
+  private:
+    std::size_t numMolecules_ = 216;
+    int steps_ = 3;
+    double dt_ = 0.004;
+    double box_ = 1.0;
+    double cutoff2_ = 6.25;
+    std::uint64_t seed_ = 1;
+
+    MdState state_;
+    std::vector<double> fx_, fy_, fz_; ///< folded forces (velocity
+                                       ///< Verlet needs both half-kicks)
+    double firstEnergy_ = 0.0; ///< E at t=0, captured by tid 0
+    double lastEnergy_ = 0.0;
+    double lastKinetic_ = 0.0;
+    double lastPotential_ = 0.0;
+
+    BarrierHandle barrier_;
+    std::vector<SumHandle> force_; ///< 3 per molecule (x, y, z)
+    SumHandle kinetic_;
+    SumHandle potential_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_APPS_WATER_NSQUARED_H

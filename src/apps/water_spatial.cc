@@ -1,0 +1,290 @@
+#include "apps/water_spatial.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace splash {
+
+std::unique_ptr<Benchmark>
+WaterSpatialBenchmark::create()
+{
+    return std::make_unique<WaterSpatialBenchmark>();
+}
+
+std::string
+WaterSpatialBenchmark::inputDescription() const
+{
+    return std::to_string(numMolecules_) + " molecules, " +
+           std::to_string(steps_) + " steps, " +
+           std::to_string(cellsPerSide_) + "^3 cells";
+}
+
+void
+WaterSpatialBenchmark::setup(World& world, const Params& params)
+{
+    numMolecules_ = static_cast<std::size_t>(params.getInt(
+        "molecules", static_cast<std::int64_t>(numMolecules_)));
+    steps_ = static_cast<int>(params.getInt("steps", steps_));
+    seed_ = static_cast<std::uint64_t>(params.getInt("seed", 1));
+    panicIf(numMolecules_ < 27, "water-spatial: too few molecules");
+
+    const double density = 0.6;
+    box_ = std::cbrt(static_cast<double>(numMolecules_) / density);
+    // Cell side must be >= cutoff; keep at least 3 cells per side so
+    // the 27-neighborhood covers all interacting pairs.
+    const double cutoff = std::min(2.5, box_ / 3.0);
+    cutoff2_ = cutoff * cutoff;
+    cellsPerSide_ = static_cast<std::size_t>(box_ / cutoff);
+    cellsPerSide_ = std::max<std::size_t>(3, cellsPerSide_);
+
+    Rng rng(seed_);
+    state_ = initLattice(numMolecules_, box_, rng);
+    fx_.assign(numMolecules_, 0.0);
+    fy_.assign(numMolecules_, 0.0);
+    fz_.assign(numMolecules_, 0.0);
+
+    const std::size_t num_cells =
+        cellsPerSide_ * cellsPerSide_ * cellsPerSide_;
+    cellHead_.assign(num_cells, -1);
+    nextInCell_.assign(numMolecules_, -1);
+    pairsEvaluated_ = 0;
+
+    barrier_ = world.createBarrier();
+    cellLocks_ = world.createLocks(num_cells, LockKind::Auto);
+    force_ = world.createSums(3 * numMolecules_, 0.0);
+    kinetic_ = world.createSum(0.0);
+    potential_ = world.createSum(0.0);
+    pairCount_ = world.createSum(0.0);
+}
+
+std::size_t
+WaterSpatialBenchmark::cellOf(std::size_t i) const
+{
+    const double cell = box_ / static_cast<double>(cellsPerSide_);
+    auto idx = [&](double x) {
+        auto v = static_cast<std::size_t>(x / cell);
+        return std::min(v, cellsPerSide_ - 1);
+    };
+    return (idx(state_.pz[i]) * cellsPerSide_ + idx(state_.py[i])) *
+               cellsPerSide_ +
+           idx(state_.px[i]);
+}
+
+void
+WaterSpatialBenchmark::run(Context& ctx)
+{
+    const int tid = ctx.tid();
+    const int nthreads = ctx.nthreads();
+    const std::size_t n = numMolecules_;
+    const std::size_t chunk = (n + nthreads - 1) / nthreads;
+    const std::size_t lo = std::min(n, chunk * tid);
+    const std::size_t hi = std::min(n, lo + chunk);
+    const std::size_t nc = cellsPerSide_;
+
+    // Distinct neighbor cells of a cell (deduped when nc is small).
+    auto neighbor_cells = [&](std::size_t c,
+                              std::size_t out[27]) -> int {
+        const std::size_t cx = c % nc;
+        const std::size_t cy = (c / nc) % nc;
+        const std::size_t cz = c / (nc * nc);
+        int count = 0;
+        for (int dz = -1; dz <= 1; ++dz) {
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    const std::size_t x = (cx + nc + dx) % nc;
+                    const std::size_t y = (cy + nc + dy) % nc;
+                    const std::size_t z = (cz + nc + dz) % nc;
+                    const std::size_t cell = (z * nc + y) * nc + x;
+                    bool seen = false;
+                    for (int k = 0; k < count; ++k)
+                        seen = seen || out[k] == cell;
+                    if (!seen)
+                        out[count++] = cell;
+                }
+            }
+        }
+        return count;
+    };
+
+    // Rebuild the cell lists and accumulate forces from the 27-cell
+    // neighborhood, each pair exactly once (j > i).
+    const auto force_phase = [&] {
+        if (tid == 0)
+            std::fill(cellHead_.begin(), cellHead_.end(), -1);
+        ctx.barrier(barrier_);
+        for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t c = cellOf(i);
+            ctx.lockAcquire(cellLocks_[c]);
+            nextInCell_[i] = cellHead_[c];
+            cellHead_[c] = static_cast<std::int32_t>(i);
+            ctx.lockRelease(cellLocks_[c]);
+        }
+        ctx.work(hi - lo + 1);
+        ctx.barrier(barrier_);
+
+        double local_pot = 0.0;
+        std::uint64_t pair_work = 0;
+        std::size_t neighbors[27];
+        for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t c = cellOf(i);
+            const int num_neighbors = neighbor_cells(c, neighbors);
+            for (int nb = 0; nb < num_neighbors; ++nb) {
+                for (std::int32_t j = cellHead_[neighbors[nb]]; j >= 0;
+                     j = nextInCell_[j]) {
+                    if (static_cast<std::size_t>(j) <= i)
+                        continue;
+                    ++pair_work;
+                    const double dx =
+                        minImage(state_.px[i] - state_.px[j], box_);
+                    const double dy =
+                        minImage(state_.py[i] - state_.py[j], box_);
+                    const double dz =
+                        minImage(state_.pz[i] - state_.pz[j], box_);
+                    double fx, fy, fz;
+                    local_pot +=
+                        ljPair(dx, dy, dz, cutoff2_, fx, fy, fz);
+                    if (fx != 0.0 || fy != 0.0 || fz != 0.0) {
+                        ctx.sumAdd(force_[3 * i + 0], fx);
+                        ctx.sumAdd(force_[3 * i + 1], fy);
+                        ctx.sumAdd(force_[3 * i + 2], fz);
+                        ctx.sumAdd(force_[3 * j + 0], -fx);
+                        ctx.sumAdd(force_[3 * j + 1], -fy);
+                        ctx.sumAdd(force_[3 * j + 2], -fz);
+                    }
+                }
+            }
+        }
+        ctx.work(pair_work * 2 + 1);
+        ctx.sumAdd(potential_, local_pot);
+        ctx.sumAdd(pairCount_, static_cast<double>(pair_work));
+        ctx.barrier(barrier_);
+    };
+
+    const auto fold_forces = [&] {
+        for (std::size_t i = lo; i < hi; ++i) {
+            fx_[i] = ctx.sumRead(force_[3 * i + 0]);
+            fy_[i] = ctx.sumRead(force_[3 * i + 1]);
+            fz_[i] = ctx.sumRead(force_[3 * i + 2]);
+            ctx.sumReset(force_[3 * i + 0], 0.0);
+            ctx.sumReset(force_[3 * i + 1], 0.0);
+            ctx.sumReset(force_[3 * i + 2], 0.0);
+        }
+        ctx.work(hi - lo + 1);
+    };
+
+    const auto local_kinetic = [&] {
+        double kin = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+            kin += 0.5 * (state_.vx[i] * state_.vx[i] +
+                          state_.vy[i] * state_.vy[i] +
+                          state_.vz[i] * state_.vz[i]);
+        }
+        return kin;
+    };
+
+    // Velocity Verlet (see water-nsquared).
+    force_phase();
+    fold_forces();
+    ctx.sumAdd(kinetic_, local_kinetic());
+    ctx.barrier(barrier_);
+    if (tid == 0) {
+        firstEnergy_ = ctx.sumRead(kinetic_) + ctx.sumRead(potential_);
+        pairsEvaluated_ += static_cast<std::uint64_t>(
+            ctx.sumRead(pairCount_));
+        ctx.sumReset(kinetic_, 0.0);
+        ctx.sumReset(potential_, 0.0);
+        ctx.sumReset(pairCount_, 0.0);
+    }
+    ctx.barrier(barrier_);
+
+    for (int step = 0; step < steps_; ++step) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            state_.vx[i] += 0.5 * dt_ * fx_[i];
+            state_.vy[i] += 0.5 * dt_ * fy_[i];
+            state_.vz[i] += 0.5 * dt_ * fz_[i];
+            state_.px[i] = wrapCoord(state_.px[i] + dt_ * state_.vx[i],
+                                     box_);
+            state_.py[i] = wrapCoord(state_.py[i] + dt_ * state_.vy[i],
+                                     box_);
+            state_.pz[i] = wrapCoord(state_.pz[i] + dt_ * state_.vz[i],
+                                     box_);
+        }
+        ctx.work(hi - lo + 1);
+        ctx.barrier(barrier_);
+
+        force_phase();
+        fold_forces();
+
+        for (std::size_t i = lo; i < hi; ++i) {
+            state_.vx[i] += 0.5 * dt_ * fx_[i];
+            state_.vy[i] += 0.5 * dt_ * fy_[i];
+            state_.vz[i] += 0.5 * dt_ * fz_[i];
+        }
+        ctx.work(hi - lo + 1);
+        ctx.sumAdd(kinetic_, local_kinetic());
+        ctx.barrier(barrier_);
+
+        if (tid == 0) {
+            lastKinetic_ = ctx.sumRead(kinetic_);
+            lastPotential_ = ctx.sumRead(potential_);
+            lastEnergy_ = lastKinetic_ + lastPotential_;
+            pairsEvaluated_ += static_cast<std::uint64_t>(
+                ctx.sumRead(pairCount_));
+            ctx.sumReset(kinetic_, 0.0);
+            ctx.sumReset(potential_, 0.0);
+            ctx.sumReset(pairCount_, 0.0);
+        }
+        ctx.barrier(barrier_);
+    }
+}
+
+bool
+WaterSpatialBenchmark::verify(std::string& message)
+{
+    double mx = 0, my = 0, mz = 0;
+    for (std::size_t i = 0; i < numMolecules_; ++i) {
+        mx += state_.vx[i];
+        my += state_.vy[i];
+        mz += state_.vz[i];
+        if (state_.px[i] < 0 || state_.px[i] >= box_ ||
+            state_.py[i] < 0 || state_.py[i] >= box_ ||
+            state_.pz[i] < 0 || state_.pz[i] >= box_) {
+            message = "water-spatial: molecule escaped the box";
+            return false;
+        }
+    }
+    const double drift =
+        std::sqrt(mx * mx + my * my + mz * mz) / numMolecules_;
+    if (drift > 1e-9) {
+        message = "water-spatial: momentum drift " +
+                  std::to_string(drift);
+        return false;
+    }
+    if (!std::isfinite(lastKinetic_) || !std::isfinite(lastPotential_) ||
+        lastKinetic_ <= 0.0) {
+        message = "water-spatial: unphysical energies";
+        return false;
+    }
+    if (pairsEvaluated_ == 0) {
+        message = "water-spatial: no pairs evaluated";
+        return false;
+    }
+    const double energy_drift = std::abs(lastEnergy_ - firstEnergy_);
+    if (steps_ > 0 &&
+        energy_drift > 0.05 * std::abs(firstEnergy_) + 0.5) {
+        message = "water-spatial: energy drifted from " +
+                  std::to_string(firstEnergy_) + " to " +
+                  std::to_string(lastEnergy_);
+        return false;
+    }
+    message = "water-spatial: momentum conserved (drift " +
+              std::to_string(drift) + "), " +
+              std::to_string(pairsEvaluated_) + " pairs, energy " +
+              std::to_string(firstEnergy_) + " -> " +
+              std::to_string(lastEnergy_);
+    return true;
+}
+
+} // namespace splash

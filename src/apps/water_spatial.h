@@ -1,0 +1,78 @@
+/**
+ * @file
+ * WATER-SPATIAL: cell-list molecular dynamics of a liquid box.
+ *
+ * Same physics as water-nsquared but with O(n) neighbor search: the
+ * box is diced into cells of at least the cutoff radius, molecules are
+ * inserted into per-cell linked lists each step, and forces only
+ * consider the 27 neighboring cells.  The insertion is guarded by
+ * per-cell locks -- pthread mutexes under Splash-3, lightweight spin
+ * acquisition under Splash-4 (the app's lock-to-lock-free swap) --
+ * while force accumulation and energy reductions use shared sums as in
+ * water-nsquared.
+ *
+ * Parameters: molecules, steps, seed.
+ */
+
+#ifndef SPLASH_APPS_WATER_SPATIAL_H
+#define SPLASH_APPS_WATER_SPATIAL_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "apps/md_common.h"
+
+namespace splash {
+
+/** Cell-list water MD benchmark. */
+class WaterSpatialBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "water-spatial"; }
+    std::string description() const override
+    {
+        return "cell-list MD; per-cell insertion locks + shared "
+               "force sums";
+    }
+    std::string inputDescription() const override;
+
+    void setup(World& world, const Params& params) override;
+    void run(Context& ctx) override;
+    bool verify(std::string& message) override;
+
+    static std::unique_ptr<Benchmark> create();
+
+  private:
+    std::size_t cellOf(std::size_t i) const;
+
+    std::size_t numMolecules_ = 343;
+    int steps_ = 3;
+    double dt_ = 0.004;
+    double box_ = 1.0;
+    double cutoff2_ = 6.25;
+    std::size_t cellsPerSide_ = 3;
+    std::uint64_t seed_ = 1;
+
+    MdState state_;
+    std::vector<std::int32_t> cellHead_; ///< head of each cell's list
+    std::vector<std::int32_t> nextInCell_;
+    std::vector<double> fx_, fy_, fz_; ///< folded per-molecule forces
+    double firstEnergy_ = 0.0;
+    double lastEnergy_ = 0.0;
+    double lastKinetic_ = 0.0;
+    double lastPotential_ = 0.0;
+    std::uint64_t pairsEvaluated_ = 0; ///< captured by tid 0
+
+    BarrierHandle barrier_;
+    std::vector<LockHandle> cellLocks_;
+    std::vector<SumHandle> force_;
+    SumHandle kinetic_;
+    SumHandle potential_;
+    SumHandle pairCount_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_APPS_WATER_SPATIAL_H

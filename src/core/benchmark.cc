@@ -1,0 +1,53 @@
+#include "core/benchmark.h"
+
+#include <map>
+
+#include "util/log.h"
+
+namespace splash {
+
+namespace {
+
+std::map<std::string, BenchmarkFactory>&
+registry()
+{
+    static std::map<std::string, BenchmarkFactory> instance;
+    return instance;
+}
+
+} // namespace
+
+void
+registerBenchmark(const std::string& name, BenchmarkFactory factory)
+{
+    auto [it, inserted] = registry().emplace(name, std::move(factory));
+    (void)it;
+    panicIf(!inserted, "duplicate benchmark registration: " + name);
+}
+
+std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const auto& [name, factory] : registry())
+        names.push_back(name);
+    return names;
+}
+
+std::unique_ptr<Benchmark>
+makeBenchmark(const std::string& name)
+{
+    auto it = registry().find(name);
+    if (it == registry().end())
+        fatal("unknown benchmark '" + name + "'");
+    return it->second();
+}
+
+bool
+hasBenchmark(const std::string& name)
+{
+    return registry().count(name) != 0;
+}
+
+} // namespace splash

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Benchmark interface and registry.
+ *
+ * A Benchmark is written once against the Context API.  setup() runs
+ * single-threaded and allocates data plus synchronization objects in the
+ * World; run() executes on every participating thread; verify() checks a
+ * benchmark-specific invariant against a serial reference or a
+ * conservation law.
+ */
+
+#ifndef SPLASH_CORE_BENCHMARK_H
+#define SPLASH_CORE_BENCHMARK_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/context.h"
+#include "core/params.h"
+#include "core/world.h"
+
+namespace splash {
+
+/** Base class for all twelve suite workloads (and user extensions). */
+class Benchmark
+{
+  public:
+    virtual ~Benchmark() = default;
+
+    /** Suite name, e.g. "fft". */
+    virtual std::string name() const = 0;
+
+    /** One-line description for tables. */
+    virtual std::string description() const = 0;
+
+    /** Human-readable default input description (table T1). */
+    virtual std::string inputDescription() const = 0;
+
+    /**
+     * Single-threaded: read parameters, build input data (from the
+     * deterministic RNG), and allocate sync objects in @p world.
+     */
+    virtual void setup(World& world, const Params& params) = 0;
+
+    /** Parallel body; called once per thread with that thread's view. */
+    virtual void run(Context& ctx) = 0;
+
+    /**
+     * Single-threaded, after all threads return: check correctness.
+     * @param message receives a diagnostic (filled on both outcomes).
+     * @return true when the run's output is correct.
+     */
+    virtual bool verify(std::string& message) = 0;
+};
+
+/** Factory used by the registry. */
+using BenchmarkFactory = std::function<std::unique_ptr<Benchmark>()>;
+
+/** Register a factory under a unique name (fatal on duplicates). */
+void registerBenchmark(const std::string& name, BenchmarkFactory factory);
+
+/** Names of all registered benchmarks, sorted. */
+std::vector<std::string> benchmarkNames();
+
+/** Instantiate by name (fatal if unknown). */
+std::unique_ptr<Benchmark> makeBenchmark(const std::string& name);
+
+/** True if @p name is registered. */
+bool hasBenchmark(const std::string& name);
+
+} // namespace splash
+
+#endif // SPLASH_CORE_BENCHMARK_H

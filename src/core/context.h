@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-thread execution context: the API every benchmark is written
+ * against.
+ *
+ * A Context is handed to Benchmark::run() on each participating thread.
+ * All synchronization goes through handle-based virtual calls so that the
+ * same benchmark source runs (a) natively with real primitives of either
+ * suite generation and (b) under the virtual-time simulation engine with
+ * cost-modeled primitives.
+ *
+ * Memory semantics contract: regular shared data written before a
+ * barrier()/lockRelease()/flagSet() is visible to threads after the
+ * matching barrier()/lockAcquire()/flagWait(), in both engines.
+ */
+
+#ifndef SPLASH_CORE_CONTEXT_H
+#define SPLASH_CORE_CONTEXT_H
+
+#include <cstdint>
+
+#include "core/stats.h"
+#include "core/types.h"
+
+namespace splash {
+
+/** Abstract per-thread view of the machine. */
+class Context
+{
+  public:
+    Context(int tid, int nthreads, SuiteVersion suite)
+        : tid_(tid), nthreads_(nthreads), suite_(suite)
+    {
+    }
+    virtual ~Context() = default;
+
+    Context(const Context&) = delete;
+    Context& operator=(const Context&) = delete;
+
+    /** Dense thread id in [0, nthreads). */
+    int tid() const { return tid_; }
+
+    /** Number of participating threads. */
+    int nthreads() const { return nthreads_; }
+
+    /** Active suite generation (rarely needed by benchmarks). */
+    SuiteVersion suite() const { return suite_; }
+
+    /** Block until all threads arrive. */
+    virtual void barrier(BarrierHandle b) = 0;
+
+    /** Acquire / release an explicit lock. */
+    virtual void lockAcquire(LockHandle l) = 0;
+    virtual void lockRelease(LockHandle l) = 0;
+
+    /** Fetch-and-add ticket; returns the pre-increment value. */
+    virtual std::uint64_t ticketNext(TicketHandle t,
+                                     std::uint64_t step = 1) = 0;
+
+    /** Reset a ticket; call only in a single-threaded phase. */
+    virtual void ticketReset(TicketHandle t, std::uint64_t value = 0) = 0;
+
+    /** Add to a shared floating-point accumulator. */
+    virtual void sumAdd(SumHandle s, double delta) = 0;
+
+    /** Read an accumulator; safe only after a barrier. */
+    virtual double sumRead(SumHandle s) = 0;
+
+    /** Reset an accumulator; call only in a single-threaded phase. */
+    virtual void sumReset(SumHandle s, double value = 0.0) = 0;
+
+    /** Push a task id; false if the (bounded) container is full. */
+    virtual bool stackPush(StackHandle s, std::uint32_t value) = 0;
+
+    /** Pop a task id; false when empty. */
+    virtual bool stackPop(StackHandle s, std::uint32_t& value) = 0;
+
+    /** Pause-variable operations. */
+    virtual void flagSet(FlagHandle f) = 0;
+    virtual void flagWait(FlagHandle f) = 0;
+    virtual void flagClear(FlagHandle f) = 0;
+
+    /**
+     * Account @p units of computation.  Under the simulation engine this
+     * advances the thread's virtual clock (one unit ~ a handful of
+     * retired instructions, scaled by the machine profile); under the
+     * native engine it only feeds statistics.
+     */
+    virtual void work(std::uint64_t units) = 0;
+
+    /** Mutable statistics for this thread. */
+    ThreadStats& stats() { return stats_; }
+    const ThreadStats& stats() const { return stats_; }
+
+  protected:
+    const int tid_;
+    const int nthreads_;
+    const SuiteVersion suite_;
+    ThreadStats stats_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_CORE_CONTEXT_H

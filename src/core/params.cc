@@ -1,0 +1,71 @@
+#include "core/params.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/log.h"
+
+namespace splash {
+
+void
+Params::set(const std::string& key, const std::string& value)
+{
+    values_[key] = value;
+}
+
+void
+Params::set(const std::string& key, std::int64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Params::set(const std::string& key, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    values_[key] = buf;
+}
+
+bool
+Params::has(const std::string& key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Params::get(const std::string& key, const std::string& fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+Params::getInt(const std::string& key, std::int64_t fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    char* end = nullptr;
+    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("parameter '" + key + "' expects an integer, got '" +
+              it->second + "'");
+    return v;
+}
+
+double
+Params::getDouble(const std::string& key, double fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("parameter '" + key + "' expects a number, got '" +
+              it->second + "'");
+    return v;
+}
+
+} // namespace splash

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Typed key/value parameter set used to configure benchmarks.
+ */
+
+#ifndef SPLASH_CORE_PARAMS_H
+#define SPLASH_CORE_PARAMS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace splash {
+
+/** String-keyed parameters with typed accessors and defaults. */
+class Params
+{
+  public:
+    Params() = default;
+
+    /** Set or overwrite a parameter. */
+    void set(const std::string& key, const std::string& value);
+    void set(const std::string& key, std::int64_t value);
+    void set(const std::string& key, double value);
+
+    bool has(const std::string& key) const;
+
+    std::string get(const std::string& key,
+                    const std::string& fallback) const;
+    std::int64_t getInt(const std::string& key,
+                        std::int64_t fallback) const;
+    double getDouble(const std::string& key, double fallback) const;
+
+    /** All entries, for report headers. */
+    const std::map<std::string, std::string>& entries() const
+    {
+        return values_;
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_CORE_PARAMS_H

@@ -1,0 +1,55 @@
+#include "core/stats.h"
+
+namespace splash {
+
+const char*
+toString(TimeCategory cat)
+{
+    switch (cat) {
+      case TimeCategory::Compute:
+        return "compute";
+      case TimeCategory::Barrier:
+        return "barrier";
+      case TimeCategory::Lock:
+        return "lock";
+      case TimeCategory::Atomic:
+        return "atomic";
+      case TimeCategory::Flag:
+        return "flag";
+      default:
+        return "?";
+    }
+}
+
+void
+ThreadStats::merge(const ThreadStats& other)
+{
+    barrierCrossings += other.barrierCrossings;
+    lockAcquires += other.lockAcquires;
+    ticketOps += other.ticketOps;
+    sumOps += other.sumOps;
+    stackOps += other.stackOps;
+    flagOps += other.flagOps;
+    workUnits += other.workUnits;
+    for (int c = 0; c < static_cast<int>(TimeCategory::NumCategories);
+         ++c) {
+        categoryCycles[c] += other.categoryCycles[c];
+    }
+}
+
+double
+RunResult::categoryFraction(TimeCategory cat) const
+{
+    VTime all = 0;
+    for (int c = 0; c < static_cast<int>(TimeCategory::NumCategories);
+         ++c) {
+        all += totals.categoryCycles[c];
+    }
+    if (all == 0)
+        return 0.0;
+    return static_cast<double>(
+               totals.categoryCycles[static_cast<int>(cat)]) /
+           static_cast<double>(all);
+}
+
+} // namespace splash

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Synchronization and timing statistics collected per thread and merged
+ * per run.  These drive the characterization experiments (T2, F4): the
+ * dynamic counts of each construct and the virtual time spent in each
+ * synchronization category.
+ */
+
+#ifndef SPLASH_CORE_STATS_H
+#define SPLASH_CORE_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace splash {
+
+/** Categories of virtual time accounted by the simulation engine. */
+enum class TimeCategory : int
+{
+    Compute = 0,  ///< ctx.work() units
+    Barrier,      ///< arrival + wait + release at barriers
+    Lock,         ///< acquire/release and blocked time on locks
+    Atomic,       ///< lock-free RMW operations (tickets, sums, stacks)
+    Flag,         ///< pause-variable waits
+    NumCategories,
+};
+
+/** Human-readable category name. */
+const char* toString(TimeCategory cat);
+
+/** Per-thread operation counts and per-category virtual time. */
+struct ThreadStats
+{
+    // Dynamic construct counts.
+    std::uint64_t barrierCrossings = 0;
+    std::uint64_t lockAcquires = 0;
+    std::uint64_t ticketOps = 0;
+    std::uint64_t sumOps = 0;
+    std::uint64_t stackOps = 0;
+    std::uint64_t flagOps = 0;
+    std::uint64_t workUnits = 0;
+
+    /**
+     * Per-category time.  Under the simulation engine every entry is
+     * virtual cycles (homogeneous; they sum to the thread's clock).
+     * Under the native engine the waiting categories (Barrier, Lock,
+     * Flag) are measured wall nanoseconds while Compute counts work
+     * units, so native entries are indicative, not additive.
+     */
+    VTime categoryCycles[static_cast<int>(TimeCategory::NumCategories)] =
+        {};
+
+    void addCycles(TimeCategory cat, VTime cycles)
+    {
+        categoryCycles[static_cast<int>(cat)] += cycles;
+    }
+
+    /** Accumulate @p other into this. */
+    void merge(const ThreadStats& other);
+
+    /** Total RMW-flavoured lock-free ops (the Splash-4 currency). */
+    std::uint64_t
+    atomicOps() const
+    {
+        return ticketOps + sumOps + stackOps + flagOps;
+    }
+};
+
+/** Whole-run result: merged stats plus end-to-end times. */
+struct RunResult
+{
+    ThreadStats totals;                  ///< sum over threads
+    std::vector<ThreadStats> perThread;  ///< per-thread breakdown
+    VTime simCycles = 0;    ///< simulated makespan (Sim engine)
+    std::uint64_t lineTransfers = 0; ///< modeled coherence traffic
+    double wallSeconds = 0; ///< host wall-clock time of the parallel phase
+    bool verified = false;  ///< benchmark self-check outcome
+    std::string verifyMessage;
+
+    /** Fraction of total thread-cycles in the given category. */
+    double categoryFraction(TimeCategory cat) const;
+};
+
+} // namespace splash
+
+#endif // SPLASH_CORE_STATS_H

@@ -1,0 +1,39 @@
+#include "core/types.h"
+
+#include "util/log.h"
+
+namespace splash {
+
+const char*
+toString(SuiteVersion suite)
+{
+    return suite == SuiteVersion::Splash3 ? "splash3" : "splash4";
+}
+
+const char*
+toString(EngineKind engine)
+{
+    return engine == EngineKind::Native ? "native" : "sim";
+}
+
+SuiteVersion
+parseSuite(const std::string& name)
+{
+    if (name == "splash3" || name == "s3" || name == "3")
+        return SuiteVersion::Splash3;
+    if (name == "splash4" || name == "s4" || name == "4")
+        return SuiteVersion::Splash4;
+    fatal("unknown suite '" + name + "' (expected splash3 or splash4)");
+}
+
+EngineKind
+parseEngine(const std::string& name)
+{
+    if (name == "native")
+        return EngineKind::Native;
+    if (name == "sim")
+        return EngineKind::Sim;
+    fatal("unknown engine '" + name + "' (expected native or sim)");
+}
+
+} // namespace splash

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fundamental types shared across the suite: suite generations, engine
+ * kinds, and opaque handles to synchronization objects.
+ *
+ * A benchmark allocates synchronization objects through splash::World at
+ * setup time and receives handles; at run time every operation on a
+ * handle is dispatched by the active execution engine, which instantiates
+ * either the Splash-3 (lock-based) or the Splash-4 (lock-free)
+ * realization of the object.  This mirrors the papers' methodology:
+ * identical algorithm and data, different synchronization constructs.
+ */
+
+#ifndef SPLASH_CORE_TYPES_H
+#define SPLASH_CORE_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+namespace splash {
+
+/** Virtual time in simulated cycles. */
+using VTime = std::uint64_t;
+
+/** Which generation of the suite's synchronization constructs to use. */
+enum class SuiteVersion
+{
+    Splash3, ///< locks, condvar barriers, locked reductions
+    Splash4, ///< atomics, sense-reversing barriers, CAS reductions
+};
+
+/** Execution engine selection. */
+enum class EngineKind
+{
+    Native, ///< real std::threads on the host machine, wall-clock time
+    Sim,    ///< deterministic virtual-time multicore model
+};
+
+/** Lock realization used where the suite keeps an explicit lock. */
+enum class LockKind
+{
+    Mutex, ///< pthread-style sleeping mutex
+    Spin,  ///< test-and-test-and-set spin lock
+    Auto,  ///< Mutex under Splash-3, Spin under Splash-4 (models the
+           ///< suite's blocking-lock -> lightweight-CAS replacements)
+};
+
+/** Barrier realization used where the suite synchronizes phases. */
+enum class BarrierKind
+{
+    Auto,  ///< condvar under Splash-3, sense-reversing under Splash-4
+    Cond,  ///< mutex + condition variable broadcast (Splash-3)
+    Sense, ///< centralized sense-reversing atomic counter (Splash-4)
+    Tree,  ///< combining tree of atomic counters (scalable variant)
+};
+
+/** Name of a suite version for reports. */
+const char* toString(SuiteVersion suite);
+
+/** Name of an engine kind for reports. */
+const char* toString(EngineKind engine);
+
+/** Parse "splash3"/"splash4" (fatal on anything else). */
+SuiteVersion parseSuite(const std::string& name);
+
+/** Parse "native"/"sim" (fatal on anything else). */
+EngineKind parseEngine(const std::string& name);
+
+/** Opaque handle base; value indexes the World's descriptor table. */
+struct Handle
+{
+    std::uint32_t index = 0xffffffffu;
+    bool valid() const { return index != 0xffffffffu; }
+};
+
+struct BarrierHandle : Handle {};
+struct LockHandle : Handle {};
+struct TicketHandle : Handle {};
+struct SumHandle : Handle {};
+struct StackHandle : Handle {};
+struct FlagHandle : Handle {};
+
+} // namespace splash
+
+#endif // SPLASH_CORE_TYPES_H

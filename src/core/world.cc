@@ -1,0 +1,124 @@
+#include "core/world.h"
+
+#include "util/log.h"
+
+namespace splash {
+
+World::World(int nthreads, SuiteVersion suite)
+    : nthreads_(nthreads), suite_(suite)
+{
+    panicIf(nthreads < 1, "world needs at least one thread");
+}
+
+std::uint32_t
+World::add(SyncObjDesc desc)
+{
+    objects_.push_back(desc);
+    return static_cast<std::uint32_t>(objects_.size() - 1);
+}
+
+BarrierHandle
+World::createBarrier(BarrierKind kind)
+{
+    if (kind == BarrierKind::Auto) {
+        kind = suite_ == SuiteVersion::Splash4 ? BarrierKind::Sense
+                                               : BarrierKind::Cond;
+    }
+    BarrierHandle h;
+    SyncObjDesc desc{SyncObjKind::Barrier, 0, LockKind::Mutex,
+                     BarrierKind::Auto, 0.0};
+    desc.barrierKind = kind;
+    h.index = add(desc);
+    return h;
+}
+
+LockHandle
+World::createLock(LockKind kind)
+{
+    if (kind == LockKind::Auto) {
+        kind = suite_ == SuiteVersion::Splash4 ? LockKind::Spin
+                                               : LockKind::Mutex;
+    }
+    LockHandle h;
+    h.index = add({SyncObjKind::Lock, 0, kind, BarrierKind::Auto, 0.0});
+    return h;
+}
+
+std::vector<LockHandle>
+World::createLocks(std::size_t count, LockKind kind)
+{
+    std::vector<LockHandle> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(createLock(kind));
+    return out;
+}
+
+TicketHandle
+World::createTicket()
+{
+    TicketHandle h;
+    h.index = add({SyncObjKind::Ticket, 0, LockKind::Mutex,
+                  BarrierKind::Auto, 0.0});
+    return h;
+}
+
+std::vector<TicketHandle>
+World::createTickets(std::size_t count)
+{
+    std::vector<TicketHandle> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(createTicket());
+    return out;
+}
+
+SumHandle
+World::createSum(double initial)
+{
+    SumHandle h;
+    h.index = add({SyncObjKind::Sum, 0, LockKind::Mutex,
+                  BarrierKind::Auto, initial});
+    return h;
+}
+
+std::vector<SumHandle>
+World::createSums(std::size_t count, double initial)
+{
+    std::vector<SumHandle> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(createSum(initial));
+    return out;
+}
+
+StackHandle
+World::createStack(std::uint32_t capacity)
+{
+    panicIf(capacity == 0, "stack capacity must be positive");
+    StackHandle h;
+    h.index = add({SyncObjKind::Stack, capacity, LockKind::Mutex,
+                  BarrierKind::Auto, 0.0});
+    return h;
+}
+
+FlagHandle
+World::createFlag()
+{
+    FlagHandle h;
+    h.index = add({SyncObjKind::Flag, 0, LockKind::Mutex,
+                  BarrierKind::Auto, 0.0});
+    return h;
+}
+
+std::size_t
+World::countOf(SyncObjKind kind) const
+{
+    std::size_t n = 0;
+    for (const auto& desc : objects_)
+        if (desc.kind == kind)
+            ++n;
+    return n;
+}
+
+} // namespace splash

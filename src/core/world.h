@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The World: descriptor table for all synchronization objects a
+ * benchmark allocates during setup.
+ *
+ * The World is engine-agnostic; each execution engine walks the
+ * descriptor table and instantiates its own realizations (real
+ * primitives for the native engine, cost-modeled ones for the
+ * simulation engine), choosing the lock-based or lock-free flavor
+ * according to the active SuiteVersion.
+ */
+
+#ifndef SPLASH_CORE_WORLD_H
+#define SPLASH_CORE_WORLD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace splash {
+
+/** Kinds of synchronization objects a benchmark can allocate. */
+enum class SyncObjKind
+{
+    Barrier,
+    Lock,
+    Ticket,
+    Sum,
+    Stack,
+    Flag,
+};
+
+/** One allocated synchronization object. */
+struct SyncObjDesc
+{
+    SyncObjKind kind;
+    std::uint32_t capacity = 0;         ///< stack capacity
+    LockKind lockKind = LockKind::Mutex; ///< for Lock objects
+    BarrierKind barrierKind = BarrierKind::Auto; ///< for Barriers
+    double initialValue = 0.0;           ///< for Sum objects
+};
+
+/** Engine-agnostic description of one run's synchronization layout. */
+class World
+{
+  public:
+    /** @param nthreads participant count; @param suite generation. */
+    World(int nthreads, SuiteVersion suite);
+
+    int nthreads() const { return nthreads_; }
+    SuiteVersion suite() const { return suite_; }
+
+    BarrierHandle createBarrier(BarrierKind kind = BarrierKind::Auto);
+    LockHandle createLock(LockKind kind = LockKind::Mutex);
+    std::vector<LockHandle> createLocks(std::size_t count,
+                                        LockKind kind = LockKind::Mutex);
+    TicketHandle createTicket();
+    std::vector<TicketHandle> createTickets(std::size_t count);
+    SumHandle createSum(double initial = 0.0);
+    std::vector<SumHandle> createSums(std::size_t count,
+                                      double initial = 0.0);
+    StackHandle createStack(std::uint32_t capacity);
+    FlagHandle createFlag();
+
+    /** Full descriptor table, indexed by handle. */
+    const std::vector<SyncObjDesc>& objects() const { return objects_; }
+
+    /** Static construct census for the T2 table. */
+    std::size_t countOf(SyncObjKind kind) const;
+
+  private:
+    std::uint32_t add(SyncObjDesc desc);
+
+    const int nthreads_;
+    const SuiteVersion suite_;
+    std::vector<SyncObjDesc> objects_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_CORE_WORLD_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Execution-engine interface and the top-level run entry point.
+ *
+ * An engine takes a World (synchronization layout + suite generation)
+ * and executes a thread body on every participant: NativeEngine with
+ * real std::threads and real primitives, SimEngine under the
+ * deterministic virtual-time machine model.
+ */
+
+#ifndef SPLASH_ENGINE_ENGINE_H
+#define SPLASH_ENGINE_ENGINE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/benchmark.h"
+#include "core/context.h"
+#include "core/stats.h"
+#include "core/world.h"
+
+namespace splash {
+
+/** Thread body executed by an engine on every participant. */
+using ThreadBody = std::function<void(Context&)>;
+
+/** Raw result of one engine execution. */
+struct EngineOutcome
+{
+    VTime makespan = 0;     ///< simulated cycles (Sim engine; 0 native)
+    double wallSeconds = 0; ///< host wall time of the parallel section
+    std::uint64_t lineTransfers = 0; ///< modeled coherence traffic
+    std::vector<ThreadStats> perThread;
+};
+
+/** Abstract engine. */
+class ExecutionEngine
+{
+  public:
+    virtual ~ExecutionEngine() = default;
+
+    /** Execute @p body on every thread of the World. */
+    virtual EngineOutcome run(const ThreadBody& body) = 0;
+};
+
+/** Complete configuration of one benchmark run. */
+struct RunConfig
+{
+    int threads = 4;
+    SuiteVersion suite = SuiteVersion::Splash4;
+    EngineKind engine = EngineKind::Sim;
+    std::string profile = "epyc64"; ///< machine profile (Sim engine)
+    Params params;                  ///< benchmark-specific parameters
+};
+
+/** Build an engine for @p world per the configuration. */
+std::unique_ptr<ExecutionEngine> makeEngine(const World& world,
+                                            const RunConfig& config);
+
+/** setup + engine execution + verify, with merged statistics. */
+RunResult runBenchmark(Benchmark& benchmark, const RunConfig& config);
+
+/** Convenience: instantiate by name and run. */
+RunResult runBenchmark(const std::string& name, const RunConfig& config);
+
+} // namespace splash
+
+#endif // SPLASH_ENGINE_ENGINE_H

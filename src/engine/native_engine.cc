@@ -1,0 +1,334 @@
+#include "engine/native_engine.h"
+
+#include <chrono>
+#include <thread>
+#include <variant>
+
+#include "sync/atomic_reduction.h"
+#include "sync/barrier.h"
+#include "sync/lockfree_stack.h"
+#include "sync/pause_flag.h"
+#include "sync/spinlock.h"
+#include "sync/task_queue.h"
+#include "util/log.h"
+
+namespace splash {
+
+namespace {
+
+/** Realization of one World object for one suite generation. */
+struct NativeObject
+{
+    // Exactly one of these is non-null, matching the descriptor kind.
+    std::unique_ptr<CondBarrier> condBarrier;
+    std::unique_ptr<SenseBarrier> senseBarrier;
+    std::unique_ptr<TreeBarrier> treeBarrier;
+    std::unique_ptr<std::mutex> mutexLock;
+    std::unique_ptr<TtasLock> spinLock;
+    std::unique_ptr<LockedTicket> lockedTicket;
+    std::unique_ptr<AtomicTicket> atomicTicket;
+    std::unique_ptr<LockedAccumulator<>> lockedSum;
+    std::unique_ptr<AtomicAccumulator> atomicSum;
+    std::unique_ptr<LockedStack> lockedStack;
+    std::unique_ptr<LockFreeStack> lockFreeStack;
+    std::unique_ptr<CondFlag> condFlag;
+    std::unique_ptr<AtomicFlag> atomicFlag;
+};
+
+} // namespace
+
+/** Table of realized objects, indexed like the World descriptors. */
+class NativeObjects
+{
+  public:
+    NativeObjects(const World& world)
+    {
+        const bool s4 = world.suite() == SuiteVersion::Splash4;
+        for (const auto& desc : world.objects()) {
+            NativeObject obj;
+            switch (desc.kind) {
+              case SyncObjKind::Barrier: {
+                BarrierKind kind = desc.barrierKind;
+                if (kind == BarrierKind::Auto) {
+                    kind = s4 ? BarrierKind::Sense : BarrierKind::Cond;
+                }
+                if (kind == BarrierKind::Sense) {
+                    obj.senseBarrier = std::make_unique<SenseBarrier>(
+                        world.nthreads());
+                } else if (kind == BarrierKind::Tree) {
+                    obj.treeBarrier = std::make_unique<TreeBarrier>(
+                        world.nthreads());
+                } else {
+                    obj.condBarrier = std::make_unique<CondBarrier>(
+                        world.nthreads());
+                }
+                break;
+              }
+              case SyncObjKind::Lock:
+                if (desc.lockKind == LockKind::Spin)
+                    obj.spinLock = std::make_unique<TtasLock>();
+                else
+                    obj.mutexLock = std::make_unique<std::mutex>();
+                break;
+              case SyncObjKind::Ticket:
+                if (s4)
+                    obj.atomicTicket = std::make_unique<AtomicTicket>();
+                else
+                    obj.lockedTicket = std::make_unique<LockedTicket>();
+                break;
+              case SyncObjKind::Sum:
+                if (s4) {
+                    obj.atomicSum = std::make_unique<AtomicAccumulator>(
+                        desc.initialValue);
+                } else {
+                    obj.lockedSum =
+                        std::make_unique<LockedAccumulator<>>(
+                            desc.initialValue);
+                }
+                break;
+              case SyncObjKind::Stack:
+                if (s4) {
+                    obj.lockFreeStack = std::make_unique<LockFreeStack>(
+                        desc.capacity);
+                } else {
+                    obj.lockedStack = std::make_unique<LockedStack>(
+                        desc.capacity);
+                }
+                break;
+              case SyncObjKind::Flag:
+                if (s4)
+                    obj.atomicFlag = std::make_unique<AtomicFlag>();
+                else
+                    obj.condFlag = std::make_unique<CondFlag>();
+                break;
+            }
+            objects_.push_back(std::move(obj));
+        }
+    }
+
+    NativeObject& at(std::uint32_t index)
+    {
+        panicIf(index >= objects_.size(), "bad sync handle");
+        return objects_[index];
+    }
+
+  private:
+    std::vector<NativeObject> objects_;
+};
+
+namespace {
+
+/** Per-thread context dispatching to the realized primitives. */
+class NativeContext : public Context
+{
+  public:
+    NativeContext(int tid, int nthreads, SuiteVersion suite,
+                  NativeObjects& objects)
+        : Context(tid, nthreads, suite), objects_(objects)
+    {
+    }
+
+    /** Nanoseconds spent in a waiting call (native "cycles"). */
+    template <typename Fn>
+    std::uint64_t
+    timedWait(Fn&& fn)
+    {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const auto stop = std::chrono::steady_clock::now();
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                stop - start)
+                .count());
+    }
+
+    void
+    barrier(BarrierHandle b) override
+    {
+        ++stats_.barrierCrossings;
+        auto& obj = objects_.at(b.index);
+        const auto ns = timedWait([&] {
+            if (obj.senseBarrier)
+                obj.senseBarrier->arriveAndWait();
+            else if (obj.treeBarrier)
+                obj.treeBarrier->arriveAndWait(tid_);
+            else
+                obj.condBarrier->arriveAndWait();
+        });
+        stats_.addCycles(TimeCategory::Barrier, ns);
+    }
+
+    void
+    lockAcquire(LockHandle l) override
+    {
+        ++stats_.lockAcquires;
+        auto& obj = objects_.at(l.index);
+        const auto ns = timedWait([&] {
+            if (obj.spinLock)
+                obj.spinLock->lock();
+            else
+                obj.mutexLock->lock();
+        });
+        stats_.addCycles(TimeCategory::Lock, ns);
+    }
+
+    void
+    lockRelease(LockHandle l) override
+    {
+        auto& obj = objects_.at(l.index);
+        if (obj.spinLock)
+            obj.spinLock->unlock();
+        else
+            obj.mutexLock->unlock();
+    }
+
+    std::uint64_t
+    ticketNext(TicketHandle t, std::uint64_t step) override
+    {
+        ++stats_.ticketOps;
+        auto& obj = objects_.at(t.index);
+        return obj.atomicTicket ? obj.atomicTicket->next(step)
+                                : obj.lockedTicket->next(step);
+    }
+
+    void
+    ticketReset(TicketHandle t, std::uint64_t value) override
+    {
+        auto& obj = objects_.at(t.index);
+        if (obj.atomicTicket)
+            obj.atomicTicket->reset(value);
+        else
+            obj.lockedTicket->reset(value);
+    }
+
+    void
+    sumAdd(SumHandle s, double delta) override
+    {
+        ++stats_.sumOps;
+        auto& obj = objects_.at(s.index);
+        if (obj.atomicSum)
+            obj.atomicSum->add(delta);
+        else
+            obj.lockedSum->add(delta);
+    }
+
+    double
+    sumRead(SumHandle s) override
+    {
+        auto& obj = objects_.at(s.index);
+        return obj.atomicSum ? obj.atomicSum->get()
+                             : obj.lockedSum->get();
+    }
+
+    void
+    sumReset(SumHandle s, double value) override
+    {
+        auto& obj = objects_.at(s.index);
+        if (obj.atomicSum)
+            obj.atomicSum->reset(value);
+        else
+            obj.lockedSum->reset(value);
+    }
+
+    bool
+    stackPush(StackHandle s, std::uint32_t value) override
+    {
+        ++stats_.stackOps;
+        auto& obj = objects_.at(s.index);
+        return obj.lockFreeStack ? obj.lockFreeStack->push(value)
+                                 : obj.lockedStack->push(value);
+    }
+
+    bool
+    stackPop(StackHandle s, std::uint32_t& value) override
+    {
+        ++stats_.stackOps;
+        auto& obj = objects_.at(s.index);
+        return obj.lockFreeStack ? obj.lockFreeStack->pop(value)
+                                 : obj.lockedStack->pop(value);
+    }
+
+    void
+    flagSet(FlagHandle f) override
+    {
+        ++stats_.flagOps;
+        auto& obj = objects_.at(f.index);
+        if (obj.atomicFlag)
+            obj.atomicFlag->set();
+        else
+            obj.condFlag->set();
+    }
+
+    void
+    flagWait(FlagHandle f) override
+    {
+        ++stats_.flagOps;
+        auto& obj = objects_.at(f.index);
+        const auto ns = timedWait([&] {
+            if (obj.atomicFlag)
+                obj.atomicFlag->wait();
+            else
+                obj.condFlag->wait();
+        });
+        stats_.addCycles(TimeCategory::Flag, ns);
+    }
+
+    void
+    flagClear(FlagHandle f) override
+    {
+        auto& obj = objects_.at(f.index);
+        if (obj.atomicFlag)
+            obj.atomicFlag->clear();
+        else
+            obj.condFlag->clear();
+    }
+
+    void
+    work(std::uint64_t units) override
+    {
+        stats_.workUnits += units;
+        stats_.addCycles(TimeCategory::Compute, units);
+    }
+
+  private:
+    NativeObjects& objects_;
+};
+
+} // namespace
+
+NativeEngine::NativeEngine(const World& world)
+    : world_(world), objects_(std::make_unique<NativeObjects>(world))
+{
+}
+
+NativeEngine::~NativeEngine() = default;
+
+EngineOutcome
+NativeEngine::run(const ThreadBody& body)
+{
+    const int n = world_.nthreads();
+    std::vector<std::unique_ptr<NativeContext>> contexts;
+    contexts.reserve(static_cast<std::size_t>(n));
+    for (int tid = 0; tid < n; ++tid) {
+        contexts.push_back(std::make_unique<NativeContext>(
+            tid, n, world_.suite(), *objects_));
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int tid = 0; tid < n; ++tid)
+        threads.emplace_back([&, tid] { body(*contexts[tid]); });
+    for (auto& thread : threads)
+        thread.join();
+    const auto stop = std::chrono::steady_clock::now();
+
+    EngineOutcome outcome;
+    outcome.wallSeconds =
+        std::chrono::duration<double>(stop - start).count();
+    for (int tid = 0; tid < n; ++tid)
+        outcome.perThread.push_back(contexts[tid]->stats());
+    return outcome;
+}
+
+} // namespace splash

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Native engine: real std::threads and real synchronization primitives.
+ *
+ * This is what a downstream user runs on actual multicore hardware (the
+ * paper's AMD EPYC runs).  The suite generation selects the primitive
+ * realization per object: Splash-3 objects are lock/condvar based,
+ * Splash-4 objects are the lock-free equivalents from src/sync.
+ */
+
+#ifndef SPLASH_ENGINE_NATIVE_ENGINE_H
+#define SPLASH_ENGINE_NATIVE_ENGINE_H
+
+#include <memory>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace splash {
+
+class NativeObjects; // private realization table
+
+/** Engine running the benchmark on host threads in real time. */
+class NativeEngine : public ExecutionEngine
+{
+  public:
+    explicit NativeEngine(const World& world);
+    ~NativeEngine() override;
+
+    EngineOutcome run(const ThreadBody& body) override;
+
+  private:
+    const World& world_;
+    std::unique_ptr<NativeObjects> objects_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_ENGINE_NATIVE_ENGINE_H

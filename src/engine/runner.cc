@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Top-level glue: configure a World, pick an engine, run a benchmark,
+ * and merge statistics into a RunResult.
+ */
+
+#include "engine/engine.h"
+
+#include "engine/native_engine.h"
+#include "engine/sim_engine.h"
+#include "sim/machine.h"
+#include "util/log.h"
+
+namespace splash {
+
+std::unique_ptr<ExecutionEngine>
+makeEngine(const World& world, const RunConfig& config)
+{
+    if (config.engine == EngineKind::Native)
+        return std::make_unique<NativeEngine>(world);
+    return std::make_unique<SimEngine>(world,
+                                       machineProfile(config.profile));
+}
+
+RunResult
+runBenchmark(Benchmark& benchmark, const RunConfig& config)
+{
+    panicIf(config.threads < 1, "run needs at least one thread");
+
+    World world(config.threads, config.suite);
+    benchmark.setup(world, config.params);
+
+    auto engine = makeEngine(world, config);
+    EngineOutcome outcome =
+        engine->run([&](Context& ctx) { benchmark.run(ctx); });
+
+    RunResult result;
+    result.simCycles = outcome.makespan;
+    result.lineTransfers = outcome.lineTransfers;
+    result.wallSeconds = outcome.wallSeconds;
+    result.perThread = std::move(outcome.perThread);
+    for (const auto& stats : result.perThread)
+        result.totals.merge(stats);
+    result.verified = benchmark.verify(result.verifyMessage);
+    return result;
+}
+
+RunResult
+runBenchmark(const std::string& name, const RunConfig& config)
+{
+    auto benchmark = makeBenchmark(name);
+    return runBenchmark(*benchmark, config);
+}
+
+} // namespace splash

@@ -1,0 +1,832 @@
+#include "engine/sim_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <semaphore>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "sim/line_model.h"
+#include "util/log.h"
+
+namespace splash {
+
+namespace {
+
+/** Scheduler-visible state of one simulated thread. */
+struct SimThread
+{
+    enum class State { Ready, Running, Blocked, Done };
+
+    int tid = 0;
+    VTime clock = 0;
+    State state = State::Ready;
+    std::binary_semaphore sem{0};
+};
+
+/** Modeled lock (used standalone and inside Splash-3 composites). */
+struct SimLock
+{
+    SimLine line;
+    LockKind kind = LockKind::Mutex;
+    bool held = false;
+    int owner = -1;
+    std::deque<int> waiters;
+};
+
+/** Modeled barrier: all three realizations share the waiter list. */
+struct SimBarrier
+{
+    BarrierKind kind = BarrierKind::Sense;
+    SimLine counterLine; ///< sense-reversing arrival counter
+    SimLine senseLine;   ///< release word (sense + tree kinds)
+    SimLock mutex;       ///< condvar kind: mutex guarding the state
+    int arrived = 0;
+    std::vector<int> waiters;
+
+    /** Combining-tree topology (tree kind only). */
+    struct TreeNode
+    {
+        SimLine line;
+        int count = 0;
+        int expected = 0;
+        int parent = -1;
+    };
+    std::vector<TreeNode> nodes;
+    std::vector<int> leafOf; ///< tid -> leaf node index
+};
+
+/** Modeled ticket dispenser. */
+struct SimTicket
+{
+    SimLine line;  ///< S4
+    SimLock lock;  ///< S3
+    std::uint64_t value = 0;
+};
+
+/** Modeled floating-point accumulator. */
+struct SimSum
+{
+    SimLine line;
+    SimLock lock;
+    double value = 0.0;
+};
+
+/** Modeled task stack. */
+struct SimStack
+{
+    SimLine headLine;
+    SimLock lock;
+    std::vector<std::uint32_t> items;
+    std::uint32_t capacity = 0;
+};
+
+/** Modeled pause flag. */
+struct SimFlag
+{
+    SimLine line;
+    SimLock lock;
+    bool value = false;
+    std::vector<int> waiters;
+};
+
+struct SimObject
+{
+    std::unique_ptr<SimBarrier> barrier;
+    std::unique_ptr<SimLock> lock;
+    std::unique_ptr<SimTicket> ticket;
+    std::unique_ptr<SimSum> sum;
+    std::unique_ptr<SimStack> stack;
+    std::unique_ptr<SimFlag> flag;
+};
+
+} // namespace
+
+/**
+ * The whole simulated machine: scheduler plus modeled objects.  All
+ * methods are called from the single currently-running simulated thread
+ * (or from the launcher before/after the run), so none of this state
+ * needs host-level locking; the semaphore handoffs provide the
+ * happens-before edges.
+ */
+class SimMachine
+{
+  public:
+    SimMachine(const World& world, const MachineProfile& profile)
+        : world_(world), prof_(profile),
+          nthreads_(world.nthreads()),
+          s4_(world.suite() == SuiteVersion::Splash4)
+    {
+        panicIf(nthreads_ > 64,
+                "sim engine supports at most 64 threads");
+        for (int tid = 0; tid < nthreads_; ++tid) {
+            threads_.push_back(std::make_unique<SimThread>());
+            threads_.back()->tid = tid;
+        }
+        for (const auto& desc : world.objects()) {
+            SimObject obj;
+            switch (desc.kind) {
+              case SyncObjKind::Barrier:
+                obj.barrier = std::make_unique<SimBarrier>();
+                obj.barrier->kind = desc.barrierKind;
+                if (obj.barrier->kind == BarrierKind::Auto) {
+                    obj.barrier->kind = s4_ ? BarrierKind::Sense
+                                            : BarrierKind::Cond;
+                }
+                if (obj.barrier->kind == BarrierKind::Tree)
+                    buildBarrierTree(*obj.barrier);
+                break;
+              case SyncObjKind::Lock:
+                obj.lock = std::make_unique<SimLock>();
+                obj.lock->kind = desc.lockKind;
+                break;
+              case SyncObjKind::Ticket:
+                obj.ticket = std::make_unique<SimTicket>();
+                break;
+              case SyncObjKind::Sum:
+                obj.sum = std::make_unique<SimSum>();
+                obj.sum->value = desc.initialValue;
+                break;
+              case SyncObjKind::Stack:
+                obj.stack = std::make_unique<SimStack>();
+                obj.stack->capacity = desc.capacity;
+                break;
+              case SyncObjKind::Flag:
+                obj.flag = std::make_unique<SimFlag>();
+                break;
+            }
+            objects_.push_back(std::move(obj));
+        }
+    }
+
+    const MachineProfile& profile() const { return prof_; }
+    int nthreads() const { return nthreads_; }
+    bool splash4() const { return s4_; }
+
+    SimThread& thread(int tid) { return *threads_[tid]; }
+
+    SimObject&
+    object(std::uint32_t index)
+    {
+        panicIf(index >= objects_.size(), "bad sync handle");
+        return objects_[index];
+    }
+
+    // ----- scheduling ---------------------------------------------------
+
+    /** Index of the Ready thread with min (clock, tid); -1 if none. */
+    int
+    pickNext() const
+    {
+        int best = -1;
+        for (int tid = 0; tid < nthreads_; ++tid) {
+            const auto& t = *threads_[tid];
+            if (t.state != SimThread::State::Ready)
+                continue;
+            if (best < 0 || t.clock < threads_[best]->clock)
+                best = tid;
+        }
+        return best;
+    }
+
+    /** Hand the machine to thread @p next (must be Ready). */
+    void
+    dispatch(int next)
+    {
+        SimThread& t = *threads_[next];
+        t.state = SimThread::State::Running;
+        t.sem.release();
+    }
+
+    /**
+     * Ensure the calling thread holds the global minimum clock before it
+     * performs a modeled operation; otherwise yield to the minimum.
+     */
+    void
+    awaitTurn(SimThread& me)
+    {
+        const int next = pickNext();
+        if (next < 0 || threads_[next]->clock >= me.clock)
+            return;
+        me.state = SimThread::State::Ready;
+        dispatch(next);
+        me.sem.acquire();
+        me.state = SimThread::State::Running;
+    }
+
+    /** Block the calling thread until someone calls unblock() on it. */
+    void
+    blockSelf(SimThread& me)
+    {
+        me.state = SimThread::State::Blocked;
+        const int next = pickNext();
+        if (next >= 0) {
+            dispatch(next);
+        } else {
+            reportDeadlockOrFinish();
+        }
+        me.sem.acquire();
+        me.state = SimThread::State::Running;
+    }
+
+    /** Make @p tid runnable no earlier than @p wakeTime. */
+    void
+    unblock(int tid, VTime wakeTime)
+    {
+        SimThread& t = *threads_[tid];
+        panicIf(t.state != SimThread::State::Blocked,
+                "unblock of a non-blocked thread");
+        if (t.clock < wakeTime)
+            t.clock = wakeTime;
+        t.state = SimThread::State::Ready;
+    }
+
+    /** Called when a thread's body returns. */
+    void
+    finish(SimThread& me)
+    {
+        me.state = SimThread::State::Done;
+        const int next = pickNext();
+        if (next >= 0) {
+            dispatch(next);
+            return;
+        }
+        reportDeadlockOrFinish();
+    }
+
+    /** Launcher-side start: dispatch the first thread and wait. */
+    void
+    runToCompletion()
+    {
+        dispatch(pickNext());
+        launcherSem_.acquire();
+        if (!deadlockDump_.empty())
+            panic("simulated deadlock:\n" + deadlockDump_);
+    }
+
+    VTime
+    makespan() const
+    {
+        VTime max = 0;
+        for (const auto& t : threads_)
+            if (t->clock > max)
+                max = t->clock;
+        return max;
+    }
+
+    /** Total modeled cache-line transfers (coherence traffic proxy). */
+    std::uint64_t
+    totalLineTransfers() const
+    {
+        std::uint64_t total = 0;
+        for (const auto& obj : objects_) {
+            if (obj.barrier) {
+                total += obj.barrier->counterLine.transferCount();
+                total += obj.barrier->senseLine.transferCount();
+                total += obj.barrier->mutex.line.transferCount();
+                for (const auto& node : obj.barrier->nodes)
+                    total += node.line.transferCount();
+            } else if (obj.lock) {
+                total += obj.lock->line.transferCount();
+            } else if (obj.ticket) {
+                total += obj.ticket->line.transferCount();
+                total += obj.ticket->lock.line.transferCount();
+            } else if (obj.sum) {
+                total += obj.sum->line.transferCount();
+                total += obj.sum->lock.line.transferCount();
+            } else if (obj.stack) {
+                total += obj.stack->headLine.transferCount();
+                total += obj.stack->lock.line.transferCount();
+            } else if (obj.flag) {
+                total += obj.flag->line.transferCount();
+                total += obj.flag->lock.line.transferCount();
+            }
+        }
+        return total;
+    }
+
+    // ----- modeled primitive building blocks ----------------------------
+
+    /** Acquire a modeled lock; no stats (callers account categories). */
+    void
+    rawLockAcquire(SimThread& me, SimLock& lock)
+    {
+        awaitTurn(me);
+        me.clock = lock.line.rmw(me.tid, me.clock, prof_);
+        if (!lock.held) {
+            lock.held = true;
+            lock.owner = me.tid;
+            return;
+        }
+        if (lock.kind == LockKind::Mutex)
+            me.clock += prof_.parkCycles;
+        lock.waiters.push_back(me.tid);
+        blockSelf(me);
+        // Granted by the releaser; pull the line to finish acquisition.
+        me.clock = lock.line.rmw(me.tid, me.clock, prof_);
+    }
+
+    /** Release a modeled lock, granting FIFO to a waiter if present. */
+    void
+    rawLockRelease(SimThread& me, SimLock& lock)
+    {
+        awaitTurn(me);
+        panicIf(!lock.held || lock.owner != me.tid,
+                "sim lock released by non-owner");
+        me.clock = lock.line.rmw(me.tid, me.clock, prof_);
+        if (lock.waiters.empty()) {
+            lock.held = false;
+            lock.owner = -1;
+            return;
+        }
+        const int heir = lock.waiters.front();
+        lock.waiters.pop_front();
+        lock.owner = heir; // direct handoff, stays held
+        VTime wake;
+        if (lock.kind == LockKind::Mutex) {
+            me.clock += prof_.wakeCyclesPerWaiter;
+            wake = me.clock + prof_.wakeLatencyCycles;
+        } else {
+            wake = me.clock + prof_.spinResumeCycles;
+        }
+        unblock(heir, wake);
+    }
+
+    // ----- barriers ------------------------------------------------------
+
+    void
+    barrierArrive(SimThread& me, SimBarrier& barrier)
+    {
+        switch (barrier.kind) {
+          case BarrierKind::Sense:
+            senseBarrierArrive(me, barrier);
+            break;
+          case BarrierKind::Tree:
+            treeBarrierArrive(me, barrier);
+            break;
+          default:
+            condBarrierArrive(me, barrier);
+            break;
+        }
+    }
+
+    // ----- deadlock reporting -------------------------------------------
+
+    void
+    reportDeadlockOrFinish()
+    {
+        bool all_done = true;
+        for (const auto& t : threads_)
+            if (t->state != SimThread::State::Done)
+                all_done = false;
+        if (!all_done) {
+            std::ostringstream os;
+            for (const auto& t : threads_) {
+                os << "  t" << t->tid << " state="
+                   << static_cast<int>(t->state) << " clock=" << t->clock
+                   << "\n";
+            }
+            deadlockDump_ = os.str();
+        }
+        launcherSem_.release();
+    }
+
+  private:
+    /** Build the fanout-4 combining tree for a tree-kind barrier. */
+    void
+    buildBarrierTree(SimBarrier& barrier)
+    {
+        constexpr int kFanout = 4;
+        barrier.leafOf.resize(nthreads_);
+        std::vector<int> level;
+        const int num_leaves = (nthreads_ + kFanout - 1) / kFanout;
+        for (int leaf = 0; leaf < num_leaves; ++leaf) {
+            SimBarrier::TreeNode node;
+            const int lo = leaf * kFanout;
+            const int hi = std::min(nthreads_, lo + kFanout);
+            node.expected = hi - lo;
+            barrier.nodes.push_back(std::move(node));
+            level.push_back(static_cast<int>(barrier.nodes.size()) - 1);
+            for (int tid = lo; tid < hi; ++tid)
+                barrier.leafOf[tid] = level.back();
+        }
+        while (level.size() > 1) {
+            std::vector<int> next;
+            for (std::size_t base = 0; base < level.size();
+                 base += kFanout) {
+                SimBarrier::TreeNode node;
+                const std::size_t hi = std::min(
+                    level.size(), base + kFanout);
+                node.expected = static_cast<int>(hi - base);
+                barrier.nodes.push_back(std::move(node));
+                const int me =
+                    static_cast<int>(barrier.nodes.size()) - 1;
+                for (std::size_t child = base; child < hi; ++child)
+                    barrier.nodes[level[child]].parent = me;
+                next.push_back(me);
+            }
+            level = std::move(next);
+        }
+    }
+
+    void
+    treeBarrierArrive(SimThread& me, SimBarrier& barrier)
+    {
+        awaitTurn(me);
+        int idx = barrier.leafOf[me.tid];
+        for (;;) {
+            auto& node = barrier.nodes[idx];
+            me.clock = node.line.rmw(me.tid, me.clock, prof_);
+            if (++node.count < node.expected) {
+                barrier.waiters.push_back(me.tid);
+                blockSelf(me);
+                return;
+            }
+            node.count = 0;
+            if (node.parent < 0)
+                break;
+            idx = node.parent;
+        }
+        // Root reached: flip the sense word and release everyone.
+        me.clock = barrier.senseLine.rmw(me.tid, me.clock, prof_);
+        for (const int waiter : barrier.waiters) {
+            const VTime seen =
+                barrier.senseLine.load(waiter, me.clock, prof_);
+            unblock(waiter, seen + prof_.spinResumeCycles);
+        }
+        barrier.waiters.clear();
+    }
+
+    void
+    senseBarrierArrive(SimThread& me, SimBarrier& barrier)
+    {
+        awaitTurn(me);
+        me.clock = barrier.counterLine.rmw(me.tid, me.clock, prof_);
+        if (++barrier.arrived < nthreads_) {
+            barrier.waiters.push_back(me.tid);
+            blockSelf(me);
+            // Releaser set our clock; we just noticed the flipped sense.
+            return;
+        }
+        // Last arrival: flip the sense word and release everyone.
+        barrier.arrived = 0;
+        me.clock = barrier.senseLine.rmw(me.tid, me.clock, prof_);
+        for (const int waiter : barrier.waiters) {
+            const VTime seen =
+                barrier.senseLine.load(waiter, me.clock, prof_);
+            unblock(waiter, seen + prof_.spinResumeCycles);
+        }
+        barrier.waiters.clear();
+    }
+
+    void
+    condBarrierArrive(SimThread& me, SimBarrier& barrier)
+    {
+        rawLockAcquire(me, barrier.mutex);
+        me.clock += prof_.criticalOpCycles;
+        if (++barrier.arrived < nthreads_) {
+            // pthread_cond_wait: drop the mutex, park.
+            barrier.waiters.push_back(me.tid);
+            rawLockRelease(me, barrier.mutex);
+            me.clock += prof_.parkCycles;
+            blockSelf(me);
+            // Woken via futex-requeue semantics: cond_wait returns
+            // with the mutex held, so the woken crowd convoys on the
+            // mutex cache line (acquire + release), but does not park
+            // a second time.
+            me.clock = barrier.mutex.line.rmw(me.tid, me.clock, prof_);
+            me.clock = barrier.mutex.line.rmw(me.tid, me.clock, prof_);
+            return;
+        }
+        barrier.arrived = 0;
+        // Broadcast: the waker pays per-waiter wake cost; each waiter
+        // resumes after the OS wake latency.
+        for (const int waiter : barrier.waiters) {
+            me.clock += prof_.wakeCyclesPerWaiter;
+            unblock(waiter, me.clock + prof_.wakeLatencyCycles);
+        }
+        barrier.waiters.clear();
+        rawLockRelease(me, barrier.mutex);
+    }
+
+    const World& world_;
+    const MachineProfile& prof_;
+    const int nthreads_;
+    const bool s4_;
+    std::vector<std::unique_ptr<SimThread>> threads_;
+    std::vector<SimObject> objects_;
+    std::binary_semaphore launcherSem_{0};
+    std::string deadlockDump_;
+};
+
+namespace {
+
+/** Context implementation forwarding to the SimMachine. */
+class SimContext : public Context
+{
+  public:
+    SimContext(int tid, SimMachine& machine)
+        : Context(tid, machine.nthreads(),
+                  machine.splash4() ? SuiteVersion::Splash4
+                                    : SuiteVersion::Splash3),
+          machine_(machine), me_(machine.thread(tid)),
+          prof_(machine.profile())
+    {
+    }
+
+    void
+    barrier(BarrierHandle b) override
+    {
+        ++stats_.barrierCrossings;
+        auto& obj = *machine_.object(b.index).barrier;
+        const VTime entry = me_.clock;
+        machine_.barrierArrive(me_, obj);
+        stats_.addCycles(TimeCategory::Barrier, me_.clock - entry);
+    }
+
+    void
+    lockAcquire(LockHandle l) override
+    {
+        ++stats_.lockAcquires;
+        auto& obj = *machine_.object(l.index).lock;
+        const VTime entry = me_.clock;
+        machine_.rawLockAcquire(me_, obj);
+        stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+    }
+
+    void
+    lockRelease(LockHandle l) override
+    {
+        auto& obj = *machine_.object(l.index).lock;
+        const VTime entry = me_.clock;
+        machine_.rawLockRelease(me_, obj);
+        stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+    }
+
+    std::uint64_t
+    ticketNext(TicketHandle t, std::uint64_t step) override
+    {
+        ++stats_.ticketOps;
+        auto& obj = *machine_.object(t.index).ticket;
+        const VTime entry = me_.clock;
+        std::uint64_t old;
+        if (suite_ == SuiteVersion::Splash4) {
+            machine_.awaitTurn(me_);
+            me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
+            old = obj.value;
+            obj.value += step;
+            stats_.addCycles(TimeCategory::Atomic, me_.clock - entry);
+        } else {
+            machine_.rawLockAcquire(me_, obj.lock);
+            me_.clock += prof_.criticalOpCycles;
+            old = obj.value;
+            obj.value += step;
+            machine_.rawLockRelease(me_, obj.lock);
+            stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+        }
+        return old;
+    }
+
+    void
+    ticketReset(TicketHandle t, std::uint64_t value) override
+    {
+        machine_.object(t.index).ticket->value = value;
+    }
+
+    void
+    sumAdd(SumHandle s, double delta) override
+    {
+        ++stats_.sumOps;
+        auto& obj = *machine_.object(s.index).sum;
+        const VTime entry = me_.clock;
+        if (suite_ == SuiteVersion::Splash4) {
+            // CAS loop: one RMW, plus a retry penalty when the line was
+            // stolen since our last visit (a deterministic stand-in for
+            // CAS failures under contention).
+            machine_.awaitTurn(me_);
+            const std::uint64_t transfers_before =
+                obj.line.transferCount();
+            me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
+            if (obj.line.transferCount() != transfers_before)
+                me_.clock += prof_.casRetryCycles;
+            obj.value += delta;
+            stats_.addCycles(TimeCategory::Atomic, me_.clock - entry);
+        } else {
+            machine_.rawLockAcquire(me_, obj.lock);
+            me_.clock += prof_.criticalOpCycles;
+            obj.value += delta;
+            machine_.rawLockRelease(me_, obj.lock);
+            stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+        }
+    }
+
+    double
+    sumRead(SumHandle s) override
+    {
+        auto& obj = *machine_.object(s.index).sum;
+        machine_.awaitTurn(me_);
+        me_.clock = obj.line.load(me_.tid, me_.clock, prof_);
+        return obj.value;
+    }
+
+    void
+    sumReset(SumHandle s, double value) override
+    {
+        machine_.object(s.index).sum->value = value;
+    }
+
+    bool
+    stackPush(StackHandle s, std::uint32_t value) override
+    {
+        ++stats_.stackOps;
+        auto& obj = *machine_.object(s.index).stack;
+        const VTime entry = me_.clock;
+        bool ok = true;
+        if (suite_ == SuiteVersion::Splash4) {
+            machine_.awaitTurn(me_);
+            me_.clock = obj.headLine.rmw(me_.tid, me_.clock, prof_);
+            if (obj.items.size() >= obj.capacity)
+                ok = false;
+            else
+                obj.items.push_back(value);
+            stats_.addCycles(TimeCategory::Atomic, me_.clock - entry);
+        } else {
+            machine_.rawLockAcquire(me_, obj.lock);
+            me_.clock += prof_.criticalOpCycles;
+            obj.items.push_back(value);
+            machine_.rawLockRelease(me_, obj.lock);
+            stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+        }
+        return ok;
+    }
+
+    bool
+    stackPop(StackHandle s, std::uint32_t& value) override
+    {
+        ++stats_.stackOps;
+        auto& obj = *machine_.object(s.index).stack;
+        const VTime entry = me_.clock;
+        bool ok = false;
+        if (suite_ == SuiteVersion::Splash4) {
+            machine_.awaitTurn(me_);
+            if (obj.items.empty()) {
+                // Empty check is a load of the head line.
+                me_.clock = obj.headLine.load(me_.tid, me_.clock, prof_);
+            } else {
+                me_.clock = obj.headLine.rmw(me_.tid, me_.clock, prof_);
+                value = obj.items.back();
+                obj.items.pop_back();
+                ok = true;
+            }
+            stats_.addCycles(TimeCategory::Atomic, me_.clock - entry);
+        } else {
+            machine_.rawLockAcquire(me_, obj.lock);
+            me_.clock += prof_.criticalOpCycles;
+            if (!obj.items.empty()) {
+                value = obj.items.back();
+                obj.items.pop_back();
+                ok = true;
+            }
+            machine_.rawLockRelease(me_, obj.lock);
+            stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+        }
+        return ok;
+    }
+
+    void
+    flagSet(FlagHandle f) override
+    {
+        ++stats_.flagOps;
+        auto& obj = *machine_.object(f.index).flag;
+        const VTime entry = me_.clock;
+        if (suite_ == SuiteVersion::Splash4) {
+            machine_.awaitTurn(me_);
+            me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
+            obj.value = true;
+            for (const int waiter : obj.waiters) {
+                const VTime seen =
+                    obj.line.load(waiter, me_.clock, prof_);
+                machine_.unblock(waiter,
+                                 seen + prof_.spinResumeCycles);
+            }
+            obj.waiters.clear();
+            stats_.addCycles(TimeCategory::Flag, me_.clock - entry);
+        } else {
+            machine_.rawLockAcquire(me_, obj.lock);
+            me_.clock += prof_.criticalOpCycles;
+            obj.value = true;
+            for (const int waiter : obj.waiters) {
+                me_.clock += prof_.wakeCyclesPerWaiter;
+                machine_.unblock(waiter,
+                                 me_.clock + prof_.wakeLatencyCycles);
+            }
+            obj.waiters.clear();
+            machine_.rawLockRelease(me_, obj.lock);
+            stats_.addCycles(TimeCategory::Flag, me_.clock - entry);
+        }
+    }
+
+    void
+    flagWait(FlagHandle f) override
+    {
+        ++stats_.flagOps;
+        auto& obj = *machine_.object(f.index).flag;
+        const VTime entry = me_.clock;
+        if (suite_ == SuiteVersion::Splash4) {
+            machine_.awaitTurn(me_);
+            me_.clock = obj.line.load(me_.tid, me_.clock, prof_);
+            if (!obj.value) {
+                obj.waiters.push_back(me_.tid);
+                machine_.blockSelf(me_);
+            }
+        } else {
+            machine_.rawLockAcquire(me_, obj.lock);
+            me_.clock += prof_.criticalOpCycles;
+            if (!obj.value) {
+                obj.waiters.push_back(me_.tid);
+                machine_.rawLockRelease(me_, obj.lock);
+                me_.clock += prof_.parkCycles;
+                machine_.blockSelf(me_);
+                // Requeued wake: convoy on the mutex line, no re-park.
+                me_.clock = obj.lock.line.rmw(me_.tid, me_.clock, prof_);
+                me_.clock = obj.lock.line.rmw(me_.tid, me_.clock, prof_);
+            } else {
+                machine_.rawLockRelease(me_, obj.lock);
+            }
+        }
+        stats_.addCycles(TimeCategory::Flag, me_.clock - entry);
+    }
+
+    void
+    flagClear(FlagHandle f) override
+    {
+        auto& obj = *machine_.object(f.index).flag;
+        machine_.awaitTurn(me_);
+        me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
+        obj.value = false;
+    }
+
+    void
+    work(std::uint64_t units) override
+    {
+        stats_.workUnits += units;
+        const VTime cycles = units * prof_.workUnitCycles;
+        me_.clock += cycles;
+        stats_.addCycles(TimeCategory::Compute, cycles);
+    }
+
+  private:
+    SimMachine& machine_;
+    SimThread& me_;
+    const MachineProfile& prof_;
+};
+
+} // namespace
+
+SimEngine::SimEngine(const World& world, const MachineProfile& profile)
+    : world_(world), profile_(profile)
+{
+}
+
+SimEngine::~SimEngine() = default;
+
+EngineOutcome
+SimEngine::run(const ThreadBody& body)
+{
+    SimMachine machine(world_, profile_);
+    const int n = world_.nthreads();
+
+    std::vector<std::unique_ptr<SimContext>> contexts;
+    for (int tid = 0; tid < n; ++tid)
+        contexts.push_back(std::make_unique<SimContext>(tid, machine));
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> host_threads;
+    host_threads.reserve(static_cast<std::size_t>(n));
+    for (int tid = 0; tid < n; ++tid) {
+        host_threads.emplace_back([&, tid] {
+            SimThread& me = machine.thread(tid);
+            me.sem.acquire();
+            me.state = SimThread::State::Running;
+            body(*contexts[tid]);
+            machine.finish(me);
+        });
+    }
+    machine.runToCompletion();
+    for (auto& thread : host_threads)
+        thread.join();
+    const auto stop = std::chrono::steady_clock::now();
+
+    EngineOutcome outcome;
+    outcome.makespan = machine.makespan();
+    outcome.lineTransfers = machine.totalLineTransfers();
+    outcome.wallSeconds =
+        std::chrono::duration<double>(stop - start).count();
+    for (int tid = 0; tid < n; ++tid)
+        outcome.perThread.push_back(contexts[tid]->stats());
+    return outcome;
+}
+
+} // namespace splash

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SimEngine: deterministic virtual-time multicore execution.
+ *
+ * The paper evaluates on a 64-core AMD EPYC and a gem5-simulated 64-core
+ * Ice Lake; this engine is our substitute for both (the build host has a
+ * single core).  Simulated threads execute the real benchmark code on
+ * real data, but exactly one simulated thread runs at a time: a
+ * cooperative scheduler always resumes the runnable thread with the
+ * smallest virtual clock, making every interleaving deterministic.
+ *
+ * Time advances from two sources only:
+ *  - Context::work(units): explicit compute accounting, a proxy for
+ *    retired instructions (scaled by MachineProfile::workUnitCycles);
+ *  - synchronization operations, timed by the cache-line contention
+ *    model in sim/line_model.h plus futex park/wake penalties.
+ *
+ * Benchmarks must perform all inter-thread waiting through Context
+ * primitives; spinning on plain shared memory would never terminate
+ * under this engine (and is a data race anyway).
+ */
+
+#ifndef SPLASH_ENGINE_SIM_ENGINE_H
+#define SPLASH_ENGINE_SIM_ENGINE_H
+
+#include <memory>
+
+#include "engine/engine.h"
+#include "sim/machine.h"
+
+namespace splash {
+
+class SimMachine; // private scheduler + modeled object table
+
+/** Engine running the benchmark under the virtual-time machine model. */
+class SimEngine : public ExecutionEngine
+{
+  public:
+    SimEngine(const World& world, const MachineProfile& profile);
+    ~SimEngine() override;
+
+    EngineOutcome run(const ThreadBody& body) override;
+
+  private:
+    const World& world_;
+    const MachineProfile& profile_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_ENGINE_SIM_ENGINE_H

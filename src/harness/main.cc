@@ -1,0 +1,160 @@
+/**
+ * @file
+ * splash4: command-line runner for the suite.
+ *
+ * Examples:
+ *   splash4 --list
+ *   splash4 radix --suite=splash4 --engine=sim --threads=64 \
+ *       --profile=epyc64 --keys=65536
+ *   splash4 all --suite=splash3 --engine=native --threads=4
+ *
+ * Unrecognized --name=value options are forwarded to the benchmark as
+ * parameters.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/benchmark.h"
+#include "engine/engine.h"
+#include "harness/report.h"
+#include "harness/suite.h"
+#include "sim/machine.h"
+#include "util/cli.h"
+#include "util/log.h"
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: splash4 <benchmark|all> [options] | splash4 --list\n"
+        "  --suite=splash3|splash4   (default splash4)\n"
+        "  --engine=native|sim       (default sim)\n"
+        "  --threads=N               (default 4)\n"
+        "  --profile=NAME            (default epyc64; sim engine)\n"
+        "  --detail                  print per-run detail\n"
+        "  --csv                     emit CSV instead of markdown\n"
+        "  --sweep=1,4,16,64         run each thread count, print\n"
+        "                            cycles and speedup (sim engine)\n"
+        "  other --key=value options become benchmark parameters\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+
+    registerAllBenchmarks();
+    CliArgs args(argc, argv);
+
+    if (args.has("list")) {
+        for (const auto& name : benchmarkNames()) {
+            auto bench = makeBenchmark(name);
+            std::printf("%-16s %s\n", name.c_str(),
+                        bench->description().c_str());
+        }
+        return 0;
+    }
+    if (args.positional().empty()) {
+        usage();
+        return 2;
+    }
+
+    RunConfig config;
+    config.threads = static_cast<int>(args.getInt("threads", 4));
+    config.suite = parseSuite(args.get("suite", "splash4"));
+    config.engine = parseEngine(args.get("engine", "sim"));
+    config.profile = args.get("profile", "epyc64");
+
+    // Forward everything else as benchmark parameters.
+    static const std::vector<std::string> reserved = {
+        "threads", "suite", "engine", "profile", "detail", "csv", "list"};
+    for (const char* key :
+         {"keys", "bits", "seed", "bodies", "steps", "grid", "molecules",
+          "size", "block", "rays", "width", "height", "volume",
+          "patches", "particles", "points", "iterations", "levels",
+          "terms", "tasks"}) {
+        if (args.has(key))
+            config.params.set(key, args.get(key, ""));
+    }
+
+    std::vector<std::string> selected;
+    const std::string which = args.positional().front();
+    if (which == "all") {
+        selected = benchmarkNames();
+    } else {
+        if (!hasBenchmark(which))
+            fatal("unknown benchmark '" + which + "' (try --list)");
+        selected.push_back(which);
+    }
+
+    if (args.has("sweep")) {
+        // Thread-count sweep (simulation engine): cycles + speedup.
+        std::vector<int> counts;
+        std::string list = args.get("sweep", "1,4,16,64");
+        for (std::size_t pos = 0; pos < list.size();) {
+            const std::size_t comma = list.find(',', pos);
+            const std::string item =
+                list.substr(pos, comma == std::string::npos
+                                     ? std::string::npos
+                                     : comma - pos);
+            if (!item.empty())
+                counts.push_back(std::atoi(item.c_str()));
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        if (counts.empty())
+            fatal("--sweep expects a comma-separated thread list");
+        config.engine = EngineKind::Sim;
+
+        Table table({"benchmark", "suite", "threads", "cycles",
+                     "speedup", "verified"});
+        for (const auto& name : selected) {
+            VTime base = 0;
+            for (const int threads : counts) {
+                config.threads = threads;
+                auto bench = makeBenchmark(name);
+                RunResult result = runBenchmark(*bench, config);
+                if (base == 0)
+                    base = result.simCycles;
+                table.cell(name)
+                    .cell(toString(config.suite))
+                    .cell(std::to_string(threads))
+                    .cell(static_cast<std::uint64_t>(result.simCycles))
+                    .cell(static_cast<double>(base) /
+                              static_cast<double>(result.simCycles),
+                          2)
+                    .cell(result.verified ? "yes" : "NO");
+                table.endRow();
+            }
+        }
+        if (args.has("csv"))
+            std::printf("%s", table.toCsv().c_str());
+        else
+            table.print("Thread sweep (speedup vs first entry)");
+        return 0;
+    }
+
+    Table table(runRowHeaders());
+    for (const auto& name : selected) {
+        auto bench = makeBenchmark(name);
+        RunResult result = runBenchmark(*bench, config);
+        addRunRow(table, name, config, result);
+        if (args.has("detail"))
+            printRunDetail(name, config, result);
+        if (!result.verified) {
+            warn(name + " failed verification: " + result.verifyMessage);
+        }
+    }
+    if (args.has("csv"))
+        std::printf("%s", table.toCsv().c_str());
+    else
+        table.print("Run summary");
+    return 0;
+}

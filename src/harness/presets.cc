@@ -1,0 +1,98 @@
+#include "harness/presets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+
+namespace splash {
+
+namespace {
+
+std::int64_t
+scaled(std::int64_t base, double scale, std::int64_t minimum)
+{
+    const auto v = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(base) * scale));
+    return std::max(minimum, v);
+}
+
+/** Round down to a power of two. */
+std::int64_t
+pow2Floor(std::int64_t v)
+{
+    std::int64_t p = 1;
+    while (p * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+/** Round down to a power of four (fft needs an even power of two). */
+std::int64_t
+pow4Floor(std::int64_t v)
+{
+    std::int64_t p = 1;
+    while (p * 4 <= v)
+        p *= 4;
+    return p;
+}
+
+} // namespace
+
+const std::vector<std::string>&
+suiteOrder()
+{
+    static const std::vector<std::string> order = {
+        "barnes",    "fmm",     "ocean",          "radiosity",
+        "raytrace",  "volrend", "water-nsquared", "water-spatial",
+        "cholesky",  "fft",     "lu",             "radix",
+    };
+    return order;
+}
+
+Params
+benchParams(const std::string& benchmark, double scale)
+{
+    Params p;
+    if (benchmark == "barnes") {
+        p.set("bodies", scaled(8192, scale, 64));
+        p.set("steps", std::int64_t{2});
+    } else if (benchmark == "fmm") {
+        p.set("particles", scaled(16384, scale, 64));
+        p.set("levels", std::int64_t{scale < 0.5 ? 3 : 4});
+    } else if (benchmark == "ocean") {
+        p.set("grid", scaled(192, std::sqrt(scale), 18));
+    } else if (benchmark == "radiosity") {
+        p.set("patches", scaled(4, std::sqrt(scale), 3));
+    } else if (benchmark == "raytrace") {
+        p.set("width", pow2Floor(scaled(256, std::sqrt(scale), 32)));
+        p.set("height", pow2Floor(scaled(256, std::sqrt(scale), 32)));
+        p.set("spheres", std::int64_t{48});
+    } else if (benchmark == "volrend") {
+        p.set("volume", scaled(64, std::cbrt(scale), 12));
+        p.set("width", pow2Floor(scaled(256, std::sqrt(scale), 32)));
+        p.set("height", pow2Floor(scaled(256, std::sqrt(scale), 32)));
+    } else if (benchmark == "water-nsquared") {
+        p.set("molecules", scaled(256, scale, 27));
+        p.set("steps", std::int64_t{2});
+    } else if (benchmark == "water-spatial") {
+        p.set("molecules", scaled(512, scale, 64));
+        p.set("steps", std::int64_t{2});
+    } else if (benchmark == "cholesky") {
+        p.set("size", 32 * scaled(20, std::cbrt(scale), 4));
+        p.set("block", std::int64_t{32});
+    } else if (benchmark == "fft") {
+        p.set("points", pow4Floor(scaled(1048576, scale, 1024)));
+    } else if (benchmark == "lu") {
+        p.set("size", 32 * scaled(24, std::cbrt(scale), 4));
+        p.set("block", std::int64_t{32});
+    } else if (benchmark == "radix") {
+        p.set("keys", pow2Floor(scaled(2097152, scale, 4096)));
+        p.set("bits", std::int64_t{8});
+    } else {
+        fatal("no preset for benchmark '" + benchmark + "'");
+    }
+    return p;
+}
+
+} // namespace splash

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Canonical workload presets for the reproduction experiments.
+ *
+ * The paper runs the suite's default inputs on 64 hardware threads;
+ * our simulated machine runs serially, so the presets are scaled to
+ * keep full 12-benchmark x 2-suite sweeps in minutes while preserving
+ * each workload's compute/synchronization balance.  `scale` < 1
+ * shrinks the inputs further for quick runs.
+ */
+
+#ifndef SPLASH_HARNESS_PRESETS_H
+#define SPLASH_HARNESS_PRESETS_H
+
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+
+namespace splash {
+
+/** Benchmark parameter preset for the bench experiments. */
+Params benchParams(const std::string& benchmark, double scale = 1.0);
+
+/** Canonical ordering of the suite for report rows. */
+const std::vector<std::string>& suiteOrder();
+
+} // namespace splash
+
+#endif // SPLASH_HARNESS_PRESETS_H

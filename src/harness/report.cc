@@ -1,0 +1,72 @@
+#include "harness/report.h"
+
+#include <cstdio>
+
+namespace splash {
+
+std::vector<std::string>
+runRowHeaders()
+{
+    return {"benchmark", "suite",   "engine", "threads", "cycles",
+            "wall_s",    "barrier", "lock",   "atomic",  "verified"};
+}
+
+void
+addRunRow(Table& table, const std::string& benchName,
+          const RunConfig& config, const RunResult& result)
+{
+    table.cell(benchName)
+        .cell(toString(config.suite))
+        .cell(toString(config.engine))
+        .cell(std::to_string(config.threads))
+        .cell(static_cast<std::uint64_t>(result.simCycles))
+        .cell(result.wallSeconds, 4)
+        .cell(result.totals.barrierCrossings)
+        .cell(result.totals.lockAcquires)
+        .cell(result.totals.atomicOps())
+        .cell(result.verified ? "yes" : "NO");
+    table.endRow();
+}
+
+void
+printRunDetail(const std::string& benchName, const RunConfig& config,
+               const RunResult& result)
+{
+    std::printf("== %s [%s, %s, %d threads", benchName.c_str(),
+                toString(config.suite), toString(config.engine),
+                config.threads);
+    if (config.engine == EngineKind::Sim)
+        std::printf(", profile=%s", config.profile.c_str());
+    std::printf("]\n");
+    std::printf("  verified: %s (%s)\n",
+                result.verified ? "yes" : "NO",
+                result.verifyMessage.c_str());
+    if (config.engine == EngineKind::Sim) {
+        std::printf("  simulated cycles: %llu\n",
+                    static_cast<unsigned long long>(result.simCycles));
+    }
+    std::printf("  wall seconds: %.4f\n", result.wallSeconds);
+    std::printf("  construct counts: barriers=%llu locks=%llu "
+                "tickets=%llu sums=%llu stacks=%llu flags=%llu\n",
+                static_cast<unsigned long long>(
+                    result.totals.barrierCrossings),
+                static_cast<unsigned long long>(
+                    result.totals.lockAcquires),
+                static_cast<unsigned long long>(result.totals.ticketOps),
+                static_cast<unsigned long long>(result.totals.sumOps),
+                static_cast<unsigned long long>(result.totals.stackOps),
+                static_cast<unsigned long long>(result.totals.flagOps));
+    if (config.engine == EngineKind::Sim) {
+        std::printf("  time breakdown:");
+        for (int c = 0;
+             c < static_cast<int>(TimeCategory::NumCategories); ++c) {
+            const auto cat = static_cast<TimeCategory>(c);
+            std::printf(" %s=%.1f%%", toString(cat),
+                        100.0 * result.categoryFraction(cat));
+        }
+        std::printf("\n");
+    }
+    std::fflush(stdout);
+}
+
+} // namespace splash

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Report helpers turning RunResults into tables.
+ */
+
+#ifndef SPLASH_HARNESS_REPORT_H
+#define SPLASH_HARNESS_REPORT_H
+
+#include <string>
+
+#include "core/stats.h"
+#include "engine/engine.h"
+#include "util/table.h"
+
+namespace splash {
+
+/** One row summarizing a run (for multi-run tables). */
+void addRunRow(Table& table, const std::string& benchName,
+               const RunConfig& config, const RunResult& result);
+
+/** Headers matching addRunRow. */
+std::vector<std::string> runRowHeaders();
+
+/** Print a single run's full detail (counts, categories). */
+void printRunDetail(const std::string& benchName,
+                    const RunConfig& config, const RunResult& result);
+
+} // namespace splash
+
+#endif // SPLASH_HARNESS_REPORT_H

@@ -1,0 +1,44 @@
+#include "harness/suite.h"
+
+#include "apps/barnes.h"
+#include "apps/fmm.h"
+#include "apps/ocean.h"
+#include "apps/radiosity.h"
+#include "apps/raytrace.h"
+#include "apps/volrend.h"
+#include "apps/water_nsquared.h"
+#include "apps/water_spatial.h"
+#include "core/benchmark.h"
+#include "kernels/cholesky.h"
+#include "kernels/fft.h"
+#include "kernels/lu.h"
+#include "kernels/radix.h"
+
+namespace splash {
+
+void
+registerAllBenchmarks()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+
+    // Applications.
+    registerBenchmark("barnes", BarnesBenchmark::create);
+    registerBenchmark("fmm", FmmBenchmark::create);
+    registerBenchmark("ocean", OceanBenchmark::create);
+    registerBenchmark("radiosity", RadiosityBenchmark::create);
+    registerBenchmark("raytrace", RaytraceBenchmark::create);
+    registerBenchmark("volrend", VolrendBenchmark::create);
+    registerBenchmark("water-nsquared", WaterNsquaredBenchmark::create);
+    registerBenchmark("water-spatial", WaterSpatialBenchmark::create);
+
+    // Kernels.
+    registerBenchmark("cholesky", CholeskyBenchmark::create);
+    registerBenchmark("fft", FftBenchmark::create);
+    registerBenchmark("lu", LuBenchmark::create);
+    registerBenchmark("radix", RadixBenchmark::create);
+}
+
+} // namespace splash

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Registration of the full Splash-4 suite with the benchmark registry.
+ */
+
+#ifndef SPLASH_HARNESS_SUITE_H
+#define SPLASH_HARNESS_SUITE_H
+
+namespace splash {
+
+/**
+ * Register all suite benchmarks.  Idempotent; call once from main()
+ * (explicit registration avoids the static-initializer pitfalls of
+ * self-registering objects in static libraries).
+ */
+void registerAllBenchmarks();
+
+} // namespace splash
+
+#endif // SPLASH_HARNESS_SUITE_H

@@ -1,0 +1,183 @@
+#include "kernels/cholesky.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace splash {
+
+std::unique_ptr<Benchmark>
+CholeskyBenchmark::create()
+{
+    return std::make_unique<CholeskyBenchmark>();
+}
+
+std::string
+CholeskyBenchmark::inputDescription() const
+{
+    return std::to_string(n_) + "x" + std::to_string(n_) +
+           " SPD matrix, " + std::to_string(block_) + "x" +
+           std::to_string(block_) + " blocks";
+}
+
+void
+CholeskyBenchmark::setup(World& world, const Params& params)
+{
+    n_ = static_cast<std::size_t>(
+        params.getInt("size", static_cast<std::int64_t>(n_)));
+    block_ = static_cast<std::size_t>(
+        params.getInt("block", static_cast<std::int64_t>(block_)));
+    seed_ = static_cast<std::uint64_t>(params.getInt("seed", 1));
+    panicIf(block_ == 0 || n_ % block_ != 0,
+            "cholesky: size must be a multiple of block");
+    numBlocks_ = n_ / block_;
+
+    // Symmetric + strongly diagonally dominant => SPD.
+    Rng rng(seed_);
+    data_.assign(n_ * n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            const double v = rng.uniform(-1.0, 1.0);
+            at(i, j) = v;
+            at(j, i) = v;
+        }
+        at(i, i) += static_cast<double>(n_);
+    }
+    original_ = data_;
+
+    barrier_ = world.createBarrier();
+    panelTicket_ = world.createTicket();
+    const std::uint32_t max_tasks = static_cast<std::uint32_t>(
+        numBlocks_ * (numBlocks_ + 1) / 2 + 1);
+    updateTasks_ = world.createStack(max_tasks);
+}
+
+void
+CholeskyBenchmark::factorDiagonal(std::size_t k)
+{
+    const std::size_t base = k * block_;
+    for (std::size_t j = 0; j < block_; ++j) {
+        double diag = at(base + j, base + j);
+        for (std::size_t t = 0; t < j; ++t)
+            diag -= at(base + j, base + t) * at(base + j, base + t);
+        diag = std::sqrt(diag);
+        at(base + j, base + j) = diag;
+        for (std::size_t i = j + 1; i < block_; ++i) {
+            double acc = at(base + i, base + j);
+            for (std::size_t t = 0; t < j; ++t)
+                acc -= at(base + i, base + t) * at(base + j, base + t);
+            at(base + i, base + j) = acc / diag;
+        }
+    }
+}
+
+void
+CholeskyBenchmark::panelSolve(std::size_t k, std::size_t bi)
+{
+    // A[bi][k] := A[bi][k] * L[k][k]^-T  (forward solve per row).
+    const std::size_t kb = k * block_;
+    const std::size_t ib = bi * block_;
+    for (std::size_t r = 0; r < block_; ++r) {
+        for (std::size_t c = 0; c < block_; ++c) {
+            double acc = at(ib + r, kb + c);
+            for (std::size_t t = 0; t < c; ++t)
+                acc -= at(ib + r, kb + t) * at(kb + c, kb + t);
+            at(ib + r, kb + c) = acc / at(kb + c, kb + c);
+        }
+    }
+}
+
+void
+CholeskyBenchmark::trailingUpdate(std::size_t k, std::size_t bi,
+                                  std::size_t bj)
+{
+    // A[bi][bj] -= A[bi][k] * A[bj][k]^T  (bi >= bj > k).
+    const std::size_t kb = k * block_;
+    const std::size_t ib = bi * block_;
+    const std::size_t jb = bj * block_;
+    for (std::size_t r = 0; r < block_; ++r) {
+        for (std::size_t c = 0; c < block_; ++c) {
+            double acc = 0.0;
+            for (std::size_t t = 0; t < block_; ++t)
+                acc += at(ib + r, kb + t) * at(jb + c, kb + t);
+            at(ib + r, jb + c) -= acc;
+        }
+    }
+}
+
+void
+CholeskyBenchmark::run(Context& ctx)
+{
+    const int tid = ctx.tid();
+    const std::uint64_t block_flops =
+        static_cast<std::uint64_t>(block_) * block_ * block_ / 8 + 1;
+
+    for (std::size_t k = 0; k < numBlocks_; ++k) {
+        if (tid == 0) {
+            factorDiagonal(k);
+            ctx.work(block_flops);
+            ctx.ticketReset(panelTicket_, 0);
+        }
+        ctx.barrier(barrier_);
+
+        // Panel solves claimed dynamically through the ticket.
+        const std::size_t panels = numBlocks_ - k - 1;
+        for (;;) {
+            const std::uint64_t idx = ctx.ticketNext(panelTicket_);
+            if (idx >= panels)
+                break;
+            panelSolve(k, k + 1 + idx);
+            ctx.work(block_flops);
+        }
+        ctx.barrier(barrier_);
+
+        // Trailing updates distributed through the shared task stack.
+        if (tid == 0) {
+            for (std::size_t bi = k + 1; bi < numBlocks_; ++bi) {
+                for (std::size_t bj = k + 1; bj <= bi; ++bj) {
+                    const std::uint32_t task = static_cast<std::uint32_t>(
+                        bi * numBlocks_ + bj);
+                    ctx.stackPush(updateTasks_, task);
+                }
+            }
+        }
+        ctx.barrier(barrier_);
+        std::uint32_t task;
+        while (ctx.stackPop(updateTasks_, task)) {
+            const std::size_t bi = task / numBlocks_;
+            const std::size_t bj = task % numBlocks_;
+            trailingUpdate(k, bi, bj);
+            ctx.work(2 * block_flops);
+        }
+        ctx.barrier(barrier_);
+    }
+}
+
+bool
+CholeskyBenchmark::verify(std::string& message)
+{
+    // Check L * L^T == A0 on the lower triangle.
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double acc = 0.0;
+            for (std::size_t t = 0; t <= j; ++t)
+                acc += at(i, t) * at(j, t);
+            max_err = std::max(
+                max_err, std::abs(acc - original_[i * n_ + j]));
+        }
+    }
+    const double tol = 1e-8 * static_cast<double>(n_) *
+                       static_cast<double>(n_);
+    if (max_err > tol) {
+        message = "cholesky: |LL^T - A| too large: " +
+                  std::to_string(max_err);
+        return false;
+    }
+    message = "cholesky: residual max " + std::to_string(max_err);
+    return true;
+}
+
+} // namespace splash

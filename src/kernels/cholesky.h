@@ -1,0 +1,69 @@
+/**
+ * @file
+ * CHOLESKY: blocked Cholesky factorization with dynamic task
+ * distribution (Splash-2 kernel).
+ *
+ * Right-looking factorization of an SPD matrix.  The per-step panel
+ * solves are claimed through a shared ticket and the trailing-matrix
+ * updates flow through a shared task stack -- the kernel's
+ * characteristic construct pair (Splash-3: lock-protected queue and
+ * counter, Splash-4: lock-free stack and fetch&add).
+ *
+ * Parameters: size (N), block (B), seed.
+ */
+
+#ifndef SPLASH_KERNELS_CHOLESKY_H
+#define SPLASH_KERNELS_CHOLESKY_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/benchmark.h"
+
+namespace splash {
+
+/** Blocked Cholesky benchmark. */
+class CholeskyBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "cholesky"; }
+    std::string description() const override
+    {
+        return "blocked SPD Cholesky; ticket + task-stack scheduling";
+    }
+    std::string inputDescription() const override;
+
+    void setup(World& world, const Params& params) override;
+    void run(Context& ctx) override;
+    bool verify(std::string& message) override;
+
+    static std::unique_ptr<Benchmark> create();
+
+  private:
+    double& at(std::size_t i, std::size_t j) { return data_[i * n_ + j]; }
+    double at(std::size_t i, std::size_t j) const
+    {
+        return data_[i * n_ + j];
+    }
+
+    void factorDiagonal(std::size_t k);
+    void panelSolve(std::size_t k, std::size_t bi);
+    void trailingUpdate(std::size_t k, std::size_t bi, std::size_t bj);
+
+    std::size_t n_ = 256;
+    std::size_t block_ = 16;
+    std::size_t numBlocks_ = 16;
+    std::uint64_t seed_ = 1;
+
+    std::vector<double> data_;
+    std::vector<double> original_;
+
+    BarrierHandle barrier_;
+    TicketHandle panelTicket_;
+    StackHandle updateTasks_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_KERNELS_CHOLESKY_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * FFT: Bailey's six-step 1D complex FFT (Splash-2 kernel).
+ *
+ * The n = R*R points are viewed as an R x R matrix; the transform is
+ * three transposes, two batches of row FFTs, and a twiddle scaling,
+ * with a barrier between every phase.  Threads own contiguous row
+ * stripes.  The benchmark runs forward + inverse and checks the
+ * round trip against the input, plus a Parseval checksum accumulated
+ * through a shared reduction (Splash-3: locked, Splash-4: CAS loop).
+ *
+ * Parameters: points (must be an even power of two), seed.
+ */
+
+#ifndef SPLASH_KERNELS_FFT_H
+#define SPLASH_KERNELS_FFT_H
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/benchmark.h"
+
+namespace splash {
+
+/** Six-step FFT benchmark. */
+class FftBenchmark : public Benchmark
+{
+  public:
+    using Complex = std::complex<double>;
+
+    std::string name() const override { return "fft"; }
+    std::string description() const override
+    {
+        return "six-step complex FFT; barrier-separated phases";
+    }
+    std::string inputDescription() const override;
+
+    void setup(World& world, const Params& params) override;
+    void run(Context& ctx) override;
+    bool verify(std::string& message) override;
+
+    static std::unique_ptr<Benchmark> create();
+
+  private:
+    /** One six-step transform of src into dst (both R*R, row-major). */
+    void sixStep(Context& ctx, Complex* src, Complex* dst);
+
+    /** In-place iterative radix-2 FFT of one length-R row. */
+    void fftRow(Complex* row) const;
+
+    void transpose(Context& ctx, const Complex* src, Complex* dst);
+    void rowStripe(Context& ctx, std::size_t& lo, std::size_t& hi) const;
+
+    std::size_t n_ = 1 << 14; ///< total points
+    std::size_t radix_ = 128; ///< R = sqrt(n)
+    int logRadix_ = 7;
+    std::uint64_t seed_ = 1;
+
+    std::vector<Complex> a_;
+    std::vector<Complex> b_;
+    std::vector<Complex> original_;
+    std::vector<Complex> spectrum_;   ///< forward result (tid 0 copy)
+    std::vector<Complex> rowTwiddle_; ///< W_R^k table for row FFTs
+
+    BarrierHandle barrier_;
+    SumHandle parseval_; ///< sum of |X|^2 over the spectrum
+
+    double timeDomainEnergy_ = 0.0;
+    double parsevalValue_ = -1.0; ///< captured by tid 0 during run()
+};
+
+} // namespace splash
+
+#endif // SPLASH_KERNELS_FFT_H

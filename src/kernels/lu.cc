@@ -1,0 +1,180 @@
+#include "kernels/lu.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace splash {
+
+std::unique_ptr<Benchmark>
+LuBenchmark::create()
+{
+    return std::make_unique<LuBenchmark>();
+}
+
+std::string
+LuBenchmark::inputDescription() const
+{
+    return std::to_string(n_) + "x" + std::to_string(n_) +
+           " matrix, " + std::to_string(block_) + "x" +
+           std::to_string(block_) + " blocks";
+}
+
+void
+LuBenchmark::setup(World& world, const Params& params)
+{
+    n_ = static_cast<std::size_t>(
+        params.getInt("size", static_cast<std::int64_t>(n_)));
+    block_ = static_cast<std::size_t>(
+        params.getInt("block", static_cast<std::int64_t>(block_)));
+    seed_ = static_cast<std::uint64_t>(params.getInt("seed", 1));
+    panicIf(block_ == 0 || n_ % block_ != 0,
+            "lu: size must be a multiple of block");
+    numBlocks_ = n_ / block_;
+
+    Rng rng(seed_);
+    data_.resize(n_ * n_);
+    for (auto& v : data_)
+        v = rng.uniform(-1.0, 1.0);
+    // Diagonal dominance makes pivot-free LU well conditioned.
+    for (std::size_t i = 0; i < n_; ++i)
+        at(i, i) += static_cast<double>(n_);
+    original_ = data_;
+
+    barrier_ = world.createBarrier();
+}
+
+void
+LuBenchmark::factorDiagonal(std::size_t k)
+{
+    const std::size_t base = k * block_;
+    for (std::size_t j = 0; j < block_; ++j) {
+        const double pivot = at(base + j, base + j);
+        for (std::size_t i = j + 1; i < block_; ++i) {
+            at(base + i, base + j) /= pivot;
+            const double lij = at(base + i, base + j);
+            for (std::size_t c = j + 1; c < block_; ++c)
+                at(base + i, base + c) -= lij * at(base + j, base + c);
+        }
+    }
+}
+
+void
+LuBenchmark::solveRowBlock(std::size_t k, std::size_t bj)
+{
+    // A[k][bj] := L[k][k]^-1 * A[k][bj] (unit lower triangular solve).
+    const std::size_t kb = k * block_;
+    const std::size_t jb = bj * block_;
+    for (std::size_t c = 0; c < block_; ++c) {
+        for (std::size_t r = 1; r < block_; ++r) {
+            double acc = at(kb + r, jb + c);
+            for (std::size_t t = 0; t < r; ++t)
+                acc -= at(kb + r, kb + t) * at(kb + t, jb + c);
+            at(kb + r, jb + c) = acc;
+        }
+    }
+}
+
+void
+LuBenchmark::solveColumnBlock(std::size_t k, std::size_t bi)
+{
+    // A[bi][k] := A[bi][k] * U[k][k]^-1.
+    const std::size_t kb = k * block_;
+    const std::size_t ib = bi * block_;
+    for (std::size_t r = 0; r < block_; ++r) {
+        for (std::size_t c = 0; c < block_; ++c) {
+            double acc = at(ib + r, kb + c);
+            for (std::size_t t = 0; t < c; ++t)
+                acc -= at(ib + r, kb + t) * at(kb + t, kb + c);
+            at(ib + r, kb + c) = acc / at(kb + c, kb + c);
+        }
+    }
+}
+
+void
+LuBenchmark::updateInterior(std::size_t k, std::size_t bi,
+                            std::size_t bj)
+{
+    // A[bi][bj] -= A[bi][k] * A[k][bj].
+    const std::size_t kb = k * block_;
+    const std::size_t ib = bi * block_;
+    const std::size_t jb = bj * block_;
+    for (std::size_t r = 0; r < block_; ++r) {
+        for (std::size_t t = 0; t < block_; ++t) {
+            const double lik = at(ib + r, kb + t);
+            for (std::size_t c = 0; c < block_; ++c)
+                at(ib + r, jb + c) -= lik * at(kb + t, jb + c);
+        }
+    }
+}
+
+void
+LuBenchmark::run(Context& ctx)
+{
+    const int tid = ctx.tid();
+    const int nthreads = ctx.nthreads();
+    const std::uint64_t block_flops =
+        static_cast<std::uint64_t>(block_) * block_ * block_ / 8 + 1;
+
+    for (std::size_t k = 0; k < numBlocks_; ++k) {
+        if (owner(k, k, nthreads) == tid) {
+            factorDiagonal(k);
+            ctx.work(block_flops);
+        }
+        ctx.barrier(barrier_);
+
+        for (std::size_t b = k + 1; b < numBlocks_; ++b) {
+            if (owner(k, b, nthreads) == tid) {
+                solveRowBlock(k, b);
+                ctx.work(block_flops);
+            }
+            if (owner(b, k, nthreads) == tid) {
+                solveColumnBlock(k, b);
+                ctx.work(block_flops);
+            }
+        }
+        ctx.barrier(barrier_);
+
+        for (std::size_t bi = k + 1; bi < numBlocks_; ++bi) {
+            for (std::size_t bj = k + 1; bj < numBlocks_; ++bj) {
+                if (owner(bi, bj, nthreads) == tid) {
+                    updateInterior(k, bi, bj);
+                    ctx.work(2 * block_flops);
+                }
+            }
+        }
+        ctx.barrier(barrier_);
+    }
+}
+
+bool
+LuBenchmark::verify(std::string& message)
+{
+    // Reconstruct L*U and compare against the original matrix.
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t j = 0; j < n_; ++j) {
+            const std::size_t kmax = std::min(i, j);
+            double acc = 0.0;
+            for (std::size_t k = 0; k < kmax; ++k)
+                acc += at(i, k) * at(k, j);
+            // L has unit diagonal; U holds the diagonal entries.
+            acc += (i <= j) ? at(i, j) : at(i, j) * at(j, j);
+            const double err =
+                std::abs(acc - original_[i * n_ + j]);
+            max_err = std::max(max_err, err);
+        }
+    }
+    const double tol = 1e-8 * static_cast<double>(n_) *
+                       static_cast<double>(n_);
+    if (max_err > tol) {
+        message = "lu: |LU - A| too large: " + std::to_string(max_err);
+        return false;
+    }
+    message = "lu: residual max " + std::to_string(max_err);
+    return true;
+}
+
+} // namespace splash

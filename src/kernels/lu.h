@@ -1,0 +1,76 @@
+/**
+ * @file
+ * LU: blocked dense LU factorization without pivoting (Splash-2
+ * kernel).
+ *
+ * The N x N matrix is partitioned into B x B blocks assigned
+ * round-robin to threads (owner computes).  Each step factors the
+ * diagonal block, solves the perimeter row/column, and updates the
+ * trailing interior, with barriers between phases -- LU is the suite's
+ * purest barrier workload.  The input is made diagonally dominant so
+ * factoring without pivoting is numerically safe.
+ *
+ * Parameters: size (N), block (B), seed.
+ */
+
+#ifndef SPLASH_KERNELS_LU_H
+#define SPLASH_KERNELS_LU_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/benchmark.h"
+
+namespace splash {
+
+/** Blocked LU factorization benchmark. */
+class LuBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "lu"; }
+    std::string description() const override
+    {
+        return "blocked dense LU; owner-computes with barriers";
+    }
+    std::string inputDescription() const override;
+
+    void setup(World& world, const Params& params) override;
+    void run(Context& ctx) override;
+    bool verify(std::string& message) override;
+
+    static std::unique_ptr<Benchmark> create();
+
+  private:
+    double& at(std::size_t i, std::size_t j) { return data_[i * n_ + j]; }
+    double at(std::size_t i, std::size_t j) const
+    {
+        return data_[i * n_ + j];
+    }
+
+    /** Owner thread of block (bi, bj). */
+    int owner(std::size_t bi, std::size_t bj, int nthreads) const
+    {
+        return static_cast<int>((bi * numBlocks_ + bj) %
+                                static_cast<std::size_t>(nthreads));
+    }
+
+    void factorDiagonal(std::size_t k);
+    void solveRowBlock(std::size_t k, std::size_t bj);
+    void solveColumnBlock(std::size_t k, std::size_t bi);
+    void updateInterior(std::size_t k, std::size_t bi, std::size_t bj);
+
+    std::size_t n_ = 256;
+    std::size_t block_ = 16;
+    std::size_t numBlocks_ = 16;
+    std::uint64_t seed_ = 1;
+
+    std::vector<double> data_;
+    std::vector<double> original_;
+
+    BarrierHandle barrier_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_KERNELS_LU_H

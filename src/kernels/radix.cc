@@ -1,0 +1,177 @@
+#include "kernels/radix.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace splash {
+
+std::unique_ptr<Benchmark>
+RadixBenchmark::create()
+{
+    return std::make_unique<RadixBenchmark>();
+}
+
+std::string
+RadixBenchmark::inputDescription() const
+{
+    return std::to_string(numKeys_) + " uint32 keys, " +
+           std::to_string(bitsPerPass_) + "-bit digits, " +
+           std::to_string(numPasses_) + " passes";
+}
+
+std::uint32_t
+RadixBenchmark::digit(std::uint32_t key, int pass) const
+{
+    const std::uint32_t mask = (1u << bitsPerPass_) - 1u;
+    return (key >> (pass * bitsPerPass_)) & mask;
+}
+
+void
+RadixBenchmark::setup(World& world, const Params& params)
+{
+    numKeys_ = static_cast<std::size_t>(
+        params.getInt("keys", static_cast<std::int64_t>(numKeys_)));
+    bitsPerPass_ = static_cast<int>(params.getInt("bits", bitsPerPass_));
+    seed_ = static_cast<std::uint64_t>(params.getInt("seed", 1));
+    panicIf(bitsPerPass_ < 1 || bitsPerPass_ > 16,
+            "radix: bits out of range");
+    numPasses_ = (32 + bitsPerPass_ - 1) / bitsPerPass_;
+    nthreads_ = world.nthreads();
+
+    Rng rng(seed_);
+    keys_.resize(numKeys_);
+    temp_.assign(numKeys_, 0);
+    inputChecksum_ = 0;
+    inputXor_ = 0;
+    for (auto& key : keys_) {
+        key = static_cast<std::uint32_t>(rng.next());
+        inputChecksum_ += key;
+        std::uint64_t h = key;
+        inputXor_ ^= Rng::splitmix64(h);
+    }
+
+    const std::size_t buckets = std::size_t{1} << bitsPerPass_;
+    // Pad rows to a multiple of a cache line to avoid false sharing of
+    // neighbouring threads' histograms.
+    rowStride_ = (buckets + 7) & ~std::size_t{7};
+    prefix_.assign(rowStride_ * static_cast<std::size_t>(nthreads_), 0);
+    bucketBase_.assign(buckets, 0);
+
+    barrier_ = world.createBarrier();
+    bucketTickets_ = world.createTickets(buckets);
+}
+
+void
+RadixBenchmark::run(Context& ctx)
+{
+    const int tid = ctx.tid();
+    const int nthreads = ctx.nthreads();
+    const std::size_t buckets = bucketTickets_.size();
+
+    const std::size_t chunk = (numKeys_ + nthreads - 1) / nthreads;
+    const std::size_t lo = std::min(numKeys_, chunk * tid);
+    const std::size_t hi = std::min(numKeys_, lo + chunk);
+
+    std::vector<std::uint64_t> local_count(buckets);
+    std::vector<std::uint64_t> neighbor(buckets);
+    std::vector<std::uint64_t> scatter_idx(buckets);
+    std::uint64_t* my_row = prefix_.data() + rowStride_ * tid;
+
+    for (int pass = 0; pass < numPasses_; ++pass) {
+        const bool forward = (pass % 2) == 0;
+        const std::uint32_t* src = forward ? keys_.data() : temp_.data();
+        std::uint32_t* dst = forward ? temp_.data() : keys_.data();
+
+        // Per-thread histogram of this digit.
+        std::fill(local_count.begin(), local_count.end(), 0);
+        for (std::size_t i = lo; i < hi; ++i)
+            ++local_count[digit(src[i], pass)];
+        ctx.work(hi - lo);
+
+        // Publish bucket totals through the shared counters (Splash-3:
+        // lock per bucket, Splash-4: fetch&add per bucket).
+        for (std::size_t b = 0; b < buckets; ++b) {
+            if (local_count[b] != 0)
+                ctx.ticketNext(bucketTickets_[b], local_count[b]);
+        }
+
+        // Inclusive parallel prefix of per-thread histograms across
+        // threads (log-step, barrier-separated), which yields the
+        // stable intra-bucket rank of each thread's keys.
+        for (std::size_t b = 0; b < buckets; ++b)
+            my_row[b] = local_count[b];
+        ctx.barrier(barrier_);
+        for (int step = 1; step < nthreads; step <<= 1) {
+            if (tid >= step) {
+                const std::uint64_t* other =
+                    prefix_.data() + rowStride_ * (tid - step);
+                std::copy(other, other + buckets, neighbor.begin());
+            }
+            ctx.work(buckets / 4 + 1);
+            ctx.barrier(barrier_);
+            if (tid >= step) {
+                for (std::size_t b = 0; b < buckets; ++b)
+                    my_row[b] += neighbor[b];
+            }
+            ctx.work(buckets / 4 + 1);
+            ctx.barrier(barrier_);
+        }
+
+        // Bucket bases from the global totals; reset the counters for
+        // the next pass (republication happens two barriers later).
+        if (tid == 0) {
+            std::uint64_t acc = 0;
+            for (std::size_t b = 0; b < buckets; ++b) {
+                const std::uint64_t total =
+                    ctx.ticketNext(bucketTickets_[b], 0);
+                bucketBase_[b] = acc;
+                acc += total;
+                ctx.ticketReset(bucketTickets_[b], 0);
+            }
+            ctx.work(buckets);
+        }
+        ctx.barrier(barrier_);
+
+        // Scatter: dest = bucket base + this thread's stable offset
+        // within the bucket + running index.
+        for (std::size_t b = 0; b < buckets; ++b)
+            scatter_idx[b] = my_row[b] - local_count[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+            const std::uint32_t b = digit(src[i], pass);
+            dst[bucketBase_[b] + scatter_idx[b]++] = src[i];
+        }
+        ctx.work(2 * (hi - lo));
+        ctx.barrier(barrier_);
+    }
+}
+
+bool
+RadixBenchmark::verify(std::string& message)
+{
+    const std::vector<std::uint32_t>& result =
+        (numPasses_ % 2 == 0) ? keys_ : temp_;
+
+    std::uint64_t checksum = 0;
+    std::uint64_t xorsum = 0;
+    for (std::size_t i = 0; i < result.size(); ++i) {
+        if (i > 0 && result[i - 1] > result[i]) {
+            message = "radix: keys out of order at index " +
+                      std::to_string(i);
+            return false;
+        }
+        checksum += result[i];
+        std::uint64_t h = result[i];
+        xorsum ^= Rng::splitmix64(h);
+    }
+    if (checksum != inputChecksum_ || xorsum != inputXor_) {
+        message = "radix: output is not a permutation of the input";
+        return false;
+    }
+    message = "radix: " + std::to_string(result.size()) +
+              " keys sorted; checksum ok";
+    return true;
+}
+
+} // namespace splash

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * RADIX: parallel radix sort of integer keys (Splash-2 kernel).
+ *
+ * Each thread owns a contiguous chunk of the key array.  Every digit
+ * pass builds per-thread histograms, publishes them into shared
+ * per-bucket counters to obtain global ranks, and scatters keys to
+ * their destinations.  The rank computation is the suite's signature
+ * construct swap: Splash-3 uses a lock-protected counter per bucket,
+ * Splash-4 a single atomic fetch&add (the original's lock+prefix-tree
+ * versus atomic-increment transformation).
+ *
+ * Parameters: keys (count), bits (per digit), seed.
+ */
+
+#ifndef SPLASH_KERNELS_RADIX_H
+#define SPLASH_KERNELS_RADIX_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/benchmark.h"
+
+namespace splash {
+
+/** Parallel radix sort benchmark. */
+class RadixBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "radix"; }
+    std::string description() const override
+    {
+        return "integer radix sort; atomic per-bucket rank counters";
+    }
+    std::string inputDescription() const override;
+
+    void setup(World& world, const Params& params) override;
+    void run(Context& ctx) override;
+    bool verify(std::string& message) override;
+
+    /** Factory for the registry. */
+    static std::unique_ptr<Benchmark> create();
+
+  private:
+    std::uint32_t digit(std::uint32_t key, int pass) const;
+
+    // Configuration.
+    std::size_t numKeys_ = 1 << 16;
+    int bitsPerPass_ = 8;
+    int numPasses_ = 4;
+    std::uint64_t seed_ = 1;
+    int nthreads_ = 1;
+
+    // Data.
+    std::vector<std::uint32_t> keys_;
+    std::vector<std::uint32_t> temp_;
+    std::vector<std::uint64_t> bucketBase_; ///< written by tid 0 only
+    std::vector<std::uint64_t> prefix_;     ///< per-thread rows, padded
+    std::size_t rowStride_ = 0;
+    std::uint64_t inputChecksum_ = 0;
+    std::uint64_t inputXor_ = 0;
+
+    // Synchronization objects.
+    BarrierHandle barrier_;
+    std::vector<TicketHandle> bucketTickets_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_KERNELS_RADIX_H

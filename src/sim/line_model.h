@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cache-line contention model used by the simulation engine.
+ *
+ * Every synchronization variable is assigned a SimLine that tracks an
+ * exclusive owner, a sharer bitmask, and the virtual time at which the
+ * line next becomes available.  Atomic RMWs serialize on the line
+ * (back-to-back contenders each pay a transfer), which is precisely the
+ * hardware behavior that makes a single fetch&add cheaper than a
+ * lock/unlock pair around the same update.
+ */
+
+#ifndef SPLASH_SIM_LINE_MODEL_H
+#define SPLASH_SIM_LINE_MODEL_H
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "sim/machine.h"
+
+namespace splash {
+
+/** State of one modeled cache line holding a sync variable. */
+class SimLine
+{
+  public:
+    static constexpr int kNoOwner = -1;
+
+    /**
+     * Perform an atomic RMW by thread @p tid arriving at @p now.
+     * @return completion time (line held exclusively by tid).
+     */
+    VTime
+    rmw(int tid, VTime now, const MachineProfile& prof)
+    {
+        const VTime start = now > freeAt_ ? now : freeAt_;
+        const bool local = owner_ == tid && sharers_ == bit(tid);
+        const VTime cost =
+            local ? prof.rmwLocalCycles : prof.rmwRemoteCycles;
+        owner_ = tid;
+        sharers_ = bit(tid);
+        freeAt_ = start + cost;
+        ++rmwCount_;
+        if (!local)
+            ++transferCount_;
+        return freeAt_;
+    }
+
+    /**
+     * Perform a load by thread @p tid arriving at @p now.  Loads by
+     * existing sharers hit locally; a new sharer pays a transfer and a
+     * short occupancy window, after which the line is shared.
+     */
+    VTime
+    load(int tid, VTime now, const MachineProfile& prof)
+    {
+        if (sharers_ & bit(tid))
+            return now + prof.loadLocalCycles;
+        const VTime start = now > freeAt_ ? now : freeAt_;
+        sharers_ |= bit(tid);
+        owner_ = kNoOwner;
+        freeAt_ = start + prof.loadOccupancy;
+        ++transferCount_;
+        return start + prof.loadRemoteCycles;
+    }
+
+    /** Time at which the line is next available. */
+    VTime freeAt() const { return freeAt_; }
+
+    /** Dynamic counts, for the characterization tables. */
+    std::uint64_t rmwCount() const { return rmwCount_; }
+    std::uint64_t transferCount() const { return transferCount_; }
+
+  private:
+    static std::uint64_t
+    bit(int tid)
+    {
+        return 1ULL << (tid & 63);
+    }
+
+    int owner_ = kNoOwner;
+    std::uint64_t sharers_ = 0;
+    VTime freeAt_ = 0;
+    std::uint64_t rmwCount_ = 0;
+    std::uint64_t transferCount_ = 0;
+};
+
+} // namespace splash
+
+#endif // SPLASH_SIM_LINE_MODEL_H

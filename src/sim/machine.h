@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Machine cost profiles for the virtual-time simulation engine.
+ *
+ * A profile captures, in cycles, the costs that differentiate lock-based
+ * from lock-free synchronization on a real multicore: cache-line
+ * transfer latency between cores, local RMW latency, and the
+ * futex-style park/wake penalties paid by sleeping mutexes and
+ * condition-variable barriers.  Two profiles mirror the paper's
+ * evaluation targets: a 64-core AMD EPYC 7702 ("epyc64", chiplet-based,
+ * expensive cross-CCX transfers, heavyweight OS wakeups) and a gem5-20
+ * simulated 64-core Intel Ice Lake mesh ("icelake64", lower uniform
+ * latencies).  Absolute values are plausible magnitudes, not calibrated
+ * measurements; the experiments only rely on their relative ordering.
+ */
+
+#ifndef SPLASH_SIM_MACHINE_H
+#define SPLASH_SIM_MACHINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace splash {
+
+/** Cost model parameters (all latencies in cycles). */
+struct MachineProfile
+{
+    std::string name;
+    int maxThreads = 64;
+
+    VTime workUnitCycles = 1;    ///< cycles per ctx.work() unit
+    VTime loadLocalCycles = 4;   ///< load hitting the local cache
+    VTime loadRemoteCycles = 60; ///< load that must fetch the line
+    VTime loadOccupancy = 10;    ///< serialization window of a miss
+    VTime rmwLocalCycles = 20;   ///< RMW on an owned line
+    VTime rmwRemoteCycles = 100; ///< RMW needing a line transfer
+    VTime casRetryCycles = 30;   ///< extra cost per failed CAS attempt
+
+    VTime parkCycles = 1000;     ///< going to sleep on a futex
+    VTime wakeCyclesPerWaiter = 250; ///< waker-side cost per wakeup
+    VTime wakeLatencyCycles = 1200;  ///< sleep-to-running latency
+    VTime spinResumeCycles = 40;     ///< spinner notices the flipped line
+
+    /** Critical-section body cost for locked counters/sums. */
+    VTime criticalOpCycles = 15;
+};
+
+/** Look up a profile by name (fatal if unknown). */
+const MachineProfile& machineProfile(const std::string& name);
+
+/** Names of all built-in profiles. */
+std::vector<std::string> machineProfileNames();
+
+} // namespace splash
+
+#endif // SPLASH_SIM_MACHINE_H

@@ -1,0 +1,28 @@
+#include "sync/atomic_reduction.h"
+
+#include <vector>
+
+namespace splash {
+
+PaddedAccumulator::PaddedAccumulator(int num_threads)
+    : slots_(static_cast<std::size_t>(num_threads))
+{
+}
+
+void
+PaddedAccumulator::reset()
+{
+    for (auto& slot : slots_)
+        slot.value = 0.0;
+}
+
+double
+PaddedAccumulator::combine() const
+{
+    double acc = 0.0;
+    for (const auto& slot : slots_)
+        acc += slot.value;
+    return acc;
+}
+
+} // namespace splash

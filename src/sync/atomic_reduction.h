@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Lock-free floating-point and integer reductions.
+ *
+ * Splash-3 protects shared accumulators (global energies, residuals,
+ * min/max trackers) with a lock; Splash-4 replaces them with CAS loops
+ * on std::atomic<double> -- the single most frequent transformation in
+ * the suite.  This header provides both flavors behind one concept so
+ * the ablation bench (A2) can sweep implementations.
+ */
+
+#ifndef SPLASH_SYNC_ATOMIC_REDUCTION_H
+#define SPLASH_SYNC_ATOMIC_REDUCTION_H
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "sync/spinlock.h"
+
+namespace splash {
+
+/** CAS-loop add on an atomic double; returns the pre-add value. */
+inline double
+atomicAddDouble(std::atomic<double>& target, double delta)
+{
+    double expected = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(expected, expected + delta,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+        // expected reloaded by compare_exchange_weak
+    }
+    return expected;
+}
+
+/** CAS-loop min on an atomic double. */
+inline void
+atomicMinDouble(std::atomic<double>& target, double value)
+{
+    double expected = target.load(std::memory_order_relaxed);
+    while (value < expected &&
+           !target.compare_exchange_weak(expected, value,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+/** CAS-loop max on an atomic double. */
+inline void
+atomicMaxDouble(std::atomic<double>& target, double value)
+{
+    double expected = target.load(std::memory_order_relaxed);
+    while (value > expected &&
+           !target.compare_exchange_weak(expected, value,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+/** Splash-4 accumulator: a bare atomic double. */
+class AtomicAccumulator
+{
+  public:
+    explicit AtomicAccumulator(double initial = 0.0) : value_(initial) {}
+
+    void add(double delta) { atomicAddDouble(value_, delta); }
+    void
+    reset(double v = 0.0)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+    double get() const { return value_.load(std::memory_order_acquire); }
+
+  private:
+    std::atomic<double> value_;
+};
+
+/** Splash-3 accumulator: plain double guarded by a lock. */
+template <typename LockT = std::mutex>
+class LockedAccumulator
+{
+  public:
+    explicit LockedAccumulator(double initial = 0.0) : value_(initial) {}
+
+    void
+    add(double delta)
+    {
+        lock_.lock();
+        value_ += delta;
+        lock_.unlock();
+    }
+
+    void
+    reset(double v = 0.0)
+    {
+        lock_.lock();
+        value_ = v;
+        lock_.unlock();
+    }
+
+    double
+    get()
+    {
+        lock_.lock();
+        const double v = value_;
+        lock_.unlock();
+        return v;
+    }
+
+  private:
+    LockT lock_;
+    double value_;
+};
+
+/**
+ * Per-thread partial sums combined on demand: the "do it in software"
+ * alternative both papers compare against implicitly.  Cache-line
+ * padded to avoid false sharing.
+ */
+class PaddedAccumulator
+{
+  public:
+    explicit PaddedAccumulator(int num_threads);
+
+    void add(int tid, double delta) { slots_[tid].value += delta; }
+    void reset();
+    double combine() const;
+
+  private:
+    struct alignas(64) Slot
+    {
+        double value = 0.0;
+    };
+
+    std::vector<Slot> slots_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_SYNC_ATOMIC_REDUCTION_H

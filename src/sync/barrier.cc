@@ -1,0 +1,128 @@
+#include "sync/barrier.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace splash {
+
+CondBarrier::CondBarrier(int participants)
+    : participants_(participants)
+{
+    panicIf(participants < 1, "barrier needs at least one participant");
+}
+
+void
+CondBarrier::arriveAndWait()
+{
+    std::unique_lock<std::mutex> guard(mutex_);
+    const std::uint64_t my_gen = generation_;
+    if (++arrived_ == participants_) {
+        arrived_ = 0;
+        ++generation_;
+        cv_.notify_all();
+        return;
+    }
+    cv_.wait(guard, [&] { return generation_ != my_gen; });
+}
+
+SenseBarrier::SenseBarrier(int participants)
+    : participants_(participants)
+{
+    panicIf(participants < 1, "barrier needs at least one participant");
+}
+
+void
+SenseBarrier::arriveAndWait()
+{
+    const std::uint64_t my_gen = generation_.load(
+        std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1
+        == participants_) {
+        count_.store(0, std::memory_order_relaxed);
+        generation_.store(my_gen + 1, std::memory_order_release);
+        return;
+    }
+    SpinWait waiter;
+    while (generation_.load(std::memory_order_acquire) == my_gen)
+        waiter.spin();
+}
+
+TreeBarrier::TreeBarrier(int participants, int fanout)
+    : participants_(participants), fanout_(fanout < 2 ? 2 : fanout)
+{
+    panicIf(participants < 1, "barrier needs at least one participant");
+
+    // Build the tree bottom-up: level 0 holds the leaves.
+    const int num_leaves = (participants_ + fanout_ - 1) / fanout_;
+    std::vector<int> level;
+    leafOf_.resize(participants_);
+    for (int leaf = 0; leaf < num_leaves; ++leaf) {
+        auto node = std::make_unique<Node>();
+        const int lo = leaf * fanout_;
+        const int hi = std::min(participants_, lo + fanout_);
+        node->expected = hi - lo;
+        nodes_.push_back(std::move(node));
+        level.push_back(static_cast<int>(nodes_.size()) - 1);
+        for (int tid = lo; tid < hi; ++tid)
+            leafOf_[tid] = level.back();
+    }
+    while (level.size() > 1) {
+        std::vector<int> next;
+        for (std::size_t base = 0; base < level.size();
+             base += static_cast<std::size_t>(fanout_)) {
+            auto node = std::make_unique<Node>();
+            const std::size_t hi = std::min(
+                level.size(), base + static_cast<std::size_t>(fanout_));
+            node->expected = static_cast<int>(hi - base);
+            nodes_.push_back(std::move(node));
+            const int me = static_cast<int>(nodes_.size()) - 1;
+            for (std::size_t child = base; child < hi; ++child)
+                nodes_[level[child]]->parent = me;
+            next.push_back(me);
+        }
+        level = std::move(next);
+    }
+}
+
+void
+TreeBarrier::arriveAt(int node_idx, std::uint64_t gen)
+{
+    Node& node = *nodes_[node_idx];
+    if (node.count.fetch_add(1, std::memory_order_acq_rel) + 1
+        == node.expected) {
+        node.count.store(0, std::memory_order_relaxed);
+        if (node.parent >= 0) {
+            arriveAt(node.parent, gen);
+        } else {
+            globalGen_.store(gen + 1, std::memory_order_release);
+        }
+    }
+}
+
+void
+TreeBarrier::arriveAndWait(int tid)
+{
+    panicIf(tid < 0 || tid >= participants_, "tree barrier: bad tid");
+    const std::uint64_t my_gen = globalGen_.load(
+        std::memory_order_acquire);
+    arriveAt(leafOf_[tid], my_gen);
+    SpinWait waiter;
+    while (globalGen_.load(std::memory_order_acquire) == my_gen)
+        waiter.spin();
+}
+
+void
+TreeBarrier::arriveAndWait()
+{
+    static thread_local int slot = -1;
+    static thread_local const TreeBarrier* owner = nullptr;
+    if (owner != this) {
+        owner = this;
+        slot = autoSlot_.fetch_add(1, std::memory_order_relaxed)
+               % participants_;
+    }
+    arriveAndWait(slot);
+}
+
+} // namespace splash

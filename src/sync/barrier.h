@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Barrier implementations for both suite generations.
+ *
+ * CondBarrier is the Splash-3 construct (pthread-style mutex + condition
+ * variable).  SenseBarrier (centralized sense-reversing atomic counter)
+ * and TreeBarrier (combining tree of sense barriers) are the Splash-4
+ * lock-free replacements.
+ */
+
+#ifndef SPLASH_SYNC_BARRIER_H
+#define SPLASH_SYNC_BARRIER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sync/spinlock.h"
+
+namespace splash {
+
+/** Common interface so benchmarks/tests can swap barrier kinds. */
+class Barrier
+{
+  public:
+    virtual ~Barrier() = default;
+
+    /** Block until all participants have arrived. */
+    virtual void arriveAndWait() = 0;
+
+    /** Number of participating threads. */
+    virtual int participants() const = 0;
+};
+
+/** Splash-3 style barrier: mutex + condition variable + broadcast. */
+class CondBarrier : public Barrier
+{
+  public:
+    explicit CondBarrier(int participants);
+
+    void arriveAndWait() override;
+    int participants() const override { return participants_; }
+
+  private:
+    const int participants_;
+    int arrived_ = 0;
+    std::uint64_t generation_ = 0;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+};
+
+/**
+ * Splash-4 style centralized sense-reversing barrier (spin-based).
+ * Implemented with a generation word rather than a thread-local sense
+ * flag so that any number of instances can coexist.
+ */
+class SenseBarrier : public Barrier
+{
+  public:
+    explicit SenseBarrier(int participants);
+
+    void arriveAndWait() override;
+    int participants() const override { return participants_; }
+
+  private:
+    const int participants_;
+    std::atomic<int> count_{0};
+    std::atomic<std::uint64_t> generation_{0};
+};
+
+/**
+ * Combining-tree barrier: participants are grouped into nodes of
+ * @p fanout; each group's last arrival propagates up the tree, and the
+ * release wave propagates back down via per-node sense flags.  Reduces
+ * contention on any single cache line at high thread counts.
+ */
+class TreeBarrier : public Barrier
+{
+  public:
+    explicit TreeBarrier(int participants, int fanout = 4);
+
+    /**
+     * Tree barriers need the caller's identity to pick its leaf.
+     * arriveAndWait() uses a thread-local auto-assigned slot; prefer
+     * arriveAndWait(tid) when the caller knows its dense id.
+     */
+    void arriveAndWait() override;
+
+    /** Arrive as participant @p tid in [0, participants). */
+    void arriveAndWait(int tid);
+
+    int participants() const override { return participants_; }
+
+  private:
+    struct Node
+    {
+        std::atomic<int> count{0};
+        int expected = 0;
+        int parent = -1;
+    };
+
+    void arriveAt(int node, std::uint64_t gen);
+
+    const int participants_;
+    const int fanout_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<int> leafOf_; // tid -> leaf node index
+    std::atomic<std::uint64_t> globalGen_{0};
+    std::atomic<int> autoSlot_{0};
+};
+
+} // namespace splash
+
+#endif // SPLASH_SYNC_BARRIER_H

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Treiber stack over a fixed node pool with a tagged head to avoid ABA.
+ *
+ * Used as the Splash-4 replacement for the lock-protected task stacks in
+ * radiosity and cholesky.  Values are 32-bit task ids; the pool capacity
+ * is fixed at construction (the suite's task counts are known up front).
+ */
+
+#ifndef SPLASH_SYNC_LOCKFREE_STACK_H
+#define SPLASH_SYNC_LOCKFREE_STACK_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/log.h"
+
+namespace splash {
+
+/** Lock-free LIFO of uint32 values with bounded capacity. */
+class LockFreeStack
+{
+  public:
+    /** @param capacity maximum number of simultaneously-held values. */
+    explicit LockFreeStack(std::uint32_t capacity)
+        : nodes_(capacity), freeHead_(pack(0, 0)), head_(pack(kNil, 0))
+    {
+        panicIf(capacity == 0 || capacity >= kNil,
+                "lock-free stack capacity out of range");
+        for (std::uint32_t i = 0; i < capacity; ++i)
+            nodes_[i].next = (i + 1 < capacity) ? i + 1 : kNil;
+    }
+
+    /** Push a value; returns false when the pool is exhausted. */
+    bool
+    push(std::uint32_t value)
+    {
+        const std::uint32_t node = allocNode();
+        if (node == kNil)
+            return false;
+        nodes_[node].value = value;
+        std::uint64_t old_head = head_.load(std::memory_order_acquire);
+        for (;;) {
+            nodes_[node].next = index(old_head);
+            const std::uint64_t new_head = pack(node, tag(old_head) + 1);
+            if (head_.compare_exchange_weak(old_head, new_head,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+                return true;
+            }
+        }
+    }
+
+    /** Pop into @p value; returns false when empty. */
+    bool
+    pop(std::uint32_t& value)
+    {
+        std::uint64_t old_head = head_.load(std::memory_order_acquire);
+        for (;;) {
+            const std::uint32_t node = index(old_head);
+            if (node == kNil)
+                return false;
+            const std::uint64_t new_head =
+                pack(nodes_[node].next, tag(old_head) + 1);
+            if (head_.compare_exchange_weak(old_head, new_head,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+                value = nodes_[node].value;
+                freeNode(node);
+                return true;
+            }
+        }
+    }
+
+    /** Approximate emptiness (exact when quiescent). */
+    bool
+    empty() const
+    {
+        return index(head_.load(std::memory_order_acquire)) == kNil;
+    }
+
+  private:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    struct Node
+    {
+        std::uint32_t value = 0;
+        std::uint32_t next = kNil;
+    };
+
+    static std::uint64_t
+    pack(std::uint32_t idx, std::uint32_t tg)
+    {
+        return (static_cast<std::uint64_t>(tg) << 32) | idx;
+    }
+    static std::uint32_t index(std::uint64_t h)
+    {
+        return static_cast<std::uint32_t>(h);
+    }
+    static std::uint32_t tag(std::uint64_t h)
+    {
+        return static_cast<std::uint32_t>(h >> 32);
+    }
+
+    std::uint32_t
+    allocNode()
+    {
+        std::uint64_t old_head = freeHead_.load(std::memory_order_acquire);
+        for (;;) {
+            const std::uint32_t node = index(old_head);
+            if (node == kNil)
+                return kNil;
+            const std::uint64_t new_head =
+                pack(nodes_[node].next, tag(old_head) + 1);
+            if (freeHead_.compare_exchange_weak(
+                    old_head, new_head, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                return node;
+            }
+        }
+    }
+
+    void
+    freeNode(std::uint32_t node)
+    {
+        std::uint64_t old_head = freeHead_.load(std::memory_order_acquire);
+        for (;;) {
+            nodes_[node].next = index(old_head);
+            const std::uint64_t new_head = pack(node, tag(old_head) + 1);
+            if (freeHead_.compare_exchange_weak(
+                    old_head, new_head, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                return;
+            }
+        }
+    }
+
+    std::vector<Node> nodes_;
+    std::atomic<std::uint64_t> freeHead_;
+    std::atomic<std::uint64_t> head_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_SYNC_LOCKFREE_STACK_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * "Pause" variables: one-shot flags a consumer waits on and a producer
+ * sets.  Splash-3 implements them with mutex + condvar (PAUSE macros);
+ * Splash-4 with an atomic flag and a spin-wait.
+ */
+
+#ifndef SPLASH_SYNC_PAUSE_FLAG_H
+#define SPLASH_SYNC_PAUSE_FLAG_H
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "sync/spinlock.h"
+
+namespace splash {
+
+/** Splash-3 pause variable (condvar-based). */
+class CondFlag
+{
+  public:
+    void
+    set()
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        value_ = true;
+        cv_.notify_all();
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> guard(mutex_);
+        cv_.wait(guard, [&] { return value_; });
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        value_ = false;
+    }
+
+    bool
+    isSet()
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        return value_;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool value_ = false;
+};
+
+/** Splash-4 pause variable (atomic spin flag). */
+class AtomicFlag
+{
+  public:
+    void set() { value_.store(true, std::memory_order_release); }
+
+    void
+    wait() const
+    {
+        SpinWait waiter;
+        while (!value_.load(std::memory_order_acquire))
+            waiter.spin();
+    }
+
+    void clear() { value_.store(false, std::memory_order_release); }
+
+    bool isSet() const
+    {
+        return value_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<bool> value_{false};
+};
+
+} // namespace splash
+
+#endif // SPLASH_SYNC_PAUSE_FLAG_H

@@ -1,0 +1,83 @@
+#include "sync/spinlock.h"
+
+#include "util/log.h"
+
+namespace splash {
+
+namespace {
+
+/** Per-thread pool of MCS queue nodes, shared by all McsLock instances. */
+struct McsNode
+{
+    std::atomic<McsNode*> next{nullptr};
+    std::atomic<bool> owned{false};
+    const void* heldLock = nullptr;
+};
+
+thread_local McsNode tlsNodes[McsLock::kMaxNested];
+
+McsNode*
+claimFreeNode()
+{
+    for (auto& node : tlsNodes) {
+        if (node.heldLock == nullptr)
+            return &node;
+    }
+    panic("McsLock: more than kMaxNested nested acquisitions");
+}
+
+McsNode*
+findHeldNode(const void* lock)
+{
+    for (auto& node : tlsNodes) {
+        if (node.heldLock == lock)
+            return &node;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+void
+McsLock::lock()
+{
+    McsNode* me = claimFreeNode();
+    me->heldLock = this;
+    me->next.store(nullptr, std::memory_order_relaxed);
+    me->owned.store(false, std::memory_order_relaxed);
+
+    auto* prev = static_cast<McsNode*>(
+        tail_.exchange(me, std::memory_order_acq_rel));
+    if (prev != nullptr) {
+        prev->next.store(me, std::memory_order_release);
+        SpinWait waiter;
+        while (!me->owned.load(std::memory_order_acquire))
+            waiter.spin();
+    }
+}
+
+void
+McsLock::unlock()
+{
+    McsNode* me = findHeldNode(this);
+    panicIf(me == nullptr, "McsLock: unlock without lock");
+
+    McsNode* successor = me->next.load(std::memory_order_acquire);
+    if (successor == nullptr) {
+        void* expected = me;
+        if (tail_.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_acq_rel)) {
+            me->heldLock = nullptr;
+            return;
+        }
+        SpinWait waiter;
+        while ((successor = me->next.load(std::memory_order_acquire))
+               == nullptr) {
+            waiter.spin();
+        }
+    }
+    successor->owned.store(true, std::memory_order_release);
+    me->heldLock = nullptr;
+}
+
+} // namespace splash

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Spin lock variants used by the suite and by the primitive
+ * microbenchmarks (experiment T3).
+ *
+ * All locks satisfy the BasicLockable concept (lock()/unlock()) so they
+ * can be swapped into any benchmark or guarded with std::lock_guard.
+ */
+
+#ifndef SPLASH_SYNC_SPINLOCK_H
+#define SPLASH_SYNC_SPINLOCK_H
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace splash {
+
+/** Relax the CPU inside a spin loop. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/**
+ * Bounded spinner: pause instructions with a periodic scheduler yield
+ * so spin-based primitives stay usable on oversubscribed hosts (the
+ * suite must run correctly even with more threads than cores).
+ */
+class SpinWait
+{
+  public:
+    void
+    spin()
+    {
+        if ((++count_ & 0x3f) == 0)
+            std::this_thread::yield();
+        else
+            cpuRelax();
+    }
+
+  private:
+    unsigned count_ = 0;
+};
+
+/** Test-and-set lock: one RMW per attempt, heavy line ping-pong. */
+class TasLock
+{
+  public:
+    void
+    lock()
+    {
+        SpinWait waiter;
+        while (flag_.exchange(true, std::memory_order_acquire))
+            waiter.spin();
+    }
+
+    bool tryLock() { return !flag_.exchange(true,
+                                            std::memory_order_acquire); }
+
+    void unlock() { flag_.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/** Test-and-test-and-set lock: spins on a local read before the RMW. */
+class TtasLock
+{
+  public:
+    void
+    lock()
+    {
+        SpinWait waiter;
+        for (;;) {
+            while (flag_.load(std::memory_order_relaxed))
+                waiter.spin();
+            if (!flag_.exchange(true, std::memory_order_acquire))
+                return;
+        }
+    }
+
+    bool tryLock() { return !flag_.exchange(true,
+                                            std::memory_order_acquire); }
+
+    void unlock() { flag_.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/** FIFO ticket lock: fair, one RMW to enter, spin on the grant word. */
+class TicketLock
+{
+  public:
+    void
+    lock()
+    {
+        const std::uint32_t my = next_.fetch_add(
+            1, std::memory_order_relaxed);
+        SpinWait waiter;
+        while (serving_.load(std::memory_order_acquire) != my)
+            waiter.spin();
+    }
+
+    bool
+    tryLock()
+    {
+        std::uint32_t cur = serving_.load(std::memory_order_acquire);
+        std::uint32_t expected = cur;
+        return next_.compare_exchange_strong(expected, cur + 1,
+                                             std::memory_order_acquire);
+    }
+
+    void
+    unlock()
+    {
+        serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_release);
+    }
+
+  private:
+    std::atomic<std::uint32_t> next_{0};
+    std::atomic<std::uint32_t> serving_{0};
+};
+
+/**
+ * MCS queue lock: each waiter spins on its own node, giving O(1) line
+ * transfers per handoff.  Nodes live in thread-local storage, so a
+ * thread may hold at most kMaxNested MCS locks at once.
+ */
+class McsLock
+{
+  public:
+    static constexpr int kMaxNested = 8;
+
+    void lock();
+    void unlock();
+
+  private:
+    /** Queue tail; points at the node of the last waiter (McsNode*). */
+    std::atomic<void*> tail_{nullptr};
+};
+
+} // namespace splash
+
+#endif // SPLASH_SYNC_SPINLOCK_H

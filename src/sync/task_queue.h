@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Splash-3 style lock-protected task containers.
+ *
+ * These are the "before" side of the radiosity/cholesky task-queue
+ * transformation: a plain vector-backed LIFO guarded by a mutex, and a
+ * locked monotonically-increasing ticket dispenser.
+ */
+
+#ifndef SPLASH_SYNC_TASK_QUEUE_H
+#define SPLASH_SYNC_TASK_QUEUE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace splash {
+
+/** Mutex-guarded LIFO of uint32 task ids (Splash-3 flavor). */
+class LockedStack
+{
+  public:
+    explicit LockedStack(std::uint32_t capacity_hint = 0)
+    {
+        if (capacity_hint)
+            items_.reserve(capacity_hint);
+    }
+
+    bool
+    push(std::uint32_t value)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        items_.push_back(value);
+        return true;
+    }
+
+    bool
+    pop(std::uint32_t& value)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (items_.empty())
+            return false;
+        value = items_.back();
+        items_.pop_back();
+        return true;
+    }
+
+    bool
+    empty()
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        return items_.empty();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::vector<std::uint32_t> items_;
+};
+
+/** Splash-3 ticket dispenser: lock around an integer. */
+class LockedTicket
+{
+  public:
+    std::uint64_t
+    next(std::uint64_t step = 1)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        const std::uint64_t v = value_;
+        value_ += step;
+        return v;
+    }
+
+    void
+    reset(std::uint64_t v = 0)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        value_ = v;
+    }
+
+  private:
+    std::mutex mutex_;
+    std::uint64_t value_ = 0;
+};
+
+/** Splash-4 ticket dispenser: a bare fetch&add. */
+class AtomicTicket
+{
+  public:
+    std::uint64_t
+    next(std::uint64_t step = 1)
+    {
+        return value_.fetch_add(step, std::memory_order_acq_rel);
+    }
+
+    void reset(std::uint64_t v = 0)
+    {
+        value_.store(v, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+} // namespace splash
+
+#endif // SPLASH_SYNC_TASK_QUEUE_H

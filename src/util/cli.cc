@@ -1,0 +1,81 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/log.h"
+
+namespace splash {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 const std::vector<std::string>& known)
+{
+    auto accepted = [&](const std::string& name) {
+        return known.empty() ||
+               std::find(known.begin(), known.end(), name) != known.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value = "1";
+        auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0)
+                   != 0) {
+            value = argv[++i];
+        }
+        if (!accepted(name))
+            fatal("unknown option --" + name);
+        options_[name] = value;
+    }
+}
+
+bool
+CliArgs::has(const std::string& name) const
+{
+    return options_.count(name) != 0;
+}
+
+std::string
+CliArgs::get(const std::string& name, const std::string& fallback) const
+{
+    auto it = options_.find(name);
+    return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t
+CliArgs::getInt(const std::string& name, std::int64_t fallback) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        return fallback;
+    char* end = nullptr;
+    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --" + name + " expects an integer, got '" +
+              it->second + "'");
+    return v;
+}
+
+double
+CliArgs::getDouble(const std::string& name, double fallback) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --" + name + " expects a number, got '" +
+              it->second + "'");
+    return v;
+}
+
+} // namespace splash

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal command-line option parsing shared by the harness, the
+ * examples, and the bench binaries.
+ *
+ * Options are of the form --name=value or --name value; bare flags
+ * evaluate to "1".  Unknown options are fatal so typos do not silently
+ * change an experiment.
+ */
+
+#ifndef SPLASH_UTIL_CLI_H
+#define SPLASH_UTIL_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace splash {
+
+/** Parsed command line with typed accessors and defaults. */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv.  @p known lists the accepted option names; an empty
+     * list accepts anything (used by thin wrappers).
+     */
+    CliArgs(int argc, const char* const* argv,
+            const std::vector<std::string>& known = {});
+
+    /** True if --name was given. */
+    bool has(const std::string& name) const;
+
+    /** String option with default. */
+    std::string get(const std::string& name,
+                    const std::string& fallback) const;
+
+    /** Integer option with default. */
+    std::int64_t getInt(const std::string& name,
+                        std::int64_t fallback) const;
+
+    /** Floating-point option with default. */
+    double getDouble(const std::string& name, double fallback) const;
+
+    /** Positional (non-option) arguments in order. */
+    const std::vector<std::string>& positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    std::map<std::string, std::string> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_UTIL_CLI_H

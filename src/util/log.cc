@@ -1,0 +1,38 @@
+#include "util/log.h"
+
+namespace splash {
+
+void
+logMessage(const char* prefix, const std::string& msg)
+{
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    std::fflush(stderr);
+}
+
+void
+fatal(const std::string& msg)
+{
+    logMessage("fatal", msg);
+    std::exit(1);
+}
+
+void
+panic(const std::string& msg)
+{
+    logMessage("panic", msg);
+    std::abort();
+}
+
+void
+warn(const std::string& msg)
+{
+    logMessage("warn", msg);
+}
+
+void
+inform(const std::string& msg)
+{
+    logMessage("info", msg);
+}
+
+} // namespace splash

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user errors (bad configuration, invalid arguments) and
+ * exits with status 1; panic() is for internal invariant violations and
+ * aborts.  warn()/inform() print status without terminating.
+ */
+
+#ifndef SPLASH_UTIL_LOG_H
+#define SPLASH_UTIL_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace splash {
+
+/** Print a formatted message with a severity prefix to stderr. */
+void logMessage(const char* prefix, const std::string& msg);
+
+/** Terminate due to a user-correctable error (exit code 1). */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Terminate due to an internal bug (abort, may dump core). */
+[[noreturn]] void panic(const std::string& msg);
+
+/** Non-fatal warning. */
+void warn(const std::string& msg);
+
+/** Informational message. */
+void inform(const std::string& msg);
+
+/** panic() unless the given condition holds. */
+inline void
+panicIf(bool condition, const std::string& msg)
+{
+    if (condition)
+        panic(msg);
+}
+
+} // namespace splash
+
+#endif // SPLASH_UTIL_LOG_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All benchmarks draw inputs from these generators so that a given seed
+ * produces bit-identical workloads across runs, suites, engines, and
+ * thread counts.  The generators deliberately avoid <random> distribution
+ * objects, whose output is not specified across standard library
+ * implementations.
+ */
+
+#ifndef SPLASH_UTIL_RNG_H
+#define SPLASH_UTIL_RNG_H
+
+#include <cstdint>
+
+namespace splash {
+
+/**
+ * xoshiro256** by Blackman & Vigna: fast, high-quality, 64-bit state
+ * words, trivially seedable via splitmix64.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+    /** Reset the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto& word : state_)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire reduction. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return bound == 0 ? 0 : next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Approximately standard-normal value (sum of 12 uniforms - 6). */
+    double
+    normal()
+    {
+        double acc = 0.0;
+        for (int i = 0; i < 12; ++i)
+            acc += uniform();
+        return acc - 6.0;
+    }
+
+    /** splitmix64 step; also usable standalone for hashing. */
+    static std::uint64_t
+    splitmix64(std::uint64_t& x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t v, int k)
+    {
+        return (v << k) | (v >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace splash
+
+#endif // SPLASH_UTIL_RNG_H

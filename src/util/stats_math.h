@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small numeric helpers for summarizing measurements.
+ */
+
+#ifndef SPLASH_UTIL_STATS_MATH_H
+#define SPLASH_UTIL_STATS_MATH_H
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace splash {
+
+/** Arithmetic mean; 0 for an empty range. */
+inline double
+mean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / static_cast<double>(values.size());
+}
+
+/** Geometric mean; 0 for an empty range; requires positive values. */
+inline double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+/** Population standard deviation. */
+inline double
+stddev(const std::vector<double>& values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+} // namespace splash
+
+#endif // SPLASH_UTIL_STATS_MATH_H

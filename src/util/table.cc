@@ -1,0 +1,126 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace splash {
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    panicIf(headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    panicIf(row.size() != headers_.size(), "table row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+Table&
+Table::cell(const std::string& value)
+{
+    pending_.push_back(value);
+    return *this;
+}
+
+Table&
+Table::cell(double value, int precision)
+{
+    return cell(formatDouble(value, precision));
+}
+
+Table&
+Table::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+Table::endRow()
+{
+    pending_.resize(headers_.size());
+    addRow(std::move(pending_));
+    pending_.clear();
+}
+
+std::string
+Table::toMarkdown() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](std::ostringstream& os,
+                    const std::vector<std::string>& row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c]
+               << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    emit(os, headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto& row : rows_)
+        emit(os, row);
+    return os.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    auto escape = [](const std::string& s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << escape(headers_[c]);
+    os << "\n";
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << escape(row[c]);
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+Table::print(const std::string& caption) const
+{
+    std::printf("\n%s\n%s", caption.c_str(), toMarkdown().c_str());
+    std::fflush(stdout);
+}
+
+} // namespace splash

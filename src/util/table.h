@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Plain-text table formatting for benchmark reports.
+ *
+ * Supports aligned console/markdown output as well as CSV, so that each
+ * bench binary can print the rows of the paper table/figure it reproduces
+ * in a form that is both human-readable and machine-parsable.
+ */
+
+#ifndef SPLASH_UTIL_TABLE_H
+#define SPLASH_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace splash {
+
+/** A rectangular table of strings with a header row. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a full row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Begin building a row cell by cell. */
+    Table& cell(const std::string& value);
+
+    /** Convenience: numeric cell with fixed precision. */
+    Table& cell(double value, int precision = 3);
+
+    /** Convenience: integral cell. */
+    Table& cell(std::uint64_t value);
+
+    /** Finish the row started with cell(); pads missing cells. */
+    void endRow();
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render as an aligned markdown-style table. */
+    std::string toMarkdown() const;
+
+    /** Render as CSV. */
+    std::string toCsv() const;
+
+    /** Print the markdown rendering to stdout with a caption line. */
+    void print(const std::string& caption) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> pending_;
+};
+
+/** Format a double with fixed precision (helper for ad-hoc rows). */
+std::string formatDouble(double value, int precision = 3);
+
+} // namespace splash
+
+#endif // SPLASH_UTIL_TABLE_H

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "core/params.h"
+
+namespace splash {
+namespace {
+
+TEST(Params, TypedRoundTrip)
+{
+    Params p;
+    p.set("name", "value");
+    p.set("count", std::int64_t{42});
+    p.set("ratio", 0.5);
+    EXPECT_EQ(p.get("name", ""), "value");
+    EXPECT_EQ(p.getInt("count", 0), 42);
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio", 0.0), 0.5);
+}
+
+TEST(Params, FallbacksWhenMissing)
+{
+    Params p;
+    EXPECT_EQ(p.get("absent", "dflt"), "dflt");
+    EXPECT_EQ(p.getInt("absent", -7), -7);
+    EXPECT_DOUBLE_EQ(p.getDouble("absent", 2.25), 2.25);
+    EXPECT_FALSE(p.has("absent"));
+}
+
+TEST(Params, OverwriteKeepsLatest)
+{
+    Params p;
+    p.set("k", std::int64_t{1});
+    p.set("k", std::int64_t{2});
+    EXPECT_EQ(p.getInt("k", 0), 2);
+}
+
+TEST(Params, DoublePreservesPrecision)
+{
+    Params p;
+    p.set("x", 0.1234567890123456);
+    EXPECT_DOUBLE_EQ(p.getDouble("x", 0.0), 0.1234567890123456);
+}
+
+TEST(Params, EntriesExposesAll)
+{
+    Params p;
+    p.set("a", std::int64_t{1});
+    p.set("b", "two");
+    EXPECT_EQ(p.entries().size(), 2u);
+}
+
+} // namespace
+} // namespace splash

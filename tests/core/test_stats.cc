@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+
+namespace splash {
+namespace {
+
+TEST(Stats, MergeAccumulatesEverything)
+{
+    ThreadStats a, b;
+    a.barrierCrossings = 3;
+    a.lockAcquires = 5;
+    a.ticketOps = 7;
+    a.addCycles(TimeCategory::Compute, 100);
+    b.barrierCrossings = 2;
+    b.sumOps = 11;
+    b.addCycles(TimeCategory::Compute, 50);
+    b.addCycles(TimeCategory::Barrier, 30);
+
+    a.merge(b);
+    EXPECT_EQ(a.barrierCrossings, 5u);
+    EXPECT_EQ(a.lockAcquires, 5u);
+    EXPECT_EQ(a.ticketOps, 7u);
+    EXPECT_EQ(a.sumOps, 11u);
+    EXPECT_EQ(a.categoryCycles[0], 150u);
+    EXPECT_EQ(a.categoryCycles[1], 30u);
+}
+
+TEST(Stats, AtomicOpsSumsLockFreeKinds)
+{
+    ThreadStats s;
+    s.ticketOps = 1;
+    s.sumOps = 2;
+    s.stackOps = 3;
+    s.flagOps = 4;
+    EXPECT_EQ(s.atomicOps(), 10u);
+}
+
+TEST(Stats, CategoryFractionNormalizes)
+{
+    RunResult r;
+    r.totals.addCycles(TimeCategory::Compute, 75);
+    r.totals.addCycles(TimeCategory::Barrier, 25);
+    EXPECT_DOUBLE_EQ(r.categoryFraction(TimeCategory::Compute), 0.75);
+    EXPECT_DOUBLE_EQ(r.categoryFraction(TimeCategory::Barrier), 0.25);
+    EXPECT_DOUBLE_EQ(r.categoryFraction(TimeCategory::Lock), 0.0);
+}
+
+TEST(Stats, CategoryFractionZeroWhenEmpty)
+{
+    RunResult r;
+    EXPECT_DOUBLE_EQ(r.categoryFraction(TimeCategory::Compute), 0.0);
+}
+
+TEST(Stats, CategoryNames)
+{
+    EXPECT_STREQ(toString(TimeCategory::Compute), "compute");
+    EXPECT_STREQ(toString(TimeCategory::Barrier), "barrier");
+    EXPECT_STREQ(toString(TimeCategory::Lock), "lock");
+    EXPECT_STREQ(toString(TimeCategory::Atomic), "atomic");
+    EXPECT_STREQ(toString(TimeCategory::Flag), "flag");
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "core/world.h"
+
+namespace splash {
+namespace {
+
+TEST(World, HandlesIndexSequentially)
+{
+    World world(4, SuiteVersion::Splash4);
+    auto b = world.createBarrier();
+    auto l = world.createLock();
+    auto t = world.createTicket();
+    EXPECT_EQ(b.index, 0u);
+    EXPECT_EQ(l.index, 1u);
+    EXPECT_EQ(t.index, 2u);
+    EXPECT_TRUE(b.valid());
+    EXPECT_FALSE(BarrierHandle{}.valid());
+}
+
+TEST(World, DescriptorsMatchKinds)
+{
+    World world(2, SuiteVersion::Splash3);
+    world.createBarrier();
+    world.createLocks(3);
+    world.createTickets(2);
+    world.createSums(4, 1.5);
+    world.createStack(16);
+    world.createFlag();
+
+    EXPECT_EQ(world.countOf(SyncObjKind::Barrier), 1u);
+    EXPECT_EQ(world.countOf(SyncObjKind::Lock), 3u);
+    EXPECT_EQ(world.countOf(SyncObjKind::Ticket), 2u);
+    EXPECT_EQ(world.countOf(SyncObjKind::Sum), 4u);
+    EXPECT_EQ(world.countOf(SyncObjKind::Stack), 1u);
+    EXPECT_EQ(world.countOf(SyncObjKind::Flag), 1u);
+    EXPECT_EQ(world.objects().size(), 12u);
+}
+
+TEST(World, SumInitialValueStored)
+{
+    World world(2, SuiteVersion::Splash4);
+    auto s = world.createSum(3.25);
+    EXPECT_DOUBLE_EQ(world.objects()[s.index].initialValue, 3.25);
+}
+
+TEST(World, AutoLockKindFollowsSuite)
+{
+    World s3(2, SuiteVersion::Splash3);
+    auto l3 = s3.createLock(LockKind::Auto);
+    EXPECT_EQ(s3.objects()[l3.index].lockKind, LockKind::Mutex);
+
+    World s4(2, SuiteVersion::Splash4);
+    auto l4 = s4.createLock(LockKind::Auto);
+    EXPECT_EQ(s4.objects()[l4.index].lockKind, LockKind::Spin);
+}
+
+TEST(World, ExplicitLockKindPreserved)
+{
+    World world(2, SuiteVersion::Splash3);
+    auto spin = world.createLock(LockKind::Spin);
+    EXPECT_EQ(world.objects()[spin.index].lockKind, LockKind::Spin);
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/native_engine.h"
+#include "engine/sim_engine.h"
+#include "sim/machine.h"
+
+namespace splash {
+namespace {
+
+struct KindCase
+{
+    BarrierKind kind;
+    SuiteVersion suite;
+    EngineKind engine;
+};
+
+class BarrierKindTest : public ::testing::TestWithParam<KindCase>
+{
+};
+
+TEST_P(BarrierKindTest, PhasesStaySeparated)
+{
+    const auto& param = GetParam();
+    World world(6, param.suite);
+    auto bar = world.createBarrier(param.kind);
+
+    RunConfig config;
+    config.threads = 6;
+    config.suite = param.suite;
+    config.engine = param.engine;
+    config.profile = "test4";
+    auto engine = makeEngine(world, config);
+
+    std::vector<int> phase(6, 0);
+    bool ok = true;
+    engine->run([&](Context& ctx) {
+        for (int round = 0; round < 10; ++round) {
+            phase[ctx.tid()] = round + 1;
+            ctx.barrier(bar);
+            for (int t = 0; t < 6; ++t)
+                if (phase[t] < round + 1)
+                    ok = false;
+            ctx.barrier(bar);
+        }
+    });
+    EXPECT_TRUE(ok);
+}
+
+std::string
+kindCaseName(const ::testing::TestParamInfo<KindCase>& info)
+{
+    const char* kind = "";
+    switch (info.param.kind) {
+      case BarrierKind::Auto: kind = "auto"; break;
+      case BarrierKind::Cond: kind = "cond"; break;
+      case BarrierKind::Sense: kind = "sense"; break;
+      case BarrierKind::Tree: kind = "tree"; break;
+    }
+    return std::string(kind) + "_" + toString(info.param.suite) + "_" +
+           toString(info.param.engine);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, BarrierKindTest,
+    ::testing::Values(
+        KindCase{BarrierKind::Auto, SuiteVersion::Splash3,
+                 EngineKind::Sim},
+        KindCase{BarrierKind::Auto, SuiteVersion::Splash4,
+                 EngineKind::Sim},
+        KindCase{BarrierKind::Cond, SuiteVersion::Splash4,
+                 EngineKind::Sim},
+        KindCase{BarrierKind::Sense, SuiteVersion::Splash3,
+                 EngineKind::Sim},
+        KindCase{BarrierKind::Tree, SuiteVersion::Splash3,
+                 EngineKind::Sim},
+        KindCase{BarrierKind::Tree, SuiteVersion::Splash4,
+                 EngineKind::Sim},
+        KindCase{BarrierKind::Cond, SuiteVersion::Splash4,
+                 EngineKind::Native},
+        KindCase{BarrierKind::Sense, SuiteVersion::Splash3,
+                 EngineKind::Native},
+        KindCase{BarrierKind::Tree, SuiteVersion::Splash3,
+                 EngineKind::Native},
+        KindCase{BarrierKind::Tree, SuiteVersion::Splash4,
+                 EngineKind::Native}),
+    kindCaseName);
+
+TEST(BarrierKindModel, TreeScalesBetterThanSenseAtWidth)
+{
+    auto cost = [](BarrierKind kind, int threads) {
+        World world(threads, SuiteVersion::Splash4);
+        auto bar = world.createBarrier(kind);
+        SimEngine engine(world, machineProfile("epyc64"));
+        return engine
+            .run([&](Context& ctx) {
+                for (int i = 0; i < 20; ++i)
+                    ctx.barrier(bar);
+            })
+            .makespan;
+    };
+    // At 64 threads the combining tree beats the centralized counter;
+    // at 4 threads they are comparable (tree may even lose slightly).
+    EXPECT_LT(cost(BarrierKind::Tree, 64),
+              cost(BarrierKind::Sense, 64));
+}
+
+} // namespace
+} // namespace splash

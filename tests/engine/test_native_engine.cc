@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "engine/engine.h"
+#include "engine/native_engine.h"
+
+namespace splash {
+namespace {
+
+class NativeEngineTest
+    : public ::testing::TestWithParam<SuiteVersion>
+{
+};
+
+TEST_P(NativeEngineTest, BarrierSeparatesPhases)
+{
+    World world(4, GetParam());
+    auto bar = world.createBarrier();
+    std::vector<int> phase(4, 0);
+
+    NativeEngine engine(world);
+    auto outcome = engine.run([&](Context& ctx) {
+        phase[ctx.tid()] = 1;
+        ctx.barrier(bar);
+        for (int t = 0; t < 4; ++t)
+            EXPECT_EQ(phase[t], 1);
+        ctx.barrier(bar);
+        phase[ctx.tid()] = 2;
+    });
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(phase[t], 2);
+    EXPECT_EQ(outcome.perThread.size(), 4u);
+    EXPECT_EQ(outcome.perThread[0].barrierCrossings, 2u);
+}
+
+TEST_P(NativeEngineTest, TicketsDispenseDisjointRanges)
+{
+    World world(4, GetParam());
+    auto ticket = world.createTicket();
+    std::vector<std::vector<std::uint64_t>> got(4);
+
+    NativeEngine engine(world);
+    engine.run([&](Context& ctx) {
+        for (int i = 0; i < 1000; ++i)
+            got[ctx.tid()].push_back(ctx.ticketNext(ticket));
+    });
+    std::vector<std::uint64_t> all;
+    for (auto& v : got)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i], i);
+}
+
+TEST_P(NativeEngineTest, SumAccumulatesExactly)
+{
+    World world(4, GetParam());
+    auto sum = world.createSum(0.0);
+    auto bar = world.createBarrier();
+
+    NativeEngine engine(world);
+    double readback = -1.0;
+    engine.run([&](Context& ctx) {
+        for (int i = 0; i < 500; ++i)
+            ctx.sumAdd(sum, 1.0);
+        ctx.barrier(bar);
+        if (ctx.tid() == 0)
+            readback = ctx.sumRead(sum);
+    });
+    EXPECT_DOUBLE_EQ(readback, 2000.0);
+}
+
+TEST_P(NativeEngineTest, LocksProvideMutualExclusion)
+{
+    World world(4, GetParam());
+    auto lock = world.createLock();
+    long counter = 0;
+
+    NativeEngine engine(world);
+    engine.run([&](Context& ctx) {
+        for (int i = 0; i < 2000; ++i) {
+            ctx.lockAcquire(lock);
+            ++counter;
+            ctx.lockRelease(lock);
+        }
+    });
+    EXPECT_EQ(counter, 8000);
+}
+
+TEST_P(NativeEngineTest, StackConservesValues)
+{
+    World world(4, GetParam());
+    auto stack = world.createStack(4000);
+
+    NativeEngine engine(world);
+    std::atomic<std::uint64_t> popped{0};
+    engine.run([&](Context& ctx) {
+        for (std::uint32_t i = 0; i < 1000; ++i)
+            ctx.stackPush(stack, ctx.tid() * 1000 + i);
+        std::uint32_t v;
+        while (ctx.stackPop(stack, v))
+            ++popped;
+    });
+    EXPECT_EQ(popped.load(), 4000u);
+}
+
+TEST_P(NativeEngineTest, FlagsReleaseWaiters)
+{
+    World world(3, GetParam());
+    auto flag = world.createFlag();
+    std::atomic<int> observed{0};
+
+    NativeEngine engine(world);
+    engine.run([&](Context& ctx) {
+        if (ctx.tid() == 0) {
+            ctx.flagSet(flag);
+        } else {
+            ctx.flagWait(flag);
+            ++observed;
+        }
+    });
+    EXPECT_EQ(observed.load(), 2);
+}
+
+TEST_P(NativeEngineTest, WorkCountsUnits)
+{
+    World world(2, GetParam());
+    NativeEngine engine(world);
+    auto outcome = engine.run([&](Context& ctx) {
+        ctx.work(100);
+        ctx.work(23);
+    });
+    EXPECT_EQ(outcome.perThread[0].workUnits, 123u);
+    EXPECT_EQ(outcome.perThread[1].workUnits, 123u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSuites, NativeEngineTest,
+                         ::testing::Values(SuiteVersion::Splash3,
+                                           SuiteVersion::Splash4),
+                         [](const auto& info) {
+                             return info.param == SuiteVersion::Splash3
+                                        ? "splash3"
+                                        : "splash4";
+                         });
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/sim_engine.h"
+#include "sim/machine.h"
+
+namespace splash {
+namespace {
+
+/** A mixed workload touching every primitive kind. */
+struct MixedWorkload
+{
+    World world;
+    BarrierHandle bar;
+    LockHandle lock;
+    TicketHandle ticket;
+    SumHandle sum;
+    StackHandle stack;
+    FlagHandle flag;
+
+    explicit MixedWorkload(int threads, SuiteVersion suite)
+        : world(threads, suite)
+    {
+        bar = world.createBarrier();
+        lock = world.createLock();
+        ticket = world.createTicket();
+        sum = world.createSum();
+        stack = world.createStack(1024);
+        flag = world.createFlag();
+    }
+
+    void
+    body(Context& ctx)
+    {
+        for (int round = 0; round < 5; ++round) {
+            ctx.work(50 + 13 * ctx.tid());
+            ctx.ticketNext(ticket);
+            ctx.sumAdd(sum, 1.0 + ctx.tid());
+            ctx.lockAcquire(lock);
+            ctx.work(5);
+            ctx.lockRelease(lock);
+            ctx.stackPush(stack, static_cast<std::uint32_t>(
+                                     ctx.tid() * 100 + round));
+            ctx.barrier(bar);
+            std::uint32_t v;
+            ctx.stackPop(stack, v);
+            if (round == 2) {
+                if (ctx.tid() == 0)
+                    ctx.flagSet(flag);
+                else
+                    ctx.flagWait(flag);
+            }
+            ctx.barrier(bar);
+        }
+    }
+};
+
+VTime
+runMixed(int threads, SuiteVersion suite, const std::string& profile)
+{
+    MixedWorkload w(threads, suite);
+    SimEngine engine(w.world, machineProfile(profile));
+    return engine.run([&](Context& ctx) { w.body(ctx); }).makespan;
+}
+
+class DeterminismTest
+    : public ::testing::TestWithParam<std::tuple<int, SuiteVersion>>
+{
+};
+
+TEST_P(DeterminismTest, RepeatedRunsBitIdentical)
+{
+    const auto [threads, suite] = GetParam();
+    const VTime first = runMixed(threads, suite, "test4");
+    for (int rep = 0; rep < 3; ++rep)
+        EXPECT_EQ(runMixed(threads, suite, "test4"), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeterminismTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(SuiteVersion::Splash3,
+                                         SuiteVersion::Splash4)));
+
+TEST(Determinism, ProfilesChangeMakespanNotBehavior)
+{
+    const VTime epyc = runMixed(8, SuiteVersion::Splash4, "epyc64");
+    const VTime icelake = runMixed(8, SuiteVersion::Splash4,
+                                   "icelake64");
+    // Different profiles must still complete, and EPYC's pricier
+    // transfers make the same workload slower.
+    EXPECT_GT(epyc, icelake);
+}
+
+TEST(Determinism, MoreThreadsMoreTotalAtomics)
+{
+    MixedWorkload a(2, SuiteVersion::Splash4);
+    SimEngine ea(a.world, machineProfile("test4"));
+    auto ra = ea.run([&](Context& ctx) { a.body(ctx); });
+
+    MixedWorkload b(8, SuiteVersion::Splash4);
+    SimEngine eb(b.world, machineProfile("test4"));
+    auto rb = eb.run([&](Context& ctx) { b.body(ctx); });
+
+    std::uint64_t atomics_a = 0, atomics_b = 0;
+    for (const auto& s : ra.perThread)
+        atomics_a += s.ticketOps + s.sumOps + s.stackOps;
+    for (const auto& s : rb.perThread)
+        atomics_b += s.ticketOps + s.sumOps + s.stackOps;
+    EXPECT_GT(atomics_b, atomics_a);
+}
+
+} // namespace
+} // namespace splash

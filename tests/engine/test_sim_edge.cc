@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/sim_engine.h"
+#include "sim/machine.h"
+
+namespace splash {
+namespace {
+
+const MachineProfile& prof()
+{
+    return machineProfile("test4");
+}
+
+TEST(SimEdge, DeadlockIsDetectedAndReported)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    // Thread 0 takes the lock and never releases; thread 1 blocks on
+    // it forever after thread 0 finishes -> the machine must panic
+    // with a deadlock dump instead of hanging.
+    EXPECT_DEATH(
+        {
+            World world(2, SuiteVersion::Splash4);
+            auto lock = world.createLock();
+            SimEngine engine(world, prof());
+            engine.run([&](Context& ctx) {
+                if (ctx.tid() == 0) {
+                    ctx.lockAcquire(lock);
+                } else {
+                    ctx.work(100);
+                    ctx.lockAcquire(lock);
+                }
+            });
+        },
+        "deadlock");
+}
+
+TEST(SimEdge, MaxThreadsSupported)
+{
+    World world(64, SuiteVersion::Splash4);
+    auto bar = world.createBarrier();
+    SimEngine engine(world, machineProfile("epyc64"));
+    auto outcome = engine.run([&](Context& ctx) {
+        ctx.work(10);
+        ctx.barrier(bar);
+    });
+    EXPECT_EQ(outcome.perThread.size(), 64u);
+}
+
+TEST(SimEdge, SixtyFiveThreadsRejected)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    EXPECT_DEATH(
+        {
+            World world(65, SuiteVersion::Splash4);
+            SimEngine engine(world, prof());
+            engine.run([](Context&) {});
+        },
+        "at most 64");
+}
+
+TEST(SimEdge, PureComputeMakespanIsMaxNotSum)
+{
+    World world(4, SuiteVersion::Splash4);
+    SimEngine engine(world, prof());
+    auto outcome = engine.run([&](Context& ctx) {
+        ctx.work(100 * (ctx.tid() + 1));
+    });
+    EXPECT_EQ(outcome.makespan, 400u * prof().workUnitCycles);
+}
+
+TEST(SimEdge, LockGrantsAreFifo)
+{
+    // All threads queue on a held lock; record the grant order.
+    World world(4, SuiteVersion::Splash4);
+    auto lock = world.createLock();
+    auto bar = world.createBarrier();
+    std::vector<int> order;
+    SimEngine engine(world, prof());
+    engine.run([&](Context& ctx) {
+        if (ctx.tid() == 0) {
+            ctx.lockAcquire(lock);
+            ctx.barrier(bar);   // everyone queues while 0 holds it
+            ctx.work(1000);
+            order.push_back(0);
+            ctx.lockRelease(lock);
+        } else {
+            ctx.barrier(bar);
+            ctx.work(ctx.tid()); // deterministic queueing order
+            ctx.lockAcquire(lock);
+            order.push_back(ctx.tid());
+            ctx.lockRelease(lock);
+        }
+    });
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 2);
+    EXPECT_EQ(order[3], 3);
+}
+
+TEST(SimEdge, SpinLockCheaperThanMutexUnderContention)
+{
+    auto cycles_with = [&](LockKind kind) {
+        World world(8, SuiteVersion::Splash4);
+        auto lock = world.createLock(kind);
+        SimEngine engine(world, machineProfile("epyc64"));
+        return engine
+            .run([&](Context& ctx) {
+                for (int i = 0; i < 50; ++i) {
+                    ctx.lockAcquire(lock);
+                    ctx.work(2);
+                    ctx.lockRelease(lock);
+                }
+            })
+            .makespan;
+    };
+    EXPECT_LT(cycles_with(LockKind::Spin),
+              cycles_with(LockKind::Mutex));
+}
+
+TEST(SimEdge, SingleThreadNeverBlocks)
+{
+    World world(1, SuiteVersion::Splash3);
+    auto bar = world.createBarrier();
+    auto lock = world.createLock();
+    auto flag = world.createFlag();
+    SimEngine engine(world, prof());
+    auto outcome = engine.run([&](Context& ctx) {
+        ctx.flagSet(flag);
+        ctx.flagWait(flag);
+        ctx.lockAcquire(lock);
+        ctx.lockRelease(lock);
+        ctx.barrier(bar);
+    });
+    EXPECT_GT(outcome.makespan, 0u);
+}
+
+TEST(SimEdge, StatsCategoriesCoverMakespan)
+{
+    // Aggregate per-category cycles of a single-threaded run must
+    // equal its makespan (nothing double- or un-counted).
+    World world(1, SuiteVersion::Splash4);
+    auto bar = world.createBarrier();
+    auto sum = world.createSum();
+    SimEngine engine(world, prof());
+    auto outcome = engine.run([&](Context& ctx) {
+        ctx.work(100);
+        ctx.sumAdd(sum, 1.0);
+        ctx.barrier(bar);
+    });
+    VTime total = 0;
+    for (int c = 0; c < static_cast<int>(TimeCategory::NumCategories);
+         ++c) {
+        total += outcome.perThread[0].categoryCycles[c];
+    }
+    EXPECT_EQ(total, outcome.makespan);
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/sim_engine.h"
+#include "sim/machine.h"
+
+namespace splash {
+namespace {
+
+class SimEngineTest : public ::testing::TestWithParam<SuiteVersion>
+{
+  protected:
+    const MachineProfile& prof_ = machineProfile("test4");
+};
+
+TEST_P(SimEngineTest, BarrierSeparatesPhases)
+{
+    World world(4, GetParam());
+    auto bar = world.createBarrier();
+    std::vector<int> phase(4, 0);
+
+    SimEngine engine(world, prof_);
+    auto outcome = engine.run([&](Context& ctx) {
+        phase[ctx.tid()] = 1;
+        ctx.barrier(bar);
+        for (int t = 0; t < 4; ++t)
+            EXPECT_EQ(phase[t], 1);
+        ctx.barrier(bar);
+        phase[ctx.tid()] = 2;
+    });
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(phase[t], 2);
+    EXPECT_GT(outcome.makespan, 0u);
+}
+
+TEST_P(SimEngineTest, TicketsDispenseDisjointRanges)
+{
+    World world(4, GetParam());
+    auto ticket = world.createTicket();
+    std::vector<std::uint64_t> all;
+
+    SimEngine engine(world, prof_);
+    auto bar = world.createBarrier();
+    std::vector<std::vector<std::uint64_t>> got(4);
+    engine.run([&](Context& ctx) {
+        for (int i = 0; i < 100; ++i)
+            got[ctx.tid()].push_back(ctx.ticketNext(ticket));
+        ctx.barrier(bar);
+    });
+    for (auto& v : got)
+        all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i], i);
+}
+
+TEST_P(SimEngineTest, SumAccumulatesExactly)
+{
+    World world(4, GetParam());
+    auto sum = world.createSum(1.5);
+    auto bar = world.createBarrier();
+
+    SimEngine engine(world, prof_);
+    double readback = -1.0;
+    engine.run([&](Context& ctx) {
+        for (int i = 0; i < 100; ++i)
+            ctx.sumAdd(sum, 0.5);
+        ctx.barrier(bar);
+        if (ctx.tid() == 0)
+            readback = ctx.sumRead(sum);
+    });
+    EXPECT_DOUBLE_EQ(readback, 1.5 + 4 * 100 * 0.5);
+}
+
+TEST_P(SimEngineTest, LockMutualExclusionAndFairness)
+{
+    World world(4, GetParam());
+    auto lock = world.createLock();
+    long counter = 0;
+
+    SimEngine engine(world, prof_);
+    engine.run([&](Context& ctx) {
+        for (int i = 0; i < 200; ++i) {
+            ctx.lockAcquire(lock);
+            ++counter;
+            ctx.lockRelease(lock);
+        }
+    });
+    EXPECT_EQ(counter, 800);
+}
+
+TEST_P(SimEngineTest, FlagsReleaseWaiters)
+{
+    World world(3, GetParam());
+    auto flag = world.createFlag();
+    int observed = 0;
+
+    SimEngine engine(world, prof_);
+    engine.run([&](Context& ctx) {
+        if (ctx.tid() == 0) {
+            ctx.work(500); // make waiters arrive first
+            ctx.flagSet(flag);
+        } else {
+            ctx.flagWait(flag);
+            ++observed;
+        }
+    });
+    EXPECT_EQ(observed, 2);
+}
+
+TEST_P(SimEngineTest, FlagAlreadySetDoesNotBlock)
+{
+    World world(2, GetParam());
+    auto flag = world.createFlag();
+    auto bar = world.createBarrier();
+
+    SimEngine engine(world, prof_);
+    engine.run([&](Context& ctx) {
+        if (ctx.tid() == 0)
+            ctx.flagSet(flag);
+        ctx.barrier(bar);
+        ctx.flagWait(flag); // set before the barrier: must not block
+    });
+    SUCCEED();
+}
+
+TEST_P(SimEngineTest, WorkAdvancesVirtualTime)
+{
+    World world(1, GetParam());
+    SimEngine engine(world, prof_);
+    auto outcome = engine.run([&](Context& ctx) { ctx.work(12345); });
+    EXPECT_EQ(outcome.makespan, 12345u * prof_.workUnitCycles);
+}
+
+TEST_P(SimEngineTest, StackConservesValues)
+{
+    World world(4, GetParam());
+    auto stack = world.createStack(400);
+    auto bar = world.createBarrier();
+    int popped = 0;
+
+    SimEngine engine(world, prof_);
+    engine.run([&](Context& ctx) {
+        for (std::uint32_t i = 0; i < 100; ++i)
+            ctx.stackPush(stack, ctx.tid() * 100 + i);
+        ctx.barrier(bar);
+        std::uint32_t v;
+        while (ctx.stackPop(stack, v))
+            ++popped;
+    });
+    EXPECT_EQ(popped, 400);
+}
+
+TEST_P(SimEngineTest, MakespanGrowsWithSerializedContention)
+{
+    // 4 threads hammering one sum must take longer than 1 thread doing
+    // a quarter of the ops: contention serializes on the line.
+    auto run_with = [&](int threads, int ops) {
+        World world(threads, GetParam());
+        auto sum = world.createSum();
+        SimEngine engine(world, prof_);
+        return engine
+            .run([&](Context& ctx) {
+                for (int i = 0; i < ops; ++i)
+                    ctx.sumAdd(sum, 1.0);
+            })
+            .makespan;
+    };
+    const VTime serial = run_with(1, 100);
+    const VTime contended = run_with(4, 100);
+    EXPECT_GT(contended, serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSuites, SimEngineTest,
+                         ::testing::Values(SuiteVersion::Splash3,
+                                           SuiteVersion::Splash4),
+                         [](const auto& info) {
+                             return info.param == SuiteVersion::Splash3
+                                        ? "splash3"
+                                        : "splash4";
+                         });
+
+TEST(SimEngineModel, Splash4BarrierCheaperAtScale)
+{
+    auto barrier_cost = [](SuiteVersion suite) {
+        World world(16, suite);
+        auto bar = world.createBarrier();
+        SimEngine engine(world, machineProfile("epyc64"));
+        return engine
+            .run([&](Context& ctx) {
+                for (int i = 0; i < 10; ++i)
+                    ctx.barrier(bar);
+            })
+            .makespan;
+    };
+    EXPECT_LT(barrier_cost(SuiteVersion::Splash4),
+              barrier_cost(SuiteVersion::Splash3));
+}
+
+TEST(SimEngineModel, Splash4ReductionCheaperAtScale)
+{
+    auto cost = [](SuiteVersion suite) {
+        World world(16, suite);
+        auto sum = world.createSum();
+        SimEngine engine(world, machineProfile("epyc64"));
+        return engine
+            .run([&](Context& ctx) {
+                for (int i = 0; i < 50; ++i)
+                    ctx.sumAdd(sum, 1.0);
+            })
+            .makespan;
+    };
+    EXPECT_LT(cost(SuiteVersion::Splash4), cost(SuiteVersion::Splash3));
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "core/benchmark.h"
+#include "harness/presets.h"
+#include "harness/suite.h"
+
+namespace splash {
+namespace {
+
+class PresetTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { registerAllBenchmarks(); }
+};
+
+TEST_F(PresetTest, SuiteOrderCoversAllRegisteredBenchmarks)
+{
+    const auto names = benchmarkNames();
+    EXPECT_EQ(names.size(), 12u);
+    for (const auto& name : suiteOrder()) {
+        EXPECT_TRUE(hasBenchmark(name)) << name;
+    }
+    EXPECT_EQ(suiteOrder().size(), names.size());
+}
+
+TEST_F(PresetTest, EveryPresetSetsUpCleanly)
+{
+    for (const auto& name : suiteOrder()) {
+        for (const double scale : {0.1, 0.25, 1.0}) {
+            auto bench = makeBenchmark(name);
+            World world(64, SuiteVersion::Splash4);
+            bench->setup(world, benchParams(name, scale));
+            EXPECT_FALSE(bench->inputDescription().empty()) << name;
+            EXPECT_GT(world.objects().size(), 0u) << name;
+        }
+    }
+}
+
+TEST_F(PresetTest, ScaleShrinksInputs)
+{
+    const Params full = benchParams("radix", 1.0);
+    const Params quarter = benchParams("radix", 0.25);
+    EXPECT_GT(full.getInt("keys", 0), quarter.getInt("keys", 0));
+}
+
+TEST_F(PresetTest, UnknownBenchmarkIsFatal)
+{
+    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    EXPECT_DEATH((void)benchParams("nonesuch"), "no preset");
+}
+
+TEST_F(PresetTest, DescriptionsAreInformative)
+{
+    for (const auto& name : suiteOrder()) {
+        auto bench = makeBenchmark(name);
+        EXPECT_FALSE(bench->description().empty()) << name;
+        EXPECT_EQ(bench->name(), name);
+    }
+}
+
+} // namespace
+} // namespace splash

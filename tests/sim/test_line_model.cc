@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "sim/line_model.h"
+
+namespace splash {
+namespace {
+
+class LineModelTest : public ::testing::Test
+{
+  protected:
+    const MachineProfile& prof_ = machineProfile("test4");
+};
+
+TEST_F(LineModelTest, FirstRmwPaysTransfer)
+{
+    SimLine line;
+    const VTime done = line.rmw(0, 100, prof_);
+    EXPECT_EQ(done, 100 + prof_.rmwRemoteCycles);
+    EXPECT_EQ(line.transferCount(), 1u);
+}
+
+TEST_F(LineModelTest, RepeatedOwnerRmwIsLocal)
+{
+    SimLine line;
+    VTime t = line.rmw(0, 0, prof_);
+    const VTime t2 = line.rmw(0, t, prof_);
+    EXPECT_EQ(t2 - t, prof_.rmwLocalCycles);
+    EXPECT_EQ(line.transferCount(), 1u);
+}
+
+TEST_F(LineModelTest, ContendedRmwsSerialize)
+{
+    SimLine line;
+    // Two threads arrive at the same instant; the second's RMW cannot
+    // start before the first completes.
+    const VTime first = line.rmw(0, 50, prof_);
+    const VTime second = line.rmw(1, 50, prof_);
+    EXPECT_GE(second, first + prof_.rmwRemoteCycles);
+}
+
+TEST_F(LineModelTest, SharerLoadIsLocal)
+{
+    SimLine line;
+    const VTime miss = line.load(2, 10, prof_);
+    EXPECT_EQ(miss, 10 + prof_.loadRemoteCycles);
+    const VTime hit = line.load(2, miss, prof_);
+    EXPECT_EQ(hit, miss + prof_.loadLocalCycles);
+}
+
+TEST_F(LineModelTest, RmwInvalidatesSharers)
+{
+    SimLine line;
+    (void)line.load(1, 0, prof_);
+    (void)line.rmw(0, 1000, prof_);
+    // Thread 1 lost the line; its next load is a miss again.
+    const VTime reload = line.load(1, 5000, prof_);
+    EXPECT_EQ(reload, 5000 + prof_.loadRemoteCycles);
+}
+
+TEST_F(LineModelTest, OwnerRmwAfterForeignLoadPaysAgain)
+{
+    SimLine line;
+    VTime t = line.rmw(0, 0, prof_);
+    (void)line.load(1, t, prof_);
+    // The line was demoted to shared; even the old owner pays the
+    // upgrade on its next RMW.
+    const VTime before = line.transferCount();
+    (void)line.rmw(0, 10000, prof_);
+    EXPECT_EQ(line.transferCount(), before + 1);
+}
+
+TEST(MachineProfiles, KnownNamesResolve)
+{
+    for (const auto& name : machineProfileNames())
+        EXPECT_EQ(machineProfile(name).name, name);
+    EXPECT_GE(machineProfileNames().size(), 3u);
+}
+
+TEST(MachineProfiles, EpycPricierThanIcelake)
+{
+    const auto& epyc = machineProfile("epyc64");
+    const auto& ice = machineProfile("icelake64");
+    EXPECT_GT(epyc.rmwRemoteCycles, ice.rmwRemoteCycles);
+    EXPECT_GT(epyc.wakeLatencyCycles, ice.wakeLatencyCycles);
+    EXPECT_GT(epyc.parkCycles, ice.parkCycles);
+}
+
+} // namespace
+} // namespace splash

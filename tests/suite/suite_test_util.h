@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared helpers for the per-benchmark test suites: a standard
+ * (threads x suite x engine) sweep plus convenience runners.
+ */
+
+#ifndef SPLASH_TESTS_SUITE_TEST_UTIL_H
+#define SPLASH_TESTS_SUITE_TEST_UTIL_H
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/engine.h"
+#include "harness/suite.h"
+
+namespace splash {
+namespace testutil {
+
+struct SuiteCase
+{
+    int threads;
+    SuiteVersion suite;
+    EngineKind engine;
+};
+
+inline std::string
+caseName(const ::testing::TestParamInfo<SuiteCase>& info)
+{
+    return std::string(toString(info.param.suite)) + "_" +
+           toString(info.param.engine) + "_t" +
+           std::to_string(info.param.threads);
+}
+
+/** The standard sweep every benchmark is exercised under. */
+inline auto
+standardCases()
+{
+    return ::testing::Values(
+        SuiteCase{1, SuiteVersion::Splash3, EngineKind::Native},
+        SuiteCase{4, SuiteVersion::Splash3, EngineKind::Native},
+        SuiteCase{4, SuiteVersion::Splash4, EngineKind::Native},
+        SuiteCase{1, SuiteVersion::Splash4, EngineKind::Sim},
+        SuiteCase{3, SuiteVersion::Splash3, EngineKind::Sim},
+        SuiteCase{4, SuiteVersion::Splash4, EngineKind::Sim},
+        SuiteCase{8, SuiteVersion::Splash4, EngineKind::Sim});
+}
+
+/** Build a RunConfig for a case with the test machine profile. */
+inline RunConfig
+makeConfig(const SuiteCase& c)
+{
+    registerAllBenchmarks();
+    RunConfig config;
+    config.threads = c.threads;
+    config.suite = c.suite;
+    config.engine = c.engine;
+    config.profile = "test4";
+    return config;
+}
+
+/** Run and assert verification succeeded. */
+inline RunResult
+runVerified(const std::string& name, const RunConfig& config)
+{
+    RunResult result = runBenchmark(name, config);
+    EXPECT_TRUE(result.verified) << name << ": "
+                                 << result.verifyMessage;
+    return result;
+}
+
+} // namespace testutil
+} // namespace splash
+
+#endif // SPLASH_TESTS_SUITE_TEST_UTIL_H

@@ -1,0 +1,66 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+using testutil::SuiteCase;
+
+class BarnesTest : public ::testing::TestWithParam<SuiteCase>
+{
+};
+
+TEST_P(BarnesTest, TreeCompleteAndForcesAccurate)
+{
+    RunConfig config = testutil::makeConfig(GetParam());
+    config.params.set("bodies", std::int64_t{256});
+    config.params.set("steps", std::int64_t{1});
+    RunResult result = testutil::runVerified("barnes", config);
+    EXPECT_GT(result.totals.lockAcquires, 0u);
+    EXPECT_GT(result.totals.ticketOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BarnesTest, testutil::standardCases(),
+                         testutil::caseName);
+
+TEST(BarnesProperties, MoreThreadsThanWorkBatches)
+{
+    RunConfig config = testutil::makeConfig(
+        {16, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("bodies", std::int64_t{64});
+    config.params.set("steps", std::int64_t{1});
+    testutil::runVerified("barnes", config);
+}
+
+TEST(BarnesProperties, ZeroStepsStillBuildsTree)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("bodies", std::int64_t{128});
+    config.params.set("steps", std::int64_t{0});
+    testutil::runVerified("barnes", config);
+}
+
+TEST(BarnesProperties, SimDeterministicCycles)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash3, EngineKind::Sim});
+    config.params.set("bodies", std::int64_t{128});
+    config.params.set("steps", std::int64_t{1});
+    const auto first = runBenchmark("barnes", config).simCycles;
+    EXPECT_EQ(runBenchmark("barnes", config).simCycles, first);
+}
+
+TEST(BarnesProperties, SeedsVaryButAlwaysVerify)
+{
+    for (std::int64_t seed : {7, 1234}) {
+        RunConfig config = testutil::makeConfig(
+            {4, SuiteVersion::Splash4, EngineKind::Sim});
+        config.params.set("bodies", std::int64_t{200});
+        config.params.set("steps", std::int64_t{1});
+        config.params.set("seed", seed);
+        testutil::runVerified("barnes", config);
+    }
+}
+
+} // namespace
+} // namespace splash

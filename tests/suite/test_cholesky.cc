@@ -1,0 +1,51 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+using testutil::SuiteCase;
+
+class CholeskyTest : public ::testing::TestWithParam<SuiteCase>
+{
+};
+
+TEST_P(CholeskyTest, FactorsAndVerifies)
+{
+    RunConfig config = testutil::makeConfig(GetParam());
+    config.params.set("size", std::int64_t{64});
+    config.params.set("block", std::int64_t{8});
+    RunResult result = testutil::runVerified("cholesky", config);
+    EXPECT_GT(result.totals.ticketOps, 0u);
+    EXPECT_GT(result.totals.stackOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CholeskyTest,
+                         testutil::standardCases(), testutil::caseName);
+
+TEST(CholeskyProperties, BlockVariants)
+{
+    for (std::int64_t block : {4, 16}) {
+        RunConfig config = testutil::makeConfig(
+            {4, SuiteVersion::Splash3, EngineKind::Sim});
+        config.params.set("size", std::int64_t{64});
+        config.params.set("block", block);
+        testutil::runVerified("cholesky", config);
+    }
+}
+
+TEST(CholeskyProperties, TaskCountMatchesSchedule)
+{
+    // Each trailing update is pushed and popped exactly once: stack
+    // op count = 2 * sum_k T(nb-k-1) pushes/pops + empty probes.
+    RunConfig config = testutil::makeConfig(
+        {2, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("size", std::int64_t{32});
+    config.params.set("block", std::int64_t{8});
+    RunResult result = testutil::runVerified("cholesky", config);
+    // nb = 4: tasks = sum over k of (nb-k-1)(nb-k)/2 = 6+3+1+0 = 10.
+    // 10 pushes + >=10 successful pops; the rest are empty probes.
+    EXPECT_GE(result.totals.stackOps, 20u);
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,54 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+using testutil::SuiteCase;
+
+class FftTest : public ::testing::TestWithParam<SuiteCase>
+{
+};
+
+TEST_P(FftTest, RoundTripAndParseval)
+{
+    RunConfig config = testutil::makeConfig(GetParam());
+    config.params.set("points", std::int64_t{1024});
+    RunResult result = testutil::runVerified("fft", config);
+    EXPECT_GT(result.totals.barrierCrossings, 0u);
+    EXPECT_GT(result.totals.sumOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FftTest, testutil::standardCases(),
+                         testutil::caseName);
+
+TEST(FftProperties, ThreadsExceedingRows)
+{
+    // 256 points -> 16 rows; 8 threads stripe 2 rows each; verify a
+    // config where some stripes are smaller than others.
+    RunConfig config = testutil::makeConfig(
+        {8, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("points", std::int64_t{256});
+    testutil::runVerified("fft", config);
+}
+
+TEST(FftProperties, SeveralSizes)
+{
+    for (std::int64_t points : {64, 256, 4096}) {
+        RunConfig config = testutil::makeConfig(
+            {4, SuiteVersion::Splash3, EngineKind::Sim});
+        config.params.set("points", points);
+        testutil::runVerified("fft", config);
+    }
+}
+
+TEST(FftProperties, SimDeterministicCycles)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("points", std::int64_t{1024});
+    const auto first = runBenchmark("fft", config).simCycles;
+    EXPECT_EQ(runBenchmark("fft", config).simCycles, first);
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,58 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+using testutil::SuiteCase;
+
+class FmmTest : public ::testing::TestWithParam<SuiteCase>
+{
+};
+
+TEST_P(FmmTest, PotentialsMatchDirectSum)
+{
+    RunConfig config = testutil::makeConfig(GetParam());
+    config.params.set("particles", std::int64_t{256});
+    config.params.set("levels", std::int64_t{3});
+    RunResult result = testutil::runVerified("fmm", config);
+    EXPECT_GT(result.totals.ticketOps, 0u);
+    EXPECT_GT(result.totals.barrierCrossings, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FmmTest, testutil::standardCases(),
+                         testutil::caseName);
+
+TEST(FmmProperties, DeeperTreeStillAccurate)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("particles", std::int64_t{512});
+    config.params.set("levels", std::int64_t{4});
+    testutil::runVerified("fmm", config);
+}
+
+TEST(FmmProperties, HigherOrderIsMoreAccurate)
+{
+    // Verify() enforces a fixed tolerance; higher order must also
+    // pass, and with strictly more work.
+    auto work_for = [&](std::int64_t terms) {
+        RunConfig config = testutil::makeConfig(
+            {2, SuiteVersion::Splash4, EngineKind::Sim});
+        config.params.set("particles", std::int64_t{256});
+        config.params.set("terms", terms);
+        return testutil::runVerified("fmm", config).totals.workUnits;
+    };
+    EXPECT_GT(work_for(14), work_for(6));
+}
+
+TEST(FmmProperties, MinimumLevels)
+{
+    RunConfig config = testutil::makeConfig(
+        {3, SuiteVersion::Splash3, EngineKind::Sim});
+    config.params.set("particles", std::int64_t{64});
+    config.params.set("levels", std::int64_t{2});
+    testutil::runVerified("fmm", config);
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,87 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+/**
+ * Randomized-input sweep: every benchmark must verify for several
+ * seeds and two input sizes, under the suite generation and thread
+ * count derived from the seed.  One parameterized harness instead of
+ * copy-pasted cases; sizes are kept small so the whole sweep stays
+ * fast.
+ */
+struct FuzzCase
+{
+    const char* name;
+    std::int64_t seed;
+    int sizeClass; // 0 = small, 1 = medium
+};
+
+class SuiteFuzzTest : public ::testing::TestWithParam<FuzzCase>
+{
+};
+
+TEST_P(SuiteFuzzTest, VerifiesUnderRandomizedInputs)
+{
+    const auto& c = GetParam();
+    const SuiteVersion suite = (c.seed % 2 == 0)
+                                   ? SuiteVersion::Splash3
+                                   : SuiteVersion::Splash4;
+    const int threads = 2 + static_cast<int>(c.seed % 5);
+
+    RunConfig config =
+        testutil::makeConfig({threads, suite, EngineKind::Sim});
+    config.params.set("seed", c.seed);
+    const std::int64_t size = c.sizeClass;
+    config.params.set("keys", std::int64_t{1024} << (2 * size));
+    config.params.set("bits", std::int64_t{4});
+    config.params.set("points", std::int64_t{256} << (2 * size));
+    config.params.set("size", std::int64_t{32} << size);
+    config.params.set("block", std::int64_t{8});
+    config.params.set("grid", std::int64_t{16} << size);
+    config.params.set("bodies", std::int64_t{96} << size);
+    config.params.set("steps", std::int64_t{1});
+    config.params.set("molecules", std::int64_t{50} << size);
+    config.params.set("particles", std::int64_t{96} << size);
+    config.params.set("levels", std::int64_t{2 + size});
+    config.params.set("patches", std::int64_t{3 + size});
+    config.params.set("width", std::int64_t{32} << size);
+    config.params.set("height", std::int64_t{32});
+    config.params.set("volume", std::int64_t{12} << size);
+    config.params.set("spheres", std::int64_t{5} << size);
+
+    testutil::runVerified(c.name, config);
+}
+
+std::string
+fuzzName(const ::testing::TestParamInfo<FuzzCase>& info)
+{
+    std::string name = info.param.name;
+    for (auto& ch : name)
+        if (ch == '-')
+            ch = '_';
+    return name + "_s" + std::to_string(info.param.seed) + "_c" +
+           std::to_string(info.param.sizeClass);
+}
+
+std::vector<FuzzCase>
+makeCases()
+{
+    static const char* names[] = {
+        "barnes",    "fmm",     "ocean",          "radiosity",
+        "raytrace",  "volrend", "water-nsquared", "water-spatial",
+        "cholesky",  "fft",     "lu",             "radix",
+    };
+    std::vector<FuzzCase> cases;
+    for (const char* name : names)
+        for (std::int64_t seed : {11, 42, 1337})
+            for (int size_class : {0, 1})
+                cases.push_back({name, seed, size_class});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteFuzzTest,
+                         ::testing::ValuesIn(makeCases()), fuzzName);
+
+} // namespace
+} // namespace splash

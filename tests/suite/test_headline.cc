@@ -1,0 +1,68 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+/**
+ * The paper's headline claims, as properties: at a contended thread
+ * count, every benchmark's Splash-4 variant must be at least as fast
+ * as its Splash-3 variant under the machine model, and Splash-4 must
+ * show parallel speedup over its own single-threaded run.
+ */
+class HeadlineTest : public ::testing::TestWithParam<const char*>
+{
+  protected:
+    VTime
+    cycles(SuiteVersion suite, int threads)
+    {
+        RunConfig config = testutil::makeConfig(
+            {threads, suite, EngineKind::Sim});
+        config.profile = "epyc64";
+        config.params.set("keys", std::int64_t{8192});
+        config.params.set("bits", std::int64_t{6});
+        config.params.set("points", std::int64_t{4096});
+        config.params.set("size", std::int64_t{128});
+        config.params.set("block", std::int64_t{16});
+        config.params.set("grid", std::int64_t{48});
+        config.params.set("bodies", std::int64_t{512});
+        config.params.set("steps", std::int64_t{1});
+        config.params.set("molecules", std::int64_t{125});
+        config.params.set("particles", std::int64_t{512});
+        config.params.set("levels", std::int64_t{3});
+        config.params.set("patches", std::int64_t{4});
+        config.params.set("width", std::int64_t{64});
+        config.params.set("height", std::int64_t{64});
+        config.params.set("volume", std::int64_t{24});
+        config.params.set("spheres", std::int64_t{16});
+        return testutil::runVerified(GetParam(), config).simCycles;
+    }
+};
+
+TEST_P(HeadlineTest, Splash4NoSlowerAt16Threads)
+{
+    EXPECT_LE(cycles(SuiteVersion::Splash4, 16),
+              cycles(SuiteVersion::Splash3, 16));
+}
+
+TEST_P(HeadlineTest, Splash4ScalesFrom1To16Threads)
+{
+    EXPECT_LT(cycles(SuiteVersion::Splash4, 16),
+              cycles(SuiteVersion::Splash4, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, HeadlineTest,
+    ::testing::Values("barnes", "fmm", "ocean", "radiosity",
+                      "raytrace", "volrend", "water-nsquared",
+                      "water-spatial", "cholesky", "fft", "lu",
+                      "radix"),
+    [](const auto& info) {
+        std::string name = info.param;
+        for (auto& ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace splash

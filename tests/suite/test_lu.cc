@@ -1,0 +1,55 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+using testutil::SuiteCase;
+
+class LuTest : public ::testing::TestWithParam<SuiteCase>
+{
+};
+
+TEST_P(LuTest, FactorsAndVerifies)
+{
+    RunConfig config = testutil::makeConfig(GetParam());
+    config.params.set("size", std::int64_t{64});
+    config.params.set("block", std::int64_t{8});
+    RunResult result = testutil::runVerified("lu", config);
+    EXPECT_GT(result.totals.barrierCrossings, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LuTest, testutil::standardCases(),
+                         testutil::caseName);
+
+TEST(LuProperties, BlockSizeVariants)
+{
+    for (std::int64_t block : {4, 16, 32}) {
+        RunConfig config = testutil::makeConfig(
+            {4, SuiteVersion::Splash4, EngineKind::Sim});
+        config.params.set("size", std::int64_t{64});
+        config.params.set("block", block);
+        testutil::runVerified("lu", config);
+    }
+}
+
+TEST(LuProperties, MoreThreadsThanBlocks)
+{
+    // 2x2 blocks but 8 threads: most threads idle most steps.
+    RunConfig config = testutil::makeConfig(
+        {8, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("size", std::int64_t{32});
+    config.params.set("block", std::int64_t{16});
+    testutil::runVerified("lu", config);
+}
+
+TEST(LuProperties, SingleBlockMatrix)
+{
+    RunConfig config = testutil::makeConfig(
+        {2, SuiteVersion::Splash3, EngineKind::Sim});
+    config.params.set("size", std::int64_t{16});
+    config.params.set("block", std::int64_t{16});
+    testutil::runVerified("lu", config);
+}
+
+} // namespace
+} // namespace splash

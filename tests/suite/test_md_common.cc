@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/md_common.h"
+
+namespace splash {
+namespace {
+
+TEST(MdCommon, MinImageFoldsIntoHalfBox)
+{
+    const double box = 10.0;
+    EXPECT_DOUBLE_EQ(minImage(3.0, box), 3.0);
+    EXPECT_DOUBLE_EQ(minImage(6.0, box), -4.0);
+    EXPECT_DOUBLE_EQ(minImage(-6.0, box), 4.0);
+    EXPECT_DOUBLE_EQ(minImage(-3.0, box), -3.0);
+}
+
+TEST(MdCommon, WrapCoordIntoBox)
+{
+    const double box = 5.0;
+    EXPECT_DOUBLE_EQ(wrapCoord(1.0, box), 1.0);
+    EXPECT_DOUBLE_EQ(wrapCoord(6.5, box), 1.5);
+    EXPECT_DOUBLE_EQ(wrapCoord(-0.5, box), 4.5);
+    EXPECT_DOUBLE_EQ(wrapCoord(5.0, box), 0.0);
+}
+
+TEST(MdCommon, LjPairZeroBeyondCutoff)
+{
+    double fx, fy, fz;
+    const double pot = ljPair(3.0, 0.0, 0.0, 2.5 * 2.5, fx, fy, fz);
+    EXPECT_DOUBLE_EQ(pot, 0.0);
+    EXPECT_DOUBLE_EQ(fx, 0.0);
+}
+
+TEST(MdCommon, LjPairRepulsiveUpClose)
+{
+    double fx, fy, fz;
+    // r = 0.9 sigma: strong repulsion pushing i away from j
+    // (displacement is r_i - r_j = +0.9 on x).
+    const double pot = ljPair(0.9, 0.0, 0.0, 6.25, fx, fy, fz);
+    EXPECT_GT(pot, 0.0);
+    EXPECT_GT(fx, 0.0);
+    EXPECT_DOUBLE_EQ(fy, 0.0);
+}
+
+TEST(MdCommon, LjPairAttractiveAtMediumRange)
+{
+    double fx, fy, fz;
+    // r = 1.5 sigma: attraction pulls i toward j.
+    const double pot = ljPair(1.5, 0.0, 0.0, 6.25, fx, fy, fz);
+    EXPECT_LT(pot, 0.0);
+    EXPECT_LT(fx, 0.0);
+}
+
+TEST(MdCommon, LjMinimumAtCanonicalDistance)
+{
+    // Potential minimum at r = 2^(1/6) sigma: force ~ 0 there.
+    const double rmin = std::pow(2.0, 1.0 / 6.0);
+    double fx, fy, fz;
+    ljPair(rmin, 0.0, 0.0, 6.25, fx, fy, fz);
+    EXPECT_NEAR(fx, 0.0, 1e-12);
+}
+
+TEST(MdCommon, LatticeInitZeroMomentumAndInBox)
+{
+    Rng rng(3);
+    const double box = 6.0;
+    MdState s = initLattice(125, box, rng);
+    double mx = 0, my = 0, mz = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        EXPECT_GE(s.px[i], 0.0);
+        EXPECT_LT(s.px[i], box);
+        EXPECT_GE(s.py[i], 0.0);
+        EXPECT_LT(s.py[i], box);
+        mx += s.vx[i];
+        my += s.vy[i];
+        mz += s.vz[i];
+    }
+    EXPECT_NEAR(mx, 0.0, 1e-10);
+    EXPECT_NEAR(my, 0.0, 1e-10);
+    EXPECT_NEAR(mz, 0.0, 1e-10);
+}
+
+TEST(MdCommon, LatticeKeepsMinimumSeparation)
+{
+    Rng rng(4);
+    const double box = 6.0;
+    MdState s = initLattice(216, box, rng);
+    // Jittered lattice: no two molecules closer than ~0.3 cells.
+    const double cell = box / 6.0;
+    double min_d2 = 1e30;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        for (std::size_t j = i + 1; j < s.size(); ++j) {
+            const double dx = minImage(s.px[i] - s.px[j], box);
+            const double dy = minImage(s.py[i] - s.py[j], box);
+            const double dz = minImage(s.pz[i] - s.pz[j], box);
+            min_d2 = std::min(min_d2,
+                              dx * dx + dy * dy + dz * dz);
+        }
+    }
+    EXPECT_GT(std::sqrt(min_d2), 0.5 * cell);
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,81 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+using testutil::SuiteCase;
+
+class OceanTest : public ::testing::TestWithParam<SuiteCase>
+{
+};
+
+TEST_P(OceanTest, ConvergesAndVerifies)
+{
+    RunConfig config = testutil::makeConfig(GetParam());
+    config.params.set("grid", std::int64_t{32});
+    RunResult result = testutil::runVerified("ocean", config);
+    EXPECT_GT(result.totals.barrierCrossings, 0u);
+    EXPECT_GT(result.totals.sumOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OceanTest, testutil::standardCases(),
+                         testutil::caseName);
+
+TEST(OceanProperties, GridNotDivisibleByThreads)
+{
+    RunConfig config = testutil::makeConfig(
+        {5, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("grid", std::int64_t{33});
+    testutil::runVerified("ocean", config);
+}
+
+TEST(OceanProperties, MultigridConvergesAcrossSizes)
+{
+    // Sizes that exercise different hierarchy depths (the requested
+    // grid is rounded so interior+1 is a multiple of 8).
+    for (std::int64_t grid : {16, 39, 64, 96}) {
+        RunConfig config = testutil::makeConfig(
+            {4, SuiteVersion::Splash4, EngineKind::Sim});
+        config.params.set("grid", grid);
+        testutil::runVerified("ocean", config);
+    }
+}
+
+TEST(OceanProperties, MultigridBeatsPlainSmoothingPerCycle)
+{
+    // A 64-grid solve must converge in a handful of V-cycles; pure
+    // smoothing would need hundreds of sweeps.  Barrier crossings are
+    // a faithful proxy for sweeps here.
+    RunConfig config = testutil::makeConfig(
+        {2, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("grid", std::int64_t{64});
+    RunResult result = testutil::runVerified("ocean", config);
+    // <= 15 V-cycles, each bounded by ~220 barrier crossings/thread.
+    EXPECT_LT(result.totals.barrierCrossings / 2, 4000u);
+}
+
+TEST(OceanProperties, SimDeterministicCycles)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash3, EngineKind::Sim});
+    config.params.set("grid", std::int64_t{32});
+    const auto first = runBenchmark("ocean", config).simCycles;
+    EXPECT_EQ(runBenchmark("ocean", config).simCycles, first);
+}
+
+TEST(OceanProperties, SweepCountIndependentOfThreads)
+{
+    // The numerical iteration count must not depend on parallelism;
+    // total barrier crossings scale linearly with the thread count.
+    auto sweeps_for = [&](int threads) {
+        RunConfig config = testutil::makeConfig(
+            {threads, SuiteVersion::Splash4, EngineKind::Sim});
+        config.params.set("grid", std::int64_t{32});
+        RunResult r = testutil::runVerified("ocean", config);
+        return r.totals.barrierCrossings / threads;
+    };
+    EXPECT_EQ(sweeps_for(1), sweeps_for(4));
+}
+
+} // namespace
+} // namespace splash

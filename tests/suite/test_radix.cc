@@ -1,0 +1,65 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+using testutil::SuiteCase;
+
+class RadixTest : public ::testing::TestWithParam<SuiteCase>
+{
+};
+
+TEST_P(RadixTest, SortsAndVerifies)
+{
+    RunConfig config = testutil::makeConfig(GetParam());
+    config.params.set("keys", std::int64_t{4096});
+    config.params.set("bits", std::int64_t{4});
+    RunResult result = testutil::runVerified("radix", config);
+    EXPECT_GT(result.totals.barrierCrossings, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RadixTest, testutil::standardCases(),
+                         testutil::caseName);
+
+TEST(RadixProperties, OddKeyCountAndUnevenChunks)
+{
+    RunConfig config = testutil::makeConfig(
+        {3, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("keys", std::int64_t{1000});
+    config.params.set("bits", std::int64_t{4});
+    testutil::runVerified("radix", config);
+}
+
+TEST(RadixProperties, WideDigits)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash3, EngineKind::Sim});
+    config.params.set("keys", std::int64_t{2048});
+    config.params.set("bits", std::int64_t{11}); // 3 passes, 2048 buckets
+    testutil::runVerified("radix", config);
+}
+
+TEST(RadixProperties, SimDeterministicCycles)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("keys", std::int64_t{2048});
+    config.params.set("bits", std::int64_t{4});
+    const auto first = runBenchmark("radix", config).simCycles;
+    EXPECT_EQ(runBenchmark("radix", config).simCycles, first);
+}
+
+TEST(RadixProperties, DifferentSeedsStillSort)
+{
+    for (std::int64_t seed : {2, 99, 12345}) {
+        RunConfig config = testutil::makeConfig(
+            {4, SuiteVersion::Splash4, EngineKind::Sim});
+        config.params.set("keys", std::int64_t{1024});
+        config.params.set("bits", std::int64_t{4});
+        config.params.set("seed", seed);
+        testutil::runVerified("radix", config);
+    }
+}
+
+} // namespace
+} // namespace splash

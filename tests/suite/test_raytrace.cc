@@ -1,0 +1,62 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+using testutil::SuiteCase;
+
+class RaytraceTest : public ::testing::TestWithParam<SuiteCase>
+{
+};
+
+TEST_P(RaytraceTest, ImageMatchesSerialReference)
+{
+    RunConfig config = testutil::makeConfig(GetParam());
+    config.params.set("width", std::int64_t{64});
+    config.params.set("height", std::int64_t{64});
+    config.params.set("spheres", std::int64_t{8});
+    RunResult result = testutil::runVerified("raytrace", config);
+    EXPECT_GT(result.totals.ticketOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RaytraceTest,
+                         testutil::standardCases(), testutil::caseName);
+
+TEST(RaytraceProperties, NonSquareImage)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("width", std::int64_t{96});
+    config.params.set("height", std::int64_t{32});
+    config.params.set("spheres", std::int64_t{8});
+    testutil::runVerified("raytrace", config);
+}
+
+TEST(RaytraceProperties, TileCountMatchesTicketOps)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("width", std::int64_t{64});
+    config.params.set("height", std::int64_t{64});
+    config.params.set("spheres", std::int64_t{4});
+    RunResult result = testutil::runVerified("raytrace", config);
+    // 16 tiles claimed + 4 failed claims (one per thread at exit).
+    EXPECT_EQ(result.totals.ticketOps, 16u + 4u);
+}
+
+TEST(RaytraceProperties, MoreSpheresMoreWork)
+{
+    auto work_for = [&](std::int64_t spheres) {
+        RunConfig config = testutil::makeConfig(
+            {2, SuiteVersion::Splash4, EngineKind::Sim});
+        config.params.set("width", std::int64_t{64});
+        config.params.set("height", std::int64_t{64});
+        config.params.set("spheres", spheres);
+        return testutil::runVerified("raytrace", config)
+            .totals.workUnits;
+    };
+    EXPECT_GT(work_for(16), work_for(4));
+}
+
+} // namespace
+} // namespace splash

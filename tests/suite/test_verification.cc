@@ -1,0 +1,56 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+/**
+ * Negative tests: the per-benchmark verifiers are the reproduction's
+ * safety net, so prove they actually reject bad runs instead of
+ * rubber-stamping them.
+ */
+
+TEST(VerificationCatches, OceanStoppedTooEarly)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("grid", std::int64_t{96});
+    config.params.set("iterations", std::int64_t{1});
+    RunResult result = runBenchmark("ocean", config);
+    EXPECT_FALSE(result.verified);
+    EXPECT_NE(result.verifyMessage.find("converge"),
+              std::string::npos);
+}
+
+TEST(VerificationCatches, RadiosityStoppedTooEarly)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("patches", std::int64_t{4});
+    config.params.set("iterations", std::int64_t{1});
+    RunResult result = runBenchmark("radiosity", config);
+    EXPECT_FALSE(result.verified);
+}
+
+TEST(VerificationCatches, WaterWithoutStepsHasNoEnergies)
+{
+    RunConfig config = testutil::makeConfig(
+        {2, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("molecules", std::int64_t{64});
+    config.params.set("steps", std::int64_t{0});
+    RunResult result = runBenchmark("water-nsquared", config);
+    EXPECT_FALSE(result.verified);
+}
+
+TEST(VerificationCatches, MessagesAreInformativeOnSuccess)
+{
+    RunConfig config = testutil::makeConfig(
+        {2, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("keys", std::int64_t{1024});
+    config.params.set("bits", std::int64_t{4});
+    RunResult result = runBenchmark("radix", config);
+    EXPECT_TRUE(result.verified);
+    EXPECT_FALSE(result.verifyMessage.empty());
+}
+
+} // namespace
+} // namespace splash

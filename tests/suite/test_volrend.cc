@@ -1,0 +1,52 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+using testutil::SuiteCase;
+
+class VolrendTest : public ::testing::TestWithParam<SuiteCase>
+{
+};
+
+TEST_P(VolrendTest, ImageMatchesSerialReference)
+{
+    RunConfig config = testutil::makeConfig(GetParam());
+    config.params.set("volume", std::int64_t{16});
+    config.params.set("width", std::int64_t{32});
+    config.params.set("height", std::int64_t{32});
+    RunResult result = testutil::runVerified("volrend", config);
+    EXPECT_GT(result.totals.ticketOps, 0u);
+    EXPECT_GT(result.totals.workUnits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VolrendTest,
+                         testutil::standardCases(), testutil::caseName);
+
+TEST(VolrendProperties, LargerVolumeMoreSteps)
+{
+    auto work_for = [&](std::int64_t volume) {
+        RunConfig config = testutil::makeConfig(
+            {2, SuiteVersion::Splash4, EngineKind::Sim});
+        config.params.set("volume", volume);
+        config.params.set("width", std::int64_t{32});
+        config.params.set("height", std::int64_t{32});
+        return testutil::runVerified("volrend", config)
+            .totals.workUnits;
+    };
+    EXPECT_GT(work_for(32), work_for(8));
+}
+
+TEST(VolrendProperties, SimDeterministicCycles)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash3, EngineKind::Sim});
+    config.params.set("volume", std::int64_t{16});
+    config.params.set("width", std::int64_t{32});
+    config.params.set("height", std::int64_t{32});
+    const auto first = runBenchmark("volrend", config).simCycles;
+    EXPECT_EQ(runBenchmark("volrend", config).simCycles, first);
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,77 @@
+#include "suite_test_util.h"
+
+namespace splash {
+namespace {
+
+using testutil::SuiteCase;
+
+class WaterNsqTest : public ::testing::TestWithParam<SuiteCase>
+{
+};
+
+TEST_P(WaterNsqTest, MomentumConserved)
+{
+    RunConfig config = testutil::makeConfig(GetParam());
+    config.params.set("molecules", std::int64_t{64});
+    config.params.set("steps", std::int64_t{2});
+    RunResult result = testutil::runVerified("water-nsquared", config);
+    EXPECT_GT(result.totals.sumOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WaterNsqTest,
+                         testutil::standardCases(), testutil::caseName);
+
+class WaterSpTest : public ::testing::TestWithParam<SuiteCase>
+{
+};
+
+TEST_P(WaterSpTest, MomentumConserved)
+{
+    RunConfig config = testutil::makeConfig(GetParam());
+    config.params.set("molecules", std::int64_t{64});
+    config.params.set("steps", std::int64_t{2});
+    RunResult result = testutil::runVerified("water-spatial", config);
+    EXPECT_GT(result.totals.lockAcquires, 0u);
+    EXPECT_GT(result.totals.sumOps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WaterSpTest,
+                         testutil::standardCases(), testutil::caseName);
+
+TEST(WaterProperties, OddMoleculeCount)
+{
+    // The cyclic half-matrix pair rule has an N-even special case;
+    // exercise both parities.
+    for (std::int64_t n : {63, 64}) {
+        RunConfig config = testutil::makeConfig(
+            {3, SuiteVersion::Splash4, EngineKind::Sim});
+        config.params.set("molecules", n);
+        config.params.set("steps", std::int64_t{1});
+        testutil::runVerified("water-nsquared", config);
+    }
+}
+
+TEST(WaterProperties, SpatialAndNsquaredAgreeOnPairCounts)
+{
+    // With an identical box both apps simulate the same physics; the
+    // spatial version must stay verified across several steps too.
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash4, EngineKind::Sim});
+    config.params.set("molecules", std::int64_t{125});
+    config.params.set("steps", std::int64_t{4});
+    testutil::runVerified("water-spatial", config);
+    testutil::runVerified("water-nsquared", config);
+}
+
+TEST(WaterProperties, SimDeterministicCycles)
+{
+    RunConfig config = testutil::makeConfig(
+        {4, SuiteVersion::Splash3, EngineKind::Sim});
+    config.params.set("molecules", std::int64_t{64});
+    config.params.set("steps", std::int64_t{2});
+    const auto a = runBenchmark("water-spatial", config).simCycles;
+    EXPECT_EQ(runBenchmark("water-spatial", config).simCycles, a);
+}
+
+} // namespace
+} // namespace splash

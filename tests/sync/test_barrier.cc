@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sync/barrier.h"
+
+namespace splash {
+namespace {
+
+/**
+ * Generic barrier torture: each of @p nthreads increments a phase
+ * counter between barrier crossings; after every crossing all counters
+ * must agree, which fails if any thread ever escapes a round early.
+ */
+template <typename BarrierT>
+void
+phaseAgreementTest(BarrierT& barrier, int nthreads, int rounds)
+{
+    std::vector<std::atomic<int>> phase(nthreads);
+    for (auto& p : phase)
+        p.store(0);
+    std::atomic<bool> failed{false};
+
+    auto body = [&](int tid) {
+        for (int r = 0; r < rounds; ++r) {
+            phase[tid].store(r + 1, std::memory_order_release);
+            barrier.arriveAndWait();
+            for (int t = 0; t < nthreads; ++t) {
+                if (phase[t].load(std::memory_order_acquire) < r + 1)
+                    failed.store(true);
+            }
+            barrier.arriveAndWait();
+        }
+    };
+
+    std::vector<std::thread> threads;
+    for (int tid = 0; tid < nthreads; ++tid)
+        threads.emplace_back(body, tid);
+    for (auto& t : threads)
+        t.join();
+    EXPECT_FALSE(failed.load());
+}
+
+TEST(CondBarrier, SingleThreadPassesThrough)
+{
+    CondBarrier barrier(1);
+    for (int i = 0; i < 100; ++i)
+        barrier.arriveAndWait();
+    EXPECT_EQ(barrier.participants(), 1);
+}
+
+TEST(SenseBarrier, SingleThreadPassesThrough)
+{
+    SenseBarrier barrier(1);
+    for (int i = 0; i < 100; ++i)
+        barrier.arriveAndWait();
+}
+
+TEST(TreeBarrier, SingleThreadPassesThrough)
+{
+    TreeBarrier barrier(1);
+    for (int i = 0; i < 100; ++i)
+        barrier.arriveAndWait(0);
+}
+
+TEST(CondBarrier, PhaseAgreement)
+{
+    CondBarrier barrier(4);
+    phaseAgreementTest(barrier, 4, 50);
+}
+
+TEST(SenseBarrier, PhaseAgreement)
+{
+    SenseBarrier barrier(4);
+    phaseAgreementTest(barrier, 4, 50);
+}
+
+TEST(TreeBarrier, PhaseAgreementViaTid)
+{
+    TreeBarrier barrier(6, 2);
+    std::vector<std::atomic<int>> phase(6);
+    for (auto& p : phase)
+        p.store(0);
+    std::atomic<bool> failed{false};
+    auto body = [&](int tid) {
+        for (int r = 0; r < 50; ++r) {
+            phase[tid].store(r + 1);
+            barrier.arriveAndWait(tid);
+            for (int t = 0; t < 6; ++t)
+                if (phase[t].load() < r + 1)
+                    failed.store(true);
+            barrier.arriveAndWait(tid);
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int tid = 0; tid < 6; ++tid)
+        threads.emplace_back(body, tid);
+    for (auto& t : threads)
+        t.join();
+    EXPECT_FALSE(failed.load());
+}
+
+TEST(TreeBarrier, VariousFanouts)
+{
+    for (int fanout : {2, 3, 4, 8}) {
+        TreeBarrier barrier(5, fanout);
+        phaseAgreementTest(barrier, 5, 10);
+    }
+}
+
+class BarrierParamTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BarrierParamTest, AllKindsAgreeAcrossThreadCounts)
+{
+    const int n = GetParam();
+    {
+        CondBarrier barrier(n);
+        phaseAgreementTest(barrier, n, 20);
+    }
+    {
+        SenseBarrier barrier(n);
+        phaseAgreementTest(barrier, n, 20);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, BarrierParamTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sync/spinlock.h"
+
+namespace splash {
+namespace {
+
+/** Increment a plain counter under the lock; total must be exact. */
+template <typename LockT>
+void
+mutualExclusionTest(int nthreads, int iterations)
+{
+    LockT lock;
+    long counter = 0;
+    auto body = [&] {
+        for (int i = 0; i < iterations; ++i) {
+            lock.lock();
+            ++counter;
+            lock.unlock();
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < nthreads; ++t)
+        threads.emplace_back(body);
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(counter, static_cast<long>(nthreads) * iterations);
+}
+
+TEST(TasLock, MutualExclusion) { mutualExclusionTest<TasLock>(4, 2000); }
+
+TEST(TtasLock, MutualExclusion)
+{
+    mutualExclusionTest<TtasLock>(4, 2000);
+}
+
+TEST(TicketLock, MutualExclusion)
+{
+    mutualExclusionTest<TicketLock>(4, 2000);
+}
+
+TEST(McsLock, MutualExclusion) { mutualExclusionTest<McsLock>(4, 2000); }
+
+TEST(TasLock, TryLockWhenFree)
+{
+    TasLock lock;
+    EXPECT_TRUE(lock.tryLock());
+    EXPECT_FALSE(lock.tryLock());
+    lock.unlock();
+    EXPECT_TRUE(lock.tryLock());
+    lock.unlock();
+}
+
+TEST(TtasLock, TryLockWhenFree)
+{
+    TtasLock lock;
+    EXPECT_TRUE(lock.tryLock());
+    EXPECT_FALSE(lock.tryLock());
+    lock.unlock();
+}
+
+TEST(McsLock, NestedDistinctLocks)
+{
+    McsLock a, b;
+    a.lock();
+    b.lock();
+    b.unlock();
+    a.unlock();
+    // Re-lock to make sure nodes were recycled.
+    a.lock();
+    a.unlock();
+}
+
+TEST(TicketLock, FairHandoffSingleThread)
+{
+    TicketLock lock;
+    for (int i = 0; i < 100; ++i) {
+        lock.lock();
+        lock.unlock();
+    }
+}
+
+} // namespace
+} // namespace splash

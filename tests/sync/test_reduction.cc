@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sync/atomic_reduction.h"
+
+namespace splash {
+namespace {
+
+TEST(AtomicAddDouble, SingleThreadExact)
+{
+    std::atomic<double> v{0.0};
+    for (int i = 1; i <= 100; ++i)
+        atomicAddDouble(v, static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(v.load(), 5050.0);
+}
+
+TEST(AtomicAddDouble, ReturnsPreviousValue)
+{
+    std::atomic<double> v{1.5};
+    EXPECT_DOUBLE_EQ(atomicAddDouble(v, 2.0), 1.5);
+    EXPECT_DOUBLE_EQ(v.load(), 3.5);
+}
+
+TEST(AtomicAddDouble, ConcurrentSumExact)
+{
+    std::atomic<double> v{0.0};
+    const int nthreads = 4, iters = 5000;
+    auto body = [&] {
+        for (int i = 0; i < iters; ++i)
+            atomicAddDouble(v, 1.0);
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < nthreads; ++t)
+        threads.emplace_back(body);
+    for (auto& t : threads)
+        t.join();
+    EXPECT_DOUBLE_EQ(v.load(), nthreads * static_cast<double>(iters));
+}
+
+TEST(AtomicMinMax, TrackExtrema)
+{
+    std::atomic<double> lo{1e300}, hi{-1e300};
+    const double values[] = {3.0, -7.5, 12.0, 0.0, -7.4};
+    for (double v : values) {
+        atomicMinDouble(lo, v);
+        atomicMaxDouble(hi, v);
+    }
+    EXPECT_DOUBLE_EQ(lo.load(), -7.5);
+    EXPECT_DOUBLE_EQ(hi.load(), 12.0);
+}
+
+TEST(AtomicMinMax, NoChangeWhenNotExtreme)
+{
+    std::atomic<double> lo{-1.0};
+    atomicMinDouble(lo, 5.0);
+    EXPECT_DOUBLE_EQ(lo.load(), -1.0);
+}
+
+TEST(LockedAccumulator, MatchesAtomicAccumulator)
+{
+    LockedAccumulator<> locked(10.0);
+    AtomicAccumulator atomic(10.0);
+    for (int i = 0; i < 100; ++i) {
+        locked.add(0.5 * i);
+        atomic.add(0.5 * i);
+    }
+    EXPECT_DOUBLE_EQ(locked.get(), atomic.get());
+}
+
+TEST(LockedAccumulator, ConcurrentSumExact)
+{
+    LockedAccumulator<> acc;
+    const int nthreads = 4, iters = 5000;
+    auto body = [&] {
+        for (int i = 0; i < iters; ++i)
+            acc.add(1.0);
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < nthreads; ++t)
+        threads.emplace_back(body);
+    for (auto& t : threads)
+        t.join();
+    EXPECT_DOUBLE_EQ(acc.get(), nthreads * static_cast<double>(iters));
+}
+
+TEST(PaddedAccumulator, CombineSumsSlots)
+{
+    PaddedAccumulator acc(4);
+    acc.add(0, 1.0);
+    acc.add(1, 2.0);
+    acc.add(2, 3.0);
+    acc.add(3, 4.0);
+    acc.add(0, 0.5);
+    EXPECT_DOUBLE_EQ(acc.combine(), 10.5);
+    acc.reset();
+    EXPECT_DOUBLE_EQ(acc.combine(), 0.0);
+}
+
+TEST(AtomicAccumulator, ResetToValue)
+{
+    AtomicAccumulator acc(3.0);
+    acc.add(1.0);
+    acc.reset(7.0);
+    EXPECT_DOUBLE_EQ(acc.get(), 7.0);
+}
+
+} // namespace
+} // namespace splash

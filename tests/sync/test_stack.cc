@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "sync/lockfree_stack.h"
+#include "sync/task_queue.h"
+
+namespace splash {
+namespace {
+
+TEST(LockFreeStack, LifoOrderSingleThread)
+{
+    LockFreeStack stack(8);
+    for (std::uint32_t i = 0; i < 5; ++i)
+        EXPECT_TRUE(stack.push(i));
+    std::uint32_t v;
+    for (int i = 4; i >= 0; --i) {
+        ASSERT_TRUE(stack.pop(v));
+        EXPECT_EQ(v, static_cast<std::uint32_t>(i));
+    }
+    EXPECT_FALSE(stack.pop(v));
+    EXPECT_TRUE(stack.empty());
+}
+
+TEST(LockFreeStack, CapacityBound)
+{
+    LockFreeStack stack(3);
+    EXPECT_TRUE(stack.push(1));
+    EXPECT_TRUE(stack.push(2));
+    EXPECT_TRUE(stack.push(3));
+    EXPECT_FALSE(stack.push(4));
+    std::uint32_t v;
+    EXPECT_TRUE(stack.pop(v));
+    EXPECT_TRUE(stack.push(4));
+}
+
+TEST(LockFreeStack, ConcurrentPushPopConserved)
+{
+    const std::uint32_t per_thread = 2000;
+    const int nthreads = 4;
+    LockFreeStack stack(per_thread * nthreads);
+    std::atomic<std::uint64_t> popped_sum{0};
+    std::atomic<std::uint64_t> popped_count{0};
+
+    auto body = [&](int tid) {
+        // Push our values, popping interleaved to stress reuse.
+        std::uint32_t v;
+        for (std::uint32_t i = 0; i < per_thread; ++i) {
+            ASSERT_TRUE(stack.push(tid * per_thread + i));
+            if (i % 3 == 0 && stack.pop(v)) {
+                popped_sum += v;
+                ++popped_count;
+            }
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < nthreads; ++t)
+        threads.emplace_back(body, t);
+    for (auto& t : threads)
+        t.join();
+
+    std::uint32_t v;
+    while (stack.pop(v)) {
+        popped_sum += v;
+        ++popped_count;
+    }
+    const std::uint64_t total = per_thread * nthreads;
+    EXPECT_EQ(popped_count.load(), total);
+    EXPECT_EQ(popped_sum.load(), total * (total - 1) / 2);
+}
+
+TEST(LockedStack, LifoOrder)
+{
+    LockedStack stack;
+    stack.push(10);
+    stack.push(20);
+    std::uint32_t v;
+    ASSERT_TRUE(stack.pop(v));
+    EXPECT_EQ(v, 20u);
+    ASSERT_TRUE(stack.pop(v));
+    EXPECT_EQ(v, 10u);
+    EXPECT_FALSE(stack.pop(v));
+}
+
+TEST(Tickets, LockedAndAtomicDispenseUniquely)
+{
+    LockedTicket locked;
+    AtomicTicket atomic;
+    std::set<std::uint64_t> seen_locked, seen_atomic;
+    for (int i = 0; i < 100; ++i) {
+        seen_locked.insert(locked.next());
+        seen_atomic.insert(atomic.next());
+    }
+    EXPECT_EQ(seen_locked.size(), 100u);
+    EXPECT_EQ(seen_atomic.size(), 100u);
+}
+
+TEST(Tickets, StepAdvances)
+{
+    AtomicTicket ticket;
+    EXPECT_EQ(ticket.next(5), 0u);
+    EXPECT_EQ(ticket.next(1), 5u);
+    ticket.reset(100);
+    EXPECT_EQ(ticket.next(), 100u);
+}
+
+TEST(Tickets, ConcurrentUnique)
+{
+    AtomicTicket ticket;
+    const int nthreads = 4, per_thread = 5000;
+    std::vector<std::vector<std::uint64_t>> got(nthreads);
+    auto body = [&](int tid) {
+        got[tid].reserve(per_thread);
+        for (int i = 0; i < per_thread; ++i)
+            got[tid].push_back(ticket.next());
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < nthreads; ++t)
+        threads.emplace_back(body, t);
+    for (auto& t : threads)
+        t.join();
+    std::set<std::uint64_t> all;
+    for (const auto& v : got)
+        all.insert(v.begin(), v.end());
+    EXPECT_EQ(all.size(),
+              static_cast<std::size_t>(nthreads) * per_thread);
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "util/cli.h"
+
+namespace splash {
+namespace {
+
+CliArgs
+parse(std::initializer_list<const char*> argv)
+{
+    std::vector<const char*> v{"prog"};
+    v.insert(v.end(), argv.begin(), argv.end());
+    return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Cli, EqualsSyntax)
+{
+    auto args = parse({"--threads=8"});
+    EXPECT_EQ(args.getInt("threads", 1), 8);
+}
+
+TEST(Cli, SpaceSyntax)
+{
+    auto args = parse({"--suite", "splash3"});
+    EXPECT_EQ(args.get("suite", ""), "splash3");
+}
+
+TEST(Cli, BareFlagIsTrue)
+{
+    auto args = parse({"--detail"});
+    EXPECT_TRUE(args.has("detail"));
+    EXPECT_EQ(args.get("detail", ""), "1");
+}
+
+TEST(Cli, PositionalCollected)
+{
+    auto args = parse({"radix", "--threads=2", "extra"});
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "radix");
+    EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(Cli, DefaultsWhenAbsent)
+{
+    auto args = parse({});
+    EXPECT_EQ(args.getInt("threads", 42), 42);
+    EXPECT_DOUBLE_EQ(args.getDouble("x", 1.5), 1.5);
+    EXPECT_EQ(args.get("name", "fallback"), "fallback");
+    EXPECT_FALSE(args.has("anything"));
+}
+
+TEST(Cli, DoubleParsing)
+{
+    auto args = parse({"--ratio=0.25"});
+    EXPECT_DOUBLE_EQ(args.getDouble("ratio", 0.0), 0.25);
+}
+
+TEST(Cli, NegativeIntegers)
+{
+    auto args = parse({"--offset=-3"});
+    EXPECT_EQ(args.getInt("offset", 0), -3);
+}
+
+} // namespace
+} // namespace splash

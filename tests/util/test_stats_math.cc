@@ -1,0 +1,36 @@
+#include <gtest/gtest.h>
+
+#include "util/stats_math.h"
+
+namespace splash {
+namespace {
+
+TEST(StatsMath, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({-4.0, 4.0}), 0.0);
+}
+
+TEST(StatsMath, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 16.0}), 8.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 1.0, 8.0}), 2.0, 1e-12);
+}
+
+TEST(StatsMath, GeomeanBelowMeanForSpreadValues)
+{
+    const std::vector<double> v = {0.1, 1.0, 10.0};
+    EXPECT_LT(geomean(v), mean(v));
+}
+
+TEST(StatsMath, StddevBasics)
+{
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({2.0, 2.0, 2.0}), 0.0);
+    EXPECT_NEAR(stddev({1.0, 3.0}), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace splash

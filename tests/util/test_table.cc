@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace splash {
+namespace {
+
+TEST(Table, MarkdownContainsHeadersAndCells)
+{
+    Table t({"name", "value"});
+    t.cell("alpha").cell(1.5, 1).endRow();
+    const std::string md = t.toMarkdown();
+    EXPECT_NE(md.find("name"), std::string::npos);
+    EXPECT_NE(md.find("alpha"), std::string::npos);
+    EXPECT_NE(md.find("1.5"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas)
+{
+    Table t({"a"});
+    t.cell("x,y").endRow();
+    EXPECT_NE(t.toCsv().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, CsvRowsAndHeader)
+{
+    Table t({"a", "b"});
+    t.cell("1").cell("2").endRow();
+    t.cell("3").cell("4").endRow();
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, EndRowPadsShortRows)
+{
+    Table t({"a", "b", "c"});
+    t.cell("only").endRow();
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.toCsv(), "a,b,c\nonly,,\n");
+}
+
+TEST(Table, IntegerCells)
+{
+    Table t({"n"});
+    t.cell(std::uint64_t{123456789}).endRow();
+    EXPECT_NE(t.toCsv().find("123456789"), std::string::npos);
+}
+
+TEST(Table, FormatDoublePrecision)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(Table, ColumnsAlignedInMarkdown)
+{
+    Table t({"x", "longheader"});
+    t.cell("a").cell("b").endRow();
+    const std::string md = t.toMarkdown();
+    // Every line has the same length in an aligned table.
+    std::size_t eol = md.find('\n');
+    const std::size_t first = eol;
+    std::size_t pos = eol + 1;
+    while (pos < md.size()) {
+        eol = md.find('\n', pos);
+        EXPECT_EQ(eol - pos, first);
+        pos = eol + 1;
+    }
+}
+
+} // namespace
+} // namespace splash
