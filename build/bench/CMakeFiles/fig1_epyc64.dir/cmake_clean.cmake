@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_epyc64.dir/fig1_epyc64.cc.o"
+  "CMakeFiles/fig1_epyc64.dir/fig1_epyc64.cc.o.d"
+  "fig1_epyc64"
+  "fig1_epyc64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_epyc64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

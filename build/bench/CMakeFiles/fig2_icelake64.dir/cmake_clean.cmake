@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_icelake64.dir/fig2_icelake64.cc.o"
+  "CMakeFiles/fig2_icelake64.dir/fig2_icelake64.cc.o.d"
+  "fig2_icelake64"
+  "fig2_icelake64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_icelake64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_inputs.cc" "bench/CMakeFiles/table1_inputs.dir/table1_inputs.cc.o" "gcc" "bench/CMakeFiles/table1_inputs.dir/table1_inputs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/splash_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/splash_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/splash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/splash_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/splash_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/splash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/splash_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/splash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_constructs.dir/table2_constructs.cc.o"
+  "CMakeFiles/table2_constructs.dir/table2_constructs.cc.o.d"
+  "table2_constructs"
+  "table2_constructs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_constructs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_primitives.dir/table3_primitives.cc.o"
+  "CMakeFiles/table3_primitives.dir/table3_primitives.cc.o.d"
+  "table3_primitives"
+  "table3_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

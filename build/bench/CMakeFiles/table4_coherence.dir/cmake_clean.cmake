@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_coherence.dir/table4_coherence.cc.o"
+  "CMakeFiles/table4_coherence.dir/table4_coherence.cc.o.d"
+  "table4_coherence"
+  "table4_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

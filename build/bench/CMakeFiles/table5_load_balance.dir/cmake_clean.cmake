@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_load_balance.dir/table5_load_balance.cc.o"
+  "CMakeFiles/table5_load_balance.dir/table5_load_balance.cc.o.d"
+  "table5_load_balance"
+  "table5_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_sweep.dir/machine_sweep.cc.o"
+  "CMakeFiles/machine_sweep.dir/machine_sweep.cc.o.d"
+  "machine_sweep"
+  "machine_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

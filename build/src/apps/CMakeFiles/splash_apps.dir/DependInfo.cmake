@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barnes.cc" "src/apps/CMakeFiles/splash_apps.dir/barnes.cc.o" "gcc" "src/apps/CMakeFiles/splash_apps.dir/barnes.cc.o.d"
+  "/root/repo/src/apps/fmm.cc" "src/apps/CMakeFiles/splash_apps.dir/fmm.cc.o" "gcc" "src/apps/CMakeFiles/splash_apps.dir/fmm.cc.o.d"
+  "/root/repo/src/apps/ocean.cc" "src/apps/CMakeFiles/splash_apps.dir/ocean.cc.o" "gcc" "src/apps/CMakeFiles/splash_apps.dir/ocean.cc.o.d"
+  "/root/repo/src/apps/radiosity.cc" "src/apps/CMakeFiles/splash_apps.dir/radiosity.cc.o" "gcc" "src/apps/CMakeFiles/splash_apps.dir/radiosity.cc.o.d"
+  "/root/repo/src/apps/raytrace.cc" "src/apps/CMakeFiles/splash_apps.dir/raytrace.cc.o" "gcc" "src/apps/CMakeFiles/splash_apps.dir/raytrace.cc.o.d"
+  "/root/repo/src/apps/volrend.cc" "src/apps/CMakeFiles/splash_apps.dir/volrend.cc.o" "gcc" "src/apps/CMakeFiles/splash_apps.dir/volrend.cc.o.d"
+  "/root/repo/src/apps/water_nsquared.cc" "src/apps/CMakeFiles/splash_apps.dir/water_nsquared.cc.o" "gcc" "src/apps/CMakeFiles/splash_apps.dir/water_nsquared.cc.o.d"
+  "/root/repo/src/apps/water_spatial.cc" "src/apps/CMakeFiles/splash_apps.dir/water_spatial.cc.o" "gcc" "src/apps/CMakeFiles/splash_apps.dir/water_spatial.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/splash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/splash_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/splash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

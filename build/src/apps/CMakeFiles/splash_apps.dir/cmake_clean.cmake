@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_apps.dir/barnes.cc.o"
+  "CMakeFiles/splash_apps.dir/barnes.cc.o.d"
+  "CMakeFiles/splash_apps.dir/fmm.cc.o"
+  "CMakeFiles/splash_apps.dir/fmm.cc.o.d"
+  "CMakeFiles/splash_apps.dir/ocean.cc.o"
+  "CMakeFiles/splash_apps.dir/ocean.cc.o.d"
+  "CMakeFiles/splash_apps.dir/radiosity.cc.o"
+  "CMakeFiles/splash_apps.dir/radiosity.cc.o.d"
+  "CMakeFiles/splash_apps.dir/raytrace.cc.o"
+  "CMakeFiles/splash_apps.dir/raytrace.cc.o.d"
+  "CMakeFiles/splash_apps.dir/volrend.cc.o"
+  "CMakeFiles/splash_apps.dir/volrend.cc.o.d"
+  "CMakeFiles/splash_apps.dir/water_nsquared.cc.o"
+  "CMakeFiles/splash_apps.dir/water_nsquared.cc.o.d"
+  "CMakeFiles/splash_apps.dir/water_spatial.cc.o"
+  "CMakeFiles/splash_apps.dir/water_spatial.cc.o.d"
+  "libsplash_apps.a"
+  "libsplash_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

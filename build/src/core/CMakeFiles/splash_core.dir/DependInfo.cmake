@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/benchmark.cc" "src/core/CMakeFiles/splash_core.dir/benchmark.cc.o" "gcc" "src/core/CMakeFiles/splash_core.dir/benchmark.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/splash_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/splash_core.dir/params.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/splash_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/splash_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/splash_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/splash_core.dir/types.cc.o.d"
+  "/root/repo/src/core/world.cc" "src/core/CMakeFiles/splash_core.dir/world.cc.o" "gcc" "src/core/CMakeFiles/splash_core.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/splash_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/splash_sync.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_core.dir/benchmark.cc.o"
+  "CMakeFiles/splash_core.dir/benchmark.cc.o.d"
+  "CMakeFiles/splash_core.dir/params.cc.o"
+  "CMakeFiles/splash_core.dir/params.cc.o.d"
+  "CMakeFiles/splash_core.dir/stats.cc.o"
+  "CMakeFiles/splash_core.dir/stats.cc.o.d"
+  "CMakeFiles/splash_core.dir/types.cc.o"
+  "CMakeFiles/splash_core.dir/types.cc.o.d"
+  "CMakeFiles/splash_core.dir/world.cc.o"
+  "CMakeFiles/splash_core.dir/world.cc.o.d"
+  "libsplash_core.a"
+  "libsplash_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/native_engine.cc" "src/engine/CMakeFiles/splash_engine.dir/native_engine.cc.o" "gcc" "src/engine/CMakeFiles/splash_engine.dir/native_engine.cc.o.d"
+  "/root/repo/src/engine/runner.cc" "src/engine/CMakeFiles/splash_engine.dir/runner.cc.o" "gcc" "src/engine/CMakeFiles/splash_engine.dir/runner.cc.o.d"
+  "/root/repo/src/engine/sim_engine.cc" "src/engine/CMakeFiles/splash_engine.dir/sim_engine.cc.o" "gcc" "src/engine/CMakeFiles/splash_engine.dir/sim_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/splash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/splash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/splash_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/splash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_engine.dir/native_engine.cc.o"
+  "CMakeFiles/splash_engine.dir/native_engine.cc.o.d"
+  "CMakeFiles/splash_engine.dir/runner.cc.o"
+  "CMakeFiles/splash_engine.dir/runner.cc.o.d"
+  "CMakeFiles/splash_engine.dir/sim_engine.cc.o"
+  "CMakeFiles/splash_engine.dir/sim_engine.cc.o.d"
+  "libsplash_engine.a"
+  "libsplash_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash4.dir/main.cc.o"
+  "CMakeFiles/splash4.dir/main.cc.o.d"
+  "splash4"
+  "splash4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

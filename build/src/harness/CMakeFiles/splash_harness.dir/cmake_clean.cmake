@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_harness.dir/presets.cc.o"
+  "CMakeFiles/splash_harness.dir/presets.cc.o.d"
+  "CMakeFiles/splash_harness.dir/report.cc.o"
+  "CMakeFiles/splash_harness.dir/report.cc.o.d"
+  "CMakeFiles/splash_harness.dir/suite.cc.o"
+  "CMakeFiles/splash_harness.dir/suite.cc.o.d"
+  "libsplash_harness.a"
+  "libsplash_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_kernels.dir/cholesky.cc.o"
+  "CMakeFiles/splash_kernels.dir/cholesky.cc.o.d"
+  "CMakeFiles/splash_kernels.dir/fft.cc.o"
+  "CMakeFiles/splash_kernels.dir/fft.cc.o.d"
+  "CMakeFiles/splash_kernels.dir/lu.cc.o"
+  "CMakeFiles/splash_kernels.dir/lu.cc.o.d"
+  "CMakeFiles/splash_kernels.dir/radix.cc.o"
+  "CMakeFiles/splash_kernels.dir/radix.cc.o.d"
+  "libsplash_kernels.a"
+  "libsplash_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

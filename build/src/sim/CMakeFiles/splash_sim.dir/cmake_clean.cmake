@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_sim.dir/machine.cc.o"
+  "CMakeFiles/splash_sim.dir/machine.cc.o.d"
+  "libsplash_sim.a"
+  "libsplash_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/atomic_reduction.cc" "src/sync/CMakeFiles/splash_sync.dir/atomic_reduction.cc.o" "gcc" "src/sync/CMakeFiles/splash_sync.dir/atomic_reduction.cc.o.d"
+  "/root/repo/src/sync/barrier.cc" "src/sync/CMakeFiles/splash_sync.dir/barrier.cc.o" "gcc" "src/sync/CMakeFiles/splash_sync.dir/barrier.cc.o.d"
+  "/root/repo/src/sync/spinlock.cc" "src/sync/CMakeFiles/splash_sync.dir/spinlock.cc.o" "gcc" "src/sync/CMakeFiles/splash_sync.dir/spinlock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/splash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

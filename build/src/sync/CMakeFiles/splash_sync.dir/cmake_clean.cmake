@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_sync.dir/atomic_reduction.cc.o"
+  "CMakeFiles/splash_sync.dir/atomic_reduction.cc.o.d"
+  "CMakeFiles/splash_sync.dir/barrier.cc.o"
+  "CMakeFiles/splash_sync.dir/barrier.cc.o.d"
+  "CMakeFiles/splash_sync.dir/spinlock.cc.o"
+  "CMakeFiles/splash_sync.dir/spinlock.cc.o.d"
+  "libsplash_sync.a"
+  "libsplash_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

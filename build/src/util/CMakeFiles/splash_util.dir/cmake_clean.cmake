@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_util.dir/cli.cc.o"
+  "CMakeFiles/splash_util.dir/cli.cc.o.d"
+  "CMakeFiles/splash_util.dir/log.cc.o"
+  "CMakeFiles/splash_util.dir/log.cc.o.d"
+  "CMakeFiles/splash_util.dir/table.cc.o"
+  "CMakeFiles/splash_util.dir/table.cc.o.d"
+  "libsplash_util.a"
+  "libsplash_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/suite/test_barnes.cc" "tests/CMakeFiles/test_apps.dir/suite/test_barnes.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/suite/test_barnes.cc.o.d"
+  "/root/repo/tests/suite/test_fmm.cc" "tests/CMakeFiles/test_apps.dir/suite/test_fmm.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/suite/test_fmm.cc.o.d"
+  "/root/repo/tests/suite/test_md_common.cc" "tests/CMakeFiles/test_apps.dir/suite/test_md_common.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/suite/test_md_common.cc.o.d"
+  "/root/repo/tests/suite/test_ocean.cc" "tests/CMakeFiles/test_apps.dir/suite/test_ocean.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/suite/test_ocean.cc.o.d"
+  "/root/repo/tests/suite/test_radiosity.cc" "tests/CMakeFiles/test_apps.dir/suite/test_radiosity.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/suite/test_radiosity.cc.o.d"
+  "/root/repo/tests/suite/test_raytrace.cc" "tests/CMakeFiles/test_apps.dir/suite/test_raytrace.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/suite/test_raytrace.cc.o.d"
+  "/root/repo/tests/suite/test_verification.cc" "tests/CMakeFiles/test_apps.dir/suite/test_verification.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/suite/test_verification.cc.o.d"
+  "/root/repo/tests/suite/test_volrend.cc" "tests/CMakeFiles/test_apps.dir/suite/test_volrend.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/suite/test_volrend.cc.o.d"
+  "/root/repo/tests/suite/test_water.cc" "tests/CMakeFiles/test_apps.dir/suite/test_water.cc.o" "gcc" "tests/CMakeFiles/test_apps.dir/suite/test_water.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/splash_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/splash_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/splash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/splash_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/splash_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/splash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/splash_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/splash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

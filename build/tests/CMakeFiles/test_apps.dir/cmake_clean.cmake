@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/suite/test_barnes.cc.o"
+  "CMakeFiles/test_apps.dir/suite/test_barnes.cc.o.d"
+  "CMakeFiles/test_apps.dir/suite/test_fmm.cc.o"
+  "CMakeFiles/test_apps.dir/suite/test_fmm.cc.o.d"
+  "CMakeFiles/test_apps.dir/suite/test_md_common.cc.o"
+  "CMakeFiles/test_apps.dir/suite/test_md_common.cc.o.d"
+  "CMakeFiles/test_apps.dir/suite/test_ocean.cc.o"
+  "CMakeFiles/test_apps.dir/suite/test_ocean.cc.o.d"
+  "CMakeFiles/test_apps.dir/suite/test_radiosity.cc.o"
+  "CMakeFiles/test_apps.dir/suite/test_radiosity.cc.o.d"
+  "CMakeFiles/test_apps.dir/suite/test_raytrace.cc.o"
+  "CMakeFiles/test_apps.dir/suite/test_raytrace.cc.o.d"
+  "CMakeFiles/test_apps.dir/suite/test_verification.cc.o"
+  "CMakeFiles/test_apps.dir/suite/test_verification.cc.o.d"
+  "CMakeFiles/test_apps.dir/suite/test_volrend.cc.o"
+  "CMakeFiles/test_apps.dir/suite/test_volrend.cc.o.d"
+  "CMakeFiles/test_apps.dir/suite/test_water.cc.o"
+  "CMakeFiles/test_apps.dir/suite/test_water.cc.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

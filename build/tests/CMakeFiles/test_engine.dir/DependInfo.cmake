@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/test_barrier_kinds.cc" "tests/CMakeFiles/test_engine.dir/engine/test_barrier_kinds.cc.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_barrier_kinds.cc.o.d"
+  "/root/repo/tests/engine/test_cross_engine.cc" "tests/CMakeFiles/test_engine.dir/engine/test_cross_engine.cc.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_cross_engine.cc.o.d"
+  "/root/repo/tests/engine/test_native_engine.cc" "tests/CMakeFiles/test_engine.dir/engine/test_native_engine.cc.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_native_engine.cc.o.d"
+  "/root/repo/tests/engine/test_native_stats.cc" "tests/CMakeFiles/test_engine.dir/engine/test_native_stats.cc.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_native_stats.cc.o.d"
+  "/root/repo/tests/engine/test_sim_determinism.cc" "tests/CMakeFiles/test_engine.dir/engine/test_sim_determinism.cc.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_sim_determinism.cc.o.d"
+  "/root/repo/tests/engine/test_sim_edge.cc" "tests/CMakeFiles/test_engine.dir/engine/test_sim_edge.cc.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_sim_edge.cc.o.d"
+  "/root/repo/tests/engine/test_sim_engine.cc" "tests/CMakeFiles/test_engine.dir/engine/test_sim_engine.cc.o" "gcc" "tests/CMakeFiles/test_engine.dir/engine/test_sim_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/splash_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/splash_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/splash_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/splash_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/splash_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/splash_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/splash_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/splash_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

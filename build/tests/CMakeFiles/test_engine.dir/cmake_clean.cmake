@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine.dir/engine/test_barrier_kinds.cc.o"
+  "CMakeFiles/test_engine.dir/engine/test_barrier_kinds.cc.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_cross_engine.cc.o"
+  "CMakeFiles/test_engine.dir/engine/test_cross_engine.cc.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_native_engine.cc.o"
+  "CMakeFiles/test_engine.dir/engine/test_native_engine.cc.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_native_stats.cc.o"
+  "CMakeFiles/test_engine.dir/engine/test_native_stats.cc.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_sim_determinism.cc.o"
+  "CMakeFiles/test_engine.dir/engine/test_sim_determinism.cc.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_sim_edge.cc.o"
+  "CMakeFiles/test_engine.dir/engine/test_sim_edge.cc.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_sim_engine.cc.o"
+  "CMakeFiles/test_engine.dir/engine/test_sim_engine.cc.o.d"
+  "test_engine"
+  "test_engine.pdb"
+  "test_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels.dir/suite/test_cholesky.cc.o"
+  "CMakeFiles/test_kernels.dir/suite/test_cholesky.cc.o.d"
+  "CMakeFiles/test_kernels.dir/suite/test_fft.cc.o"
+  "CMakeFiles/test_kernels.dir/suite/test_fft.cc.o.d"
+  "CMakeFiles/test_kernels.dir/suite/test_lu.cc.o"
+  "CMakeFiles/test_kernels.dir/suite/test_lu.cc.o.d"
+  "CMakeFiles/test_kernels.dir/suite/test_radix.cc.o"
+  "CMakeFiles/test_kernels.dir/suite/test_radix.cc.o.d"
+  "test_kernels"
+  "test_kernels.pdb"
+  "test_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync.dir/sync/test_barrier.cc.o"
+  "CMakeFiles/test_sync.dir/sync/test_barrier.cc.o.d"
+  "CMakeFiles/test_sync.dir/sync/test_locks.cc.o"
+  "CMakeFiles/test_sync.dir/sync/test_locks.cc.o.d"
+  "CMakeFiles/test_sync.dir/sync/test_reduction.cc.o"
+  "CMakeFiles/test_sync.dir/sync/test_reduction.cc.o.d"
+  "CMakeFiles/test_sync.dir/sync/test_stack.cc.o"
+  "CMakeFiles/test_sync.dir/sync/test_stack.cc.o.d"
+  "test_sync"
+  "test_sync.pdb"
+  "test_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
