@@ -1,0 +1,240 @@
+#include "analysis/race_checker.h"
+
+#include <sstream>
+
+#include "util/log.h"
+
+namespace splash {
+
+RaceChecker::RaceChecker(int nthreads, SuiteVersion suite)
+    : nthreads_(nthreads), suite_(suite)
+{
+    threads_.resize(static_cast<std::size_t>(nthreads));
+    for (int tid = 0; tid < nthreads; ++tid) {
+        auto& thread = threads_[static_cast<std::size_t>(tid)];
+        thread.vc = VectorClock(nthreads);
+        // Own component starts at 1 so a fresh thread's accesses are
+        // never vacuously covered by another thread's zero clock.
+        thread.vc.tick(tid);
+    }
+    report_.suite = suite;
+}
+
+void
+RaceChecker::registerSync(const void* key, std::string name)
+{
+    ObjectState& obj = objects_[key];
+    obj.name = std::move(name);
+    if (obj.vc.size() == 0) {
+        obj.vc = VectorClock(nthreads_);
+        obj.pending = VectorClock(nthreads_);
+        obj.episode = VectorClock(nthreads_);
+    }
+}
+
+RaceChecker::ObjectState&
+RaceChecker::object(const void* key)
+{
+    ObjectState& obj = objects_[key];
+    if (obj.vc.size() == 0) {
+        obj.vc = VectorClock(nthreads_);
+        obj.pending = VectorClock(nthreads_);
+        obj.episode = VectorClock(nthreads_);
+    }
+    return obj;
+}
+
+const std::string&
+RaceChecker::nameOf(const void* key)
+{
+    static const std::string anonymous = "sync-object";
+    ObjectState& obj = object(key);
+    return obj.name.empty() ? anonymous : obj.name;
+}
+
+void
+RaceChecker::traceEvent(int tid, VTime now, std::string desc)
+{
+    auto& trace = threads_[static_cast<std::size_t>(tid)].trace;
+    std::ostringstream os;
+    os << "@vt" << now << " " << desc;
+    trace.push_back(os.str());
+    if (trace.size() > kTraceDepth)
+        trace.pop_front();
+}
+
+void
+RaceChecker::acquire(int tid, const void* key, VTime now)
+{
+    ++report_.syncEvents;
+    ThreadState& me = threads_[static_cast<std::size_t>(tid)];
+    ObjectState& obj = object(key);
+    me.vc.joinWith(obj.vc);
+    traceEvent(tid, now, "acquire " + nameOf(key));
+}
+
+void
+RaceChecker::release(int tid, const void* key, VTime now)
+{
+    ++report_.syncEvents;
+    ThreadState& me = threads_[static_cast<std::size_t>(tid)];
+    ObjectState& obj = object(key);
+    obj.vc = me.vc;
+    me.vc.tick(tid);
+    traceEvent(tid, now, "release " + nameOf(key));
+}
+
+void
+RaceChecker::rmw(int tid, const void* key, VTime now)
+{
+    ++report_.syncEvents;
+    ThreadState& me = threads_[static_cast<std::size_t>(tid)];
+    ObjectState& obj = object(key);
+    me.vc.joinWith(obj.vc);
+    obj.vc = me.vc;
+    me.vc.tick(tid);
+    traceEvent(tid, now, "rmw " + nameOf(key));
+}
+
+void
+RaceChecker::rmwValue(int tid, const void* key, const void* valueKey,
+                      VTime now)
+{
+    ++report_.syncEvents;
+    ThreadState& me = threads_[static_cast<std::size_t>(tid)];
+    ObjectState& obj = object(key);
+    me.vc.joinWith(obj.vc);
+    syncValueAccess(AccessKind::Write, tid, valueKey, now);
+    obj.vc = me.vc;
+    me.vc.tick(tid);
+    traceEvent(tid, now, "rmw " + nameOf(key));
+}
+
+void
+RaceChecker::barrierArrive(int tid, const void* key, VTime now)
+{
+    ++report_.syncEvents;
+    ThreadState& me = threads_[static_cast<std::size_t>(tid)];
+    ObjectState& obj = object(key);
+    obj.pending.joinWith(me.vc);
+    traceEvent(tid, now, "arrive " + nameOf(key));
+    if (++obj.arrived == nthreads_) {
+        obj.episode = obj.pending;
+        obj.pending = VectorClock(nthreads_);
+        obj.arrived = 0;
+    }
+}
+
+void
+RaceChecker::barrierDepart(int tid, const void* key, VTime now)
+{
+    ThreadState& me = threads_[static_cast<std::size_t>(tid)];
+    ObjectState& obj = object(key);
+    me.vc.joinWith(obj.episode);
+    me.vc.tick(tid);
+    traceEvent(tid, now, "depart " + nameOf(key));
+}
+
+void
+RaceChecker::timedBegin(int tid, const char* section)
+{
+    ThreadState& me = threads_[static_cast<std::size_t>(tid)];
+    ++me.timedDepth;
+    me.section = section ? section : "";
+}
+
+void
+RaceChecker::timedEnd(int tid)
+{
+    ThreadState& me = threads_[static_cast<std::size_t>(tid)];
+    panicIf(me.timedDepth <= 0,
+            "race-check: timedEnd without matching timedBegin");
+    --me.timedDepth;
+}
+
+void
+RaceChecker::lockAcquired(int tid, const void* key, VTime now)
+{
+    ThreadState& me = threads_[static_cast<std::size_t>(tid)];
+    if (me.timedDepth <= 0)
+        return;
+    ++report_.timedLockAcquires;
+    if (report_.timedLocks.size() < kMaxTimedLockRecords) {
+        TimedLockRecord record;
+        record.tid = tid;
+        record.when = now;
+        record.lockName = nameOf(key);
+        record.section = me.section;
+        report_.timedLocks.push_back(std::move(record));
+    }
+}
+
+void
+RaceChecker::reportConflict(const ShadowState::Conflict& conflict,
+                            AccessKind kind, int tid, VTime now,
+                            const char* label)
+{
+    if (report_.races.size() >= kMaxRaces) {
+        ++report_.racesDropped;
+        return;
+    }
+    RaceRecord record;
+    std::ostringstream loc;
+    loc << (conflict.label && conflict.label[0] ? conflict.label : label)
+        << " (granule 0x" << std::hex << conflict.granuleAddr << ")";
+    record.location = loc.str();
+    record.priorKind = conflict.priorKind;
+    record.laterKind = kind;
+    record.priorTid = conflict.priorTid;
+    record.laterTid = tid;
+    record.priorWhen = conflict.priorWhen;
+    record.laterWhen = now;
+    const auto& later = threads_[static_cast<std::size_t>(tid)];
+    record.laterTrace.assign(later.trace.begin(), later.trace.end());
+    if (conflict.priorTid >= 0 && conflict.priorTid < nthreads_) {
+        const auto& prior =
+            threads_[static_cast<std::size_t>(conflict.priorTid)];
+        record.priorTrace.assign(prior.trace.begin(),
+                                 prior.trace.end());
+    }
+    report_.races.push_back(std::move(record));
+}
+
+void
+RaceChecker::access(AccessKind kind, int tid, const void* addr,
+                    std::size_t bytes, const char* label, VTime now)
+{
+    ++report_.accessesChecked;
+    ThreadState& me = threads_[static_cast<std::size_t>(tid)];
+    const ShadowState::Conflict conflict =
+        shadow_.onAccess(kind, addr, bytes, tid, me.vc, now, label);
+    {
+        std::ostringstream os;
+        os << toString(kind) << " " << label << " (" << bytes << "B)";
+        traceEvent(tid, now, os.str());
+    }
+    if (conflict.racy)
+        reportConflict(conflict, kind, tid, now, label);
+}
+
+void
+RaceChecker::syncValueAccess(AccessKind kind, int tid, const void* key,
+                             VTime now)
+{
+    ++report_.accessesChecked;
+    ThreadState& me = threads_[static_cast<std::size_t>(tid)];
+    const std::string& name = nameOf(key);
+    const ShadowState::Conflict conflict = shadow_.onAccess(
+        kind, key, 1, tid, me.vc, now, name.c_str());
+    if (conflict.racy)
+        reportConflict(conflict, kind, tid, now, name.c_str());
+}
+
+RaceReport
+RaceChecker::takeReport()
+{
+    report_.granulesTracked = shadow_.granulesTracked();
+    return std::move(report_);
+}
+
+} // namespace splash

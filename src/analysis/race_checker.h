@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Sync-Sentry: a vector-clock happens-before race checker that plugs
+ * into the deterministic simulation engine.
+ *
+ * Because exactly one simulated thread runs at a time and every
+ * inter-thread waiting primitive flows through the Context API, the
+ * checker sees a single serialized stream of sync events.  It maintains
+ * one vector clock per simulated thread and per synchronization object
+ * and derives happens-before edges from the modeled operations:
+ *
+ *   lock release -> next acquire        (per lock, incl. embedded locks)
+ *   atomic RMW   -> every later op      (per atomic: ticket/sum/stack/flag)
+ *   flag set     -> flag wait return
+ *   stack push   -> pop observing it    (via the head-line RMW order)
+ *   barrier      -> all-to-all join per episode
+ *
+ * Annotated shared accesses (Context::annotateRead/annotateWrite) and
+ * the modeled sync values themselves (ticket counters, sum
+ * accumulators, whose reset operations are plain unsynchronized stores
+ * by contract) are checked against shadow state; any conflicting pair
+ * not ordered by happens-before is reported with a construct-level
+ * event trace.  The checker also counts explicit lock acquisitions
+ * inside timed sections: Splash-4's defining invariant is that there
+ * are none.
+ *
+ * All methods are called from the single currently-running simulated
+ * thread, so no internal locking is needed.
+ */
+
+#ifndef SPLASH_ANALYSIS_RACE_CHECKER_H
+#define SPLASH_ANALYSIS_RACE_CHECKER_H
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/race_report.h"
+#include "analysis/shadow_state.h"
+#include "analysis/vector_clock.h"
+#include "core/types.h"
+
+namespace splash {
+
+/** Happens-before race checker driven by the simulation engine. */
+class RaceChecker
+{
+  public:
+    RaceChecker(int nthreads, SuiteVersion suite);
+
+    // ----- sync-object registry -----------------------------------------
+
+    /** Name a sync object; @p key is any stable per-object address. */
+    void registerSync(const void* key, std::string name);
+
+    // ----- happens-before edges -----------------------------------------
+
+    /** Acquire edge: thread clock joins the object clock. */
+    void acquire(int tid, const void* key, VTime now);
+
+    /** Release edge: object clock := thread clock; thread ticks. */
+    void release(int tid, const void* key, VTime now);
+
+    /** Atomic RMW: acquire + release on the object (total order). */
+    void rmw(int tid, const void* key, VTime now);
+
+    /**
+     * Atomic RMW on @p key whose payload is the value at @p valueKey
+     * (ticket counters, sum accumulators).  The value write is checked
+     * between the acquire and release halves, so consecutive RMWs on
+     * the same object see each other's writes as ordered while plain
+     * stores (resets) racing with them are still caught.
+     */
+    void rmwValue(int tid, const void* key, const void* valueKey,
+                  VTime now);
+
+    /** Barrier arrival: fold the thread into the pending episode. */
+    void barrierArrive(int tid, const void* key, VTime now);
+
+    /** Barrier departure: join the completed episode's clock. */
+    void barrierDepart(int tid, const void* key, VTime now);
+
+    // ----- timed sections and lock accounting ---------------------------
+
+    void timedBegin(int tid, const char* section);
+    void timedEnd(int tid);
+
+    /** Explicit Context::lockAcquire (counted against timed sections). */
+    void lockAcquired(int tid, const void* key, VTime now);
+
+    // ----- checked data accesses ----------------------------------------
+
+    /** Annotated shared access from benchmark code. */
+    void access(AccessKind kind, int tid, const void* addr,
+                std::size_t bytes, const char* label, VTime now);
+
+    /**
+     * Access to a modeled sync value (ticket counter, sum accumulator).
+     * @p synced accesses ride on the object's HB edges; unsynced ones
+     * model the plain stores of reset operations.
+     */
+    void syncValueAccess(AccessKind kind, int tid, const void* key,
+                         VTime now);
+
+    // ----- results -------------------------------------------------------
+
+    /** Finalize and move the findings out. */
+    RaceReport takeReport();
+
+  private:
+    struct ThreadState
+    {
+        VectorClock vc;
+        int timedDepth = 0;
+        const char* section = "";
+        std::deque<std::string> trace;
+    };
+
+    struct ObjectState
+    {
+        VectorClock vc;
+        std::string name;
+        // Barrier episodes only:
+        VectorClock pending;
+        VectorClock episode;
+        int arrived = 0;
+    };
+
+    static constexpr std::size_t kTraceDepth = 8;
+    static constexpr std::size_t kMaxRaces = 16;
+    static constexpr std::size_t kMaxTimedLockRecords = 16;
+
+    ObjectState& object(const void* key);
+    const std::string& nameOf(const void* key);
+    void traceEvent(int tid, VTime now, std::string desc);
+    void reportConflict(const ShadowState::Conflict& conflict,
+                        AccessKind kind, int tid, VTime now,
+                        const char* label);
+
+    const int nthreads_;
+    const SuiteVersion suite_;
+    std::vector<ThreadState> threads_;
+    std::unordered_map<const void*, ObjectState> objects_;
+    ShadowState shadow_;
+    RaceReport report_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_ANALYSIS_RACE_CHECKER_H

@@ -1,0 +1,70 @@
+#include "analysis/race_report.h"
+
+#include <sstream>
+
+namespace splash {
+
+std::string
+RaceRecord::describe() const
+{
+    std::ostringstream os;
+    os << "race on " << location << ": " << toString(priorKind)
+       << " by t" << priorTid << " @vt" << priorWhen
+       << " unordered with " << toString(laterKind) << " by t"
+       << laterTid << " @vt" << laterWhen;
+    return os.str();
+}
+
+std::string
+RaceReport::summary() const
+{
+    std::ostringstream os;
+    if (clean()) {
+        os << "clean";
+    } else {
+        os << races.size() + racesDropped << " race(s)";
+        if (suite == SuiteVersion::Splash4 && timedLockAcquires > 0)
+            os << ", " << timedLockAcquires << " timed-section lock(s)";
+    }
+    os << " [" << syncEvents << " sync events, " << accessesChecked
+       << " accesses, " << granulesTracked << " granules"
+       << ", timed-section locks: " << timedLockAcquires << "]";
+    return os.str();
+}
+
+std::string
+RaceReport::format() const
+{
+    std::ostringstream os;
+    os << "race-check";
+    if (!benchmark.empty())
+        os << " [" << benchmark << ", " << toString(suite) << "]";
+    os << ": " << summary() << "\n";
+    for (const auto& race : races) {
+        os << "  " << race.describe() << "\n";
+        if (!race.laterTrace.empty()) {
+            os << "    t" << race.laterTid << " recent sync events:\n";
+            for (const auto& event : race.laterTrace)
+                os << "      " << event << "\n";
+        }
+        if (!race.priorTrace.empty()) {
+            os << "    t" << race.priorTid << " recent sync events:\n";
+            for (const auto& event : race.priorTrace)
+                os << "      " << event << "\n";
+        }
+    }
+    if (racesDropped > 0)
+        os << "  (+" << racesDropped << " further races suppressed)\n";
+    for (const auto& lock : timedLocks) {
+        os << "  lock acquisition inside timed section '" << lock.section
+           << "': " << lock.lockName << " by t" << lock.tid << " @vt"
+           << lock.when << "\n";
+    }
+    if (timedLockAcquires > timedLocks.size()) {
+        os << "  (+" << timedLockAcquires - timedLocks.size()
+           << " further timed-section lock acquisitions)\n";
+    }
+    return os.str();
+}
+
+} // namespace splash

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Result of one Sync-Sentry run: detected races, timed-section lock
+ * acquisitions, and checking volume counters.
+ */
+
+#ifndef SPLASH_ANALYSIS_RACE_REPORT_H
+#define SPLASH_ANALYSIS_RACE_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/shadow_state.h"
+#include "core/types.h"
+
+namespace splash {
+
+/** One conflicting access pair not ordered by happens-before. */
+struct RaceRecord
+{
+    std::string location; ///< annotation label + granule address
+    AccessKind priorKind = AccessKind::Write;
+    AccessKind laterKind = AccessKind::Write;
+    int priorTid = -1;
+    int laterTid = -1;
+    VTime priorWhen = 0;
+    VTime laterWhen = 0;
+    /** Recent sync events of the later thread (construct-level trace). */
+    std::vector<std::string> laterTrace;
+    /** Recent sync events of the prior thread, best effort. */
+    std::vector<std::string> priorTrace;
+
+    std::string describe() const;
+};
+
+/** One explicit lock acquisition inside a timed section. */
+struct TimedLockRecord
+{
+    int tid = -1;
+    VTime when = 0;
+    std::string lockName;
+    std::string section;
+};
+
+/** Everything Sync-Sentry learned from one run. */
+class RaceReport
+{
+  public:
+    std::string benchmark;      ///< stamped by the runner
+    SuiteVersion suite = SuiteVersion::Splash4;
+
+    std::vector<RaceRecord> races;
+    std::uint64_t racesDropped = 0; ///< beyond the reporting cap
+
+    std::uint64_t timedLockAcquires = 0;
+    std::vector<TimedLockRecord> timedLocks; ///< capped examples
+
+    std::uint64_t syncEvents = 0;
+    std::uint64_t accessesChecked = 0;
+    std::uint64_t granulesTracked = 0;
+
+    /**
+     * No races, and (in Splash-4 mode) no lock acquisitions inside a
+     * timed section -- the suite's defining invariant.
+     */
+    bool
+    clean() const
+    {
+        return races.empty() &&
+               (suite != SuiteVersion::Splash4 ||
+                timedLockAcquires == 0);
+    }
+
+    /** One-line verdict for run tables. */
+    std::string summary() const;
+
+    /** Full multi-line report including per-race traces. */
+    std::string format() const;
+};
+
+} // namespace splash
+
+#endif // SPLASH_ANALYSIS_RACE_REPORT_H

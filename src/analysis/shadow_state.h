@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Shadow memory for annotated shared accesses (FastTrack-style).
+ *
+ * Each tracked granule (4 aligned bytes; any annotated range is split
+ * into granules) remembers the epoch of its last write and either a
+ * single last-read epoch (the common case) or a full read vector clock
+ * once concurrent readers are observed.  A conflict is a pair of
+ * accesses, at least one a write, not ordered by happens-before:
+ *   - write after unordered write   (WW)
+ *   - write after unordered read    (RW)
+ *   - read  after unordered write   (WR)
+ */
+
+#ifndef SPLASH_ANALYSIS_SHADOW_STATE_H
+#define SPLASH_ANALYSIS_SHADOW_STATE_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "analysis/vector_clock.h"
+#include "core/types.h"
+
+namespace splash {
+
+/** Flavor of a shadow-checked access. */
+enum class AccessKind
+{
+    Read,
+    Write,
+};
+
+inline const char*
+toString(AccessKind kind)
+{
+    return kind == AccessKind::Read ? "read" : "write";
+}
+
+/** Shadow memory over annotated byte ranges. */
+class ShadowState
+{
+  public:
+    /** Bytes per shadow granule (min aligned element size). */
+    static constexpr std::size_t kGranule = 4;
+
+    /** Description of a conflicting prior access, when one exists. */
+    struct Conflict
+    {
+        bool racy = false;
+        AccessKind priorKind = AccessKind::Write;
+        int priorTid = -1;
+        VTime priorWhen = 0;
+        const char* label = "";
+        std::uintptr_t granuleAddr = 0;
+    };
+
+    /**
+     * Check one access for a happens-before conflict and fold it into
+     * the shadow state.  @p vc is the accessing thread's clock at the
+     * time of the access; @p now its virtual time (reporting only).
+     * Returns the first conflict found across the range's granules.
+     */
+    Conflict
+    onAccess(AccessKind kind, const void* addr, std::size_t bytes,
+             int tid, const VectorClock& vc, VTime now,
+             const char* label)
+    {
+        Conflict first;
+        const auto base = reinterpret_cast<std::uintptr_t>(addr);
+        const std::uintptr_t lo = base / kGranule;
+        const std::uintptr_t hi = (base + (bytes ? bytes : 1) - 1) /
+                                  kGranule;
+        for (std::uintptr_t g = lo; g <= hi; ++g) {
+            Cell& cell = cells_[g];
+            Conflict c = (kind == AccessKind::Write)
+                             ? checkWrite(cell, tid, vc)
+                             : checkRead(cell, tid, vc);
+            if (c.racy && !first.racy) {
+                c.label = cell.label ? cell.label : label;
+                c.granuleAddr = g * kGranule;
+                first = c;
+            }
+            update(cell, kind, tid, vc, now, label);
+        }
+        return first;
+    }
+
+    std::size_t granulesTracked() const { return cells_.size(); }
+
+  private:
+    struct Cell
+    {
+        Epoch write;
+        VTime writeWhen = 0;
+        Epoch read; ///< single-reader fast path
+        VTime readWhen = 0;
+        std::unique_ptr<VectorClock> readVc; ///< concurrent readers
+        const char* label = nullptr;
+    };
+
+    static Conflict
+    checkWrite(const Cell& cell, int tid, const VectorClock& vc)
+    {
+        Conflict c;
+        if (cell.write.valid() && cell.write.tid != tid &&
+            !vc.covers(cell.write)) {
+            c.racy = true;
+            c.priorKind = AccessKind::Write;
+            c.priorTid = cell.write.tid;
+            c.priorWhen = cell.writeWhen;
+            return c;
+        }
+        if (cell.readVc) {
+            const int offender = cell.readVc->firstExceeding(vc);
+            if (offender >= 0 && offender != tid) {
+                c.racy = true;
+                c.priorKind = AccessKind::Read;
+                c.priorTid = offender;
+                c.priorWhen = cell.readWhen;
+                return c;
+            }
+        } else if (cell.read.valid() && cell.read.tid != tid &&
+                   !vc.covers(cell.read)) {
+            c.racy = true;
+            c.priorKind = AccessKind::Read;
+            c.priorTid = cell.read.tid;
+            c.priorWhen = cell.readWhen;
+        }
+        return c;
+    }
+
+    static Conflict
+    checkRead(const Cell& cell, int tid, const VectorClock& vc)
+    {
+        Conflict c;
+        if (cell.write.valid() && cell.write.tid != tid &&
+            !vc.covers(cell.write)) {
+            c.racy = true;
+            c.priorKind = AccessKind::Write;
+            c.priorTid = cell.write.tid;
+            c.priorWhen = cell.writeWhen;
+        }
+        return c;
+    }
+
+    void
+    update(Cell& cell, AccessKind kind, int tid, const VectorClock& vc,
+           VTime now, const char* label)
+    {
+        cell.label = label;
+        if (kind == AccessKind::Write) {
+            cell.write = vc.epochOf(tid);
+            cell.writeWhen = now;
+            cell.read = Epoch{};
+            cell.readVc.reset();
+            return;
+        }
+        cell.readWhen = now;
+        if (cell.readVc) {
+            cell.readVc->raise(tid, vc.get(tid));
+        } else if (!cell.read.valid() || cell.read.tid == tid ||
+                   vc.covers(cell.read)) {
+            cell.read = vc.epochOf(tid);
+        } else {
+            // Two concurrent readers: promote to a full read clock.
+            cell.readVc = std::make_unique<VectorClock>(vc.size());
+            cell.readVc->raise(cell.read.tid, cell.read.clock);
+            cell.readVc->raise(tid, vc.get(tid));
+        }
+    }
+
+    std::unordered_map<std::uintptr_t, Cell> cells_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_ANALYSIS_SHADOW_STATE_H

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Vector clocks for the Sync-Sentry happens-before race checker.
+ *
+ * A VectorClock tracks one logical counter per simulated thread; an
+ * Epoch is a single (thread, counter) component.  The checker maintains
+ * one clock per thread and one per synchronization object, joining them
+ * on every modeled sync event; an access A happens-before an access B
+ * exactly when A's epoch is covered by B's thread clock at the time of
+ * B (the standard FastTrack formulation).
+ */
+
+#ifndef SPLASH_ANALYSIS_VECTOR_CLOCK_H
+#define SPLASH_ANALYSIS_VECTOR_CLOCK_H
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace splash {
+
+/** One thread's logical-time component. */
+using LClock = std::uint64_t;
+
+/** A single vector-clock component: thread @c tid at time @c clock. */
+struct Epoch
+{
+    int tid = -1;
+    LClock clock = 0;
+
+    bool valid() const { return tid >= 0; }
+};
+
+/** Per-thread logical times, with join and pointwise comparison. */
+class VectorClock
+{
+  public:
+    VectorClock() = default;
+    explicit VectorClock(int nthreads)
+        : c_(static_cast<std::size_t>(nthreads), 0)
+    {
+    }
+
+    int size() const { return static_cast<int>(c_.size()); }
+
+    LClock
+    get(int tid) const
+    {
+        const auto i = static_cast<std::size_t>(tid);
+        return i < c_.size() ? c_[i] : 0;
+    }
+
+    /** Raise component @p tid to at least @p value. */
+    void
+    raise(int tid, LClock value)
+    {
+        const auto i = static_cast<std::size_t>(tid);
+        if (i >= c_.size())
+            c_.resize(i + 1, 0);
+        c_[i] = std::max(c_[i], value);
+    }
+
+    /** Advance this thread's own component (a release event). */
+    void tick(int tid) { raise(tid, get(tid) + 1); }
+
+    /** Pointwise maximum (an acquire event). */
+    void
+    joinWith(const VectorClock& other)
+    {
+        if (other.c_.size() > c_.size())
+            c_.resize(other.c_.size(), 0);
+        for (std::size_t i = 0; i < other.c_.size(); ++i)
+            c_[i] = std::max(c_[i], other.c_[i]);
+    }
+
+    /** Every component of this clock <= the matching one of @p other. */
+    bool
+    leq(const VectorClock& other) const
+    {
+        for (std::size_t i = 0; i < c_.size(); ++i)
+            if (c_[i] > other.get(static_cast<int>(i)))
+                return false;
+        return true;
+    }
+
+    /** Current epoch of thread @p tid under this clock. */
+    Epoch epochOf(int tid) const { return {tid, get(tid)}; }
+
+    /** True when the epoch is ordered before (or at) this clock. */
+    bool covers(const Epoch& e) const { return e.clock <= get(e.tid); }
+
+    /**
+     * First thread whose component exceeds @p other (i.e. a witness
+     * that this clock is NOT covered); -1 when fully covered.
+     */
+    int
+    firstExceeding(const VectorClock& other) const
+    {
+        for (std::size_t i = 0; i < c_.size(); ++i)
+            if (c_[i] > other.get(static_cast<int>(i)))
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    std::string
+    toString() const
+    {
+        std::ostringstream os;
+        os << "<";
+        for (std::size_t i = 0; i < c_.size(); ++i)
+            os << (i ? "," : "") << c_[i];
+        os << ">";
+        return os.str();
+    }
+
+  private:
+    std::vector<LClock> c_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_ANALYSIS_VECTOR_CLOCK_H

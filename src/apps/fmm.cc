@@ -301,6 +301,7 @@ FmmBenchmark::l2pAndNear(std::size_t cell)
 void
 FmmBenchmark::run(Context& ctx)
 {
+    ctx.timedBegin("fmm.passes"); // lock-free end to end
     int next_ticket = 0;
     constexpr std::uint64_t kBatch = 4;
     const auto claim = [&](std::uint64_t total, auto&& fn) {
@@ -373,6 +374,7 @@ FmmBenchmark::run(Context& ctx)
     ctx.barrier(barrier_);
     if (ctx.tid() == 0)
         totalEnergy_ = ctx.sumRead(energy_);
+    ctx.timedEnd();
 }
 
 FmmBenchmark::Complex

@@ -157,6 +157,8 @@ RadiosityBenchmark::run(Context& ctx)
     const std::size_t lo = std::min(n, chunk * tid);
     const std::size_t hi = std::min(n, lo + chunk);
 
+    ctx.timedBegin("radiosity.iterate"); // lock-free end to end
+
     for (int round = 0; round < maxRounds_; ++round) {
         // Select shooters (single thread; cheap scan), dealing tasks
         // round-robin onto the per-thread queues.
@@ -225,6 +227,7 @@ RadiosityBenchmark::run(Context& ctx)
         if (converged_)
             break;
     }
+    ctx.timedEnd();
 }
 
 bool

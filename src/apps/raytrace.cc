@@ -332,6 +332,7 @@ RaytraceBenchmark::run(Context& ctx)
     const std::size_t tiles_y = (height_ + kTile - 1) / kTile;
     const std::uint64_t total_tiles = tiles_x * tiles_y;
 
+    ctx.timedBegin("raytrace.render"); // lock-free end to end
     for (;;) {
         const std::uint64_t tile = ctx.ticketNext(tileTicket_);
         if (tile >= total_tiles)
@@ -341,6 +342,7 @@ RaytraceBenchmark::run(Context& ctx)
         ctx.work(tests);
     }
     ctx.barrier(barrier_);
+    ctx.timedEnd();
 }
 
 bool

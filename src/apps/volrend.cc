@@ -210,6 +210,7 @@ VolrendBenchmark::run(Context& ctx)
     const std::size_t tiles_y = (height_ + kTile - 1) / kTile;
     const std::uint64_t total_tiles = tiles_x * tiles_y;
 
+    ctx.timedBegin("volrend.render"); // lock-free end to end
     for (;;) {
         const std::uint64_t tile = ctx.ticketNext(tileTicket_);
         if (tile >= total_tiles)
@@ -219,6 +220,7 @@ VolrendBenchmark::run(Context& ctx)
         ctx.work(steps);
     }
     ctx.barrier(barrier_);
+    ctx.timedEnd();
 }
 
 bool

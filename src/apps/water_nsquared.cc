@@ -57,6 +57,8 @@ WaterNsquaredBenchmark::run(Context& ctx)
     const std::size_t lo = std::min(n, chunk * tid);
     const std::size_t hi = std::min(n, lo + chunk);
 
+    ctx.timedBegin("water-nsquared.step"); // lock-free end to end
+
     // Pair forces: cyclic half-matrix so each unordered pair is
     // computed exactly once, by the owner of its lower index side.
     const auto force_phase = [&] {
@@ -166,6 +168,7 @@ WaterNsquaredBenchmark::run(Context& ctx)
         }
         ctx.barrier(barrier_);
     }
+    ctx.timedEnd();
 }
 
 bool

@@ -124,6 +124,9 @@ WaterSpatialBenchmark::run(Context& ctx)
         ctx.work(hi - lo + 1);
         ctx.barrier(barrier_);
 
+        // The pair-force sweep is lock-free (per-component sums); only
+        // the cell-binning above takes locks, so it stays untimed.
+        ctx.timedBegin("water-spatial.forces");
         double local_pot = 0.0;
         std::uint64_t pair_work = 0;
         std::size_t neighbors[27];
@@ -160,6 +163,7 @@ WaterSpatialBenchmark::run(Context& ctx)
         ctx.sumAdd(potential_, local_pot);
         ctx.sumAdd(pairCount_, static_cast<double>(pair_work));
         ctx.barrier(barrier_);
+        ctx.timedEnd();
     };
 
     const auto fold_forces = [&] {
@@ -186,6 +190,7 @@ WaterSpatialBenchmark::run(Context& ctx)
 
     // Velocity Verlet (see water-nsquared).
     force_phase();
+    ctx.timedBegin("water-spatial.energy");
     fold_forces();
     ctx.sumAdd(kinetic_, local_kinetic());
     ctx.barrier(barrier_);
@@ -198,8 +203,10 @@ WaterSpatialBenchmark::run(Context& ctx)
         ctx.sumReset(pairCount_, 0.0);
     }
     ctx.barrier(barrier_);
+    ctx.timedEnd();
 
     for (int step = 0; step < steps_; ++step) {
+        ctx.timedBegin("water-spatial.integrate");
         for (std::size_t i = lo; i < hi; ++i) {
             state_.vx[i] += 0.5 * dt_ * fx_[i];
             state_.vy[i] += 0.5 * dt_ * fy_[i];
@@ -213,8 +220,11 @@ WaterSpatialBenchmark::run(Context& ctx)
         }
         ctx.work(hi - lo + 1);
         ctx.barrier(barrier_);
+        ctx.timedEnd();
 
         force_phase();
+
+        ctx.timedBegin("water-spatial.integrate");
         fold_forces();
 
         for (std::size_t i = lo; i < hi; ++i) {
@@ -237,6 +247,7 @@ WaterSpatialBenchmark::run(Context& ctx)
             ctx.sumReset(pairCount_, 0.0);
         }
         ctx.barrier(barrier_);
+        ctx.timedEnd();
     }
 }
 

@@ -17,6 +17,7 @@
 #ifndef SPLASH_CORE_CONTEXT_H
 #define SPLASH_CORE_CONTEXT_H
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/stats.h"
@@ -87,6 +88,43 @@ class Context
      * native engine it only feeds statistics.
      */
     virtual void work(std::uint64_t units) = 0;
+
+    // ----- analysis annotations ------------------------------------------
+    //
+    // No-ops everywhere except under the simulation engine with
+    // --race-check, where they drive the Sync-Sentry happens-before
+    // checker (see docs/ANALYSIS.md).  Benchmarks annotate freely; the
+    // hooks cost one virtual call when checking is disabled.
+
+    /**
+     * Enter/leave a timed section: a phase whose cost the suite's
+     * figures attribute to compute plus lock-free synchronization.
+     * Splash-4's defining invariant is that no explicit lock is
+     * acquired inside a timed section; the race checker enforces it.
+     * Sections may nest.
+     */
+    virtual void timedBegin(const char* section) { (void)section; }
+    virtual void timedEnd() {}
+
+    /**
+     * Declare a read/write of a shared byte range.  @p label names the
+     * data structure in race reports; it must outlive the run (use a
+     * string literal).  Only annotated ranges are race-checked.
+     */
+    virtual void
+    annotateRead(const void* addr, std::size_t bytes, const char* label)
+    {
+        (void)addr;
+        (void)bytes;
+        (void)label;
+    }
+    virtual void
+    annotateWrite(const void* addr, std::size_t bytes, const char* label)
+    {
+        (void)addr;
+        (void)bytes;
+        (void)label;
+    }
 
     /** Mutable statistics for this thread. */
     ThreadStats& stats() { return stats_; }

@@ -10,12 +10,15 @@
 #define SPLASH_CORE_STATS_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/types.h"
 
 namespace splash {
+
+class RaceReport; // analysis/race_report.h (optional attachment)
 
 /** Categories of virtual time accounted by the simulation engine. */
 enum class TimeCategory : int
@@ -79,6 +82,8 @@ struct RunResult
     double wallSeconds = 0; ///< host wall-clock time of the parallel phase
     bool verified = false;  ///< benchmark self-check outcome
     std::string verifyMessage;
+    /** Sync-Sentry findings; null unless run with race checking. */
+    std::shared_ptr<const RaceReport> raceReport;
 
     /** Fraction of total thread-cycles in the given category. */
     double categoryFraction(TimeCategory cat) const;

@@ -22,6 +22,8 @@
 
 namespace splash {
 
+class RaceReport;
+
 /** Thread body executed by an engine on every participant. */
 using ThreadBody = std::function<void(Context&)>;
 
@@ -32,6 +34,8 @@ struct EngineOutcome
     double wallSeconds = 0; ///< host wall time of the parallel section
     std::uint64_t lineTransfers = 0; ///< modeled coherence traffic
     std::vector<ThreadStats> perThread;
+    /** Sync-Sentry findings; null unless run with race checking. */
+    std::shared_ptr<RaceReport> raceReport;
 };
 
 /** Abstract engine. */
@@ -52,6 +56,7 @@ struct RunConfig
     EngineKind engine = EngineKind::Sim;
     std::string profile = "epyc64"; ///< machine profile (Sim engine)
     Params params;                  ///< benchmark-specific parameters
+    bool raceCheck = false; ///< attach Sync-Sentry (Sim engine only)
 };
 
 /** Build an engine for @p world per the configuration. */

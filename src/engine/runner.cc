@@ -6,6 +6,7 @@
 
 #include "engine/engine.h"
 
+#include "analysis/race_report.h"
 #include "engine/native_engine.h"
 #include "engine/sim_engine.h"
 #include "sim/machine.h"
@@ -16,10 +17,15 @@ namespace splash {
 std::unique_ptr<ExecutionEngine>
 makeEngine(const World& world, const RunConfig& config)
 {
-    if (config.engine == EngineKind::Native)
+    if (config.engine == EngineKind::Native) {
+        if (config.raceCheck)
+            fatal("--race-check requires the sim engine");
         return std::make_unique<NativeEngine>(world);
-    return std::make_unique<SimEngine>(world,
-                                       machineProfile(config.profile));
+    }
+    SimOptions options;
+    options.raceCheck = config.raceCheck;
+    return std::make_unique<SimEngine>(
+        world, machineProfile(config.profile), options);
 }
 
 RunResult
@@ -38,6 +44,10 @@ runBenchmark(Benchmark& benchmark, const RunConfig& config)
     result.simCycles = outcome.makespan;
     result.lineTransfers = outcome.lineTransfers;
     result.wallSeconds = outcome.wallSeconds;
+    if (outcome.raceReport) {
+        outcome.raceReport->benchmark = benchmark.name();
+        result.raceReport = outcome.raceReport;
+    }
     result.perThread = std::move(outcome.perThread);
     for (const auto& stats : result.perThread)
         result.totals.merge(stats);

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/race_checker.h"
 #include "sim/line_model.h"
 #include "util/log.h"
 
@@ -114,19 +115,25 @@ struct SimObject
 class SimMachine
 {
   public:
-    SimMachine(const World& world, const MachineProfile& profile)
+    SimMachine(const World& world, const MachineProfile& profile,
+               SimOptions options = {})
         : world_(world), prof_(profile),
           nthreads_(world.nthreads()),
           s4_(world.suite() == SuiteVersion::Splash4)
     {
         panicIf(nthreads_ > 64,
                 "sim engine supports at most 64 threads");
+        if (options.raceCheck)
+            checker_ = std::make_unique<RaceChecker>(nthreads_,
+                                                     world.suite());
         for (int tid = 0; tid < nthreads_; ++tid) {
             threads_.push_back(std::make_unique<SimThread>());
             threads_.back()->tid = tid;
         }
         for (const auto& desc : world.objects()) {
             SimObject obj;
+            const std::string id =
+                "#" + std::to_string(objects_.size());
             switch (desc.kind) {
               case SyncObjKind::Barrier:
                 obj.barrier = std::make_unique<SimBarrier>();
@@ -137,24 +144,58 @@ class SimMachine
                 }
                 if (obj.barrier->kind == BarrierKind::Tree)
                     buildBarrierTree(*obj.barrier);
+                if (checker_) {
+                    checker_->registerSync(obj.barrier.get(),
+                                           "barrier" + id);
+                    checker_->registerSync(&obj.barrier->mutex,
+                                           "barrier" + id + ".mutex");
+                }
                 break;
               case SyncObjKind::Lock:
                 obj.lock = std::make_unique<SimLock>();
                 obj.lock->kind = desc.lockKind;
+                if (checker_)
+                    checker_->registerSync(obj.lock.get(), "lock" + id);
                 break;
               case SyncObjKind::Ticket:
                 obj.ticket = std::make_unique<SimTicket>();
+                if (checker_) {
+                    checker_->registerSync(&obj.ticket->line,
+                                           "ticket" + id);
+                    checker_->registerSync(&obj.ticket->lock,
+                                           "ticket" + id + ".lock");
+                    checker_->registerSync(&obj.ticket->value,
+                                           "ticket" + id + ".value");
+                }
                 break;
               case SyncObjKind::Sum:
                 obj.sum = std::make_unique<SimSum>();
                 obj.sum->value = desc.initialValue;
+                if (checker_) {
+                    checker_->registerSync(&obj.sum->line, "sum" + id);
+                    checker_->registerSync(&obj.sum->lock,
+                                           "sum" + id + ".lock");
+                    checker_->registerSync(&obj.sum->value,
+                                           "sum" + id + ".value");
+                }
                 break;
               case SyncObjKind::Stack:
                 obj.stack = std::make_unique<SimStack>();
                 obj.stack->capacity = desc.capacity;
+                if (checker_) {
+                    checker_->registerSync(&obj.stack->headLine,
+                                           "stack" + id);
+                    checker_->registerSync(&obj.stack->lock,
+                                           "stack" + id + ".lock");
+                }
                 break;
               case SyncObjKind::Flag:
                 obj.flag = std::make_unique<SimFlag>();
+                if (checker_) {
+                    checker_->registerSync(&obj.flag->line, "flag" + id);
+                    checker_->registerSync(&obj.flag->lock,
+                                           "flag" + id + ".lock");
+                }
                 break;
             }
             objects_.push_back(std::move(obj));
@@ -164,6 +205,18 @@ class SimMachine
     const MachineProfile& profile() const { return prof_; }
     int nthreads() const { return nthreads_; }
     bool splash4() const { return s4_; }
+
+    /** Sync-Sentry hook; null unless --race-check. */
+    RaceChecker* checker() { return checker_.get(); }
+
+    /** Finalize the checker's findings (null when not checking). */
+    std::shared_ptr<RaceReport>
+    takeRaceReport()
+    {
+        if (!checker_)
+            return nullptr;
+        return std::make_shared<RaceReport>(checker_->takeReport());
+    }
 
     SimThread& thread(int tid) { return *threads_[tid]; }
 
@@ -318,6 +371,8 @@ class SimMachine
         if (!lock.held) {
             lock.held = true;
             lock.owner = me.tid;
+            if (checker_)
+                checker_->acquire(me.tid, &lock, me.clock);
             return;
         }
         if (lock.kind == LockKind::Mutex)
@@ -326,6 +381,8 @@ class SimMachine
         blockSelf(me);
         // Granted by the releaser; pull the line to finish acquisition.
         me.clock = lock.line.rmw(me.tid, me.clock, prof_);
+        if (checker_)
+            checker_->acquire(me.tid, &lock, me.clock);
     }
 
     /** Release a modeled lock, granting FIFO to a waiter if present. */
@@ -336,6 +393,8 @@ class SimMachine
         panicIf(!lock.held || lock.owner != me.tid,
                 "sim lock released by non-owner");
         me.clock = lock.line.rmw(me.tid, me.clock, prof_);
+        if (checker_)
+            checker_->release(me.tid, &lock, me.clock);
         if (lock.waiters.empty()) {
             lock.held = false;
             lock.owner = -1;
@@ -515,6 +574,7 @@ class SimMachine
     const MachineProfile& prof_;
     const int nthreads_;
     const bool s4_;
+    std::unique_ptr<RaceChecker> checker_;
     std::vector<std::unique_ptr<SimThread>> threads_;
     std::vector<SimObject> objects_;
     std::binary_semaphore launcherSem_{0};
@@ -541,9 +601,13 @@ class SimContext : public Context
     {
         ++stats_.barrierCrossings;
         auto& obj = *machine_.object(b.index).barrier;
+        if (auto* rc = machine_.checker())
+            rc->barrierArrive(me_.tid, &obj, me_.clock);
         const VTime entry = me_.clock;
         machine_.barrierArrive(me_, obj);
         stats_.addCycles(TimeCategory::Barrier, me_.clock - entry);
+        if (auto* rc = machine_.checker())
+            rc->barrierDepart(me_.tid, &obj, me_.clock);
     }
 
     void
@@ -554,6 +618,8 @@ class SimContext : public Context
         const VTime entry = me_.clock;
         machine_.rawLockAcquire(me_, obj);
         stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+        if (auto* rc = machine_.checker())
+            rc->lockAcquired(me_.tid, &obj, me_.clock);
     }
 
     void
@@ -577,12 +643,17 @@ class SimContext : public Context
             me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
             old = obj.value;
             obj.value += step;
+            if (auto* rc = machine_.checker())
+                rc->rmwValue(me_.tid, &obj.line, &obj.value, me_.clock);
             stats_.addCycles(TimeCategory::Atomic, me_.clock - entry);
         } else {
             machine_.rawLockAcquire(me_, obj.lock);
             me_.clock += prof_.criticalOpCycles;
             old = obj.value;
             obj.value += step;
+            if (auto* rc = machine_.checker())
+                rc->syncValueAccess(AccessKind::Write, me_.tid,
+                                    &obj.value, me_.clock);
             machine_.rawLockRelease(me_, obj.lock);
             stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
         }
@@ -592,7 +663,14 @@ class SimContext : public Context
     void
     ticketReset(TicketHandle t, std::uint64_t value) override
     {
-        machine_.object(t.index).ticket->value = value;
+        auto& obj = *machine_.object(t.index).ticket;
+        obj.value = value;
+        // A reset is a plain store by contract (single-threaded phase
+        // only); no happens-before edge, so an unordered concurrent
+        // ticketNext shows up as a race on the ticket's value cell.
+        if (auto* rc = machine_.checker())
+            rc->syncValueAccess(AccessKind::Write, me_.tid, &obj.value,
+                                me_.clock);
     }
 
     void
@@ -612,11 +690,16 @@ class SimContext : public Context
             if (obj.line.transferCount() != transfers_before)
                 me_.clock += prof_.casRetryCycles;
             obj.value += delta;
+            if (auto* rc = machine_.checker())
+                rc->rmwValue(me_.tid, &obj.line, &obj.value, me_.clock);
             stats_.addCycles(TimeCategory::Atomic, me_.clock - entry);
         } else {
             machine_.rawLockAcquire(me_, obj.lock);
             me_.clock += prof_.criticalOpCycles;
             obj.value += delta;
+            if (auto* rc = machine_.checker())
+                rc->syncValueAccess(AccessKind::Write, me_.tid,
+                                    &obj.value, me_.clock);
             machine_.rawLockRelease(me_, obj.lock);
             stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
         }
@@ -628,13 +711,23 @@ class SimContext : public Context
         auto& obj = *machine_.object(s.index).sum;
         machine_.awaitTurn(me_);
         me_.clock = obj.line.load(me_.tid, me_.clock, prof_);
+        if (auto* rc = machine_.checker()) {
+            rc->acquire(me_.tid, &obj.line, me_.clock);
+            rc->syncValueAccess(AccessKind::Read, me_.tid, &obj.value,
+                                me_.clock);
+        }
         return obj.value;
     }
 
     void
     sumReset(SumHandle s, double value) override
     {
-        machine_.object(s.index).sum->value = value;
+        auto& obj = *machine_.object(s.index).sum;
+        obj.value = value;
+        // Plain store by contract; see ticketReset.
+        if (auto* rc = machine_.checker())
+            rc->syncValueAccess(AccessKind::Write, me_.tid, &obj.value,
+                                me_.clock);
     }
 
     bool
@@ -647,6 +740,8 @@ class SimContext : public Context
         if (suite_ == SuiteVersion::Splash4) {
             machine_.awaitTurn(me_);
             me_.clock = obj.headLine.rmw(me_.tid, me_.clock, prof_);
+            if (auto* rc = machine_.checker())
+                rc->rmw(me_.tid, &obj.headLine, me_.clock);
             if (obj.items.size() >= obj.capacity)
                 ok = false;
             else
@@ -674,8 +769,12 @@ class SimContext : public Context
             if (obj.items.empty()) {
                 // Empty check is a load of the head line.
                 me_.clock = obj.headLine.load(me_.tid, me_.clock, prof_);
+                if (auto* rc = machine_.checker())
+                    rc->acquire(me_.tid, &obj.headLine, me_.clock);
             } else {
                 me_.clock = obj.headLine.rmw(me_.tid, me_.clock, prof_);
+                if (auto* rc = machine_.checker())
+                    rc->rmw(me_.tid, &obj.headLine, me_.clock);
                 value = obj.items.back();
                 obj.items.pop_back();
                 ok = true;
@@ -704,6 +803,8 @@ class SimContext : public Context
         if (suite_ == SuiteVersion::Splash4) {
             machine_.awaitTurn(me_);
             me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
+            if (auto* rc = machine_.checker())
+                rc->rmw(me_.tid, &obj.line, me_.clock);
             obj.value = true;
             for (const int waiter : obj.waiters) {
                 const VTime seen =
@@ -716,6 +817,11 @@ class SimContext : public Context
         } else {
             machine_.rawLockAcquire(me_, obj.lock);
             me_.clock += prof_.criticalOpCycles;
+            // Release into the flag's line as well: a waiter woken by
+            // the broadcast never reacquires the mutex, so the
+            // set -> wait-return edge rides on the line clock.
+            if (auto* rc = machine_.checker())
+                rc->rmw(me_.tid, &obj.line, me_.clock);
             obj.value = true;
             for (const int waiter : obj.waiters) {
                 me_.clock += prof_.wakeCyclesPerWaiter;
@@ -756,6 +862,10 @@ class SimContext : public Context
                 machine_.rawLockRelease(me_, obj.lock);
             }
         }
+        // Wait-return synchronizes with the set that released us (or
+        // the one observed already true), in either suite generation.
+        if (auto* rc = machine_.checker())
+            rc->acquire(me_.tid, &obj.line, me_.clock);
         stats_.addCycles(TimeCategory::Flag, me_.clock - entry);
     }
 
@@ -765,6 +875,8 @@ class SimContext : public Context
         auto& obj = *machine_.object(f.index).flag;
         machine_.awaitTurn(me_);
         me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
+        if (auto* rc = machine_.checker())
+            rc->rmw(me_.tid, &obj.line, me_.clock);
         obj.value = false;
     }
 
@@ -777,6 +889,38 @@ class SimContext : public Context
         stats_.addCycles(TimeCategory::Compute, cycles);
     }
 
+    void
+    timedBegin(const char* section) override
+    {
+        if (auto* rc = machine_.checker())
+            rc->timedBegin(me_.tid, section);
+    }
+
+    void
+    timedEnd() override
+    {
+        if (auto* rc = machine_.checker())
+            rc->timedEnd(me_.tid);
+    }
+
+    void
+    annotateRead(const void* addr, std::size_t bytes,
+                 const char* label) override
+    {
+        if (auto* rc = machine_.checker())
+            rc->access(AccessKind::Read, me_.tid, addr, bytes, label,
+                       me_.clock);
+    }
+
+    void
+    annotateWrite(const void* addr, std::size_t bytes,
+                  const char* label) override
+    {
+        if (auto* rc = machine_.checker())
+            rc->access(AccessKind::Write, me_.tid, addr, bytes, label,
+                       me_.clock);
+    }
+
   private:
     SimMachine& machine_;
     SimThread& me_;
@@ -785,8 +929,9 @@ class SimContext : public Context
 
 } // namespace
 
-SimEngine::SimEngine(const World& world, const MachineProfile& profile)
-    : world_(world), profile_(profile)
+SimEngine::SimEngine(const World& world, const MachineProfile& profile,
+                     SimOptions options)
+    : world_(world), profile_(profile), options_(options)
 {
 }
 
@@ -795,7 +940,7 @@ SimEngine::~SimEngine() = default;
 EngineOutcome
 SimEngine::run(const ThreadBody& body)
 {
-    SimMachine machine(world_, profile_);
+    SimMachine machine(world_, profile_, options_);
     const int n = world_.nthreads();
 
     std::vector<std::unique_ptr<SimContext>> contexts;
@@ -822,6 +967,7 @@ SimEngine::run(const ThreadBody& body)
     EngineOutcome outcome;
     outcome.makespan = machine.makespan();
     outcome.lineTransfers = machine.totalLineTransfers();
+    outcome.raceReport = machine.takeRaceReport();
     outcome.wallSeconds =
         std::chrono::duration<double>(stop - start).count();
     for (int tid = 0; tid < n; ++tid)

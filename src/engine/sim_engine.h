@@ -32,11 +32,19 @@ namespace splash {
 
 class SimMachine; // private scheduler + modeled object table
 
+/** Optional analysis instrumentation for a simulated run. */
+struct SimOptions
+{
+    /** Attach the Sync-Sentry happens-before race checker. */
+    bool raceCheck = false;
+};
+
 /** Engine running the benchmark under the virtual-time machine model. */
 class SimEngine : public ExecutionEngine
 {
   public:
-    SimEngine(const World& world, const MachineProfile& profile);
+    SimEngine(const World& world, const MachineProfile& profile,
+              SimOptions options = {});
     ~SimEngine() override;
 
     EngineOutcome run(const ThreadBody& body) override;
@@ -44,6 +52,7 @@ class SimEngine : public ExecutionEngine
   private:
     const World& world_;
     const MachineProfile& profile_;
+    const SimOptions options_;
 };
 
 } // namespace splash

@@ -36,6 +36,10 @@ usage()
         "  --threads=N               (default 4)\n"
         "  --profile=NAME            (default epyc64; sim engine)\n"
         "  --detail                  print per-run detail\n"
+        "  --race-check              run the Sync-Sentry happens-before\n"
+        "                            checker (sim engine); exit nonzero\n"
+        "                            on races or, under splash4, on any\n"
+        "                            lock taken inside a timed section\n"
         "  --csv                     emit CSV instead of markdown\n"
         "  --sweep=1,4,16,64         run each thread count, print\n"
         "                            cycles and speedup (sim engine)\n"
@@ -70,10 +74,14 @@ main(int argc, char** argv)
     config.suite = parseSuite(args.get("suite", "splash4"));
     config.engine = parseEngine(args.get("engine", "sim"));
     config.profile = args.get("profile", "epyc64");
+    config.raceCheck = args.has("race-check");
+    if (config.raceCheck && config.engine != EngineKind::Sim)
+        fatal("--race-check requires --engine=sim");
 
     // Forward everything else as benchmark parameters.
     static const std::vector<std::string> reserved = {
-        "threads", "suite", "engine", "profile", "detail", "csv", "list"};
+        "threads", "suite",     "engine", "profile",
+        "detail",  "race-check", "csv",   "list"};
     for (const char* key :
          {"keys", "bits", "seed", "bodies", "steps", "grid", "molecules",
           "size", "block", "rays", "width", "height", "volume",
@@ -142,13 +150,17 @@ main(int argc, char** argv)
     }
 
     Table table(runRowHeaders());
+    bool race_clean = true;
+    bool all_verified = true;
     for (const auto& name : selected) {
         auto bench = makeBenchmark(name);
         RunResult result = runBenchmark(*bench, config);
         addRunRow(table, name, config, result);
         if (args.has("detail"))
             printRunDetail(name, config, result);
+        race_clean = printRaceReport(result) && race_clean;
         if (!result.verified) {
+            all_verified = false;
             warn(name + " failed verification: " + result.verifyMessage);
         }
     }
@@ -156,5 +168,11 @@ main(int argc, char** argv)
         std::printf("%s", table.toCsv().c_str());
     else
         table.print("Run summary");
+    if (config.raceCheck && !race_clean) {
+        warn("race-check: violations detected (see reports above)");
+        return 1;
+    }
+    if (config.raceCheck && !all_verified)
+        return 1;
     return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "analysis/race_report.h"
+
 namespace splash {
 
 std::vector<std::string>
@@ -67,6 +69,16 @@ printRunDetail(const std::string& benchName, const RunConfig& config,
         std::printf("\n");
     }
     std::fflush(stdout);
+}
+
+bool
+printRaceReport(const RunResult& result)
+{
+    if (!result.raceReport)
+        return true;
+    std::printf("%s", result.raceReport->format().c_str());
+    std::fflush(stdout);
+    return result.raceReport->clean();
 }
 
 } // namespace splash

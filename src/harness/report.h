@@ -25,6 +25,12 @@ std::vector<std::string> runRowHeaders();
 void printRunDetail(const std::string& benchName,
                     const RunConfig& config, const RunResult& result);
 
+/**
+ * Print the Sync-Sentry report attached to a --race-check run.
+ * @return true when the run was clean (or carried no report).
+ */
+bool printRaceReport(const RunResult& result);
+
 } // namespace splash
 
 #endif // SPLASH_HARNESS_REPORT_H

@@ -183,6 +183,8 @@ FftBenchmark::run(Context& ctx)
     std::size_t lo, hi;
     rowStripe(ctx, lo, hi);
 
+    ctx.timedBegin("fft.transform"); // lock-free end to end
+
     // Forward transform: a_ -> b_.
     sixStep(ctx, a_.data(), b_.data());
 
@@ -213,6 +215,7 @@ FftBenchmark::run(Context& ctx)
         a_[i] = std::conj(a_[i]) * scale;
     ctx.work((hi - lo) * radix_ / 4 + 1);
     ctx.barrier(barrier_);
+    ctx.timedEnd();
 }
 
 bool

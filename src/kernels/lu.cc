@@ -118,6 +118,7 @@ LuBenchmark::run(Context& ctx)
     const std::uint64_t block_flops =
         static_cast<std::uint64_t>(block_) * block_ * block_ / 8 + 1;
 
+    ctx.timedBegin("lu.factor"); // lock-free end to end
     for (std::size_t k = 0; k < numBlocks_; ++k) {
         if (owner(k, k, nthreads) == tid) {
             factorDiagonal(k);
@@ -147,6 +148,7 @@ LuBenchmark::run(Context& ctx)
         }
         ctx.barrier(barrier_);
     }
+    ctx.timedEnd();
 }
 
 bool

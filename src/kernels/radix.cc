@@ -78,7 +78,10 @@ RadixBenchmark::run(Context& ctx)
     std::vector<std::uint64_t> neighbor(buckets);
     std::vector<std::uint64_t> scatter_idx(buckets);
     std::uint64_t* my_row = prefix_.data() + rowStride_ * tid;
+    const std::size_t row_bytes = buckets * sizeof(std::uint64_t);
 
+    // The whole sort is lock-free; everything counts as timed work.
+    ctx.timedBegin("radix.sort");
     for (int pass = 0; pass < numPasses_; ++pass) {
         const bool forward = (pass % 2) == 0;
         const std::uint32_t* src = forward ? keys_.data() : temp_.data();
@@ -102,11 +105,13 @@ RadixBenchmark::run(Context& ctx)
         // stable intra-bucket rank of each thread's keys.
         for (std::size_t b = 0; b < buckets; ++b)
             my_row[b] = local_count[b];
+        ctx.annotateWrite(my_row, row_bytes, "radix.prefix_row");
         ctx.barrier(barrier_);
         for (int step = 1; step < nthreads; step <<= 1) {
             if (tid >= step) {
                 const std::uint64_t* other =
                     prefix_.data() + rowStride_ * (tid - step);
+                ctx.annotateRead(other, row_bytes, "radix.prefix_row");
                 std::copy(other, other + buckets, neighbor.begin());
             }
             ctx.work(buckets / 4 + 1);
@@ -114,6 +119,8 @@ RadixBenchmark::run(Context& ctx)
             if (tid >= step) {
                 for (std::size_t b = 0; b < buckets; ++b)
                     my_row[b] += neighbor[b];
+                ctx.annotateWrite(my_row, row_bytes,
+                                  "radix.prefix_row");
             }
             ctx.work(buckets / 4 + 1);
             ctx.barrier(barrier_);
@@ -130,12 +137,16 @@ RadixBenchmark::run(Context& ctx)
                 acc += total;
                 ctx.ticketReset(bucketTickets_[b], 0);
             }
+            ctx.annotateWrite(bucketBase_.data(), row_bytes,
+                              "radix.bucket_base");
             ctx.work(buckets);
         }
         ctx.barrier(barrier_);
 
         // Scatter: dest = bucket base + this thread's stable offset
         // within the bucket + running index.
+        ctx.annotateRead(bucketBase_.data(), row_bytes,
+                         "radix.bucket_base");
         for (std::size_t b = 0; b < buckets; ++b)
             scatter_idx[b] = my_row[b] - local_count[b];
         for (std::size_t i = lo; i < hi; ++i) {
@@ -145,6 +156,7 @@ RadixBenchmark::run(Context& ctx)
         ctx.work(2 * (hi - lo));
         ctx.barrier(barrier_);
     }
+    ctx.timedEnd();
 }
 
 bool

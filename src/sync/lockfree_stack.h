@@ -29,7 +29,8 @@ class LockFreeStack
         panicIf(capacity == 0 || capacity >= kNil,
                 "lock-free stack capacity out of range");
         for (std::uint32_t i = 0; i < capacity; ++i)
-            nodes_[i].next = (i + 1 < capacity) ? i + 1 : kNil;
+            nodes_[i].next.store((i + 1 < capacity) ? i + 1 : kNil,
+                                 std::memory_order_relaxed);
     }
 
     /** Push a value; returns false when the pool is exhausted. */
@@ -39,10 +40,11 @@ class LockFreeStack
         const std::uint32_t node = allocNode();
         if (node == kNil)
             return false;
-        nodes_[node].value = value;
+        nodes_[node].value.store(value, std::memory_order_relaxed);
         std::uint64_t old_head = head_.load(std::memory_order_acquire);
         for (;;) {
-            nodes_[node].next = index(old_head);
+            nodes_[node].next.store(index(old_head),
+                                    std::memory_order_relaxed);
             const std::uint64_t new_head = pack(node, tag(old_head) + 1);
             if (head_.compare_exchange_weak(old_head, new_head,
                                             std::memory_order_acq_rel,
@@ -61,12 +63,17 @@ class LockFreeStack
             const std::uint32_t node = index(old_head);
             if (node == kNil)
                 return false;
-            const std::uint64_t new_head =
-                pack(nodes_[node].next, tag(old_head) + 1);
+            // Losers may read a node the winner is already recycling;
+            // the stale snapshot is discarded when the tagged CAS
+            // fails, but the read itself must be atomic.
+            const std::uint64_t new_head = pack(
+                nodes_[node].next.load(std::memory_order_relaxed),
+                tag(old_head) + 1);
             if (head_.compare_exchange_weak(old_head, new_head,
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
-                value = nodes_[node].value;
+                value =
+                    nodes_[node].value.load(std::memory_order_relaxed);
                 freeNode(node);
                 return true;
             }
@@ -85,8 +92,11 @@ class LockFreeStack
 
     struct Node
     {
-        std::uint32_t value = 0;
-        std::uint32_t next = kNil;
+        // Relaxed atomics: the tagged head CASes provide all ordering;
+        // these only make the concurrent loser/recycler accesses
+        // well-defined.
+        std::atomic<std::uint32_t> value{0};
+        std::atomic<std::uint32_t> next{kNil};
     };
 
     static std::uint64_t
@@ -111,8 +121,9 @@ class LockFreeStack
             const std::uint32_t node = index(old_head);
             if (node == kNil)
                 return kNil;
-            const std::uint64_t new_head =
-                pack(nodes_[node].next, tag(old_head) + 1);
+            const std::uint64_t new_head = pack(
+                nodes_[node].next.load(std::memory_order_relaxed),
+                tag(old_head) + 1);
             if (freeHead_.compare_exchange_weak(
                     old_head, new_head, std::memory_order_acq_rel,
                     std::memory_order_acquire)) {
@@ -126,7 +137,8 @@ class LockFreeStack
     {
         std::uint64_t old_head = freeHead_.load(std::memory_order_acquire);
         for (;;) {
-            nodes_[node].next = index(old_head);
+            nodes_[node].next.store(index(old_head),
+                                    std::memory_order_relaxed);
             const std::uint64_t new_head = pack(node, tag(old_head) + 1);
             if (freeHead_.compare_exchange_weak(
                     old_head, new_head, std::memory_order_acq_rel,

@@ -1,0 +1,189 @@
+#include "analysis/shadow_state.h"
+
+#include <gtest/gtest.h>
+
+namespace splash {
+namespace {
+
+// Thread clocks as FastTrack initializes them: each thread's own
+// component starts at 1 so fresh epochs are never vacuously covered.
+VectorClock
+freshClock(int nthreads, int tid)
+{
+    VectorClock vc(nthreads);
+    vc.tick(tid);
+    return vc;
+}
+
+TEST(ShadowStateTest, UnorderedWritesConflict)
+{
+    ShadowState shadow;
+    std::uint64_t word = 0;
+    VectorClock t0 = freshClock(2, 0);
+    VectorClock t1 = freshClock(2, 1);
+
+    auto c = shadow.onAccess(AccessKind::Write, &word, sizeof(word), 0,
+                             t0, 10, "word");
+    EXPECT_FALSE(c.racy);
+    c = shadow.onAccess(AccessKind::Write, &word, sizeof(word), 1, t1,
+                        20, "word");
+    ASSERT_TRUE(c.racy);
+    EXPECT_EQ(c.priorKind, AccessKind::Write);
+    EXPECT_EQ(c.priorTid, 0);
+    EXPECT_EQ(c.priorWhen, 10u);
+}
+
+TEST(ShadowStateTest, HappensBeforeOrderedWritesDoNotConflict)
+{
+    ShadowState shadow;
+    std::uint64_t word = 0;
+    VectorClock t0 = freshClock(2, 0);
+    VectorClock t1 = freshClock(2, 1);
+
+    shadow.onAccess(AccessKind::Write, &word, sizeof(word), 0, t0, 10,
+                    "word");
+    t1.joinWith(t0); // e.g. lock handoff or barrier
+    const auto c = shadow.onAccess(AccessKind::Write, &word,
+                                   sizeof(word), 1, t1, 20, "word");
+    EXPECT_FALSE(c.racy);
+}
+
+TEST(ShadowStateTest, ReadAfterUnorderedWriteConflicts)
+{
+    ShadowState shadow;
+    std::uint32_t word = 0;
+    VectorClock t0 = freshClock(2, 0);
+    VectorClock t1 = freshClock(2, 1);
+
+    shadow.onAccess(AccessKind::Write, &word, sizeof(word), 0, t0, 1,
+                    "word");
+    const auto c = shadow.onAccess(AccessKind::Read, &word,
+                                   sizeof(word), 1, t1, 2, "word");
+    ASSERT_TRUE(c.racy);
+    EXPECT_EQ(c.priorKind, AccessKind::Write);
+    EXPECT_EQ(c.priorTid, 0);
+}
+
+TEST(ShadowStateTest, WriteAfterUnorderedReadConflicts)
+{
+    ShadowState shadow;
+    std::uint32_t word = 0;
+    VectorClock t0 = freshClock(2, 0);
+    VectorClock t1 = freshClock(2, 1);
+
+    shadow.onAccess(AccessKind::Read, &word, sizeof(word), 0, t0, 1,
+                    "word");
+    const auto c = shadow.onAccess(AccessKind::Write, &word,
+                                   sizeof(word), 1, t1, 2, "word");
+    ASSERT_TRUE(c.racy);
+    EXPECT_EQ(c.priorKind, AccessKind::Read);
+    EXPECT_EQ(c.priorTid, 0);
+}
+
+TEST(ShadowStateTest, ConcurrentReadersAloneAreFine)
+{
+    ShadowState shadow;
+    std::uint32_t word = 0;
+    VectorClock t0 = freshClock(3, 0);
+    VectorClock t1 = freshClock(3, 1);
+    VectorClock t2 = freshClock(3, 2);
+
+    EXPECT_FALSE(shadow
+                     .onAccess(AccessKind::Read, &word, sizeof(word),
+                               0, t0, 1, "word")
+                     .racy);
+    EXPECT_FALSE(shadow
+                     .onAccess(AccessKind::Read, &word, sizeof(word),
+                               1, t1, 2, "word")
+                     .racy);
+    EXPECT_FALSE(shadow
+                     .onAccess(AccessKind::Read, &word, sizeof(word),
+                               2, t2, 3, "word")
+                     .racy);
+}
+
+TEST(ShadowStateTest, ReadClockPromotionCatchesEveryReader)
+{
+    // Two concurrent readers force the cell onto the read-vector-clock
+    // path; a later writer ordered after only ONE of them must still
+    // conflict with the other.
+    ShadowState shadow;
+    std::uint32_t word = 0;
+    VectorClock t0 = freshClock(3, 0);
+    VectorClock t1 = freshClock(3, 1);
+    VectorClock t2 = freshClock(3, 2);
+
+    shadow.onAccess(AccessKind::Read, &word, sizeof(word), 0, t0, 1,
+                    "word");
+    shadow.onAccess(AccessKind::Read, &word, sizeof(word), 1, t1, 2,
+                    "word");
+    t2.joinWith(t0); // ordered after t0's read but not t1's
+    const auto c = shadow.onAccess(AccessKind::Write, &word,
+                                   sizeof(word), 2, t2, 3, "word");
+    ASSERT_TRUE(c.racy);
+    EXPECT_EQ(c.priorKind, AccessKind::Read);
+    EXPECT_EQ(c.priorTid, 1);
+}
+
+TEST(ShadowStateTest, WriteResetsReadState)
+{
+    ShadowState shadow;
+    std::uint32_t word = 0;
+    VectorClock t0 = freshClock(2, 0);
+    VectorClock t1 = freshClock(2, 1);
+
+    shadow.onAccess(AccessKind::Read, &word, sizeof(word), 1, t1, 1,
+                    "word");
+    t0.joinWith(t1);
+    shadow.onAccess(AccessKind::Write, &word, sizeof(word), 0, t0, 2,
+                    "word");
+    // t1 syncs with t0's write; its next read is ordered even though
+    // its own old read epoch was never covered by t0.
+    t1.joinWith(t0);
+    const auto c = shadow.onAccess(AccessKind::Read, &word,
+                                   sizeof(word), 1, t1, 3, "word");
+    EXPECT_FALSE(c.racy);
+}
+
+TEST(ShadowStateTest, RangeSplitsIntoGranules)
+{
+    ShadowState shadow;
+    alignas(8) std::uint32_t words[4] = {};
+    VectorClock t0 = freshClock(2, 0);
+    VectorClock t1 = freshClock(2, 1);
+
+    // Disjoint 4-byte elements of one array: no conflicts.
+    shadow.onAccess(AccessKind::Write, &words[0], 8, 0, t0, 1, "lo");
+    EXPECT_FALSE(shadow
+                     .onAccess(AccessKind::Write, &words[2], 8, 1, t1,
+                               2, "hi")
+                     .racy);
+    EXPECT_EQ(shadow.granulesTracked(), 4u);
+
+    // An overlapping range conflicts on the shared granule.
+    const auto c =
+        shadow.onAccess(AccessKind::Write, &words[1], 8, 1, t1, 3,
+                        "overlap");
+    ASSERT_TRUE(c.racy);
+    EXPECT_EQ(c.priorTid, 0);
+    EXPECT_EQ(c.granuleAddr,
+              reinterpret_cast<std::uintptr_t>(&words[1]));
+}
+
+TEST(ShadowStateTest, SameThreadNeverConflictsWithItself)
+{
+    ShadowState shadow;
+    std::uint32_t word = 0;
+    VectorClock t0 = freshClock(1, 0);
+    for (VTime when = 1; when <= 4; ++when) {
+        const auto kind =
+            (when % 2) ? AccessKind::Write : AccessKind::Read;
+        EXPECT_FALSE(shadow
+                         .onAccess(kind, &word, sizeof(word), 0, t0,
+                                   when, "word")
+                         .racy);
+    }
+}
+
+} // namespace
+} // namespace splash

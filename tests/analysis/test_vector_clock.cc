@@ -1,0 +1,104 @@
+#include "analysis/vector_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace splash {
+namespace {
+
+TEST(VectorClockTest, StartsAtZero)
+{
+    VectorClock vc(4);
+    EXPECT_EQ(vc.size(), 4);
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(vc.get(t), 0u);
+}
+
+TEST(VectorClockTest, TickAdvancesOwnComponentOnly)
+{
+    VectorClock vc(3);
+    vc.tick(1);
+    vc.tick(1);
+    EXPECT_EQ(vc.get(0), 0u);
+    EXPECT_EQ(vc.get(1), 2u);
+    EXPECT_EQ(vc.get(2), 0u);
+}
+
+TEST(VectorClockTest, RaiseNeverLowers)
+{
+    VectorClock vc(2);
+    vc.raise(0, 5);
+    vc.raise(0, 3);
+    EXPECT_EQ(vc.get(0), 5u);
+}
+
+TEST(VectorClockTest, JoinIsPointwiseMax)
+{
+    VectorClock a(3), b(3);
+    a.raise(0, 4);
+    a.raise(2, 1);
+    b.raise(0, 2);
+    b.raise(1, 7);
+    a.joinWith(b);
+    EXPECT_EQ(a.get(0), 4u);
+    EXPECT_EQ(a.get(1), 7u);
+    EXPECT_EQ(a.get(2), 1u);
+}
+
+TEST(VectorClockTest, LeqIsPartialOrder)
+{
+    VectorClock a(2), b(2), c(2);
+    a.raise(0, 1);
+    b.raise(0, 2);
+    b.raise(1, 1);
+    EXPECT_TRUE(a.leq(b));
+    EXPECT_FALSE(b.leq(a));
+    // Incomparable pair: neither leq the other.
+    c.raise(1, 3);
+    EXPECT_FALSE(b.leq(c));
+    EXPECT_FALSE(c.leq(b));
+}
+
+TEST(VectorClockTest, EpochCoverage)
+{
+    VectorClock vc(2);
+    vc.raise(1, 3);
+    EXPECT_TRUE(vc.covers(Epoch{1, 3}));
+    EXPECT_TRUE(vc.covers(Epoch{1, 2}));
+    EXPECT_FALSE(vc.covers(Epoch{1, 4}));
+    EXPECT_TRUE(vc.covers(Epoch{0, 0}));
+    EXPECT_FALSE(vc.covers(Epoch{0, 1}));
+}
+
+TEST(VectorClockTest, FirstExceedingNamesAWitness)
+{
+    VectorClock a(3), b(3);
+    a.raise(1, 2);
+    EXPECT_EQ(a.firstExceeding(b), 1);
+    b.raise(1, 2);
+    EXPECT_EQ(a.firstExceeding(b), -1);
+}
+
+TEST(VectorClockTest, JoinModelsReleaseAcquire)
+{
+    // t0 releases into a lock clock; t1 acquires: t1 must then cover
+    // everything t0 had done.
+    VectorClock t0(2), t1(2), lock(2);
+    t0.tick(0);
+    t0.tick(0);
+    const Epoch write = t0.epochOf(0);
+    lock.joinWith(t0); // release
+    t0.tick(0);
+    EXPECT_FALSE(t1.covers(write));
+    t1.joinWith(lock); // acquire
+    EXPECT_TRUE(t1.covers(write));
+}
+
+TEST(VectorClockTest, ToStringListsComponents)
+{
+    VectorClock vc(3);
+    vc.raise(1, 2);
+    EXPECT_EQ(vc.toString(), "<0,2,0>");
+}
+
+} // namespace
+} // namespace splash

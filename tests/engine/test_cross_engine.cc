@@ -73,8 +73,8 @@ INSTANTIATE_TEST_SUITE_P(
     Suite, CrossEngineTest,
     ::testing::Values("radix", "fft", "lu", "ocean", "water-nsquared",
                       "water-spatial", "raytrace", "volrend", "fmm"),
-    [](const auto& info) {
-        std::string name = info.param;
+    [](const auto& param_info) {
+        std::string name = param_info.param;
         for (auto& ch : name)
             if (ch == '-')
                 ch = '_';

@@ -139,8 +139,8 @@ TEST_P(NativeEngineTest, WorkCountsUnits)
 INSTANTIATE_TEST_SUITE_P(BothSuites, NativeEngineTest,
                          ::testing::Values(SuiteVersion::Splash3,
                                            SuiteVersion::Splash4),
-                         [](const auto& info) {
-                             return info.param == SuiteVersion::Splash3
+                         [](const auto& param_info) {
+                             return param_info.param == SuiteVersion::Splash3
                                         ? "splash3"
                                         : "splash4";
                          });

@@ -14,7 +14,9 @@ const MachineProfile& prof()
 
 TEST(SimEdge, DeadlockIsDetectedAndReported)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    // FLAGS_ spelling: works on googletest back to 1.10, unlike the
+    // GTEST_FLAG_SET macro (1.12+).
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     // Thread 0 takes the lock and never releases; thread 1 blocks on
     // it forever after thread 0 finishes -> the machine must panic
     // with a deadlock dump instead of hanging.
@@ -49,7 +51,7 @@ TEST(SimEdge, MaxThreadsSupported)
 
 TEST(SimEdge, SixtyFiveThreadsRejected)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     EXPECT_DEATH(
         {
             World world(65, SuiteVersion::Splash4);

@@ -177,8 +177,8 @@ TEST_P(SimEngineTest, MakespanGrowsWithSerializedContention)
 INSTANTIATE_TEST_SUITE_P(BothSuites, SimEngineTest,
                          ::testing::Values(SuiteVersion::Splash3,
                                            SuiteVersion::Splash4),
-                         [](const auto& info) {
-                             return info.param == SuiteVersion::Splash3
+                         [](const auto& param_info) {
+                             return param_info.param == SuiteVersion::Splash3
                                         ? "splash3"
                                         : "splash4";
                          });

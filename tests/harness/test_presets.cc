@@ -45,7 +45,7 @@ TEST_F(PresetTest, ScaleShrinksInputs)
 
 TEST_F(PresetTest, UnknownBenchmarkIsFatal)
 {
-    GTEST_FLAG_SET(death_test_style, "threadsafe");
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     EXPECT_DEATH((void)benchParams("nonesuch"), "no preset");
 }
 

@@ -56,8 +56,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "raytrace", "volrend", "water-nsquared",
                       "water-spatial", "cholesky", "fft", "lu",
                       "radix"),
-    [](const auto& info) {
-        std::string name = info.param;
+    [](const auto& param_info) {
+        std::string name = param_info.param;
         for (auto& ch : name)
             if (ch == '-')
                 ch = '_';
