@@ -1,0 +1,66 @@
+#include "core/chaos.h"
+
+#include "util/log.h"
+
+namespace splash {
+
+std::string
+ChaosOptions::describe() const
+{
+    if (!enabled)
+        return "-";
+    return "seed=" + std::to_string(seed);
+}
+
+ChaosOptions
+chaosPreset(int level, std::uint64_t seed)
+{
+    ChaosOptions chaos;
+    chaos.seed = seed;
+    switch (level) {
+      case 0:
+        break;
+      case 1: // mild: occasional retries and short skews
+        chaos.enabled = true;
+        chaos.casFailProb = 0.05;
+        chaos.syncDelayMax = 200;
+        chaos.stallThreads = 1;
+        chaos.spuriousWakeProb = 0.05;
+        break;
+      case 2: // aggressive: frequent retries, visible delays
+        chaos.enabled = true;
+        chaos.casFailProb = 0.25;
+        chaos.syncDelayMax = 1000;
+        chaos.stallThreads = 2;
+        chaos.spuriousWakeProb = 0.2;
+        break;
+      case 3: // storm: failed-CAS storm plus heavy skew
+        chaos.enabled = true;
+        chaos.casFailProb = 0.6;
+        chaos.syncDelayMax = 4000;
+        chaos.stallThreads = 4;
+        chaos.spuriousWakeProb = 0.5;
+        break;
+      default:
+        fatal("--chaos-level must be 0..3");
+    }
+    return chaos;
+}
+
+int
+watchdogExitCode(RunStatus status)
+{
+    return kWatchdogExitBase + static_cast<int>(status);
+}
+
+RunStatus
+watchdogExitStatus(int exitCode)
+{
+    const int lo = watchdogExitCode(RunStatus::Deadlock);
+    const int hi = watchdogExitCode(RunStatus::Crash);
+    if (exitCode < lo || exitCode > hi)
+        return RunStatus::Ok;
+    return static_cast<RunStatus>(exitCode - kWatchdogExitBase);
+}
+
+} // namespace splash

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Chaos-Sentry configuration: deterministic fault injection and
+ * watchdog budgets.
+ *
+ * The suite's headline claim is that its lock-free constructs preserve
+ * correctness and progress under heavy contention.  Chaos-Sentry tests
+ * that claim adversarially: a seeded ChaosOptions drives reproducible
+ * perturbations (forced CAS failures, sync-point delays, spurious
+ * wakeups, skewed thread starts) at every synchronization operation,
+ * and WatchdogOptions bounds each run so deadlock, livelock, and
+ * timeout become structured RunStatus outcomes instead of a hung or
+ * aborted process.  Every failure is reproducible from its printed
+ * seed.  See docs/RESILIENCE.md.
+ */
+
+#ifndef SPLASH_CORE_CHAOS_H
+#define SPLASH_CORE_CHAOS_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/types.h"
+
+namespace splash {
+
+/**
+ * Seeded fault-injection plan for one run.  All perturbations are
+ * drawn from a deterministic RNG stream, so a given {seed, level}
+ * reproduces the exact same schedule, makespan, and failure.
+ */
+struct ChaosOptions
+{
+    bool enabled = false;
+
+    /** Master seed; every injection stream derives from it. */
+    std::uint64_t seed = 0;
+
+    /**
+     * Probability that an attempted CAS/RMW is forced to fail and
+     * retry (per attempt, geometric, capped), exercising every
+     * lock-free construct's retry path.
+     */
+    double casFailProb = 0.0;
+
+    /**
+     * Maximum extra delay injected at a synchronization point, in
+     * simulated cycles (sim engine) or microseconds of start skew
+     * (native engine).
+     */
+    VTime syncDelayMax = 0;
+
+    /** Number of threads given a skewed (delayed) start. */
+    int stallThreads = 0;
+
+    /**
+     * Probability that a blocking wait suffers one spurious wakeup
+     * round (wake, recheck, re-sleep) before its real wakeup.
+     */
+    double spuriousWakeProb = 0.0;
+
+    /** Short description for report columns ("-" when disabled). */
+    std::string describe() const;
+};
+
+/**
+ * Canonical chaos intensities for --chaos-level:
+ *  0 disabled, 1 mild, 2 aggressive, 3 storm.
+ */
+ChaosOptions chaosPreset(int level, std::uint64_t seed);
+
+/**
+ * Progress budgets turning hangs into structured outcomes.  Zero
+ * fields fall back to the generous defaults below; fixtures plant
+ * tight budgets to classify failures quickly.
+ */
+struct WatchdogOptions
+{
+    bool enabled = false;
+
+    /**
+     * Simulation: maximum scheduled synchronization operations before
+     * the run is classified a Livelock (sync ops keep flowing but the
+     * run never ends).
+     */
+    std::uint64_t maxSyncOps = 0;
+
+    /**
+     * Simulation: maximum virtual time before the run is classified a
+     * Timeout (budget exhausted).
+     */
+    VTime maxVirtualCycles = 0;
+
+    /**
+     * Native: wall-clock budget in seconds.  On expiry the watchdog
+     * classifies the hang (frozen progress counter = Deadlock, moving
+     * = Livelock) and terminates the process with
+     * watchdogExitCode(status); run under fork isolation to capture
+     * this as a per-benchmark failure row.
+     */
+    double maxWallSeconds = 0;
+};
+
+/** Defaults applied when the corresponding option field is zero. */
+constexpr std::uint64_t kDefaultMaxSyncOps = 1ull << 26;
+constexpr VTime kDefaultMaxVirtualCycles = 1ull << 40;
+constexpr double kDefaultMaxWallSeconds = 120.0;
+
+/**
+ * Process exit code used by the native watchdog (and recognized by
+ * the fork-isolating suite runner) to carry a RunStatus out of a
+ * killed run: 40 + the RunStatus value.
+ */
+constexpr int kWatchdogExitBase = 40;
+
+/** Exit code encoding a watchdog-detected status. */
+int watchdogExitCode(RunStatus status);
+
+/** Decode watchdogExitCode(); RunStatus::Ok if not one. */
+RunStatus watchdogExitStatus(int exitCode);
+
+} // namespace splash
+
+#endif // SPLASH_CORE_CHAOS_H

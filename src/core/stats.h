@@ -82,8 +82,17 @@ struct RunResult
     double wallSeconds = 0; ///< host wall-clock time of the parallel phase
     bool verified = false;  ///< benchmark self-check outcome
     std::string verifyMessage;
+    /** Chaos-Sentry outcome classification (Ok on a clean run). */
+    RunStatus status = RunStatus::Ok;
+    /** Failure diagnostics: watchdog classification, sync-trace dump. */
+    std::string statusDetail;
+    /** Run attempts consumed (2 after a seeded suite-mode retry). */
+    int attempts = 1;
     /** Sync-Sentry findings; null unless run with race checking. */
     std::shared_ptr<const RaceReport> raceReport;
+
+    /** True when the run completed and verified. */
+    bool ok() const { return status == RunStatus::Ok; }
 
     /** Fraction of total thread-cycles in the given category. */
     double categoryFraction(TimeCategory cat) const;

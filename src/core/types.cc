@@ -5,6 +5,26 @@
 namespace splash {
 
 const char*
+toString(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Ok:
+        return "ok";
+      case RunStatus::VerifyFailed:
+        return "verify-fail";
+      case RunStatus::Deadlock:
+        return "deadlock";
+      case RunStatus::Livelock:
+        return "livelock";
+      case RunStatus::Timeout:
+        return "timeout";
+      case RunStatus::Crash:
+        return "crash";
+    }
+    return "unknown";
+}
+
+const char*
 toString(SuiteVersion suite)
 {
     return suite == SuiteVersion::Splash3 ? "splash3" : "splash4";

@@ -54,6 +54,24 @@ enum class BarrierKind
     Tree,  ///< combining tree of atomic counters (scalable variant)
 };
 
+/**
+ * Outcome classification of one benchmark run.  Everything except Ok is
+ * a failure; the distinctions drive the suite's per-benchmark status
+ * table and let a failure be reproduced from its chaos seed.
+ */
+enum class RunStatus
+{
+    Ok,           ///< completed and verified
+    VerifyFailed, ///< completed but the self-check rejected the output
+    Deadlock,     ///< no thread runnable (sim) / no progress (native)
+    Livelock,     ///< sync operations keep flowing but the run never ends
+    Timeout,      ///< virtual-time or wall-clock budget exhausted
+    Crash,        ///< the (isolated) run died on a signal or abort
+};
+
+/** Name of a run status for reports ("ok", "deadlock", ...). */
+const char* toString(RunStatus status);
+
 /** Name of a suite version for reports. */
 const char* toString(SuiteVersion suite);
 

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/benchmark.h"
+#include "core/chaos.h"
 #include "core/context.h"
 #include "core/stats.h"
 #include "core/world.h"
@@ -34,6 +35,10 @@ struct EngineOutcome
     double wallSeconds = 0; ///< host wall time of the parallel section
     std::uint64_t lineTransfers = 0; ///< modeled coherence traffic
     std::vector<ThreadStats> perThread;
+    /** Watchdog classification; Ok unless the run was aborted. */
+    RunStatus status = RunStatus::Ok;
+    /** Per-thread sync-trace dump accompanying a non-Ok status. */
+    std::string statusDetail;
     /** Sync-Sentry findings; null unless run with race checking. */
     std::shared_ptr<RaceReport> raceReport;
 };
@@ -57,6 +62,8 @@ struct RunConfig
     std::string profile = "epyc64"; ///< machine profile (Sim engine)
     Params params;                  ///< benchmark-specific parameters
     bool raceCheck = false; ///< attach Sync-Sentry (Sim engine only)
+    ChaosOptions chaos;     ///< seeded fault injection (Chaos-Sentry)
+    WatchdogOptions watchdog; ///< deadlock/livelock/timeout budgets
 };
 
 /** Build an engine for @p world per the configuration. */

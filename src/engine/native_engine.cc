@@ -1,16 +1,24 @@
 #include "engine/native_engine.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <thread>
 #include <variant>
 
 #include "sync/atomic_reduction.h"
 #include "sync/barrier.h"
+#include "sync/chaos_hook.h"
 #include "sync/lockfree_stack.h"
 #include "sync/pause_flag.h"
 #include "sync/spinlock.h"
 #include "sync/task_queue.h"
 #include "util/log.h"
+#include "util/rng.h"
 
 namespace splash {
 
@@ -123,9 +131,19 @@ class NativeContext : public Context
 {
   public:
     NativeContext(int tid, int nthreads, SuiteVersion suite,
-                  NativeObjects& objects)
-        : Context(tid, nthreads, suite), objects_(objects)
+                  NativeObjects& objects,
+                  std::atomic<std::uint64_t>* progress = nullptr)
+        : Context(tid, nthreads, suite), objects_(objects),
+          progress_(progress)
     {
+    }
+
+    /** Watchdog heartbeat: one tick per completed sync operation. */
+    void
+    tick()
+    {
+        if (progress_)
+            progress_->fetch_add(1, std::memory_order_relaxed);
     }
 
     /** Nanoseconds spent in a waiting call (native "cycles"). */
@@ -146,6 +164,7 @@ class NativeContext : public Context
     barrier(BarrierHandle b) override
     {
         ++stats_.barrierCrossings;
+        tick();
         auto& obj = objects_.at(b.index);
         const auto ns = timedWait([&] {
             if (obj.senseBarrier)
@@ -162,6 +181,7 @@ class NativeContext : public Context
     lockAcquire(LockHandle l) override
     {
         ++stats_.lockAcquires;
+        tick();
         auto& obj = objects_.at(l.index);
         const auto ns = timedWait([&] {
             if (obj.spinLock)
@@ -186,6 +206,7 @@ class NativeContext : public Context
     ticketNext(TicketHandle t, std::uint64_t step) override
     {
         ++stats_.ticketOps;
+        tick();
         auto& obj = objects_.at(t.index);
         return obj.atomicTicket ? obj.atomicTicket->next(step)
                                 : obj.lockedTicket->next(step);
@@ -205,6 +226,7 @@ class NativeContext : public Context
     sumAdd(SumHandle s, double delta) override
     {
         ++stats_.sumOps;
+        tick();
         auto& obj = objects_.at(s.index);
         if (obj.atomicSum)
             obj.atomicSum->add(delta);
@@ -234,6 +256,7 @@ class NativeContext : public Context
     stackPush(StackHandle s, std::uint32_t value) override
     {
         ++stats_.stackOps;
+        tick();
         auto& obj = objects_.at(s.index);
         return obj.lockFreeStack ? obj.lockFreeStack->push(value)
                                  : obj.lockedStack->push(value);
@@ -243,6 +266,7 @@ class NativeContext : public Context
     stackPop(StackHandle s, std::uint32_t& value) override
     {
         ++stats_.stackOps;
+        tick();
         auto& obj = objects_.at(s.index);
         return obj.lockFreeStack ? obj.lockFreeStack->pop(value)
                                  : obj.lockedStack->pop(value);
@@ -252,6 +276,7 @@ class NativeContext : public Context
     flagSet(FlagHandle f) override
     {
         ++stats_.flagOps;
+        tick();
         auto& obj = objects_.at(f.index);
         if (obj.atomicFlag)
             obj.atomicFlag->set();
@@ -263,6 +288,7 @@ class NativeContext : public Context
     flagWait(FlagHandle f) override
     {
         ++stats_.flagOps;
+        tick();
         auto& obj = objects_.at(f.index);
         const auto ns = timedWait([&] {
             if (obj.atomicFlag)
@@ -292,12 +318,115 @@ class NativeContext : public Context
 
   private:
     NativeObjects& objects_;
+    std::atomic<std::uint64_t>* progress_;
 };
+
+/**
+ * Wall-clock watchdog for the native engine.
+ *
+ * Samples an aggregate sync-operation counter until the run finishes
+ * or the wall budget expires.  Stuck std::threads cannot be unwound
+ * from inside the process, so on expiry the watchdog classifies the
+ * hang (no progress in the final window = Deadlock, progress still
+ * flowing = Livelock), prints a diagnostic, and terminates the process
+ * with watchdogExitCode(status) for the fork-isolating suite runner
+ * (or a death test) to decode.
+ */
+class NativeWatchdog
+{
+  public:
+    NativeWatchdog(const WatchdogOptions& options,
+                   const std::atomic<std::uint64_t>& progress)
+        : progress_(progress)
+    {
+        if (!options.enabled)
+            return;
+        budgetSeconds_ = options.maxWallSeconds > 0
+                             ? options.maxWallSeconds
+                             : kDefaultMaxWallSeconds;
+        thread_ = std::thread([this] { watch(); });
+    }
+
+    ~NativeWatchdog()
+    {
+        if (!thread_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    void
+    watch()
+    {
+        using Clock = std::chrono::steady_clock;
+        const auto deadline =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   budgetSeconds_));
+        std::uint64_t lastSeen =
+            progress_.load(std::memory_order_relaxed);
+        bool movedInWindow = false;
+
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (Clock::now() < deadline) {
+            if (cv_.wait_for(lock, std::chrono::milliseconds(100),
+                             [this] { return done_; }))
+                return; // run finished in time
+            const std::uint64_t seen =
+                progress_.load(std::memory_order_relaxed);
+            movedInWindow = seen != lastSeen;
+            lastSeen = seen;
+        }
+
+        const RunStatus status = movedInWindow ? RunStatus::Livelock
+                                               : RunStatus::Deadlock;
+        std::fprintf(stderr,
+                     "splash: watchdog: native run exceeded %.1fs wall "
+                     "budget; %llu sync ops total, progress %s in the "
+                     "last window; classifying as %s\n",
+                     budgetSeconds_,
+                     static_cast<unsigned long long>(lastSeen),
+                     movedInWindow ? "still flowing" : "frozen",
+                     toString(status));
+        std::fflush(nullptr);
+        std::_Exit(watchdogExitCode(status));
+    }
+
+    const std::atomic<std::uint64_t>& progress_;
+    double budgetSeconds_ = 0.0;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    std::thread thread_;
+};
+
+/** Seeded per-thread start delay in microseconds (chaos skew). */
+std::uint64_t
+chaosStartDelayUs(const ChaosOptions& chaos, int tid)
+{
+    if (!chaos.enabled || tid >= chaos.stallThreads)
+        return 0;
+    std::uint64_t mix = chaos.seed ^ ((static_cast<std::uint64_t>(tid) + 1) *
+                                      0x9e3779b97f4a7c15ULL);
+    Rng rng(Rng::splitmix64(mix));
+    // syncDelayMax is denominated in virtual cycles for the sim
+    // engine; reuse it here as a microsecond cap, bounded to 5ms so
+    // skew perturbs interleavings without dominating wall time.
+    const std::uint64_t cap =
+        std::min<std::uint64_t>(chaos.syncDelayMax + 1, 5000);
+    return rng.below(cap) + 1;
+}
 
 } // namespace
 
-NativeEngine::NativeEngine(const World& world)
-    : world_(world), objects_(std::make_unique<NativeObjects>(world))
+NativeEngine::NativeEngine(const World& world, NativeOptions options)
+    : world_(world), options_(options),
+      objects_(std::make_unique<NativeObjects>(world))
 {
 }
 
@@ -307,21 +436,44 @@ EngineOutcome
 NativeEngine::run(const ThreadBody& body)
 {
     const int n = world_.nthreads();
+    const ChaosOptions& chaos = options_.chaos;
+    if (chaos.enabled) {
+        sync_chaos::configure(
+            chaos.seed,
+            static_cast<std::uint32_t>(chaos.casFailProb * 1000.0));
+    }
+
+    std::atomic<std::uint64_t> progress{0};
+    const bool instrument =
+        options_.watchdog.enabled || chaos.enabled;
     std::vector<std::unique_ptr<NativeContext>> contexts;
     contexts.reserve(static_cast<std::size_t>(n));
     for (int tid = 0; tid < n; ++tid) {
         contexts.push_back(std::make_unique<NativeContext>(
-            tid, n, world_.suite(), *objects_));
+            tid, n, world_.suite(), *objects_,
+            instrument ? &progress : nullptr));
     }
+
+    NativeWatchdog watchdog(options_.watchdog, progress);
 
     const auto start = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(n));
-    for (int tid = 0; tid < n; ++tid)
-        threads.emplace_back([&, tid] { body(*contexts[tid]); });
+    for (int tid = 0; tid < n; ++tid) {
+        threads.emplace_back([&, tid] {
+            if (const auto us = chaosStartDelayUs(chaos, tid)) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(us));
+            }
+            body(*contexts[tid]);
+        });
+    }
     for (auto& thread : threads)
         thread.join();
     const auto stop = std::chrono::steady_clock::now();
+
+    if (chaos.enabled)
+        sync_chaos::reset();
 
     EngineOutcome outcome;
     outcome.wallSeconds =

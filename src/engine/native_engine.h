@@ -20,17 +20,39 @@ namespace splash {
 
 class NativeObjects; // private realization table
 
+/** Chaos-Sentry instrumentation for a native run. */
+struct NativeOptions
+{
+    /**
+     * Seeded fault injection: forced CAS failures in the lock-free
+     * primitives (via sync_chaos) plus skewed thread starts.
+     */
+    ChaosOptions chaos;
+
+    /**
+     * Wall-clock watchdog.  Real threads stuck in a deadlock or
+     * livelock cannot be unwound safely from inside the process, so
+     * on budget expiry the watchdog classifies the hang from its
+     * progress samples (frozen = Deadlock, still flowing = Livelock),
+     * dumps per-thread progress to stderr, and terminates the process
+     * with watchdogExitCode(status).  Run under the suite runner's
+     * fork isolation to capture that as a per-benchmark failure row.
+     */
+    WatchdogOptions watchdog;
+};
+
 /** Engine running the benchmark on host threads in real time. */
 class NativeEngine : public ExecutionEngine
 {
   public:
-    explicit NativeEngine(const World& world);
+    explicit NativeEngine(const World& world, NativeOptions options = {});
     ~NativeEngine() override;
 
     EngineOutcome run(const ThreadBody& body) override;
 
   private:
     const World& world_;
+    const NativeOptions options_;
     std::unique_ptr<NativeObjects> objects_;
 };
 

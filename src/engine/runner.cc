@@ -20,10 +20,15 @@ makeEngine(const World& world, const RunConfig& config)
     if (config.engine == EngineKind::Native) {
         if (config.raceCheck)
             fatal("--race-check requires the sim engine");
-        return std::make_unique<NativeEngine>(world);
+        NativeOptions options;
+        options.chaos = config.chaos;
+        options.watchdog = config.watchdog;
+        return std::make_unique<NativeEngine>(world, options);
     }
     SimOptions options;
     options.raceCheck = config.raceCheck;
+    options.chaos = config.chaos;
+    options.watchdog = config.watchdog;
     return std::make_unique<SimEngine>(
         world, machineProfile(config.profile), options);
 }
@@ -41,6 +46,8 @@ runBenchmark(Benchmark& benchmark, const RunConfig& config)
         engine->run([&](Context& ctx) { benchmark.run(ctx); });
 
     RunResult result;
+    result.status = outcome.status;
+    result.statusDetail = outcome.statusDetail;
     result.simCycles = outcome.makespan;
     result.lineTransfers = outcome.lineTransfers;
     result.wallSeconds = outcome.wallSeconds;
@@ -51,7 +58,17 @@ runBenchmark(Benchmark& benchmark, const RunConfig& config)
     result.perThread = std::move(outcome.perThread);
     for (const auto& stats : result.perThread)
         result.totals.merge(stats);
-    result.verified = benchmark.verify(result.verifyMessage);
+    if (result.status == RunStatus::Ok) {
+        result.verified = benchmark.verify(result.verifyMessage);
+        if (!result.verified)
+            result.status = RunStatus::VerifyFailed;
+    } else {
+        // The run was aborted mid-flight; the benchmark's data is in
+        // an undefined intermediate state, so the self-check is moot.
+        result.verified = false;
+        result.verifyMessage =
+            std::string("skipped: run ") + toString(result.status);
+    }
     return result;
 }
 

@@ -11,10 +11,28 @@
 #include "analysis/race_checker.h"
 #include "sim/line_model.h"
 #include "util/log.h"
+#include "util/rng.h"
 
 namespace splash {
 
 namespace {
+
+/**
+ * Thrown inside a simulated thread to unwind it out of the benchmark
+ * body when the machine is aborting (deadlock detected, watchdog
+ * budget exhausted).  Caught by the host-thread trampoline.
+ */
+struct SimAbortSignal
+{
+};
+
+/** One entry of a thread's recent-sync-operation trace. */
+struct SimTraceEvent
+{
+    const char* op = "";
+    std::uint32_t object = 0;
+    VTime clock = 0;
+};
 
 /** Scheduler-visible state of one simulated thread. */
 struct SimThread
@@ -25,7 +43,25 @@ struct SimThread
     VTime clock = 0;
     State state = State::Ready;
     std::binary_semaphore sem{0};
+    /** Ring of recent sync ops (kept only when a watchdog is armed). */
+    std::deque<SimTraceEvent> trace;
 };
+
+const char*
+toString(SimThread::State state)
+{
+    switch (state) {
+      case SimThread::State::Ready:
+        return "ready";
+      case SimThread::State::Running:
+        return "running";
+      case SimThread::State::Blocked:
+        return "blocked";
+      case SimThread::State::Done:
+        return "done";
+    }
+    return "?";
+}
 
 /** Modeled lock (used standalone and inside Splash-3 composites). */
 struct SimLock
@@ -119,16 +155,36 @@ class SimMachine
                SimOptions options = {})
         : world_(world), prof_(profile),
           nthreads_(world.nthreads()),
-          s4_(world.suite() == SuiteVersion::Splash4)
+          s4_(world.suite() == SuiteVersion::Splash4),
+          chaos_(options.chaos), wd_(options.watchdog),
+          rng_(options.chaos.seed)
     {
         panicIf(nthreads_ > 64,
                 "sim engine supports at most 64 threads");
+        wdMaxSyncOps_ = wd_.maxSyncOps ? wd_.maxSyncOps
+                                       : kDefaultMaxSyncOps;
+        wdMaxCycles_ = wd_.maxVirtualCycles ? wd_.maxVirtualCycles
+                                            : kDefaultMaxVirtualCycles;
         if (options.raceCheck)
             checker_ = std::make_unique<RaceChecker>(nthreads_,
                                                      world.suite());
         for (int tid = 0; tid < nthreads_; ++tid) {
             threads_.push_back(std::make_unique<SimThread>());
             threads_.back()->tid = tid;
+        }
+        if (chaos_.enabled && chaos_.stallThreads > 0) {
+            // Skewed starts: delay a seeded subset of threads so
+            // phases no longer begin in lockstep, exposing arrival
+            // races in barriers and flags.
+            const int stalls =
+                std::min(chaos_.stallThreads, nthreads_);
+            for (int i = 0; i < stalls; ++i) {
+                const int victim =
+                    static_cast<int>(rng_.below(
+                        static_cast<std::uint64_t>(nthreads_)));
+                threads_[victim]->clock +=
+                    rng_.below(16 * (chaos_.syncDelayMax + 64)) + 1;
+            }
         }
         for (const auto& desc : world.objects()) {
             SimObject obj;
@@ -256,10 +312,34 @@ class SimMachine
     /**
      * Ensure the calling thread holds the global minimum clock before it
      * performs a modeled operation; otherwise yield to the minimum.
+     *
+     * Doubles as the Chaos-Sentry checkpoint crossed by every modeled
+     * synchronization operation: watchdog budgets are charged here,
+     * seeded sync-point delays are injected here, and a pending abort
+     * unwinds the thread here.
      */
     void
     awaitTurn(SimThread& me)
     {
+        if (aborting_)
+            throw SimAbortSignal{};
+        ++syncOps_;
+        if (wd_.enabled) {
+            if (syncOps_ > wdMaxSyncOps_) {
+                abortRun(RunStatus::Livelock,
+                         "sync-op budget exhausted after " +
+                             std::to_string(syncOps_ - 1) +
+                             " operations (sync keeps flowing but the "
+                             "run never ends)");
+            }
+            if (me.clock > wdMaxCycles_) {
+                abortRun(RunStatus::Timeout,
+                         "virtual-time budget exhausted at cycle " +
+                             std::to_string(me.clock));
+            }
+        }
+        if (chaos_.enabled && chaos_.syncDelayMax > 0)
+            me.clock += rng_.below(chaos_.syncDelayMax + 1);
         const int next = pickNext();
         if (next < 0 || threads_[next]->clock >= me.clock)
             return;
@@ -267,21 +347,34 @@ class SimMachine
         dispatch(next);
         me.sem.acquire();
         me.state = SimThread::State::Running;
+        if (aborting_)
+            throw SimAbortSignal{};
     }
 
     /** Block the calling thread until someone calls unblock() on it. */
     void
     blockSelf(SimThread& me)
     {
+        if (chaos_.enabled && chaos_.spuriousWakeProb > 0 &&
+            rng_.uniform() < chaos_.spuriousWakeProb) {
+            // Spurious wakeup: the waiter resumes once, rechecks its
+            // condition, and goes back to sleep before the real wake.
+            me.clock += prof_.wakeLatencyCycles + prof_.parkCycles;
+        }
         me.state = SimThread::State::Blocked;
         const int next = pickNext();
         if (next >= 0) {
             dispatch(next);
         } else {
-            reportDeadlockOrFinish();
+            // The caller just blocked and nobody is runnable: every
+            // other thread is blocked or done, and only a running
+            // thread could ever wake one.  Permanent deadlock.
+            abortRun(RunStatus::Deadlock, "no runnable thread");
         }
         me.sem.acquire();
         me.state = SimThread::State::Running;
+        if (aborting_)
+            throw SimAbortSignal{};
     }
 
     /** Make @p tid runnable no earlier than @p wakeTime. */
@@ -296,18 +389,44 @@ class SimMachine
         t.state = SimThread::State::Ready;
     }
 
-    /** Called when a thread's body returns. */
+    /**
+     * Called when a thread's body returns or unwinds; hands the
+     * machine to the next runnable thread, detects deadlock, and
+     * drives the drain that lets every host thread join after an
+     * abort.
+     */
     void
     finish(SimThread& me)
     {
         me.state = SimThread::State::Done;
+        if (aborting_) {
+            drainNextOrRelease();
+            return;
+        }
         const int next = pickNext();
         if (next >= 0) {
             dispatch(next);
             return;
         }
-        reportDeadlockOrFinish();
+        bool all_done = true;
+        for (const auto& t : threads_)
+            if (t->state != SimThread::State::Done)
+                all_done = false;
+        if (all_done) {
+            launcherSem_.release();
+            return;
+        }
+        // The remaining threads are all blocked with nobody left to
+        // wake them: deadlock.  Mark it and start the drain.
+        markAbort(RunStatus::Deadlock, "no runnable thread");
+        drainNextOrRelease();
     }
+
+    /** True once a structured abort is in progress. */
+    bool aborting() const { return aborting_; }
+
+    RunStatus status() const { return status_; }
+    const std::string& statusDetail() const { return statusDetail_; }
 
     /** Launcher-side start: dispatch the first thread and wait. */
     void
@@ -315,8 +434,6 @@ class SimMachine
     {
         dispatch(pickNext());
         launcherSem_.acquire();
-        if (!deadlockDump_.empty())
-            panic("simulated deadlock:\n" + deadlockDump_);
     }
 
     VTime
@@ -431,25 +548,103 @@ class SimMachine
         }
     }
 
-    // ----- deadlock reporting -------------------------------------------
+    // ----- structured abort (deadlock / livelock / timeout) -------------
 
+    /**
+     * Record a recent sync operation for the failure dump.  Traces are
+     * kept only while a watchdog is armed or chaos is active, so the
+     * fast path of a plain run stays a single branch.
+     */
     void
-    reportDeadlockOrFinish()
+    traceOp(SimThread& me, const char* op, std::uint32_t object)
     {
-        bool all_done = true;
-        for (const auto& t : threads_)
-            if (t->state != SimThread::State::Done)
-                all_done = false;
-        if (!all_done) {
-            std::ostringstream os;
-            for (const auto& t : threads_) {
-                os << "  t" << t->tid << " state="
-                   << static_cast<int>(t->state) << " clock=" << t->clock
-                   << "\n";
+        if (!tracing_)
+            return;
+        if (me.trace.size() >= kTraceDepth)
+            me.trace.pop_front();
+        me.trace.push_back(SimTraceEvent{op, object, me.clock});
+    }
+
+    /**
+     * Per-thread scheduler state + recent sync trace, printed with a
+     * non-Ok status so a failure is debuggable from its report.
+     */
+    std::string
+    threadDump() const
+    {
+        std::ostringstream os;
+        for (const auto& t : threads_) {
+            os << "  t" << t->tid << " state=" << toString(t->state)
+               << " clock=" << t->clock;
+            if (!t->trace.empty()) {
+                os << " trace:";
+                for (const auto& ev : t->trace)
+                    os << " " << ev.op << "#" << ev.object << "@"
+                       << ev.clock;
             }
-            deadlockDump_ = os.str();
+            os << "\n";
+        }
+        return os.str();
+    }
+
+    /** Record the abort classification (first one wins). */
+    void
+    markAbort(RunStatus status, const std::string& why)
+    {
+        if (aborting_)
+            return;
+        aborting_ = true;
+        status_ = status;
+        statusDetail_ = why + "\n" + threadDump();
+    }
+
+    /** Mark the abort and unwind the calling simulated thread. */
+    [[noreturn]] void
+    abortRun(RunStatus status, const std::string& why)
+    {
+        markAbort(status, why);
+        throw SimAbortSignal{};
+    }
+
+    /**
+     * Abort drain: resume one parked thread so it can observe the
+     * abort and unwind; the last thread to finish releases the
+     * launcher.  Exactly one thread runs at a time, preserving the
+     * machine's single-writer invariant during teardown.
+     */
+    void
+    drainNextOrRelease()
+    {
+        for (auto& t : threads_) {
+            if (t->state != SimThread::State::Done &&
+                t->state != SimThread::State::Running) {
+                t->sem.release();
+                return;
+            }
         }
         launcherSem_.release();
+    }
+
+    // ----- chaos injection ----------------------------------------------
+
+    /**
+     * Force extra failed-CAS rounds on a lock-free RMW: each forced
+     * failure costs another transfer of the contended line plus the
+     * retry penalty, exercising the construct's retry path and
+     * perturbing the schedule deterministically.
+     */
+    void
+    chaosRmwRetries(SimThread& me, SimLine& line)
+    {
+        if (!chaos_.enabled || chaos_.casFailProb <= 0)
+            return;
+        int forced = 0;
+        while (forced < kMaxForcedCasRetries &&
+               rng_.uniform() < chaos_.casFailProb) {
+            me.clock = line.rmw(me.tid, me.clock, prof_);
+            me.clock += prof_.casRetryCycles;
+            ++forced;
+        }
     }
 
   private:
@@ -570,15 +765,27 @@ class SimMachine
         rawLockRelease(me, barrier.mutex);
     }
 
+    static constexpr std::size_t kTraceDepth = 8;
+    static constexpr int kMaxForcedCasRetries = 8;
+
     const World& world_;
     const MachineProfile& prof_;
     const int nthreads_;
     const bool s4_;
+    const ChaosOptions chaos_;
+    const WatchdogOptions wd_;
+    Rng rng_; ///< single injection stream; machine access is serial
+    const bool tracing_ = chaos_.enabled || wd_.enabled;
+    std::uint64_t wdMaxSyncOps_ = 0;
+    VTime wdMaxCycles_ = 0;
+    std::uint64_t syncOps_ = 0;
+    bool aborting_ = false;
+    RunStatus status_ = RunStatus::Ok;
+    std::string statusDetail_;
     std::unique_ptr<RaceChecker> checker_;
     std::vector<std::unique_ptr<SimThread>> threads_;
     std::vector<SimObject> objects_;
     std::binary_semaphore launcherSem_{0};
-    std::string deadlockDump_;
 };
 
 namespace {
@@ -600,6 +807,7 @@ class SimContext : public Context
     barrier(BarrierHandle b) override
     {
         ++stats_.barrierCrossings;
+        machine_.traceOp(me_, "barrier", b.index);
         auto& obj = *machine_.object(b.index).barrier;
         if (auto* rc = machine_.checker())
             rc->barrierArrive(me_.tid, &obj, me_.clock);
@@ -614,6 +822,7 @@ class SimContext : public Context
     lockAcquire(LockHandle l) override
     {
         ++stats_.lockAcquires;
+        machine_.traceOp(me_, "lock-acq", l.index);
         auto& obj = *machine_.object(l.index).lock;
         const VTime entry = me_.clock;
         machine_.rawLockAcquire(me_, obj);
@@ -625,6 +834,7 @@ class SimContext : public Context
     void
     lockRelease(LockHandle l) override
     {
+        machine_.traceOp(me_, "lock-rel", l.index);
         auto& obj = *machine_.object(l.index).lock;
         const VTime entry = me_.clock;
         machine_.rawLockRelease(me_, obj);
@@ -635,11 +845,13 @@ class SimContext : public Context
     ticketNext(TicketHandle t, std::uint64_t step) override
     {
         ++stats_.ticketOps;
+        machine_.traceOp(me_, "ticket", t.index);
         auto& obj = *machine_.object(t.index).ticket;
         const VTime entry = me_.clock;
         std::uint64_t old;
         if (suite_ == SuiteVersion::Splash4) {
             machine_.awaitTurn(me_);
+            machine_.chaosRmwRetries(me_, obj.line);
             me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
             old = obj.value;
             obj.value += step;
@@ -677,6 +889,7 @@ class SimContext : public Context
     sumAdd(SumHandle s, double delta) override
     {
         ++stats_.sumOps;
+        machine_.traceOp(me_, "sum", s.index);
         auto& obj = *machine_.object(s.index).sum;
         const VTime entry = me_.clock;
         if (suite_ == SuiteVersion::Splash4) {
@@ -684,6 +897,7 @@ class SimContext : public Context
             // stolen since our last visit (a deterministic stand-in for
             // CAS failures under contention).
             machine_.awaitTurn(me_);
+            machine_.chaosRmwRetries(me_, obj.line);
             const std::uint64_t transfers_before =
                 obj.line.transferCount();
             me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
@@ -734,11 +948,13 @@ class SimContext : public Context
     stackPush(StackHandle s, std::uint32_t value) override
     {
         ++stats_.stackOps;
+        machine_.traceOp(me_, "push", s.index);
         auto& obj = *machine_.object(s.index).stack;
         const VTime entry = me_.clock;
         bool ok = true;
         if (suite_ == SuiteVersion::Splash4) {
             machine_.awaitTurn(me_);
+            machine_.chaosRmwRetries(me_, obj.headLine);
             me_.clock = obj.headLine.rmw(me_.tid, me_.clock, prof_);
             if (auto* rc = machine_.checker())
                 rc->rmw(me_.tid, &obj.headLine, me_.clock);
@@ -761,6 +977,7 @@ class SimContext : public Context
     stackPop(StackHandle s, std::uint32_t& value) override
     {
         ++stats_.stackOps;
+        machine_.traceOp(me_, "pop", s.index);
         auto& obj = *machine_.object(s.index).stack;
         const VTime entry = me_.clock;
         bool ok = false;
@@ -772,6 +989,7 @@ class SimContext : public Context
                 if (auto* rc = machine_.checker())
                     rc->acquire(me_.tid, &obj.headLine, me_.clock);
             } else {
+                machine_.chaosRmwRetries(me_, obj.headLine);
                 me_.clock = obj.headLine.rmw(me_.tid, me_.clock, prof_);
                 if (auto* rc = machine_.checker())
                     rc->rmw(me_.tid, &obj.headLine, me_.clock);
@@ -798,10 +1016,12 @@ class SimContext : public Context
     flagSet(FlagHandle f) override
     {
         ++stats_.flagOps;
+        machine_.traceOp(me_, "flag-set", f.index);
         auto& obj = *machine_.object(f.index).flag;
         const VTime entry = me_.clock;
         if (suite_ == SuiteVersion::Splash4) {
             machine_.awaitTurn(me_);
+            machine_.chaosRmwRetries(me_, obj.line);
             me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
             if (auto* rc = machine_.checker())
                 rc->rmw(me_.tid, &obj.line, me_.clock);
@@ -838,6 +1058,7 @@ class SimContext : public Context
     flagWait(FlagHandle f) override
     {
         ++stats_.flagOps;
+        machine_.traceOp(me_, "flag-wait", f.index);
         auto& obj = *machine_.object(f.index).flag;
         const VTime entry = me_.clock;
         if (suite_ == SuiteVersion::Splash4) {
@@ -955,7 +1176,13 @@ SimEngine::run(const ThreadBody& body)
             SimThread& me = machine.thread(tid);
             me.sem.acquire();
             me.state = SimThread::State::Running;
-            body(*contexts[tid]);
+            if (!machine.aborting()) {
+                try {
+                    body(*contexts[tid]);
+                } catch (const SimAbortSignal&) {
+                    // Unwound by a watchdog abort or deadlock drain.
+                }
+            }
             machine.finish(me);
         });
     }
@@ -965,6 +1192,8 @@ SimEngine::run(const ThreadBody& body)
     const auto stop = std::chrono::steady_clock::now();
 
     EngineOutcome outcome;
+    outcome.status = machine.status();
+    outcome.statusDetail = machine.statusDetail();
     outcome.makespan = machine.makespan();
     outcome.lineTransfers = machine.totalLineTransfers();
     outcome.raceReport = machine.takeRaceReport();

@@ -37,6 +37,18 @@ struct SimOptions
 {
     /** Attach the Sync-Sentry happens-before race checker. */
     bool raceCheck = false;
+
+    /** Seeded deterministic fault injection (Chaos-Sentry). */
+    ChaosOptions chaos;
+
+    /**
+     * Progress budgets.  When enabled, a deadlock, livelock, or
+     * exhausted budget aborts the run cooperatively and is returned
+     * as EngineOutcome::status with a per-thread sync-trace dump
+     * instead of hanging or panicking.  Deadlocks are detected and
+     * classified even when disabled.
+     */
+    WatchdogOptions watchdog;
 };
 
 /** Engine running the benchmark under the virtual-time machine model. */

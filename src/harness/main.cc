@@ -20,6 +20,7 @@
 #include "engine/engine.h"
 #include "harness/report.h"
 #include "harness/suite.h"
+#include "harness/suite_runner.h"
 #include "sim/machine.h"
 #include "util/cli.h"
 #include "util/log.h"
@@ -43,6 +44,22 @@ usage()
         "  --csv                     emit CSV instead of markdown\n"
         "  --sweep=1,4,16,64         run each thread count, print\n"
         "                            cycles and speedup (sim engine)\n"
+        "  --chaos-level=0..3        Chaos-Sentry fault injection\n"
+        "                            intensity (implies --watchdog)\n"
+        "  --chaos-seed=S            chaos seed; a given {seed, level}\n"
+        "                            reproduces the run exactly under\n"
+        "                            the sim engine (implies level 1)\n"
+        "  --watchdog                classify deadlock/livelock/timeout\n"
+        "                            instead of hanging\n"
+        "  --watchdog-steps=N        sim sync-op budget\n"
+        "  --watchdog-cycles=N       sim virtual-time budget\n"
+        "  --watchdog-wall=SECONDS   native wall budget\n"
+        "  --isolate                 fork-isolate each benchmark run;\n"
+        "                            crashes and watchdog kills become\n"
+        "                            per-benchmark failure rows\n"
+        "  --isolate-timeout=SECONDS hard per-run limit under --isolate\n"
+        "  Any failed row makes the exit code nonzero.  See\n"
+        "  docs/RESILIENCE.md.\n"
         "  other --key=value options become benchmark parameters\n");
 }
 
@@ -78,10 +95,41 @@ main(int argc, char** argv)
     if (config.raceCheck && config.engine != EngineKind::Sim)
         fatal("--race-check requires --engine=sim");
 
+    // Chaos-Sentry: seeded fault injection plus progress watchdogs.
+    const int chaosLevel = static_cast<int>(
+        args.getInt("chaos-level", args.has("chaos-seed") ? 1 : 0));
+    if (chaosLevel > 0) {
+        const auto seed =
+            static_cast<std::uint64_t>(args.getInt("chaos-seed", 1));
+        config.chaos = chaosPreset(chaosLevel, seed);
+        // Fault injection without a watchdog can hang the process on a
+        // genuine progress bug; always bound chaos runs.
+        config.watchdog.enabled = true;
+    }
+    if (args.has("watchdog") || args.has("watchdog-steps") ||
+        args.has("watchdog-cycles") || args.has("watchdog-wall"))
+        config.watchdog.enabled = true;
+    config.watchdog.maxSyncOps =
+        static_cast<std::uint64_t>(args.getInt("watchdog-steps", 0));
+    config.watchdog.maxVirtualCycles =
+        static_cast<VTime>(args.getInt("watchdog-cycles", 0));
+    config.watchdog.maxWallSeconds = args.getDouble("watchdog-wall", 0);
+
+    IsolateOptions iso;
+    iso.enabled = args.has("isolate");
+    iso.timeoutSeconds = args.getDouble("isolate-timeout", 0);
+    if (iso.enabled && config.raceCheck)
+        fatal("--isolate cannot carry Sync-Sentry reports across the "
+              "process boundary; drop one of --isolate/--race-check");
+
     // Forward everything else as benchmark parameters.
     static const std::vector<std::string> reserved = {
-        "threads", "suite",     "engine", "profile",
-        "detail",  "race-check", "csv",   "list"};
+        "threads",         "suite",           "engine",
+        "profile",         "detail",          "race-check",
+        "csv",             "list",            "chaos-level",
+        "chaos-seed",      "watchdog",        "watchdog-steps",
+        "watchdog-cycles", "watchdog-wall",   "isolate",
+        "isolate-timeout"};
     for (const char* key :
          {"keys", "bits", "seed", "bodies", "steps", "grid", "molecules",
           "size", "block", "rays", "width", "height", "volume",
@@ -149,19 +197,33 @@ main(int argc, char** argv)
         return 0;
     }
 
+    if (config.chaos.enabled) {
+        inform("chaos: level " + std::to_string(chaosLevel) + ", " +
+               config.chaos.describe() +
+               " (reproduce with --chaos-level=" +
+               std::to_string(chaosLevel) +
+               " --chaos-seed=" + std::to_string(config.chaos.seed) +
+               ")");
+    }
+
     Table table(runRowHeaders());
     bool race_clean = true;
-    bool all_verified = true;
-    for (const auto& name : selected) {
-        auto bench = makeBenchmark(name);
-        RunResult result = runBenchmark(*bench, config);
-        addRunRow(table, name, config, result);
+    std::vector<SuiteRow> rows = runSuite(selected, config, iso);
+    for (const auto& row : rows) {
+        const RunResult& result = row.result;
+        addRunRow(table, row.benchmark, config, result);
         if (args.has("detail"))
-            printRunDetail(name, config, result);
+            printRunDetail(row.benchmark, config, result);
         race_clean = printRaceReport(result) && race_clean;
-        if (!result.verified) {
-            all_verified = false;
-            warn(name + " failed verification: " + result.verifyMessage);
+        if (result.status != RunStatus::Ok &&
+            result.status != RunStatus::VerifyFailed) {
+            warn(row.benchmark + " failed: " + toString(result.status) +
+                 (result.statusDetail.empty()
+                      ? std::string()
+                      : "\n" + result.statusDetail));
+        } else if (!result.verified) {
+            warn(row.benchmark +
+                 " failed verification: " + result.verifyMessage);
         }
     }
     if (args.has("csv"))
@@ -172,7 +234,7 @@ main(int argc, char** argv)
         warn("race-check: violations detected (see reports above)");
         return 1;
     }
-    if (config.raceCheck && !all_verified)
-        return 1;
-    return 0;
+    // Any failed row (deadlock, livelock, timeout, crash, or failed
+    // verification) makes the whole invocation fail.
+    return suiteExitCode(rows);
 }

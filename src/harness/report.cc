@@ -9,8 +9,9 @@ namespace splash {
 std::vector<std::string>
 runRowHeaders()
 {
-    return {"benchmark", "suite",   "engine", "threads", "cycles",
-            "wall_s",    "barrier", "lock",   "atomic",  "verified"};
+    return {"benchmark", "suite", "engine",   "threads",
+            "cycles",    "wall_s", "barrier", "lock",
+            "atomic",    "verified", "status", "tries"};
 }
 
 void
@@ -26,7 +27,9 @@ addRunRow(Table& table, const std::string& benchName,
         .cell(result.totals.barrierCrossings)
         .cell(result.totals.lockAcquires)
         .cell(result.totals.atomicOps())
-        .cell(result.verified ? "yes" : "NO");
+        .cell(result.verified ? "yes" : "NO")
+        .cell(toString(result.status))
+        .cell(std::to_string(result.attempts));
     table.endRow();
 }
 
@@ -40,6 +43,10 @@ printRunDetail(const std::string& benchName, const RunConfig& config,
     if (config.engine == EngineKind::Sim)
         std::printf(", profile=%s", config.profile.c_str());
     std::printf("]\n");
+    std::printf("  status: %s (attempt %d)\n", toString(result.status),
+                result.attempts);
+    if (!result.statusDetail.empty())
+        std::printf("  detail: %s\n", result.statusDetail.c_str());
     std::printf("  verified: %s (%s)\n",
                 result.verified ? "yes" : "NO",
                 result.verifyMessage.c_str());

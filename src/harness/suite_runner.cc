@@ -1,0 +1,336 @@
+#include "harness/suite_runner.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "core/benchmark.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SPLASH_HAVE_FORK_ISOLATION 1
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define SPLASH_HAVE_FORK_ISOLATION 0
+#endif
+
+namespace splash {
+
+namespace {
+
+/** Escape newlines/backslashes so a value fits one key=value line. */
+std::string
+escapeValue(const std::string& value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+unescapeValue(const std::string& value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (std::size_t i = 0; i < value.size(); ++i) {
+        if (value[i] == '\\' && i + 1 < value.size()) {
+            ++i;
+            out += value[i] == 'n' ? '\n' : value[i];
+        } else {
+            out += value[i];
+        }
+    }
+    return out;
+}
+
+/**
+ * Wire format between the forked child and the parent: one key=value
+ * line per field, newline-escaped.  Only the fields the report layer
+ * consumes are carried; the per-thread breakdown stays in the child.
+ */
+std::string
+serializeResult(const RunResult& result)
+{
+    std::ostringstream os;
+    os << "status=" << static_cast<int>(result.status) << "\n";
+    os << "statusDetail=" << escapeValue(result.statusDetail) << "\n";
+    os << "verified=" << (result.verified ? 1 : 0) << "\n";
+    os << "verifyMessage=" << escapeValue(result.verifyMessage) << "\n";
+    os << "simCycles=" << result.simCycles << "\n";
+    os << "lineTransfers=" << result.lineTransfers << "\n";
+    os << "wallSeconds=" << result.wallSeconds << "\n";
+    os << "barrierCrossings=" << result.totals.barrierCrossings << "\n";
+    os << "lockAcquires=" << result.totals.lockAcquires << "\n";
+    os << "ticketOps=" << result.totals.ticketOps << "\n";
+    os << "sumOps=" << result.totals.sumOps << "\n";
+    os << "stackOps=" << result.totals.stackOps << "\n";
+    os << "flagOps=" << result.totals.flagOps << "\n";
+    os << "workUnits=" << result.totals.workUnits << "\n";
+    return os.str();
+}
+
+bool
+deserializeResult(const std::string& text, RunResult& result)
+{
+    bool sawStatus = false;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            continue;
+        const std::string key = line.substr(0, eq);
+        const std::string value = line.substr(eq + 1);
+        if (key == "status") {
+            result.status = static_cast<RunStatus>(std::atoi(value.c_str()));
+            sawStatus = true;
+        } else if (key == "statusDetail") {
+            result.statusDetail = unescapeValue(value);
+        } else if (key == "verified") {
+            result.verified = value == "1";
+        } else if (key == "verifyMessage") {
+            result.verifyMessage = unescapeValue(value);
+        } else if (key == "simCycles") {
+            result.simCycles = std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "lineTransfers") {
+            result.lineTransfers =
+                std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "wallSeconds") {
+            result.wallSeconds = std::atof(value.c_str());
+        } else if (key == "barrierCrossings") {
+            result.totals.barrierCrossings =
+                std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "lockAcquires") {
+            result.totals.lockAcquires =
+                std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "ticketOps") {
+            result.totals.ticketOps =
+                std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "sumOps") {
+            result.totals.sumOps =
+                std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "stackOps") {
+            result.totals.stackOps =
+                std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "flagOps") {
+            result.totals.flagOps =
+                std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "workUnits") {
+            result.totals.workUnits =
+                std::strtoull(value.c_str(), nullptr, 10);
+        }
+    }
+    return sawStatus;
+}
+
+/** Wall limit for one isolated attempt, in seconds. */
+double
+attemptTimeout(const RunConfig& config, const IsolateOptions& iso)
+{
+    if (iso.timeoutSeconds > 0)
+        return iso.timeoutSeconds;
+    const double wallBudget =
+        config.watchdog.enabled && config.watchdog.maxWallSeconds > 0
+            ? config.watchdog.maxWallSeconds
+            : kDefaultMaxWallSeconds;
+    // Grace on top of the in-process watchdog so the watchdog's
+    // Deadlock/Livelock classification normally wins over a blunt
+    // parent-side Timeout.
+    return wallBudget * 1.5 + 10.0;
+}
+
+#if SPLASH_HAVE_FORK_ISOLATION
+
+/** One fork-isolated attempt; never throws, never takes the suite down. */
+RunResult
+runIsolatedAttempt(const std::string& name, const RunConfig& config,
+                   const IsolateOptions& iso)
+{
+    int fds[2];
+    if (pipe(fds) != 0)
+        fatal("suite isolation: pipe() failed");
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid < 0)
+        fatal("suite isolation: fork() failed");
+
+    if (pid == 0) {
+        // Child: run the benchmark, ship the result up the pipe, and
+        // _exit without flushing the parent's duplicated buffers.
+        close(fds[0]);
+        RunResult result = runBenchmark(name, config);
+        const std::string wire = serializeResult(result);
+        std::size_t off = 0;
+        while (off < wire.size()) {
+            const ssize_t n =
+                write(fds[1], wire.data() + off, wire.size() - off);
+            if (n <= 0)
+                break;
+            off += static_cast<std::size_t>(n);
+        }
+        close(fds[1]);
+        _exit(0);
+    }
+
+    // Parent: drain the pipe until EOF or the attempt deadline.
+    close(fds[1]);
+    const double limit = attemptTimeout(config, iso);
+    double waited = 0.0;
+    bool timedOut = false;
+    std::string wire;
+    char buf[4096];
+    for (;;) {
+        struct pollfd pfd = {fds[0], POLLIN, 0};
+        const int ready = poll(&pfd, 1, 200 /* ms */);
+        if (ready > 0) {
+            const ssize_t n = read(fds[0], buf, sizeof(buf));
+            if (n <= 0)
+                break; // EOF: child finished (or died)
+            wire.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        waited += 0.2;
+        if (waited >= limit) {
+            timedOut = true;
+            kill(pid, SIGKILL);
+            break;
+        }
+    }
+    close(fds[0]);
+
+    int wstatus = 0;
+    while (waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+
+    RunResult result;
+    result.verified = false;
+    if (timedOut) {
+        result.status = RunStatus::Timeout;
+        std::ostringstream os;
+        os << "isolated run exceeded " << limit
+           << "s wall limit; child killed";
+        result.statusDetail = os.str();
+        result.verifyMessage = "skipped: run timeout";
+        return result;
+    }
+    if (WIFSIGNALED(wstatus)) {
+        result.status = RunStatus::Crash;
+        const int sig = WTERMSIG(wstatus);
+        std::ostringstream os;
+        os << "child killed by signal " << sig << " ("
+           << strsignal(sig) << ")";
+        result.statusDetail = os.str();
+        result.verifyMessage = "skipped: run crash";
+        return result;
+    }
+    const int code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
+    if (code == 0 && deserializeResult(wire, result))
+        return result;
+    const RunStatus decoded = watchdogExitStatus(code);
+    if (decoded != RunStatus::Ok) {
+        // Native watchdog fired inside the child and carried its
+        // classification out through the exit code.
+        result.status = decoded;
+        std::ostringstream os;
+        os << "native watchdog terminated the child (exit code " << code
+           << "); see its stderr dump above";
+        result.statusDetail = os.str();
+        result.verifyMessage =
+            std::string("skipped: run ") + toString(decoded);
+        return result;
+    }
+    result.status = RunStatus::Crash;
+    std::ostringstream os;
+    if (code == 0)
+        os << "child exited cleanly but sent a malformed result";
+    else
+        os << "child exited with code " << code;
+    result.statusDetail = os.str();
+    result.verifyMessage = "skipped: run crash";
+    return result;
+}
+
+#endif // SPLASH_HAVE_FORK_ISOLATION
+
+RunResult
+runOneAttempt(const std::string& name, const RunConfig& config,
+              const IsolateOptions& iso)
+{
+#if SPLASH_HAVE_FORK_ISOLATION
+    if (iso.enabled)
+        return runIsolatedAttempt(name, config, iso);
+#else
+    if (iso.enabled)
+        warn("suite isolation unavailable on this platform; running "
+             "in-process");
+#endif
+    return runBenchmark(name, config);
+}
+
+} // namespace
+
+RunResult
+runBenchmarkResilient(const std::string& name, const RunConfig& config,
+                      const IsolateOptions& iso)
+{
+    const int maxAttempts = iso.maxAttempts > 0 ? iso.maxAttempts : 1;
+    RunConfig attemptConfig = config;
+    RunResult result;
+    for (int attempt = 1;; ++attempt) {
+        result = runOneAttempt(name, attemptConfig, iso);
+        result.attempts = attempt;
+        if (result.ok() || attempt >= maxAttempts)
+            return result;
+        // Deterministic seeded retry: derive the next seed from the
+        // failing one so retries stay reproducible from the original.
+        if (attemptConfig.chaos.enabled) {
+            std::uint64_t seed = attemptConfig.chaos.seed;
+            attemptConfig.chaos.seed = Rng::splitmix64(seed);
+            inform(name + ": attempt " + std::to_string(attempt) +
+                   " failed (" + toString(result.status) +
+                   "); retrying with derived chaos seed " +
+                   std::to_string(attemptConfig.chaos.seed));
+        } else {
+            inform(name + ": attempt " + std::to_string(attempt) +
+                   " failed (" + toString(result.status) +
+                   "); retrying");
+        }
+    }
+}
+
+std::vector<SuiteRow>
+runSuite(const std::vector<std::string>& names, const RunConfig& config,
+         const IsolateOptions& iso)
+{
+    std::vector<SuiteRow> rows;
+    rows.reserve(names.size());
+    for (const auto& name : names)
+        rows.push_back({name, runBenchmarkResilient(name, config, iso)});
+    return rows;
+}
+
+int
+suiteExitCode(const std::vector<SuiteRow>& rows)
+{
+    for (const auto& row : rows) {
+        if (!row.result.ok())
+            return 1;
+    }
+    return 0;
+}
+
+} // namespace splash

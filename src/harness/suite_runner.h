@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Crash-isolated suite runs (Chaos-Sentry).
+ *
+ * A benchmark that segfaults, aborts, or trips the native watchdog
+ * must not take the whole suite invocation down with it.  In suite
+ * mode each benchmark can run in a forked child process; the parent
+ * decodes the child's fate (clean result, watchdog exit code, fatal
+ * signal, or overrunning the isolation timeout) into the benchmark's
+ * RunResult::status row and moves on to the next benchmark.  Failed
+ * runs get one deterministic seeded retry before their row is final.
+ */
+
+#ifndef SPLASH_HARNESS_SUITE_RUNNER_H
+#define SPLASH_HARNESS_SUITE_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace splash {
+
+/** Crash-isolation policy for suite-mode runs. */
+struct IsolateOptions
+{
+    /** Fork one child process per benchmark attempt (POSIX only). */
+    bool enabled = false;
+
+    /**
+     * Hard wall limit per attempt before the parent SIGKILLs the
+     * child and records a Timeout row.  Zero derives a limit from the
+     * watchdog wall budget (plus grace) so the in-process watchdog
+     * normally fires first with a better classification.
+     */
+    double timeoutSeconds = 0;
+
+    /** Total attempts per benchmark: 1 initial + seeded retries. */
+    int maxAttempts = 2;
+};
+
+/** One row of a suite run. */
+struct SuiteRow
+{
+    std::string benchmark;
+    RunResult result;
+};
+
+/**
+ * Run one benchmark under the isolation policy.  Failed attempts
+ * (any non-Ok status) are retried up to IsolateOptions::maxAttempts
+ * times with a deterministically derived chaos seed; the returned
+ * result is the last attempt's, with RunResult::attempts recording
+ * how many were consumed.  With isolation disabled this degrades to
+ * runBenchmark() plus the retry loop.
+ */
+RunResult runBenchmarkResilient(const std::string& name,
+                                const RunConfig& config,
+                                const IsolateOptions& iso);
+
+/** Run every named benchmark; a failing row never stops the suite. */
+std::vector<SuiteRow> runSuite(const std::vector<std::string>& names,
+                               const RunConfig& config,
+                               const IsolateOptions& iso);
+
+/** Aggregate exit code: 0 iff every row's status is RunStatus::Ok. */
+int suiteExitCode(const std::vector<SuiteRow>& rows);
+
+} // namespace splash
+
+#endif // SPLASH_HARNESS_SUITE_RUNNER_H

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "sync/chaos_hook.h"
 #include "sync/spinlock.h"
 
 namespace splash {
@@ -25,12 +26,17 @@ inline double
 atomicAddDouble(std::atomic<double>& target, double delta)
 {
     double expected = target.load(std::memory_order_relaxed);
-    while (!target.compare_exchange_weak(expected, expected + delta,
+    for (;;) {
+        if (sync_chaos::forcedCasFail()) {
+            expected = target.load(std::memory_order_relaxed);
+            continue;
+        }
+        if (target.compare_exchange_weak(expected, expected + delta,
                                          std::memory_order_acq_rel,
-                                         std::memory_order_relaxed)) {
+                                         std::memory_order_relaxed))
+            return expected;
         // expected reloaded by compare_exchange_weak
     }
-    return expected;
 }
 
 /** CAS-loop min on an atomic double. */
@@ -38,10 +44,15 @@ inline void
 atomicMinDouble(std::atomic<double>& target, double value)
 {
     double expected = target.load(std::memory_order_relaxed);
-    while (value < expected &&
-           !target.compare_exchange_weak(expected, value,
+    while (value < expected) {
+        if (sync_chaos::forcedCasFail()) {
+            expected = target.load(std::memory_order_relaxed);
+            continue;
+        }
+        if (target.compare_exchange_weak(expected, value,
                                          std::memory_order_acq_rel,
-                                         std::memory_order_relaxed)) {
+                                         std::memory_order_relaxed))
+            return;
     }
 }
 
@@ -50,10 +61,15 @@ inline void
 atomicMaxDouble(std::atomic<double>& target, double value)
 {
     double expected = target.load(std::memory_order_relaxed);
-    while (value > expected &&
-           !target.compare_exchange_weak(expected, value,
+    while (value > expected) {
+        if (sync_chaos::forcedCasFail()) {
+            expected = target.load(std::memory_order_relaxed);
+            continue;
+        }
+        if (target.compare_exchange_weak(expected, value,
                                          std::memory_order_acq_rel,
-                                         std::memory_order_relaxed)) {
+                                         std::memory_order_relaxed))
+            return;
     }
 }
 

@@ -1,0 +1,65 @@
+#include "sync/chaos_hook.h"
+
+#include "util/rng.h"
+
+namespace splash {
+namespace sync_chaos {
+
+std::atomic<std::uint32_t> casFailPermille{0};
+
+namespace {
+
+std::atomic<std::uint64_t> masterSeed{0};
+std::atomic<std::uint64_t> epoch{0};
+std::atomic<std::uint64_t> threadCounter{0};
+
+/** Per-thread stream, reseeded whenever configure() bumps the epoch. */
+struct ThreadStream
+{
+    Rng rng{0};
+    std::uint64_t seenEpoch = ~0ull;
+};
+
+ThreadStream&
+stream()
+{
+    thread_local ThreadStream ts;
+    const std::uint64_t e = epoch.load(std::memory_order_acquire);
+    if (ts.seenEpoch != e) {
+        ts.seenEpoch = e;
+        std::uint64_t mix =
+            masterSeed.load(std::memory_order_acquire) ^
+            (threadCounter.fetch_add(1, std::memory_order_relaxed) *
+             0x9e3779b97f4a7c15ULL);
+        ts.rng.reseed(Rng::splitmix64(mix));
+    }
+    return ts;
+}
+
+} // namespace
+
+bool
+drawForcedFail(std::uint32_t permille)
+{
+    return stream().rng.below(1000) < permille;
+}
+
+void
+configure(std::uint64_t seed, std::uint32_t permille)
+{
+    masterSeed.store(seed, std::memory_order_release);
+    threadCounter.store(0, std::memory_order_relaxed);
+    epoch.fetch_add(1, std::memory_order_acq_rel);
+    casFailPermille.store(permille > 1000 ? 1000 : permille,
+                          std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    casFailPermille.store(0, std::memory_order_relaxed);
+    epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+} // namespace sync_chaos
+} // namespace splash

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Forced CAS-failure injection for the native lock-free primitives.
+ *
+ * Lock-free progress properties only manifest on the retry paths that
+ * contention exercises; on a quiet machine a compare_exchange_weak
+ * loop may never fail, leaving those paths untested.  This hook lets
+ * the native engine (and the sync tests) force a seeded fraction of
+ * CAS/RMW attempts to fail, driving every retry loop deterministically
+ * hard without changing the primitives' semantics.
+ *
+ * The fast path is a single relaxed atomic load; with injection
+ * disabled (the default) the perturbation cost is one predictable
+ * branch per attempt.  Configuration is process-wide and intended to
+ * bracket a run (the native engine sets it from RunConfig::chaos and
+ * resets afterwards); each host thread draws from its own RNG stream
+ * derived from the master seed.
+ */
+
+#ifndef SPLASH_SYNC_CHAOS_HOOK_H
+#define SPLASH_SYNC_CHAOS_HOOK_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace splash {
+namespace sync_chaos {
+
+/** Per-mille probability of forcing an attempt to fail (0=off). */
+extern std::atomic<std::uint32_t> casFailPermille;
+
+/** Slow path: per-thread seeded draw. Do not call directly. */
+bool drawForcedFail(std::uint32_t permille);
+
+/**
+ * True when this CAS/RMW attempt must be treated as failed.  Called
+ * by the lock-free primitives at the top of each retry iteration.
+ */
+inline bool
+forcedCasFail()
+{
+    const std::uint32_t permille =
+        casFailPermille.load(std::memory_order_relaxed);
+    if (permille == 0)
+        return false;
+    return drawForcedFail(permille);
+}
+
+/**
+ * Enable injection: fail @p permille out of 1000 attempts, with
+ * per-thread RNG streams derived from @p seed.
+ */
+void configure(std::uint64_t seed, std::uint32_t permille);
+
+/** Disable injection and reset the thread streams. */
+void reset();
+
+} // namespace sync_chaos
+} // namespace splash
+
+#endif // SPLASH_SYNC_CHAOS_HOOK_H

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sync/chaos_hook.h"
 #include "util/log.h"
 
 namespace splash {
@@ -43,6 +44,10 @@ class LockFreeStack
         nodes_[node].value.store(value, std::memory_order_relaxed);
         std::uint64_t old_head = head_.load(std::memory_order_acquire);
         for (;;) {
+            if (sync_chaos::forcedCasFail()) {
+                old_head = head_.load(std::memory_order_acquire);
+                continue;
+            }
             nodes_[node].next.store(index(old_head),
                                     std::memory_order_relaxed);
             const std::uint64_t new_head = pack(node, tag(old_head) + 1);
@@ -60,6 +65,10 @@ class LockFreeStack
     {
         std::uint64_t old_head = head_.load(std::memory_order_acquire);
         for (;;) {
+            if (sync_chaos::forcedCasFail()) {
+                old_head = head_.load(std::memory_order_acquire);
+                continue;
+            }
             const std::uint32_t node = index(old_head);
             if (node == kNil)
                 return false;
@@ -118,6 +127,10 @@ class LockFreeStack
     {
         std::uint64_t old_head = freeHead_.load(std::memory_order_acquire);
         for (;;) {
+            if (sync_chaos::forcedCasFail()) {
+                old_head = freeHead_.load(std::memory_order_acquire);
+                continue;
+            }
             const std::uint32_t node = index(old_head);
             if (node == kNil)
                 return kNil;
@@ -137,6 +150,10 @@ class LockFreeStack
     {
         std::uint64_t old_head = freeHead_.load(std::memory_order_acquire);
         for (;;) {
+            if (sync_chaos::forcedCasFail()) {
+                old_head = freeHead_.load(std::memory_order_acquire);
+                continue;
+            }
             nodes_[node].next.store(index(old_head),
                                     std::memory_order_relaxed);
             const std::uint64_t new_head = pack(node, tag(old_head) + 1);

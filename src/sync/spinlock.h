@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "sync/chaos_hook.h"
+
 namespace splash {
 
 /** Relax the CPU inside a spin loop. */
@@ -56,8 +58,12 @@ class TasLock
     lock()
     {
         SpinWait waiter;
-        while (flag_.exchange(true, std::memory_order_acquire))
+        for (;;) {
+            if (!sync_chaos::forcedCasFail() &&
+                !flag_.exchange(true, std::memory_order_acquire))
+                return;
             waiter.spin();
+        }
     }
 
     bool tryLock() { return !flag_.exchange(true,
@@ -80,8 +86,10 @@ class TtasLock
         for (;;) {
             while (flag_.load(std::memory_order_relaxed))
                 waiter.spin();
-            if (!flag_.exchange(true, std::memory_order_acquire))
+            if (!sync_chaos::forcedCasFail() &&
+                !flag_.exchange(true, std::memory_order_acquire))
                 return;
+            waiter.spin();
         }
     }
 

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Chaos-Sentry determinism: a given {seed, level} must reproduce the
+ * exact same perturbed schedule, and the perturbations must never
+ * break correctness of the lock-free suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/chaos.h"
+#include "engine/engine.h"
+#include "engine/sim_engine.h"
+#include "harness/suite.h"
+#include "sim/machine.h"
+
+namespace splash {
+namespace {
+
+/** A mixed workload touching every primitive kind. */
+struct MixedWorkload
+{
+    World world;
+    BarrierHandle bar;
+    LockHandle lock;
+    TicketHandle ticket;
+    SumHandle sum;
+    StackHandle stack;
+    FlagHandle flag;
+
+    explicit MixedWorkload(int threads, SuiteVersion suite)
+        : world(threads, suite)
+    {
+        bar = world.createBarrier();
+        lock = world.createLock();
+        ticket = world.createTicket();
+        sum = world.createSum();
+        stack = world.createStack(1024);
+        flag = world.createFlag();
+    }
+
+    void
+    body(Context& ctx)
+    {
+        for (int round = 0; round < 5; ++round) {
+            ctx.work(50 + 13 * ctx.tid());
+            ctx.ticketNext(ticket);
+            ctx.sumAdd(sum, 1.0 + ctx.tid());
+            ctx.lockAcquire(lock);
+            ctx.work(5);
+            ctx.lockRelease(lock);
+            ctx.stackPush(stack, static_cast<std::uint32_t>(
+                                     ctx.tid() * 100 + round));
+            ctx.barrier(bar);
+            std::uint32_t v;
+            ctx.stackPop(stack, v);
+            if (round == 2) {
+                if (ctx.tid() == 0)
+                    ctx.flagSet(flag);
+                else
+                    ctx.flagWait(flag);
+            }
+            ctx.barrier(bar);
+        }
+    }
+};
+
+EngineOutcome
+runChaotic(int threads, int level, std::uint64_t seed)
+{
+    MixedWorkload w(threads, SuiteVersion::Splash4);
+    SimOptions options;
+    options.chaos = chaosPreset(level, seed);
+    options.watchdog.enabled = true;
+    SimEngine engine(w.world, machineProfile("test4"), options);
+    return engine.run([&](Context& ctx) { w.body(ctx); });
+}
+
+TEST(Chaos, SameSeedIsBitIdenticalAtEveryLevel)
+{
+    for (int level = 1; level <= 3; ++level) {
+        const auto first = runChaotic(8, level, 0xDEADBEEF);
+        EXPECT_EQ(first.status, RunStatus::Ok) << "level " << level;
+        for (int rep = 0; rep < 3; ++rep) {
+            const auto again = runChaotic(8, level, 0xDEADBEEF);
+            EXPECT_EQ(again.makespan, first.makespan)
+                << "level " << level;
+            EXPECT_EQ(again.lineTransfers, first.lineTransfers)
+                << "level " << level;
+        }
+    }
+}
+
+TEST(Chaos, DifferentSeedsPerturbDifferently)
+{
+    std::set<VTime> makespans;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed)
+        makespans.insert(runChaotic(8, 3, seed).makespan);
+    // Six seeds of storm-level injection must not all collapse onto
+    // one schedule.
+    EXPECT_GT(makespans.size(), 1u);
+}
+
+TEST(Chaos, InjectionCostsVirtualTime)
+{
+    MixedWorkload clean(8, SuiteVersion::Splash4);
+    SimEngine cleanEngine(clean.world, machineProfile("test4"));
+    const auto baseline =
+        cleanEngine.run([&](Context& ctx) { clean.body(ctx); });
+
+    const auto stormy = runChaotic(8, 3, 42);
+    EXPECT_EQ(stormy.status, RunStatus::Ok);
+    // Forced retries, injected delays, and skewed starts all charge
+    // cycles; a storm run can only be slower than the clean one.
+    EXPECT_GT(stormy.makespan, baseline.makespan);
+}
+
+class ChaosBenchmarks : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { registerAllBenchmarks(); }
+};
+
+TEST_F(ChaosBenchmarks, KernelsVerifyUnderStorm)
+{
+    for (const char* name : {"fft", "radix", "lu"}) {
+        RunConfig config;
+        config.threads = 4;
+        config.engine = EngineKind::Sim;
+        config.suite = SuiteVersion::Splash4;
+        config.profile = "test4";
+        config.chaos = chaosPreset(3, 0xFEED);
+        config.watchdog.enabled = true;
+        RunResult result = runBenchmark(name, config);
+        EXPECT_EQ(result.status, RunStatus::Ok) << name;
+        EXPECT_TRUE(result.verified)
+            << name << ": " << result.verifyMessage;
+    }
+}
+
+TEST(Chaos, PresetsScaleWithLevel)
+{
+    EXPECT_FALSE(chaosPreset(0, 1).enabled);
+    const auto mild = chaosPreset(1, 1);
+    const auto aggressive = chaosPreset(2, 1);
+    const auto storm = chaosPreset(3, 1);
+    EXPECT_TRUE(mild.enabled);
+    EXPECT_LT(mild.casFailProb, aggressive.casFailProb);
+    EXPECT_LT(aggressive.casFailProb, storm.casFailProb);
+    EXPECT_LT(mild.syncDelayMax, storm.syncDelayMax);
+    EXPECT_EQ(storm.seed, 1u);
+}
+
+TEST(Chaos, WatchdogExitCodesRoundTrip)
+{
+    for (const RunStatus status :
+         {RunStatus::Deadlock, RunStatus::Livelock, RunStatus::Timeout,
+          RunStatus::Crash}) {
+        EXPECT_EQ(watchdogExitStatus(watchdogExitCode(status)), status);
+    }
+    EXPECT_EQ(watchdogExitStatus(0), RunStatus::Ok);
+    EXPECT_EQ(watchdogExitStatus(1), RunStatus::Ok);
+    EXPECT_EQ(watchdogExitStatus(139), RunStatus::Ok);
+}
+
+} // namespace
+} // namespace splash

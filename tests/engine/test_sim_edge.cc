@@ -14,27 +14,25 @@ const MachineProfile& prof()
 
 TEST(SimEdge, DeadlockIsDetectedAndReported)
 {
-    // FLAGS_ spelling: works on googletest back to 1.10, unlike the
-    // GTEST_FLAG_SET macro (1.12+).
-    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     // Thread 0 takes the lock and never releases; thread 1 blocks on
-    // it forever after thread 0 finishes -> the machine must panic
-    // with a deadlock dump instead of hanging.
-    EXPECT_DEATH(
-        {
-            World world(2, SuiteVersion::Splash4);
-            auto lock = world.createLock();
-            SimEngine engine(world, prof());
-            engine.run([&](Context& ctx) {
-                if (ctx.tid() == 0) {
-                    ctx.lockAcquire(lock);
-                } else {
-                    ctx.work(100);
-                    ctx.lockAcquire(lock);
-                }
-            });
-        },
-        "deadlock");
+    // it forever after thread 0 finishes -> the machine must return a
+    // structured Deadlock outcome with a per-thread dump instead of
+    // hanging or panicking.
+    World world(2, SuiteVersion::Splash4);
+    auto lock = world.createLock();
+    SimEngine engine(world, prof());
+    auto outcome = engine.run([&](Context& ctx) {
+        if (ctx.tid() == 0) {
+            ctx.lockAcquire(lock);
+        } else {
+            ctx.work(100);
+            ctx.lockAcquire(lock);
+        }
+    });
+    EXPECT_EQ(outcome.status, RunStatus::Deadlock);
+    EXPECT_NE(outcome.statusDetail.find("no runnable thread"),
+              std::string::npos);
+    EXPECT_NE(outcome.statusDetail.find("t1 "), std::string::npos);
 }
 
 TEST(SimEdge, MaxThreadsSupported)

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Watchdog classification fixtures: planted deadlocks, livelocks, and
+ * budget blowouts must come back as structured RunStatus values (sim)
+ * or the documented watchdog exit codes (native death tests) instead
+ * of hanging the process.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/chaos.h"
+#include "engine/engine.h"
+#include "engine/native_engine.h"
+#include "engine/sim_engine.h"
+#include "sim/machine.h"
+
+namespace splash {
+namespace {
+
+const MachineProfile&
+prof()
+{
+    return machineProfile("test4");
+}
+
+TEST(Watchdog, SimDeadlockClassifiedWithTraceDump)
+{
+    World world(2, SuiteVersion::Splash4);
+    auto lock = world.createLock();
+    SimOptions options;
+    options.watchdog.enabled = true;
+    SimEngine engine(world, prof(), options);
+    auto outcome = engine.run([&](Context& ctx) {
+        if (ctx.tid() == 0) {
+            ctx.lockAcquire(lock);
+        } else {
+            ctx.work(100);
+            ctx.lockAcquire(lock);
+        }
+    });
+    EXPECT_EQ(outcome.status, RunStatus::Deadlock);
+    // With the watchdog attached the dump carries each thread's recent
+    // sync trace for post-mortem debugging.
+    EXPECT_NE(outcome.statusDetail.find("lock-acq"), std::string::npos)
+        << outcome.statusDetail;
+}
+
+TEST(Watchdog, SimLivelockBudgetClassified)
+{
+    World world(2, SuiteVersion::Splash4);
+    auto ticket = world.createTicket();
+    SimOptions options;
+    options.watchdog.enabled = true;
+    options.watchdog.maxSyncOps = 5000;
+    SimEngine engine(world, prof(), options);
+    // Sync ops keep flowing but the run never ends: a livelock.
+    auto outcome = engine.run([&](Context& ctx) {
+        for (;;)
+            ctx.ticketNext(ticket);
+    });
+    EXPECT_EQ(outcome.status, RunStatus::Livelock);
+    EXPECT_NE(outcome.statusDetail.find("sync-op budget"),
+              std::string::npos)
+        << outcome.statusDetail;
+}
+
+TEST(Watchdog, SimVirtualTimeBudgetClassified)
+{
+    World world(2, SuiteVersion::Splash4);
+    auto ticket = world.createTicket();
+    SimOptions options;
+    options.watchdog.enabled = true;
+    options.watchdog.maxVirtualCycles = 10'000'000;
+    SimEngine engine(world, prof(), options);
+    auto outcome = engine.run([&](Context& ctx) {
+        for (;;) {
+            ctx.work(1'000'000);
+            ctx.ticketNext(ticket);
+        }
+    });
+    EXPECT_EQ(outcome.status, RunStatus::Timeout);
+    EXPECT_NE(outcome.statusDetail.find("virtual-time budget"),
+              std::string::npos)
+        << outcome.statusDetail;
+}
+
+TEST(Watchdog, SimCleanRunUnaffectedByBudgets)
+{
+    World world(4, SuiteVersion::Splash4);
+    auto bar = world.createBarrier();
+    SimOptions options;
+    options.watchdog.enabled = true;
+    SimEngine engine(world, prof(), options);
+    auto outcome = engine.run([&](Context& ctx) {
+        for (int i = 0; i < 10; ++i) {
+            ctx.work(100);
+            ctx.barrier(bar);
+        }
+    });
+    EXPECT_EQ(outcome.status, RunStatus::Ok);
+    EXPECT_TRUE(outcome.statusDetail.empty());
+}
+
+TEST(Watchdog, NativeFrozenHangExitsAsDeadlock)
+{
+    // FLAGS_ spelling: works on googletest back to 1.10, unlike the
+    // GTEST_FLAG_SET macro (1.12+).
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // Thread 1 spins on a flag nobody sets: progress freezes and the
+    // wall watchdog must terminate the process with the Deadlock exit
+    // code instead of hanging the suite.
+    EXPECT_EXIT(
+        {
+            World world(2, SuiteVersion::Splash4);
+            auto flag = world.createFlag();
+            NativeOptions options;
+            options.watchdog.enabled = true;
+            options.watchdog.maxWallSeconds = 1.0;
+            NativeEngine engine(world, options);
+            engine.run([&](Context& ctx) {
+                if (ctx.tid() == 1)
+                    ctx.flagWait(flag);
+            });
+        },
+        ::testing::ExitedWithCode(
+            watchdogExitCode(RunStatus::Deadlock)),
+        "watchdog");
+}
+
+TEST(Watchdog, NativeBusyHangExitsAsLivelock)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // Sync operations keep completing forever: the watchdog sees the
+    // progress counter still moving and classifies a livelock.
+    EXPECT_EXIT(
+        {
+            World world(2, SuiteVersion::Splash4);
+            auto ticket = world.createTicket();
+            NativeOptions options;
+            options.watchdog.enabled = true;
+            options.watchdog.maxWallSeconds = 1.0;
+            NativeEngine engine(world, options);
+            engine.run([&](Context& ctx) {
+                for (;;)
+                    ctx.ticketNext(ticket);
+            });
+        },
+        ::testing::ExitedWithCode(
+            watchdogExitCode(RunStatus::Livelock)),
+        "watchdog");
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Crash-isolated suite runs: planted deadlocking, verify-failing, and
+ * crashing benchmarks must become per-benchmark failure rows while the
+ * rest of the suite completes, and the aggregate exit code must go
+ * nonzero.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/benchmark.h"
+#include "engine/engine.h"
+#include "harness/suite_runner.h"
+
+namespace splash {
+namespace {
+
+/** Boilerplate base for the planted fixtures. */
+class PlantedBenchmark : public Benchmark
+{
+  public:
+    std::string
+    description() const override
+    {
+        return "planted suite-runner fixture";
+    }
+    std::string inputDescription() const override { return "none"; }
+    bool
+    verify(std::string& message) override
+    {
+        message = "planted ok";
+        return true;
+    }
+};
+
+/** Completes and verifies. */
+class OkBenchmark : public PlantedBenchmark
+{
+  public:
+    std::string name() const override { return "zz-ok"; }
+    void
+    setup(World& world, const Params&) override
+    {
+        bar_ = world.createBarrier();
+    }
+    void
+    run(Context& ctx) override
+    {
+        ctx.work(10);
+        ctx.barrier(bar_);
+    }
+
+  private:
+    BarrierHandle bar_;
+};
+
+/** Completes but fails its self-check. */
+class VerifyFailBenchmark : public OkBenchmark
+{
+  public:
+    std::string name() const override { return "zz-verifyfail"; }
+    bool
+    verify(std::string& message) override
+    {
+        message = "planted verification failure";
+        return false;
+    }
+};
+
+/** Thread 0 keeps the lock forever; everyone else blocks on it. */
+class DeadlockBenchmark : public PlantedBenchmark
+{
+  public:
+    std::string name() const override { return "zz-deadlock"; }
+    void
+    setup(World& world, const Params&) override
+    {
+        lock_ = world.createLock();
+    }
+    void
+    run(Context& ctx) override
+    {
+        if (ctx.tid() == 0) {
+            ctx.lockAcquire(lock_);
+        } else {
+            ctx.work(100);
+            ctx.lockAcquire(lock_);
+        }
+    }
+
+  private:
+    LockHandle lock_;
+};
+
+/** Aborts the process mid-run (only sane under fork isolation). */
+class CrashBenchmark : public PlantedBenchmark
+{
+  public:
+    std::string name() const override { return "zz-crash"; }
+    void
+    setup(World& world, const Params&) override
+    {
+        bar_ = world.createBarrier();
+    }
+    void
+    run(Context& ctx) override
+    {
+        ctx.barrier(bar_);
+        if (ctx.tid() == 0)
+            std::abort();
+        ctx.barrier(bar_);
+    }
+
+  private:
+    BarrierHandle bar_;
+};
+
+void
+ensurePlantedRegistered()
+{
+    static const bool done = [] {
+        registerBenchmark("zz-ok",
+                          [] { return std::make_unique<OkBenchmark>(); });
+        registerBenchmark("zz-verifyfail", [] {
+            return std::make_unique<VerifyFailBenchmark>();
+        });
+        registerBenchmark("zz-deadlock", [] {
+            return std::make_unique<DeadlockBenchmark>();
+        });
+        registerBenchmark("zz-crash", [] {
+            return std::make_unique<CrashBenchmark>();
+        });
+        return true;
+    }();
+    (void)done;
+}
+
+RunConfig
+simConfig()
+{
+    RunConfig config;
+    config.threads = 4;
+    config.engine = EngineKind::Sim;
+    config.suite = SuiteVersion::Splash4;
+    config.profile = "test4";
+    config.watchdog.enabled = true;
+    return config;
+}
+
+TEST(SuiteRunner, DeadlockRowDoesNotStopTheSuite)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.maxAttempts = 1;
+    const auto rows =
+        runSuite({"zz-deadlock", "zz-ok"}, simConfig(), iso);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].result.status, RunStatus::Deadlock);
+    EXPECT_FALSE(rows[0].result.verified);
+    EXPECT_EQ(rows[1].result.status, RunStatus::Ok);
+    EXPECT_TRUE(rows[1].result.verified);
+    EXPECT_EQ(suiteExitCode(rows), 1);
+}
+
+TEST(SuiteRunner, VerifyFailureFailsTheSuiteAfterRetry)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso; // default: one seeded retry
+    const auto rows = runSuite({"zz-verifyfail"}, simConfig(), iso);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].result.status, RunStatus::VerifyFailed);
+    EXPECT_EQ(rows[0].result.attempts, 2);
+    EXPECT_EQ(suiteExitCode(rows), 1);
+}
+
+TEST(SuiteRunner, AllOkRowsExitZero)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    const auto rows = runSuite({"zz-ok"}, simConfig(), iso);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_TRUE(rows[0].result.ok());
+    EXPECT_EQ(rows[0].result.attempts, 1);
+    EXPECT_EQ(suiteExitCode(rows), 0);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+TEST(SuiteRunner, IsolationRoundTripsACleanResult)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    RunConfig config = simConfig();
+    const RunResult result =
+        runBenchmarkResilient("zz-ok", config, iso);
+    EXPECT_EQ(result.status, RunStatus::Ok);
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.verifyMessage, "planted ok");
+    // Stats survive the pipe: one barrier crossing per thread.
+    EXPECT_EQ(result.totals.barrierCrossings,
+              static_cast<std::uint64_t>(config.threads));
+    EXPECT_GT(result.simCycles, 0u);
+}
+
+TEST(SuiteRunner, IsolationCapturesACrashAndMovesOn)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    iso.maxAttempts = 1;
+    RunConfig config = simConfig();
+    config.engine = EngineKind::Native;
+    config.threads = 2;
+    const auto rows = runSuite({"zz-crash", "zz-ok"}, config, iso);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].result.status, RunStatus::Crash);
+    EXPECT_NE(rows[0].result.statusDetail.find("signal"),
+              std::string::npos)
+        << rows[0].result.statusDetail;
+    EXPECT_EQ(rows[1].result.status, RunStatus::Ok);
+    EXPECT_EQ(suiteExitCode(rows), 1);
+}
+
+TEST(SuiteRunner, IsolationDecodesTheNativeWatchdogExit)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    iso.maxAttempts = 1;
+    RunConfig config;
+    config.threads = 2;
+    config.engine = EngineKind::Native;
+    config.suite = SuiteVersion::Splash4;
+    config.watchdog.enabled = true;
+    config.watchdog.maxWallSeconds = 1.0;
+    const RunResult result =
+        runBenchmarkResilient("zz-deadlock", config, iso);
+    EXPECT_EQ(result.status, RunStatus::Deadlock);
+    EXPECT_NE(result.statusDetail.find("watchdog"), std::string::npos)
+        << result.statusDetail;
+}
+
+#endif // fork isolation
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Forced CAS-failure storms: every lock-free primitive must stay
+ * correct when a seeded majority of its CAS/RMW attempts are forced
+ * onto the retry path by the sync_chaos hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sync/atomic_reduction.h"
+#include "sync/chaos_hook.h"
+#include "sync/lockfree_stack.h"
+#include "sync/spinlock.h"
+
+namespace splash {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kOpsPerThread = 5000;
+
+/** Storm fixture: 60% of CAS attempts forced to fail, seeded. */
+class ChaosSyncTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { sync_chaos::configure(0xC0FFEE, 600); }
+    void TearDown() override { sync_chaos::reset(); }
+
+    template <typename Fn>
+    void
+    inParallel(Fn&& fn)
+    {
+        std::vector<std::thread> threads;
+        for (int tid = 0; tid < kThreads; ++tid)
+            threads.emplace_back([&fn, tid] { fn(tid); });
+        for (auto& t : threads)
+            t.join();
+    }
+};
+
+TEST_F(ChaosSyncTest, AtomicAddExactUnderStorm)
+{
+    std::atomic<double> sum{0.0};
+    inParallel([&](int) {
+        for (int i = 0; i < kOpsPerThread; ++i)
+            atomicAddDouble(sum, 1.0);
+    });
+    EXPECT_EQ(sum.load(), double(kThreads) * kOpsPerThread);
+}
+
+TEST_F(ChaosSyncTest, AtomicMinMaxExactUnderStorm)
+{
+    std::atomic<double> lo{1e30};
+    std::atomic<double> hi{-1e30};
+    inParallel([&](int tid) {
+        for (int i = 0; i < kOpsPerThread; ++i) {
+            const double v = tid * kOpsPerThread + i;
+            atomicMinDouble(lo, v);
+            atomicMaxDouble(hi, v);
+        }
+    });
+    EXPECT_EQ(lo.load(), 0.0);
+    EXPECT_EQ(hi.load(), double(kThreads) * kOpsPerThread - 1);
+}
+
+TEST_F(ChaosSyncTest, LockFreeStackPreservesValuesUnderStorm)
+{
+    LockFreeStack stack(kThreads * kOpsPerThread);
+    inParallel([&](int tid) {
+        for (int i = 0; i < kOpsPerThread; ++i) {
+            ASSERT_TRUE(stack.push(static_cast<std::uint32_t>(
+                tid * kOpsPerThread + i)));
+        }
+    });
+
+    std::vector<std::vector<std::uint32_t>> popped(kThreads);
+    inParallel([&](int tid) {
+        std::uint32_t v;
+        for (int i = 0; i < kOpsPerThread; ++i) {
+            ASSERT_TRUE(stack.pop(v));
+            popped[tid].push_back(v);
+        }
+    });
+
+    std::vector<std::uint32_t> all;
+    for (const auto& part : popped)
+        all.insert(all.end(), part.begin(), part.end());
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(all.size(),
+              static_cast<std::size_t>(kThreads) * kOpsPerThread);
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i], i) << "value lost or duplicated";
+    std::uint32_t v;
+    EXPECT_FALSE(stack.pop(v));
+}
+
+TEST_F(ChaosSyncTest, TasLockMutualExclusionUnderStorm)
+{
+    TasLock lock;
+    long long counter = 0;
+    inParallel([&](int) {
+        for (int i = 0; i < kOpsPerThread; ++i) {
+            lock.lock();
+            ++counter;
+            lock.unlock();
+        }
+    });
+    EXPECT_EQ(counter, static_cast<long long>(kThreads) * kOpsPerThread);
+}
+
+TEST_F(ChaosSyncTest, TtasLockMutualExclusionUnderStorm)
+{
+    TtasLock lock;
+    long long counter = 0;
+    inParallel([&](int) {
+        for (int i = 0; i < kOpsPerThread; ++i) {
+            lock.lock();
+            ++counter;
+            lock.unlock();
+        }
+    });
+    EXPECT_EQ(counter, static_cast<long long>(kThreads) * kOpsPerThread);
+}
+
+TEST(ChaosHook, DisabledInjectsNothing)
+{
+    sync_chaos::reset();
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_FALSE(sync_chaos::forcedCasFail());
+}
+
+TEST(ChaosHook, DrawRateTracksConfiguredPermille)
+{
+    sync_chaos::configure(0xABCD, 500);
+    int fails = 0;
+    for (int i = 0; i < 10000; ++i)
+        fails += sync_chaos::forcedCasFail() ? 1 : 0;
+    sync_chaos::reset();
+    EXPECT_GT(fails, 4000);
+    EXPECT_LT(fails, 6000);
+}
+
+TEST(ChaosHook, SameSeedSameDrawSequence)
+{
+    std::vector<bool> first;
+    sync_chaos::configure(0x1234, 300);
+    for (int i = 0; i < 256; ++i)
+        first.push_back(sync_chaos::forcedCasFail());
+    sync_chaos::reset();
+
+    sync_chaos::configure(0x1234, 300);
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(sync_chaos::forcedCasFail(), first[i]) << "draw " << i;
+    sync_chaos::reset();
+}
+
+} // namespace
+} // namespace splash
