@@ -9,7 +9,17 @@
  * linearly with waiter count for the condvar design (serialized
  * wakeups + mutex re-acquisition) but only with the arrival fetch&add
  * chain for the atomic design.
+ *
+ * --native switches to host wall-clock mode: the same barrier loop on
+ * real std::threads, plus a padded-vs-unpadded sense barrier pair that
+ * isolates the false-sharing fix in SenseBarrier (alignas(64) between
+ * the arrival counter and the generation word every waiter spins on).
+ * The "sense-shared" column replicates the pre-fix layout.
  */
+
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "experiment_common.h"
 
@@ -38,6 +48,147 @@ barrierLoopCycles(SuiteVersion suite, const std::string& profile,
         .makespan;
 }
 
+/** Same loop on the native engine; host ns per crossing. */
+double
+barrierLoopWallNs(SuiteVersion suite, int threads, int crossings,
+                  BarrierKind kind = BarrierKind::Auto)
+{
+    World world(threads, suite);
+    auto bar = world.createBarrier(kind);
+    RunConfig config;
+    config.threads = threads;
+    config.suite = suite;
+    config.engine = EngineKind::Native;
+    auto engine = makeEngine(world, config);
+    const EngineOutcome outcome =
+        engine->run([&](Context& ctx) {
+            for (int i = 0; i < crossings; ++i)
+                ctx.barrier(bar);
+        });
+    return outcome.wallSeconds * 1e9 / crossings;
+}
+
+/**
+ * Minimal sense-reversing barrier with the counter/generation layout
+ * as a template knob.  Padded == production SenseBarrier layout;
+ * unpadded == the pre-fix layout where each arrival's fetch_add
+ * invalidates the line every waiter is polling.
+ */
+template <bool Padded>
+struct MicroSense
+{
+    explicit MicroSense(int participants) : participants_(participants)
+    {
+    }
+
+    void
+    arriveAndWait()
+    {
+        const std::uint64_t gen =
+            generation().load(std::memory_order_acquire);
+        if (count().fetch_add(1, std::memory_order_acq_rel) ==
+            participants_ - 1) {
+            count().store(0, std::memory_order_relaxed);
+            generation().store(gen + 1, std::memory_order_release);
+        } else {
+            while (generation().load(std::memory_order_acquire) == gen)
+                std::this_thread::yield();
+        }
+    }
+
+    std::atomic<int>&
+    count()
+    {
+        return Padded ? paddedCount_ : sharedCount_;
+    }
+    std::atomic<std::uint64_t>&
+    generation()
+    {
+        return Padded ? paddedGen_ : sharedGen_;
+    }
+
+    const int participants_;
+    // Pre-fix layout: counter and generation adjacent on one line.
+    std::atomic<int> sharedCount_{0};
+    std::atomic<std::uint64_t> sharedGen_{0};
+    // Post-fix layout: one line each.
+    alignas(64) std::atomic<int> paddedCount_{0};
+    alignas(64) std::atomic<std::uint64_t> paddedGen_{0};
+};
+
+template <bool Padded>
+double
+microSenseWallNs(int threads, int crossings)
+{
+    MicroSense<Padded> barrier(threads);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&] {
+            for (int i = 0; i < crossings; ++i)
+                barrier.arriveAndWait();
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return seconds * 1e9 / crossings;
+}
+
+/** Native wall-clock mode (--native): real threads, host ns. */
+int
+runNativeMode(const bench::ExperimentOptions& opts)
+{
+    constexpr int kCrossings = 2000;
+    const unsigned cores = std::thread::hardware_concurrency();
+    Table table({"threads", "condvar (S3)", "sense (S4)", "tree (alt)",
+                 "sense-shared", "sense-padded", "shared/padded"});
+    bool oversubscribed = false;
+    for (const int threads : {2, 4, 8}) {
+        // Oversubscribed spinning measures the scheduler, not the
+        // cache protocol; keep the smallest row regardless so the
+        // harness always emits something, and flag it in the caption.
+        if (cores != 0 && static_cast<unsigned>(threads) > cores) {
+            if (threads > 2)
+                break;
+            oversubscribed = true;
+        }
+        const double s3 = barrierLoopWallNs(SuiteVersion::Splash3,
+                                            threads, kCrossings);
+        const double s4 = barrierLoopWallNs(SuiteVersion::Splash4,
+                                            threads, kCrossings);
+        const double tree =
+            barrierLoopWallNs(SuiteVersion::Splash4, threads,
+                              kCrossings, BarrierKind::Tree);
+        const double unpadded =
+            microSenseWallNs<false>(threads, kCrossings);
+        const double padded = microSenseWallNs<true>(threads, kCrossings);
+        // Report the production barrier columns as measured and the
+        // false-sharing delta from the layout-only pair, where the
+        // sole variable is the alignas(64) split.
+        table.cell(std::to_string(threads))
+            .cell(s3, 0)
+            .cell(s4, 0)
+            .cell(tree, 0)
+            .cell(unpadded, 0)
+            .cell(padded, 0)
+            .cell(unpadded / padded, 2);
+        table.endRow();
+    }
+    opts.emit(table,
+              std::string("Ablation A1 (native): per-barrier wall ns; "
+                          "sense-shared replays the pre-fix unpadded "
+                          "SenseBarrier layout") +
+                  (oversubscribed ? " [oversubscribed host: delta "
+                                    "reflects scheduling, not caches]"
+                                  : ""));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -45,6 +196,9 @@ main(int argc, char** argv)
 {
     using namespace splash;
     bench::ExperimentOptions opts(argc, argv);
+    CliArgs args(argc, argv);
+    if (args.has("native"))
+        return runNativeMode(opts);
     constexpr int kCrossings = 100;
 
     Table table({"profile", "threads", "condvar (S3)", "sense (S4)",

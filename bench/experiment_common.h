@@ -57,13 +57,15 @@ struct ExperimentOptions
 /** One benchmark run under a suite/profile at the preset scale. */
 inline RunResult
 runSuiteBenchmark(const std::string& name, SuiteVersion suite,
-                  const std::string& profile, int threads, double scale)
+                  const std::string& profile, int threads, double scale,
+                  bool syncProfile = false)
 {
     RunConfig config;
     config.threads = threads;
     config.suite = suite;
     config.engine = EngineKind::Sim;
     config.profile = profile;
+    config.syncProfile = syncProfile;
     config.params = benchParams(name, scale);
     RunResult result = runBenchmark(name, config);
     if (!result.verified) {

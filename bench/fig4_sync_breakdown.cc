@@ -6,8 +6,17 @@
  * expected shape: Splash-3 runs are dominated by barrier and lock
  * time at scale, which Splash-4 converts into (much smaller) atomic
  * time, raising the compute fraction.
+ *
+ * Since the Sync-Scope profiler landed, this figure is derived from
+ * the attached SyncProfile rather than the engine's coarse category
+ * accounting.  Under the sim engine the two agree exactly (the
+ * profiler records the same modeled waits ThreadStats charges), so
+ * the numbers are unchanged — but the profile additionally names the
+ * construct instances behind each column (see --profile on the main
+ * harness, and docs/PROFILING.md).
  */
 
+#include "core/sync_profile.h"
 #include "experiment_common.h"
 
 int
@@ -24,13 +33,23 @@ main(int argc, char** argv)
         for (const SuiteVersion suite :
              {SuiteVersion::Splash3, SuiteVersion::Splash4}) {
             const RunResult result = bench::runSuiteBenchmark(
-                name, suite, profile, opts.threads, opts.scale);
+                name, suite, profile, opts.threads, opts.scale,
+                /*syncProfile=*/true);
+            if (!result.syncProfile)
+                fatal(name + ": run carried no Sync-Scope profile");
+            const SyncProfile& sp = *result.syncProfile;
+            const auto pct = [&](std::uint64_t t) {
+                return sp.availableTotal == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(t) /
+                                 static_cast<double>(sp.availableTotal);
+            };
             table.cell(name).cell(toString(suite));
+            table.cell(pct(sp.computeTotal), 1);
             for (const TimeCategory cat :
-                 {TimeCategory::Compute, TimeCategory::Barrier,
-                  TimeCategory::Lock, TimeCategory::Atomic,
-                  TimeCategory::Flag}) {
-                table.cell(100.0 * result.categoryFraction(cat), 1);
+                 {TimeCategory::Barrier, TimeCategory::Lock,
+                  TimeCategory::Atomic, TimeCategory::Flag}) {
+                table.cell(pct(sp.categoryWait(cat)), 1);
             }
             table.endRow();
         }

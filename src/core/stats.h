@@ -18,7 +18,8 @@
 
 namespace splash {
 
-class RaceReport; // analysis/race_report.h (optional attachment)
+class RaceReport;   // analysis/race_report.h (optional attachment)
+struct SyncProfile; // core/sync_profile.h (optional attachment)
 
 /** Categories of virtual time accounted by the simulation engine. */
 enum class TimeCategory : int
@@ -90,6 +91,8 @@ struct RunResult
     int attempts = 1;
     /** Sync-Sentry findings; null unless run with race checking. */
     std::shared_ptr<const RaceReport> raceReport;
+    /** Sync-Scope profile; null unless run with profiling. */
+    std::shared_ptr<const SyncProfile> syncProfile;
 
     /** True when the run completed and verified. */
     bool ok() const { return status == RunStatus::Ok; }

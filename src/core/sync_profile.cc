@@ -1,0 +1,560 @@
+#include "core/sync_profile.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace splash {
+
+const char*
+toString(SyncObjKind kind)
+{
+    switch (kind) {
+      case SyncObjKind::Barrier:
+        return "barrier";
+      case SyncObjKind::Lock:
+        return "lock";
+      case SyncObjKind::Ticket:
+        return "ticket";
+      case SyncObjKind::Sum:
+        return "sum";
+      case SyncObjKind::Stack:
+        return "stack";
+      case SyncObjKind::Flag:
+        return "flag";
+      default:
+        return "?";
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WaitHistogram
+
+void
+WaitHistogram::add(std::uint64_t value)
+{
+    const int bucket = std::min(
+        kBuckets - 1, static_cast<int>(std::bit_width(value)));
+    ++buckets[bucket];
+}
+
+std::uint64_t
+WaitHistogram::samples() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t b : buckets)
+        n += b;
+    return n;
+}
+
+void
+WaitHistogram::merge(const WaitHistogram& other)
+{
+    for (int i = 0; i < kBuckets; ++i)
+        buckets[i] += other.buckets[i];
+}
+
+// ---------------------------------------------------------------------------
+// ConstructProfile
+
+void
+ConstructProfile::mergeCounters(const ConstructProfile& other)
+{
+    ops += other.ops;
+    attempts += other.attempts;
+    retries += other.retries;
+    waitTotal += other.waitTotal;
+    waitMax = std::max(waitMax, other.waitMax);
+    waitHist.merge(other.waitHist);
+    episodes += other.episodes;
+    spreadTotal += other.spreadTotal;
+    spreadMax = std::max(spreadMax, other.spreadMax);
+}
+
+// ---------------------------------------------------------------------------
+// SyncRecorder
+
+SyncRecorder::SyncRecorder(int tid, std::size_t numObjects)
+    : tid_(tid), perObject_(numObjects)
+{
+}
+
+void
+SyncRecorder::record(std::uint32_t obj, const char* op,
+                     std::uint64_t start, std::uint64_t duration,
+                     std::uint64_t attempts, std::uint64_t retries)
+{
+    panicIf(obj >= perObject_.size(), "sync recorder: bad object index");
+    ConstructProfile& slot = perObject_[obj];
+    ++slot.ops;
+    slot.attempts += attempts;
+    slot.retries += retries;
+    slot.waitTotal += duration;
+    slot.waitMax = std::max(slot.waitMax, duration);
+    slot.waitHist.add(duration);
+    if (events_.size() < kMaxEvents)
+        events_.push_back({tid_, obj, op, start, duration});
+    else
+        ++dropped_;
+}
+
+void
+SyncRecorder::recordEpisode(std::uint32_t obj, std::uint64_t spread)
+{
+    panicIf(obj >= perObject_.size(), "sync recorder: bad object index");
+    ConstructProfile& slot = perObject_[obj];
+    ++slot.episodes;
+    slot.spreadTotal += spread;
+    slot.spreadMax = std::max(slot.spreadMax, spread);
+}
+
+// ---------------------------------------------------------------------------
+// buildSyncProfile
+
+namespace {
+
+std::string
+realizationName(const SyncObjDesc& desc, SuiteVersion suite)
+{
+    const bool s4 = suite == SuiteVersion::Splash4;
+    switch (desc.kind) {
+      case SyncObjKind::Barrier:
+        switch (desc.barrierKind) {
+          case BarrierKind::Cond:
+            return "cond";
+          case BarrierKind::Sense:
+            return "sense";
+          case BarrierKind::Tree:
+            return "tree";
+          case BarrierKind::Auto:
+            return s4 ? "sense" : "cond";
+        }
+        return "?";
+      case SyncObjKind::Lock:
+        return desc.lockKind == LockKind::Spin ? "spin" : "mutex";
+      case SyncObjKind::Ticket:
+        return s4 ? "fetch_add" : "locked";
+      case SyncObjKind::Sum:
+        return s4 ? "cas" : "locked";
+      case SyncObjKind::Stack:
+        return s4 ? "treiber" : "locked";
+      case SyncObjKind::Flag:
+        return s4 ? "atomic" : "condvar";
+    }
+    return "?";
+}
+
+TimeCategory
+categoryOf(SyncObjKind kind, SuiteVersion suite)
+{
+    switch (kind) {
+      case SyncObjKind::Barrier:
+        return TimeCategory::Barrier;
+      case SyncObjKind::Lock:
+        return TimeCategory::Lock;
+      case SyncObjKind::Flag:
+        return TimeCategory::Flag;
+      case SyncObjKind::Ticket:
+      case SyncObjKind::Sum:
+      case SyncObjKind::Stack:
+        // The lock-free generation turns these into bare RMWs; the
+        // lock-based generation spends the time inside a hidden lock.
+        return suite == SuiteVersion::Splash4 ? TimeCategory::Atomic
+                                              : TimeCategory::Lock;
+    }
+    return TimeCategory::Lock;
+}
+
+} // namespace
+
+SyncProfile
+buildSyncProfile(const World& world, EngineKind engine,
+                 const char* timeUnit,
+                 const std::vector<const SyncRecorder*>& recorders)
+{
+    SyncProfile profile;
+    profile.suite = world.suite();
+    profile.engine = engine;
+    profile.threads = world.nthreads();
+    profile.timeUnit = timeUnit;
+
+    // Name each object instance with a per-kind ordinal so reports stay
+    // stable across runs: barrier#0, lock#0, lock#1, ...
+    const auto& objects = world.objects();
+    std::size_t perKindNext[6] = {};
+    profile.constructs.resize(objects.size());
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+        const SyncObjDesc& desc = objects[i];
+        ConstructProfile& c = profile.constructs[i];
+        c.kind = desc.kind;
+        c.name = std::string(toString(desc.kind)) + "#"
+                 + std::to_string(perKindNext[static_cast<int>(desc.kind)]++);
+        c.realization = realizationName(desc, world.suite());
+        c.category = categoryOf(desc.kind, world.suite());
+    }
+
+    for (const SyncRecorder* recorder : recorders) {
+        if (recorder == nullptr)
+            continue;
+        panicIf(recorder->perObject_.size() != objects.size(),
+                "sync recorder object table does not match the world");
+        ThreadSyncTotals totals;
+        totals.tid = recorder->tid_;
+        for (std::size_t i = 0; i < objects.size(); ++i) {
+            const ConstructProfile& src = recorder->perObject_[i];
+            profile.constructs[i].mergeCounters(src);
+            totals.ops += src.ops;
+            totals.attempts += src.attempts;
+            totals.retries += src.retries;
+            totals.waitTotal += src.waitTotal;
+        }
+        profile.perThread.push_back(totals);
+        profile.events.insert(profile.events.end(),
+                              recorder->events_.begin(),
+                              recorder->events_.end());
+        profile.droppedEvents += recorder->dropped_;
+    }
+
+    // Drop never-touched objects from the report tables?  No: a
+    // construct that was allocated but never contended is itself a
+    // finding, so keep every instance (exports can filter on ops).
+    std::sort(profile.events.begin(), profile.events.end(),
+              [](const SyncTraceEvent& a, const SyncTraceEvent& b) {
+                  if (a.start != b.start)
+                      return a.start < b.start;
+                  return a.tid < b.tid;
+              });
+    return profile;
+}
+
+// ---------------------------------------------------------------------------
+// SyncProfile queries
+
+std::uint64_t
+SyncProfile::waitTotal() const
+{
+    std::uint64_t total = 0;
+    for (const auto& c : constructs)
+        total += c.waitTotal;
+    return total;
+}
+
+std::uint64_t
+SyncProfile::categoryWait(TimeCategory cat) const
+{
+    std::uint64_t total = 0;
+    for (const auto& c : constructs)
+        if (c.category == cat)
+            total += c.waitTotal;
+    return total;
+}
+
+double
+SyncProfile::waitFraction() const
+{
+    if (availableTotal == 0)
+        return 0.0;
+    return static_cast<double>(waitTotal())
+           / static_cast<double>(availableTotal);
+}
+
+// ---------------------------------------------------------------------------
+// Exports
+
+namespace {
+
+std::string
+jsonEscape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char ch : text) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(ch) & 0xff);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+SyncProfile::toJson() const
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"splash4-syncscope-v1\",\n";
+    out << "  \"benchmark\": \"" << jsonEscape(benchmark) << "\",\n";
+    out << "  \"suite\": \"" << toString(suite) << "\",\n";
+    out << "  \"engine\": \"" << toString(engine) << "\",\n";
+    out << "  \"threads\": " << threads << ",\n";
+    out << "  \"timeUnit\": \"" << jsonEscape(timeUnit) << "\",\n";
+    out << "  \"computeTotal\": " << computeTotal << ",\n";
+    out << "  \"availableTotal\": " << availableTotal << ",\n";
+    out << "  \"waitTotal\": " << waitTotal() << ",\n";
+    out << "  \"waitFraction\": " << formatDouble(waitFraction())
+        << ",\n";
+    out << "  \"droppedEvents\": " << droppedEvents << ",\n";
+    out << "  \"constructs\": [";
+    bool first = true;
+    for (const auto& c : constructs) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    {\"name\": \"" << jsonEscape(c.name)
+            << "\", \"kind\": \"" << toString(c.kind)
+            << "\", \"realization\": \"" << jsonEscape(c.realization)
+            << "\", \"category\": \"" << toString(c.category)
+            << "\",\n     \"ops\": " << c.ops
+            << ", \"attempts\": " << c.attempts
+            << ", \"retries\": " << c.retries
+            << ", \"waitTotal\": " << c.waitTotal
+            << ", \"waitMax\": " << c.waitMax
+            << ",\n     \"episodes\": " << c.episodes
+            << ", \"spreadTotal\": " << c.spreadTotal
+            << ", \"spreadMax\": " << c.spreadMax
+            << ",\n     \"waitHist\": [";
+        for (int i = 0; i < WaitHistogram::kBuckets; ++i)
+            out << (i ? "," : "") << c.waitHist.buckets[i];
+        out << "]}";
+    }
+    out << (first ? "" : "\n  ") << "],\n";
+    out << "  \"perThread\": [";
+    first = true;
+    for (const auto& t : perThread) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    {\"tid\": " << t.tid << ", \"ops\": " << t.ops
+            << ", \"attempts\": " << t.attempts << ", \"retries\": "
+            << t.retries << ", \"waitTotal\": " << t.waitTotal << "}";
+    }
+    out << (first ? "" : "\n  ") << "]\n";
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+SyncProfile::toCsv() const
+{
+    std::ostringstream out;
+    out << "benchmark,suite,engine,threads,time_unit,construct,kind,"
+           "realization,category,ops,attempts,retries,wait_total,"
+           "wait_max,episodes,spread_total,spread_max\n";
+    for (const auto& c : constructs) {
+        out << benchmark << ',' << toString(suite) << ','
+            << toString(engine) << ',' << threads << ',' << timeUnit
+            << ',' << c.name << ',' << toString(c.kind) << ','
+            << c.realization << ',' << toString(c.category) << ','
+            << c.ops << ',' << c.attempts << ',' << c.retries << ','
+            << c.waitTotal << ',' << c.waitMax << ',' << c.episodes
+            << ',' << c.spreadTotal << ',' << c.spreadMax << "\n";
+    }
+    return out.str();
+}
+
+std::string
+SyncProfile::toChromeTrace() const
+{
+    // Complete ("X") events with microsecond timestamps: one simulated
+    // cycle maps to 1us, native nanoseconds are divided by 1000.
+    const double scale = engine == EngineKind::Sim ? 1.0 : 1e-3;
+    std::ostringstream out;
+    out << "{\"traceEvents\":[\n";
+    bool first = true;
+    for (const auto& e : events) {
+        out << (first ? "" : ",\n");
+        first = false;
+        const ConstructProfile& c = constructs[e.object];
+        out << "{\"name\":\"" << jsonEscape(c.name) << ' ' << e.op
+            << "\",\"cat\":\"" << toString(c.kind)
+            << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+            << ",\"ts\":"
+            << formatDouble(static_cast<double>(e.start) * scale)
+            << ",\"dur\":"
+            << formatDouble(static_cast<double>(e.duration) * scale)
+            << "}";
+    }
+    out << "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{"
+        << "\"benchmark\":\"" << jsonEscape(benchmark)
+        << "\",\"suite\":\"" << toString(suite) << "\",\"engine\":\""
+        << toString(engine) << "\",\"threads\":" << threads
+        << ",\"timeUnit\":\"" << jsonEscape(timeUnit)
+        << "\",\"droppedEvents\":" << droppedEvents << "}}\n";
+    return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec (fork-isolation pipe)
+
+namespace {
+
+bool
+splitFields(const std::string& line, std::vector<std::string>& out)
+{
+    out.clear();
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t semi = line.find(';', start);
+        if (semi == std::string::npos) {
+            out.push_back(line.substr(start));
+            return true;
+        }
+        out.push_back(line.substr(start, semi - start));
+        start = semi + 1;
+    }
+}
+
+bool
+parseU64(const std::string& text, std::uint64_t& out)
+{
+    if (text.empty())
+        return false;
+    out = 0;
+    for (char ch : text) {
+        if (ch < '0' || ch > '9')
+            return false;
+        out = out * 10 + static_cast<std::uint64_t>(ch - '0');
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+SyncProfile::serializeWire() const
+{
+    std::ostringstream out;
+    out << "v1;" << benchmark << ';' << static_cast<int>(suite) << ';'
+        << static_cast<int>(engine) << ';' << threads << ';' << timeUnit
+        << ';' << computeTotal << ';' << availableTotal << ';'
+        << droppedEvents << '\n';
+    for (const auto& c : constructs) {
+        out << "C;" << c.name << ';' << static_cast<int>(c.kind) << ';'
+            << c.realization << ';' << static_cast<int>(c.category)
+            << ';' << c.ops << ';' << c.attempts << ';' << c.retries
+            << ';' << c.waitTotal << ';' << c.waitMax << ';'
+            << c.episodes << ';' << c.spreadTotal << ';' << c.spreadMax
+            << ';';
+        for (int i = 0; i < WaitHistogram::kBuckets; ++i)
+            out << (i ? "," : "") << c.waitHist.buckets[i];
+        out << '\n';
+    }
+    for (const auto& t : perThread) {
+        out << "T;" << t.tid << ';' << t.ops << ';' << t.attempts
+            << ';' << t.retries << ';' << t.waitTotal << '\n';
+    }
+    return out.str();
+}
+
+bool
+SyncProfile::deserializeWire(const std::string& text, SyncProfile& out)
+{
+    out = SyncProfile{};
+    std::istringstream in(text);
+    std::string line;
+    std::vector<std::string> f;
+    bool sawHeader = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        splitFields(line, f);
+        if (!sawHeader) {
+            std::uint64_t suiteVal = 0;
+            std::uint64_t engineVal = 0;
+            std::uint64_t threadsVal = 0;
+            if (f.size() != 9 || f[0] != "v1"
+                || !parseU64(f[2], suiteVal) || !parseU64(f[3], engineVal)
+                || !parseU64(f[4], threadsVal)
+                || !parseU64(f[6], out.computeTotal)
+                || !parseU64(f[7], out.availableTotal)
+                || !parseU64(f[8], out.droppedEvents))
+                return false;
+            out.benchmark = f[1];
+            out.suite = static_cast<SuiteVersion>(suiteVal);
+            out.engine = static_cast<EngineKind>(engineVal);
+            out.threads = static_cast<int>(threadsVal);
+            out.timeUnit = f[5];
+            sawHeader = true;
+            continue;
+        }
+        if (f[0] == "C") {
+            if (f.size() != 14)
+                return false;
+            ConstructProfile c;
+            std::uint64_t kindVal = 0;
+            std::uint64_t catVal = 0;
+            c.name = f[1];
+            c.realization = f[3];
+            if (!parseU64(f[2], kindVal) || !parseU64(f[4], catVal)
+                || !parseU64(f[5], c.ops) || !parseU64(f[6], c.attempts)
+                || !parseU64(f[7], c.retries)
+                || !parseU64(f[8], c.waitTotal)
+                || !parseU64(f[9], c.waitMax)
+                || !parseU64(f[10], c.episodes)
+                || !parseU64(f[11], c.spreadTotal)
+                || !parseU64(f[12], c.spreadMax))
+                return false;
+            c.kind = static_cast<SyncObjKind>(kindVal);
+            c.category = static_cast<TimeCategory>(catVal);
+            std::istringstream hist(f[13]);
+            std::string bucket;
+            int i = 0;
+            while (std::getline(hist, bucket, ',')) {
+                if (i >= WaitHistogram::kBuckets
+                    || !parseU64(bucket, c.waitHist.buckets[i]))
+                    return false;
+                ++i;
+            }
+            if (i != WaitHistogram::kBuckets)
+                return false;
+            out.constructs.push_back(std::move(c));
+        } else if (f[0] == "T") {
+            if (f.size() != 6)
+                return false;
+            ThreadSyncTotals t;
+            std::uint64_t tidVal = 0;
+            if (!parseU64(f[1], tidVal) || !parseU64(f[2], t.ops)
+                || !parseU64(f[3], t.attempts)
+                || !parseU64(f[4], t.retries)
+                || !parseU64(f[5], t.waitTotal))
+                return false;
+            t.tid = static_cast<int>(tidVal);
+            out.perThread.push_back(t);
+        } else {
+            return false;
+        }
+    }
+    return sawHeader;
+}
+
+} // namespace splash

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Sync-Scope: per-construct synchronization profile of one run.
+ *
+ * When a run is profiled (RunConfig::syncProfile), each engine attaches
+ * one SyncRecorder per thread and records every synchronization
+ * operation: which object, how long the thread waited, and how many
+ * RMW attempts/retries the underlying primitive burned (fed by the
+ * sync_scope hooks inside the primitives themselves).  After the run
+ * the recorders are merged against the World's descriptor table into a
+ * SyncProfile: per-construct-instance counters and wait histograms,
+ * per-thread totals, and an optional event timeline exportable as a
+ * Chrome trace (chrome://tracing / Perfetto).
+ *
+ * Time unit: virtual cycles under the simulation engine, wall
+ * nanoseconds under the native engine (SyncProfile::timeUnit says
+ * which).  Under the sim engine the per-category wait totals agree
+ * exactly with ThreadStats::categoryCycles, so figure 4's
+ * synchronization breakdown can be regenerated from the profile.
+ */
+
+#ifndef SPLASH_CORE_SYNC_PROFILE_H
+#define SPLASH_CORE_SYNC_PROFILE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/types.h"
+#include "core/world.h"
+
+namespace splash {
+
+/** Name of a sync-object kind for reports ("barrier", "lock", ...). */
+const char* toString(SyncObjKind kind);
+
+/** Log2-bucketed histogram of per-operation wait times. */
+struct WaitHistogram
+{
+    static constexpr int kBuckets = 32;
+
+    /** buckets[i] counts waits in [2^(i-1), 2^i); buckets[0] counts 0. */
+    std::uint64_t buckets[kBuckets] = {};
+
+    void add(std::uint64_t value);
+    std::uint64_t samples() const;
+    void merge(const WaitHistogram& other);
+};
+
+/** Merged measurements for one synchronization object instance. */
+struct ConstructProfile
+{
+    std::string name;        ///< stable instance name, e.g. "barrier#0"
+    SyncObjKind kind = SyncObjKind::Barrier;
+    std::string realization; ///< "sense", "cond", "cas", "treiber", ...
+    /** Which figure-4 time bucket this construct's waits land in. */
+    TimeCategory category = TimeCategory::Barrier;
+
+    std::uint64_t ops = 0;       ///< completed logical operations
+    std::uint64_t attempts = 0;  ///< RMW attempts, including retries
+    std::uint64_t retries = 0;   ///< failed attempts that looped
+    std::uint64_t waitTotal = 0; ///< time in ops (cycles or ns)
+    std::uint64_t waitMax = 0;   ///< slowest single operation
+    WaitHistogram waitHist;
+
+    // Barrier-only: arrival spread (last minus first arrival) per
+    // release episode.  Measured by the sim engine; the native engine
+    // has no serialization point to observe arrivals cheaply, so these
+    // stay zero there and the wait histogram is the native proxy.
+    std::uint64_t episodes = 0;
+    std::uint64_t spreadTotal = 0;
+    std::uint64_t spreadMax = 0;
+
+    /** Accumulate @p other's counters (identity fields untouched). */
+    void mergeCounters(const ConstructProfile& other);
+};
+
+/** Per-thread totals across all constructs. */
+struct ThreadSyncTotals
+{
+    int tid = 0;
+    std::uint64_t ops = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t waitTotal = 0;
+};
+
+/** One timeline slice (a Chrome-trace "X" complete event). */
+struct SyncTraceEvent
+{
+    std::int32_t tid = 0;
+    std::uint32_t object = 0; ///< World handle index
+    const char* op = "";      ///< static label: "arrive", "acquire", ...
+    std::uint64_t start = 0;  ///< cycles (sim) / ns since run start
+    std::uint64_t duration = 0;
+};
+
+/** Whole-run Sync-Scope output. */
+struct SyncProfile
+{
+    std::string benchmark;
+    SuiteVersion suite = SuiteVersion::Splash4;
+    EngineKind engine = EngineKind::Sim;
+    int threads = 0;
+    std::string timeUnit; ///< "cycles" (sim) or "ns" (native)
+
+    /** Total compute time, same unit (0 under the native engine,
+        whose compute currency is work units, not time). */
+    std::uint64_t computeTotal = 0;
+    /** Denominator for waitFraction(): compute + wait thread-time
+        under sim, threads * wall-ns under native. */
+    std::uint64_t availableTotal = 0;
+
+    std::vector<ConstructProfile> constructs;
+    std::vector<ThreadSyncTotals> perThread;
+    std::vector<SyncTraceEvent> events;
+    std::uint64_t droppedEvents = 0; ///< lost to the per-thread cap
+
+    std::uint64_t waitTotal() const;
+    std::uint64_t categoryWait(TimeCategory cat) const;
+    /** Fraction of available thread-time spent waiting; 0 if idle. */
+    double waitFraction() const;
+
+    /** Machine-readable exports (schemas in docs/PROFILING.md). */
+    std::string toJson() const;
+    std::string toCsv() const;
+    std::string toChromeTrace() const;
+
+    /**
+     * Compact codec for the fork-isolation pipe.  Carries everything
+     * except the event timeline (suite mode reports tables, not
+     * traces; run a benchmark directly to capture a trace).
+     */
+    std::string serializeWire() const;
+    static bool deserializeWire(const std::string& text,
+                                SyncProfile& out);
+};
+
+/**
+ * Per-thread operation collector used by the engines while a run is in
+ * flight.  Not thread-safe: each native thread owns one, and the sim
+ * engine's serial scheduler writes to the current thread's recorder.
+ * The event timeline is capped per thread; overflow is counted, not
+ * silently discarded.
+ */
+class SyncRecorder
+{
+  public:
+    SyncRecorder(int tid, std::size_t numObjects);
+
+    /** Record one completed operation on object @p obj. */
+    void record(std::uint32_t obj, const char* op, std::uint64_t start,
+                std::uint64_t duration, std::uint64_t attempts,
+                std::uint64_t retries);
+
+    /** Record one barrier release episode's arrival spread. */
+    void recordEpisode(std::uint32_t obj, std::uint64_t spread);
+
+    int tid() const { return tid_; }
+
+  private:
+    friend SyncProfile buildSyncProfile(
+        const World&, EngineKind, const char*,
+        const std::vector<const SyncRecorder*>&);
+
+    static constexpr std::size_t kMaxEvents = std::size_t{1} << 15;
+
+    int tid_;
+    std::vector<ConstructProfile> perObject_; ///< counters only
+    std::vector<SyncTraceEvent> events_;
+    std::uint64_t dropped_ = 0;
+};
+
+/**
+ * Merge per-thread recorders into a run profile.  Construct identity
+ * (name, realization, category) is resolved from the World's
+ * descriptor table and suite version; benchmark name, computeTotal and
+ * availableTotal are the caller's to fill in.
+ */
+SyncProfile buildSyncProfile(
+    const World& world, EngineKind engine, const char* timeUnit,
+    const std::vector<const SyncRecorder*>& recorders);
+
+} // namespace splash
+
+#endif // SPLASH_CORE_SYNC_PROFILE_H

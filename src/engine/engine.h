@@ -24,6 +24,7 @@
 namespace splash {
 
 class RaceReport;
+struct SyncProfile;
 
 /** Thread body executed by an engine on every participant. */
 using ThreadBody = std::function<void(Context&)>;
@@ -41,6 +42,8 @@ struct EngineOutcome
     std::string statusDetail;
     /** Sync-Sentry findings; null unless run with race checking. */
     std::shared_ptr<RaceReport> raceReport;
+    /** Sync-Scope profile; null unless run with profiling. */
+    std::shared_ptr<SyncProfile> syncProfile;
 };
 
 /** Abstract engine. */
@@ -62,6 +65,7 @@ struct RunConfig
     std::string profile = "epyc64"; ///< machine profile (Sim engine)
     Params params;                  ///< benchmark-specific parameters
     bool raceCheck = false; ///< attach Sync-Sentry (Sim engine only)
+    bool syncProfile = false; ///< attach Sync-Scope (both engines)
     ChaosOptions chaos;     ///< seeded fault injection (Chaos-Sentry)
     WatchdogOptions watchdog; ///< deadlock/livelock/timeout budgets
 };

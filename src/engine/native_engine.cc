@@ -10,9 +10,11 @@
 #include <thread>
 #include <variant>
 
+#include "core/sync_profile.h"
 #include "sync/atomic_reduction.h"
 #include "sync/barrier.h"
 #include "sync/chaos_hook.h"
+#include "sync/scope_hook.h"
 #include "sync/lockfree_stack.h"
 #include "sync/pause_flag.h"
 #include "sync/spinlock.h"
@@ -132,10 +134,18 @@ class NativeContext : public Context
   public:
     NativeContext(int tid, int nthreads, SuiteVersion suite,
                   NativeObjects& objects,
-                  std::atomic<std::uint64_t>* progress = nullptr)
+                  std::atomic<std::uint64_t>* progress = nullptr,
+                  SyncRecorder* recorder = nullptr)
         : Context(tid, nthreads, suite), objects_(objects),
-          progress_(progress)
+          progress_(progress), recorder_(recorder)
     {
+    }
+
+    /** Zero point for profiled event timestamps (the run's start). */
+    void
+    startProfileClock(std::chrono::steady_clock::time_point t0)
+    {
+        runStart_ = t0;
     }
 
     /** Watchdog heartbeat: one tick per completed sync operation. */
@@ -160,20 +170,54 @@ class NativeContext : public Context
                 .count());
     }
 
+    /**
+     * Sync-Scope: time @p fn, capture its RMW attempt/retry counts via
+     * an OpWindow around the primitive, and record the operation.
+     * Only called when recorder_ is non-null.  Returns the duration in
+     * nanoseconds so waiting ops can also feed ThreadStats.
+     */
+    template <typename Fn>
+    std::uint64_t
+    profiledOp(std::uint32_t index, const char* op, Fn&& fn)
+    {
+        sync_scope::OpCounters counters;
+        const auto t0 = std::chrono::steady_clock::now();
+        {
+            sync_scope::OpWindow window(counters);
+            fn();
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const auto ns = [](auto d) {
+            return static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+                    .count());
+        };
+        // Primitives without an instrumented CAS loop (fetch_add
+        // tickets, mutexes, condvars) report zero attempts; the
+        // operation itself still counts as one.
+        recorder_->record(index, op, ns(t0 - runStart_), ns(t1 - t0),
+                          counters.attempts ? counters.attempts : 1,
+                          counters.retries);
+        return ns(t1 - t0);
+    }
+
     void
     barrier(BarrierHandle b) override
     {
         ++stats_.barrierCrossings;
         tick();
         auto& obj = objects_.at(b.index);
-        const auto ns = timedWait([&] {
+        const auto arrive = [&] {
             if (obj.senseBarrier)
                 obj.senseBarrier->arriveAndWait();
             else if (obj.treeBarrier)
                 obj.treeBarrier->arriveAndWait(tid_);
             else
                 obj.condBarrier->arriveAndWait();
-        });
+        };
+        const auto ns = recorder_
+                            ? profiledOp(b.index, "arrive", arrive)
+                            : timedWait(arrive);
         stats_.addCycles(TimeCategory::Barrier, ns);
     }
 
@@ -183,12 +227,15 @@ class NativeContext : public Context
         ++stats_.lockAcquires;
         tick();
         auto& obj = objects_.at(l.index);
-        const auto ns = timedWait([&] {
+        const auto acquire = [&] {
             if (obj.spinLock)
                 obj.spinLock->lock();
             else
                 obj.mutexLock->lock();
-        });
+        };
+        const auto ns = recorder_
+                            ? profiledOp(l.index, "acquire", acquire)
+                            : timedWait(acquire);
         stats_.addCycles(TimeCategory::Lock, ns);
     }
 
@@ -196,10 +243,16 @@ class NativeContext : public Context
     lockRelease(LockHandle l) override
     {
         auto& obj = objects_.at(l.index);
-        if (obj.spinLock)
-            obj.spinLock->unlock();
+        const auto release = [&] {
+            if (obj.spinLock)
+                obj.spinLock->unlock();
+            else
+                obj.mutexLock->unlock();
+        };
+        if (recorder_)
+            profiledOp(l.index, "release", release);
         else
-            obj.mutexLock->unlock();
+            release();
     }
 
     std::uint64_t
@@ -208,8 +261,16 @@ class NativeContext : public Context
         ++stats_.ticketOps;
         tick();
         auto& obj = objects_.at(t.index);
-        return obj.atomicTicket ? obj.atomicTicket->next(step)
-                                : obj.lockedTicket->next(step);
+        std::uint64_t out = 0;
+        const auto next = [&] {
+            out = obj.atomicTicket ? obj.atomicTicket->next(step)
+                                   : obj.lockedTicket->next(step);
+        };
+        if (recorder_)
+            profiledOp(t.index, "ticket", next);
+        else
+            next();
+        return out;
     }
 
     void
@@ -228,10 +289,16 @@ class NativeContext : public Context
         ++stats_.sumOps;
         tick();
         auto& obj = objects_.at(s.index);
-        if (obj.atomicSum)
-            obj.atomicSum->add(delta);
+        const auto add = [&] {
+            if (obj.atomicSum)
+                obj.atomicSum->add(delta);
+            else
+                obj.lockedSum->add(delta);
+        };
+        if (recorder_)
+            profiledOp(s.index, "sum-add", add);
         else
-            obj.lockedSum->add(delta);
+            add();
     }
 
     double
@@ -258,8 +325,16 @@ class NativeContext : public Context
         ++stats_.stackOps;
         tick();
         auto& obj = objects_.at(s.index);
-        return obj.lockFreeStack ? obj.lockFreeStack->push(value)
-                                 : obj.lockedStack->push(value);
+        bool ok = false;
+        const auto push = [&] {
+            ok = obj.lockFreeStack ? obj.lockFreeStack->push(value)
+                                   : obj.lockedStack->push(value);
+        };
+        if (recorder_)
+            profiledOp(s.index, "push", push);
+        else
+            push();
+        return ok;
     }
 
     bool
@@ -268,8 +343,16 @@ class NativeContext : public Context
         ++stats_.stackOps;
         tick();
         auto& obj = objects_.at(s.index);
-        return obj.lockFreeStack ? obj.lockFreeStack->pop(value)
-                                 : obj.lockedStack->pop(value);
+        bool ok = false;
+        const auto pop = [&] {
+            ok = obj.lockFreeStack ? obj.lockFreeStack->pop(value)
+                                   : obj.lockedStack->pop(value);
+        };
+        if (recorder_)
+            profiledOp(s.index, "pop", pop);
+        else
+            pop();
+        return ok;
     }
 
     void
@@ -278,10 +361,16 @@ class NativeContext : public Context
         ++stats_.flagOps;
         tick();
         auto& obj = objects_.at(f.index);
-        if (obj.atomicFlag)
-            obj.atomicFlag->set();
+        const auto set = [&] {
+            if (obj.atomicFlag)
+                obj.atomicFlag->set();
+            else
+                obj.condFlag->set();
+        };
+        if (recorder_)
+            profiledOp(f.index, "set", set);
         else
-            obj.condFlag->set();
+            set();
     }
 
     void
@@ -290,12 +379,14 @@ class NativeContext : public Context
         ++stats_.flagOps;
         tick();
         auto& obj = objects_.at(f.index);
-        const auto ns = timedWait([&] {
+        const auto wait = [&] {
             if (obj.atomicFlag)
                 obj.atomicFlag->wait();
             else
                 obj.condFlag->wait();
-        });
+        };
+        const auto ns = recorder_ ? profiledOp(f.index, "wait", wait)
+                                  : timedWait(wait);
         stats_.addCycles(TimeCategory::Flag, ns);
     }
 
@@ -319,6 +410,8 @@ class NativeContext : public Context
   private:
     NativeObjects& objects_;
     std::atomic<std::uint64_t>* progress_;
+    SyncRecorder* recorder_;
+    std::chrono::steady_clock::time_point runStart_{};
 };
 
 /**
@@ -446,17 +539,26 @@ NativeEngine::run(const ThreadBody& body)
     std::atomic<std::uint64_t> progress{0};
     const bool instrument =
         options_.watchdog.enabled || chaos.enabled;
+    std::vector<std::unique_ptr<SyncRecorder>> recorders;
+    if (options_.syncProfile) {
+        for (int tid = 0; tid < n; ++tid)
+            recorders.push_back(std::make_unique<SyncRecorder>(
+                tid, world_.objects().size()));
+    }
     std::vector<std::unique_ptr<NativeContext>> contexts;
     contexts.reserve(static_cast<std::size_t>(n));
     for (int tid = 0; tid < n; ++tid) {
         contexts.push_back(std::make_unique<NativeContext>(
             tid, n, world_.suite(), *objects_,
-            instrument ? &progress : nullptr));
+            instrument ? &progress : nullptr,
+            recorders.empty() ? nullptr : recorders[tid].get()));
     }
 
     NativeWatchdog watchdog(options_.watchdog, progress);
 
     const auto start = std::chrono::steady_clock::now();
+    for (auto& context : contexts)
+        context->startProfileClock(start);
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(n));
     for (int tid = 0; tid < n; ++tid) {
@@ -480,6 +582,19 @@ NativeEngine::run(const ThreadBody& body)
         std::chrono::duration<double>(stop - start).count();
     for (int tid = 0; tid < n; ++tid)
         outcome.perThread.push_back(contexts[tid]->stats());
+    if (options_.syncProfile) {
+        std::vector<const SyncRecorder*> merged;
+        for (const auto& recorder : recorders)
+            merged.push_back(recorder.get());
+        auto profile = std::make_shared<SyncProfile>(buildSyncProfile(
+            world_, EngineKind::Native, "ns", merged));
+        // Native compute is counted in work units, not time, so the
+        // wait fraction is taken against total thread wall-time.
+        profile->availableTotal =
+            static_cast<std::uint64_t>(outcome.wallSeconds * 1e9)
+            * static_cast<std::uint64_t>(n);
+        outcome.syncProfile = std::move(profile);
+    }
     return outcome;
 }
 

@@ -30,6 +30,14 @@ struct NativeOptions
     ChaosOptions chaos;
 
     /**
+     * Attach the Sync-Scope profiler: per-construct wait sampling via
+     * steady_clock plus RMW attempt/retry counts from the sync_scope
+     * hooks inside the lock-free primitives.  Adds two clock reads per
+     * synchronization operation while on; zero cost while off.
+     */
+    bool syncProfile = false;
+
+    /**
      * Wall-clock watchdog.  Real threads stuck in a deadlock or
      * livelock cannot be unwound safely from inside the process, so
      * on budget expiry the watchdog classifies the hang from its

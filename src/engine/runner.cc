@@ -7,6 +7,7 @@
 #include "engine/engine.h"
 
 #include "analysis/race_report.h"
+#include "core/sync_profile.h"
 #include "engine/native_engine.h"
 #include "engine/sim_engine.h"
 #include "sim/machine.h"
@@ -22,11 +23,13 @@ makeEngine(const World& world, const RunConfig& config)
             fatal("--race-check requires the sim engine");
         NativeOptions options;
         options.chaos = config.chaos;
+        options.syncProfile = config.syncProfile;
         options.watchdog = config.watchdog;
         return std::make_unique<NativeEngine>(world, options);
     }
     SimOptions options;
     options.raceCheck = config.raceCheck;
+    options.syncProfile = config.syncProfile;
     options.chaos = config.chaos;
     options.watchdog = config.watchdog;
     return std::make_unique<SimEngine>(
@@ -54,6 +57,10 @@ runBenchmark(Benchmark& benchmark, const RunConfig& config)
     if (outcome.raceReport) {
         outcome.raceReport->benchmark = benchmark.name();
         result.raceReport = outcome.raceReport;
+    }
+    if (outcome.syncProfile) {
+        outcome.syncProfile->benchmark = benchmark.name();
+        result.syncProfile = outcome.syncProfile;
     }
     result.perThread = std::move(outcome.perThread);
     for (const auto& stats : result.perThread)

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/race_checker.h"
+#include "core/sync_profile.h"
 #include "sim/line_model.h"
 #include "util/log.h"
 #include "util/rng.h"
@@ -82,6 +83,11 @@ struct SimBarrier
     SimLock mutex;       ///< condvar kind: mutex guarding the state
     int arrived = 0;
     std::vector<int> waiters;
+
+    /** Sync-Scope arrival-spread tracking (profiled runs only). */
+    int profArrived = 0;
+    VTime profMinArrival = 0;
+    VTime profMaxArrival = 0;
 
     /** Combining-tree topology (tree kind only). */
     struct TreeNode
@@ -168,6 +174,10 @@ class SimMachine
         if (options.raceCheck)
             checker_ = std::make_unique<RaceChecker>(nthreads_,
                                                      world.suite());
+        if (options.syncProfile)
+            for (int tid = 0; tid < nthreads_; ++tid)
+                recorders_.push_back(std::make_unique<SyncRecorder>(
+                    tid, world.objects().size()));
         for (int tid = 0; tid < nthreads_; ++tid) {
             threads_.push_back(std::make_unique<SimThread>());
             threads_.back()->tid = tid;
@@ -264,6 +274,23 @@ class SimMachine
 
     /** Sync-Sentry hook; null unless --race-check. */
     RaceChecker* checker() { return checker_.get(); }
+
+    /** Sync-Scope recorder for @p tid; null unless profiling. */
+    SyncRecorder*
+    recorder(int tid)
+    {
+        return recorders_.empty() ? nullptr : recorders_[tid].get();
+    }
+
+    /** All recorders, for the post-run merge (empty when off). */
+    std::vector<const SyncRecorder*>
+    recorders() const
+    {
+        std::vector<const SyncRecorder*> out;
+        for (const auto& r : recorders_)
+            out.push_back(r.get());
+        return out;
+    }
 
     /** Finalize the checker's findings (null when not checking). */
     std::shared_ptr<RaceReport>
@@ -533,8 +560,29 @@ class SimMachine
     // ----- barriers ------------------------------------------------------
 
     void
-    barrierArrive(SimThread& me, SimBarrier& barrier)
+    barrierArrive(SimThread& me, SimBarrier& barrier,
+                  std::uint32_t objIndex)
     {
+        if (!recorders_.empty()) {
+            // Arrival spread: difference between the earliest and the
+            // latest thread clock at barrier entry within one release
+            // episode (every barrier is collective over all threads).
+            if (barrier.profArrived == 0) {
+                barrier.profMinArrival = me.clock;
+                barrier.profMaxArrival = me.clock;
+            } else {
+                barrier.profMinArrival =
+                    std::min(barrier.profMinArrival, me.clock);
+                barrier.profMaxArrival =
+                    std::max(barrier.profMaxArrival, me.clock);
+            }
+            if (++barrier.profArrived == nthreads_) {
+                barrier.profArrived = 0;
+                recorders_[me.tid]->recordEpisode(
+                    objIndex,
+                    barrier.profMaxArrival - barrier.profMinArrival);
+            }
+        }
         switch (barrier.kind) {
           case BarrierKind::Sense:
             senseBarrierArrive(me, barrier);
@@ -632,12 +680,15 @@ class SimMachine
      * failure costs another transfer of the contended line plus the
      * retry penalty, exercising the construct's retry path and
      * perturbing the schedule deterministically.
+     *
+     * @return the number of forced failures, so a profiled run can
+     *         account them as RMW retries.
      */
-    void
+    int
     chaosRmwRetries(SimThread& me, SimLine& line)
     {
         if (!chaos_.enabled || chaos_.casFailProb <= 0)
-            return;
+            return 0;
         int forced = 0;
         while (forced < kMaxForcedCasRetries &&
                rng_.uniform() < chaos_.casFailProb) {
@@ -645,6 +696,7 @@ class SimMachine
             me.clock += prof_.casRetryCycles;
             ++forced;
         }
+        return forced;
     }
 
   private:
@@ -783,6 +835,7 @@ class SimMachine
     RunStatus status_ = RunStatus::Ok;
     std::string statusDetail_;
     std::unique_ptr<RaceChecker> checker_;
+    std::vector<std::unique_ptr<SyncRecorder>> recorders_;
     std::vector<std::unique_ptr<SimThread>> threads_;
     std::vector<SimObject> objects_;
     std::binary_semaphore launcherSem_{0};
@@ -812,8 +865,10 @@ class SimContext : public Context
         if (auto* rc = machine_.checker())
             rc->barrierArrive(me_.tid, &obj, me_.clock);
         const VTime entry = me_.clock;
-        machine_.barrierArrive(me_, obj);
+        machine_.barrierArrive(me_, obj, b.index);
         stats_.addCycles(TimeCategory::Barrier, me_.clock - entry);
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(b.index, "arrive", entry, me_.clock - entry, 1, 0);
         if (auto* rc = machine_.checker())
             rc->barrierDepart(me_.tid, &obj, me_.clock);
     }
@@ -827,6 +882,9 @@ class SimContext : public Context
         const VTime entry = me_.clock;
         machine_.rawLockAcquire(me_, obj);
         stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(l.index, "acquire", entry, me_.clock - entry,
+                       1, 0);
         if (auto* rc = machine_.checker())
             rc->lockAcquired(me_.tid, &obj, me_.clock);
     }
@@ -839,6 +897,9 @@ class SimContext : public Context
         const VTime entry = me_.clock;
         machine_.rawLockRelease(me_, obj);
         stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(l.index, "release", entry, me_.clock - entry,
+                       1, 0);
     }
 
     std::uint64_t
@@ -849,9 +910,11 @@ class SimContext : public Context
         auto& obj = *machine_.object(t.index).ticket;
         const VTime entry = me_.clock;
         std::uint64_t old;
+        std::uint64_t retries = 0;
         if (suite_ == SuiteVersion::Splash4) {
             machine_.awaitTurn(me_);
-            machine_.chaosRmwRetries(me_, obj.line);
+            retries += static_cast<std::uint64_t>(
+                machine_.chaosRmwRetries(me_, obj.line));
             me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
             old = obj.value;
             obj.value += step;
@@ -869,6 +932,9 @@ class SimContext : public Context
             machine_.rawLockRelease(me_, obj.lock);
             stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
         }
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(t.index, "ticket", entry, me_.clock - entry,
+                       1 + retries, retries);
         return old;
     }
 
@@ -892,17 +958,21 @@ class SimContext : public Context
         machine_.traceOp(me_, "sum", s.index);
         auto& obj = *machine_.object(s.index).sum;
         const VTime entry = me_.clock;
+        std::uint64_t retries = 0;
         if (suite_ == SuiteVersion::Splash4) {
             // CAS loop: one RMW, plus a retry penalty when the line was
             // stolen since our last visit (a deterministic stand-in for
             // CAS failures under contention).
             machine_.awaitTurn(me_);
-            machine_.chaosRmwRetries(me_, obj.line);
+            retries += static_cast<std::uint64_t>(
+                machine_.chaosRmwRetries(me_, obj.line));
             const std::uint64_t transfers_before =
                 obj.line.transferCount();
             me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
-            if (obj.line.transferCount() != transfers_before)
+            if (obj.line.transferCount() != transfers_before) {
                 me_.clock += prof_.casRetryCycles;
+                ++retries;
+            }
             obj.value += delta;
             if (auto* rc = machine_.checker())
                 rc->rmwValue(me_.tid, &obj.line, &obj.value, me_.clock);
@@ -917,6 +987,9 @@ class SimContext : public Context
             machine_.rawLockRelease(me_, obj.lock);
             stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
         }
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(s.index, "sum-add", entry, me_.clock - entry,
+                       1 + retries, retries);
     }
 
     double
@@ -952,9 +1025,11 @@ class SimContext : public Context
         auto& obj = *machine_.object(s.index).stack;
         const VTime entry = me_.clock;
         bool ok = true;
+        std::uint64_t retries = 0;
         if (suite_ == SuiteVersion::Splash4) {
             machine_.awaitTurn(me_);
-            machine_.chaosRmwRetries(me_, obj.headLine);
+            retries += static_cast<std::uint64_t>(
+                machine_.chaosRmwRetries(me_, obj.headLine));
             me_.clock = obj.headLine.rmw(me_.tid, me_.clock, prof_);
             if (auto* rc = machine_.checker())
                 rc->rmw(me_.tid, &obj.headLine, me_.clock);
@@ -970,6 +1045,9 @@ class SimContext : public Context
             machine_.rawLockRelease(me_, obj.lock);
             stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
         }
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(s.index, "push", entry, me_.clock - entry,
+                       1 + retries, retries);
         return ok;
     }
 
@@ -981,6 +1059,7 @@ class SimContext : public Context
         auto& obj = *machine_.object(s.index).stack;
         const VTime entry = me_.clock;
         bool ok = false;
+        std::uint64_t retries = 0;
         if (suite_ == SuiteVersion::Splash4) {
             machine_.awaitTurn(me_);
             if (obj.items.empty()) {
@@ -989,7 +1068,8 @@ class SimContext : public Context
                 if (auto* rc = machine_.checker())
                     rc->acquire(me_.tid, &obj.headLine, me_.clock);
             } else {
-                machine_.chaosRmwRetries(me_, obj.headLine);
+                retries += static_cast<std::uint64_t>(
+                    machine_.chaosRmwRetries(me_, obj.headLine));
                 me_.clock = obj.headLine.rmw(me_.tid, me_.clock, prof_);
                 if (auto* rc = machine_.checker())
                     rc->rmw(me_.tid, &obj.headLine, me_.clock);
@@ -1009,6 +1089,9 @@ class SimContext : public Context
             machine_.rawLockRelease(me_, obj.lock);
             stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
         }
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(s.index, "pop", entry, me_.clock - entry,
+                       1 + retries, retries);
         return ok;
     }
 
@@ -1019,9 +1102,11 @@ class SimContext : public Context
         machine_.traceOp(me_, "flag-set", f.index);
         auto& obj = *machine_.object(f.index).flag;
         const VTime entry = me_.clock;
+        std::uint64_t retries = 0;
         if (suite_ == SuiteVersion::Splash4) {
             machine_.awaitTurn(me_);
-            machine_.chaosRmwRetries(me_, obj.line);
+            retries += static_cast<std::uint64_t>(
+                machine_.chaosRmwRetries(me_, obj.line));
             me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
             if (auto* rc = machine_.checker())
                 rc->rmw(me_.tid, &obj.line, me_.clock);
@@ -1052,6 +1137,9 @@ class SimContext : public Context
             machine_.rawLockRelease(me_, obj.lock);
             stats_.addCycles(TimeCategory::Flag, me_.clock - entry);
         }
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(f.index, "set", entry, me_.clock - entry,
+                       1 + retries, retries);
     }
 
     void
@@ -1088,6 +1176,8 @@ class SimContext : public Context
         if (auto* rc = machine_.checker())
             rc->acquire(me_.tid, &obj.line, me_.clock);
         stats_.addCycles(TimeCategory::Flag, me_.clock - entry);
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(f.index, "wait", entry, me_.clock - entry, 1, 0);
     }
 
     void
@@ -1201,6 +1291,18 @@ SimEngine::run(const ThreadBody& body)
         std::chrono::duration<double>(stop - start).count();
     for (int tid = 0; tid < n; ++tid)
         outcome.perThread.push_back(contexts[tid]->stats());
+    if (options_.syncProfile) {
+        auto profile = std::make_shared<SyncProfile>(buildSyncProfile(
+            world_, EngineKind::Sim, "cycles", machine.recorders()));
+        for (const ThreadStats& stats : outcome.perThread)
+            profile->computeTotal += stats.categoryCycles[static_cast<
+                int>(TimeCategory::Compute)];
+        // Virtual cycles are homogeneous: compute plus wait time is
+        // exactly the busy thread-time the run had available.
+        profile->availableTotal =
+            profile->computeTotal + profile->waitTotal();
+        outcome.syncProfile = std::move(profile);
+    }
     return outcome;
 }
 

@@ -38,6 +38,9 @@ struct SimOptions
     /** Attach the Sync-Sentry happens-before race checker. */
     bool raceCheck = false;
 
+    /** Attach the Sync-Scope per-construct profiler. */
+    bool syncProfile = false;
+
     /** Seeded deterministic fault injection (Chaos-Sentry). */
     ChaosOptions chaos;
 

@@ -13,11 +13,15 @@
  */
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/benchmark.h"
+#include "core/sync_profile.h"
 #include "engine/engine.h"
+#include "sync/scope_hook.h"
 #include "harness/report.h"
 #include "harness/suite.h"
 #include "harness/suite_runner.h"
@@ -27,6 +31,37 @@
 
 namespace {
 
+/** Write one run's Sync-Scope JSON/CSV/Chrome-trace files into @p dir. */
+void
+writeProfileOutputs(const std::string& dir, const std::string& bench,
+                    const splash::RunConfig& config,
+                    const splash::RunResult& result)
+{
+    using namespace splash;
+    if (!result.syncProfile)
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("--profile-out: cannot create '" + dir +
+              "': " + ec.message());
+    const std::string stem = dir + "/" + bench + "-" +
+                             toString(config.suite) + "-" +
+                             toString(config.engine);
+    const auto writeFile = [](const std::string& path,
+                              const std::string& text) {
+        std::ofstream out(path, std::ios::binary);
+        if (!out)
+            fatal("--profile-out: cannot write '" + path + "'");
+        out << text;
+    };
+    writeFile(stem + ".json", result.syncProfile->toJson());
+    writeFile(stem + ".csv", result.syncProfile->toCsv());
+    writeFile(stem + ".trace.json",
+              result.syncProfile->toChromeTrace());
+    inform("sync-scope: wrote " + stem + ".{json,csv,trace.json}");
+}
+
 void
 usage()
 {
@@ -35,7 +70,15 @@ usage()
         "  --suite=splash3|splash4   (default splash4)\n"
         "  --engine=native|sim       (default sim)\n"
         "  --threads=N               (default 4)\n"
-        "  --profile=NAME            (default epyc64; sim engine)\n"
+        "  --profile=NAME            machine profile (default epyc64;\n"
+        "                            sim engine)\n"
+        "  --profile                 bare: attach the Sync-Scope\n"
+        "                            synchronization profiler and print\n"
+        "                            a per-construct wait breakdown\n"
+        "  --profile-out=DIR         write Sync-Scope JSON + CSV + a\n"
+        "                            Chrome trace (chrome://tracing)\n"
+        "                            per run into DIR (implies\n"
+        "                            profiling); see docs/PROFILING.md\n"
         "  --detail                  print per-run detail\n"
         "  --race-check              run the Sync-Sentry happens-before\n"
         "                            checker (sim engine); exit nonzero\n"
@@ -90,7 +133,19 @@ main(int argc, char** argv)
     config.threads = static_cast<int>(args.getInt("threads", 4));
     config.suite = parseSuite(args.get("suite", "splash4"));
     config.engine = parseEngine(args.get("engine", "sim"));
-    config.profile = args.get("profile", "epyc64");
+    // --profile wears two hats: with a value it selects the sim
+    // machine profile; bare (CliArgs renders bare flags as "1") it
+    // attaches the Sync-Scope synchronization profiler.
+    const std::string profileArg = args.get("profile", "");
+    if (profileArg == "1")
+        config.syncProfile = true;
+    else if (!profileArg.empty())
+        config.profile = profileArg;
+    const std::string profileOut = args.get("profile-out", "");
+    if (!profileOut.empty() && profileOut != "1")
+        config.syncProfile = true;
+    else if (profileOut == "1")
+        fatal("--profile-out needs a directory: --profile-out=DIR");
     config.raceCheck = args.has("race-check");
     if (config.raceCheck && config.engine != EngineKind::Sim)
         fatal("--race-check requires --engine=sim");
@@ -125,11 +180,11 @@ main(int argc, char** argv)
     // Forward everything else as benchmark parameters.
     static const std::vector<std::string> reserved = {
         "threads",         "suite",           "engine",
-        "profile",         "detail",          "race-check",
-        "csv",             "list",            "chaos-level",
-        "chaos-seed",      "watchdog",        "watchdog-steps",
-        "watchdog-cycles", "watchdog-wall",   "isolate",
-        "isolate-timeout"};
+        "profile",         "profile-out",     "detail",
+        "race-check",      "csv",             "list",
+        "chaos-level",     "chaos-seed",      "watchdog",
+        "watchdog-steps",  "watchdog-cycles", "watchdog-wall",
+        "isolate",         "isolate-timeout"};
     for (const char* key :
          {"keys", "bits", "seed", "bodies", "steps", "grid", "molecules",
           "size", "block", "rays", "width", "height", "volume",
@@ -214,6 +269,11 @@ main(int argc, char** argv)
         addRunRow(table, row.benchmark, config, result);
         if (args.has("detail"))
             printRunDetail(row.benchmark, config, result);
+        if (!args.has("csv"))
+            printSyncProfile(row.benchmark, result);
+        if (!profileOut.empty())
+            writeProfileOutputs(profileOut, row.benchmark, config,
+                                result);
         race_clean = printRaceReport(result) && race_clean;
         if (result.status != RunStatus::Ok &&
             result.status != RunStatus::VerifyFailed) {
@@ -233,6 +293,15 @@ main(int argc, char** argv)
     if (config.raceCheck && !race_clean) {
         warn("race-check: violations detected (see reports above)");
         return 1;
+    }
+    // Zero-cost-when-off invariant: no Sync-Scope instrumentation
+    // window may open unless profiling was requested.  This is what
+    // the CI chaos sweep leans on to assert the profiler's off-path
+    // adds nothing to a production run.
+    if (!config.syncProfile) {
+        panicIf(sync_scope::windowCount() != 0,
+                "sync-scope: instrumentation window opened during a "
+                "non-profiled run");
     }
     // Any failed row (deadlock, livelock, timeout, crash, or failed
     // verification) makes the whole invocation fail.

@@ -1,17 +1,20 @@
 #include "harness/report.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "analysis/race_report.h"
+#include "core/sync_profile.h"
 
 namespace splash {
 
 std::vector<std::string>
 runRowHeaders()
 {
-    return {"benchmark", "suite", "engine",   "threads",
-            "cycles",    "wall_s", "barrier", "lock",
-            "atomic",    "verified", "status", "tries"};
+    return {"benchmark", "suite",    "engine", "threads",
+            "cycles",    "wall_s",   "barrier", "lock",
+            "atomic",    "wait_pct", "verified", "status",
+            "tries"};
 }
 
 void
@@ -27,6 +30,10 @@ addRunRow(Table& table, const std::string& benchName,
         .cell(result.totals.barrierCrossings)
         .cell(result.totals.lockAcquires)
         .cell(result.totals.atomicOps())
+        .cell(result.syncProfile
+                  ? formatDouble(
+                        100.0 * result.syncProfile->waitFraction(), 1)
+                  : std::string("-"))
         .cell(result.verified ? "yes" : "NO")
         .cell(toString(result.status))
         .cell(std::to_string(result.attempts));
@@ -74,6 +81,83 @@ printRunDetail(const std::string& benchName, const RunConfig& config,
                         100.0 * result.categoryFraction(cat));
         }
         std::printf("\n");
+    }
+    std::fflush(stdout);
+}
+
+void
+printSyncProfile(const std::string& benchName, const RunResult& result)
+{
+    if (!result.syncProfile)
+        return;
+    const SyncProfile& profile = *result.syncProfile;
+    Table table({"construct", "realization", "category", "ops",
+                 "attempts", "retries", "wait_total", "wait_pct",
+                 "wait_max", "spread_avg"});
+    // Benchmarks like barnes allocate hundreds of fine-grained locks;
+    // print the hottest constructs and fold the tail into one row so
+    // nothing is silently dropped (the JSON/CSV exports keep it all).
+    constexpr std::size_t kMaxRows = 20;
+    std::vector<const ConstructProfile*> touched;
+    for (const auto& c : profile.constructs)
+        if (c.ops != 0 || c.episodes != 0)
+            touched.push_back(&c);
+    std::stable_sort(touched.begin(), touched.end(),
+                     [](const ConstructProfile* a,
+                        const ConstructProfile* b) {
+                         return a->waitTotal > b->waitTotal;
+                     });
+    const auto pctOf = [&](std::uint64_t wait) {
+        return profile.availableTotal == 0
+                   ? 0.0
+                   : 100.0 * static_cast<double>(wait)
+                         / static_cast<double>(profile.availableTotal);
+    };
+    for (std::size_t i = 0; i < touched.size() && i < kMaxRows; ++i) {
+        const ConstructProfile& c = *touched[i];
+        table.cell(c.name)
+            .cell(c.realization)
+            .cell(toString(c.category))
+            .cell(c.ops)
+            .cell(c.attempts)
+            .cell(c.retries)
+            .cell(c.waitTotal)
+            .cell(pctOf(c.waitTotal), 2)
+            .cell(c.waitMax)
+            .cell(c.episodes
+                      ? formatDouble(
+                            static_cast<double>(c.spreadTotal)
+                                / static_cast<double>(c.episodes),
+                            1)
+                      : std::string("-"));
+        table.endRow();
+    }
+    if (touched.size() > kMaxRows) {
+        ConstructProfile rest;
+        for (std::size_t i = kMaxRows; i < touched.size(); ++i)
+            rest.mergeCounters(*touched[i]);
+        table.cell("(other x" +
+                   std::to_string(touched.size() - kMaxRows) + ")")
+            .cell("-")
+            .cell("-")
+            .cell(rest.ops)
+            .cell(rest.attempts)
+            .cell(rest.retries)
+            .cell(rest.waitTotal)
+            .cell(pctOf(rest.waitTotal), 2)
+            .cell(rest.waitMax)
+            .cell("-");
+        table.endRow();
+    }
+    table.print("Sync-Scope breakdown: " + benchName + " ["
+                + toString(profile.suite) + ", "
+                + toString(profile.engine) + ", "
+                + std::to_string(profile.threads) + " threads, "
+                + profile.timeUnit + "]");
+    if (profile.droppedEvents) {
+        std::printf("  (timeline capped: %llu events dropped)\n",
+                    static_cast<unsigned long long>(
+                        profile.droppedEvents));
     }
     std::fflush(stdout);
 }

@@ -31,6 +31,13 @@ void printRunDetail(const std::string& benchName,
  */
 bool printRaceReport(const RunResult& result);
 
+/**
+ * Print the Sync-Scope per-construct breakdown attached to a
+ * --profile run (no-op when the result carries no profile).
+ */
+void printSyncProfile(const std::string& benchName,
+                      const RunResult& result);
+
 } // namespace splash
 
 #endif // SPLASH_HARNESS_REPORT_H

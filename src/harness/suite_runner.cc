@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "core/benchmark.h"
+#include "core/sync_profile.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -80,6 +81,12 @@ serializeResult(const RunResult& result)
     os << "stackOps=" << result.totals.stackOps << "\n";
     os << "flagOps=" << result.totals.flagOps << "\n";
     os << "workUnits=" << result.totals.workUnits << "\n";
+    if (result.syncProfile) {
+        // Sync-Scope counters survive the process boundary; the event
+        // timeline does not (run without --isolate to capture traces).
+        os << "syncscope="
+           << escapeValue(result.syncProfile->serializeWire()) << "\n";
+    }
     return os.str();
 }
 
@@ -132,6 +139,16 @@ deserializeResult(const std::string& text, RunResult& result)
         } else if (key == "workUnits") {
             result.totals.workUnits =
                 std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "syncscope") {
+            SyncProfile profile;
+            if (SyncProfile::deserializeWire(unescapeValue(value),
+                                             profile)) {
+                result.syncProfile = std::make_shared<SyncProfile>(
+                    std::move(profile));
+            } else {
+                warn("suite isolation: dropping malformed Sync-Scope "
+                     "wire payload");
+            }
         }
     }
     return sawStatus;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sync/chaos_hook.h"
+#include "sync/scope_hook.h"
 #include "sync/spinlock.h"
 
 namespace splash {
@@ -27,7 +28,9 @@ atomicAddDouble(std::atomic<double>& target, double delta)
 {
     double expected = target.load(std::memory_order_relaxed);
     for (;;) {
+        sync_scope::noteAttempt();
         if (sync_chaos::forcedCasFail()) {
+            sync_scope::noteRetry();
             expected = target.load(std::memory_order_relaxed);
             continue;
         }
@@ -36,6 +39,7 @@ atomicAddDouble(std::atomic<double>& target, double delta)
                                          std::memory_order_relaxed))
             return expected;
         // expected reloaded by compare_exchange_weak
+        sync_scope::noteRetry();
     }
 }
 
@@ -45,7 +49,9 @@ atomicMinDouble(std::atomic<double>& target, double value)
 {
     double expected = target.load(std::memory_order_relaxed);
     while (value < expected) {
+        sync_scope::noteAttempt();
         if (sync_chaos::forcedCasFail()) {
+            sync_scope::noteRetry();
             expected = target.load(std::memory_order_relaxed);
             continue;
         }
@@ -53,6 +59,7 @@ atomicMinDouble(std::atomic<double>& target, double value)
                                          std::memory_order_acq_rel,
                                          std::memory_order_relaxed))
             return;
+        sync_scope::noteRetry();
     }
 }
 
@@ -62,7 +69,9 @@ atomicMaxDouble(std::atomic<double>& target, double value)
 {
     double expected = target.load(std::memory_order_relaxed);
     while (value > expected) {
+        sync_scope::noteAttempt();
         if (sync_chaos::forcedCasFail()) {
+            sync_scope::noteRetry();
             expected = target.load(std::memory_order_relaxed);
             continue;
         }
@@ -70,6 +79,7 @@ atomicMaxDouble(std::atomic<double>& target, double value)
                                          std::memory_order_acq_rel,
                                          std::memory_order_relaxed))
             return;
+        sync_scope::noteRetry();
     }
 }
 

@@ -115,13 +115,29 @@ TreeBarrier::arriveAndWait(int tid)
 void
 TreeBarrier::arriveAndWait()
 {
-    static thread_local int slot = -1;
-    static thread_local const TreeBarrier* owner = nullptr;
-    if (owner != this) {
-        owner = this;
-        slot = autoSlot_.fetch_add(1, std::memory_order_relaxed)
-               % participants_;
+    // One permanent slot per (thread, barrier instance) pair, so a
+    // thread alternating between instances keeps its slot in each
+    // instead of re-drawing from the dispenser on every switch.
+    struct SlotEntry
+    {
+        const TreeBarrier* owner;
+        int slot;
+    };
+    static thread_local std::vector<SlotEntry> slots;
+    for (const auto& entry : slots) {
+        if (entry.owner == this) {
+            arriveAndWait(entry.slot);
+            return;
+        }
     }
+    const int slot = autoSlot_.fetch_add(1, std::memory_order_relaxed);
+    // An over-subscribed dispenser would alias an already-assigned
+    // slot (double-arriving for it and releasing the barrier early);
+    // fail fast instead.  See the auto-slot contract in the header.
+    panicIf(slot >= participants_,
+            "tree barrier: more distinct threads than participants "
+            "used arriveAndWait(); pass explicit tids instead");
+    slots.push_back({this, slot});
     arriveAndWait(slot);
 }
 

@@ -67,8 +67,12 @@ class SenseBarrier : public Barrier
 
   private:
     const int participants_;
-    std::atomic<int> count_{0};
-    std::atomic<std::uint64_t> generation_{0};
+    // count_ takes one fetch_add per arrival while every waiter polls
+    // generation_; on one cache line each arrival would invalidate the
+    // line the spinners are reading (same padding pattern as
+    // PaddedAccumulator::Slot in atomic_reduction.h).
+    alignas(64) std::atomic<int> count_{0};
+    alignas(64) std::atomic<std::uint64_t> generation_{0};
 };
 
 /**
@@ -86,6 +90,13 @@ class TreeBarrier : public Barrier
      * Tree barriers need the caller's identity to pick its leaf.
      * arriveAndWait() uses a thread-local auto-assigned slot; prefer
      * arriveAndWait(tid) when the caller knows its dense id.
+     *
+     * Auto-slot contract: a slot is assigned permanently to a host
+     * thread on its first arrival at this barrier, so at most
+     * participants() distinct threads may ever use the auto path on
+     * one instance.  A further thread would silently alias an
+     * already-assigned slot (double-arriving for it and releasing the
+     * barrier early), so the dispenser panics instead.
      */
     void arriveAndWait() override;
 
@@ -95,7 +106,9 @@ class TreeBarrier : public Barrier
     int participants() const override { return participants_; }
 
   private:
-    struct Node
+    // Padded so separately-allocated nodes can never land on one
+    // cache line: each group spins only on its own node's count.
+    struct alignas(64) Node
     {
         std::atomic<int> count{0};
         int expected = 0;
@@ -108,8 +121,10 @@ class TreeBarrier : public Barrier
     const int fanout_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::vector<int> leafOf_; // tid -> leaf node index
-    std::atomic<std::uint64_t> globalGen_{0};
-    std::atomic<int> autoSlot_{0};
+    // Every waiter polls globalGen_; keep the auto-slot dispenser (and
+    // anything else) off its cache line.
+    alignas(64) std::atomic<std::uint64_t> globalGen_{0};
+    alignas(64) std::atomic<int> autoSlot_{0};
 };
 
 } // namespace splash

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sync/chaos_hook.h"
+#include "sync/scope_hook.h"
 #include "util/log.h"
 
 namespace splash {
@@ -44,7 +45,9 @@ class LockFreeStack
         nodes_[node].value.store(value, std::memory_order_relaxed);
         std::uint64_t old_head = head_.load(std::memory_order_acquire);
         for (;;) {
+            sync_scope::noteAttempt();
             if (sync_chaos::forcedCasFail()) {
+                sync_scope::noteRetry();
                 old_head = head_.load(std::memory_order_acquire);
                 continue;
             }
@@ -56,6 +59,7 @@ class LockFreeStack
                                             std::memory_order_acquire)) {
                 return true;
             }
+            sync_scope::noteRetry();
         }
     }
 
@@ -65,7 +69,9 @@ class LockFreeStack
     {
         std::uint64_t old_head = head_.load(std::memory_order_acquire);
         for (;;) {
+            sync_scope::noteAttempt();
             if (sync_chaos::forcedCasFail()) {
+                sync_scope::noteRetry();
                 old_head = head_.load(std::memory_order_acquire);
                 continue;
             }
@@ -86,6 +92,7 @@ class LockFreeStack
                 freeNode(node);
                 return true;
             }
+            sync_scope::noteRetry();
         }
     }
 
@@ -127,7 +134,9 @@ class LockFreeStack
     {
         std::uint64_t old_head = freeHead_.load(std::memory_order_acquire);
         for (;;) {
+            sync_scope::noteAttempt();
             if (sync_chaos::forcedCasFail()) {
+                sync_scope::noteRetry();
                 old_head = freeHead_.load(std::memory_order_acquire);
                 continue;
             }
@@ -142,6 +151,7 @@ class LockFreeStack
                     std::memory_order_acquire)) {
                 return node;
             }
+            sync_scope::noteRetry();
         }
     }
 
@@ -150,7 +160,9 @@ class LockFreeStack
     {
         std::uint64_t old_head = freeHead_.load(std::memory_order_acquire);
         for (;;) {
+            sync_scope::noteAttempt();
             if (sync_chaos::forcedCasFail()) {
+                sync_scope::noteRetry();
                 old_head = freeHead_.load(std::memory_order_acquire);
                 continue;
             }
@@ -162,6 +174,7 @@ class LockFreeStack
                     std::memory_order_acquire)) {
                 return;
             }
+            sync_scope::noteRetry();
         }
     }
 

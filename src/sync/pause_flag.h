@@ -77,7 +77,9 @@ class AtomicFlag
     }
 
   private:
-    std::atomic<bool> value_{false};
+    // Padded: waiters spin on this byte; keep neighboring heap
+    // objects' stores from invalidating the polled line.
+    alignas(64) std::atomic<bool> value_{false};
 };
 
 } // namespace splash

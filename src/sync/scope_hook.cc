@@ -1,0 +1,33 @@
+#include "sync/scope_hook.h"
+
+#include <atomic>
+
+namespace splash {
+namespace sync_scope {
+
+thread_local OpCounters* tlsActiveOp = nullptr;
+
+namespace {
+std::atomic<std::uint64_t> windows{0};
+} // namespace
+
+std::uint64_t
+windowCount()
+{
+    return windows.load(std::memory_order_relaxed);
+}
+
+void
+noteWindowOpened()
+{
+    windows.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+resetWindowCount()
+{
+    windows.store(0, std::memory_order_relaxed);
+}
+
+} // namespace sync_scope
+} // namespace splash

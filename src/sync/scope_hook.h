@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Sync-Scope attempt/retry hooks for the native lock-free primitives.
+ *
+ * The profiler needs to see inside the retry loops: how many CAS/RMW
+ * attempts one logical operation consumed, and how many of those
+ * attempts failed (lost the race or were chaos-forced to fail).  The
+ * primitives themselves are construct-agnostic -- they do not know
+ * which World object they realize -- so the engine-side caller opens a
+ * per-operation window (OpWindow) bound to a thread-local sink, and the
+ * primitives report attempts into whatever window is active.
+ *
+ * The fast path mirrors sync_chaos: one thread-local pointer load and
+ * a predictable branch per attempt.  With no window installed (the
+ * default, and always the case when profiling is off) nothing is
+ * recorded and nothing is allocated.
+ */
+
+#ifndef SPLASH_SYNC_SCOPE_HOOK_H
+#define SPLASH_SYNC_SCOPE_HOOK_H
+
+#include <cstdint>
+
+namespace splash {
+namespace sync_scope {
+
+/** Attempt/retry counters for one in-flight logical operation. */
+struct OpCounters
+{
+    std::uint64_t attempts = 0; ///< CAS/RMW attempts, incl. retries
+    std::uint64_t retries = 0;  ///< attempts that failed and looped
+};
+
+/** Active sink for the calling thread; null when not profiling. */
+extern thread_local OpCounters* tlsActiveOp;
+
+/**
+ * Process-wide count of OpWindow installations, for the harness's
+ * zero-overhead-when-off self-check: a run without --profile must
+ * finish with this still at zero.  Only bumped when profiling is on,
+ * so it costs nothing on the default path.
+ */
+std::uint64_t windowCount();
+
+/** Internal: bump the window counter (called by OpWindow). */
+void noteWindowOpened();
+
+/** Reset the window counter (tests only; not thread-safe vs. runs). */
+void resetWindowCount();
+
+/** Called by a primitive at the top of each CAS/RMW attempt. */
+inline void
+noteAttempt()
+{
+    if (OpCounters* op = tlsActiveOp)
+        ++op->attempts;
+}
+
+/** Called by a primitive when an attempt failed and it will retry. */
+inline void
+noteRetry()
+{
+    if (OpCounters* op = tlsActiveOp)
+        ++op->retries;
+}
+
+/**
+ * RAII window making @p counters the calling thread's attempt sink for
+ * the duration of one logical operation.  Windows nest (the previous
+ * sink is restored), though the engines only ever open one at a time.
+ */
+class OpWindow
+{
+  public:
+    explicit OpWindow(OpCounters& counters) : prev_(tlsActiveOp)
+    {
+        tlsActiveOp = &counters;
+        noteWindowOpened();
+    }
+
+    ~OpWindow() { tlsActiveOp = prev_; }
+
+    OpWindow(const OpWindow&) = delete;
+    OpWindow& operator=(const OpWindow&) = delete;
+
+  private:
+    OpCounters* prev_;
+};
+
+} // namespace sync_scope
+} // namespace splash
+
+#endif // SPLASH_SYNC_SCOPE_HOOK_H

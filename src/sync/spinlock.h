@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "sync/chaos_hook.h"
+#include "sync/scope_hook.h"
 
 namespace splash {
 
@@ -59,9 +60,11 @@ class TasLock
     {
         SpinWait waiter;
         for (;;) {
+            sync_scope::noteAttempt();
             if (!sync_chaos::forcedCasFail() &&
                 !flag_.exchange(true, std::memory_order_acquire))
                 return;
+            sync_scope::noteRetry();
             waiter.spin();
         }
     }
@@ -86,9 +89,11 @@ class TtasLock
         for (;;) {
             while (flag_.load(std::memory_order_relaxed))
                 waiter.spin();
+            sync_scope::noteAttempt();
             if (!sync_chaos::forcedCasFail() &&
                 !flag_.exchange(true, std::memory_order_acquire))
                 return;
+            sync_scope::noteRetry();
             waiter.spin();
         }
     }

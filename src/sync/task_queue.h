@@ -99,7 +99,9 @@ class AtomicTicket
     }
 
   private:
-    std::atomic<std::uint64_t> value_{0};
+    // Padded: the counter is hammered by every thread, and adjacent
+    // heap objects must not ride (or pollute) its cache line.
+    alignas(64) std::atomic<std::uint64_t> value_{0};
 };
 
 } // namespace splash

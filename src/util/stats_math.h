@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/log.h"
+
 namespace splash {
 
 /** Arithmetic mean; 0 for an empty range. */
@@ -24,16 +26,30 @@ mean(const std::vector<double>& values)
     return acc / static_cast<double>(values.size());
 }
 
-/** Geometric mean; 0 for an empty range; requires positive values. */
+/**
+ * Geometric mean over the positive entries; 0 for an empty range.
+ * A zero or negative entry has no log, so feeding it to std::log
+ * would silently print NaN (or -inf) into report tables; instead such
+ * entries are skipped with a warning and the mean is taken over the
+ * rest (0 if nothing remains).
+ */
 inline double
 geomean(const std::vector<double>& values)
 {
-    if (values.empty())
-        return 0.0;
     double acc = 0.0;
-    for (double v : values)
+    std::size_t used = 0;
+    for (double v : values) {
+        if (!(v > 0.0)) {
+            warn("geomean: skipping non-positive value " +
+                 std::to_string(v));
+            continue;
+        }
         acc += std::log(v);
-    return std::exp(acc / static_cast<double>(values.size()));
+        ++used;
+    }
+    if (used == 0)
+        return 0.0;
+    return std::exp(acc / static_cast<double>(used));
 }
 
 /** Population standard deviation. */

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Sync-Scope profiler contract: a profiled sim run is deterministic
+ * and agrees exactly with the engine's category accounting, a profiled
+ * native run produces sane wall-clock measurements, the off path opens
+ * zero instrumentation windows, and the exports/wire codec round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/sync_profile.h"
+#include "engine/engine.h"
+#include "harness/suite.h"
+#include "sync/scope_hook.h"
+
+namespace splash {
+namespace {
+
+class SyncProfileTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { registerAllBenchmarks(); }
+
+    static RunConfig
+    config(EngineKind engine, bool profiled)
+    {
+        RunConfig config;
+        config.threads = 4;
+        config.suite = SuiteVersion::Splash4;
+        config.engine = engine;
+        config.profile = "test4";
+        config.syncProfile = profiled;
+        config.params.set("keys", std::int64_t{2048});
+        config.params.set("bits", std::int64_t{4});
+        return config;
+    }
+};
+
+TEST_F(SyncProfileTest, SimProfileIsDeterministic)
+{
+    const RunResult a =
+        runBenchmark("radix", config(EngineKind::Sim, true));
+    const RunResult b =
+        runBenchmark("radix", config(EngineKind::Sim, true));
+    ASSERT_TRUE(a.syncProfile);
+    ASSERT_TRUE(b.syncProfile);
+    // Same seed, same config: byte-identical exports, timeline
+    // included.
+    EXPECT_EQ(a.syncProfile->toJson(), b.syncProfile->toJson());
+    EXPECT_EQ(a.syncProfile->toChromeTrace(),
+              b.syncProfile->toChromeTrace());
+}
+
+TEST_F(SyncProfileTest, SimProfileMatchesCategoryAccounting)
+{
+    const RunResult result =
+        runBenchmark("radix", config(EngineKind::Sim, true));
+    ASSERT_TRUE(result.syncProfile);
+    const SyncProfile& profile = *result.syncProfile;
+    EXPECT_EQ(profile.timeUnit, "cycles");
+    // The profiler observes the same modeled waits ThreadStats
+    // charges; per-category totals must agree exactly, which is what
+    // lets fig4 be regenerated from the profile.
+    for (const TimeCategory cat :
+         {TimeCategory::Barrier, TimeCategory::Lock,
+          TimeCategory::Atomic, TimeCategory::Flag}) {
+        EXPECT_EQ(profile.categoryWait(cat),
+                  static_cast<std::uint64_t>(
+                      result.totals.categoryCycles[static_cast<int>(
+                          cat)]))
+            << "category " << toString(cat);
+    }
+    EXPECT_EQ(profile.computeTotal,
+              static_cast<std::uint64_t>(
+                  result.totals.categoryCycles[static_cast<int>(
+                      TimeCategory::Compute)]));
+    EXPECT_EQ(profile.availableTotal,
+              profile.computeTotal + profile.waitTotal());
+}
+
+TEST_F(SyncProfileTest, SimProfileCountsMatchConstructTotals)
+{
+    const RunResult result =
+        runBenchmark("radix", config(EngineKind::Sim, true));
+    ASSERT_TRUE(result.syncProfile);
+    const SyncProfile& profile = *result.syncProfile;
+    std::uint64_t barrierOps = 0;
+    for (const auto& c : profile.constructs)
+        if (c.kind == SyncObjKind::Barrier)
+            barrierOps += c.ops;
+    EXPECT_EQ(barrierOps, result.totals.barrierCrossings);
+    // Per-thread totals sum to the construct totals.
+    std::uint64_t perThreadOps = 0;
+    for (const auto& t : profile.perThread)
+        perThreadOps += t.ops;
+    std::uint64_t constructOps = 0;
+    for (const auto& c : profile.constructs)
+        constructOps += c.ops;
+    EXPECT_EQ(perThreadOps, constructOps);
+}
+
+TEST_F(SyncProfileTest, NativeProfileSmoke)
+{
+    const RunResult result =
+        runBenchmark("radix", config(EngineKind::Native, true));
+    ASSERT_TRUE(result.syncProfile);
+    const SyncProfile& profile = *result.syncProfile;
+    EXPECT_EQ(profile.timeUnit, "ns");
+    EXPECT_EQ(profile.threads, 4);
+    EXPECT_GT(profile.availableTotal, 0u);
+    std::uint64_t ops = 0;
+    for (const auto& c : profile.constructs)
+        ops += c.ops;
+    EXPECT_GT(ops, 0u);
+    EXPECT_GE(profile.waitFraction(), 0.0);
+    EXPECT_LE(profile.waitFraction(), 1.0);
+}
+
+TEST_F(SyncProfileTest, OffPathOpensNoWindows)
+{
+    sync_scope::resetWindowCount();
+    const RunResult off =
+        runBenchmark("radix", config(EngineKind::Native, false));
+    EXPECT_FALSE(off.syncProfile);
+    EXPECT_EQ(sync_scope::windowCount(), 0u);
+    // And the profiled path does open windows, so the counter is live.
+    const RunResult on =
+        runBenchmark("radix", config(EngineKind::Native, true));
+    EXPECT_TRUE(on.syncProfile);
+    EXPECT_GT(sync_scope::windowCount(), 0u);
+    sync_scope::resetWindowCount();
+}
+
+TEST_F(SyncProfileTest, WireCodecRoundTrips)
+{
+    const RunResult result =
+        runBenchmark("radix", config(EngineKind::Sim, true));
+    ASSERT_TRUE(result.syncProfile);
+    SyncProfile out;
+    ASSERT_TRUE(SyncProfile::deserializeWire(
+        result.syncProfile->serializeWire(), out));
+    // The wire drops the event timeline but preserves every counter:
+    // re-serializing must reproduce the payload, and the table-facing
+    // export must match.
+    EXPECT_EQ(out.serializeWire(), result.syncProfile->serializeWire());
+    EXPECT_EQ(out.toCsv(), result.syncProfile->toCsv());
+    EXPECT_TRUE(out.events.empty());
+}
+
+TEST_F(SyncProfileTest, WireCodecRejectsGarbage)
+{
+    SyncProfile out;
+    EXPECT_FALSE(SyncProfile::deserializeWire("", out));
+    EXPECT_FALSE(SyncProfile::deserializeWire("v9;bogus", out));
+    EXPECT_FALSE(SyncProfile::deserializeWire("not a profile\n", out));
+}
+
+TEST_F(SyncProfileTest, ChromeTraceLooksWellFormed)
+{
+    const RunResult result =
+        runBenchmark("radix", config(EngineKind::Sim, true));
+    ASSERT_TRUE(result.syncProfile);
+    const std::string trace = result.syncProfile->toChromeTrace();
+    EXPECT_EQ(trace.front(), '{');
+    EXPECT_EQ(trace.back(), '\n');
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    if (!result.syncProfile->events.empty()) {
+        EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace splash

@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "core/benchmark.h"
+#include "core/sync_profile.h"
 #include "engine/engine.h"
 #include "harness/suite_runner.h"
 
@@ -222,6 +223,31 @@ TEST(SuiteRunner, IsolationCapturesACrashAndMovesOn)
         << rows[0].result.statusDetail;
     EXPECT_EQ(rows[1].result.status, RunStatus::Ok);
     EXPECT_EQ(suiteExitCode(rows), 1);
+}
+
+TEST(SuiteRunner, IsolationCarriesTheSyncProfile)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    RunConfig config = simConfig();
+    config.syncProfile = true;
+    const RunResult result =
+        runBenchmarkResilient("zz-ok", config, iso);
+    ASSERT_EQ(result.status, RunStatus::Ok);
+    ASSERT_TRUE(result.syncProfile);
+    const SyncProfile& profile = *result.syncProfile;
+    EXPECT_EQ(profile.threads, config.threads);
+    EXPECT_EQ(profile.timeUnit, "cycles");
+    // Counters survive the pipe: one barrier crossing per thread.
+    std::uint64_t barrierOps = 0;
+    for (const auto& c : profile.constructs)
+        if (c.kind == SyncObjKind::Barrier)
+            barrierOps += c.ops;
+    EXPECT_EQ(barrierOps, static_cast<std::uint64_t>(config.threads));
+    // The event timeline deliberately does not cross the process
+    // boundary (see the wire codec's contract).
+    EXPECT_TRUE(profile.events.empty());
 }
 
 TEST(SuiteRunner, IsolationDecodesTheNativeWatchdogExit)

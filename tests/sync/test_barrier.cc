@@ -110,6 +110,82 @@ TEST(TreeBarrier, VariousFanouts)
     }
 }
 
+/**
+ * Reuse torture: a barrier instance must stay correct across many
+ * generations (the sense/generation words wrap through thousands of
+ * reversals without reallocation).
+ */
+TEST(CondBarrier, ReuseAcrossManyGenerations)
+{
+    CondBarrier barrier(2);
+    phaseAgreementTest(barrier, 2, 1000);
+}
+
+TEST(SenseBarrier, ReuseAcrossManyGenerations)
+{
+    SenseBarrier barrier(2);
+    phaseAgreementTest(barrier, 2, 1000);
+}
+
+TEST(TreeBarrier, ReuseAcrossManyGenerations)
+{
+    TreeBarrier barrier(2, 2);
+    phaseAgreementTest(barrier, 2, 1000);
+}
+
+/** The auto-slot path must behave exactly like explicit tids. */
+TEST(TreeBarrier, AutoSlotPhaseAgreement)
+{
+    TreeBarrier barrier(5, 2);
+    phaseAgreementTest(barrier, 5, 50);
+}
+
+/**
+ * A thread alternating between two instances must keep its permanent
+ * slot in each; the old (owner, slot) pair implementation re-drew a
+ * slot on every instance switch and exhausted the dispenser.
+ */
+TEST(TreeBarrier, AutoSlotAlternatingInstances)
+{
+    constexpr int kThreads = 4;
+    TreeBarrier a(kThreads, 2);
+    TreeBarrier b(kThreads, 2);
+    std::atomic<int> rounds{0};
+    std::vector<std::thread> threads;
+    for (int tid = 0; tid < kThreads; ++tid) {
+        threads.emplace_back([&] {
+            for (int r = 0; r < 50; ++r) {
+                a.arriveAndWait();
+                b.arriveAndWait();
+            }
+            rounds.fetch_add(1);
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(rounds.load(), kThreads);
+}
+
+/**
+ * The dispenser must fail fast when more distinct threads than
+ * participants use the auto path (a silently aliased slot would
+ * double-arrive and release the barrier early).
+ */
+TEST(TreeBarrierDeathTest, AutoSlotExhaustionPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            TreeBarrier barrier(1);
+            // Fresh host threads, each with fresh thread-local slot
+            // state: the second distinct thread overflows the
+            // dispenser of this 1-participant barrier.
+            std::thread([&] { barrier.arriveAndWait(); }).join();
+            std::thread([&] { barrier.arriveAndWait(); }).join();
+        },
+        "more distinct threads than participants");
+}
+
 class BarrierParamTest : public ::testing::TestWithParam<int>
 {
 };

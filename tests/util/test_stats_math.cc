@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/stats_math.h"
 
 namespace splash {
@@ -17,6 +19,21 @@ TEST(StatsMath, GeomeanBasics)
     EXPECT_DOUBLE_EQ(geomean({4.0, 16.0}), 8.0);
     EXPECT_DOUBLE_EQ(geomean({}), 0.0);
     EXPECT_NEAR(geomean({1.0, 1.0, 8.0}), 2.0, 1e-12);
+}
+
+/**
+ * Non-positive entries have no logarithm; they must be skipped (with
+ * a warning) rather than poisoning the whole summary with NaN/-inf,
+ * which used to leak into the report tables.
+ */
+TEST(StatsMath, GeomeanSkipsNonPositiveEntries)
+{
+    EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({-3.0, -1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0, 0.0, 16.0}), 8.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0, -2.0, 16.0}), 8.0);
+    EXPECT_FALSE(std::isnan(geomean({0.0, -1.0, 0.0})));
+    EXPECT_FALSE(std::isinf(geomean({0.0})));
 }
 
 TEST(StatsMath, GeomeanBelowMeanForSpreadValues)

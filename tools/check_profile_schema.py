@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Validate Sync-Scope exports against the splash4-syncscope-v1 schema.
+
+Usage: check_profile_schema.py FILE [FILE...]
+
+Accepts both profile JSON (*.json) and Chrome trace JSON
+(*.trace.json), dispatching on content.  Standard library only; exits
+nonzero with one line per violation.  See docs/PROFILING.md for the
+schema this enforces.
+"""
+
+import json
+import sys
+
+KINDS = {"barrier", "lock", "ticket", "sum", "stack", "flag"}
+CATEGORIES = {"compute", "barrier", "lock", "atomic", "flag"}
+REALIZATIONS = {
+    "barrier": {"cond", "sense", "tree"},
+    "lock": {"mutex", "spin"},
+    "ticket": {"locked", "fetch_add"},
+    "sum": {"locked", "cas"},
+    "stack": {"locked", "treiber"},
+    "flag": {"condvar", "atomic"},
+}
+HIST_BUCKETS = 32
+
+
+def fail(errors, path, message):
+    errors.append("%s: %s" % (path, message))
+
+
+def require(errors, path, obj, key, types):
+    if key not in obj:
+        fail(errors, path, "missing key '%s'" % key)
+        return None
+    value = obj[key]
+    if not isinstance(value, types):
+        fail(errors, path,
+             "key '%s' has type %s" % (key, type(value).__name__))
+        return None
+    return value
+
+
+def check_counter(errors, path, obj, key):
+    value = require(errors, path, obj, key, int)
+    if value is not None and value < 0:
+        fail(errors, path, "key '%s' is negative" % key)
+    return value or 0
+
+
+def check_construct(errors, path, construct):
+    name = require(errors, path, construct, "name", str)
+    where = "%s[%s]" % (path, name)
+    kind = require(errors, where, construct, "kind", str)
+    if kind is not None and kind not in KINDS:
+        fail(errors, where, "unknown kind '%s'" % kind)
+    realization = require(errors, where, construct, "realization", str)
+    if kind in REALIZATIONS and realization is not None:
+        if realization not in REALIZATIONS[kind]:
+            fail(errors, where,
+                 "realization '%s' not valid for kind '%s'"
+                 % (realization, kind))
+    category = require(errors, where, construct, "category", str)
+    if category is not None and category not in CATEGORIES:
+        fail(errors, where, "unknown category '%s'" % category)
+
+    ops = check_counter(errors, where, construct, "ops")
+    attempts = check_counter(errors, where, construct, "attempts")
+    retries = check_counter(errors, where, construct, "retries")
+    wait_total = check_counter(errors, where, construct, "waitTotal")
+    wait_max = check_counter(errors, where, construct, "waitMax")
+    check_counter(errors, where, construct, "episodes")
+    spread_total = check_counter(errors, where, construct,
+                                 "spreadTotal")
+    spread_max = check_counter(errors, where, construct, "spreadMax")
+    if attempts < ops:
+        fail(errors, where, "attempts < ops")
+    if retries > attempts:
+        fail(errors, where, "retries > attempts")
+    if wait_max > wait_total:
+        fail(errors, where, "waitMax > waitTotal")
+    if spread_max > spread_total:
+        fail(errors, where, "spreadMax > spreadTotal")
+
+    hist = require(errors, where, construct, "waitHist", list)
+    if hist is not None:
+        if len(hist) != HIST_BUCKETS:
+            fail(errors, where,
+                 "waitHist has %d buckets, want %d"
+                 % (len(hist), HIST_BUCKETS))
+        elif not all(isinstance(b, int) and b >= 0 for b in hist):
+            fail(errors, where, "waitHist holds a non-counter entry")
+        elif sum(hist) != ops:
+            fail(errors, where,
+                 "waitHist samples (%d) != ops (%d)"
+                 % (sum(hist), ops))
+
+
+def check_profile(errors, path, doc):
+    schema = doc.get("schema")
+    if schema != "splash4-syncscope-v1":
+        fail(errors, path, "unknown schema '%s'" % schema)
+        return
+    require(errors, path, doc, "benchmark", str)
+    suite = require(errors, path, doc, "suite", str)
+    if suite is not None and suite not in {"splash3", "splash4"}:
+        fail(errors, path, "unknown suite '%s'" % suite)
+    engine = require(errors, path, doc, "engine", str)
+    if engine is not None and engine not in {"sim", "native"}:
+        fail(errors, path, "unknown engine '%s'" % engine)
+    threads = require(errors, path, doc, "threads", int)
+    if threads is not None and threads < 1:
+        fail(errors, path, "threads < 1")
+    unit = require(errors, path, doc, "timeUnit", str)
+    if unit is not None and unit not in {"cycles", "ns"}:
+        fail(errors, path, "unknown timeUnit '%s'" % unit)
+    if engine == "sim" and unit not in (None, "cycles"):
+        fail(errors, path, "sim profile must use cycles")
+    if engine == "native" and unit not in (None, "ns"):
+        fail(errors, path, "native profile must use ns")
+
+    compute = check_counter(errors, path, doc, "computeTotal")
+    available = check_counter(errors, path, doc, "availableTotal")
+    wait = check_counter(errors, path, doc, "waitTotal")
+    check_counter(errors, path, doc, "droppedEvents")
+    fraction = require(errors, path, doc, "waitFraction", (int, float))
+    if fraction is not None and not 0.0 <= fraction <= 1.0:
+        fail(errors, path, "waitFraction outside [0, 1]")
+    if engine == "sim" and available != compute + wait:
+        fail(errors, path,
+             "sim availableTotal != computeTotal + waitTotal")
+
+    constructs = require(errors, path, doc, "constructs", list)
+    total_wait = 0
+    if constructs is not None:
+        for construct in constructs:
+            if not isinstance(construct, dict):
+                fail(errors, path, "non-object construct entry")
+                continue
+            check_construct(errors, path, construct)
+            total_wait += construct.get("waitTotal", 0)
+        if total_wait != wait:
+            fail(errors, path,
+                 "construct waitTotals sum to %d, header says %d"
+                 % (total_wait, wait))
+
+    per_thread = require(errors, path, doc, "perThread", list)
+    if per_thread is not None and threads is not None:
+        if len(per_thread) != threads:
+            fail(errors, path,
+                 "perThread has %d entries for %d threads"
+                 % (len(per_thread), threads))
+        for entry in per_thread:
+            if not isinstance(entry, dict):
+                fail(errors, path, "non-object perThread entry")
+                continue
+            where = "%s.perThread[%s]" % (path, entry.get("tid"))
+            for key in ("ops", "attempts", "retries", "waitTotal"):
+                check_counter(errors, where, entry, key)
+
+
+def check_trace(errors, path, doc):
+    events = require(errors, path, doc, "traceEvents", list)
+    if events is not None:
+        last_ts = {}
+        for i, event in enumerate(events):
+            where = "%s.traceEvents[%d]" % (path, i)
+            if not isinstance(event, dict):
+                fail(errors, where, "non-object event")
+                continue
+            if require(errors, where, event, "ph", str) != "X":
+                fail(errors, where, "event phase is not 'X'")
+            require(errors, where, event, "name", str)
+            tid = require(errors, where, event, "tid", int)
+            ts = require(errors, where, event, "ts", (int, float))
+            dur = require(errors, where, event, "dur", (int, float))
+            if ts is not None and ts < 0:
+                fail(errors, where, "negative timestamp")
+            if dur is not None and dur < 0:
+                fail(errors, where, "negative duration")
+            if tid is not None and ts is not None:
+                if ts < last_ts.get(tid, 0):
+                    fail(errors, where,
+                         "per-thread timestamps not monotonic")
+                last_ts[tid] = ts
+    other = require(errors, path, doc, "otherData", dict)
+    if other is not None:
+        for key in ("benchmark", "suite", "engine"):
+            require(errors, path + ".otherData", other, key, str)
+        check_counter(errors, path + ".otherData", other,
+                      "droppedEvents")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    checked = 0
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError) as exc:
+            fail(errors, path, "unreadable: %s" % exc)
+            continue
+        if not isinstance(doc, dict):
+            fail(errors, path, "top level is not an object")
+            continue
+        if "traceEvents" in doc:
+            check_trace(errors, path, doc)
+        else:
+            check_profile(errors, path, doc)
+        checked += 1
+    for line in errors:
+        print("FAIL %s" % line, file=sys.stderr)
+    if errors:
+        return 1
+    print("ok: %d file(s) valid" % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
