@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Ablation A3: dispatch-path cost of the native synchronization API.
+ *
+ * Every construct is exercised in a tight loop on real threads three
+ * ways: the bare src/sync primitive (raw_ns, no context at all), the
+ * virtual Context (an indirect call plus a handle lookup per op), and
+ * the monomorphized NativeFastContext (the handle resolved to a
+ * primitive pointer at thread start, the op inlined into the loop).
+ * The reported numbers are worst-thread ns per op.
+ *
+ * Two ratios are derived.  "speedup" is total virtual/fast ns — what
+ * a kernel loop actually gains from --fast-path=auto.  "overhead_x"
+ * subtracts the raw primitive cost first and compares only the
+ * dispatch overhead the two context paths add on top of it; this is
+ * the honest dispatch metric for constructs like ticket, whose
+ * lock-prefixed fetch_add dominates both paths and compresses the
+ * total-time ratio toward 1 no matter how cheap dispatch gets.
+ *
+ * Uncontended single-thread rows are the cleanest dispatch-overhead
+ * measurements; the 8- and 64-thread rows add real contention (and,
+ * on small hosts, oversubscription), so their ratios mix dispatch
+ * cost with cache-line traffic.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "engine/fast_context.h"
+#include "engine/native_engine.h"
+#include "experiment_common.h"
+#include "sync/atomic_reduction.h"
+#include "sync/barrier.h"
+#include "sync/lockfree_stack.h"
+#include "sync/pause_flag.h"
+#include "sync/spinlock.h"
+#include "sync/task_queue.h"
+
+namespace {
+
+using namespace splash;
+
+struct Workload
+{
+    const char* name;
+    int baseIters; ///< per-thread ops at 1 thread; scaled down by N
+};
+
+/**
+ * Time @p loop(ctx, iters) on every thread of a fresh native engine
+ * and return the worst thread's ns/op.  The clock wraps only the op
+ * loop, so thread spawn/join cost stays out of the figure.
+ */
+template <class Loop>
+double
+pathNsPerOp(const World& world, bool fastPath, int threads, int iters,
+            const Loop& loop)
+{
+    NativeEngine engine(world, NativeOptions{});
+    std::vector<double> ns(static_cast<std::size_t>(threads), 0.0);
+    auto body = [&](auto& ctx) {
+        const auto t0 = std::chrono::steady_clock::now();
+        loop(ctx, iters);
+        const auto t1 = std::chrono::steady_clock::now();
+        ns[static_cast<std::size_t>(ctx.tid())] =
+            std::chrono::duration<double, std::nano>(t1 - t0).count();
+    };
+    if (fastPath)
+        engine.runFast(body);
+    else
+        engine.run(body);
+    double worst = 0.0;
+    for (const double v : ns)
+        worst = std::max(worst, v);
+    return worst / static_cast<double>(iters);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+    bench::ExperimentOptions opts(argc, argv);
+    const double scale = opts.scale;
+
+    Table table({"construct", "threads", "raw_ns", "virtual_ns",
+                 "fast_ns", "speedup", "overhead_x"});
+    for (const int threads : {1, 8, 64}) {
+        World world(threads, SuiteVersion::Splash4);
+        auto barrier = world.createBarrier();
+        auto lock = world.createLock(LockKind::Auto);
+        auto ticket = world.createTicket();
+        auto sum = world.createSum(0.0);
+        auto stack = world.createStack(
+            static_cast<std::uint32_t>(2 * threads + 2));
+        auto flag = world.createFlag();
+
+        // Bare primitives for the raw (zero-dispatch) baseline,
+        // shared by the engine's threads exactly like the handles.
+        SenseBarrier rawBarrier(threads);
+        TtasLock rawLock;
+        AtomicTicket rawTicket;
+        AtomicAccumulator rawSum(0.0);
+        LockFreeStack rawStack(
+            static_cast<std::uint32_t>(2 * threads + 2));
+        AtomicFlag rawFlag;
+
+        auto measure = [&](const Workload& w, const auto& rawLoop,
+                           const auto& loop) {
+            // Keep total op volume roughly constant across thread
+            // counts so oversubscribed hosts still finish promptly;
+            // best-of-5 filters descheduling spikes out of all paths.
+            const int iters = std::max(
+                32, static_cast<int>(w.baseIters * scale) / threads);
+            double raw = 1e30;
+            double slow = 1e30;
+            double fast = 1e30;
+            for (int rep = 0; rep < 5; ++rep) {
+                raw = std::min(raw, pathNsPerOp(world, true, threads,
+                                                iters, rawLoop));
+                slow = std::min(slow, pathNsPerOp(world, false, threads,
+                                                  iters, loop));
+                fast = std::min(fast, pathNsPerOp(world, true, threads,
+                                                  iters, loop));
+            }
+            // Dispatch overhead = context ns minus primitive ns; the
+            // floor keeps timer jitter from producing absurd ratios
+            // once the fast path is within noise of raw.
+            constexpr double kFloorNs = 0.1;
+            const double virtOver = std::max(slow - raw, kFloorNs);
+            const double fastOver = std::max(fast - raw, kFloorNs);
+            table.cell(w.name)
+                .cell(std::to_string(threads))
+                .cell(raw, 1)
+                .cell(slow, 1)
+                .cell(fast, 1)
+                .cell(slow / fast, 2)
+                .cell(virtOver / fastOver, 2);
+            table.endRow();
+        };
+
+        measure(
+            {"barrier", 4096},
+            [&](auto&, int iters) {
+                for (int i = 0; i < iters; ++i)
+                    rawBarrier.arriveAndWait();
+            },
+            [&](auto& ctx, int iters) {
+                for (int i = 0; i < iters; ++i)
+                    ctx.barrier(barrier);
+            });
+        measure(
+            {"lock", 1 << 16},
+            [&](auto&, int iters) {
+                for (int i = 0; i < iters; ++i) {
+                    rawLock.lock();
+                    rawLock.unlock();
+                }
+            },
+            [&](auto& ctx, int iters) {
+                for (int i = 0; i < iters; ++i) {
+                    ctx.lockAcquire(lock);
+                    ctx.lockRelease(lock);
+                }
+            });
+        measure(
+            {"ticket", 1 << 16},
+            [&](auto&, int iters) {
+                for (int i = 0; i < iters; ++i)
+                    rawTicket.next();
+            },
+            [&](auto& ctx, int iters) {
+                for (int i = 0; i < iters; ++i)
+                    ctx.ticketNext(ticket);
+            });
+        measure(
+            {"sum", 1 << 16},
+            [&](auto&, int iters) {
+                for (int i = 0; i < iters; ++i)
+                    rawSum.add(1.0);
+            },
+            [&](auto& ctx, int iters) {
+                for (int i = 0; i < iters; ++i)
+                    ctx.sumAdd(sum, 1.0);
+            });
+        measure(
+            {"stack", 1 << 15},
+            [&](auto& ctx, int iters) {
+                std::uint32_t v;
+                for (int i = 0; i < iters; ++i) {
+                    rawStack.push(
+                        static_cast<std::uint32_t>(ctx.tid()));
+                    rawStack.pop(v);
+                }
+            },
+            [&](auto& ctx, int iters) {
+                std::uint32_t v;
+                for (int i = 0; i < iters; ++i) {
+                    ctx.stackPush(stack,
+                                  static_cast<std::uint32_t>(ctx.tid()));
+                    ctx.stackPop(stack, v);
+                }
+            });
+        measure(
+            {"flag", 1 << 16},
+            [&](auto&, int iters) {
+                for (int i = 0; i < iters; ++i)
+                    rawFlag.set();
+            },
+            [&](auto& ctx, int iters) {
+                for (int i = 0; i < iters; ++i)
+                    ctx.flagSet(flag);
+            });
+    }
+    opts.emit(table,
+              "Ablation A3: native ns per op, virtual Context vs "
+              "monomorphized fast path");
+    return 0;
+}

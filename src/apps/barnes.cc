@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/fast_context.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -62,7 +63,10 @@ BarnesBenchmark::setup(World& world, const Params& params)
     nodeTicket_ = world.createTicket();
     buildTicket_ = world.createTicket();
     forceTicket_ = world.createTicket();
-    nodeLocks_ = world.createLocks(maxNodes_, LockKind::Auto);
+    // One descriptor per pool node (~8N locks): bulk range creation
+    // keeps this a single reserve + append instead of per-handle
+    // vector growth.
+    nodeLocks_ = world.createLockRange(maxNodes_, LockKind::Auto);
     kinetic_ = world.createSum(0.0);
     potential_ = world.createSum(0.0);
 }
@@ -75,8 +79,9 @@ BarnesBenchmark::octantOf(const Node& node, double x, double y,
            (z > node.cz ? 4 : 0);
 }
 
+template <class Ctx>
 std::int32_t
-BarnesBenchmark::allocNode(Context& ctx, AllocCache& cache, double cx,
+BarnesBenchmark::allocNode(Ctx& ctx, AllocCache& cache, double cx,
                            double cy, double cz, double half)
 {
     if (cache.next == cache.end) {
@@ -96,8 +101,9 @@ BarnesBenchmark::allocNode(Context& ctx, AllocCache& cache, double cx,
     return static_cast<std::int32_t>(idx);
 }
 
+template <class Ctx>
 void
-BarnesBenchmark::insertBody(Context& ctx, AllocCache& cache,
+BarnesBenchmark::insertBody(Ctx& ctx, AllocCache& cache,
                             std::int32_t b)
 {
     const double x = px_[b], y = py_[b], z = pz_[b];
@@ -289,8 +295,9 @@ BarnesBenchmark::directAccel(std::int32_t b, double& ax, double& ay,
     }
 }
 
+template <class Ctx>
 void
-BarnesBenchmark::run(Context& ctx)
+BarnesBenchmark::kernel(Ctx& ctx)
 {
     const int tid = ctx.tid();
     const int nthreads = ctx.nthreads();
@@ -469,5 +476,12 @@ BarnesBenchmark::verify(std::string& message)
               std::to_string(rel_acc);
     return true;
 }
+
+// Monomorphize the parallel body for both dispatch paths: the virtual
+// Context (sim engine, race checking, native fallback) and the
+// inlined NativeFastContext (see docs/ARCHITECTURE.md).
+template void BarnesBenchmark::kernel<Context>(Context&);
+template void
+BarnesBenchmark::kernel<NativeFastContext>(NativeFastContext&);
 
 } // namespace splash

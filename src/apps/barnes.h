@@ -27,7 +27,7 @@
 namespace splash {
 
 /** Barnes-Hut N-body benchmark. */
-class BarnesBenchmark : public Benchmark
+class BarnesBenchmark : public TemplatedBenchmark<BarnesBenchmark>
 {
   public:
     std::string name() const override { return "barnes"; }
@@ -39,8 +39,10 @@ class BarnesBenchmark : public Benchmark
     std::string inputDescription() const override;
 
     void setup(World& world, const Params& params) override;
-    void run(Context& ctx) override;
     bool verify(std::string& message) override;
+
+    /** Parallel body; instantiated per context type in barnes.cc. */
+    template <class Ctx> void kernel(Ctx& ctx);
 
     static std::unique_ptr<Benchmark> create();
 
@@ -78,11 +80,13 @@ class BarnesBenchmark : public Benchmark
     static constexpr std::uint64_t kAllocBatch = 32;
 
     /** Allocate and initialize a node from the pool. */
-    std::int32_t allocNode(Context& ctx, AllocCache& cache, double cx,
+    template <class Ctx>
+    std::int32_t allocNode(Ctx& ctx, AllocCache& cache, double cx,
                            double cy, double cz, double half);
 
     /** Insert one body, locking only the node being modified. */
-    void insertBody(Context& ctx, AllocCache& cache, std::int32_t b);
+    template <class Ctx>
+    void insertBody(Ctx& ctx, AllocCache& cache, std::int32_t b);
 
     /** Serial center-of-mass post-order over the built tree. */
     std::uint64_t computeCenters();
@@ -119,7 +123,7 @@ class BarnesBenchmark : public Benchmark
     TicketHandle nodeTicket_;  ///< pool allocator
     TicketHandle buildTicket_; ///< body batches for tree build
     TicketHandle forceTicket_; ///< body batches for force pass
-    std::vector<LockHandle> nodeLocks_;
+    LockRange nodeLocks_; ///< one lock per pool node, bulk-created
     SumHandle kinetic_;
     SumHandle potential_;
 };

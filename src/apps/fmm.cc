@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/fast_context.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -298,8 +299,9 @@ FmmBenchmark::l2pAndNear(std::size_t cell)
     return ops;
 }
 
+template <class Ctx>
 void
-FmmBenchmark::run(Context& ctx)
+FmmBenchmark::kernel(Ctx& ctx)
 {
     ctx.timedBegin("fmm.passes"); // lock-free end to end
     int next_ticket = 0;
@@ -457,5 +459,12 @@ FmmBenchmark::verify(std::string& message)
               std::to_string(totalEnergy_);
     return true;
 }
+
+// Monomorphize the parallel body for both dispatch paths: the virtual
+// Context (sim engine, race checking, native fallback) and the
+// inlined NativeFastContext (see docs/ARCHITECTURE.md).
+template void FmmBenchmark::kernel<Context>(Context&);
+template void
+FmmBenchmark::kernel<NativeFastContext>(NativeFastContext&);
 
 } // namespace splash

@@ -26,7 +26,7 @@
 namespace splash {
 
 /** 2D uniform FMM benchmark. */
-class FmmBenchmark : public Benchmark
+class FmmBenchmark : public TemplatedBenchmark<FmmBenchmark>
 {
   public:
     using Complex = std::complex<double>;
@@ -40,8 +40,10 @@ class FmmBenchmark : public Benchmark
     std::string inputDescription() const override;
 
     void setup(World& world, const Params& params) override;
-    void run(Context& ctx) override;
     bool verify(std::string& message) override;
+
+    /** Parallel body; instantiated per context type in fmm.cc. */
+    template <class Ctx> void kernel(Ctx& ctx);
 
     static std::unique_ptr<Benchmark> create();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/fast_context.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -99,8 +100,9 @@ OceanBenchmark::stripe(const Level& level, int tid, int nthreads,
     hi = 1 + std::min(level.interior, chunk * tid + chunk);
 }
 
+template <class Ctx>
 void
-OceanBenchmark::smooth(Context& ctx, Level& level)
+OceanBenchmark::smooth(Ctx& ctx, Level& level)
 {
     const int tid = ctx.tid();
     const int nthreads = ctx.nthreads();
@@ -126,8 +128,9 @@ OceanBenchmark::smooth(Context& ctx, Level& level)
     }
 }
 
+template <class Ctx>
 void
-OceanBenchmark::computeResidual(Context& ctx, Level& level)
+OceanBenchmark::computeResidual(Ctx& ctx, Level& level)
 {
     const int tid = ctx.tid();
     const int nthreads = ctx.nthreads();
@@ -151,8 +154,9 @@ OceanBenchmark::computeResidual(Context& ctx, Level& level)
     ctx.barrier(barrier_);
 }
 
+template <class Ctx>
 void
-OceanBenchmark::restrictResidual(Context& ctx, const Level& fine,
+OceanBenchmark::restrictResidual(Ctx& ctx, const Level& fine,
                                  Level& coarse)
 {
     const int tid = ctx.tid();
@@ -188,8 +192,9 @@ OceanBenchmark::restrictResidual(Context& ctx, const Level& fine,
     ctx.barrier(barrier_);
 }
 
+template <class Ctx>
 void
-OceanBenchmark::prolongate(Context& ctx, const Level& coarse,
+OceanBenchmark::prolongate(Ctx& ctx, const Level& coarse,
                            Level& fine)
 {
     const int tid = ctx.tid();
@@ -226,8 +231,9 @@ OceanBenchmark::prolongate(Context& ctx, const Level& coarse,
     ctx.barrier(barrier_);
 }
 
+template <class Ctx>
 void
-OceanBenchmark::vcycle(Context& ctx, std::size_t l)
+OceanBenchmark::vcycle(Ctx& ctx, std::size_t l)
 {
     Level& level = levels_[l];
     if (l + 1 == levels_.size()) {
@@ -245,8 +251,9 @@ OceanBenchmark::vcycle(Context& ctx, std::size_t l)
         smooth(ctx, level);
 }
 
+template <class Ctx>
 void
-OceanBenchmark::run(Context& ctx)
+OceanBenchmark::kernel(Ctx& ctx)
 {
     const int tid = ctx.tid();
     const int nthreads = ctx.nthreads();
@@ -348,5 +355,12 @@ OceanBenchmark::verify(std::string& message)
               " of initial";
     return true;
 }
+
+// Monomorphize the parallel body for both dispatch paths: the virtual
+// Context (sim engine, race checking, native fallback) and the
+// inlined NativeFastContext (see docs/ARCHITECTURE.md).
+template void OceanBenchmark::kernel<Context>(Context&);
+template void
+OceanBenchmark::kernel<NativeFastContext>(NativeFastContext&);
 
 } // namespace splash

@@ -28,7 +28,7 @@
 namespace splash {
 
 /** Multigrid Poisson solver benchmark. */
-class OceanBenchmark : public Benchmark
+class OceanBenchmark : public TemplatedBenchmark<OceanBenchmark>
 {
   public:
     std::string name() const override { return "ocean"; }
@@ -40,8 +40,10 @@ class OceanBenchmark : public Benchmark
     std::string inputDescription() const override;
 
     void setup(World& world, const Params& params) override;
-    void run(Context& ctx) override;
     bool verify(std::string& message) override;
+
+    /** Parallel body; instantiated per context type in ocean.cc. */
+    template <class Ctx> void kernel(Ctx& ctx);
 
     static std::unique_ptr<Benchmark> create();
 
@@ -75,20 +77,21 @@ class OceanBenchmark : public Benchmark
                 std::size_t& lo, std::size_t& hi) const;
 
     /** One red-black smoothing sweep at a level (both colors). */
-    void smooth(Context& ctx, Level& level);
+    template <class Ctx> void smooth(Ctx& ctx, Level& level);
 
     /** residual := rhs - A phi at a level (owned stripes). */
-    void computeResidual(Context& ctx, Level& level);
+    template <class Ctx> void computeResidual(Ctx& ctx, Level& level);
 
     /** Full-weighting restriction of fine.residual into coarse.rhs. */
-    void restrictResidual(Context& ctx, const Level& fine,
-                          Level& coarse);
+    template <class Ctx>
+    void restrictResidual(Ctx& ctx, const Level& fine, Level& coarse);
 
     /** Bilinear prolongation of coarse.phi added into fine.phi. */
-    void prolongate(Context& ctx, const Level& coarse, Level& fine);
+    template <class Ctx>
+    void prolongate(Ctx& ctx, const Level& coarse, Level& fine);
 
     /** Recursive V-cycle starting at level l. */
-    void vcycle(Context& ctx, std::size_t l);
+    template <class Ctx> void vcycle(Ctx& ctx, std::size_t l);
 
     /** Serial L2 residual norm at the finest level. */
     double residualNorm() const;

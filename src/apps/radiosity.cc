@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/fast_context.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -147,8 +148,9 @@ RadiosityBenchmark::setup(World& world, const Params& params)
     unshotTotal_ = world.createSum(0.0);
 }
 
+template <class Ctx>
 void
-RadiosityBenchmark::run(Context& ctx)
+RadiosityBenchmark::kernel(Ctx& ctx)
 {
     const int tid = ctx.tid();
     const int nthreads = ctx.nthreads();
@@ -280,5 +282,12 @@ RadiosityBenchmark::verify(std::string& message)
               std::to_string(max_residual);
     return true;
 }
+
+// Monomorphize the parallel body for both dispatch paths: the virtual
+// Context (sim engine, race checking, native fallback) and the
+// inlined NativeFastContext (see docs/ARCHITECTURE.md).
+template void RadiosityBenchmark::kernel<Context>(Context&);
+template void
+RadiosityBenchmark::kernel<NativeFastContext>(NativeFastContext&);
 
 } // namespace splash

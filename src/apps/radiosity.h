@@ -32,7 +32,7 @@
 namespace splash {
 
 /** Progressive radiosity benchmark. */
-class RadiosityBenchmark : public Benchmark
+class RadiosityBenchmark : public TemplatedBenchmark<RadiosityBenchmark>
 {
   public:
     std::string name() const override { return "radiosity"; }
@@ -43,8 +43,10 @@ class RadiosityBenchmark : public Benchmark
     std::string inputDescription() const override;
 
     void setup(World& world, const Params& params) override;
-    void run(Context& ctx) override;
     bool verify(std::string& message) override;
+
+    /** Parallel body; instantiated per context type in radiosity.cc. */
+    template <class Ctx> void kernel(Ctx& ctx);
 
     static std::unique_ptr<Benchmark> create();
 

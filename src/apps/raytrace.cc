@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/fast_context.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -325,8 +326,9 @@ RaytraceBenchmark::renderTile(std::uint32_t tile,
     }
 }
 
+template <class Ctx>
 void
-RaytraceBenchmark::run(Context& ctx)
+RaytraceBenchmark::kernel(Ctx& ctx)
 {
     const std::size_t tiles_x = width_ / kTile;
     const std::size_t tiles_y = (height_ + kTile - 1) / kTile;
@@ -414,5 +416,12 @@ RaytraceBenchmark::verify(std::string& message)
               std::to_string(energy) + ")";
     return true;
 }
+
+// Monomorphize the parallel body for both dispatch paths: the virtual
+// Context (sim engine, race checking, native fallback) and the
+// inlined NativeFastContext (see docs/ARCHITECTURE.md).
+template void RaytraceBenchmark::kernel<Context>(Context&);
+template void
+RaytraceBenchmark::kernel<NativeFastContext>(NativeFastContext&);
 
 } // namespace splash

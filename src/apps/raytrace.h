@@ -36,7 +36,7 @@ struct Vec3
 };
 
 /** Whitted ray tracer benchmark. */
-class RaytraceBenchmark : public Benchmark
+class RaytraceBenchmark : public TemplatedBenchmark<RaytraceBenchmark>
 {
   public:
     std::string name() const override { return "raytrace"; }
@@ -47,8 +47,10 @@ class RaytraceBenchmark : public Benchmark
     std::string inputDescription() const override;
 
     void setup(World& world, const Params& params) override;
-    void run(Context& ctx) override;
     bool verify(std::string& message) override;
+
+    /** Parallel body; instantiated per context type in raytrace.cc. */
+    template <class Ctx> void kernel(Ctx& ctx);
 
     static std::unique_ptr<Benchmark> create();
 

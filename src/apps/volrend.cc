@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/fast_context.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -203,8 +204,9 @@ VolrendBenchmark::renderTile(std::uint32_t tile,
             out[py * width_ + px] = renderPixel(px, py, steps);
 }
 
+template <class Ctx>
 void
-VolrendBenchmark::run(Context& ctx)
+VolrendBenchmark::kernel(Ctx& ctx)
 {
     const std::size_t tiles_x = width_ / kTile;
     const std::size_t tiles_y = (height_ + kTile - 1) / kTile;
@@ -266,5 +268,12 @@ VolrendBenchmark::verify(std::string& message)
               std::to_string(energy) + ")";
     return true;
 }
+
+// Monomorphize the parallel body for both dispatch paths: the virtual
+// Context (sim engine, race checking, native fallback) and the
+// inlined NativeFastContext (see docs/ARCHITECTURE.md).
+template void VolrendBenchmark::kernel<Context>(Context&);
+template void
+VolrendBenchmark::kernel<NativeFastContext>(NativeFastContext&);
 
 } // namespace splash

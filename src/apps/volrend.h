@@ -24,7 +24,7 @@
 namespace splash {
 
 /** Volume renderer benchmark. */
-class VolrendBenchmark : public Benchmark
+class VolrendBenchmark : public TemplatedBenchmark<VolrendBenchmark>
 {
   public:
     std::string name() const override { return "volrend"; }
@@ -35,8 +35,10 @@ class VolrendBenchmark : public Benchmark
     std::string inputDescription() const override;
 
     void setup(World& world, const Params& params) override;
-    void run(Context& ctx) override;
     bool verify(std::string& message) override;
+
+    /** Parallel body; instantiated per context type in volrend.cc. */
+    template <class Ctx> void kernel(Ctx& ctx);
 
     static std::unique_ptr<Benchmark> create();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/fast_context.h"
 #include "util/log.h"
 
 namespace splash {
@@ -47,8 +48,9 @@ WaterNsquaredBenchmark::setup(World& world, const Params& params)
     potential_ = world.createSum(0.0);
 }
 
+template <class Ctx>
 void
-WaterNsquaredBenchmark::run(Context& ctx)
+WaterNsquaredBenchmark::kernel(Ctx& ctx)
 {
     const int tid = ctx.tid();
     const int nthreads = ctx.nthreads();
@@ -214,5 +216,12 @@ WaterNsquaredBenchmark::verify(std::string& message)
               std::to_string(lastEnergy_);
     return true;
 }
+
+// Monomorphize the parallel body for both dispatch paths: the virtual
+// Context (sim engine, race checking, native fallback) and the
+// inlined NativeFastContext (see docs/ARCHITECTURE.md).
+template void WaterNsquaredBenchmark::kernel<Context>(Context&);
+template void
+WaterNsquaredBenchmark::kernel<NativeFastContext>(NativeFastContext&);
 
 } // namespace splash

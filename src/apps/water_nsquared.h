@@ -25,7 +25,7 @@
 namespace splash {
 
 /** O(n^2) water MD benchmark. */
-class WaterNsquaredBenchmark : public Benchmark
+class WaterNsquaredBenchmark : public TemplatedBenchmark<WaterNsquaredBenchmark>
 {
   public:
     std::string name() const override { return "water-nsquared"; }
@@ -37,8 +37,10 @@ class WaterNsquaredBenchmark : public Benchmark
     std::string inputDescription() const override;
 
     void setup(World& world, const Params& params) override;
-    void run(Context& ctx) override;
     bool verify(std::string& message) override;
+
+    /** Parallel body; instantiated per context type in water_nsquared.cc. */
+    template <class Ctx> void kernel(Ctx& ctx);
 
     static std::unique_ptr<Benchmark> create();
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/fast_context.h"
 #include "util/log.h"
 
 namespace splash {
@@ -52,8 +53,10 @@ WaterSpatialBenchmark::setup(World& world, const Params& params)
     pairsEvaluated_ = 0;
 
     barrier_ = world.createBarrier();
-    cellLocks_ = world.createLocks(num_cells, LockKind::Auto);
-    force_ = world.createSums(3 * numMolecules_, 0.0);
+    // Bulk ranges: one reserve + append for the cell locks and the
+    // 3N force accumulators instead of per-handle vector growth.
+    cellLocks_ = world.createLockRange(num_cells, LockKind::Auto);
+    force_ = world.createSumRange(3 * numMolecules_, 0.0);
     kinetic_ = world.createSum(0.0);
     potential_ = world.createSum(0.0);
     pairCount_ = world.createSum(0.0);
@@ -72,8 +75,9 @@ WaterSpatialBenchmark::cellOf(std::size_t i) const
            idx(state_.px[i]);
 }
 
+template <class Ctx>
 void
-WaterSpatialBenchmark::run(Context& ctx)
+WaterSpatialBenchmark::kernel(Ctx& ctx)
 {
     const int tid = ctx.tid();
     const int nthreads = ctx.nthreads();
@@ -297,5 +301,12 @@ WaterSpatialBenchmark::verify(std::string& message)
               std::to_string(lastEnergy_);
     return true;
 }
+
+// Monomorphize the parallel body for both dispatch paths: the virtual
+// Context (sim engine, race checking, native fallback) and the
+// inlined NativeFastContext (see docs/ARCHITECTURE.md).
+template void WaterSpatialBenchmark::kernel<Context>(Context&);
+template void
+WaterSpatialBenchmark::kernel<NativeFastContext>(NativeFastContext&);
 
 } // namespace splash

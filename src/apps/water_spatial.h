@@ -27,7 +27,7 @@
 namespace splash {
 
 /** Cell-list water MD benchmark. */
-class WaterSpatialBenchmark : public Benchmark
+class WaterSpatialBenchmark : public TemplatedBenchmark<WaterSpatialBenchmark>
 {
   public:
     std::string name() const override { return "water-spatial"; }
@@ -39,8 +39,10 @@ class WaterSpatialBenchmark : public Benchmark
     std::string inputDescription() const override;
 
     void setup(World& world, const Params& params) override;
-    void run(Context& ctx) override;
     bool verify(std::string& message) override;
+
+    /** Parallel body; instantiated per context type in water_spatial.cc. */
+    template <class Ctx> void kernel(Ctx& ctx);
 
     static std::unique_ptr<Benchmark> create();
 
@@ -66,8 +68,8 @@ class WaterSpatialBenchmark : public Benchmark
     std::uint64_t pairsEvaluated_ = 0; ///< captured by tid 0
 
     BarrierHandle barrier_;
-    std::vector<LockHandle> cellLocks_;
-    std::vector<SumHandle> force_;
+    LockRange cellLocks_; ///< one per cell, bulk-created
+    SumRange force_;      ///< 3 accumulators per molecule, bulk-created
     SumHandle kinetic_;
     SumHandle potential_;
     SumHandle pairCount_;

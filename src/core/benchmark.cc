@@ -18,6 +18,15 @@ registry()
 } // namespace
 
 void
+Benchmark::runFast(NativeFastContext&)
+{
+    fatal("benchmark '" + name() +
+          "' has no monomorphized kernel; run it with --fast-path=off "
+          "(or derive from TemplatedBenchmark, see "
+          "docs/ARCHITECTURE.md)");
+}
+
+void
 registerBenchmark(const std::string& name, BenchmarkFactory factory)
 {
     auto [it, inserted] = registry().emplace(name, std::move(factory));

@@ -7,6 +7,15 @@
  * World; run() executes on every participating thread; verify() checks a
  * benchmark-specific invariant against a serial reference or a
  * conservation law.
+ *
+ * Suite workloads write their parallel body exactly once, as a
+ * template over the context type (`template <class Ctx> void
+ * kernel(Ctx&)`), and derive from TemplatedBenchmark, which generates
+ * both dispatch paths from it: run() for the abstract Context (sim
+ * engine, race checking, native fallback) and runFast() for the
+ * monomorphized NativeFastContext whose sync ops inline straight into
+ * src/sync (see docs/ARCHITECTURE.md).  Each workload .cc explicitly
+ * instantiates its kernel for both context types.
  */
 
 #ifndef SPLASH_CORE_BENCHMARK_H
@@ -22,6 +31,8 @@
 #include "core/world.h"
 
 namespace splash {
+
+class NativeFastContext; // engine/fast_context.h
 
 /** Base class for all twelve suite workloads (and user extensions). */
 class Benchmark
@@ -48,11 +59,65 @@ class Benchmark
     virtual void run(Context& ctx) = 0;
 
     /**
+     * True when runFast() is implemented.  TemplatedBenchmark turns
+     * this on; hand-written Benchmark subclasses that only override
+     * run(Context&) keep the virtual path (FastPath::Auto falls back
+     * to it, FastPath::On refuses to run them).
+     */
+    virtual bool hasFastPath() const { return false; }
+
+    /**
+     * Parallel body on the native engine's monomorphized fast path.
+     * The default implementation is fatal; it is reached only when an
+     * engine is driven with FastPath::On against a benchmark that
+     * never declared hasFastPath().
+     */
+    virtual void runFast(NativeFastContext& ctx);
+
+    /**
      * Single-threaded, after all threads return: check correctness.
      * @param message receives a diagnostic (filled on both outcomes).
      * @return true when the run's output is correct.
      */
     virtual bool verify(std::string& message) = 0;
+};
+
+/**
+ * CRTP adapter for workloads whose parallel body is a context-type
+ * template.  The derived class declares
+ *
+ *     template <class Ctx> void kernel(Ctx& ctx);
+ *
+ * in its header, defines it in its .cc, and explicitly instantiates it
+ * for both context types there:
+ *
+ *     template void MyBenchmark::kernel<Context>(Context&);
+ *     template void
+ *     MyBenchmark::kernel<NativeFastContext>(NativeFastContext&);
+ *
+ * Both virtual entry points below then resolve to those
+ * instantiations at link time; the fast instantiation compiles with
+ * every sync op inlined (no vtable anywhere on its path), the Context
+ * instantiation keeps the engine-agnostic virtual dispatch.
+ */
+template <class Derived>
+class TemplatedBenchmark : public Benchmark
+{
+  public:
+    void
+    run(Context& ctx) final
+    {
+        static_cast<Derived*>(this)->template kernel<Context>(ctx);
+    }
+
+    void
+    runFast(NativeFastContext& ctx) final
+    {
+        static_cast<Derived*>(this)->template kernel<NativeFastContext>(
+            ctx);
+    }
+
+    bool hasFastPath() const final { return true; }
 };
 
 /** Factory used by the registry. */

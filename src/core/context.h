@@ -9,6 +9,14 @@
  * suite generation and (b) under the virtual-time simulation engine with
  * cost-modeled primitives.
  *
+ * This abstract class is one of two dispatch paths.  Workload kernels
+ * are templates over the context type; the native engine can swap in
+ * the structurally identical (but non-virtual, fully inlined)
+ * NativeFastContext via --fast-path — see engine/fast_context.h and
+ * docs/ARCHITECTURE.md.  Anything that must interpose on every op
+ * (the sim engine's scheduler, Sync-Sentry race checking) uses this
+ * virtual path.
+ *
  * Memory semantics contract: regular shared data written before a
  * barrier()/lockRelease()/flagSet() is visible to threads after the
  * matching barrier()/lockAcquire()/flagWait(), in both engines.

@@ -36,6 +36,33 @@ toString(EngineKind engine)
     return engine == EngineKind::Native ? "native" : "sim";
 }
 
+const char*
+toString(FastPath mode)
+{
+    switch (mode) {
+      case FastPath::Off:
+        return "off";
+      case FastPath::On:
+        return "on";
+      case FastPath::Auto:
+        return "auto";
+    }
+    return "unknown";
+}
+
+FastPath
+parseFastPath(const std::string& name)
+{
+    if (name == "on")
+        return FastPath::On;
+    if (name == "off")
+        return FastPath::Off;
+    if (name == "auto")
+        return FastPath::Auto;
+    fatal("unknown fast-path mode '" + name +
+          "' (expected on, off, or auto)");
+}
+
 SuiteVersion
 parseSuite(const std::string& name)
 {

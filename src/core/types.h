@@ -36,6 +36,23 @@ enum class EngineKind
     Sim,    ///< deterministic virtual-time multicore model
 };
 
+/**
+ * Native-engine dispatch path selection (see docs/ARCHITECTURE.md).
+ *
+ * The virtual path calls every synchronization operation through the
+ * abstract Context vtable; the fast path runs the benchmark's
+ * monomorphized kernel against NativeFastContext, whose operations
+ * inline straight into the src/sync primitives.  Auto picks the fast
+ * path whenever the benchmark provides a monomorphized kernel (all
+ * suite workloads do) and nothing requires the virtual path.
+ */
+enum class FastPath
+{
+    Off,  ///< always dispatch through the virtual Context
+    On,   ///< require the monomorphized path (fatal if unavailable)
+    Auto, ///< fast when available, virtual otherwise
+};
+
 /** Lock realization used where the suite keeps an explicit lock. */
 enum class LockKind
 {
@@ -83,6 +100,12 @@ SuiteVersion parseSuite(const std::string& name);
 
 /** Parse "native"/"sim" (fatal on anything else). */
 EngineKind parseEngine(const std::string& name);
+
+/** Name of a fast-path mode for reports ("on", "off", "auto"). */
+const char* toString(FastPath mode);
+
+/** Parse "on"/"off"/"auto" (fatal on anything else). */
+FastPath parseFastPath(const std::string& name);
 
 /** Opaque handle base; value indexes the World's descriptor table. */
 struct Handle

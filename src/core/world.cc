@@ -47,11 +47,26 @@ World::createLock(LockKind kind)
 std::vector<LockHandle>
 World::createLocks(std::size_t count, LockKind kind)
 {
+    objects_.reserve(objects_.size() + count);
     std::vector<LockHandle> out;
     out.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
         out.push_back(createLock(kind));
     return out;
+}
+
+LockRange
+World::createLockRange(std::size_t count, LockKind kind)
+{
+    objects_.reserve(objects_.size() + count);
+    LockRange range;
+    range.count = static_cast<std::uint32_t>(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const LockHandle h = createLock(kind);
+        if (i == 0)
+            range.first = h.index;
+    }
+    return range;
 }
 
 TicketHandle
@@ -66,11 +81,26 @@ World::createTicket()
 std::vector<TicketHandle>
 World::createTickets(std::size_t count)
 {
+    objects_.reserve(objects_.size() + count);
     std::vector<TicketHandle> out;
     out.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
         out.push_back(createTicket());
     return out;
+}
+
+TicketRange
+World::createTicketRange(std::size_t count)
+{
+    objects_.reserve(objects_.size() + count);
+    TicketRange range;
+    range.count = static_cast<std::uint32_t>(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const TicketHandle h = createTicket();
+        if (i == 0)
+            range.first = h.index;
+    }
+    return range;
 }
 
 SumHandle
@@ -85,11 +115,26 @@ World::createSum(double initial)
 std::vector<SumHandle>
 World::createSums(std::size_t count, double initial)
 {
+    objects_.reserve(objects_.size() + count);
     std::vector<SumHandle> out;
     out.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
         out.push_back(createSum(initial));
     return out;
+}
+
+SumRange
+World::createSumRange(std::size_t count, double initial)
+{
+    objects_.reserve(objects_.size() + count);
+    SumRange range;
+    range.count = static_cast<std::uint32_t>(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const SumHandle h = createSum(initial);
+        if (i == 0)
+            range.first = h.index;
+    }
+    return range;
 }
 
 StackHandle

@@ -41,6 +41,39 @@ struct SyncObjDesc
     double initialValue = 0.0;           ///< for Sum objects
 };
 
+/**
+ * Contiguous range of same-kind handles allocated in one call.
+ *
+ * Large workloads allocate tens of thousands of descriptors (barnes
+ * creates one lock per octree node); a range is one bulk reservation
+ * plus O(1) handle math instead of one vector push_back -- and one
+ * stored handle -- per object.
+ */
+template <class HandleT>
+struct HandleRange
+{
+    std::uint32_t first = 0xffffffffu;
+    std::uint32_t count = 0;
+
+    std::size_t size() const { return count; }
+    bool valid() const { return first != 0xffffffffu; }
+
+    /** Handle of the @p i-th object in the range (unchecked). */
+    HandleT
+    at(std::size_t i) const
+    {
+        HandleT h;
+        h.index = first + static_cast<std::uint32_t>(i);
+        return h;
+    }
+
+    HandleT operator[](std::size_t i) const { return at(i); }
+};
+
+using LockRange = HandleRange<LockHandle>;
+using TicketRange = HandleRange<TicketHandle>;
+using SumRange = HandleRange<SumHandle>;
+
 /** Engine-agnostic description of one run's synchronization layout. */
 class World
 {
@@ -62,6 +95,17 @@ class World
                                       double initial = 0.0);
     StackHandle createStack(std::uint32_t capacity);
     FlagHandle createFlag();
+
+    /**
+     * Bulk-range creation: reserve and append @p count contiguous
+     * descriptors in one call.  Handles are derived arithmetically
+     * from the range, so a workload stores 8 bytes instead of a
+     * count-sized handle vector.
+     */
+    LockRange createLockRange(std::size_t count,
+                              LockKind kind = LockKind::Mutex);
+    TicketRange createTicketRange(std::size_t count);
+    SumRange createSumRange(std::size_t count, double initial = 0.0);
 
     /** Full descriptor table, indexed by handle. */
     const std::vector<SyncObjDesc>& objects() const { return objects_; }

@@ -25,9 +25,18 @@ namespace splash {
 
 class RaceReport;
 struct SyncProfile;
+class NativeFastContext; // engine/fast_context.h
 
 /** Thread body executed by an engine on every participant. */
 using ThreadBody = std::function<void(Context&)>;
+
+/**
+ * Thread body on the native engine's monomorphized fast path.  The
+ * std::function indirection is paid once per thread, not per op; the
+ * body is expected to be Benchmark::runFast, whose kernel
+ * instantiation inlines every sync op (docs/ARCHITECTURE.md).
+ */
+using FastThreadBody = std::function<void(NativeFastContext&)>;
 
 /** Raw result of one engine execution. */
 struct EngineOutcome
@@ -66,6 +75,13 @@ struct RunConfig
     Params params;                  ///< benchmark-specific parameters
     bool raceCheck = false; ///< attach Sync-Sentry (Sim engine only)
     bool syncProfile = false; ///< attach Sync-Scope (both engines)
+    /**
+     * Native dispatch-path selection; ignored by the sim engine
+     * (whose virtual-time scheduler needs the abstract Context).
+     * Auto runs the monomorphized path for every benchmark that
+     * provides one; On additionally makes any fallback fatal.
+     */
+    FastPath fastPath = FastPath::Auto;
     ChaosOptions chaos;     ///< seeded fault injection (Chaos-Sentry)
     WatchdogOptions watchdog; ///< deadlock/livelock/timeout budgets
 };

@@ -1,0 +1,550 @@
+/**
+ * @file
+ * NativeFastContext: the monomorphized native hot path.
+ *
+ * The abstract Context (core/context.h) pays one virtual call per
+ * synchronization operation -- the same order of magnitude as an
+ * uncontended atomic itself, so on real hardware the native engine
+ * would measure dispatch overhead on top of the primitive cost.  The
+ * fast path removes that layer: workload kernels are templates over
+ * the context type (core/benchmark.h), and this `final`, non-virtual
+ * context resolves every World handle to a direct pointer into the
+ * engine's preallocated primitive table once at thread start, then
+ * performs each operation as an inline call into src/sync.
+ *
+ * Contract (enforced by tests/engine/test_fast_path.cc and documented
+ * in docs/ARCHITECTURE.md):
+ *  - Observable behavior is identical to the virtual NativeContext:
+ *    the same primitives run in the same order, ThreadStats op counts
+ *    match exactly, and Sync-Scope per-construct ops/attempts/retries
+ *    match exactly when profiling is attached.
+ *  - The zero-cost hooks keep firing unchanged: sync_scope and
+ *    sync_chaos live inside the primitives themselves, and the
+ *    watchdog progress heartbeat is ticked here exactly like the
+ *    virtual path does.
+ *  - One deliberate non-goal: the unprofiled fast path does not
+ *    attribute wall time to wait categories (two steady_clock reads
+ *    per waiting op cost more than an uncontended primitive).  The
+ *    per-category nanoseconds stay zero unless Sync-Scope is
+ *    attached, which restores full timing through the same profiled
+ *    variants the virtual path uses; --fast-path=off also keeps the
+ *    virtual path's always-on accounting.
+ *  - Handles are trusted, not validated (the virtual path panics on a
+ *    bad handle; here validation would tax every op on the path whose
+ *    whole point is zero overhead).  Debug builds still check.
+ */
+
+#ifndef SPLASH_ENGINE_FAST_CONTEXT_H
+#define SPLASH_ENGINE_FAST_CONTEXT_H
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "core/stats.h"
+#include "core/sync_profile.h"
+#include "core/types.h"
+#include "sync/atomic_reduction.h"
+#include "sync/barrier.h"
+#include "sync/lockfree_stack.h"
+#include "sync/pause_flag.h"
+#include "sync/spinlock.h"
+#include "sync/task_queue.h"
+#include "util/log.h"
+
+namespace splash {
+
+/**
+ * One World object resolved to its realized primitive.  The handle
+ * type fixes the object kind statically, so the slot only needs to
+ * discriminate between the (at most three) realizations of that one
+ * kind: a union of per-kind pointer groups, 24 bytes instead of one
+ * pointer per realization across all kinds.  Within the active group
+ * exactly one pointer is non-null, matching the descriptor and the
+ * active suite generation; unused group pointers are null.  The table
+ * is built by the native engine from the same realizations the
+ * virtual path dispatches to, so both paths hit the same primitive
+ * instances, and the compact layout keeps lock-heavy tables (barnes
+ * resolves 67k+ node locks) to a few cache lines per dozen slots.
+ *
+ * Reading a group other than the one last written relies on
+ * union-member punning between all-pointer structs, which GCC and
+ * Clang define; only null pointers are ever observed that way (the
+ * constructor zeroes the widest group).
+ */
+struct FastSlot
+{
+    union {
+        struct
+        {
+            SenseBarrier* sense;
+            TreeBarrier* tree;
+            CondBarrier* cond;
+        } barrier;
+        struct
+        {
+            TtasLock* spin;
+            std::mutex* mutex;
+        } lock;
+        struct
+        {
+            AtomicTicket* atomic;
+            LockedTicket* locked;
+        } ticket;
+        struct
+        {
+            AtomicAccumulator* atomic;
+            LockedAccumulator<>* locked;
+        } sum;
+        struct
+        {
+            LockFreeStack* lockFree;
+            LockedStack* locked;
+        } stack;
+        struct
+        {
+            AtomicFlag* atomic;
+            CondFlag* cond;
+        } flag;
+    };
+
+    FastSlot() : barrier{nullptr, nullptr, nullptr} {}
+};
+
+/**
+ * Per-thread monomorphized context.  Deliberately NOT derived from
+ * Context: there is no vtable anywhere on this path, and `final`
+ * guarantees no override can reintroduce one.  The public surface
+ * mirrors Context exactly so the same kernel template compiles
+ * against either.
+ */
+class NativeFastContext final
+{
+  public:
+    NativeFastContext(int tid, int nthreads, SuiteVersion suite,
+                      const FastSlot* slots, std::size_t numSlots,
+                      std::atomic<std::uint64_t>* progress = nullptr,
+                      SyncRecorder* recorder = nullptr)
+        : tid_(tid), nthreads_(nthreads), suite_(suite), slots_(slots),
+          numSlots_(numSlots), progress_(progress), recorder_(recorder)
+    {
+    }
+
+    NativeFastContext(const NativeFastContext&) = delete;
+    NativeFastContext& operator=(const NativeFastContext&) = delete;
+
+    /** Dense thread id in [0, nthreads). */
+    int tid() const { return tid_; }
+
+    /** Number of participating threads. */
+    int nthreads() const { return nthreads_; }
+
+    /** Active suite generation (rarely needed by benchmarks). */
+    SuiteVersion suite() const { return suite_; }
+
+    /** Zero point for profiled event timestamps (the run's start). */
+    void
+    startProfileClock(std::chrono::steady_clock::time_point t0)
+    {
+        runStart_ = t0;
+    }
+
+    /** Watchdog heartbeat: one tick per completed sync operation. */
+    void
+    tick()
+    {
+        if (progress_)
+            progress_->fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Block until all threads arrive. */
+    void
+    barrier(BarrierHandle b)
+    {
+        ++stats_.barrierCrossings;
+        tick();
+        const FastSlot& slot = at(b.index);
+        if (recorder_) [[unlikely]] {
+            barrierProfiled(slot, b);
+            return;
+        }
+        if (slot.barrier.sense)
+            slot.barrier.sense->arriveAndWait();
+        else if (slot.barrier.tree)
+            slot.barrier.tree->arriveAndWait(tid_);
+        else
+            slot.barrier.cond->arriveAndWait();
+    }
+
+    /** Acquire / release an explicit lock. */
+    void
+    lockAcquire(LockHandle l)
+    {
+        ++stats_.lockAcquires;
+        tick();
+        const FastSlot& slot = at(l.index);
+        if (recorder_) [[unlikely]] {
+            lockAcquireProfiled(slot, l);
+            return;
+        }
+        if (slot.lock.spin)
+            slot.lock.spin->lock();
+        else
+            slot.lock.mutex->lock();
+    }
+
+    void
+    lockRelease(LockHandle l)
+    {
+        const FastSlot& slot = at(l.index);
+        if (recorder_) [[unlikely]] {
+            lockReleaseProfiled(slot, l);
+            return;
+        }
+        if (slot.lock.spin)
+            slot.lock.spin->unlock();
+        else
+            slot.lock.mutex->unlock();
+    }
+
+    /** Fetch-and-add ticket; returns the pre-increment value. */
+    std::uint64_t
+    ticketNext(TicketHandle t, std::uint64_t step = 1)
+    {
+        ++stats_.ticketOps;
+        tick();
+        const FastSlot& slot = at(t.index);
+        if (recorder_) [[unlikely]]
+            return ticketNextProfiled(slot, t, step);
+        return slot.ticket.atomic ? slot.ticket.atomic->next(step)
+                                 : slot.ticket.locked->next(step);
+    }
+
+    /** Reset a ticket; call only in a single-threaded phase. */
+    void
+    ticketReset(TicketHandle t, std::uint64_t value = 0)
+    {
+        const FastSlot& slot = at(t.index);
+        if (slot.ticket.atomic)
+            slot.ticket.atomic->reset(value);
+        else
+            slot.ticket.locked->reset(value);
+    }
+
+    /** Add to a shared floating-point accumulator. */
+    void
+    sumAdd(SumHandle s, double delta)
+    {
+        ++stats_.sumOps;
+        tick();
+        const FastSlot& slot = at(s.index);
+        if (recorder_) [[unlikely]] {
+            sumAddProfiled(slot, s, delta);
+            return;
+        }
+        if (slot.sum.atomic)
+            slot.sum.atomic->add(delta);
+        else
+            slot.sum.locked->add(delta);
+    }
+
+    /** Read an accumulator; safe only after a barrier. */
+    double
+    sumRead(SumHandle s)
+    {
+        const FastSlot& slot = at(s.index);
+        return slot.sum.atomic ? slot.sum.atomic->get()
+                              : slot.sum.locked->get();
+    }
+
+    /** Reset an accumulator; call only in a single-threaded phase. */
+    void
+    sumReset(SumHandle s, double value = 0.0)
+    {
+        const FastSlot& slot = at(s.index);
+        if (slot.sum.atomic)
+            slot.sum.atomic->reset(value);
+        else
+            slot.sum.locked->reset(value);
+    }
+
+    /** Push a task id; false if the (bounded) container is full. */
+    bool
+    stackPush(StackHandle s, std::uint32_t value)
+    {
+        ++stats_.stackOps;
+        tick();
+        const FastSlot& slot = at(s.index);
+        if (recorder_) [[unlikely]]
+            return stackPushProfiled(slot, s, value);
+        return slot.stack.lockFree ? slot.stack.lockFree->push(value)
+                                  : slot.stack.locked->push(value);
+    }
+
+    /** Pop a task id; false when empty. */
+    bool
+    stackPop(StackHandle s, std::uint32_t& value)
+    {
+        ++stats_.stackOps;
+        tick();
+        const FastSlot& slot = at(s.index);
+        if (recorder_) [[unlikely]]
+            return stackPopProfiled(slot, s, value);
+        return slot.stack.lockFree ? slot.stack.lockFree->pop(value)
+                                  : slot.stack.locked->pop(value);
+    }
+
+    /** Pause-variable operations. */
+    void
+    flagSet(FlagHandle f)
+    {
+        ++stats_.flagOps;
+        tick();
+        const FastSlot& slot = at(f.index);
+        if (recorder_) [[unlikely]] {
+            flagSetProfiled(slot, f);
+            return;
+        }
+        if (slot.flag.atomic)
+            slot.flag.atomic->set();
+        else
+            slot.flag.cond->set();
+    }
+
+    void
+    flagWait(FlagHandle f)
+    {
+        ++stats_.flagOps;
+        tick();
+        const FastSlot& slot = at(f.index);
+        if (recorder_) [[unlikely]] {
+            flagWaitProfiled(slot, f);
+            return;
+        }
+        if (slot.flag.atomic)
+            slot.flag.atomic->wait();
+        else
+            slot.flag.cond->wait();
+    }
+
+    void
+    flagClear(FlagHandle f)
+    {
+        const FastSlot& slot = at(f.index);
+        if (slot.flag.atomic)
+            slot.flag.atomic->clear();
+        else
+            slot.flag.cond->clear();
+    }
+
+    /** Account @p units of computation (statistics only, as native). */
+    void
+    work(std::uint64_t units)
+    {
+        stats_.workUnits += units;
+        stats_.addCycles(TimeCategory::Compute, units);
+    }
+
+    // ----- analysis annotations ------------------------------------------
+    //
+    // Sync-Sentry runs only under the sim engine's virtual path, so on
+    // the fast path these compile to nothing at all -- not even the
+    // virtual-call the abstract Context charges for disabled hooks.
+
+    void timedBegin(const char* section) { (void)section; }
+    void timedEnd() {}
+
+    void
+    annotateRead(const void* addr, std::size_t bytes, const char* label)
+    {
+        (void)addr;
+        (void)bytes;
+        (void)label;
+    }
+
+    void
+    annotateWrite(const void* addr, std::size_t bytes, const char* label)
+    {
+        (void)addr;
+        (void)bytes;
+        (void)label;
+    }
+
+    /** Mutable statistics for this thread. */
+    ThreadStats& stats() { return stats_; }
+    const ThreadStats& stats() const { return stats_; }
+
+  private:
+    /** Trusted handle lookup; validated only in debug builds. */
+    const FastSlot&
+    at(std::uint32_t index) const
+    {
+#ifndef NDEBUG
+        panicIf(index >= numSlots_, "bad sync handle (fast path)");
+#endif
+        return slots_[index];
+    }
+
+    // ----- cold profiled variants ----------------------------------------
+    //
+    // Outlined so the unprofiled ops above stay small enough for the
+    // compiler to inline into kernel loops -- keeping the clock reads
+    // and recorder plumbing in the hot functions would push them past
+    // the inlining budget and reintroduce a call per op, which is the
+    // exact cost this context exists to remove.
+
+    [[gnu::noinline, gnu::cold]] void
+    barrierProfiled(const FastSlot& slot, BarrierHandle b)
+    {
+        const auto ns = profiledOp(b.index, "arrive", [&] {
+            if (slot.barrier.sense)
+                slot.barrier.sense->arriveAndWait();
+            else if (slot.barrier.tree)
+                slot.barrier.tree->arriveAndWait(tid_);
+            else
+                slot.barrier.cond->arriveAndWait();
+        });
+        stats_.addCycles(TimeCategory::Barrier, ns);
+    }
+
+    [[gnu::noinline, gnu::cold]] void
+    lockAcquireProfiled(const FastSlot& slot, LockHandle l)
+    {
+        const auto ns = profiledOp(l.index, "acquire", [&] {
+            if (slot.lock.spin)
+                slot.lock.spin->lock();
+            else
+                slot.lock.mutex->lock();
+        });
+        stats_.addCycles(TimeCategory::Lock, ns);
+    }
+
+    [[gnu::noinline, gnu::cold]] void
+    flagWaitProfiled(const FastSlot& slot, FlagHandle f)
+    {
+        const auto ns = profiledOp(f.index, "wait", [&] {
+            if (slot.flag.atomic)
+                slot.flag.atomic->wait();
+            else
+                slot.flag.cond->wait();
+        });
+        stats_.addCycles(TimeCategory::Flag, ns);
+    }
+
+    [[gnu::noinline, gnu::cold]] void
+    lockReleaseProfiled(const FastSlot& slot, LockHandle l)
+    {
+        profiledOp(l.index, "release", [&] {
+            if (slot.lock.spin)
+                slot.lock.spin->unlock();
+            else
+                slot.lock.mutex->unlock();
+        });
+    }
+
+    [[gnu::noinline, gnu::cold]] std::uint64_t
+    ticketNextProfiled(const FastSlot& slot, TicketHandle t,
+                       std::uint64_t step)
+    {
+        std::uint64_t out = 0;
+        profiledOp(t.index, "ticket", [&] {
+            out = slot.ticket.atomic ? slot.ticket.atomic->next(step)
+                                    : slot.ticket.locked->next(step);
+        });
+        return out;
+    }
+
+    [[gnu::noinline, gnu::cold]] void
+    sumAddProfiled(const FastSlot& slot, SumHandle s, double delta)
+    {
+        profiledOp(s.index, "sum-add", [&] {
+            if (slot.sum.atomic)
+                slot.sum.atomic->add(delta);
+            else
+                slot.sum.locked->add(delta);
+        });
+    }
+
+    [[gnu::noinline, gnu::cold]] bool
+    stackPushProfiled(const FastSlot& slot, StackHandle s,
+                      std::uint32_t value)
+    {
+        bool ok = false;
+        profiledOp(s.index, "push", [&] {
+            ok = slot.stack.lockFree ? slot.stack.lockFree->push(value)
+                                    : slot.stack.locked->push(value);
+        });
+        return ok;
+    }
+
+    [[gnu::noinline, gnu::cold]] bool
+    stackPopProfiled(const FastSlot& slot, StackHandle s,
+                     std::uint32_t& value)
+    {
+        bool ok = false;
+        profiledOp(s.index, "pop", [&] {
+            ok = slot.stack.lockFree ? slot.stack.lockFree->pop(value)
+                                    : slot.stack.locked->pop(value);
+        });
+        return ok;
+    }
+
+    [[gnu::noinline, gnu::cold]] void
+    flagSetProfiled(const FastSlot& slot, FlagHandle f)
+    {
+        profiledOp(f.index, "set", [&] {
+            if (slot.flag.atomic)
+                slot.flag.atomic->set();
+            else
+                slot.flag.cond->set();
+        });
+    }
+
+    /**
+     * Sync-Scope: identical to the virtual path's instrumentation --
+     * time @p fn, capture RMW attempt/retry counts via an OpWindow
+     * around the primitive, and record the operation.  Only called
+     * when recorder_ is non-null, so the unprofiled fast path never
+     * reads a clock outside waiting ops.
+     */
+    template <typename Fn>
+    std::uint64_t
+    profiledOp(std::uint32_t index, const char* op, Fn&& fn)
+    {
+        sync_scope::OpCounters counters;
+        const auto t0 = std::chrono::steady_clock::now();
+        {
+            sync_scope::OpWindow window(counters);
+            fn();
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const auto ns = [](auto d) {
+            return static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+                    .count());
+        };
+        // Primitives without an instrumented CAS loop (fetch_add
+        // tickets, mutexes, condvars) report zero attempts; the
+        // operation itself still counts as one.
+        recorder_->record(index, op, ns(t0 - runStart_), ns(t1 - t0),
+                          counters.attempts ? counters.attempts : 1,
+                          counters.retries);
+        return ns(t1 - t0);
+    }
+
+    const int tid_;
+    const int nthreads_;
+    const SuiteVersion suite_;
+    const FastSlot* slots_;
+    const std::size_t numSlots_;
+    std::atomic<std::uint64_t>* progress_;
+    SyncRecorder* recorder_;
+    std::chrono::steady_clock::time_point runStart_{};
+    ThreadStats stats_;
+};
+
+} // namespace splash
+
+#endif // SPLASH_ENGINE_FAST_CONTEXT_H

@@ -8,9 +8,11 @@
 #include <cstdlib>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <variant>
 
 #include "core/sync_profile.h"
+#include "engine/fast_context.h"
 #include "sync/atomic_reduction.h"
 #include "sync/barrier.h"
 #include "sync/chaos_hook.h"
@@ -114,6 +116,7 @@ class NativeObjects
             }
             objects_.push_back(std::move(obj));
         }
+        buildFastTable();
     }
 
     NativeObject& at(std::uint32_t index)
@@ -122,8 +125,57 @@ class NativeObjects
         return objects_[index];
     }
 
+    /** Handle-indexed table of resolved primitive pointers. */
+    const std::vector<FastSlot>& fastTable() const { return fastTable_; }
+
   private:
+    /**
+     * Resolve every realized object to a raw pointer once, so the
+     * fast path's per-op cost is a table load plus the primitive
+     * itself.  Both paths therefore operate on the same instances;
+     * only the dispatch differs.
+     */
+    void
+    buildFastTable()
+    {
+        fastTable_.reserve(objects_.size());
+        for (const auto& obj : objects_) {
+            // Exactly one realization pointer is set per object, so
+            // writing the matching union group (and leaving the rest
+            // of the zero-initialized slot alone) fully populates it.
+            FastSlot slot;
+            if (obj.senseBarrier)
+                slot.barrier.sense = obj.senseBarrier.get();
+            else if (obj.treeBarrier)
+                slot.barrier.tree = obj.treeBarrier.get();
+            else if (obj.condBarrier)
+                slot.barrier.cond = obj.condBarrier.get();
+            else if (obj.spinLock)
+                slot.lock.spin = obj.spinLock.get();
+            else if (obj.mutexLock)
+                slot.lock.mutex = obj.mutexLock.get();
+            else if (obj.atomicTicket)
+                slot.ticket.atomic = obj.atomicTicket.get();
+            else if (obj.lockedTicket)
+                slot.ticket.locked = obj.lockedTicket.get();
+            else if (obj.atomicSum)
+                slot.sum.atomic = obj.atomicSum.get();
+            else if (obj.lockedSum)
+                slot.sum.locked = obj.lockedSum.get();
+            else if (obj.lockFreeStack)
+                slot.stack.lockFree = obj.lockFreeStack.get();
+            else if (obj.lockedStack)
+                slot.stack.locked = obj.lockedStack.get();
+            else if (obj.atomicFlag)
+                slot.flag.atomic = obj.atomicFlag.get();
+            else if (obj.condFlag)
+                slot.flag.cond = obj.condFlag.get();
+            fastTable_.push_back(slot);
+        }
+    }
+
     std::vector<NativeObject> objects_;
+    std::vector<FastSlot> fastTable_;
 };
 
 namespace {
@@ -525,8 +577,15 @@ NativeEngine::NativeEngine(const World& world, NativeOptions options)
 
 NativeEngine::~NativeEngine() = default;
 
+/**
+ * Shared scaffolding for both dispatch paths: chaos configuration,
+ * per-thread contexts and recorders, the wall-clock watchdog, thread
+ * launch/join, and outcome assembly.  Only the context type -- and
+ * therefore how each sync op dispatches -- differs.
+ */
+template <class Ctx, class Body>
 EngineOutcome
-NativeEngine::run(const ThreadBody& body)
+NativeEngine::runWith(const Body& body)
 {
     const int n = world_.nthreads();
     const ChaosOptions& chaos = options_.chaos;
@@ -545,13 +604,23 @@ NativeEngine::run(const ThreadBody& body)
             recorders.push_back(std::make_unique<SyncRecorder>(
                 tid, world_.objects().size()));
     }
-    std::vector<std::unique_ptr<NativeContext>> contexts;
+    std::vector<std::unique_ptr<Ctx>> contexts;
     contexts.reserve(static_cast<std::size_t>(n));
     for (int tid = 0; tid < n; ++tid) {
-        contexts.push_back(std::make_unique<NativeContext>(
-            tid, n, world_.suite(), *objects_,
-            instrument ? &progress : nullptr,
-            recorders.empty() ? nullptr : recorders[tid].get()));
+        std::atomic<std::uint64_t>* progress_ptr =
+            instrument ? &progress : nullptr;
+        SyncRecorder* recorder =
+            recorders.empty() ? nullptr : recorders[tid].get();
+        if constexpr (std::is_same_v<Ctx, NativeFastContext>) {
+            const auto& table = objects_->fastTable();
+            contexts.push_back(std::make_unique<NativeFastContext>(
+                tid, n, world_.suite(), table.data(), table.size(),
+                progress_ptr, recorder));
+        } else {
+            contexts.push_back(std::make_unique<NativeContext>(
+                tid, n, world_.suite(), *objects_, progress_ptr,
+                recorder));
+        }
     }
 
     NativeWatchdog watchdog(options_.watchdog, progress);
@@ -596,6 +665,18 @@ NativeEngine::run(const ThreadBody& body)
         outcome.syncProfile = std::move(profile);
     }
     return outcome;
+}
+
+EngineOutcome
+NativeEngine::run(const ThreadBody& body)
+{
+    return runWith<NativeContext>(body);
+}
+
+EngineOutcome
+NativeEngine::runFast(const FastThreadBody& body)
+{
+    return runWith<NativeFastContext>(body);
 }
 
 } // namespace splash

@@ -56,9 +56,22 @@ class NativeEngine : public ExecutionEngine
     explicit NativeEngine(const World& world, NativeOptions options = {});
     ~NativeEngine() override;
 
+    /** Virtual dispatch path: every sync op through the Context vtable. */
     EngineOutcome run(const ThreadBody& body) override;
 
+    /**
+     * Monomorphized fast path: the body runs against NativeFastContext,
+     * whose handles were resolved to direct primitive pointers before
+     * the threads started.  Same realizations, same watchdog/chaos/
+     * profiler instrumentation, no per-op virtual dispatch.  See
+     * docs/ARCHITECTURE.md for the parity contract with run().
+     */
+    EngineOutcome runFast(const FastThreadBody& body);
+
   private:
+    template <class Ctx, class Body>
+    EngineOutcome runWith(const Body& body);
+
     const World& world_;
     const NativeOptions options_;
     std::unique_ptr<NativeObjects> objects_;

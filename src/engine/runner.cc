@@ -8,12 +8,47 @@
 
 #include "analysis/race_report.h"
 #include "core/sync_profile.h"
+#include "engine/fast_context.h"
 #include "engine/native_engine.h"
 #include "engine/sim_engine.h"
 #include "sim/machine.h"
 #include "util/log.h"
 
 namespace splash {
+
+namespace {
+
+/**
+ * Decide whether this run takes the monomorphized native path, with
+ * FastPath::On validating its preconditions fatally (a clear user
+ * error beats a silent fallback).
+ */
+bool
+selectFastPath(const Benchmark& benchmark, const RunConfig& config)
+{
+    if (config.fastPath == FastPath::On) {
+        if (config.raceCheck)
+            fatal("--fast-path=on is incompatible with --race-check: "
+                  "the Sync-Sentry race checker instruments the "
+                  "virtual Context under the sim engine, which the "
+                  "monomorphized native path bypasses entirely");
+        if (config.engine != EngineKind::Native)
+            fatal("--fast-path=on requires --engine=native (the sim "
+                  "engine's virtual-time scheduler needs the abstract "
+                  "Context)");
+        if (!benchmark.hasFastPath())
+            fatal("--fast-path=on: benchmark '" + benchmark.name() +
+                  "' has no monomorphized kernel (derive from "
+                  "TemplatedBenchmark to provide one, or use "
+                  "--fast-path=off)");
+        return true;
+    }
+    return config.fastPath == FastPath::Auto &&
+           config.engine == EngineKind::Native &&
+           !config.raceCheck && benchmark.hasFastPath();
+}
+
+} // namespace
 
 std::unique_ptr<ExecutionEngine>
 makeEngine(const World& world, const RunConfig& config)
@@ -44,9 +79,23 @@ runBenchmark(Benchmark& benchmark, const RunConfig& config)
     World world(config.threads, config.suite);
     benchmark.setup(world, config.params);
 
-    auto engine = makeEngine(world, config);
-    EngineOutcome outcome =
-        engine->run([&](Context& ctx) { benchmark.run(ctx); });
+    EngineOutcome outcome;
+    if (selectFastPath(benchmark, config)) {
+        // Monomorphized hot path: build the native engine concretely
+        // (runFast is not part of the engine-agnostic interface) and
+        // run the kernel instantiated over NativeFastContext.
+        NativeOptions options;
+        options.chaos = config.chaos;
+        options.syncProfile = config.syncProfile;
+        options.watchdog = config.watchdog;
+        NativeEngine engine(world, options);
+        outcome = engine.runFast(
+            [&](NativeFastContext& ctx) { benchmark.runFast(ctx); });
+    } else {
+        auto engine = makeEngine(world, config);
+        outcome =
+            engine->run([&](Context& ctx) { benchmark.run(ctx); });
+    }
 
     RunResult result;
     result.status = outcome.status;

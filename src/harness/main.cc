@@ -84,6 +84,11 @@ usage()
         "                            checker (sim engine); exit nonzero\n"
         "                            on races or, under splash4, on any\n"
         "                            lock taken inside a timed section\n"
+        "  --fast-path=on|off|auto   native dispatch path (default\n"
+        "                            auto): the monomorphized context\n"
+        "                            with handles pre-resolved to\n"
+        "                            primitive pointers, or the virtual\n"
+        "                            Context; see docs/ARCHITECTURE.md\n"
         "  --csv                     emit CSV instead of markdown\n"
         "  --sweep=1,4,16,64         run each thread count, print\n"
         "                            cycles and speedup (sim engine)\n"
@@ -149,6 +154,7 @@ main(int argc, char** argv)
     config.raceCheck = args.has("race-check");
     if (config.raceCheck && config.engine != EngineKind::Sim)
         fatal("--race-check requires --engine=sim");
+    config.fastPath = parseFastPath(args.get("fast-path", "auto"));
 
     // Chaos-Sentry: seeded fault injection plus progress watchdogs.
     const int chaosLevel = static_cast<int>(
@@ -182,6 +188,7 @@ main(int argc, char** argv)
         "threads",         "suite",           "engine",
         "profile",         "profile-out",     "detail",
         "race-check",      "csv",             "list",
+        "fast-path",
         "chaos-level",     "chaos-seed",      "watchdog",
         "watchdog-steps",  "watchdog-cycles", "watchdog-wall",
         "isolate",         "isolate-timeout"};

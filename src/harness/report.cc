@@ -49,6 +49,8 @@ printRunDetail(const std::string& benchName, const RunConfig& config,
                 config.threads);
     if (config.engine == EngineKind::Sim)
         std::printf(", profile=%s", config.profile.c_str());
+    if (config.engine == EngineKind::Native)
+        std::printf(", fast-path=%s", toString(config.fastPath));
     std::printf("]\n");
     std::printf("  status: %s (attempt %d)\n", toString(result.status),
                 result.attempts);

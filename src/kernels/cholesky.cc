@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/fast_context.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -107,8 +108,9 @@ CholeskyBenchmark::trailingUpdate(std::size_t k, std::size_t bi,
     }
 }
 
+template <class Ctx>
 void
-CholeskyBenchmark::run(Context& ctx)
+CholeskyBenchmark::kernel(Ctx& ctx)
 {
     const int tid = ctx.tid();
     const std::uint64_t block_flops =
@@ -181,5 +183,12 @@ CholeskyBenchmark::verify(std::string& message)
     message = "cholesky: residual max " + std::to_string(max_err);
     return true;
 }
+
+// Monomorphize the parallel body for both dispatch paths: the virtual
+// Context (sim engine, race checking, native fallback) and the
+// inlined NativeFastContext (see docs/ARCHITECTURE.md).
+template void CholeskyBenchmark::kernel<Context>(Context&);
+template void
+CholeskyBenchmark::kernel<NativeFastContext>(NativeFastContext&);
 
 } // namespace splash

@@ -24,7 +24,7 @@
 namespace splash {
 
 /** Blocked Cholesky benchmark. */
-class CholeskyBenchmark : public Benchmark
+class CholeskyBenchmark : public TemplatedBenchmark<CholeskyBenchmark>
 {
   public:
     std::string name() const override { return "cholesky"; }
@@ -35,8 +35,10 @@ class CholeskyBenchmark : public Benchmark
     std::string inputDescription() const override;
 
     void setup(World& world, const Params& params) override;
-    void run(Context& ctx) override;
     bool verify(std::string& message) override;
+
+    /** Parallel body; instantiated per context type in cholesky.cc. */
+    template <class Ctx> void kernel(Ctx& ctx);
 
     static std::unique_ptr<Benchmark> create();
 

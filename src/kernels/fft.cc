@@ -1,5 +1,7 @@
 #include "kernels/fft.h"
 
+#include "engine/fast_context.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -72,8 +74,9 @@ FftBenchmark::setup(World& world, const Params& params)
     parseval_ = world.createSum(0.0);
 }
 
+template <class Ctx>
 void
-FftBenchmark::rowStripe(Context& ctx, std::size_t& lo,
+FftBenchmark::rowStripe(Ctx& ctx, std::size_t& lo,
                         std::size_t& hi) const
 {
     const std::size_t chunk =
@@ -110,8 +113,9 @@ FftBenchmark::fftRow(Complex* row) const
     }
 }
 
+template <class Ctx>
 void
-FftBenchmark::transpose(Context& ctx, const Complex* src, Complex* dst)
+FftBenchmark::transpose(Ctx& ctx, const Complex* src, Complex* dst)
 {
     std::size_t lo, hi;
     rowStripe(ctx, lo, hi);
@@ -129,8 +133,9 @@ FftBenchmark::transpose(Context& ctx, const Complex* src, Complex* dst)
     ctx.work((hi - lo) * radix_ / 8 + 1);
 }
 
+template <class Ctx>
 void
-FftBenchmark::sixStep(Context& ctx, Complex* src, Complex* dst)
+FftBenchmark::sixStep(Ctx& ctx, Complex* src, Complex* dst)
 {
     std::size_t lo, hi;
     rowStripe(ctx, lo, hi);
@@ -177,8 +182,9 @@ FftBenchmark::sixStep(Context& ctx, Complex* src, Complex* dst)
     ctx.barrier(barrier_);
 }
 
+template <class Ctx>
 void
-FftBenchmark::run(Context& ctx)
+FftBenchmark::kernel(Ctx& ctx)
 {
     std::size_t lo, hi;
     rowStripe(ctx, lo, hi);
@@ -265,5 +271,11 @@ FftBenchmark::verify(std::string& message)
               ", Parseval and sampled DFT bins ok";
     return true;
 }
+
+// Monomorphize the parallel body for both dispatch paths: the
+// engine-agnostic virtual Context and the native fast path.
+template void FftBenchmark::kernel<Context>(Context&);
+template void
+FftBenchmark::kernel<NativeFastContext>(NativeFastContext&);
 
 } // namespace splash

@@ -25,7 +25,7 @@
 namespace splash {
 
 /** Six-step FFT benchmark. */
-class FftBenchmark : public Benchmark
+class FftBenchmark : public TemplatedBenchmark<FftBenchmark>
 {
   public:
     using Complex = std::complex<double>;
@@ -38,20 +38,25 @@ class FftBenchmark : public Benchmark
     std::string inputDescription() const override;
 
     void setup(World& world, const Params& params) override;
-    void run(Context& ctx) override;
     bool verify(std::string& message) override;
+
+    /** Parallel body; instantiated per context type in fft.cc. */
+    template <class Ctx> void kernel(Ctx& ctx);
 
     static std::unique_ptr<Benchmark> create();
 
   private:
     /** One six-step transform of src into dst (both R*R, row-major). */
-    void sixStep(Context& ctx, Complex* src, Complex* dst);
+    template <class Ctx> void sixStep(Ctx& ctx, Complex* src,
+                                      Complex* dst);
 
     /** In-place iterative radix-2 FFT of one length-R row. */
     void fftRow(Complex* row) const;
 
-    void transpose(Context& ctx, const Complex* src, Complex* dst);
-    void rowStripe(Context& ctx, std::size_t& lo, std::size_t& hi) const;
+    template <class Ctx> void transpose(Ctx& ctx, const Complex* src,
+                                        Complex* dst);
+    template <class Ctx> void rowStripe(Ctx& ctx, std::size_t& lo,
+                                        std::size_t& hi) const;
 
     std::size_t n_ = 1 << 14; ///< total points
     std::size_t radix_ = 128; ///< R = sqrt(n)

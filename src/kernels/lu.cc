@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/fast_context.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -110,8 +111,9 @@ LuBenchmark::updateInterior(std::size_t k, std::size_t bi,
     }
 }
 
+template <class Ctx>
 void
-LuBenchmark::run(Context& ctx)
+LuBenchmark::kernel(Ctx& ctx)
 {
     const int tid = ctx.tid();
     const int nthreads = ctx.nthreads();
@@ -178,5 +180,12 @@ LuBenchmark::verify(std::string& message)
     message = "lu: residual max " + std::to_string(max_err);
     return true;
 }
+
+// Monomorphize the parallel body for both dispatch paths: the virtual
+// Context (sim engine, race checking, native fallback) and the
+// inlined NativeFastContext (see docs/ARCHITECTURE.md).
+template void LuBenchmark::kernel<Context>(Context&);
+template void
+LuBenchmark::kernel<NativeFastContext>(NativeFastContext&);
 
 } // namespace splash

@@ -25,7 +25,7 @@
 namespace splash {
 
 /** Blocked LU factorization benchmark. */
-class LuBenchmark : public Benchmark
+class LuBenchmark : public TemplatedBenchmark<LuBenchmark>
 {
   public:
     std::string name() const override { return "lu"; }
@@ -36,8 +36,10 @@ class LuBenchmark : public Benchmark
     std::string inputDescription() const override;
 
     void setup(World& world, const Params& params) override;
-    void run(Context& ctx) override;
     bool verify(std::string& message) override;
+
+    /** Parallel body; instantiated per context type in lu.cc. */
+    template <class Ctx> void kernel(Ctx& ctx);
 
     static std::unique_ptr<Benchmark> create();
 

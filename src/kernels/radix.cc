@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/fast_context.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -63,8 +64,9 @@ RadixBenchmark::setup(World& world, const Params& params)
     bucketTickets_ = world.createTickets(buckets);
 }
 
+template <class Ctx>
 void
-RadixBenchmark::run(Context& ctx)
+RadixBenchmark::kernel(Ctx& ctx)
 {
     const int tid = ctx.tid();
     const int nthreads = ctx.nthreads();
@@ -185,5 +187,12 @@ RadixBenchmark::verify(std::string& message)
               " keys sorted; checksum ok";
     return true;
 }
+
+// Monomorphize the parallel body for both dispatch paths: the virtual
+// Context (sim engine, race checking, native fallback) and the
+// inlined NativeFastContext (see docs/ARCHITECTURE.md).
+template void RadixBenchmark::kernel<Context>(Context&);
+template void
+RadixBenchmark::kernel<NativeFastContext>(NativeFastContext&);
 
 } // namespace splash

@@ -25,7 +25,7 @@
 namespace splash {
 
 /** Parallel radix sort benchmark. */
-class RadixBenchmark : public Benchmark
+class RadixBenchmark : public TemplatedBenchmark<RadixBenchmark>
 {
   public:
     std::string name() const override { return "radix"; }
@@ -36,8 +36,10 @@ class RadixBenchmark : public Benchmark
     std::string inputDescription() const override;
 
     void setup(World& world, const Params& params) override;
-    void run(Context& ctx) override;
     bool verify(std::string& message) override;
+
+    /** Parallel body; instantiated per context type in radix.cc. */
+    template <class Ctx> void kernel(Ctx& ctx);
 
     /** Factory for the registry. */
     static std::unique_ptr<Benchmark> create();

@@ -62,5 +62,39 @@ TEST(World, ExplicitLockKindPreserved)
     EXPECT_EQ(world.objects()[spin.index].lockKind, LockKind::Spin);
 }
 
+TEST(World, LockRangeIsOneContiguousBulkAllocation)
+{
+    World world(2, SuiteVersion::Splash4);
+    const auto before =
+        static_cast<std::uint32_t>(world.objects().size());
+    LockRange locks = world.createLockRange(100, LockKind::Auto);
+    EXPECT_TRUE(locks.valid());
+    EXPECT_EQ(locks.size(), 100u);
+    EXPECT_EQ(world.objects().size(), before + 100u);
+    EXPECT_EQ(locks[0].index, before);
+    EXPECT_EQ(locks[99].index, before + 99u);
+    EXPECT_EQ(world.countOf(SyncObjKind::Lock), 100u);
+}
+
+TEST(World, TicketAndSumRangesKeepPerObjectState)
+{
+    World world(2, SuiteVersion::Splash4);
+    TicketRange tickets = world.createTicketRange(3);
+    SumRange sums = world.createSumRange(2, 1.25);
+    EXPECT_EQ(tickets.size(), 3u);
+    EXPECT_EQ(sums.size(), 2u);
+    EXPECT_DOUBLE_EQ(world.objects()[sums[1].index].initialValue,
+                     1.25);
+    EXPECT_EQ(world.countOf(SyncObjKind::Ticket), 3u);
+    EXPECT_EQ(world.countOf(SyncObjKind::Sum), 2u);
+}
+
+TEST(World, DefaultHandleRangeIsInvalidAndEmpty)
+{
+    LockRange range;
+    EXPECT_FALSE(range.valid());
+    EXPECT_EQ(range.size(), 0u);
+}
+
 } // namespace
 } // namespace splash

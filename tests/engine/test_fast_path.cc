@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "core/sync_profile.h"
+#include "core/types.h"
+#include "engine/engine.h"
+#include "harness/suite.h"
+
+namespace splash {
+namespace {
+
+/**
+ * Small deterministic inputs for every suite workload (the same set
+ * the cross-engine tests use), on the native engine.
+ */
+RunConfig
+nativeConfig(int threads)
+{
+    RunConfig config;
+    config.threads = threads;
+    config.suite = SuiteVersion::Splash4;
+    config.engine = EngineKind::Native;
+    config.params.set("keys", std::int64_t{2048});
+    config.params.set("bits", std::int64_t{4});
+    config.params.set("points", std::int64_t{1024});
+    config.params.set("size", std::int64_t{64});
+    config.params.set("block", std::int64_t{8});
+    config.params.set("grid", std::int64_t{32});
+    config.params.set("bodies", std::int64_t{128});
+    config.params.set("steps", std::int64_t{1});
+    config.params.set("molecules", std::int64_t{64});
+    config.params.set("particles", std::int64_t{128});
+    config.params.set("levels", std::int64_t{2});
+    config.params.set("patches", std::int64_t{3});
+    config.params.set("width", std::int64_t{32});
+    config.params.set("height", std::int64_t{32});
+    config.params.set("volume", std::int64_t{16});
+    config.params.set("spheres", std::int64_t{6});
+    return config;
+}
+
+class FastPathParityTest : public ::testing::TestWithParam<const char*>
+{
+  protected:
+    static void SetUpTestSuite() { registerAllBenchmarks(); }
+};
+
+/**
+ * One thread makes both native paths fully deterministic, so every
+ * observable must agree bit-for-bit: the validation checksum embedded
+ * in verifyMessage, each ThreadStats op count, and the Sync-Scope
+ * per-construct ops/attempts/retries.  This is the contract that lets
+ * --fast-path=auto substitute the monomorphized path silently.
+ */
+TEST_P(FastPathParityTest, SingleThreadBitIdentical)
+{
+    RunConfig config = nativeConfig(1);
+    config.syncProfile = true;
+    config.fastPath = FastPath::Off;
+    const RunResult slow = runBenchmark(GetParam(), config);
+    config.fastPath = FastPath::On;
+    const RunResult fast = runBenchmark(GetParam(), config);
+
+    EXPECT_TRUE(slow.verified) << slow.verifyMessage;
+    EXPECT_TRUE(fast.verified) << fast.verifyMessage;
+    EXPECT_EQ(slow.verifyMessage, fast.verifyMessage);
+
+    EXPECT_EQ(slow.totals.barrierCrossings,
+              fast.totals.barrierCrossings);
+    EXPECT_EQ(slow.totals.lockAcquires, fast.totals.lockAcquires);
+    EXPECT_EQ(slow.totals.ticketOps, fast.totals.ticketOps);
+    EXPECT_EQ(slow.totals.sumOps, fast.totals.sumOps);
+    EXPECT_EQ(slow.totals.stackOps, fast.totals.stackOps);
+    EXPECT_EQ(slow.totals.flagOps, fast.totals.flagOps);
+    EXPECT_EQ(slow.totals.workUnits, fast.totals.workUnits);
+
+    ASSERT_NE(slow.syncProfile, nullptr);
+    ASSERT_NE(fast.syncProfile, nullptr);
+    ASSERT_EQ(slow.syncProfile->constructs.size(),
+              fast.syncProfile->constructs.size());
+    for (std::size_t i = 0; i < slow.syncProfile->constructs.size();
+         ++i) {
+        const ConstructProfile& v = slow.syncProfile->constructs[i];
+        const ConstructProfile& f = fast.syncProfile->constructs[i];
+        EXPECT_EQ(v.name, f.name);
+        EXPECT_EQ(v.realization, f.realization) << v.name;
+        EXPECT_EQ(v.ops, f.ops) << v.name;
+        EXPECT_EQ(v.attempts, f.attempts) << v.name;
+        EXPECT_EQ(v.retries, f.retries) << v.name;
+    }
+}
+
+/**
+ * With real concurrency the interleaving (and thus FP accumulation
+ * order, CAS retry counts, work-stealing splits) is free to differ,
+ * but both paths must still produce a verifying run.
+ */
+TEST_P(FastPathParityTest, FourThreadsBothVerify)
+{
+    RunConfig config = nativeConfig(4);
+    config.fastPath = FastPath::Off;
+    const RunResult slow = runBenchmark(GetParam(), config);
+    config.fastPath = FastPath::On;
+    const RunResult fast = runBenchmark(GetParam(), config);
+    EXPECT_TRUE(slow.verified) << slow.verifyMessage;
+    EXPECT_TRUE(fast.verified) << fast.verifyMessage;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, FastPathParityTest,
+    ::testing::Values("barnes", "cholesky", "fft", "fmm", "lu",
+                      "ocean", "radiosity", "radix", "raytrace",
+                      "volrend", "water-nsquared", "water-spatial"),
+    [](const auto& param_info) {
+        std::string name = param_info.param;
+        for (auto& ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+/** A benchmark that never opted into the monomorphized path. */
+class VirtualOnlyBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "virtual-only"; }
+    std::string description() const override { return "test"; }
+    std::string inputDescription() const override { return "-"; }
+    void setup(World&, const Params&) override {}
+    void run(Context& ctx) override { ctx.work(1); }
+    bool
+    verify(std::string& message) override
+    {
+        message = "ok";
+        return true;
+    }
+};
+
+class FastPathDeathTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { registerAllBenchmarks(); }
+};
+
+TEST_F(FastPathDeathTest, OnWithRaceCheckIsRejected)
+{
+    RunConfig config = nativeConfig(2);
+    config.fastPath = FastPath::On;
+    config.raceCheck = true;
+    EXPECT_EXIT(runBenchmark("fft", config),
+                ::testing::ExitedWithCode(1),
+                "incompatible with --race-check");
+}
+
+TEST_F(FastPathDeathTest, OnWithSimEngineIsRejected)
+{
+    RunConfig config = nativeConfig(2);
+    config.engine = EngineKind::Sim;
+    config.fastPath = FastPath::On;
+    EXPECT_EXIT(runBenchmark("fft", config),
+                ::testing::ExitedWithCode(1),
+                "requires --engine=native");
+}
+
+TEST_F(FastPathDeathTest, OnWithVirtualOnlyBenchmarkIsRejected)
+{
+    VirtualOnlyBenchmark benchmark;
+    RunConfig config = nativeConfig(2);
+    config.fastPath = FastPath::On;
+    EXPECT_EXIT(runBenchmark(benchmark, config),
+                ::testing::ExitedWithCode(1),
+                "has no monomorphized kernel");
+}
+
+TEST_F(FastPathDeathTest, UnknownModeStringIsRejected)
+{
+    EXPECT_EXIT(parseFastPath("fast"), ::testing::ExitedWithCode(1),
+                "unknown fast-path mode");
+}
+
+TEST(FastPathConfig, ParseAndPrintRoundTrip)
+{
+    EXPECT_EQ(parseFastPath("on"), FastPath::On);
+    EXPECT_EQ(parseFastPath("off"), FastPath::Off);
+    EXPECT_EQ(parseFastPath("auto"), FastPath::Auto);
+    EXPECT_STREQ(toString(FastPath::On), "on");
+    EXPECT_STREQ(toString(FastPath::Off), "off");
+    EXPECT_STREQ(toString(FastPath::Auto), "auto");
+}
+
+/**
+ * Auto quietly keeps virtual-only benchmarks on the abstract Context
+ * -- the fallback half of the two-path contract.
+ */
+TEST(FastPathConfig, AutoFallsBackForVirtualOnlyBenchmark)
+{
+    VirtualOnlyBenchmark benchmark;
+    RunConfig config = nativeConfig(2);
+    config.fastPath = FastPath::Auto;
+    const RunResult result = runBenchmark(benchmark, config);
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.totals.workUnits, 2u);
+}
+
+} // namespace
+} // namespace splash
