@@ -1,13 +1,18 @@
 /**
  * @file
  * Shared plumbing for the experiment binaries in bench/: common CLI
- * flags, suite iteration, and the Splash-3 vs Splash-4 comparison
- * runner used by the headline figures.
+ * flags plus the plan-based comparison runner used by the headline
+ * figures.  Experiments no longer hand-roll run loops — they add jobs
+ * to an ExperimentPlan (benchmark x suite x threads at the preset
+ * scale), run the plan through the suite scheduler, and read results
+ * back by index, so a figure's full cross product can execute on
+ * --jobs=N fork-isolated workers.
  *
  * Every binary accepts:
  *   --scale=X    input scale factor (default 1.0; see presets)
  *   --quick      shorthand for --scale=0.25
  *   --threads=N  simulated thread count where applicable (default 64)
+ *   --jobs=N     concurrent fork-isolated jobs (default 1: in-process)
  *   --csv        CSV output instead of markdown
  */
 
@@ -18,8 +23,10 @@
 #include <string>
 #include <vector>
 
+#include "core/run_plan.h"
 #include "engine/engine.h"
 #include "harness/presets.h"
+#include "harness/scheduler.h"
 #include "harness/suite.h"
 #include "util/cli.h"
 #include "util/log.h"
@@ -33,6 +40,7 @@ struct ExperimentOptions
 {
     double scale = 1.0;
     int threads = 64;
+    int jobs = 1;
     bool csv = false;
 
     ExperimentOptions(int argc, char** argv)
@@ -41,6 +49,9 @@ struct ExperimentOptions
         CliArgs args(argc, argv);
         scale = args.getDouble("scale", args.has("quick") ? 0.25 : 1.0);
         threads = static_cast<int>(args.getInt("threads", 64));
+        jobs = static_cast<int>(args.getInt("jobs", 1));
+        if (jobs < 1)
+            fatal("--jobs needs at least one worker");
         csv = args.has("csv");
     }
 
@@ -54,26 +65,68 @@ struct ExperimentOptions
     }
 };
 
-/** One benchmark run under a suite/profile at the preset scale. */
-inline RunResult
-runSuiteBenchmark(const std::string& name, SuiteVersion suite,
-                  const std::string& profile, int threads, double scale,
-                  bool syncProfile = false)
+/**
+ * An experiment's run plan: add() the cross product up front, run()
+ * it once through the scheduler, then read result() by the index
+ * add() returned.  Identical jobs dedupe to one run (fig3's 1-thread
+ * Splash-3 baseline is also a sweep point), and result() enforces the
+ * experiment contract that every run verifies.
+ */
+class ExperimentPlan
 {
-    RunConfig config;
-    config.threads = threads;
-    config.suite = suite;
-    config.engine = EngineKind::Sim;
-    config.profile = profile;
-    config.syncProfile = syncProfile;
-    config.params = benchParams(name, scale);
-    RunResult result = runBenchmark(name, config);
-    if (!result.verified) {
-        fatal(name + " failed verification during experiment: " +
-              result.verifyMessage);
+  public:
+    explicit ExperimentPlan(const ExperimentOptions& opts)
+        : jobs_(opts.jobs)
+    {
     }
-    return result;
-}
+
+    /** Queue one sim run; @return its result index. */
+    std::size_t
+    add(const std::string& name, SuiteVersion suite,
+        const std::string& profile, int threads, double scale,
+        bool syncProfile = false)
+    {
+        RunConfig config;
+        config.threads = threads;
+        config.suite = suite;
+        config.engine = EngineKind::Sim;
+        config.profile = profile;
+        config.syncProfile = syncProfile;
+        config.params = benchParams(name, scale);
+        return plan_.add(name, config);
+    }
+
+    /** Execute every queued job (on --jobs workers). */
+    void
+    run()
+    {
+        SchedulerOptions sched;
+        sched.jobs = jobs_;
+        outcomes_ = runPlan(plan_, sched);
+    }
+
+    /** Result for an add() index; fatal if the run did not verify. */
+    const RunResult&
+    result(std::size_t index) const
+    {
+        panicIf(index >= outcomes_.size(),
+                "experiment plan: result() before run()");
+        const JobOutcome& outcome = outcomes_[index];
+        if (!outcome.result.verified) {
+            fatal(outcome.job.benchmark +
+                  " failed verification during experiment: " +
+                  (outcome.result.verifyMessage.empty()
+                       ? std::string(toString(outcome.result.status))
+                       : outcome.result.verifyMessage));
+        }
+        return outcome.result;
+    }
+
+  private:
+    int jobs_;
+    RunPlan plan_;
+    std::vector<JobOutcome> outcomes_;
+};
 
 } // namespace bench
 } // namespace splash

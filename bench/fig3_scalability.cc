@@ -7,6 +7,10 @@
  * both suites scale at low counts, Splash-3 flattens (or reverses)
  * first, and the sync-bound workloads show the largest gaps.
  *
+ * The whole sweep is one run plan, so the 1-thread Splash-3 baseline
+ * dedupes against its sweep point and --jobs=N parallelizes the
+ * cross product.
+ *
  * Extra flag: --full sweeps {1,2,4,8,16,32,64}; the default sweeps
  * {1,4,16,64}.
  */
@@ -25,24 +29,35 @@ main(int argc, char** argv)
     if (args.has("full"))
         threads = {1, 2, 4, 8, 16, 32, 64};
 
+    bench::ExperimentPlan plan(opts);
+    std::vector<std::size_t> baseJobs;
+    std::vector<std::size_t> sweepJobs;
+    for (const auto& name : suiteOrder()) {
+        baseJobs.push_back(plan.add(name, SuiteVersion::Splash3,
+                                    profile, 1, opts.scale));
+        for (const SuiteVersion suite :
+             {SuiteVersion::Splash3, SuiteVersion::Splash4})
+            for (const int t : threads)
+                sweepJobs.push_back(
+                    plan.add(name, suite, profile, t, opts.scale));
+    }
+    plan.run();
+
     std::vector<std::string> headers = {"benchmark", "suite"};
     for (const int t : threads)
         headers.push_back("t=" + std::to_string(t));
     Table table(headers);
 
+    std::size_t bench_at = 0;
+    std::size_t sweep_at = 0;
     for (const auto& name : suiteOrder()) {
-        const VTime base = bench::runSuiteBenchmark(
-                               name, SuiteVersion::Splash3, profile, 1,
-                               opts.scale)
-                               .simCycles;
+        const VTime base = plan.result(baseJobs[bench_at++]).simCycles;
         for (const SuiteVersion suite :
              {SuiteVersion::Splash3, SuiteVersion::Splash4}) {
             table.cell(name).cell(toString(suite));
-            for (const int t : threads) {
+            for (std::size_t i = 0; i < threads.size(); ++i) {
                 const VTime cycles =
-                    bench::runSuiteBenchmark(name, suite, profile, t,
-                                             opts.scale)
-                        .simCycles;
+                    plan.result(sweepJobs[sweep_at++]).simCycles;
                 table.cell(static_cast<double>(base) /
                                static_cast<double>(cycles),
                            2);

@@ -27,14 +27,23 @@ main(int argc, char** argv)
     CliArgs args(argc, argv);
     const std::string profile = args.get("profile", "epyc64");
 
+    bench::ExperimentPlan plan(opts);
+    std::vector<std::size_t> jobs;
+    for (const auto& name : suiteOrder())
+        for (const SuiteVersion suite :
+             {SuiteVersion::Splash3, SuiteVersion::Splash4})
+            jobs.push_back(plan.add(name, suite, profile, opts.threads,
+                                    opts.scale,
+                                    /*syncProfile=*/true));
+    plan.run();
+
     Table table({"benchmark", "suite", "compute %", "barrier %",
                  "lock %", "atomic %", "flag %"});
+    std::size_t at = 0;
     for (const auto& name : suiteOrder()) {
         for (const SuiteVersion suite :
              {SuiteVersion::Splash3, SuiteVersion::Splash4}) {
-            const RunResult result = bench::runSuiteBenchmark(
-                name, suite, profile, opts.threads, opts.scale,
-                /*syncProfile=*/true);
+            const RunResult& result = plan.result(jobs[at++]);
             if (!result.syncProfile)
                 fatal(name + ": run carried no Sync-Scope profile");
             const SyncProfile& sp = *result.syncProfile;

@@ -24,16 +24,24 @@ runNormalizedTimeFigure(int argc, char** argv,
 {
     ExperimentOptions opts(argc, argv);
 
+    ExperimentPlan plan(opts);
+    std::vector<std::size_t> s3Jobs, s4Jobs;
+    for (const auto& name : suiteOrder()) {
+        s3Jobs.push_back(plan.add(name, SuiteVersion::Splash3, profile,
+                                  opts.threads, opts.scale));
+        s4Jobs.push_back(plan.add(name, SuiteVersion::Splash4, profile,
+                                  opts.threads, opts.scale));
+    }
+    plan.run();
+
     Table table({"benchmark", "splash3 cycles", "splash4 cycles",
                  "normalized (s4/s3)", "reduction %"});
     std::vector<double> normalized;
+    std::size_t at = 0;
     for (const auto& name : suiteOrder()) {
-        const RunResult s3 = runSuiteBenchmark(
-            name, SuiteVersion::Splash3, profile, opts.threads,
-            opts.scale);
-        const RunResult s4 = runSuiteBenchmark(
-            name, SuiteVersion::Splash4, profile, opts.threads,
-            opts.scale);
+        const RunResult& s3 = plan.result(s3Jobs[at]);
+        const RunResult& s4 = plan.result(s4Jobs[at]);
+        ++at;
         const double ratio = static_cast<double>(s4.simCycles) /
                              static_cast<double>(s3.simCycles);
         normalized.push_back(ratio);

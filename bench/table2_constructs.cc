@@ -7,6 +7,8 @@
  * stay identical (same algorithm).
  */
 
+#include <algorithm>
+
 #include "experiment_common.h"
 
 int
@@ -18,15 +20,23 @@ main(int argc, char** argv)
     // little; a small simulated machine keeps this table fast.
     const int threads = std::min(opts.threads, 16);
 
-    Table table({"benchmark", "barriers", "explicit locks", "tickets",
-                 "fp sums", "stack ops", "flags", "work units"});
+    bench::ExperimentPlan plan(opts);
+    std::vector<std::size_t> jobs;
     for (const auto& name : suiteOrder()) {
         // Counts are construct-level and identical across suites (the
         // suites differ in how each construct is realized); one run
         // per benchmark suffices.
-        const RunResult result = bench::runSuiteBenchmark(
-            name, SuiteVersion::Splash4, "icelake64", threads,
-            opts.scale * 0.5);
+        jobs.push_back(plan.add(name, SuiteVersion::Splash4,
+                                "icelake64", threads,
+                                opts.scale * 0.5));
+    }
+    plan.run();
+
+    Table table({"benchmark", "barriers", "explicit locks", "tickets",
+                 "fp sums", "stack ops", "flags", "work units"});
+    std::size_t at = 0;
+    for (const auto& name : suiteOrder()) {
+        const RunResult& result = plan.result(jobs[at++]);
         table.cell(name)
             .cell(result.totals.barrierCrossings)
             .cell(result.totals.lockAcquires)

@@ -20,15 +20,24 @@ main(int argc, char** argv)
     CliArgs args(argc, argv);
     const std::string profile = args.get("profile", "epyc64");
 
+    bench::ExperimentPlan plan(opts);
+    std::vector<std::size_t> jobs;
+    for (const auto& name : suiteOrder())
+        for (const SuiteVersion suite :
+             {SuiteVersion::Splash3, SuiteVersion::Splash4})
+            jobs.push_back(plan.add(name, suite, profile, opts.threads,
+                                    opts.scale * 0.5));
+    plan.run();
+
     Table table({"benchmark", "suite", "line transfers",
                  "per 1k work units", "s3/s4"});
+    std::size_t at = 0;
     for (const auto& name : suiteOrder()) {
         std::uint64_t transfers[2] = {0, 0};
         int idx = 0;
         for (const SuiteVersion suite :
              {SuiteVersion::Splash3, SuiteVersion::Splash4}) {
-            const RunResult result = bench::runSuiteBenchmark(
-                name, suite, profile, opts.threads, opts.scale * 0.5);
+            const RunResult& result = plan.result(jobs[at++]);
             transfers[idx] = result.lineTransfers;
             table.cell(name)
                 .cell(toString(suite))

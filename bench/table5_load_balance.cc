@@ -22,13 +22,24 @@ main(int argc, char** argv)
     CliArgs args(argc, argv);
     const std::string profile = args.get("profile", "epyc64");
 
+    bench::ExperimentPlan plan(opts);
+    std::vector<std::size_t> jobs;
+    for (const auto& name : suiteOrder())
+        for (const SuiteVersion suite :
+             {SuiteVersion::Splash3, SuiteVersion::Splash4})
+            jobs.push_back(plan.add(name, suite, profile, opts.threads,
+                                    opts.scale * 0.5));
+    plan.run();
+
     Table table({"benchmark", "suite", "max/mean compute",
                  "active threads"});
+    std::size_t at = 0;
     for (const auto& name : suiteOrder()) {
         for (const SuiteVersion suite :
              {SuiteVersion::Splash3, SuiteVersion::Splash4}) {
-            const RunResult result = bench::runSuiteBenchmark(
-                name, suite, profile, opts.threads, opts.scale * 0.5);
+            // The per-thread breakdown crosses the executor's wire
+            // codec, so this table works under --jobs>1 isolation too.
+            const RunResult& result = plan.result(jobs[at++]);
             std::uint64_t max_compute = 0;
             std::uint64_t total_compute = 0;
             int active = 0;

@@ -108,7 +108,7 @@ constexpr double kDefaultMaxWallSeconds = 120.0;
 
 /**
  * Process exit code used by the native watchdog (and recognized by
- * the fork-isolating suite runner) to carry a RunStatus out of a
+ * the fork-isolating executor) to carry a RunStatus out of a
  * killed run: 40 + the RunStatus value.
  */
 constexpr int kWatchdogExitBase = 40;

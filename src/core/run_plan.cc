@@ -1,0 +1,134 @@
+#include "core/run_plan.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/wire.h"
+
+namespace splash {
+
+namespace {
+
+std::uint64_t
+fnv1a64(const std::string& text)
+{
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+/**
+ * Canonical textual form of a job's result-determining content.
+ * Free-form strings go through the wire escaper so a crafted
+ * benchmark name or parameter value cannot collide two keys.
+ */
+std::string
+canonicalContent(const std::string& benchmark, const RunConfig& config,
+                 int repetition)
+{
+    std::ostringstream os;
+    os << "bench=" << wire::escape(benchmark) << ";rep=" << repetition
+       << ";suite=" << toString(config.suite)
+       << ";engine=" << toString(config.engine)
+       << ";threads=" << config.threads
+       << ";fastpath=" << toString(config.fastPath)
+       << ";racecheck=" << (config.raceCheck ? 1 : 0)
+       << ";syncprofile=" << (config.syncProfile ? 1 : 0);
+    // The machine profile shapes sim results only; keep native job ids
+    // stable across hosts that default it differently.
+    if (config.engine == EngineKind::Sim)
+        os << ";profile=" << wire::escape(config.profile);
+    if (config.chaos.enabled) {
+        os << ";chaos=" << config.chaos.seed << ','
+           << config.chaos.casFailProb << ',' << config.chaos.syncDelayMax
+           << ',' << config.chaos.stallThreads << ','
+           << config.chaos.spuriousWakeProb;
+    }
+    // The base input seed is normalized into its own field so an
+    // explicit --seed=1 and the default produce the same id.
+    os << ";baseseed=" << config.params.getInt("seed", 1);
+    for (const auto& [key, value] : config.params.entries()) {
+        if (key == "seed")
+            continue;
+        os << ";p:" << wire::escape(key) << '='
+           << wire::escape(value);
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+computeJobId(const std::string& benchmark, const RunConfig& config,
+             int repetition)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(
+                      canonicalContent(benchmark, config, repetition))));
+    return buf;
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t baseSeed, const std::string& key)
+{
+    std::uint64_t x = baseSeed ^ fnv1a64(key);
+    return Rng::splitmix64(x);
+}
+
+std::size_t
+RunPlan::add(const std::string& benchmark, const RunConfig& config,
+             int repetition)
+{
+    const std::string jobId =
+        computeJobId(benchmark, config, repetition);
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        if (jobs_[i].jobId == jobId)
+            return i;
+    }
+
+    JobSpec job;
+    job.benchmark = benchmark;
+    job.config = config;
+    job.repetition = repetition;
+    job.jobId = jobId;
+
+    // Input seed: keyed by workload identity only (benchmark +
+    // repetition), so the same benchmark sees the same input data
+    // across suites, engines, and thread counts.
+    const auto baseInput = static_cast<std::uint64_t>(
+        config.params.getInt("seed", 1));
+    job.config.params.set(
+        "seed",
+        static_cast<std::int64_t>(deriveSeed(
+            baseInput,
+            "input/" + benchmark + "/" + std::to_string(repetition))));
+
+    // Chaos seed: keyed by the full job id, so every run draws a
+    // distinct (but reproducible) fault-injection schedule.
+    if (config.chaos.enabled)
+        job.config.chaos.seed =
+            deriveSeed(config.chaos.seed, "chaos/" + jobId);
+
+    jobs_.push_back(std::move(job));
+    return jobs_.size() - 1;
+}
+
+RunPlan
+buildSuitePlan(const std::vector<std::string>& names,
+               const RunConfig& base, int repetitions)
+{
+    panicIf(repetitions < 1, "a plan needs at least one repetition");
+    RunPlan plan;
+    for (const auto& name : names)
+        for (int rep = 0; rep < repetitions; ++rep)
+            plan.add(name, base, rep);
+    return plan;
+}
+
+} // namespace splash

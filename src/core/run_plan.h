@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Run plans: the declarative layer of the suite pipeline.
+ *
+ * A RunPlan is an ordered list of JobSpecs — one fully-configured
+ * benchmark run each (benchmark x suite x engine x threads x
+ * repetition x chaos/profile options) — with a stable, content-derived
+ * job id.  The harness and the bench experiment binaries build plans;
+ * the scheduler executes them; the result store keys its records by
+ * job id.  Because the id is derived from the job's content (not from
+ * its position in any loop), a plan can be executed serially, sharded
+ * across --jobs=N workers, or resumed after an interruption and every
+ * job still produces bit-identical results.
+ *
+ * Seed policy (see docs/SUITE.md): every job's RNG seeds are derived
+ * from the user's base seeds and a stable key, never from iteration
+ * order.
+ *  - The workload *input* seed is derived from (base seed, benchmark,
+ *    repetition) only, so a benchmark's input data is identical across
+ *    suites, engines, and thread counts — the papers' methodology
+ *    (same algorithm, same data, different constructs) requires it.
+ *  - The *chaos* seed is derived from (base chaos seed, job id), so
+ *    each run's fault-injection schedule is unique but reproducible.
+ *
+ * The job id covers everything that determines the run's results:
+ * benchmark, repetition, suite, engine, threads, machine profile,
+ * fast-path mode, race checking, profiling, chaos plan, and the
+ * benchmark parameters as supplied (base seeds, not derived ones).
+ * Execution policy that cannot change results — watchdog budgets,
+ * isolation, CPU placement — is deliberately excluded, so a resumed
+ * campaign may tighten its watchdog or change --jobs without
+ * invalidating the store.
+ */
+
+#ifndef SPLASH_CORE_RUN_PLAN_H
+#define SPLASH_CORE_RUN_PLAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace splash {
+
+/** One fully-configured benchmark run within a plan. */
+struct JobSpec
+{
+    std::string benchmark;
+    RunConfig config;   ///< seeds already derived (see file comment)
+    int repetition = 0; ///< 0-based repetition index
+    std::string jobId;  ///< 16-hex-digit content hash
+};
+
+/**
+ * Ordered list of jobs.  add() derives the job's seeds and id;
+ * re-adding identical content is idempotent (the existing index comes
+ * back), so plan builders can enumerate cross products without
+ * tracking which combinations they already emitted.
+ */
+class RunPlan
+{
+  public:
+    /**
+     * Append a job (or find the identical existing one).  @p config
+     * carries the caller's *base* seeds; this derives the per-job
+     * input and chaos seeds before storing.  @return the job's index.
+     */
+    std::size_t add(const std::string& benchmark,
+                    const RunConfig& config, int repetition = 0);
+
+    const JobSpec& job(std::size_t index) const { return jobs_[index]; }
+    const std::vector<JobSpec>& jobs() const { return jobs_; }
+    std::size_t size() const { return jobs_.size(); }
+    bool empty() const { return jobs_.empty(); }
+
+  private:
+    std::vector<JobSpec> jobs_;
+};
+
+/**
+ * Content-derived job identity: 16 hex digits, stable across
+ * processes, plan order, and executions.  @p config is taken as
+ * supplied by the caller (base seeds, pre-derivation).
+ */
+std::string computeJobId(const std::string& benchmark,
+                         const RunConfig& config, int repetition);
+
+/** Mix a base seed with a stable string key (splitmix64 over FNV-1a). */
+std::uint64_t deriveSeed(std::uint64_t baseSeed, const std::string& key);
+
+/**
+ * Build the standard suite plan: every named benchmark x repetitions
+ * under one base configuration, in suite-order-major, repetition-minor
+ * order.
+ */
+RunPlan buildSuitePlan(const std::vector<std::string>& names,
+                       const RunConfig& base, int repetitions = 1);
+
+} // namespace splash
+
+#endif // SPLASH_CORE_RUN_PLAN_H

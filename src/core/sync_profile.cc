@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/log.h"
+#include "util/wire.h"
 
 namespace splash {
 
@@ -266,38 +267,7 @@ SyncProfile::waitFraction() const
 
 namespace {
 
-std::string
-jsonEscape(const std::string& text)
-{
-    std::string out;
-    out.reserve(text.size());
-    for (char ch : text) {
-        switch (ch) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(ch) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x",
-                              static_cast<unsigned>(ch) & 0xff);
-                out += buf;
-            } else {
-                out += ch;
-            }
-        }
-    }
-    return out;
-}
+using wire::jsonEscape;
 
 std::string
 formatDouble(double value)
@@ -453,14 +423,20 @@ parseU64(const std::string& text, std::uint64_t& out)
 std::string
 SyncProfile::serializeWire() const
 {
+    // Free-form strings (benchmark and construct names) go through the
+    // shared wire escaper so an embedded ';' or newline cannot corrupt
+    // the record framing.
     std::ostringstream out;
-    out << "v1;" << benchmark << ';' << static_cast<int>(suite) << ';'
-        << static_cast<int>(engine) << ';' << threads << ';' << timeUnit
-        << ';' << computeTotal << ';' << availableTotal << ';'
-        << droppedEvents << '\n';
+    out << "v1;" << wire::escape(benchmark) << ';'
+        << static_cast<int>(suite) << ';' << static_cast<int>(engine)
+        << ';' << threads << ';' << wire::escape(timeUnit) << ';'
+        << computeTotal << ';' << availableTotal << ';' << droppedEvents
+        << '\n';
     for (const auto& c : constructs) {
-        out << "C;" << c.name << ';' << static_cast<int>(c.kind) << ';'
-            << c.realization << ';' << static_cast<int>(c.category)
+        out << "C;" << wire::escape(c.name) << ';'
+            << static_cast<int>(c.kind) << ';'
+            << wire::escape(c.realization) << ';'
+            << static_cast<int>(c.category)
             << ';' << c.ops << ';' << c.attempts << ';' << c.retries
             << ';' << c.waitTotal << ';' << c.waitMax << ';'
             << c.episodes << ';' << c.spreadTotal << ';' << c.spreadMax
@@ -499,11 +475,11 @@ SyncProfile::deserializeWire(const std::string& text, SyncProfile& out)
                 || !parseU64(f[7], out.availableTotal)
                 || !parseU64(f[8], out.droppedEvents))
                 return false;
-            out.benchmark = f[1];
+            out.benchmark = wire::unescape(f[1]);
             out.suite = static_cast<SuiteVersion>(suiteVal);
             out.engine = static_cast<EngineKind>(engineVal);
             out.threads = static_cast<int>(threadsVal);
-            out.timeUnit = f[5];
+            out.timeUnit = wire::unescape(f[5]);
             sawHeader = true;
             continue;
         }
@@ -513,8 +489,8 @@ SyncProfile::deserializeWire(const std::string& text, SyncProfile& out)
             ConstructProfile c;
             std::uint64_t kindVal = 0;
             std::uint64_t catVal = 0;
-            c.name = f[1];
-            c.realization = f[3];
+            c.name = wire::unescape(f[1]);
+            c.realization = wire::unescape(f[3]);
             if (!parseU64(f[2], kindVal) || !parseU64(f[4], catVal)
                 || !parseU64(f[5], c.ops) || !parseU64(f[6], c.attempts)
                 || !parseU64(f[7], c.retries)

@@ -84,6 +84,14 @@ struct RunConfig
     FastPath fastPath = FastPath::Auto;
     ChaosOptions chaos;     ///< seeded fault injection (Chaos-Sentry)
     WatchdogOptions watchdog; ///< deadlock/livelock/timeout budgets
+    /**
+     * Host cores this run may use (scheduler placement).  Empty means
+     * unpinned.  The native engine pins worker thread t to
+     * cpuAffinity[t % size()]; the sim engine ignores it (its virtual
+     * cores are modeled, not host cores).  Best-effort: pinning to a
+     * core the host does not have warns and runs unpinned.
+     */
+    std::vector<int> cpuAffinity;
 };
 
 /** Build an engine for @p world per the configuration. */

@@ -11,6 +11,10 @@
 #include <type_traits>
 #include <variant>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include "core/sync_profile.h"
 #include "engine/fast_context.h"
 #include "sync/atomic_reduction.h"
@@ -474,7 +478,7 @@ class NativeContext : public Context
  * from inside the process, so on expiry the watchdog classifies the
  * hang (no progress in the final window = Deadlock, progress still
  * flowing = Livelock), prints a diagnostic, and terminates the process
- * with watchdogExitCode(status) for the fork-isolating suite runner
+ * with watchdogExitCode(status) for the fork-isolating executor
  * (or a death test) to decode.
  */
 class NativeWatchdog
@@ -549,6 +553,32 @@ class NativeWatchdog
     bool done_ = false;
     std::thread thread_;
 };
+
+/**
+ * Pin the calling thread to one host core (scheduler placement).
+ * Best-effort: concurrent jobs must not share cores for measurements
+ * to stay honest, but a placement that names a core this host lacks
+ * (e.g. a plan built for a bigger machine) degrades to unpinned with
+ * a warning rather than failing the run.
+ */
+void
+pinCurrentThread(int core)
+{
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(core), &set);
+    if (sched_setaffinity(0, sizeof set, &set) != 0) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            warn("placement: cannot pin to core " +
+                 std::to_string(core) + "; running unpinned");
+        }
+    }
+#else
+    (void)core; // affinity plumbing is Linux-only; run unpinned
+#endif
+}
 
 /** Seeded per-thread start delay in microseconds (chaos skew). */
 std::uint64_t
@@ -632,6 +662,10 @@ NativeEngine::runWith(const Body& body)
     threads.reserve(static_cast<std::size_t>(n));
     for (int tid = 0; tid < n; ++tid) {
         threads.emplace_back([&, tid] {
+            const auto& cores = options_.cpuAffinity;
+            if (!cores.empty())
+                pinCurrentThread(
+                    cores[static_cast<std::size_t>(tid) % cores.size()]);
             if (const auto us = chaosStartDelayUs(chaos, tid)) {
                 std::this_thread::sleep_for(
                     std::chrono::microseconds(us));

@@ -38,13 +38,21 @@ struct NativeOptions
     bool syncProfile = false;
 
     /**
+     * Host cores to pin worker threads to (RunConfig::cpuAffinity):
+     * thread t lands on cpuAffinity[t % size()].  Empty = unpinned.
+     * Best-effort; an impossible core warns and leaves the thread
+     * where the OS put it.
+     */
+    std::vector<int> cpuAffinity;
+
+    /**
      * Wall-clock watchdog.  Real threads stuck in a deadlock or
      * livelock cannot be unwound safely from inside the process, so
      * on budget expiry the watchdog classifies the hang from its
      * progress samples (frozen = Deadlock, still flowing = Livelock),
      * dumps per-thread progress to stderr, and terminates the process
-     * with watchdogExitCode(status).  Run under the suite runner's
-     * fork isolation to capture that as a per-benchmark failure row.
+     * with watchdogExitCode(status).  Run under the executor's fork
+     * isolation to capture that as a per-benchmark failure row.
      */
     WatchdogOptions watchdog;
 };

@@ -60,6 +60,7 @@ makeEngine(const World& world, const RunConfig& config)
         options.chaos = config.chaos;
         options.syncProfile = config.syncProfile;
         options.watchdog = config.watchdog;
+        options.cpuAffinity = config.cpuAffinity;
         return std::make_unique<NativeEngine>(world, options);
     }
     SimOptions options;
@@ -88,6 +89,7 @@ runBenchmark(Benchmark& benchmark, const RunConfig& config)
         options.chaos = config.chaos;
         options.syncProfile = config.syncProfile;
         options.watchdog = config.watchdog;
+        options.cpuAffinity = config.cpuAffinity;
         NativeEngine engine(world, options);
         outcome = engine.runFast(
             [&](NativeFastContext& ctx) { benchmark.runFast(ctx); });

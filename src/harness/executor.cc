@@ -1,4 +1,4 @@
-#include "harness/suite_runner.h"
+#include "harness/executor.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -10,6 +10,7 @@
 #include "core/sync_profile.h"
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/wire.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define SPLASH_HAVE_FORK_ISOLATION 1
@@ -21,56 +22,20 @@
 #define SPLASH_HAVE_FORK_ISOLATION 0
 #endif
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 namespace splash {
 
-namespace {
-
-/** Escape newlines/backslashes so a value fits one key=value line. */
 std::string
-escapeValue(const std::string& value)
-{
-    std::string out;
-    out.reserve(value.size());
-    for (const char c : value) {
-        if (c == '\\')
-            out += "\\\\";
-        else if (c == '\n')
-            out += "\\n";
-        else
-            out += c;
-    }
-    return out;
-}
-
-std::string
-unescapeValue(const std::string& value)
-{
-    std::string out;
-    out.reserve(value.size());
-    for (std::size_t i = 0; i < value.size(); ++i) {
-        if (value[i] == '\\' && i + 1 < value.size()) {
-            ++i;
-            out += value[i] == 'n' ? '\n' : value[i];
-        } else {
-            out += value[i];
-        }
-    }
-    return out;
-}
-
-/**
- * Wire format between the forked child and the parent: one key=value
- * line per field, newline-escaped.  Only the fields the report layer
- * consumes are carried; the per-thread breakdown stays in the child.
- */
-std::string
-serializeResult(const RunResult& result)
+serializeRunResult(const RunResult& result)
 {
     std::ostringstream os;
     os << "status=" << static_cast<int>(result.status) << "\n";
-    os << "statusDetail=" << escapeValue(result.statusDetail) << "\n";
+    os << "statusDetail=" << wire::escape(result.statusDetail) << "\n";
     os << "verified=" << (result.verified ? 1 : 0) << "\n";
-    os << "verifyMessage=" << escapeValue(result.verifyMessage) << "\n";
+    os << "verifyMessage=" << wire::escape(result.verifyMessage) << "\n";
     os << "simCycles=" << result.simCycles << "\n";
     os << "lineTransfers=" << result.lineTransfers << "\n";
     os << "wallSeconds=" << result.wallSeconds << "\n";
@@ -81,17 +46,30 @@ serializeResult(const RunResult& result)
     os << "stackOps=" << result.totals.stackOps << "\n";
     os << "flagOps=" << result.totals.flagOps << "\n";
     os << "workUnits=" << result.totals.workUnits << "\n";
+    for (std::size_t t = 0; t < result.perThread.size(); ++t) {
+        // Per-thread breakdown (Table V's load-balance columns): the
+        // seven construct counters then the per-category cycles.
+        const ThreadStats& stats = result.perThread[t];
+        os << "thread" << t << "=" << stats.barrierCrossings << ","
+           << stats.lockAcquires << "," << stats.ticketOps << ","
+           << stats.sumOps << "," << stats.stackOps << ","
+           << stats.flagOps << "," << stats.workUnits;
+        for (int c = 0;
+             c < static_cast<int>(TimeCategory::NumCategories); ++c)
+            os << "," << stats.categoryCycles[c];
+        os << "\n";
+    }
     if (result.syncProfile) {
         // Sync-Scope counters survive the process boundary; the event
         // timeline does not (run without --isolate to capture traces).
         os << "syncscope="
-           << escapeValue(result.syncProfile->serializeWire()) << "\n";
+           << wire::escape(result.syncProfile->serializeWire()) << "\n";
     }
     return os.str();
 }
 
 bool
-deserializeResult(const std::string& text, RunResult& result)
+deserializeRunResult(const std::string& text, RunResult& result)
 {
     bool sawStatus = false;
     std::istringstream is(text);
@@ -106,11 +84,11 @@ deserializeResult(const std::string& text, RunResult& result)
             result.status = static_cast<RunStatus>(std::atoi(value.c_str()));
             sawStatus = true;
         } else if (key == "statusDetail") {
-            result.statusDetail = unescapeValue(value);
+            result.statusDetail = wire::unescape(value);
         } else if (key == "verified") {
             result.verified = value == "1";
         } else if (key == "verifyMessage") {
-            result.verifyMessage = unescapeValue(value);
+            result.verifyMessage = wire::unescape(value);
         } else if (key == "simCycles") {
             result.simCycles = std::strtoull(value.c_str(), nullptr, 10);
         } else if (key == "lineTransfers") {
@@ -139,9 +117,35 @@ deserializeResult(const std::string& text, RunResult& result)
         } else if (key == "workUnits") {
             result.totals.workUnits =
                 std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key.size() > 6 && key.compare(0, 6, "thread") == 0) {
+            const std::size_t index = static_cast<std::size_t>(
+                std::atoll(key.c_str() + 6));
+            if (index >= result.perThread.size())
+                result.perThread.resize(index + 1);
+            ThreadStats& stats = result.perThread[index];
+            std::uint64_t fields[7 + static_cast<int>(
+                                         TimeCategory::NumCategories)] =
+                {};
+            std::size_t n = 0;
+            const char* p = value.c_str();
+            while (*p && n < sizeof(fields) / sizeof(fields[0])) {
+                char* end = nullptr;
+                fields[n++] = std::strtoull(p, &end, 10);
+                p = end && *end == ',' ? end + 1 : "";
+            }
+            stats.barrierCrossings = fields[0];
+            stats.lockAcquires = fields[1];
+            stats.ticketOps = fields[2];
+            stats.sumOps = fields[3];
+            stats.stackOps = fields[4];
+            stats.flagOps = fields[5];
+            stats.workUnits = fields[6];
+            for (int c = 0;
+                 c < static_cast<int>(TimeCategory::NumCategories); ++c)
+                stats.categoryCycles[c] = fields[7 + c];
         } else if (key == "syncscope") {
             SyncProfile profile;
-            if (SyncProfile::deserializeWire(unescapeValue(value),
+            if (SyncProfile::deserializeWire(wire::unescape(value),
                                              profile)) {
                 result.syncProfile = std::make_shared<SyncProfile>(
                     std::move(profile));
@@ -153,6 +157,8 @@ deserializeResult(const std::string& text, RunResult& result)
     }
     return sawStatus;
 }
+
+namespace {
 
 /** Wall limit for one isolated attempt, in seconds. */
 double
@@ -168,6 +174,30 @@ attemptTimeout(const RunConfig& config, const IsolateOptions& iso)
     // Deadlock/Livelock classification normally wins over a blunt
     // parent-side Timeout.
     return wallBudget * 1.5 + 10.0;
+}
+
+/**
+ * Confine the whole (child) process to the job's core set, so setup
+ * and verification also stay off other jobs' cores.  Best-effort: a
+ * placement naming cores this host lacks warns and runs unpinned.
+ */
+void
+confineToCoreSet(const std::vector<int>& cores)
+{
+#if defined(__linux__)
+    if (cores.empty())
+        return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    for (const int core : cores)
+        CPU_SET(static_cast<unsigned>(core), &set);
+    if (sched_setaffinity(0, sizeof set, &set) != 0) {
+        warn("placement: cannot confine job to its core set; "
+             "running unpinned");
+    }
+#else
+    (void)cores;
+#endif
 }
 
 #if SPLASH_HAVE_FORK_ISOLATION
@@ -189,8 +219,9 @@ runIsolatedAttempt(const std::string& name, const RunConfig& config,
         // Child: run the benchmark, ship the result up the pipe, and
         // _exit without flushing the parent's duplicated buffers.
         close(fds[0]);
+        confineToCoreSet(config.cpuAffinity);
         RunResult result = runBenchmark(name, config);
-        const std::string wire = serializeResult(result);
+        const std::string wire = serializeRunResult(result);
         std::size_t off = 0;
         while (off < wire.size()) {
             const ssize_t n =
@@ -255,7 +286,7 @@ runIsolatedAttempt(const std::string& name, const RunConfig& config,
         return result;
     }
     const int code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
-    if (code == 0 && deserializeResult(wire, result))
+    if (code == 0 && deserializeRunResult(wire, result))
         return result;
     const RunStatus decoded = watchdogExitStatus(code);
     if (decoded != RunStatus::Ok) {
@@ -327,27 +358,6 @@ runBenchmarkResilient(const std::string& name, const RunConfig& config,
                    "); retrying");
         }
     }
-}
-
-std::vector<SuiteRow>
-runSuite(const std::vector<std::string>& names, const RunConfig& config,
-         const IsolateOptions& iso)
-{
-    std::vector<SuiteRow> rows;
-    rows.reserve(names.size());
-    for (const auto& name : names)
-        rows.push_back({name, runBenchmarkResilient(name, config, iso)});
-    return rows;
-}
-
-int
-suiteExitCode(const std::vector<SuiteRow>& rows)
-{
-    for (const auto& row : rows) {
-        if (!row.result.ok())
-            return 1;
-    }
-    return 0;
 }
 
 } // namespace splash

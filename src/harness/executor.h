@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Executor: the run-one-job layer of the suite pipeline.
+ *
+ * The executor takes one fully-configured job and produces its
+ * RunResult, optionally inside a forked child process (Chaos-Sentry
+ * crash isolation).  A benchmark that segfaults, aborts, or trips the
+ * native watchdog must not take the campaign down with it: the parent
+ * decodes the child's fate (clean result over the wire codec, watchdog
+ * exit code, fatal signal, or overrunning the isolation timeout) into
+ * RunResult::status.  Failed attempts get deterministic seeded retries
+ * before the result is final.
+ *
+ * When the job carries a CPU placement (RunConfig::cpuAffinity, set by
+ * the scheduler), the forked child confines itself to that core set
+ * before running, and the native engine additionally pins each worker
+ * thread to one core of the set — so concurrent jobs never share
+ * cores and measurements stay honest.
+ */
+
+#ifndef SPLASH_HARNESS_EXECUTOR_H
+#define SPLASH_HARNESS_EXECUTOR_H
+
+#include <string>
+
+#include "engine/engine.h"
+
+namespace splash {
+
+/** Crash-isolation policy for executor runs. */
+struct IsolateOptions
+{
+    /** Fork one child process per benchmark attempt (POSIX only). */
+    bool enabled = false;
+
+    /**
+     * Hard wall limit per attempt before the parent SIGKILLs the
+     * child and records a Timeout row.  Zero derives a limit from the
+     * watchdog wall budget (plus grace) so the in-process watchdog
+     * normally fires first with a better classification.
+     */
+    double timeoutSeconds = 0;
+
+    /** Total attempts per benchmark: 1 initial + seeded retries. */
+    int maxAttempts = 2;
+};
+
+/**
+ * Run one benchmark under the isolation policy.  Failed attempts
+ * (any non-Ok status) are retried up to IsolateOptions::maxAttempts
+ * times with a deterministically derived chaos seed; the returned
+ * result is the last attempt's, with RunResult::attempts recording
+ * how many were consumed.  With isolation disabled this degrades to
+ * runBenchmark() plus the retry loop.
+ */
+RunResult runBenchmarkResilient(const std::string& name,
+                                const RunConfig& config,
+                                const IsolateOptions& iso);
+
+/**
+ * Wire codec between the forked child and the parent: one key=value
+ * line per field, escaped with util/wire.  Everything the report,
+ * store, and experiment layers consume is carried — scalar summary,
+ * per-thread breakdown, Sync-Scope counters; only the Sync-Scope
+ * event timeline stays in the child.  Exposed for the round-trip and
+ * corruption-tolerance tests.
+ */
+std::string serializeRunResult(const RunResult& result);
+
+/** @return false when @p text carries no decodable result. */
+bool deserializeRunResult(const std::string& text, RunResult& result);
+
+} // namespace splash
+
+#endif // SPLASH_HARNESS_EXECUTOR_H

@@ -7,24 +7,29 @@
  *   splash4 radix --suite=splash4 --engine=sim --threads=64 \
  *       --profile=epyc64 --keys=65536
  *   splash4 all --suite=splash3 --engine=native --threads=4
+ *   splash4 all --jobs=4 --placement=packed --results=results.jsonl
  *
- * Unrecognized --name=value options are forwarded to the benchmark as
- * parameters.
+ * Every invocation builds a RunPlan, hands it to the scheduler, and
+ * reports the outcomes in plan order (see docs/SUITE.md for the
+ * pipeline).  Unrecognized --name=value options are forwarded to the
+ * benchmark as parameters.
  */
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/benchmark.h"
+#include "core/run_plan.h"
 #include "core/sync_profile.h"
 #include "engine/engine.h"
 #include "sync/scope_hook.h"
 #include "harness/report.h"
+#include "harness/scheduler.h"
 #include "harness/suite.h"
-#include "harness/suite_runner.h"
 #include "sim/machine.h"
 #include "util/cli.h"
 #include "util/log.h"
@@ -34,7 +39,7 @@ namespace {
 /** Write one run's Sync-Scope JSON/CSV/Chrome-trace files into @p dir. */
 void
 writeProfileOutputs(const std::string& dir, const std::string& bench,
-                    const splash::RunConfig& config,
+                    const splash::RunConfig& config, int repetition,
                     const splash::RunResult& result)
 {
     using namespace splash;
@@ -45,9 +50,11 @@ writeProfileOutputs(const std::string& dir, const std::string& bench,
     if (ec)
         fatal("--profile-out: cannot create '" + dir +
               "': " + ec.message());
-    const std::string stem = dir + "/" + bench + "-" +
-                             toString(config.suite) + "-" +
-                             toString(config.engine);
+    std::string stem = dir + "/" + bench + "-" +
+                       toString(config.suite) + "-" +
+                       toString(config.engine);
+    if (repetition > 0)
+        stem += "-r" + std::to_string(repetition);
     const auto writeFile = [](const std::string& path,
                               const std::string& text) {
         std::ofstream out(path, std::ios::binary);
@@ -92,6 +99,23 @@ usage()
         "  --csv                     emit CSV instead of markdown\n"
         "  --sweep=1,4,16,64         run each thread count, print\n"
         "                            cycles and speedup (sim engine)\n"
+        "  --repeat=N                run each benchmark N times; each\n"
+        "                            repetition gets a derived input\n"
+        "                            seed (see docs/SUITE.md)\n"
+        "  --jobs=N                  run up to N plan jobs at once in\n"
+        "                            fork-isolated executors\n"
+        "                            (default 1)\n"
+        "  --placement=none|packed|spread\n"
+        "                            give each concurrent job its own\n"
+        "                            core set sized by --threads;\n"
+        "                            packed = neighboring cores,\n"
+        "                            spread = far apart (default none)\n"
+        "  --results=FILE            append one JSONL record per job\n"
+        "                            (schema splash4-results-v1) to\n"
+        "                            FILE as jobs finish\n"
+        "  --resume                  reload --results and re-run only\n"
+        "                            jobs without a terminal record\n"
+        "                            (default FILE: results.jsonl)\n"
         "  --chaos-level=0..3        Chaos-Sentry fault injection\n"
         "                            intensity (implies --watchdog)\n"
         "  --chaos-seed=S            chaos seed; a given {seed, level}\n"
@@ -107,7 +131,7 @@ usage()
         "                            per-benchmark failure rows\n"
         "  --isolate-timeout=SECONDS hard per-run limit under --isolate\n"
         "  Any failed row makes the exit code nonzero.  See\n"
-        "  docs/RESILIENCE.md.\n"
+        "  docs/RESILIENCE.md and docs/SUITE.md.\n"
         "  other --key=value options become benchmark parameters\n");
 }
 
@@ -176,19 +200,54 @@ main(int argc, char** argv)
         static_cast<VTime>(args.getInt("watchdog-cycles", 0));
     config.watchdog.maxWallSeconds = args.getDouble("watchdog-wall", 0);
 
-    IsolateOptions iso;
-    iso.enabled = args.has("isolate");
-    iso.timeoutSeconds = args.getDouble("isolate-timeout", 0);
-    if (iso.enabled && config.raceCheck)
-        fatal("--isolate cannot carry Sync-Sentry reports across the "
-              "process boundary; drop one of --isolate/--race-check");
+    SchedulerOptions sched;
+    sched.jobs = static_cast<int>(args.getInt("jobs", 1));
+    if (sched.jobs < 1)
+        fatal("--jobs needs at least one worker");
+    sched.placement = parsePlacement(args.get("placement", "none"));
+    sched.isolate.enabled = args.has("isolate");
+    sched.isolate.timeoutSeconds = args.getDouble("isolate-timeout", 0);
+    if (config.raceCheck && (sched.isolate.enabled || sched.jobs > 1))
+        fatal("--isolate/--jobs>1 cannot carry Sync-Sentry reports "
+              "across the process boundary; run --race-check with "
+              "--jobs=1 and no --isolate");
+
+    const int repetitions = static_cast<int>(args.getInt("repeat", 1));
+    if (repetitions < 1)
+        fatal("--repeat needs at least one repetition");
+
+    // Result store: --results appends records as jobs finish;
+    // --resume reloads first and re-runs only the remainder.
+    const bool resume = args.has("resume");
+    std::string resultsPath = args.get("results", "");
+    if (resultsPath == "1")
+        fatal("--results needs a file: --results=FILE");
+    if (resume && resultsPath.empty())
+        resultsPath = "results.jsonl";
+    if (resume && config.raceCheck)
+        fatal("--resume cannot replay Sync-Sentry reports from the "
+              "store; drop one of --resume/--race-check");
+    std::unique_ptr<ResultStore> store;
+    if (!resultsPath.empty()) {
+        store = std::make_unique<ResultStore>(resultsPath);
+        if (resume) {
+            store->load();
+        } else if (std::filesystem::exists(resultsPath)) {
+            warn("--results: starting a fresh campaign over existing " +
+                 resultsPath + " (use --resume to continue it)");
+            std::ofstream truncate(resultsPath,
+                                   std::ios::binary | std::ios::trunc);
+        }
+    }
 
     // Forward everything else as benchmark parameters.
     static const std::vector<std::string> reserved = {
         "threads",         "suite",           "engine",
         "profile",         "profile-out",     "detail",
         "race-check",      "csv",             "list",
-        "fast-path",
+        "fast-path",       "sweep",           "repeat",
+        "jobs",            "placement",       "results",
+        "resume",
         "chaos-level",     "chaos-seed",      "watchdog",
         "watchdog-steps",  "watchdog-cycles", "watchdog-wall",
         "isolate",         "isolate-timeout"};
@@ -231,22 +290,39 @@ main(int argc, char** argv)
             fatal("--sweep expects a comma-separated thread list");
         config.engine = EngineKind::Sim;
 
+        // Sweeps ride the same pipeline: one plan job per benchmark x
+        // thread count, so --jobs/--placement/--results/--resume all
+        // apply to sweeps too.
+        RunPlan plan;
+        std::vector<std::size_t> indices;
+        for (const auto& name : selected) {
+            for (const int threads : counts) {
+                config.threads = threads;
+                indices.push_back(plan.add(name, config));
+            }
+        }
+        const std::vector<JobOutcome> outcomes =
+            runPlan(plan, sched, store.get());
+
         Table table({"benchmark", "suite", "threads", "cycles",
                      "speedup", "verified"});
+        std::size_t at = 0;
         for (const auto& name : selected) {
             VTime base = 0;
             for (const int threads : counts) {
-                config.threads = threads;
-                auto bench = makeBenchmark(name);
-                RunResult result = runBenchmark(*bench, config);
+                const RunResult& result =
+                    outcomes[indices[at++]].result;
                 if (base == 0)
                     base = result.simCycles;
                 table.cell(name)
                     .cell(toString(config.suite))
                     .cell(std::to_string(threads))
                     .cell(static_cast<std::uint64_t>(result.simCycles))
-                    .cell(static_cast<double>(base) /
-                              static_cast<double>(result.simCycles),
+                    .cell(result.simCycles == 0
+                              ? 0.0
+                              : static_cast<double>(base) /
+                                    static_cast<double>(
+                                        result.simCycles),
                           2)
                     .cell(result.verified ? "yes" : "NO");
                 table.endRow();
@@ -256,7 +332,7 @@ main(int argc, char** argv)
             std::printf("%s", table.toCsv().c_str());
         else
             table.print("Thread sweep (speedup vs first entry)");
-        return 0;
+        return planExitCode(outcomes);
     }
 
     if (config.chaos.enabled) {
@@ -268,28 +344,34 @@ main(int argc, char** argv)
                ")");
     }
 
+    const RunPlan plan = buildSuitePlan(selected, config, repetitions);
+    const std::vector<JobOutcome> outcomes =
+        runPlan(plan, sched, store.get());
+
     Table table(runRowHeaders());
     bool race_clean = true;
-    std::vector<SuiteRow> rows = runSuite(selected, config, iso);
-    for (const auto& row : rows) {
-        const RunResult& result = row.result;
-        addRunRow(table, row.benchmark, config, result);
+    for (const JobOutcome& outcome : outcomes) {
+        const RunResult& result = outcome.result;
+        const RunConfig& jobConfig = outcome.job.config;
+        addRunRow(table, outcome.job.benchmark, jobConfig, result);
         if (args.has("detail"))
-            printRunDetail(row.benchmark, config, result);
+            printRunDetail(outcome.job.benchmark, jobConfig, result);
         if (!args.has("csv"))
-            printSyncProfile(row.benchmark, result);
+            printSyncProfile(outcome.job.benchmark, result);
         if (!profileOut.empty())
-            writeProfileOutputs(profileOut, row.benchmark, config,
+            writeProfileOutputs(profileOut, outcome.job.benchmark,
+                                jobConfig, outcome.job.repetition,
                                 result);
         race_clean = printRaceReport(result) && race_clean;
         if (result.status != RunStatus::Ok &&
             result.status != RunStatus::VerifyFailed) {
-            warn(row.benchmark + " failed: " + toString(result.status) +
+            warn(outcome.job.benchmark +
+                 " failed: " + toString(result.status) +
                  (result.statusDetail.empty()
                       ? std::string()
                       : "\n" + result.statusDetail));
         } else if (!result.verified) {
-            warn(row.benchmark +
+            warn(outcome.job.benchmark +
                  " failed verification: " + result.verifyMessage);
         }
     }
@@ -312,5 +394,5 @@ main(int argc, char** argv)
     }
     // Any failed row (deadlock, livelock, timeout, crash, or failed
     // verification) makes the whole invocation fail.
-    return suiteExitCode(rows);
+    return planExitCode(outcomes);
 }

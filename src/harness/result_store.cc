@@ -1,0 +1,465 @@
+#include "harness/result_store.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/sync_profile.h"
+#include "util/log.h"
+#include "util/wire.h"
+
+namespace splash {
+
+namespace {
+
+void
+appendNumber(std::ostringstream& os, double value)
+{
+    // %.17g round-trips an IEEE double exactly, so a resumed report
+    // reproduces the original wall-time digits bit for bit.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    os << buf;
+}
+
+void
+skipSpace(const std::string& s, std::size_t& i)
+{
+    while (i < s.size() &&
+           (s[i] == ' ' || s[i] == '\t' || s[i] == '\r'))
+        ++i;
+}
+
+bool
+parseJsonString(const std::string& s, std::size_t& i, std::string& out)
+{
+    if (i >= s.size() || s[i] != '"')
+        return false;
+    ++i;
+    out.clear();
+    while (i < s.size()) {
+        const char c = s[i++];
+        if (c == '"')
+            return true;
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (i >= s.size())
+            return false;
+        const char esc = s[i++];
+        switch (esc) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+            if (i + 4 > s.size())
+                return false;
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+                const char h = s[i++];
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    code |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    return false;
+            }
+            // The store writes ASCII only; decode low code points and
+            // degrade the rest rather than reject the record.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+        }
+        default: out += esc; break; // '"', '\\', '/'
+        }
+    }
+    return false; // unterminated string
+}
+
+bool
+parseJsonToken(const std::string& s, std::size_t& i, std::string& out)
+{
+    out.clear();
+    while (i < s.size()) {
+        const char c = s[i];
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '+' || c == '.') {
+            out += c;
+            ++i;
+        } else {
+            break;
+        }
+    }
+    return !out.empty();
+}
+
+/**
+ * Parse one flat JSON object (string / number / bool values only —
+ * exactly what toJsonLine emits) into a key -> text map.  Strings come
+ * back decoded; other values keep their literal spelling.
+ */
+bool
+parseFlatObject(const std::string& line,
+                std::map<std::string, std::string>& out)
+{
+    std::size_t i = 0;
+    skipSpace(line, i);
+    if (i >= line.size() || line[i] != '{')
+        return false;
+    ++i;
+    skipSpace(line, i);
+    if (i < line.size() && line[i] == '}') {
+        ++i;
+        skipSpace(line, i);
+        return i == line.size();
+    }
+    for (;;) {
+        skipSpace(line, i);
+        std::string key;
+        if (!parseJsonString(line, i, key))
+            return false;
+        skipSpace(line, i);
+        if (i >= line.size() || line[i] != ':')
+            return false;
+        ++i;
+        skipSpace(line, i);
+        std::string value;
+        if (i < line.size() && line[i] == '"') {
+            if (!parseJsonString(line, i, value))
+                return false;
+        } else if (!parseJsonToken(line, i, value)) {
+            return false;
+        }
+        out[key] = value;
+        skipSpace(line, i);
+        if (i >= line.size())
+            return false;
+        if (line[i] == ',') {
+            ++i;
+            continue;
+        }
+        if (line[i] == '}') {
+            ++i;
+            break;
+        }
+        return false;
+    }
+    skipSpace(line, i);
+    return i == line.size();
+}
+
+const std::string*
+lookup(const std::map<std::string, std::string>& fields,
+       const char* key)
+{
+    const auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+}
+
+bool
+parseU64(const std::map<std::string, std::string>& fields,
+         const char* key, std::uint64_t& out)
+{
+    const std::string* text = lookup(fields, key);
+    if (!text || text->empty())
+        return false;
+    char* end = nullptr;
+    out = std::strtoull(text->c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+bool
+parseF64(const std::map<std::string, std::string>& fields,
+         const char* key, double& out)
+{
+    const std::string* text = lookup(fields, key);
+    if (!text || text->empty())
+        return false;
+    char* end = nullptr;
+    out = std::strtod(text->c_str(), &end);
+    return end && *end == '\0';
+}
+
+bool
+parseStatusName(const std::string& name, RunStatus& out)
+{
+    static const RunStatus kAll[] = {
+        RunStatus::Ok,       RunStatus::VerifyFailed,
+        RunStatus::Deadlock, RunStatus::Livelock,
+        RunStatus::Timeout,  RunStatus::Crash,
+    };
+    for (const RunStatus status : kAll) {
+        if (name == toString(status)) {
+            out = status;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+ResultRecord
+makeResultRecord(const JobSpec& job, const RunResult& result)
+{
+    ResultRecord rec;
+    rec.jobId = job.jobId;
+    rec.benchmark = job.benchmark;
+    rec.suite = job.config.suite;
+    rec.engine = job.config.engine;
+    rec.threads = job.config.threads;
+    rec.repetition = job.repetition;
+    rec.seed = static_cast<std::uint64_t>(
+        job.config.params.getInt("seed", 0));
+    rec.status = result.status;
+    rec.verified = result.verified;
+    rec.attempts = result.attempts;
+    rec.simCycles = result.simCycles;
+    rec.lineTransfers = result.lineTransfers;
+    rec.wallSeconds = result.wallSeconds;
+    rec.barrierCrossings = result.totals.barrierCrossings;
+    rec.lockAcquires = result.totals.lockAcquires;
+    rec.ticketOps = result.totals.ticketOps;
+    rec.sumOps = result.totals.sumOps;
+    rec.stackOps = result.totals.stackOps;
+    rec.flagOps = result.totals.flagOps;
+    rec.workUnits = result.totals.workUnits;
+    rec.waitPct = result.syncProfile
+                      ? 100.0 * result.syncProfile->waitFraction()
+                      : -1.0;
+    rec.verifyMessage = result.verifyMessage;
+    rec.statusDetail = result.statusDetail;
+    return rec;
+}
+
+RunResult
+recordToRunResult(const ResultRecord& record)
+{
+    RunResult result;
+    result.status = record.status;
+    result.verified = record.verified;
+    result.attempts = record.attempts;
+    result.simCycles = record.simCycles;
+    result.lineTransfers = record.lineTransfers;
+    result.wallSeconds = record.wallSeconds;
+    result.totals.barrierCrossings = record.barrierCrossings;
+    result.totals.lockAcquires = record.lockAcquires;
+    result.totals.ticketOps = record.ticketOps;
+    result.totals.sumOps = record.sumOps;
+    result.totals.stackOps = record.stackOps;
+    result.totals.flagOps = record.flagOps;
+    result.totals.workUnits = record.workUnits;
+    result.verifyMessage = record.verifyMessage;
+    result.statusDetail = record.statusDetail;
+    return result;
+}
+
+std::string
+toJsonLine(const ResultRecord& record)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"" << ResultStore::kSchema << "\""
+       << ",\"jobId\":\"" << wire::jsonEscape(record.jobId) << "\""
+       << ",\"benchmark\":\"" << wire::jsonEscape(record.benchmark)
+       << "\""
+       << ",\"suite\":\"" << toString(record.suite) << "\""
+       << ",\"engine\":\"" << toString(record.engine) << "\""
+       << ",\"threads\":" << record.threads
+       << ",\"repetition\":" << record.repetition
+       << ",\"seed\":" << record.seed
+       << ",\"status\":\"" << toString(record.status) << "\""
+       << ",\"verified\":" << (record.verified ? "true" : "false")
+       << ",\"attempts\":" << record.attempts
+       << ",\"simCycles\":" << record.simCycles
+       << ",\"lineTransfers\":" << record.lineTransfers
+       << ",\"wallSeconds\":";
+    appendNumber(os, record.wallSeconds);
+    os << ",\"barrierCrossings\":" << record.barrierCrossings
+       << ",\"lockAcquires\":" << record.lockAcquires
+       << ",\"ticketOps\":" << record.ticketOps
+       << ",\"sumOps\":" << record.sumOps
+       << ",\"stackOps\":" << record.stackOps
+       << ",\"flagOps\":" << record.flagOps
+       << ",\"workUnits\":" << record.workUnits;
+    if (record.waitPct >= 0) {
+        os << ",\"waitPct\":";
+        appendNumber(os, record.waitPct);
+    }
+    os << ",\"verifyMessage\":\""
+       << wire::jsonEscape(record.verifyMessage) << "\""
+       << ",\"statusDetail\":\""
+       << wire::jsonEscape(record.statusDetail) << "\"}";
+    return os.str();
+}
+
+bool
+parseJsonLine(const std::string& line, ResultRecord& record)
+{
+    std::map<std::string, std::string> fields;
+    if (!parseFlatObject(line, fields))
+        return false;
+
+    const std::string* schema = lookup(fields, "schema");
+    if (!schema || *schema != ResultStore::kSchema)
+        return false;
+    const std::string* jobId = lookup(fields, "jobId");
+    const std::string* benchmark = lookup(fields, "benchmark");
+    if (!jobId || jobId->empty() || !benchmark || benchmark->empty())
+        return false;
+    record.jobId = *jobId;
+    record.benchmark = *benchmark;
+
+    const std::string* suite = lookup(fields, "suite");
+    if (!suite)
+        return false;
+    if (*suite == "splash3")
+        record.suite = SuiteVersion::Splash3;
+    else if (*suite == "splash4")
+        record.suite = SuiteVersion::Splash4;
+    else
+        return false;
+
+    const std::string* engine = lookup(fields, "engine");
+    if (!engine)
+        return false;
+    if (*engine == "native")
+        record.engine = EngineKind::Native;
+    else if (*engine == "sim")
+        record.engine = EngineKind::Sim;
+    else
+        return false;
+
+    const std::string* status = lookup(fields, "status");
+    if (!status || !parseStatusName(*status, record.status))
+        return false;
+
+    std::uint64_t u64 = 0;
+    if (!parseU64(fields, "threads", u64) || u64 < 1)
+        return false;
+    record.threads = static_cast<int>(u64);
+    if (!parseU64(fields, "repetition", u64))
+        return false;
+    record.repetition = static_cast<int>(u64);
+    parseU64(fields, "seed", record.seed);
+
+    const std::string* verified = lookup(fields, "verified");
+    if (!verified || (*verified != "true" && *verified != "false"))
+        return false;
+    record.verified = *verified == "true";
+
+    if (parseU64(fields, "attempts", u64))
+        record.attempts = static_cast<int>(u64);
+    parseU64(fields, "simCycles", record.simCycles);
+    parseU64(fields, "lineTransfers", record.lineTransfers);
+    parseF64(fields, "wallSeconds", record.wallSeconds);
+    parseU64(fields, "barrierCrossings", record.barrierCrossings);
+    parseU64(fields, "lockAcquires", record.lockAcquires);
+    parseU64(fields, "ticketOps", record.ticketOps);
+    parseU64(fields, "sumOps", record.sumOps);
+    parseU64(fields, "stackOps", record.stackOps);
+    parseU64(fields, "flagOps", record.flagOps);
+    parseU64(fields, "workUnits", record.workUnits);
+    if (!parseF64(fields, "waitPct", record.waitPct))
+        record.waitPct = -1.0;
+    if (const std::string* text = lookup(fields, "verifyMessage"))
+        record.verifyMessage = *text;
+    if (const std::string* text = lookup(fields, "statusDetail"))
+        record.statusDetail = *text;
+    return true;
+}
+
+ResultStore::ResultStore(std::string path) : path_(std::move(path)) {}
+
+ResultStore::~ResultStore()
+{
+    if (out_)
+        std::fclose(out_);
+}
+
+std::size_t
+ResultStore::load()
+{
+    std::ifstream in(path_, std::ios::binary);
+    if (!in.is_open())
+        return 0; // no store yet: fresh campaign
+
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    in.close();
+
+    std::size_t loaded = 0;
+    std::size_t lineStart = 0;
+    std::size_t goodEnd = 0; // byte offset just past the last good line
+    bool sawPartialTail = false;
+    while (lineStart < content.size()) {
+        const std::size_t newline = content.find('\n', lineStart);
+        if (newline == std::string::npos) {
+            // The record being written when the campaign died.
+            sawPartialTail = true;
+            break;
+        }
+        const std::string line =
+            content.substr(lineStart, newline - lineStart);
+        lineStart = newline + 1;
+        if (line.empty() ||
+            line.find_first_not_of(" \t\r") == std::string::npos) {
+            goodEnd = lineStart;
+            continue;
+        }
+        ResultRecord record;
+        if (parseJsonLine(line, record)) {
+            records_[record.jobId] = record; // last record wins
+            ++loaded;
+        } else {
+            warn("result store: skipping malformed record in " +
+                 path_);
+        }
+        goodEnd = lineStart;
+    }
+
+    if (sawPartialTail) {
+        warn("result store: dropping truncated final record in " +
+             path_ + " (interrupted write)");
+        std::error_code ec;
+        std::filesystem::resize_file(path_, goodEnd, ec);
+        if (ec)
+            warn("result store: cannot trim " + path_ + ": " +
+                 ec.message());
+    }
+    return loaded;
+}
+
+void
+ResultStore::append(const ResultRecord& record)
+{
+    if (!out_) {
+        out_ = std::fopen(path_.c_str(), "ab");
+        if (!out_)
+            fatal("result store: cannot open " + path_ +
+                  " for append");
+    }
+    const std::string line = toJsonLine(record);
+    std::fwrite(line.data(), 1, line.size(), out_);
+    std::fputc('\n', out_);
+    // Flush per record so a killed campaign leaves at worst one
+    // truncated line — the contract --resume depends on.
+    std::fflush(out_);
+    records_[record.jobId] = record;
+}
+
+const ResultRecord*
+ResultStore::find(const std::string& jobId) const
+{
+    const auto it = records_.find(jobId);
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+} // namespace splash

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Result store: the persistence layer of the suite pipeline.
+ *
+ * Campaign results are appended to a JSONL file (one self-contained
+ * JSON object per line, schema `splash4-results-v1`) as jobs complete,
+ * keyed by the run plan's content-derived job ids.  Because the file
+ * is append-only and flushed per record, a crashed or killed campaign
+ * leaves a valid prefix: --resume reloads the store, skips every job
+ * whose id already has a terminal record, and re-runs only the
+ * remainder.  A truncated final line (the record being written when
+ * the campaign died) is dropped with a warning — never a crash — and
+ * the file is trimmed back to the last complete record before new
+ * ones are appended.
+ *
+ * The store keeps the scalar summary of a run (status, verification,
+ * cycles, wall time, construct totals, wait percentage).  Per-run
+ * artifacts that do not fit a summary row — Sync-Scope construct
+ * breakdowns and timelines — are written by --profile-out instead.
+ *
+ * Validated by tools/check_results_schema.py; see docs/SUITE.md.
+ */
+
+#ifndef SPLASH_HARNESS_RESULT_STORE_H
+#define SPLASH_HARNESS_RESULT_STORE_H
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/run_plan.h"
+
+namespace splash {
+
+/** One terminal per-job record, as stored on disk. */
+struct ResultRecord
+{
+    std::string jobId;
+    std::string benchmark;
+    SuiteVersion suite = SuiteVersion::Splash4;
+    EngineKind engine = EngineKind::Sim;
+    int threads = 0;
+    int repetition = 0;
+    std::uint64_t seed = 0; ///< derived input seed the job ran with
+
+    RunStatus status = RunStatus::Ok;
+    bool verified = false;
+    int attempts = 1;
+    VTime simCycles = 0;
+    std::uint64_t lineTransfers = 0;
+    double wallSeconds = 0;
+    std::uint64_t barrierCrossings = 0;
+    std::uint64_t lockAcquires = 0;
+    std::uint64_t ticketOps = 0;
+    std::uint64_t sumOps = 0;
+    std::uint64_t stackOps = 0;
+    std::uint64_t flagOps = 0;
+    std::uint64_t workUnits = 0;
+    double waitPct = -1.0; ///< negative = run carried no profile
+    std::string verifyMessage;
+    std::string statusDetail;
+};
+
+/** Summarize one finished job into its store record. */
+ResultRecord makeResultRecord(const JobSpec& job,
+                              const RunResult& result);
+
+/**
+ * Rehydrate a RunResult from a stored record (for report rows of
+ * resumed jobs).  Per-thread breakdowns and attached profiles are
+ * per-run artifacts and come back empty.
+ */
+RunResult recordToRunResult(const ResultRecord& record);
+
+/** Append-only JSONL store keyed by job id. */
+class ResultStore
+{
+  public:
+    static constexpr const char* kSchema = "splash4-results-v1";
+
+    explicit ResultStore(std::string path);
+    ~ResultStore();
+
+    ResultStore(const ResultStore&) = delete;
+    ResultStore& operator=(const ResultStore&) = delete;
+
+    /**
+     * Load existing records (the resume path).  Malformed interior
+     * lines are skipped with a warning; a truncated final line is
+     * dropped and the file trimmed back to the last complete record.
+     * A missing file is an empty store.  When two records share a job
+     * id the later one wins.  @return records loaded.
+     */
+    std::size_t load();
+
+    /** Append one record and flush it to disk. */
+    void append(const ResultRecord& record);
+
+    /** Terminal record for @p jobId, or null. */
+    const ResultRecord* find(const std::string& jobId) const;
+
+    std::size_t size() const { return records_.size(); }
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::map<std::string, ResultRecord> records_;
+    std::FILE* out_ = nullptr;
+};
+
+/** Serialize one record as its JSONL line (without the newline). */
+std::string toJsonLine(const ResultRecord& record);
+
+/** Parse one JSONL line; @return false on any malformation. */
+bool parseJsonLine(const std::string& line, ResultRecord& record);
+
+} // namespace splash
+
+#endif // SPLASH_HARNESS_RESULT_STORE_H

@@ -1,0 +1,238 @@
+#include "harness/scheduler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/log.h"
+
+namespace splash {
+
+const char*
+toString(Placement placement)
+{
+    switch (placement) {
+    case Placement::None: return "none";
+    case Placement::Packed: return "packed";
+    case Placement::Spread: return "spread";
+    }
+    return "?";
+}
+
+Placement
+parsePlacement(const std::string& name)
+{
+    if (name == "none")
+        return Placement::None;
+    if (name == "packed")
+        return Placement::Packed;
+    if (name == "spread")
+        return Placement::Spread;
+    fatal("unknown placement '" + name +
+          "' (expected none, packed, or spread)");
+}
+
+CoreAllocator::CoreAllocator(int totalCores, Placement placement)
+    : placement_(placement)
+{
+    panicIf(totalCores < 1, "core allocator needs at least one core");
+    busy_.assign(static_cast<std::size_t>(totalCores), false);
+}
+
+int
+CoreAllocator::freeCores() const
+{
+    return static_cast<int>(
+        std::count(busy_.begin(), busy_.end(), false));
+}
+
+bool
+CoreAllocator::tryAcquire(int threads, std::vector<int>& cores)
+{
+    cores.clear();
+    if (placement_ == Placement::None)
+        return true;
+    panicIf(threads < 1, "core allocator: job needs >= 1 thread");
+    if (threads > totalCores()) {
+        // Wider than the machine: never satisfiable, so waiting would
+        // deadlock the queue.  Run unpinned instead.
+        return true;
+    }
+
+    std::vector<int> free;
+    for (std::size_t i = 0; i < busy_.size(); ++i)
+        if (!busy_[i])
+            free.push_back(static_cast<int>(i));
+    if (static_cast<int>(free.size()) < threads)
+        return false; // busy right now: caller queues
+
+    if (placement_ == Placement::Packed) {
+        cores.assign(free.begin(), free.begin() + threads);
+    } else {
+        // Spread: sample the free list at an even stride so the job's
+        // threads land far apart (across sockets on a real box).
+        const std::size_t stride =
+            free.size() / static_cast<std::size_t>(threads);
+        for (int t = 0; t < threads; ++t)
+            cores.push_back(free[static_cast<std::size_t>(t) * stride]);
+    }
+    for (const int core : cores)
+        busy_[static_cast<std::size_t>(core)] = true;
+    return true;
+}
+
+void
+CoreAllocator::release(const std::vector<int>& cores)
+{
+    for (const int core : cores) {
+        panicIf(core < 0 || core >= totalCores() ||
+                    !busy_[static_cast<std::size_t>(core)],
+                "core allocator: releasing a core that is not held");
+        busy_[static_cast<std::size_t>(core)] = false;
+    }
+}
+
+namespace {
+
+int
+detectCores()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+} // namespace
+
+std::vector<JobOutcome>
+runPlan(const RunPlan& plan, const SchedulerOptions& options,
+        ResultStore* store)
+{
+    std::vector<JobOutcome> outcomes(plan.size());
+
+    // Resume pre-pass: anything with a terminal record replays from
+    // the store; only the rest is dispatched.
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+        outcomes[i].job = plan.job(i);
+        if (store) {
+            if (const ResultRecord* record =
+                    store->find(outcomes[i].job.jobId)) {
+                outcomes[i].result = recordToRunResult(*record);
+                outcomes[i].resumed = true;
+                continue;
+            }
+        }
+        pending.push_back(i);
+    }
+    if (store && plan.size() > 0 && pending.size() < plan.size()) {
+        inform("resume: " + std::to_string(plan.size() - pending.size()) +
+               " of " + std::to_string(plan.size()) +
+               " jobs already in " + store->path() + "; " +
+               std::to_string(pending.size()) + " to run");
+    }
+    if (pending.empty())
+        return outcomes;
+
+    int jobs = std::max(1, options.jobs);
+    jobs = std::min<int>(jobs, static_cast<int>(pending.size()));
+    IsolateOptions iso = options.isolate;
+    if (jobs > 1 && !iso.enabled) {
+#if defined(__unix__) || defined(__APPLE__)
+        // Chaos injection and other per-run knobs are process-global,
+        // so concurrent jobs must not share the harness process.
+        inform("scheduler: --jobs=" + std::to_string(jobs) +
+               " runs fork-isolated");
+        iso.enabled = true;
+#else
+        warn("scheduler: concurrent jobs need fork isolation, which "
+             "this platform lacks; running serially");
+        jobs = 1;
+#endif
+    }
+
+    CoreAllocator allocator(
+        options.totalCores > 0 ? options.totalCores : detectCores(),
+        options.placement);
+    if (options.placement != Placement::None) {
+        for (const std::size_t idx : pending) {
+            if (outcomes[idx].job.config.threads >
+                allocator.totalCores()) {
+                warn("placement: some jobs need more threads than the "
+                     "machine has cores (" +
+                     std::to_string(allocator.totalCores()) +
+                     "); those run unpinned");
+                break;
+            }
+        }
+    }
+
+    std::mutex mutex;
+    std::condition_variable coresFreed;
+    std::size_t next = 0;
+    std::size_t dispatched = 0;
+
+    // Dispatch is strictly plan order: a worker claims the head job
+    // and, under a placement, waits for that job's cores before
+    // looking further.  Head-of-line blocking keeps wide jobs from
+    // starving behind a stream of narrow ones.
+    const auto workerLoop = [&] {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (;;) {
+            if (next >= pending.size())
+                return;
+            const std::size_t idx = pending[next];
+            JobSpec& job = outcomes[idx].job;
+            std::vector<int> cores;
+            if (!allocator.tryAcquire(job.config.threads, cores)) {
+                coresFreed.wait(lock);
+                continue; // re-read the (possibly new) head job
+            }
+            ++next;
+            job.config.cpuAffinity = cores;
+            const std::size_t runIndex = ++dispatched;
+            if (jobs > 1) {
+                inform("job " + std::to_string(runIndex) + "/" +
+                       std::to_string(pending.size()) + ": " +
+                       job.benchmark + " (" +
+                       toString(job.config.suite) + ", " +
+                       toString(job.config.engine) + ", t=" +
+                       std::to_string(job.config.threads) + ")");
+            }
+            lock.unlock();
+            RunResult result =
+                runBenchmarkResilient(job.benchmark, job.config, iso);
+            lock.lock();
+            if (!cores.empty())
+                allocator.release(cores);
+            outcomes[idx].result = std::move(result);
+            if (store)
+                store->append(
+                    makeResultRecord(job, outcomes[idx].result));
+            coresFreed.notify_all();
+        }
+    };
+
+    if (jobs == 1) {
+        workerLoop();
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<std::size_t>(jobs));
+        for (int w = 0; w < jobs; ++w)
+            workers.emplace_back(workerLoop);
+        for (auto& worker : workers)
+            worker.join();
+    }
+    return outcomes;
+}
+
+int
+planExitCode(const std::vector<JobOutcome>& outcomes)
+{
+    for (const JobOutcome& outcome : outcomes)
+        if (!outcome.result.ok())
+            return 1;
+    return 0;
+}
+
+} // namespace splash

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Scheduler: the dispatch layer of the suite pipeline.
+ *
+ * The scheduler walks a RunPlan and dispatches its jobs to up to
+ * --jobs=N concurrent executors, each fork-isolated (running more than
+ * one job in-process is unsound: chaos injection and other per-run
+ * knobs are process-global, so --jobs>1 auto-enables isolation).  With
+ * a --placement policy it also hands each job a disjoint CPU core set
+ * sized to its thread count; jobs that cannot get cores right now wait
+ * until running jobs release theirs (oversubscribed plans queue rather
+ * than share cores), and jobs wider than the whole machine degrade to
+ * unpinned with a warning.
+ *
+ * Dispatch order is plan order and results come back indexed by plan
+ * position, so reports are deterministic regardless of --jobs.  With a
+ * ResultStore attached, jobs whose id already has a terminal record
+ * are skipped (the --resume path) and every newly finished job is
+ * appended to the store the moment it completes.
+ */
+
+#ifndef SPLASH_HARNESS_SCHEDULER_H
+#define SPLASH_HARNESS_SCHEDULER_H
+
+#include <string>
+#include <vector>
+
+#include "core/run_plan.h"
+#include "harness/executor.h"
+#include "harness/result_store.h"
+
+namespace splash {
+
+/** CPU placement policy for concurrent jobs. */
+enum class Placement
+{
+    None,   ///< no pinning; the OS scheduler places threads
+    Packed, ///< lowest-numbered free cores (shares caches/sockets)
+    Spread, ///< free cores spread across the machine (max distance)
+};
+
+const char* toString(Placement placement);
+
+/** Parse "none"/"packed"/"spread" (fatal on anything else). */
+Placement parsePlacement(const std::string& name);
+
+/**
+ * Tracks which cores are free and carves disjoint per-job core sets.
+ * The core count is injected so tests can model a 64-core box from a
+ * 1-core CI host; the scheduler passes the real machine's count.
+ */
+class CoreAllocator
+{
+  public:
+    CoreAllocator(int totalCores, Placement placement);
+
+    /**
+     * Try to reserve @p threads cores.  On success fills @p cores and
+     * returns true.  A request wider than the whole machine also
+     * returns true but with @p cores empty — the job runs unpinned
+     * (degrading beats deadlocking).  Returns false when the machine
+     * is big enough but currently busy: the caller must wait for a
+     * release.
+     */
+    bool tryAcquire(int threads, std::vector<int>& cores);
+
+    /** Return a core set obtained from tryAcquire(). */
+    void release(const std::vector<int>& cores);
+
+    int totalCores() const
+    {
+        return static_cast<int>(busy_.size());
+    }
+    int freeCores() const;
+
+  private:
+    Placement placement_;
+    std::vector<bool> busy_;
+};
+
+/** Scheduling policy for one plan execution. */
+struct SchedulerOptions
+{
+    int jobs = 1;           ///< concurrent executor slots
+    Placement placement = Placement::None;
+    int totalCores = 0;     ///< 0 = detect the host's core count
+    IsolateOptions isolate; ///< forced on when jobs > 1
+};
+
+/** One plan job's final outcome, in plan order. */
+struct JobOutcome
+{
+    JobSpec job; ///< as executed (cpuAffinity holds the core set used)
+    RunResult result;
+    bool resumed = false; ///< replayed from the store, not re-run
+};
+
+/**
+ * Execute @p plan under @p options.  @p store may be null (no
+ * persistence); when given, it must already be load()ed and is
+ * appended to as jobs finish.  @return one outcome per plan job, in
+ * plan order.
+ */
+std::vector<JobOutcome> runPlan(const RunPlan& plan,
+                                const SchedulerOptions& options,
+                                ResultStore* store = nullptr);
+
+/** Suite exit code: 0 when every outcome is Ok, 1 otherwise. */
+int planExitCode(const std::vector<JobOutcome>& outcomes);
+
+} // namespace splash
+
+#endif // SPLASH_HARNESS_SCHEDULER_H

@@ -1,0 +1,81 @@
+#include "util/wire.h"
+
+#include <cstdio>
+
+namespace splash {
+namespace wire {
+
+std::string
+escape(const std::string& value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else if (c == ';')
+            out += "\\s";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+unescape(const std::string& value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (std::size_t i = 0; i < value.size(); ++i) {
+        if (value[i] == '\\' && i + 1 < value.size()) {
+            ++i;
+            if (value[i] == 'n')
+                out += '\n';
+            else if (value[i] == 's')
+                out += ';';
+            else
+                out += value[i];
+        } else {
+            out += value[i];
+        }
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char ch : text) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(ch) & 0xff);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace wire
+} // namespace splash

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared wire codec for crossing the fork-isolation pipe.
+ *
+ * Two line-oriented formats ship data from an isolated child run back
+ * to its parent: the executor's key=value result lines and the
+ * Sync-Scope profile's semicolon-delimited records.  Both embed
+ * free-form strings (status details, construct names), so both need
+ * the same escaping discipline; it lives here once instead of being
+ * duplicated per codec.
+ *
+ * escape() makes a value safe to embed in a single line of either
+ * format: backslashes, newlines, and field separators (';') are
+ * escaped, so the framing characters of both codecs never appear in
+ * an escaped payload.  unescape() is its exact inverse; unknown
+ * escape sequences decode to the escaped character itself, which
+ * keeps old payloads (escaped with the pre-wire.h newline-only rule)
+ * decoding identically.
+ */
+
+#ifndef SPLASH_UTIL_WIRE_H
+#define SPLASH_UTIL_WIRE_H
+
+#include <string>
+
+namespace splash {
+namespace wire {
+
+/** Escape '\\', '\n', and ';' so @p value fits one wire field. */
+std::string escape(const std::string& value);
+
+/** Exact inverse of escape(). */
+std::string unescape(const std::string& value);
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string& text);
+
+} // namespace wire
+} // namespace splash
+
+#endif // SPLASH_UTIL_WIRE_H

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Planted benchmark fixtures shared by the harness-pipeline tests:
+ * a clean run, a verification failure, a deadlock, and a crash.
+ * ensurePlantedRegistered() is inline so its registration guard is
+ * one shared static across every test TU in the binary (the registry
+ * panics on duplicates).
+ */
+
+#ifndef SPLASH_TESTS_HARNESS_PLANTED_BENCHMARKS_H
+#define SPLASH_TESTS_HARNESS_PLANTED_BENCHMARKS_H
+
+#include <cstdlib>
+#include <memory>
+
+#include "core/benchmark.h"
+#include "engine/engine.h"
+
+namespace splash {
+namespace planted {
+
+/** Boilerplate base for the planted fixtures. */
+class PlantedBenchmark : public Benchmark
+{
+  public:
+    std::string
+    description() const override
+    {
+        return "planted harness-pipeline fixture";
+    }
+    std::string inputDescription() const override { return "none"; }
+    bool
+    verify(std::string& message) override
+    {
+        message = "planted ok";
+        return true;
+    }
+};
+
+/** Completes and verifies. */
+class OkBenchmark : public PlantedBenchmark
+{
+  public:
+    std::string name() const override { return "zz-ok"; }
+    void
+    setup(World& world, const Params&) override
+    {
+        bar_ = world.createBarrier();
+    }
+    void
+    run(Context& ctx) override
+    {
+        ctx.work(10);
+        ctx.barrier(bar_);
+    }
+
+  private:
+    BarrierHandle bar_;
+};
+
+/** Completes and verifies after an amount of work set by a param. */
+class WorkBenchmark : public PlantedBenchmark
+{
+  public:
+    std::string name() const override { return "zz-work"; }
+    void
+    setup(World& world, const Params& params) override
+    {
+        bar_ = world.createBarrier();
+        units_ = params.getInt("units", 50);
+        seed_ = params.getInt("seed", 0);
+    }
+    void
+    run(Context& ctx) override
+    {
+        // Touch the seed so runs with different derived input seeds
+        // produce different cycle counts (seed-plumbing tests).
+        ctx.work(static_cast<std::uint64_t>(
+            units_ + (seed_ % 7) + ctx.tid()));
+        ctx.barrier(bar_);
+    }
+
+  private:
+    BarrierHandle bar_;
+    std::int64_t units_ = 50;
+    std::int64_t seed_ = 0;
+};
+
+/** Completes but fails its self-check. */
+class VerifyFailBenchmark : public OkBenchmark
+{
+  public:
+    std::string name() const override { return "zz-verifyfail"; }
+    bool
+    verify(std::string& message) override
+    {
+        message = "planted verification failure";
+        return false;
+    }
+};
+
+/** Thread 0 keeps the lock forever; everyone else blocks on it. */
+class DeadlockBenchmark : public PlantedBenchmark
+{
+  public:
+    std::string name() const override { return "zz-deadlock"; }
+    void
+    setup(World& world, const Params&) override
+    {
+        lock_ = world.createLock();
+    }
+    void
+    run(Context& ctx) override
+    {
+        if (ctx.tid() == 0) {
+            ctx.lockAcquire(lock_);
+        } else {
+            ctx.work(100);
+            ctx.lockAcquire(lock_);
+        }
+    }
+
+  private:
+    LockHandle lock_;
+};
+
+/** Aborts the process mid-run (only sane under fork isolation). */
+class CrashBenchmark : public PlantedBenchmark
+{
+  public:
+    std::string name() const override { return "zz-crash"; }
+    void
+    setup(World& world, const Params&) override
+    {
+        bar_ = world.createBarrier();
+    }
+    void
+    run(Context& ctx) override
+    {
+        ctx.barrier(bar_);
+        if (ctx.tid() == 0)
+            std::abort();
+        ctx.barrier(bar_);
+    }
+
+  private:
+    BarrierHandle bar_;
+};
+
+inline void
+ensurePlantedRegistered()
+{
+    static const bool done = [] {
+        registerBenchmark("zz-ok",
+                          [] { return std::make_unique<OkBenchmark>(); });
+        registerBenchmark("zz-work", [] {
+            return std::make_unique<WorkBenchmark>();
+        });
+        registerBenchmark("zz-verifyfail", [] {
+            return std::make_unique<VerifyFailBenchmark>();
+        });
+        registerBenchmark("zz-deadlock", [] {
+            return std::make_unique<DeadlockBenchmark>();
+        });
+        registerBenchmark("zz-crash", [] {
+            return std::make_unique<CrashBenchmark>();
+        });
+        return true;
+    }();
+    (void)done;
+}
+
+/** Small deterministic sim configuration for pipeline tests. */
+inline RunConfig
+simConfig()
+{
+    RunConfig config;
+    config.threads = 4;
+    config.engine = EngineKind::Sim;
+    config.suite = SuiteVersion::Splash4;
+    config.profile = "test4";
+    config.watchdog.enabled = true;
+    return config;
+}
+
+} // namespace planted
+} // namespace splash
+
+#endif // SPLASH_TESTS_HARNESS_PLANTED_BENCHMARKS_H

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Executor tests: the fork-isolated single-job layer.  Covers the
+ * result wire codec (round trip, per-thread stats, malformed input),
+ * the seeded retry loop, and — under fork isolation — clean-result
+ * round trips, crash capture, Sync-Scope carriage, and native
+ * watchdog exit-code decoding.  These assertions are carried over
+ * from the pre-pipeline suite_runner tests, so the extraction
+ * demonstrably preserved the watchdog/retry semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sync_profile.h"
+#include "harness/executor.h"
+#include "planted_benchmarks.h"
+
+namespace splash {
+namespace {
+
+using planted::ensurePlantedRegistered;
+using planted::simConfig;
+
+TEST(ExecutorWire, RoundTripsEveryField)
+{
+    RunResult result;
+    result.status = RunStatus::Livelock;
+    result.statusDetail = "detail with\nnewline; and ; semis";
+    result.verified = true;
+    result.verifyMessage = "msg=with equals\\and backslash";
+    result.simCycles = 123456789;
+    result.lineTransfers = 4242;
+    result.wallSeconds = 0.25;
+    result.totals.barrierCrossings = 8;
+    result.totals.lockAcquires = 9;
+    result.totals.ticketOps = 10;
+    result.totals.sumOps = 11;
+    result.totals.stackOps = 12;
+    result.totals.flagOps = 13;
+    result.totals.workUnits = 14;
+    result.perThread.resize(2);
+    result.perThread[0].workUnits = 7;
+    result.perThread[0].barrierCrossings = 1;
+    result.perThread[0].categoryCycles[static_cast<int>(
+        TimeCategory::Compute)] = 77;
+    result.perThread[1].workUnits = 9;
+    result.perThread[1].categoryCycles[static_cast<int>(
+        TimeCategory::Barrier)] = 99;
+
+    RunResult decoded;
+    ASSERT_TRUE(
+        deserializeRunResult(serializeRunResult(result), decoded));
+    EXPECT_EQ(decoded.status, RunStatus::Livelock);
+    EXPECT_EQ(decoded.statusDetail, result.statusDetail);
+    EXPECT_TRUE(decoded.verified);
+    EXPECT_EQ(decoded.verifyMessage, result.verifyMessage);
+    EXPECT_EQ(decoded.simCycles, result.simCycles);
+    EXPECT_EQ(decoded.lineTransfers, result.lineTransfers);
+    EXPECT_DOUBLE_EQ(decoded.wallSeconds, result.wallSeconds);
+    EXPECT_EQ(decoded.totals.barrierCrossings, 8u);
+    EXPECT_EQ(decoded.totals.workUnits, 14u);
+    ASSERT_EQ(decoded.perThread.size(), 2u);
+    EXPECT_EQ(decoded.perThread[0].workUnits, 7u);
+    EXPECT_EQ(decoded.perThread[0].barrierCrossings, 1u);
+    EXPECT_EQ(decoded.perThread[0].categoryCycles[static_cast<int>(
+                  TimeCategory::Compute)],
+              77u);
+    EXPECT_EQ(decoded.perThread[1].workUnits, 9u);
+    EXPECT_EQ(decoded.perThread[1].categoryCycles[static_cast<int>(
+                  TimeCategory::Barrier)],
+              99u);
+}
+
+TEST(ExecutorWire, RejectsPayloadWithoutStatus)
+{
+    RunResult decoded;
+    EXPECT_FALSE(deserializeRunResult("", decoded));
+    EXPECT_FALSE(deserializeRunResult("garbage\nno equals", decoded));
+    EXPECT_FALSE(
+        deserializeRunResult("simCycles=5\nverified=1\n", decoded));
+}
+
+TEST(ExecutorWire, ToleratesUnknownKeys)
+{
+    RunResult decoded;
+    ASSERT_TRUE(deserializeRunResult(
+        "status=0\nfutureKey=whatever\nverified=1\n", decoded));
+    EXPECT_EQ(decoded.status, RunStatus::Ok);
+    EXPECT_TRUE(decoded.verified);
+}
+
+TEST(Executor, VerifyFailureConsumesTheSeededRetry)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso; // default: one seeded retry, in-process
+    const RunResult result =
+        runBenchmarkResilient("zz-verifyfail", simConfig(), iso);
+    EXPECT_EQ(result.status, RunStatus::VerifyFailed);
+    EXPECT_EQ(result.attempts, 2);
+}
+
+TEST(Executor, CleanRunTakesOneAttempt)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    const RunResult result =
+        runBenchmarkResilient("zz-ok", simConfig(), iso);
+    EXPECT_TRUE(result.ok());
+    EXPECT_EQ(result.attempts, 1);
+}
+
+TEST(Executor, WatchdogClassifiesADeadlockInProcess)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.maxAttempts = 1;
+    const RunResult result =
+        runBenchmarkResilient("zz-deadlock", simConfig(), iso);
+    EXPECT_EQ(result.status, RunStatus::Deadlock);
+    EXPECT_FALSE(result.verified);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+TEST(Executor, IsolationRoundTripsACleanResult)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    RunConfig config = simConfig();
+    const RunResult result =
+        runBenchmarkResilient("zz-ok", config, iso);
+    EXPECT_EQ(result.status, RunStatus::Ok);
+    EXPECT_TRUE(result.verified);
+    EXPECT_EQ(result.verifyMessage, "planted ok");
+    // Stats survive the pipe: one barrier crossing per thread.
+    EXPECT_EQ(result.totals.barrierCrossings,
+              static_cast<std::uint64_t>(config.threads));
+    EXPECT_GT(result.simCycles, 0u);
+    // The per-thread breakdown crosses the wire too (Table V).
+    ASSERT_EQ(result.perThread.size(),
+              static_cast<std::size_t>(config.threads));
+    EXPECT_EQ(result.perThread[0].barrierCrossings, 1u);
+}
+
+TEST(Executor, IsolatedResultMatchesInProcessResult)
+{
+    ensurePlantedRegistered();
+    RunConfig config = simConfig();
+    IsolateOptions inProcess;
+    IsolateOptions isolated;
+    isolated.enabled = true;
+    const RunResult a =
+        runBenchmarkResilient("zz-ok", config, inProcess);
+    const RunResult b =
+        runBenchmarkResilient("zz-ok", config, isolated);
+    // The sim engine is deterministic, so isolation must be
+    // observationally transparent for everything the report prints.
+    EXPECT_EQ(a.simCycles, b.simCycles);
+    EXPECT_EQ(a.lineTransfers, b.lineTransfers);
+    EXPECT_EQ(a.totals.barrierCrossings, b.totals.barrierCrossings);
+    EXPECT_EQ(a.totals.workUnits, b.totals.workUnits);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.verified, b.verified);
+}
+
+TEST(Executor, IsolationCapturesACrash)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    iso.maxAttempts = 1;
+    RunConfig config = simConfig();
+    config.engine = EngineKind::Native;
+    config.threads = 2;
+    const RunResult result =
+        runBenchmarkResilient("zz-crash", config, iso);
+    EXPECT_EQ(result.status, RunStatus::Crash);
+    EXPECT_NE(result.statusDetail.find("signal"), std::string::npos)
+        << result.statusDetail;
+}
+
+TEST(Executor, IsolationCarriesTheSyncProfile)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    RunConfig config = simConfig();
+    config.syncProfile = true;
+    const RunResult result =
+        runBenchmarkResilient("zz-ok", config, iso);
+    ASSERT_EQ(result.status, RunStatus::Ok);
+    ASSERT_TRUE(result.syncProfile);
+    const SyncProfile& profile = *result.syncProfile;
+    EXPECT_EQ(profile.threads, config.threads);
+    EXPECT_EQ(profile.timeUnit, "cycles");
+    // Counters survive the pipe: one barrier crossing per thread.
+    std::uint64_t barrierOps = 0;
+    for (const auto& c : profile.constructs)
+        if (c.kind == SyncObjKind::Barrier)
+            barrierOps += c.ops;
+    EXPECT_EQ(barrierOps, static_cast<std::uint64_t>(config.threads));
+    // The event timeline deliberately does not cross the process
+    // boundary (see the wire codec's contract).
+    EXPECT_TRUE(profile.events.empty());
+}
+
+TEST(Executor, IsolationDecodesTheNativeWatchdogExit)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    iso.maxAttempts = 1;
+    RunConfig config;
+    config.threads = 2;
+    config.engine = EngineKind::Native;
+    config.suite = SuiteVersion::Splash4;
+    config.watchdog.enabled = true;
+    config.watchdog.maxWallSeconds = 1.0;
+    const RunResult result =
+        runBenchmarkResilient("zz-deadlock", config, iso);
+    EXPECT_EQ(result.status, RunStatus::Deadlock);
+    EXPECT_NE(result.statusDetail.find("watchdog"), std::string::npos)
+        << result.statusDetail;
+}
+
+#endif // fork isolation
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Result-store tests: JSONL record round trips, append/load
+ * persistence, last-record-wins on duplicate ids, and corruption
+ * tolerance — a malformed interior line is skipped and a truncated
+ * final line (the record a killed campaign was writing) is dropped
+ * with the file trimmed back to the last complete record.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "harness/result_store.h"
+
+namespace splash {
+namespace {
+
+std::string
+tempPath(const char* tag)
+{
+    std::string path = ::testing::TempDir();
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    path += "splash4-store-" + std::string(tag) + "-" +
+#if defined(__unix__) || defined(__APPLE__)
+            std::to_string(::getpid()) +
+#endif
+            ".jsonl";
+    std::remove(path.c_str());
+    return path;
+}
+
+ResultRecord
+sampleRecord(const std::string& jobId)
+{
+    ResultRecord rec;
+    rec.jobId = jobId;
+    rec.benchmark = "fft";
+    rec.suite = SuiteVersion::Splash4;
+    rec.engine = EngineKind::Sim;
+    rec.threads = 8;
+    rec.repetition = 1;
+    rec.seed = 0xdeadbeefcafe1234ull;
+    rec.status = RunStatus::Ok;
+    rec.verified = true;
+    rec.attempts = 1;
+    rec.simCycles = 123456;
+    rec.lineTransfers = 789;
+    rec.wallSeconds = 0.125;
+    rec.barrierCrossings = 16;
+    rec.lockAcquires = 2;
+    rec.ticketOps = 3;
+    rec.sumOps = 4;
+    rec.stackOps = 5;
+    rec.flagOps = 6;
+    rec.workUnits = 1000;
+    rec.waitPct = 12.5;
+    rec.verifyMessage = "checksum ok";
+    rec.statusDetail = "";
+    return rec;
+}
+
+std::string
+readAll(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+TEST(ResultRecord, JsonLineRoundTrips)
+{
+    const ResultRecord rec = sampleRecord("00112233445566aa");
+    const std::string line = toJsonLine(rec);
+    EXPECT_NE(line.find("\"schema\":\"splash4-results-v1\""),
+              std::string::npos);
+    ResultRecord back;
+    ASSERT_TRUE(parseJsonLine(line, back));
+    EXPECT_EQ(back.jobId, rec.jobId);
+    EXPECT_EQ(back.benchmark, rec.benchmark);
+    EXPECT_EQ(back.suite, rec.suite);
+    EXPECT_EQ(back.engine, rec.engine);
+    EXPECT_EQ(back.threads, rec.threads);
+    EXPECT_EQ(back.repetition, rec.repetition);
+    EXPECT_EQ(back.seed, rec.seed);
+    EXPECT_EQ(back.status, rec.status);
+    EXPECT_EQ(back.verified, rec.verified);
+    EXPECT_EQ(back.attempts, rec.attempts);
+    EXPECT_EQ(back.simCycles, rec.simCycles);
+    EXPECT_EQ(back.lineTransfers, rec.lineTransfers);
+    EXPECT_DOUBLE_EQ(back.wallSeconds, rec.wallSeconds);
+    EXPECT_EQ(back.workUnits, rec.workUnits);
+    EXPECT_DOUBLE_EQ(back.waitPct, rec.waitPct);
+    EXPECT_EQ(back.verifyMessage, rec.verifyMessage);
+}
+
+TEST(ResultRecord, JsonLineEscapesHostileStrings)
+{
+    ResultRecord rec = sampleRecord("00112233445566ab");
+    rec.status = RunStatus::Crash;
+    rec.verified = false;
+    rec.statusDetail = "child \"died\"\n\tbadly \\ here";
+    const std::string line = toJsonLine(rec);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    ResultRecord back;
+    ASSERT_TRUE(parseJsonLine(line, back));
+    EXPECT_EQ(back.statusDetail, rec.statusDetail);
+    EXPECT_EQ(back.status, RunStatus::Crash);
+}
+
+TEST(ResultRecord, NoProfileOmitsWaitPct)
+{
+    ResultRecord rec = sampleRecord("00112233445566ac");
+    rec.waitPct = -1.0;
+    const std::string line = toJsonLine(rec);
+    EXPECT_EQ(line.find("waitPct"), std::string::npos);
+    ResultRecord back;
+    ASSERT_TRUE(parseJsonLine(line, back));
+    EXPECT_LT(back.waitPct, 0.0);
+}
+
+TEST(ResultRecord, ParserRejectsMalformedLines)
+{
+    ResultRecord rec;
+    EXPECT_FALSE(parseJsonLine("", rec));
+    EXPECT_FALSE(parseJsonLine("not json", rec));
+    EXPECT_FALSE(parseJsonLine("{\"schema\":\"wrong-schema\"}", rec));
+    // Truncated mid-record (the kill-during-write shape).
+    const std::string full = toJsonLine(sampleRecord("aa"));
+    EXPECT_FALSE(
+        parseJsonLine(full.substr(0, full.size() / 2), rec));
+}
+
+TEST(ResultStore, AppendThenLoadRoundTrips)
+{
+    const std::string path = tempPath("roundtrip");
+    {
+        ResultStore store(path);
+        store.append(sampleRecord("job-a"));
+        ResultRecord b = sampleRecord("job-b");
+        b.status = RunStatus::Deadlock;
+        b.verified = false;
+        store.append(b);
+        EXPECT_EQ(store.size(), 2u);
+    }
+    ResultStore store(path);
+    EXPECT_EQ(store.load(), 2u);
+    ASSERT_NE(store.find("job-a"), nullptr);
+    ASSERT_NE(store.find("job-b"), nullptr);
+    EXPECT_EQ(store.find("job-b")->status, RunStatus::Deadlock);
+    EXPECT_EQ(store.find("missing"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, LastRecordWinsOnDuplicateIds)
+{
+    const std::string path = tempPath("dupes");
+    {
+        ResultStore store(path);
+        ResultRecord first = sampleRecord("job-a");
+        first.status = RunStatus::Timeout;
+        first.verified = false;
+        store.append(first);
+        store.append(sampleRecord("job-a")); // terminal Ok rerun
+    }
+    ResultStore store(path);
+    EXPECT_EQ(store.load(), 2u);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.find("job-a")->status, RunStatus::Ok);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, TruncatedFinalLineIsDroppedAndTrimmed)
+{
+    const std::string path = tempPath("truncated");
+    {
+        ResultStore store(path);
+        store.append(sampleRecord("job-a"));
+        store.append(sampleRecord("job-b"));
+    }
+    // Simulate a campaign killed mid-write: append half a record.
+    const std::string half =
+        toJsonLine(sampleRecord("job-c")).substr(0, 40);
+    {
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::app);
+        out << half; // no newline
+    }
+    const std::string before = readAll(path);
+    ASSERT_NE(before.find(half), std::string::npos);
+
+    ResultStore store(path);
+    EXPECT_EQ(store.load(), 2u); // the partial tail is not a record
+    EXPECT_EQ(store.find("job-c"), nullptr);
+
+    // The file was trimmed back to the last complete record, so a
+    // subsequent append produces a well-formed store.
+    store.append(sampleRecord("job-c"));
+    ResultStore reread(path);
+    EXPECT_EQ(reread.load(), 3u);
+    EXPECT_NE(reread.find("job-c"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, MalformedInteriorLineIsSkipped)
+{
+    const std::string path = tempPath("interior");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << toJsonLine(sampleRecord("job-a")) << "\n";
+        out << "{{{ corrupted line }}}\n";
+        out << toJsonLine(sampleRecord("job-b")) << "\n";
+    }
+    ResultStore store(path);
+    EXPECT_EQ(store.load(), 2u);
+    EXPECT_NE(store.find("job-a"), nullptr);
+    EXPECT_NE(store.find("job-b"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, MissingFileLoadsEmpty)
+{
+    ResultStore store(tempPath("missing"));
+    EXPECT_EQ(store.load(), 0u);
+    EXPECT_EQ(store.size(), 0u);
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Run-plan tests: content-derived job identity (what it covers, what
+ * it deliberately excludes), the seed-derivation policy (inputs keyed
+ * by workload identity, chaos keyed by full job identity), add()
+ * idempotence, and the standard suite-plan builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/run_plan.h"
+#include "planted_benchmarks.h"
+
+namespace splash {
+namespace {
+
+using planted::simConfig;
+
+TEST(JobId, StableForIdenticalContent)
+{
+    EXPECT_EQ(computeJobId("fft", simConfig(), 0),
+              computeJobId("fft", simConfig(), 0));
+    EXPECT_EQ(computeJobId("fft", simConfig(), 0).size(), 16u);
+}
+
+TEST(JobId, CoversResultDeterminingConfig)
+{
+    const RunConfig base = simConfig();
+    const std::string id = computeJobId("fft", base, 0);
+
+    EXPECT_NE(computeJobId("lu", base, 0), id);
+    EXPECT_NE(computeJobId("fft", base, 1), id);
+
+    RunConfig c = base;
+    c.threads = 8;
+    EXPECT_NE(computeJobId("fft", c, 0), id);
+    c = base;
+    c.suite = SuiteVersion::Splash3;
+    EXPECT_NE(computeJobId("fft", c, 0), id);
+    c = base;
+    c.engine = EngineKind::Native;
+    EXPECT_NE(computeJobId("fft", c, 0), id);
+    c = base;
+    c.profile = "epyc64";
+    EXPECT_NE(computeJobId("fft", c, 0), id);
+    c = base;
+    c.syncProfile = true;
+    EXPECT_NE(computeJobId("fft", c, 0), id);
+    c = base;
+    c.chaos.enabled = true;
+    EXPECT_NE(computeJobId("fft", c, 0), id);
+    c = base;
+    c.params.set("keys", static_cast<std::int64_t>(4096));
+    EXPECT_NE(computeJobId("fft", c, 0), id);
+    c = base;
+    c.params.set("seed", static_cast<std::int64_t>(99));
+    EXPECT_NE(computeJobId("fft", c, 0), id);
+}
+
+TEST(JobId, ExcludesExecutionPolicy)
+{
+    // Watchdog budgets, placement, and isolation cannot change a
+    // run's results, so a resumed campaign may change them without
+    // invalidating its store.
+    const RunConfig base = simConfig();
+    const std::string id = computeJobId("fft", base, 0);
+
+    RunConfig c = base;
+    c.watchdog.enabled = !c.watchdog.enabled;
+    c.watchdog.maxWallSeconds = 123;
+    EXPECT_EQ(computeJobId("fft", c, 0), id);
+    c = base;
+    c.cpuAffinity = {0, 1, 2, 3};
+    EXPECT_EQ(computeJobId("fft", c, 0), id);
+}
+
+TEST(JobId, MachineProfileOnlyMattersUnderSim)
+{
+    RunConfig native = simConfig();
+    native.engine = EngineKind::Native;
+    RunConfig other = native;
+    other.profile = "epyc64";
+    // The sim machine profile is dead config for a native run.
+    EXPECT_EQ(computeJobId("fft", native, 0),
+              computeJobId("fft", other, 0));
+}
+
+TEST(RunPlan, AddIsIdempotentByContent)
+{
+    RunPlan plan;
+    const std::size_t a = plan.add("zz-ok", simConfig(), 0);
+    const std::size_t b = plan.add("zz-ok", simConfig(), 0);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(plan.size(), 1u);
+    const std::size_t c = plan.add("zz-ok", simConfig(), 1);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(plan.size(), 2u);
+}
+
+TEST(RunPlan, InputSeedIsKeyedByWorkloadIdentityOnly)
+{
+    // The papers compare the same algorithm over the same data across
+    // suites/engines/threads, so the derived input seed must not vary
+    // with any of those...
+    RunPlan plan;
+    RunConfig s4 = simConfig();
+    s4.params.set("seed", static_cast<std::int64_t>(7));
+    RunConfig s3 = s4;
+    s3.suite = SuiteVersion::Splash3;
+    RunConfig native = s4;
+    native.engine = EngineKind::Native;
+    RunConfig wide = s4;
+    wide.threads = 64;
+
+    const auto seedOf = [&](std::size_t index) {
+        return plan.job(index).config.params.getInt("seed", -1);
+    };
+    const std::size_t a = plan.add("zz-work", s4, 0);
+    const std::size_t b = plan.add("zz-work", s3, 0);
+    const std::size_t c = plan.add("zz-work", native, 0);
+    const std::size_t d = plan.add("zz-work", wide, 0);
+    EXPECT_EQ(seedOf(a), seedOf(b));
+    EXPECT_EQ(seedOf(a), seedOf(c));
+    EXPECT_EQ(seedOf(a), seedOf(d));
+    // ...but must vary with the workload identity (benchmark, rep)
+    // and with the user's base seed.
+    const std::size_t rep1 = plan.add("zz-work", s4, 1);
+    EXPECT_NE(seedOf(a), seedOf(rep1));
+    const std::size_t other = plan.add("zz-ok", s4, 0);
+    EXPECT_NE(seedOf(a), seedOf(other));
+    RunConfig otherBase = s4;
+    otherBase.params.set("seed", static_cast<std::int64_t>(8));
+    const std::size_t reseeded = plan.add("zz-work", otherBase, 0);
+    EXPECT_NE(seedOf(a), seedOf(reseeded));
+}
+
+TEST(RunPlan, ChaosSeedIsKeyedByFullJobIdentity)
+{
+    RunPlan plan;
+    RunConfig config = simConfig();
+    config.chaos = chaosPreset(1, 42);
+    const std::size_t a = plan.add("zz-work", config, 0);
+    RunConfig wide = config;
+    wide.threads = 64;
+    const std::size_t b = plan.add("zz-work", wide, 0);
+    // Derived chaos seeds are per-job unique...
+    EXPECT_NE(plan.job(a).config.chaos.seed,
+              plan.job(b).config.chaos.seed);
+    // ...and deterministic: an identical plan derives them again.
+    RunPlan again;
+    const std::size_t a2 = again.add("zz-work", config, 0);
+    EXPECT_EQ(plan.job(a).config.chaos.seed,
+              again.job(a2).config.chaos.seed);
+}
+
+TEST(RunPlan, DerivedSeedsDoNotChangeTheJobId)
+{
+    // Ids hash the base config; the derivation must not feed back
+    // into the identity (or resume could never find its records).
+    RunPlan plan;
+    RunConfig config = simConfig();
+    config.params.set("seed", static_cast<std::int64_t>(7));
+    const std::size_t index = plan.add("zz-work", config, 0);
+    EXPECT_EQ(plan.job(index).jobId, computeJobId("zz-work", config, 0));
+    EXPECT_NE(plan.job(index).config.params.getInt("seed", -1),
+              config.params.getInt("seed", -1));
+}
+
+TEST(RunPlan, BuildSuitePlanOrdersNameMajorRepMinor)
+{
+    const RunPlan plan =
+        buildSuitePlan({"zz-a", "zz-b"}, simConfig(), 2);
+    ASSERT_EQ(plan.size(), 4u);
+    EXPECT_EQ(plan.job(0).benchmark, "zz-a");
+    EXPECT_EQ(plan.job(0).repetition, 0);
+    EXPECT_EQ(plan.job(1).benchmark, "zz-a");
+    EXPECT_EQ(plan.job(1).repetition, 1);
+    EXPECT_EQ(plan.job(2).benchmark, "zz-b");
+    EXPECT_EQ(plan.job(3).repetition, 1);
+    // All four ids are distinct.
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        for (std::size_t j = i + 1; j < plan.size(); ++j)
+            EXPECT_NE(plan.job(i).jobId, plan.job(j).jobId);
+}
+
+TEST(DeriveSeed, MixesBaseAndKey)
+{
+    EXPECT_EQ(deriveSeed(1, "a"), deriveSeed(1, "a"));
+    EXPECT_NE(deriveSeed(1, "a"), deriveSeed(2, "a"));
+    EXPECT_NE(deriveSeed(1, "a"), deriveSeed(1, "b"));
+    EXPECT_NE(deriveSeed(0, "input/fft/0"), 0u);
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Scheduler tests: core-set placement (disjointness, packed vs
+ * spread shape, oversubscription queuing, wider-than-machine
+ * degradation), plan execution semantics carried over from the old
+ * suite runner (failure rows don't stop the plan, exit codes), the
+ * resume path (terminal records are skipped, unfinished jobs re-run,
+ * results bit-identical), and parallel/serial equivalence under the
+ * deterministic sim engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "harness/scheduler.h"
+#include "planted_benchmarks.h"
+
+namespace splash {
+namespace {
+
+using planted::ensurePlantedRegistered;
+using planted::simConfig;
+
+TEST(Placement, ParseAndName)
+{
+    EXPECT_EQ(parsePlacement("none"), Placement::None);
+    EXPECT_EQ(parsePlacement("packed"), Placement::Packed);
+    EXPECT_EQ(parsePlacement("spread"), Placement::Spread);
+    EXPECT_STREQ(toString(Placement::Spread), "spread");
+}
+
+TEST(CoreAllocator, PackedSetsAreDisjointAndContiguous)
+{
+    CoreAllocator alloc(16, Placement::Packed);
+    std::vector<int> a, b;
+    ASSERT_TRUE(alloc.tryAcquire(4, a));
+    ASSERT_TRUE(alloc.tryAcquire(4, b));
+    EXPECT_EQ(a, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(b, (std::vector<int>{4, 5, 6, 7}));
+    std::set<int> all(a.begin(), a.end());
+    all.insert(b.begin(), b.end());
+    EXPECT_EQ(all.size(), 8u);
+    EXPECT_EQ(alloc.freeCores(), 8);
+}
+
+TEST(CoreAllocator, SpreadSetsAreDisjointAndFarApart)
+{
+    CoreAllocator alloc(16, Placement::Spread);
+    std::vector<int> a, b;
+    ASSERT_TRUE(alloc.tryAcquire(4, a));
+    // 4 threads over 16 free cores: stride 4.
+    EXPECT_EQ(a, (std::vector<int>{0, 4, 8, 12}));
+    ASSERT_TRUE(alloc.tryAcquire(4, b));
+    std::set<int> overlap;
+    std::set<int> aset(a.begin(), a.end());
+    for (const int core : b)
+        if (aset.count(core))
+            overlap.insert(core);
+    EXPECT_TRUE(overlap.empty());
+}
+
+TEST(CoreAllocator, OversubscriptionQueuesUntilRelease)
+{
+    CoreAllocator alloc(8, Placement::Packed);
+    std::vector<int> a, b, c;
+    ASSERT_TRUE(alloc.tryAcquire(6, a));
+    // 6 of 8 cores busy: a 4-wide job must wait, not share.
+    EXPECT_FALSE(alloc.tryAcquire(4, b));
+    EXPECT_TRUE(b.empty());
+    alloc.release(a);
+    EXPECT_TRUE(alloc.tryAcquire(4, c));
+    EXPECT_EQ(alloc.freeCores(), 4);
+}
+
+TEST(CoreAllocator, WiderThanMachineDegradesToUnpinned)
+{
+    CoreAllocator alloc(4, Placement::Packed);
+    std::vector<int> cores;
+    // Never satisfiable: waiting would deadlock, so it runs unpinned.
+    EXPECT_TRUE(alloc.tryAcquire(16, cores));
+    EXPECT_TRUE(cores.empty());
+    EXPECT_EQ(alloc.freeCores(), 4);
+}
+
+TEST(CoreAllocator, PlacementNoneNeverPins)
+{
+    CoreAllocator alloc(8, Placement::None);
+    std::vector<int> cores;
+    EXPECT_TRUE(alloc.tryAcquire(4, cores));
+    EXPECT_TRUE(cores.empty());
+    EXPECT_EQ(alloc.freeCores(), 8);
+}
+
+TEST(Scheduler, FailureRowsDoNotStopThePlan)
+{
+    ensurePlantedRegistered();
+    RunPlan plan;
+    plan.add("zz-deadlock", simConfig());
+    plan.add("zz-ok", simConfig());
+    SchedulerOptions options;
+    options.isolate.maxAttempts = 1;
+    const auto outcomes = runPlan(plan, options);
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(outcomes[0].result.status, RunStatus::Deadlock);
+    EXPECT_FALSE(outcomes[0].result.verified);
+    EXPECT_EQ(outcomes[1].result.status, RunStatus::Ok);
+    EXPECT_TRUE(outcomes[1].result.verified);
+    EXPECT_EQ(planExitCode(outcomes), 1);
+}
+
+TEST(Scheduler, VerifyFailureFailsThePlanAfterRetry)
+{
+    ensurePlantedRegistered();
+    RunPlan plan;
+    plan.add("zz-verifyfail", simConfig());
+    SchedulerOptions options; // default: one seeded retry
+    const auto outcomes = runPlan(plan, options);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].result.status, RunStatus::VerifyFailed);
+    EXPECT_EQ(outcomes[0].result.attempts, 2);
+    EXPECT_EQ(planExitCode(outcomes), 1);
+}
+
+TEST(Scheduler, AllOkPlanExitsZero)
+{
+    ensurePlantedRegistered();
+    RunPlan plan;
+    plan.add("zz-ok", simConfig());
+    const auto outcomes = runPlan(plan, SchedulerOptions{});
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].result.ok());
+    EXPECT_EQ(outcomes[0].result.attempts, 1);
+    EXPECT_EQ(planExitCode(outcomes), 0);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+std::string
+tempStorePath(const char* tag)
+{
+    std::string path = ::testing::TempDir();
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    path += "splash4-" + std::string(tag) + "-" +
+            std::to_string(::getpid()) + ".jsonl";
+    std::remove(path.c_str());
+    return path;
+}
+
+TEST(Scheduler, ParallelMatchesSerialBitForBit)
+{
+    ensurePlantedRegistered();
+    RunPlan plan;
+    RunConfig config = simConfig();
+    for (int units : {10, 20, 30, 40, 50, 60}) {
+        config.params.set("units", static_cast<std::int64_t>(units));
+        plan.add("zz-work", config);
+    }
+    SchedulerOptions serial;
+    SchedulerOptions parallel;
+    parallel.jobs = 4; // auto-enables fork isolation
+    const auto a = runPlan(plan, serial);
+    const auto b = runPlan(plan, parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].job.jobId, b[i].job.jobId);
+        EXPECT_EQ(a[i].result.simCycles, b[i].result.simCycles) << i;
+        EXPECT_EQ(a[i].result.totals.workUnits,
+                  b[i].result.totals.workUnits)
+            << i;
+        EXPECT_EQ(a[i].result.status, b[i].result.status) << i;
+    }
+}
+
+TEST(Scheduler, ResumeSkipsCompletedJobsBitIdentically)
+{
+    ensurePlantedRegistered();
+    RunPlan plan;
+    RunConfig config = simConfig();
+    for (int units : {11, 22, 33, 44}) {
+        config.params.set("units", static_cast<std::int64_t>(units));
+        plan.add("zz-work", config);
+    }
+
+    // Uninterrupted baseline, persisted to a store.
+    const std::string fullPath = tempStorePath("resume-full");
+    ResultStore full(fullPath);
+    const auto baseline = runPlan(plan, SchedulerOptions{}, &full);
+
+    // Simulate a killed campaign: a store holding only the first two
+    // terminal records.
+    const std::string partialPath = tempStorePath("resume-partial");
+    {
+        ResultStore partial(partialPath);
+        partial.append(
+            makeResultRecord(baseline[0].job, baseline[0].result));
+        partial.append(
+            makeResultRecord(baseline[1].job, baseline[1].result));
+    }
+
+    ResultStore resumed(partialPath);
+    ASSERT_EQ(resumed.load(), 2u);
+    const auto outcomes =
+        runPlan(plan, SchedulerOptions{}, &resumed);
+    ASSERT_EQ(outcomes.size(), 4u);
+    EXPECT_TRUE(outcomes[0].resumed);
+    EXPECT_TRUE(outcomes[1].resumed);
+    EXPECT_FALSE(outcomes[2].resumed);
+    EXPECT_FALSE(outcomes[3].resumed);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        EXPECT_EQ(outcomes[i].result.simCycles,
+                  baseline[i].result.simCycles)
+            << i;
+        EXPECT_EQ(outcomes[i].result.totals.workUnits,
+                  baseline[i].result.totals.workUnits)
+            << i;
+        EXPECT_EQ(outcomes[i].result.status, baseline[i].result.status)
+            << i;
+    }
+    // The re-run jobs were appended, so the store is now complete and
+    // a second resume re-runs nothing.
+    ASSERT_EQ(resumed.size(), 4u);
+    const auto third = runPlan(plan, SchedulerOptions{}, &resumed);
+    for (const auto& outcome : third)
+        EXPECT_TRUE(outcome.resumed);
+    std::remove(fullPath.c_str());
+    std::remove(partialPath.c_str());
+}
+
+TEST(Scheduler, PlacementRunsPinnedJobsToCompletion)
+{
+    // On this CI host there may be a single core; placement must
+    // degrade gracefully (warn + unpinned) rather than fail, and with
+    // injected plentiful cores the plan must still complete with
+    // correct results.
+    ensurePlantedRegistered();
+    RunPlan plan;
+    RunConfig config = simConfig();
+    config.threads = 2;
+    for (int units : {10, 20, 30}) {
+        config.params.set("units", static_cast<std::int64_t>(units));
+        plan.add("zz-work", config);
+    }
+    SchedulerOptions options;
+    options.jobs = 2;
+    options.placement = Placement::Packed;
+    options.totalCores = 64; // simulate a big box
+    const auto outcomes = runPlan(plan, options);
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (const auto& outcome : outcomes) {
+        EXPECT_TRUE(outcome.result.ok());
+        // Each dispatched job got a core set sized to its threads.
+        EXPECT_EQ(outcome.job.config.cpuAffinity.size(), 2u);
+    }
+}
+
+#endif // fork isolation
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared wire codec: escape/unescape round trips and the JSON string
+ * escaper.  This codec frames both the executor's fork pipe and the
+ * Sync-Scope ';'-delimited profile records, so a regression here
+ * corrupts two layers at once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/wire.h"
+
+namespace splash {
+namespace {
+
+TEST(Wire, EscapeMapsTheFramingCharacters)
+{
+    EXPECT_EQ(wire::escape("plain"), "plain");
+    EXPECT_EQ(wire::escape("a\nb"), "a\\nb");
+    EXPECT_EQ(wire::escape("a;b"), "a\\sb");
+    EXPECT_EQ(wire::escape("a\\b"), "a\\\\b");
+}
+
+TEST(Wire, RoundTripsHostileStrings)
+{
+    const std::string hostile[] = {
+        "",
+        "plain",
+        "line1\nline2\n",
+        ";;;",
+        "\\n is not a newline",
+        "mix;of\\everything\nat;once\\",
+        std::string("embedded\0nul", 12),
+    };
+    for (const std::string& s : hostile)
+        EXPECT_EQ(wire::unescape(wire::escape(s)), s) << s;
+}
+
+TEST(Wire, UnescapeDegradesUnknownEscapes)
+{
+    // Forward compatibility: an unknown escape decodes to the escaped
+    // character instead of corrupting the stream.
+    EXPECT_EQ(wire::unescape("a\\qb"), "aqb");
+    // A trailing lone backslash stays literal, not read out of bounds.
+    EXPECT_EQ(wire::unescape("abc\\"), "abc\\");
+}
+
+TEST(Wire, EscapedTextContainsNoFramingCharacters)
+{
+    const std::string escaped =
+        wire::escape("key=value;next\nrow");
+    EXPECT_EQ(escaped.find('\n'), std::string::npos);
+    EXPECT_EQ(escaped.find(';'), std::string::npos);
+}
+
+TEST(Wire, JsonEscapeHandlesQuotesAndControls)
+{
+    EXPECT_EQ(wire::jsonEscape("plain"), "plain");
+    EXPECT_EQ(wire::jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(wire::jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(wire::jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(wire::jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(wire::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validate result stores against the splash4-results-v1 schema.
+
+Usage: check_results_schema.py FILE [FILE...]
+
+FILEs are JSONL result stores written by the harness's --results flag
+(one record per completed job; see docs/SUITE.md).  Standard library
+only; exits nonzero with one line per violation.  A truncated final
+line is reported as a warning, not an error, because it is the
+expected shape of a store whose campaign was killed mid-write — the
+harness itself drops and trims it on --resume.
+"""
+
+import json
+import sys
+
+STATUSES = {"ok", "verify-fail", "deadlock", "livelock", "timeout",
+            "crash"}
+COUNTERS = [
+    "simCycles", "lineTransfers", "barrierCrossings", "lockAcquires",
+    "ticketOps", "sumOps", "stackOps", "flagOps", "workUnits",
+]
+
+
+def fail(errors, path, message):
+    errors.append("%s: %s" % (path, message))
+
+
+def require(errors, path, obj, key, types):
+    if key not in obj:
+        fail(errors, path, "missing key '%s'" % key)
+        return None
+    value = obj[key]
+    allowed = types if isinstance(types, tuple) else (types,)
+    # bool is an int subclass in Python; don't let true/false pass as
+    # a number unless bool is what the field actually wants.
+    bad = not isinstance(value, allowed) or (
+        isinstance(value, bool) and bool not in allowed)
+    if bad:
+        fail(errors, path,
+             "key '%s' has type %s" % (key, type(value).__name__))
+        return None
+    return value
+
+
+def check_counter(errors, path, obj, key):
+    value = require(errors, path, obj, key, int)
+    if value is not None and value < 0:
+        fail(errors, path, "key '%s' is negative" % key)
+    return value or 0
+
+
+def check_record(errors, path, doc):
+    schema = doc.get("schema")
+    if schema != "splash4-results-v1":
+        fail(errors, path, "unknown schema '%s'" % schema)
+        return None
+    job_id = require(errors, path, doc, "jobId", str)
+    if job_id is not None and (
+            len(job_id) != 16
+            or any(c not in "0123456789abcdef" for c in job_id)):
+        fail(errors, path, "jobId '%s' is not 16 lowercase hex digits"
+             % job_id)
+    require(errors, path, doc, "benchmark", str)
+    suite = require(errors, path, doc, "suite", str)
+    if suite is not None and suite not in {"splash3", "splash4"}:
+        fail(errors, path, "unknown suite '%s'" % suite)
+    engine = require(errors, path, doc, "engine", str)
+    if engine is not None and engine not in {"sim", "native"}:
+        fail(errors, path, "unknown engine '%s'" % engine)
+    threads = require(errors, path, doc, "threads", int)
+    if threads is not None and threads < 1:
+        fail(errors, path, "threads < 1")
+    repetition = require(errors, path, doc, "repetition", int)
+    if repetition is not None and repetition < 0:
+        fail(errors, path, "repetition < 0")
+    require(errors, path, doc, "seed", int)
+    status = require(errors, path, doc, "status", str)
+    if status is not None and status not in STATUSES:
+        fail(errors, path, "unknown status '%s'" % status)
+    verified = require(errors, path, doc, "verified", bool)
+    if verified and status not in (None, "ok"):
+        fail(errors, path, "verified record with status '%s'" % status)
+    attempts = require(errors, path, doc, "attempts", int)
+    if attempts is not None and attempts < 1:
+        fail(errors, path, "attempts < 1")
+    for key in COUNTERS:
+        check_counter(errors, path, doc, key)
+    wall = require(errors, path, doc, "wallSeconds", (int, float))
+    if wall is not None and wall < 0:
+        fail(errors, path, "wallSeconds is negative")
+    if "waitPct" in doc:
+        pct = require(errors, path, doc, "waitPct", (int, float))
+        if pct is not None and not 0.0 <= pct <= 100.0:
+            fail(errors, path, "waitPct outside [0, 100]")
+    require(errors, path, doc, "verifyMessage", str)
+    require(errors, path, doc, "statusDetail", str)
+    return job_id
+
+
+def check_store(errors, path, text):
+    records = 0
+    lines = text.split("\n")
+    truncated_tail = lines and lines[-1].strip() != ""
+    if truncated_tail:
+        sys.stderr.write(
+            "%s: warning: truncated final line (killed campaign?); "
+            "--resume will trim it\n" % path)
+        lines = lines[:-1]
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        where = "%s:%d" % (path, number)
+        try:
+            doc = json.loads(line)
+        except ValueError as exc:
+            fail(errors, where, "invalid JSON: %s" % exc)
+            continue
+        if not isinstance(doc, dict):
+            fail(errors, where, "record is not a JSON object")
+            continue
+        check_record(errors, where, doc)
+        records += 1
+    if records == 0 and not truncated_tail:
+        fail(errors, path, "store holds no records")
+    return records
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    errors = []
+    total = 0
+    for path in argv[1:]:
+        try:
+            with open(path, "r") as handle:
+                text = handle.read()
+        except OSError as exc:
+            fail(errors, path, "cannot read: %s" % exc)
+            continue
+        total += check_store(errors, path, text)
+    for line in errors:
+        sys.stderr.write(line + "\n")
+    if errors:
+        return 1
+    print("ok: %d result record(s) conform to splash4-results-v1"
+          % total)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
