@@ -570,7 +570,7 @@ pinCurrentThread(int core)
     CPU_SET(static_cast<unsigned>(core), &set);
     if (sched_setaffinity(0, sizeof set, &set) != 0) {
         static std::atomic<bool> warned{false};
-        if (!warned.exchange(true)) {
+        if (!warned.exchange(true, std::memory_order_relaxed)) {
             warn("placement: cannot pin to core " +
                  std::to_string(core) + "; running unpinned");
         }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sync/scope_hook.h"
 #include "util/log.h"
 
 namespace splash {
@@ -35,6 +36,7 @@ SenseBarrier::SenseBarrier(int participants)
 void
 SenseBarrier::arriveAndWait()
 {
+    sync_scope::noteAttempt();
     const std::uint64_t my_gen = generation_.load(
         std::memory_order_acquire);
     if (count_.fetch_add(1, std::memory_order_acq_rel) + 1
@@ -103,6 +105,7 @@ TreeBarrier::arriveAt(int node_idx, std::uint64_t gen)
 void
 TreeBarrier::arriveAndWait(int tid)
 {
+    sync_scope::noteAttempt();
     panicIf(tid < 0 || tid >= participants_, "tree barrier: bad tid");
     const std::uint64_t my_gen = globalGen_.load(
         std::memory_order_acquire);

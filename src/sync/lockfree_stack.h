@@ -106,6 +106,9 @@ class LockFreeStack
   private:
     static constexpr std::uint32_t kNil = 0xffffffffu;
 
+    // synclint: allow(R5) pool nodes are deliberately dense -- padding
+    // 64k-node pools to a line apiece costs megabytes, and the hot
+    // contention point is the tagged heads above, not node interiors.
     struct Node
     {
         // Relaxed atomics: the tagged head CASes provide all ordering;
@@ -179,8 +182,11 @@ class LockFreeStack
     }
 
     std::vector<Node> nodes_;
-    std::atomic<std::uint64_t> freeHead_;
-    std::atomic<std::uint64_t> head_;
+    // The free-list and live-list heads are contended by different
+    // operations (push pops the free list, pop pushes onto it);
+    // separate lines keep one hot CAS from invalidating the other.
+    alignas(64) std::atomic<std::uint64_t> freeHead_;
+    alignas(64) std::atomic<std::uint64_t> head_;
 };
 
 } // namespace splash

@@ -9,8 +9,10 @@ namespace {
 /** Per-thread pool of MCS queue nodes, shared by all McsLock instances. */
 struct McsNode
 {
-    std::atomic<McsNode*> next{nullptr};
-    std::atomic<bool> owned{false};
+    // The predecessor writes next while the owner spins on owned;
+    // keep the two hot words on separate cache lines.
+    alignas(64) std::atomic<McsNode*> next{nullptr};
+    alignas(64) std::atomic<bool> owned{false};
     const void* heldLock = nullptr;
 };
 
@@ -41,6 +43,7 @@ findHeldNode(const void* lock)
 void
 McsLock::lock()
 {
+    sync_scope::noteAttempt();
     McsNode* me = claimFreeNode();
     me->heldLock = this;
     me->next.store(nullptr, std::memory_order_relaxed);
@@ -59,6 +62,7 @@ McsLock::lock()
 void
 McsLock::unlock()
 {
+    sync_scope::noteAttempt();
     McsNode* me = findHeldNode(this);
     panicIf(me == nullptr, "McsLock: unlock without lock");
 
@@ -66,7 +70,8 @@ McsLock::unlock()
     if (successor == nullptr) {
         void* expected = me;
         if (tail_.compare_exchange_strong(expected, nullptr,
-                                          std::memory_order_acq_rel)) {
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
             me->heldLock = nullptr;
             return;
         }

@@ -69,8 +69,12 @@ class TasLock
         }
     }
 
-    bool tryLock() { return !flag_.exchange(true,
-                                            std::memory_order_acquire); }
+    bool
+    tryLock()
+    {
+        sync_scope::noteAttempt();
+        return !flag_.exchange(true, std::memory_order_acquire);
+    }
 
     void unlock() { flag_.store(false, std::memory_order_release); }
 
@@ -98,8 +102,12 @@ class TtasLock
         }
     }
 
-    bool tryLock() { return !flag_.exchange(true,
-                                            std::memory_order_acquire); }
+    bool
+    tryLock()
+    {
+        sync_scope::noteAttempt();
+        return !flag_.exchange(true, std::memory_order_acquire);
+    }
 
     void unlock() { flag_.store(false, std::memory_order_release); }
 
@@ -114,6 +122,7 @@ class TicketLock
     void
     lock()
     {
+        sync_scope::noteAttempt();
         const std::uint32_t my = next_.fetch_add(
             1, std::memory_order_relaxed);
         SpinWait waiter;
@@ -124,10 +133,12 @@ class TicketLock
     bool
     tryLock()
     {
+        sync_scope::noteAttempt();
         std::uint32_t cur = serving_.load(std::memory_order_acquire);
         std::uint32_t expected = cur;
-        return next_.compare_exchange_strong(expected, cur + 1,
-                                             std::memory_order_acquire);
+        return next_.compare_exchange_strong(
+            expected, cur + 1, std::memory_order_acquire,
+            std::memory_order_relaxed);
     }
 
     void
@@ -138,8 +149,10 @@ class TicketLock
     }
 
   private:
-    std::atomic<std::uint32_t> next_{0};
-    std::atomic<std::uint32_t> serving_{0};
+    // Entry and grant words on separate cache lines: entrants
+    // hammering next_ must not steal the line waiters spin on.
+    alignas(64) std::atomic<std::uint32_t> next_{0};
+    alignas(64) std::atomic<std::uint32_t> serving_{0};
 };
 
 /**

@@ -15,6 +15,8 @@
 #include <mutex>
 #include <vector>
 
+#include "sync/scope_hook.h"
+
 namespace splash {
 
 /** Mutex-guarded LIFO of uint32 task ids (Splash-3 flavor). */
@@ -90,6 +92,7 @@ class AtomicTicket
     std::uint64_t
     next(std::uint64_t step = 1)
     {
+        sync_scope::noteAttempt();
         return value_.fetch_add(step, std::memory_order_acq_rel);
     }
 

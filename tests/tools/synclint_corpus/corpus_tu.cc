@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Translation unit tying the Sync-Lint corpus together.  It exists so
+ * the corpus has a compile_commands.json entry (the tool requires
+ * one) and so `g++ -fsyntax-only` can prove every fixture is real,
+ * compilable C++ -- planted contract violations, not syntax errors.
+ */
+
+#include "r1_orders.h"
+#include "r2_cas.h"
+#include "r5_padding.h"
+#include "r6_slots.h"
+#include "support.h"
+#include "sync/r3_chaos.h"
+#include "sync/r4_scope.h"
+
+int
+main()
+{
+    corpus::CleanLock lock;
+    lock.lock();
+    lock.unlock();
+
+    corpus::ImplicitOrderCounter r1;
+    r1.bump();
+
+    corpus::CasOrderFixture r2;
+    (void)r2.validPair();
+
+    corpus::ChaosBlindCounter r3;
+    r3.add(1);
+
+    corpus::ScopeBlindLatch r4;
+    r4.countedArrive();
+
+    corpus::SharedLineCounters r5{};
+    r5.produced.store(1, std::memory_order_relaxed);
+
+    corpus::FastSlot r6{};
+
+    return static_cast<int>(r1.read() + r3.read() +
+                            r4.arrivals() +
+                            r5.produced.load(
+                                std::memory_order_relaxed) +
+                            static_cast<int>(r6.kind));
+}

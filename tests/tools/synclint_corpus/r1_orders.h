@@ -1,0 +1,60 @@
+/**
+ * @file
+ * R1 fixtures: atomic operations without an explicit memory_order.
+ * Lines tagged PLANT(R1) must each produce exactly one R1 finding.
+ */
+
+#ifndef SYNCLINT_CORPUS_R1_ORDERS_H
+#define SYNCLINT_CORPUS_R1_ORDERS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace corpus {
+
+class ImplicitOrderCounter
+{
+  public:
+    std::uint64_t
+    read() const
+    {
+        return hits_.load(); // PLANT(R1) implicit seq_cst load
+    }
+
+    void
+    write(std::uint64_t v)
+    {
+        hits_.store(v); // PLANT(R1) implicit seq_cst store
+    }
+
+    void
+    bump()
+    {
+        hits_.fetch_add(1); // PLANT(R1) implicit seq_cst fetch_add
+    }
+
+    void
+    bumpOperator()
+    {
+        ++hits_; // PLANT(R1) operator-form access, implicit seq_cst
+    }
+
+    void
+    assignOperator()
+    {
+        hits_ = 0; // PLANT(R1) operator-form store, implicit seq_cst
+    }
+
+    std::uint64_t
+    readExplicit() const
+    {
+        return hits_.load(std::memory_order_acquire); // clean
+    }
+
+  private:
+    std::atomic<std::uint64_t> hits_{0};
+};
+
+} // namespace corpus
+
+#endif // SYNCLINT_CORPUS_R1_ORDERS_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * R2 fixtures: CAS order-pair validity and release/acquire pairing.
+ * Lines tagged PLANT(R2) must each produce exactly one R2 finding.
+ */
+
+#ifndef SYNCLINT_CORPUS_R2_CAS_H
+#define SYNCLINT_CORPUS_R2_CAS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace corpus {
+
+class CasOrderFixture
+{
+  public:
+    bool
+    implicitFailure()
+    {
+        std::uint32_t expected = 0;
+        return word_.compare_exchange_strong( // PLANT(R2) failure order implicit
+            expected, 1,
+            std::memory_order_acquire);
+    }
+
+    bool
+    implicitBoth()
+    {
+        std::uint32_t expected = 0;
+        return word_.compare_exchange_strong(expected, 1); // PLANT(R2) both orders implicit
+    }
+
+    bool
+    invalidFailure()
+    {
+        std::uint32_t expected = 0;
+        return word_.compare_exchange_weak( // PLANT(R2) release invalid as failure order
+            expected, 1, std::memory_order_acq_rel,
+            std::memory_order_release);
+    }
+
+    bool
+    strongerFailure()
+    {
+        std::uint32_t expected = 0;
+        return word_.compare_exchange_weak( // PLANT(R2) failure stronger than success
+            expected, 1, std::memory_order_relaxed,
+            std::memory_order_acquire);
+    }
+
+    bool
+    validPair()
+    {
+        std::uint32_t expected = 0;
+        return word_.compare_exchange_strong(
+            expected, 1, std::memory_order_acq_rel,
+            std::memory_order_acquire); // clean
+    }
+
+  private:
+    std::atomic<std::uint32_t> word_{0};
+};
+
+class UnpairedRelease
+{
+  public:
+    void
+    publish(std::uint64_t v)
+    {
+        seqno_ = v;
+        ready_.store(true, std::memory_order_release); // PLANT(R2) release with no acquire reader
+    }
+
+    // The only read of ready_ is relaxed, so the release above never
+    // synchronizes-with anything.
+    bool
+    peek() const
+    {
+        return ready_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::uint64_t seqno_ = 0;
+    std::atomic<bool> ready_{false};
+};
+
+} // namespace corpus
+
+#endif // SYNCLINT_CORPUS_R2_CAS_H

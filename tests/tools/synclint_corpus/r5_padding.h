@@ -1,0 +1,46 @@
+/**
+ * @file
+ * R5 fixtures: records holding multiple atomics must pad them to
+ * separate cache lines.  The line tagged PLANT(R5) must produce
+ * exactly one R5 finding; the padded and allowlisted records must
+ * not.
+ */
+
+#ifndef SYNCLINT_CORPUS_R5_PADDING_H
+#define SYNCLINT_CORPUS_R5_PADDING_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace corpus {
+
+struct SharedLineCounters // PLANT(R5) two atomics on one cache line
+{
+    std::atomic<std::uint64_t> produced{0};
+    std::atomic<std::uint64_t> consumed{0};
+};
+
+/** Compliant: both hot words padded to their own line. */
+struct PaddedCounters
+{
+    alignas(64) std::atomic<std::uint64_t> enqueued{0};
+    alignas(64) std::atomic<std::uint64_t> dequeued{0};
+};
+
+// synclint: allow(R5) corpus fixture exercising the allowlist pragma
+struct DensePoolNode
+{
+    std::atomic<std::uint32_t> payload{0};
+    std::atomic<std::uint32_t> link{0};
+};
+
+/** Single atomic: no intra-record sharing, out of R5 scope. */
+struct LoneFlag
+{
+    std::atomic<bool> raised{false};
+    std::uint64_t payload = 0;
+};
+
+} // namespace corpus
+
+#endif // SYNCLINT_CORPUS_R5_PADDING_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * R6 fixtures: every handle kind in the SyncObjKind enum must have a
+ * matching group in the FastSlot slot-table union.  The line tagged
+ * PLANT(R6) is the enumerator with no slot-table group.
+ *
+ * These mirror the real pair in src/core/world.h and
+ * src/engine/fast_context.h; the corpus run resolves the names
+ * against this file instead.
+ */
+
+#ifndef SYNCLINT_CORPUS_R6_SLOTS_H
+#define SYNCLINT_CORPUS_R6_SLOTS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace corpus {
+
+struct FakeBarrier;
+struct FakeLock;
+
+enum class SyncObjKind : std::uint8_t
+{
+    Barrier,
+    Lock,
+    Rwlock, // PLANT(R6) no 'rwlock' group in the FastSlot union
+};
+
+struct FastSlot
+{
+    SyncObjKind kind = SyncObjKind::Barrier;
+    union
+    {
+        struct
+        {
+            FakeBarrier* sense;
+            std::atomic<std::uint64_t>* gen;
+        } barrier;
+        struct
+        {
+            FakeLock* impl;
+        } lock;
+    };
+};
+
+} // namespace corpus
+
+#endif // SYNCLINT_CORPUS_R6_SLOTS_H

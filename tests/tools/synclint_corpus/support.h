@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared scaffolding for the Sync-Lint violation corpus.
+ *
+ * Mirrors the shape of the real sync substrate (chaos + scope hook
+ * namespaces) so fixtures exercise the rules exactly as production
+ * code would, without depending on src/.  Everything here is
+ * contract-clean: the planted violations live in the r*_ fixtures.
+ */
+
+#ifndef SYNCLINT_CORPUS_SUPPORT_H
+#define SYNCLINT_CORPUS_SUPPORT_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace corpus {
+
+namespace sync_chaos {
+
+inline bool
+forcedCasFail()
+{
+    return false;
+}
+
+} // namespace sync_chaos
+
+namespace sync_scope {
+
+inline void
+noteAttempt()
+{
+}
+
+inline void
+noteRetry()
+{
+}
+
+} // namespace sync_scope
+
+/** A fully contract-clean lock: every rule passes on this record. */
+class CleanLock
+{
+  public:
+    void
+    lock()
+    {
+        for (;;) {
+            sync_scope::noteAttempt();
+            if (!sync_chaos::forcedCasFail() &&
+                !flag_.exchange(true, std::memory_order_acquire))
+                return;
+            sync_scope::noteRetry();
+        }
+    }
+
+    void unlock() { flag_.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+} // namespace corpus
+
+#endif // SYNCLINT_CORPUS_SUPPORT_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * R3 fixtures: CAS retry loops in the sync root must invoke the
+ * sync_chaos fault-injection hook.  Lines tagged PLANT(R3) must each
+ * produce exactly one R3 finding (and nothing else: the Sync-Scope
+ * hooks are present so R4 stays quiet).
+ */
+
+#ifndef SYNCLINT_CORPUS_R3_CHAOS_H
+#define SYNCLINT_CORPUS_R3_CHAOS_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "support.h"
+
+namespace corpus {
+
+class ChaosBlindCounter
+{
+  public:
+    void
+    add(std::uint64_t delta)
+    {
+        sync_scope::noteAttempt();
+        std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+        while (!bits_.compare_exchange_weak( // PLANT(R3) retry loop without forcedCasFail
+            cur, cur + delta, std::memory_order_acq_rel,
+            std::memory_order_relaxed)) {
+            sync_scope::noteRetry();
+        }
+    }
+
+    void
+    addHooked(std::uint64_t delta)
+    {
+        sync_scope::noteAttempt();
+        std::uint64_t cur = bits_.load(std::memory_order_relaxed);
+        while (sync_chaos::forcedCasFail() ||
+               !bits_.compare_exchange_weak(
+                   cur, cur + delta, std::memory_order_acq_rel,
+                   std::memory_order_relaxed)) {
+            sync_scope::noteRetry(); // clean: chaos hook in condition
+        }
+    }
+
+    std::uint64_t
+    read() const
+    {
+        return bits_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<std::uint64_t> bits_{0};
+};
+
+} // namespace corpus
+
+#endif // SYNCLINT_CORPUS_R3_CHAOS_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * R4 fixtures: public primitive ops in the sync root must emit the
+ * Sync-Scope attempt/retry hooks.  Lines tagged PLANT(R4) must each
+ * produce exactly one R4 finding (chaos hooks are present so R3
+ * stays quiet).
+ */
+
+#ifndef SYNCLINT_CORPUS_R4_SCOPE_H
+#define SYNCLINT_CORPUS_R4_SCOPE_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "support.h"
+
+namespace corpus {
+
+class ScopeBlindLatch
+{
+  public:
+    void silentArrive() // PLANT(R4) public RMW op without noteAttempt
+    {
+        arrivals_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    void
+    silentRetry()
+    {
+        sync_scope::noteAttempt();
+        std::uint32_t cur = arrivals_.load(std::memory_order_relaxed);
+        while (sync_chaos::forcedCasFail() ||
+               !arrivals_.compare_exchange_weak( // PLANT(R4) retry loop without noteRetry
+                   cur, cur + 1, std::memory_order_acq_rel,
+                   std::memory_order_relaxed)) {
+        }
+    }
+
+    void
+    countedArrive()
+    {
+        sync_scope::noteAttempt(); // clean: attempt hook present
+        arrivals_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    std::uint32_t
+    arrivals() const
+    {
+        return arrivals_.load(std::memory_order_acquire);
+    }
+
+  private:
+    // Private helpers are outside the public-op contract.
+    void
+    internalBump()
+    {
+        arrivals_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    std::atomic<std::uint32_t> arrivals_{0};
+};
+
+/** Transitive coverage: the public op notes via a helper it calls. */
+class ScopeDelegatingLatch
+{
+  public:
+    void
+    arrive()
+    {
+        notedBump(); // clean: noteAttempt reached transitively
+    }
+
+  private:
+    void
+    notedBump()
+    {
+        sync_scope::noteAttempt();
+        ticks_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    std::atomic<std::uint64_t> ticks_{0};
+};
+
+} // namespace corpus
+
+#endif // SYNCLINT_CORPUS_R4_SCOPE_H

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Sync-Lint corpus tests.
+
+Proves every rule R1-R6 is live:
+  * each `PLANT(Rn)` marker in the corpus fixtures produces exactly
+    one finding of that rule on that line -- no more, no fewer;
+  * disabling a rule removes exactly its findings (so a silently
+    dead rule cannot pass the corpus);
+  * the allowlist pragma suppresses findings and records the reason;
+  * the JSON export validates against splash4-synclint-v1;
+  * the fixtures are real, compilable C++ (g++ -fsyntax-only), so
+    planted violations are contract bugs, not syntax errors.
+
+Standard library only.  Run directly or via ctest (synclint_corpus).
+"""
+
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TEST_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(TEST_DIR))
+CORPUS = os.path.join(TEST_DIR, "synclint_corpus")
+SYNCLINT = os.path.join(REPO_ROOT, "tools", "synclint")
+SCHEMA_CHECK = os.path.join(REPO_ROOT, "tools",
+                            "check_synclint_schema.py")
+
+_PLANT_RE = re.compile(r"//\s*PLANT\((R\d)\)")
+
+
+def planted_markers():
+    """{(rule, relpath, line)} for every PLANT marker in the corpus."""
+    out = set()
+    for dirpath, _dirnames, filenames in os.walk(CORPUS):
+        for fn in sorted(filenames):
+            if not fn.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(dirpath, fn)
+            rel = os.path.relpath(path, CORPUS)
+            with open(path, "r", encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    m = _PLANT_RE.search(line)
+                    if m:
+                        out.add((m.group(1), rel, lineno))
+    return out
+
+
+def write_compile_db(tmpdir):
+    tu = os.path.join(CORPUS, "corpus_tu.cc")
+    db = [{
+        "directory": CORPUS,
+        "file": tu,
+        "command": "g++ -std=c++20 -I %s -c %s -o /dev/null"
+                   % (CORPUS, tu),
+    }]
+    path = os.path.join(tmpdir, "compile_commands.json")
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(db, f)
+    return path
+
+
+def run_synclint(compdb, extra=None, json_out=None):
+    cmd = [sys.executable, SYNCLINT,
+           "--compile-commands", compdb,
+           "--project-root", CORPUS,
+           "--root", ".",
+           "--sync-root", "sync",
+           "--frontend", "builtin"]
+    if json_out:
+        cmd += ["--json", json_out]
+    cmd += list(extra or ())
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+class SynclintCorpusTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.tmpdir = tempfile.mkdtemp(prefix="synclint_corpus_")
+        cls.compdb = write_compile_db(cls.tmpdir)
+        cls.json_path = os.path.join(cls.tmpdir, "findings.json")
+        cls.proc = run_synclint(cls.compdb, json_out=cls.json_path)
+        with open(cls.json_path, "r", encoding="utf-8") as f:
+            cls.doc = json.load(f)
+
+    @classmethod
+    def tearDownClass(cls):
+        shutil.rmtree(cls.tmpdir, ignore_errors=True)
+
+    def test_fixtures_are_real_cpp(self):
+        gxx = shutil.which("g++") or shutil.which("c++")
+        if gxx is None:
+            self.skipTest("no C++ compiler on PATH")
+        proc = subprocess.run(
+            [gxx, "-std=c++20", "-fsyntax-only", "-Wall", "-I",
+             CORPUS, os.path.join(CORPUS, "corpus_tu.cc")],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0,
+                         "corpus does not compile:\n" + proc.stderr)
+
+    def test_exit_code_signals_findings(self):
+        self.assertEqual(self.proc.returncode, 1, self.proc.stderr)
+
+    def test_every_plant_fires_exactly_once(self):
+        expected = planted_markers()
+        self.assertTrue(expected, "no PLANT markers found")
+        got = {(f["rule"], f["file"], f["line"])
+               for f in self.doc["findings"]}
+        self.assertEqual(
+            got, expected,
+            "findings do not match planted violations\n"
+            "unexpected: %r\nmissing: %r"
+            % (sorted(got - expected), sorted(expected - got)))
+        # Exactly one finding per planted line.
+        self.assertEqual(len(self.doc["findings"]), len(expected))
+
+    def test_all_rules_represented(self):
+        fired = {f["rule"] for f in self.doc["findings"]}
+        self.assertEqual(fired,
+                         {"R1", "R2", "R3", "R4", "R5", "R6"})
+
+    def test_allowlist_suppresses_and_records_reason(self):
+        allowed = self.doc["allowlisted"]
+        self.assertEqual(len(allowed), 1)
+        entry = allowed[0]
+        self.assertEqual(entry["rule"], "R5")
+        self.assertIn("r5_padding.h", entry["file"])
+        self.assertTrue(entry["reason"])
+        # Suppressed entries never appear in findings.
+        for f in self.doc["findings"]:
+            self.assertNotEqual((f["file"], f["line"]),
+                                (entry["file"], entry["line"]))
+
+    def test_each_rule_dies_when_disabled(self):
+        baseline = {(f["rule"], f["file"], f["line"])
+                    for f in self.doc["findings"]}
+        for rule in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            json_out = os.path.join(self.tmpdir,
+                                    "disable_%s.json" % rule)
+            proc = run_synclint(self.compdb,
+                                extra=["--disable", rule],
+                                json_out=json_out)
+            with open(json_out, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+            got = {(f["rule"], f["file"], f["line"])
+                   for f in doc["findings"]}
+            # Disabling R5 orphans the DensePoolNode allowlist
+            # pragma, so an R0 unused-pragma finding appears.
+            expected = {x for x in baseline if x[0] != rule}
+            if rule == "R5":
+                expected.add(("R0", "r5_padding.h", 30))
+            self.assertEqual(
+                got, expected,
+                "--disable %s changed other rules' findings" % rule)
+            self.assertNotIn(
+                rule, {f["rule"] for f in doc["findings"]},
+                "--disable %s left %s findings" % (rule, rule))
+            self.assertEqual(proc.returncode, 1)
+
+    def test_json_schema_validates(self):
+        proc = subprocess.run(
+            [sys.executable, SCHEMA_CHECK, self.json_path],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_list_rules_catalog(self):
+        proc = subprocess.run(
+            [sys.executable, SYNCLINT, "--list-rules"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        for rule in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            self.assertIn(rule, proc.stdout)
+
+    def test_missing_compile_db_is_an_error(self):
+        proc = run_synclint(os.path.join(self.tmpdir, "nope.json"))
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("compile_commands", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

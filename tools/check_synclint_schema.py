@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate Sync-Lint exports against the splash4-synclint-v1 schema.
+
+Usage: check_synclint_schema.py FILE [FILE...]
+
+Standard library only; exits nonzero with one line per violation.
+See docs/ANALYSIS.md ("Static analysis") for the schema this
+enforces.
+"""
+
+import json
+import sys
+
+RULE_IDS = {"R0", "R1", "R2", "R3", "R4", "R5", "R6"}
+FRONTENDS = {"builtin", "clang"}
+
+
+def fail(errors, path, message):
+    errors.append("%s: %s" % (path, message))
+
+
+def require(errors, path, obj, key, types):
+    if key not in obj:
+        fail(errors, path, "missing key '%s'" % key)
+        return None
+    value = obj[key]
+    if not isinstance(value, types):
+        fail(errors, path,
+             "key '%s' has type %s" % (key, type(value).__name__))
+        return None
+    return value
+
+
+def check_finding(errors, where, finding, want_reason):
+    rule = require(errors, where, finding, "rule", str)
+    if rule is not None and rule not in RULE_IDS:
+        fail(errors, where, "unknown rule '%s'" % rule)
+    require(errors, where, finding, "file", str)
+    line = require(errors, where, finding, "line", int)
+    if line is not None and line < 1:
+        fail(errors, where, "line < 1")
+    col = require(errors, where, finding, "column", int)
+    if col is not None and col < 0:
+        fail(errors, where, "column < 0")
+    message = require(errors, where, finding, "message", str)
+    if message is not None and not message:
+        fail(errors, where, "empty message")
+    require(errors, where, finding, "snippet", str)
+    if want_reason:
+        reason = require(errors, where, finding, "reason", str)
+        if reason is not None and not reason:
+            fail(errors, where, "allowlisted entry without a reason")
+    return rule
+
+
+def check_report(errors, path, doc):
+    schema = doc.get("schema")
+    if schema != "splash4-synclint-v1":
+        fail(errors, path, "unknown schema '%s'" % schema)
+        return
+    frontend = require(errors, path, doc, "frontend", str)
+    if frontend is not None and frontend not in FRONTENDS:
+        fail(errors, path, "unknown frontend '%s'" % frontend)
+    for key in ("roots", "sync_roots"):
+        roots = require(errors, path, doc, key, list)
+        if roots is not None and not all(
+                isinstance(r, str) for r in roots):
+            fail(errors, path, "%s holds a non-string entry" % key)
+    files = require(errors, path, doc, "files_analyzed", int)
+    if files is not None and files < 0:
+        fail(errors, path, "files_analyzed < 0")
+
+    rules = require(errors, path, doc, "rules", list)
+    enabled = set()
+    if rules is not None:
+        for rule in rules:
+            where = "%s.rules[%s]" % (path, rule.get("id")
+                                      if isinstance(rule, dict)
+                                      else "?")
+            if not isinstance(rule, dict):
+                fail(errors, path, "non-object rule entry")
+                continue
+            rid = require(errors, where, rule, "id", str)
+            require(errors, where, rule, "name", str)
+            require(errors, where, rule, "title", str)
+            on = require(errors, where, rule, "enabled", bool)
+            if rid is not None and on:
+                enabled.add(rid)
+
+    by_rule_seen = {}
+    findings = require(errors, path, doc, "findings", list)
+    if findings is not None:
+        for i, finding in enumerate(findings):
+            where = "%s.findings[%d]" % (path, i)
+            if not isinstance(finding, dict):
+                fail(errors, where, "non-object finding")
+                continue
+            rule = check_finding(errors, where, finding, False)
+            if rule is not None:
+                by_rule_seen[rule] = by_rule_seen.get(rule, 0) + 1
+                if rule != "R0" and rules is not None and \
+                        rule not in enabled:
+                    fail(errors, where,
+                         "finding from disabled rule '%s'" % rule)
+
+    allowlisted = require(errors, path, doc, "allowlisted", list)
+    if allowlisted is not None:
+        for i, finding in enumerate(allowlisted):
+            where = "%s.allowlisted[%d]" % (path, i)
+            if not isinstance(finding, dict):
+                fail(errors, where, "non-object entry")
+                continue
+            check_finding(errors, where, finding, True)
+
+    summary = require(errors, path, doc, "summary", dict)
+    if summary is not None:
+        total = require(errors, path + ".summary", summary, "total",
+                        int)
+        allowed = require(errors, path + ".summary", summary,
+                          "allowlisted", int)
+        by_rule = require(errors, path + ".summary", summary,
+                          "by_rule", dict)
+        if findings is not None and total is not None and \
+                total != len(findings):
+            fail(errors, path,
+                 "summary.total (%d) != len(findings) (%d)"
+                 % (total, len(findings)))
+        if allowlisted is not None and allowed is not None and \
+                allowed != len(allowlisted):
+            fail(errors, path,
+                 "summary.allowlisted (%d) != len(allowlisted) (%d)"
+                 % (allowed, len(allowlisted)))
+        if by_rule is not None and by_rule != by_rule_seen:
+            fail(errors, path,
+                 "summary.by_rule %r disagrees with findings %r"
+                 % (by_rule, by_rule_seen))
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    checked = 0
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError) as exc:
+            fail(errors, path, "unreadable: %s" % exc)
+            continue
+        if not isinstance(doc, dict):
+            fail(errors, path, "top level is not an object")
+            continue
+        check_report(errors, path, doc)
+        checked += 1
+    for line in errors:
+        print("FAIL %s" % line, file=sys.stderr)
+    if errors:
+        return 1
+    print("ok: %d file(s) valid" % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

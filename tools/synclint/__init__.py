@@ -1,0 +1,4 @@
+"""Sync-Lint: static concurrency-contract analyzer for the Splash-4
+sync substrate.  Run as `python3 tools/synclint --help`."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,13 @@
+import os
+import sys
+
+# Allow `python3 tools/synclint` from anywhere: the package's parent
+# directory (tools/) must be importable as the `synclint` root.
+_here = os.path.dirname(os.path.abspath(__file__))
+_tools = os.path.dirname(_here)
+if _tools not in sys.path:
+    sys.path.insert(0, _tools)
+
+from synclint.cli import main  # noqa: E402
+
+sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,156 @@
+"""Sync-Lint command-line driver.
+
+    python3 tools/synclint --compile-commands build/compile_commands.json
+
+Exit codes: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+import argparse
+import os
+import sys
+
+from synclint import compiledb, frontend_builtin, frontend_clang
+from synclint.report import (human_report, json_report, write_json)
+from synclint.rules import RULES, RuleConfig, run_rules, \
+    apply_allowlist
+
+_SOURCE_SUFFIXES = (".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx")
+_DEFAULT_ROOTS = ("src/sync", "src/engine", "src/core")
+_DEFAULT_SYNC_ROOTS = ("src/sync",)
+
+
+def _discover(root_abs):
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(root_abs):
+        for fn in sorted(filenames):
+            if fn.endswith(_SOURCE_SUFFIXES):
+                out.append(os.path.normpath(
+                    os.path.join(dirpath, fn)))
+    return out
+
+
+def build_arg_parser():
+    ap = argparse.ArgumentParser(
+        prog="synclint",
+        description="Static concurrency-contract analyzer for the "
+                    "Splash-4 sync substrate (rules R1-R6).")
+    ap.add_argument("--compile-commands", required=False,
+                    help="path to the project's "
+                         "compile_commands.json (required unless "
+                         "--list-rules)")
+    ap.add_argument("--project-root", default=".",
+                    help="directory the analysis roots are relative "
+                         "to (default: cwd)")
+    ap.add_argument("--root", action="append", dest="roots",
+                    help="analysis root, repeatable (default: %s)"
+                         % ", ".join(_DEFAULT_ROOTS))
+    ap.add_argument("--sync-root", action="append",
+                    dest="sync_roots",
+                    help="root under the R3/R4 hook contracts "
+                         "(default: src/sync)")
+    ap.add_argument("--frontend", default="auto",
+                    choices=("auto", "clang", "builtin"),
+                    help="AST frontend: libclang when importable, "
+                         "else the built-in parser (default: auto)")
+    ap.add_argument("--json", dest="json_out",
+                    help="write machine-readable findings "
+                         "(schema splash4-synclint-v1) to this path")
+    ap.add_argument("--disable", action="append", default=[],
+                    metavar="RULE",
+                    help="disable a rule by id (repeatable), "
+                         "e.g. --disable R4")
+    ap.add_argument("--r6-enum", default="SyncObjKind")
+    ap.add_argument("--r6-record", default="FastSlot")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalog and exit")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress the human table (summary only)")
+    return ap
+
+
+def main(argv=None):
+    ap = build_arg_parser()
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rid, name, title, _ in RULES:
+            print("%s  %-24s %s" % (rid, name, title))
+        return 0
+
+    if not args.compile_commands:
+        print("synclint: error: --compile-commands is required "
+              "(generate it with cmake -B build -S . ; "
+              "CMAKE_EXPORT_COMPILE_COMMANDS is on by default)",
+              file=sys.stderr)
+        return 2
+
+    project_root = os.path.abspath(args.project_root)
+    roots = list(args.roots or _DEFAULT_ROOTS)
+    sync_roots = list(args.sync_roots or _DEFAULT_SYNC_ROOTS)
+
+    try:
+        db = compiledb.load(args.compile_commands)
+    except FileNotFoundError:
+        print("synclint: error: compile_commands.json not found at "
+              "%s (run cmake -B build -S . first)"
+              % args.compile_commands, file=sys.stderr)
+        return 2
+    except ValueError as e:
+        print("synclint: error: %s" % e, file=sys.stderr)
+        return 2
+
+    paths = []
+    for root in roots:
+        root_abs = os.path.join(project_root, root)
+        if not os.path.isdir(root_abs):
+            print("synclint: error: analysis root %s does not exist"
+                  % root_abs, file=sys.stderr)
+            return 2
+        paths.extend(_discover(root_abs))
+    paths = sorted(set(paths))
+    if not paths:
+        print("synclint: error: no sources under the analysis roots",
+              file=sys.stderr)
+        return 2
+
+    sync_files = set()
+    for root in sync_roots:
+        root_abs = os.path.join(project_root, root)
+        sync_files.update(_discover(root_abs))
+
+    frontend = args.frontend
+    if frontend == "auto":
+        frontend = "clang" if frontend_clang.available() \
+            else "builtin"
+    if frontend == "clang" and not frontend_clang.available():
+        print("synclint: error: --frontend clang requested but "
+              "libclang python bindings are unavailable (%s)"
+              % frontend_clang.why_unavailable(), file=sys.stderr)
+        return 2
+
+    if frontend == "clang":
+        model = frontend_clang.analyze(paths, db)
+    else:
+        model = frontend_builtin.analyze(paths, db)
+
+    cfg = RuleConfig(sync_files=sync_files,
+                     r6_enum=args.r6_enum,
+                     r6_record=args.r6_record,
+                     disabled=args.disable)
+    findings = apply_allowlist(model, run_rules(model, cfg))
+
+    if args.json_out:
+        doc = json_report(findings, len(paths), frontend,
+                          project_root, roots, sync_roots,
+                          set(args.disable), RULES)
+        write_json(doc, args.json_out)
+
+    if args.quiet:
+        active = [f for f in findings if not f.allowlisted]
+        print("sync-lint: %d finding(s) across %d file(s) "
+              "[frontend=%s]" % (len(active), len(paths), frontend))
+    else:
+        human_report(findings, len(paths), frontend, project_root,
+                     sys.stdout)
+
+    return 1 if any(not f.allowlisted for f in findings) else 0

@@ -1,0 +1,76 @@
+"""compile_commands.json loading for Sync-Lint.
+
+The compilation database anchors the analysis to the real build: it
+tells us which translation units the project actually compiles and
+with which flags.  The built-in frontend uses it to confirm the build
+tree and enumerate TUs; the clang frontend additionally replays each
+entry's flags to parse real ASTs.
+"""
+
+import json
+import os
+import shlex
+
+
+class CompileDb:
+    def __init__(self, path, entries):
+        self.path = path
+        self.entries = entries  # [{directory, file, arguments}]
+
+    def tu_files(self):
+        out = []
+        for e in self.entries:
+            f = e["file"]
+            if not os.path.isabs(f):
+                f = os.path.join(e.get("directory", "."), f)
+            out.append(os.path.normpath(f))
+        return out
+
+    def args_for(self, tu_file):
+        """Clang-consumable argument list for one TU (compiler argv0,
+        -c/-o and the input file stripped)."""
+        tu_file = os.path.normpath(tu_file)
+        for e in self.entries:
+            f = e["file"]
+            if not os.path.isabs(f):
+                f = os.path.join(e.get("directory", "."), f)
+            if os.path.normpath(f) != tu_file:
+                continue
+            args = e["arguments"]
+            out = []
+            skip = False
+            for a in args[1:]:
+                if skip:
+                    skip = False
+                    continue
+                if a in ("-c", tu_file, e["file"]):
+                    continue
+                if a == "-o":
+                    skip = True
+                    continue
+                out.append(a)
+            return out, e.get("directory", ".")
+        return None, None
+
+
+def load(path):
+    """Load a compilation database; raises ValueError on malformed
+    input, FileNotFoundError when absent."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise ValueError("compile_commands.json: expected a list")
+    entries = []
+    for e in data:
+        if not isinstance(e, dict) or "file" not in e:
+            raise ValueError("compile_commands.json: bad entry")
+        if "arguments" in e:
+            args = list(e["arguments"])
+        elif "command" in e:
+            args = shlex.split(e["command"])
+        else:
+            raise ValueError(
+                "compile_commands.json: entry without command")
+        entries.append({"directory": e.get("directory", "."),
+                        "file": e["file"], "arguments": args})
+    return CompileDb(path, entries)

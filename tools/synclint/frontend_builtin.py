@@ -1,0 +1,19 @@
+"""Built-in (hermetic) frontend: lexer + structural parser.
+
+Parses every file under the analysis roots directly -- headers
+included, so contracts are checked even in headers no TU currently
+instantiates.  Always available; used when libclang is not installed
+or when `--frontend builtin` pins it (the corpus tests do, for
+deterministic findings).
+"""
+
+from synclint.model import Model
+from synclint.parser import parse_file
+from synclint.resolve import resolve
+
+
+def analyze(paths, compdb=None):
+    model = Model("builtin")
+    for p in sorted(paths):
+        model.files.append(parse_file(p))
+    return resolve(model)

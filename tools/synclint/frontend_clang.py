@@ -1,0 +1,314 @@
+"""libclang frontend: lowers real clang ASTs to the Sync-Lint model.
+
+Used automatically when the `clang.cindex` Python bindings and a
+libclang shared library are importable (`--frontend auto`), or when
+pinned with `--frontend clang`.  Each translation unit listed in
+compile_commands.json is parsed with its real flags; AST nodes whose
+location falls under the analysis roots are lowered into the same
+Model the built-in frontend produces, so the rules are identical for
+both frontends.
+
+This module must import cleanly on hosts without clang -- everything
+clang-specific happens inside functions, guarded by available().
+"""
+
+import os
+
+from synclint.model import (
+    ATOMIC_OPS, MEMORY_ORDERS, AtomicDecl, AtomicOp, OperatorAccess,
+    Loop, Func, Record, EnumDef, FileModel, Model,
+)
+from synclint.parser import parse_file  # comment/allow pragma reuse
+
+_cindex = None
+_import_error = None
+
+
+def _load_cindex():
+    global _cindex, _import_error
+    if _cindex is not None or _import_error is not None:
+        return _cindex
+    try:
+        from clang import cindex  # noqa: PLC0415
+        cindex.Index.create()
+        _cindex = cindex
+    except Exception as e:  # ImportError or LibclangError
+        _import_error = e
+    return _cindex
+
+
+def available():
+    return _load_cindex() is not None
+
+
+def why_unavailable():
+    _load_cindex()
+    return str(_import_error) if _import_error else ""
+
+
+_LOOP_KINDS = None
+_ATOMIC_TYPE_HINT = "atomic"
+
+
+def _is_atomic_type(type_obj):
+    spelling = type_obj.get_canonical().spelling
+    return "atomic" in spelling
+
+
+def _order_from_tokens(tu, extent):
+    toks = [t.spelling for t in tu.get_tokens(extent=extent)]
+    for i, t in enumerate(toks):
+        if t in MEMORY_ORDERS and t.startswith("memory_order"):
+            return MEMORY_ORDERS[t]
+        if t == "memory_order" and i + 2 < len(toks) and \
+                toks[i + 1] == "::":
+            return MEMORY_ORDERS.get(toks[i + 2])
+    return None
+
+
+def analyze(paths, compdb):
+    cindex = _load_cindex()
+    if cindex is None:
+        raise RuntimeError("libclang unavailable: %s"
+                           % why_unavailable())
+    ck = cindex.CursorKind
+    global _LOOP_KINDS
+    _LOOP_KINDS = {ck.FOR_STMT, ck.WHILE_STMT, ck.DO_STMT,
+                   ck.CXX_FOR_RANGE_STMT}
+
+    wanted = {os.path.normpath(p) for p in paths}
+    model = Model("clang")
+    fms = {}
+
+    def fm_for(path):
+        path = os.path.normpath(path)
+        if path not in fms:
+            fm = FileModel(path)
+            # Reuse the built-in lexer for allowlist pragmas --
+            # libclang drops comments unless asked per-token.
+            src = parse_file(path)
+            fm.allows = src.allows
+            fms[path] = fm
+            model.files.append(fm)
+        return fms[path]
+
+    index = cindex.Index.create()
+    seen = set()   # (file, line, kind-tag, name) dedup across TUs
+
+    for tu_file in compdb.tu_files():
+        args, directory = compdb.args_for(tu_file)
+        if args is None:
+            continue
+        cwd = os.getcwd()
+        try:
+            if directory:
+                os.chdir(directory)
+            tu = index.parse(tu_file, args=args)
+        except Exception:
+            continue
+        finally:
+            os.chdir(cwd)
+        _walk_tu(tu, tu.cursor, wanted, fm_for, seen, ck,
+                 record=None, func=None, loop=None, access="public",
+                 ns=[])
+
+    # The built-in resolver is unnecessary: decls were typed by clang.
+    return model
+
+
+def _loc_file(cursor):
+    loc = cursor.location
+    if loc.file is None:
+        return None
+    return os.path.normpath(loc.file.name)
+
+
+def _walk_tu(tu, cursor, wanted, fm_for, seen, ck, record, func,
+             loop, access, ns):
+    for child in cursor.get_children():
+        f = _loc_file(child)
+        in_scope = f is not None and f in wanted
+        kind = child.kind
+
+        if kind == ck.NAMESPACE:
+            _walk_tu(tu, child, wanted, fm_for, seen, ck, record,
+                     func, loop, access, ns + [child.spelling])
+            continue
+
+        if kind in (ck.CLASS_DECL, ck.STRUCT_DECL, ck.UNION_DECL) \
+                and child.is_definition():
+            rec = None
+            if in_scope:
+                key = (f, child.location.line, "rec", child.spelling)
+                if key not in seen:
+                    seen.add(key)
+                    rec = Record(
+                        {ck.CLASS_DECL: "class",
+                         ck.STRUCT_DECL: "struct",
+                         ck.UNION_DECL: "union"}[kind],
+                        child.spelling, child.spelling, f,
+                        child.location.line,
+                        _cursor_alignas64(child), "::".join(ns))
+                    fm_for(f).records.append(rec)
+            default = "private" if kind == ck.CLASS_DECL else "public"
+            _walk_tu(tu, child, wanted, fm_for, seen, ck,
+                     rec or record, func, loop, default, ns)
+            # Union slot groups (R6): fields of a nested anon union.
+            if rec is not None and kind != ck.UNION_DECL:
+                _collect_union_groups(child, rec, ck)
+            continue
+
+        if kind == ck.ENUM_DECL and in_scope and child.is_definition():
+            key = (f, child.location.line, "enum", child.spelling)
+            if key not in seen:
+                seen.add(key)
+                enum = EnumDef(child.spelling, f, child.location.line,
+                               [(c.spelling, c.location.line)
+                                for c in child.get_children()
+                                if c.kind ==
+                                ck.ENUM_CONSTANT_DECL])
+                fm_for(f).enums.append(enum)
+            continue
+
+        if kind == ck.CXX_ACCESS_SPEC_DECL:
+            access = child.access_specifier.name.lower()
+            continue
+
+        if kind == ck.FIELD_DECL and in_scope and record is not None:
+            if _is_atomic_type(child.type):
+                t = child.type.get_canonical().spelling
+                d = AtomicDecl(child.spelling, f, child.location.line,
+                               record=record, storage="field",
+                               is_pointer=t.endswith("*"),
+                               is_reference="&" in t,
+                               alignas64=_cursor_alignas64(child))
+                fm_for(f).atomic_decls.append(d)
+                if not d.is_pointer and not d.is_reference:
+                    record.atomic_fields.append(d)
+            continue
+
+        if kind == ck.VAR_DECL and in_scope and func is None:
+            if _is_atomic_type(child.type):
+                fm_for(f).atomic_decls.append(AtomicDecl(
+                    child.spelling, f, child.location.line,
+                    storage="global"))
+            continue
+
+        if kind in (ck.FUNCTION_DECL, ck.CXX_METHOD, ck.CONSTRUCTOR,
+                    ck.DESTRUCTOR, ck.FUNCTION_TEMPLATE) and \
+                child.is_definition():
+            fn = None
+            if in_scope:
+                key = (f, child.location.line, "fn", child.spelling)
+                if key not in seen:
+                    seen.add(key)
+                    acc = access
+                    try:
+                        acc = child.access_specifier.name.lower()
+                        if acc == "invalid":
+                            acc = "public"
+                    except Exception:
+                        pass
+                    owner = record
+                    sem = child.semantic_parent
+                    if owner is None and sem is not None and \
+                            sem.kind in (ck.CLASS_DECL,
+                                         ck.STRUCT_DECL):
+                        owner = None  # linked by name in rules
+                    qual = child.spelling
+                    if sem is not None and sem.kind in (
+                            ck.CLASS_DECL, ck.STRUCT_DECL,
+                            ck.UNION_DECL):
+                        qual = sem.spelling + "::" + child.spelling
+                    fn = Func(child.spelling, qual, owner, f,
+                              child.location.line, acc,
+                              namespace="::".join(ns))
+                    fm_for(f).funcs.append(fn)
+            _walk_tu(tu, child, wanted, fm_for, seen, ck, record,
+                     fn or func, None, access, ns)
+            continue
+
+        if kind in _LOOP_KINDS and in_scope and func is not None:
+            lp = Loop(f, child.location.line, loop, func)
+            fm_for(f).loops.append(lp)
+            _walk_tu(tu, child, wanted, fm_for, seen, ck, record,
+                     func, lp, access, ns)
+            continue
+
+        if kind == ck.CALL_EXPR and in_scope and func is not None:
+            _lower_call(tu, child, f, fm_for, func, loop, ck)
+            # fall through: walk arguments for nested calls
+        if kind == ck.VAR_DECL and in_scope and func is not None:
+            if _is_atomic_type(child.type):
+                fm_for(f).atomic_decls.append(AtomicDecl(
+                    child.spelling, f, child.location.line,
+                    storage="local", func=func))
+        _walk_tu(tu, child, wanted, fm_for, seen, ck, record, func,
+                 loop, access, ns)
+
+
+def _lower_call(tu, call, f, fm_for, func, loop, ck):
+    name = call.spelling or ""
+    func.calls.append(name)
+    lp = loop
+    while lp is not None:
+        lp.calls.append(name)
+        lp = lp.parent
+    if name not in ATOMIC_OPS:
+        return
+    children = list(call.get_children())
+    if not children:
+        return
+    callee = children[0]
+    recv_decl = None
+    base_is_atomic = False
+    for c in callee.walk_preorder():
+        if c.kind == ck.MEMBER_REF_EXPR and c.spelling == name:
+            base = next(iter(c.get_children()), None)
+            if base is not None:
+                base_is_atomic = _is_atomic_type(base.type)
+    if not base_is_atomic:
+        return
+    args = children[1:]
+    orders = []
+    positions = []
+    for i, a in enumerate(args):
+        o = _order_from_tokens(tu, a.extent)
+        if o is not None:
+            orders.append(o)
+            positions.append(i)
+    op = AtomicOp(name, None, None, f, call.location.line,
+                  call.location.column, orders, len(args), func,
+                  loop, call.spelling)
+    op.order_positions = positions
+    # Bind the declaration when the member base resolves.
+    for c in callee.walk_preorder():
+        if c.kind == ck.MEMBER_REF_EXPR and c.spelling != name:
+            ref = c.referenced
+            if ref is not None and _is_atomic_type(ref.type):
+                op.decl = AtomicDecl(ref.spelling, f,
+                                     ref.location.line,
+                                     storage="field")
+    fm = fm_for(f)
+    fm.ops.append(op)
+    func.ops.append(op)
+    lp = loop
+    while lp is not None:
+        lp.ops.append(op)
+        lp = lp.parent
+
+
+def _collect_union_groups(record_cursor, rec, ck):
+    for child in record_cursor.get_children():
+        if child.kind == ck.UNION_DECL and not child.spelling:
+            for field in child.get_children():
+                if field.kind == ck.FIELD_DECL:
+                    rec.union_groups.append(field.spelling)
+
+
+def _cursor_alignas64(cursor):
+    try:
+        align = cursor.type.get_align()
+        return align is not None and align >= 64
+    except Exception:
+        return False

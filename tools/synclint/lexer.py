@@ -1,0 +1,218 @@
+"""C++ tokenizer for the Sync-Lint built-in frontend.
+
+Produces a flat token stream (identifiers, keywords, literals,
+punctuators) with exact line/column positions, plus a side channel of
+comments (for the allowlist pragma) and preprocessor directives (for
+include tracking).  This is a real lexer -- comments, string literals,
+raw strings, and character literals can never be mistaken for code --
+which is what lets the structural parser above it reason about braces
+and parentheses safely.
+"""
+
+import re
+
+# Longest-match-first punctuator table (C++20 operators).
+PUNCTUATORS = [
+    "...", "->*", "<<=", ">>=", "<=>",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "##",
+    "{", "}", "(", ")", "[", "]", ";", ":", ",", ".", "?", "~",
+    "+", "-", "*", "/", "%", "&", "|", "^", "!", "<", ">", "=", "#",
+]
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUMBER_RE = re.compile(r"\.?\d(?:[\w.']|[eEpP][+-])*")
+_WS_RE = re.compile(r"[ \t\r\f\v]+")
+
+KEYWORDS = {
+    "alignas", "alignof", "auto", "bool", "break", "case", "catch",
+    "char", "class", "const", "constexpr", "consteval", "constinit",
+    "continue", "decltype", "default", "delete", "do", "double",
+    "else", "enum", "explicit", "extern", "false", "final", "float",
+    "for", "friend", "goto", "if", "inline", "int", "long", "mutable",
+    "namespace", "new", "noexcept", "nullptr", "operator", "override",
+    "private", "protected", "public", "register", "return", "short",
+    "signed", "sizeof", "static", "struct", "switch", "template",
+    "this", "throw", "true", "try", "typedef", "typename", "union",
+    "unsigned", "using", "virtual", "void", "volatile", "while",
+}
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "col")
+
+    def __init__(self, kind, text, line, col):
+        self.kind = kind  # 'ident' | 'keyword' | 'number' | 'string'
+        #                  | 'char' | 'punct'
+        self.text = text
+        self.line = line
+        self.col = col
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (self.kind, self.text,
+                                         self.line, self.col)
+
+
+class Comment:
+    __slots__ = ("text", "line")
+
+    def __init__(self, text, line):
+        self.text = text
+        self.line = line
+
+
+class LexResult:
+    def __init__(self, tokens, comments, directives):
+        self.tokens = tokens
+        self.comments = comments      # [Comment]
+        self.directives = directives  # [(line, text)]
+
+
+def lex(source):
+    """Tokenize C++ source text into a LexResult."""
+    tokens = []
+    comments = []
+    directives = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    at_line_start = True
+
+    def advance(text):
+        nonlocal line, col
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            at_line_start = True
+            continue
+
+        m = _WS_RE.match(source, i)
+        if m:
+            advance(m.group())
+            i = m.end()
+            continue
+
+        # Preprocessor directive: consume to end of line, honoring
+        # backslash continuations.
+        if ch == "#" and at_line_start:
+            start = i
+            start_line = line
+            while i < n:
+                j = source.find("\n", i)
+                if j < 0:
+                    i = n
+                    break
+                if source[j - 1] == "\\" if j > 0 else False:
+                    i = j + 1
+                else:
+                    i = j
+                    break
+            text = source[start:i]
+            directives.append((start_line, text))
+            advance(text)
+            continue
+
+        at_line_start = False
+
+        # Comments.
+        if source.startswith("//", i):
+            j = source.find("\n", i)
+            j = n if j < 0 else j
+            comments.append(Comment(source[i:j], line))
+            advance(source[i:j])
+            i = j
+            continue
+        if source.startswith("/*", i):
+            j = source.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            text = source[i:j + 2]
+            comments.append(Comment(text, line))
+            advance(text)
+            i = j + 2
+            continue
+
+        # Raw strings: R"delim( ... )delim"
+        m = re.match(r'(?:u8|[uUL])?R"([^()\\ \t\n]*)\(', source[i:])
+        if m:
+            end_marker = ")%s\"" % m.group(1)
+            j = source.find(end_marker, i + m.end())
+            j = n - len(end_marker) if j < 0 else j
+            text = source[i:j + len(end_marker)]
+            tokens.append(Token("string", text, line, col))
+            advance(text)
+            i += len(text)
+            continue
+
+        # Strings and chars (with escapes).
+        if ch == '"' or (ch == "'" and not _looks_like_digit_sep(
+                source, i)):
+            quote = ch
+            j = i + 1
+            while j < n:
+                if source[j] == "\\":
+                    j += 2
+                    continue
+                if source[j] == quote or source[j] == "\n":
+                    break
+                j += 1
+            text = source[i:min(j + 1, n)]
+            tokens.append(Token("string" if quote == '"' else "char",
+                                text, line, col))
+            advance(text)
+            i += len(text)
+            continue
+
+        # Numbers (incl. hex/float/digit separators).
+        if ch.isdigit() or (ch == "." and i + 1 < n and
+                            source[i + 1].isdigit()):
+            m = _NUMBER_RE.match(source, i)
+            text = m.group()
+            tokens.append(Token("number", text, line, col))
+            advance(text)
+            i = m.end()
+            continue
+
+        # Identifiers / keywords (possibly prefixing a string literal,
+        # e.g. u8"x" -- handled above only for raw strings; the plain
+        # prefixed literal lexes as ident+string which is fine here).
+        m = _IDENT_RE.match(source, i)
+        if m:
+            text = m.group()
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            advance(text)
+            i = m.end()
+            continue
+
+        # Punctuators, longest first.
+        for p in PUNCTUATORS:
+            if source.startswith(p, i):
+                tokens.append(Token("punct", p, line, col))
+                advance(p)
+                i += len(p)
+                break
+        else:
+            # Unknown byte: skip it rather than derailing the scan.
+            advance(ch)
+            i += 1
+
+    return LexResult(tokens, comments, directives)
+
+
+def _looks_like_digit_sep(source, i):
+    """True when the apostrophe at i is a C++14 digit separator."""
+    return (i > 0 and source[i - 1].isdigit() and
+            i + 1 < len(source) and source[i + 1].isdigit())

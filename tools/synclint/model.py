@@ -1,0 +1,282 @@
+"""The concurrency model Sync-Lint rules run against.
+
+Both frontends (libclang and the built-in parser) lower translation
+units to this one representation, so every rule has a single
+implementation regardless of which parser produced the facts.
+
+The model is deliberately narrow: it captures only the entities the
+repo's concurrency contracts talk about -- atomic declarations, atomic
+operations with their memory orders, loops, functions with their call
+lists and access, records with their atomic members and alignment, and
+the SyncObjKind/FastSlot registration pair.
+"""
+
+# Atomic member-function families.  'rmw' ops have read-modify-write
+# semantics and fall under the Sync-Scope attempt contract (R4).
+ATOMIC_OPS_SINGLE_ORDER = {
+    "load", "store", "exchange", "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or", "fetch_xor", "test_and_set", "clear", "wait", "test",
+}
+ATOMIC_OPS_CAS = {"compare_exchange_weak", "compare_exchange_strong"}
+ATOMIC_OPS = ATOMIC_OPS_SINGLE_ORDER | ATOMIC_OPS_CAS | {
+    "notify_one", "notify_all",
+}
+
+# Methods whose names are unique to std::atomic in practice: a call to
+# one of these counts as an atomic op even when the receiver cannot be
+# resolved to a known atomic declaration.
+UNAMBIGUOUS_OPS = {
+    "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "test_and_set", "compare_exchange_weak", "compare_exchange_strong",
+}
+
+# Ops that are read-modify-write (attempt-counted by Sync-Scope).
+RMW_OPS = {
+    "exchange", "fetch_add", "fetch_sub", "fetch_and", "fetch_or",
+    "fetch_xor", "test_and_set",
+} | ATOMIC_OPS_CAS
+
+# Value-argument count before the trailing memory_order argument(s).
+VALUE_ARGS = {
+    "load": 0, "store": 1, "exchange": 1, "fetch_add": 1,
+    "fetch_sub": 1, "fetch_and": 1, "fetch_or": 1, "fetch_xor": 1,
+    "test_and_set": 0, "clear": 0, "wait": 1, "test": 0,
+}
+
+MEMORY_ORDERS = {
+    "memory_order_relaxed": "relaxed",
+    "memory_order_consume": "consume",
+    "memory_order_acquire": "acquire",
+    "memory_order_release": "release",
+    "memory_order_acq_rel": "acq_rel",
+    "memory_order_seq_cst": "seq_cst",
+    # C++20 scoped spellings (std::memory_order::relaxed).
+    "relaxed": "relaxed", "consume": "consume", "acquire": "acquire",
+    "release": "release", "acq_rel": "acq_rel", "seq_cst": "seq_cst",
+}
+
+ACQUIRE_SIDE = {"acquire", "acq_rel", "seq_cst", "consume"}
+RELEASE_SIDE = {"release", "acq_rel", "seq_cst"}
+
+# C++17 comparability for CAS failure-vs-success strength (R2).
+ORDER_RANK = {
+    "relaxed": 0, "consume": 1, "acquire": 2, "release": 2,
+    "acq_rel": 3, "seq_cst": 4,
+}
+
+
+class AtomicDecl:
+    """One declared std::atomic variable, member, or parameter."""
+
+    __slots__ = ("name", "file", "line", "record", "storage",
+                 "is_pointer", "is_reference", "alignas64", "func")
+
+    def __init__(self, name, file, line, record=None, storage="field",
+                 is_pointer=False, is_reference=False, alignas64=False,
+                 func=None):
+        self.name = name
+        self.file = file
+        self.line = line
+        self.record = record      # enclosing Record or None
+        self.storage = storage    # 'field' | 'local' | 'param'
+        #                          | 'global'
+        self.is_pointer = is_pointer
+        self.is_reference = is_reference
+        self.alignas64 = alignas64
+        self.func = func          # enclosing Func for local/param
+
+
+class AtomicOp:
+    """One atomic member-function call site."""
+
+    __slots__ = ("method", "receiver", "decl", "file", "line", "col",
+                 "orders", "n_args", "func", "loop", "snippet",
+                 "order_positions")
+
+    def __init__(self, method, receiver, decl, file, line, col,
+                 orders, n_args, func, loop, snippet):
+        self.order_positions = []  # arg indices holding an order
+        self.method = method      # e.g. 'load'
+        self.receiver = receiver  # terminal receiver identifier
+        self.decl = decl          # resolved AtomicDecl or None
+        self.file = file
+        self.line = line
+        self.col = col
+        self.orders = orders      # normalized order names, in arg order
+        self.n_args = n_args
+        self.func = func          # enclosing Func or None
+        self.loop = loop          # innermost enclosing Loop or None
+        self.snippet = snippet
+
+    @property
+    def is_cas(self):
+        return self.method in ATOMIC_OPS_CAS
+
+    @property
+    def is_rmw(self):
+        return self.method in RMW_OPS
+
+    def member_key(self):
+        """Stable (record, member) key for release/acquire pairing;
+        None when the receiver is not a resolved data member."""
+        if self.decl is None or self.decl.storage != "field":
+            return None
+        if self.decl.record is None:
+            return None
+        return (self.decl.record.qualname, self.decl.name)
+
+
+class OperatorAccess:
+    """Operator-form access to a known atomic (x++, x += n, x = v):
+    always implicitly seq_cst, so always an R1 finding."""
+
+    __slots__ = ("op", "decl", "file", "line", "col", "snippet",
+                 "name", "func", "through")
+
+    def __init__(self, op, decl, file, line, col, snippet):
+        self.name = ""        # accessed identifier (terminal)
+        self.func = None      # enclosing Func
+        self.through = None   # '.'/'->' when a member access
+        self.op = op
+        self.decl = decl
+        self.file = file
+        self.line = line
+        self.col = col
+        self.snippet = snippet
+
+
+class Loop:
+    """A for/while/do loop (possibly nested)."""
+
+    __slots__ = ("file", "line", "parent", "func", "calls", "ops")
+
+    def __init__(self, file, line, parent, func):
+        self.file = file
+        self.line = line
+        self.parent = parent  # enclosing Loop or None
+        self.func = func
+        self.calls = []       # callee name strings inside the loop
+        #                      (including nested loops' calls)
+        self.ops = []         # AtomicOps inside (including nested)
+
+
+class Func:
+    """A function or member function definition."""
+
+    __slots__ = ("name", "qualname", "record", "file", "line",
+                 "access", "calls", "ops", "namespace")
+
+    def __init__(self, name, qualname, record, file, line, access,
+                 namespace=""):
+        self.namespace = namespace  # '::'-joined enclosing namespaces
+        self.name = name
+        self.qualname = qualname  # e.g. 'McsLock::lock'
+        self.record = record      # enclosing/owning Record or None
+        self.file = file
+        self.line = line
+        self.access = access      # 'public' | 'protected' | 'private'
+        self.calls = []           # callee identifiers (terminal names)
+        self.ops = []             # AtomicOps in this function
+
+    @property
+    def is_public(self):
+        return self.access == "public"
+
+
+class Record:
+    """A class/struct/union definition."""
+
+    __slots__ = ("kind", "name", "qualname", "file", "line",
+                 "alignas64", "atomic_fields", "union_groups",
+                 "namespace")
+
+    def __init__(self, kind, name, qualname, file, line, alignas64,
+                 namespace):
+        self.kind = kind          # 'class' | 'struct' | 'union'
+        self.name = name
+        self.qualname = qualname
+        self.file = file
+        self.line = line
+        self.alignas64 = alignas64
+        self.namespace = namespace
+        self.atomic_fields = []   # [AtomicDecl] value members only
+        self.union_groups = []    # member names of a directly nested
+        #                          anonymous union's groups (for R6)
+
+
+class EnumDef:
+    __slots__ = ("name", "file", "line", "enumerators")
+
+    def __init__(self, name, file, line, enumerators):
+        self.name = name
+        self.file = file
+        self.line = line
+        self.enumerators = enumerators  # [(name, line)]
+
+
+class Allow:
+    """One allowlist pragma occurrence."""
+
+    __slots__ = ("file", "line", "anchor", "rules", "reason", "used")
+
+    def __init__(self, file, line, rules, reason, anchor=None):
+        self.file = file
+        self.line = line
+        self.anchor = anchor if anchor is not None else line + 1
+        #              first code line after the pragma's comment block
+        self.rules = rules    # {'R1', ...}
+        self.reason = reason
+        self.used = False
+
+
+class FileModel:
+    """Everything extracted from one analyzed file."""
+
+    def __init__(self, path):
+        self.path = path
+        self.records = []
+        self.enums = []
+        self.funcs = []
+        self.loops = []
+        self.atomic_decls = []
+        self.ops = []
+        self.operator_accesses = []
+        self.allows = []          # [Allow]
+        self.namespaces = set()   # all namespace names seen
+        self.method_access = {}   # (record_name, method) -> access
+
+
+class Model:
+    """The merged model over every analyzed file."""
+
+    def __init__(self, frontend):
+        self.frontend = frontend
+        self.files = []           # [FileModel]
+
+    def all_records(self):
+        for fm in self.files:
+            for r in fm.records:
+                yield r
+
+    def all_funcs(self):
+        for fm in self.files:
+            for f in fm.funcs:
+                yield f
+
+    def all_ops(self):
+        for fm in self.files:
+            for op in fm.ops:
+                yield op
+
+    def find_record(self, name):
+        for r in self.all_records():
+            if r.name == name:
+                return r
+        return None
+
+    def find_enum(self, name):
+        for fm in self.files:
+            for e in fm.enums:
+                if e.name == name:
+                    return e
+        return None

@@ -1,0 +1,892 @@
+"""Built-in structural C++ parser for Sync-Lint.
+
+Builds a scope tree (namespaces, records, enums, functions, loops)
+from the token stream, then extracts the concurrency facts the rules
+need: atomic declarations, atomic operation call sites with their
+memory-order arguments, operator-form atomic accesses, call lists per
+function and per loop, record alignment, and the SyncObjKind/FastSlot
+registration pair.
+
+This is the hermetic fallback frontend: it understands the repo's C++
+subset (and the corpus fixtures) without needing a compiler on the
+host.  The libclang frontend (frontend_clang.py) produces the same
+model from real ASTs and is preferred when available; both are driven
+by the project's compile_commands.json.
+
+Known limitations vs. the clang frontend (documented in
+docs/ANALYSIS.md): receiver types are resolved by declared-name
+matching rather than full type inference, and preprocessor
+conditionals are not evaluated (all branches are scanned).
+"""
+
+import re
+
+from synclint.lexer import lex
+from synclint.model import (
+    ATOMIC_OPS, UNAMBIGUOUS_OPS, MEMORY_ORDERS,
+    AtomicDecl, AtomicOp, OperatorAccess, Loop, Func, Record, EnumDef,
+    Allow, FileModel,
+)
+
+_CONTROL_KEYWORDS = {"if", "else", "for", "while", "do", "switch",
+                     "try", "catch"}
+_LOOP_KEYWORDS = {"for", "while", "do"}
+_DECL_PREFIX_SKIP = {"typedef", "inline", "static", "constexpr",
+                     "consteval", "constinit", "extern", "friend",
+                     "explicit", "virtual", "mutable", "thread_local"}
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+_INCDEC = {"++", "--"}
+
+_ALLOW_RE = re.compile(
+    r"synclint:\s*allow\(\s*(R\d(?:\s*,\s*R\d)*)\s*\)\s*[-: ]*(.*)")
+
+
+class _Scope:
+    __slots__ = ("kind", "obj", "access", "stmt", "stmt_start",
+                 "paren_depth", "open_idx", "name")
+
+    def __init__(self, kind, obj=None, access="public", name=""):
+        self.kind = kind      # namespace|record|enum|func|loop|ctrl
+        #                      |block|file
+        self.obj = obj
+        self.access = access
+        self.stmt = []        # (token, index) pairs of current stmt
+        self.stmt_start = -1
+        self.paren_depth = 0
+        self.open_idx = -1
+        self.name = name
+
+
+def parse_file(path, text=None):
+    """Parse one file into a FileModel."""
+    if text is None:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    lx = lex(text)
+    fm = FileModel(path)
+    _collect_allows(fm, lx.comments)
+
+    p = _Parser(path, fm, lx.tokens)
+    p.run()
+    p.extract_ops()
+    fm.method_access.update(p.method_access)
+    return fm
+
+
+def _collect_allows(fm, comments):
+    # Map comment start line -> last line it covers, so a pragma at
+    # the head of a multi-line comment block anchors to the first
+    # code line after the whole block.
+    covered = {}
+    for c in comments:
+        covered[c.line] = c.line + c.text.count("\n")
+    for c in comments:
+        m = _ALLOW_RE.search(c.text)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",")}
+        reason = m.group(2).strip().rstrip("*/").strip()
+        anchor = covered[c.line] + 1
+        while anchor in covered:
+            anchor = covered[anchor] + 1
+        fm.allows.append(Allow(fm.path, c.line, rules, reason,
+                               anchor=anchor))
+
+
+class _Parser:
+    def __init__(self, path, fm, tokens):
+        self.path = path
+        self.fm = fm
+        self.toks = tokens
+        self.i = 0
+        self.scopes = [_Scope("file")]
+        self.ns_stack = []       # namespace names
+        self.record_stack = []   # Record objects (incl. anon)
+        self.func_stack = []     # Func objects
+        self.loop_stack = []     # Loop objects
+        self.func_extents = []   # (func, start_idx, end_idx)
+        self.loop_extents = []   # (loop, start_idx, end_idx)
+        self._open_func = []     # (func, start_idx)
+        self._open_loop = []     # (loop, start_idx)
+        self.method_access = {}  # (record_name, method) -> access
+
+    # ----- helpers --------------------------------------------------------
+
+    def cur(self):
+        return self.scopes[-1]
+
+    def ns_path(self):
+        return "::".join(self.ns_stack)
+
+    def enclosing_record(self):
+        return self.record_stack[-1] if self.record_stack else None
+
+    def enclosing_func(self):
+        return self.func_stack[-1] if self.func_stack else None
+
+    # ----- pass A: scope tree + declarations ------------------------------
+
+    def run(self):
+        toks = self.toks
+        n = len(toks)
+        while self.i < n:
+            t = toks[self.i]
+            sc = self.cur()
+            if t.kind == "punct":
+                if t.text == "(":
+                    sc.paren_depth += 1
+                elif t.text == ")":
+                    sc.paren_depth = max(0, sc.paren_depth - 1)
+                elif t.text == "{":
+                    self._open_brace()
+                    self.i += 1
+                    continue
+                elif t.text == "}":
+                    self._close_brace()
+                    self.i += 1
+                    continue
+                elif t.text == ";" and sc.paren_depth == 0:
+                    self._flush_stmt()
+                    self.i += 1
+                    continue
+                elif (t.text == ":" and sc.kind == "record"
+                      and sc.paren_depth == 0 and len(sc.stmt) == 1
+                      and sc.stmt[0][0].text in ("public", "private",
+                                                 "protected")):
+                    sc.access = sc.stmt[0][0].text
+                    sc.stmt = []
+                    self.i += 1
+                    continue
+            if not sc.stmt:
+                sc.stmt_start = self.i
+            sc.stmt.append((t, self.i))
+            self.i += 1
+        # EOF: close any virtual statement.
+        self._flush_stmt()
+
+    def _open_brace(self):
+        sc = self.cur()
+        header = [tok for tok, _ in sc.stmt]
+        if sc.paren_depth > 0:
+            # Brace inside an expression (lambda body / braced init
+            # inside a call): plain nested block.
+            self.scopes.append(_Scope("block"))
+            return
+
+        kind, info = _classify_header(header)
+
+        if kind == "namespace":
+            self.ns_stack.append(info or "(anon)")
+            for part in (info or "(anon)").split("::"):
+                self.fm.namespaces.add(part)
+            sc.stmt = []
+            self.scopes.append(_Scope("namespace", name=info))
+            return
+
+        if kind == "record":
+            rec_kind, name, alignas64 = info
+            qual = "::".join([r.name for r in self.record_stack
+                              if r.name] + [name]) if name else name
+            rec = Record(rec_kind, name or "", qual or "",
+                         self.path, header[0].line if header else 0,
+                         alignas64, self.ns_path())
+            self.fm.records.append(rec)
+            self.record_stack.append(rec)
+            sc.stmt = []
+            access = "public" if rec_kind in ("struct", "union") \
+                else "private"
+            s = _Scope("record", obj=rec, access=access)
+            s.open_idx = self.i
+            self.scopes.append(s)
+            return
+
+        if kind == "enum":
+            name = info
+            line = header[0].line if header else 0
+            enum = EnumDef(name or "", self.path, line, [])
+            self.fm.enums.append(enum)
+            sc.stmt = []
+            self.scopes.append(_Scope("enum", obj=enum))
+            # Consume the enumerator list directly.
+            self._consume_enum_body(enum)
+            return
+
+        if kind == "func":
+            name, qualifier = info
+            rec = self.enclosing_record()
+            qualname = name
+            access = sc.access if sc.kind == "record" else "public"
+            if rec is not None and sc.kind == "record":
+                qualname = (rec.qualname + "::" + name) if rec.qualname \
+                    else name
+                self.method_access[(rec.name, name)] = access
+            elif qualifier:
+                qualname = qualifier + "::" + name
+            fn = Func(name, qualname, rec if sc.kind == "record"
+                      else None, self.path,
+                      header[0].line if header else 0, access,
+                      namespace=self.ns_path())
+            if sc.kind != "record" and qualifier:
+                fn.qualname = qualifier + "::" + name
+            self.fm.funcs.append(fn)
+            self.func_stack.append(fn)
+            self._open_func.append((fn, self.i))
+            # Parameter atomics.
+            self._extract_params(fn, header)
+            sc.stmt = []
+            self.scopes.append(_Scope("func", obj=fn))
+            return
+
+        if kind == "loop":
+            # Extent starts at the loop keyword so condition-side
+            # atomic ops (`while (flag_.exchange(...))`) attribute to
+            # the loop.
+            start_idx = sc.stmt[0][1] if sc.stmt else self.i
+            self._push_loop(header[0].line if header else 0, start_idx)
+            sc.stmt = []
+            self.scopes.append(_Scope("loop", obj=self.loop_stack[-1]))
+            return
+
+        if kind == "ctrl":
+            sc.stmt = []
+            self.scopes.append(_Scope("ctrl"))
+            return
+
+        # Default: in declaration contexts this is a braced
+        # initializer -- consume it inline so the statement survives.
+        if sc.kind in ("file", "namespace", "record"):
+            self._skip_balanced_braces()
+            return
+        self.scopes.append(_Scope("block"))
+
+    def _push_loop(self, line, start_idx):
+        parent = self.loop_stack[-1] if self.loop_stack else None
+        loop = Loop(self.path, line, parent, self.enclosing_func())
+        self.fm.loops.append(loop)
+        self.loop_stack.append(loop)
+        self._open_loop.append((loop, start_idx))
+
+    def _close_brace(self):
+        if len(self.scopes) <= 1:
+            return
+        sc = self.scopes.pop()
+        if sc.kind == "namespace":
+            if self.ns_stack:
+                self.ns_stack.pop()
+        elif sc.kind == "record":
+            rec = sc.obj
+            self.record_stack.pop()
+            trailing = self._peek_trailing_name()
+            if trailing and rec.name == "":
+                rec.name = ""
+                self._note_union_group(rec, trailing)
+        elif sc.kind == "func":
+            self.func_stack.pop()
+            fn, start = self._open_func.pop()
+            self.func_extents.append((fn, start, self.i))
+        elif sc.kind == "loop":
+            self.loop_stack.pop()
+            loop, start = self._open_loop.pop()
+            self.loop_extents.append((loop, start, self.i))
+
+    def _peek_trailing_name(self):
+        """Name token right after a closing record brace: `} name;`."""
+        j = self.i + 1
+        toks = self.toks
+        if (j < len(toks) and toks[j].kind == "ident"
+                and j + 1 < len(toks) and toks[j + 1].text == ";"):
+            return toks[j].text
+        return None
+
+    def _note_union_group(self, rec, trailing):
+        """An anonymous struct `} name;` nested in an anonymous union
+        nested in a record registers a slot-table group (R6)."""
+        if rec.kind != "struct":
+            return
+        # scopes: ... record(outer) > record(union) -- both still on
+        # the scope stack (we popped only the struct).
+        stack = [s for s in self.scopes if s.kind == "record"]
+        if len(stack) >= 2 and stack[-1].obj.kind == "union" \
+                and not stack[-1].obj.name:
+            outer = stack[-2].obj
+            outer.union_groups.append(trailing)
+
+    def _skip_balanced_braces(self):
+        depth = 0
+        toks = self.toks
+        while self.i < len(toks):
+            t = toks[self.i]
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    return
+            self.i += 1
+
+    def _consume_enum_body(self, enum):
+        """Read enumerators up to the matching close brace."""
+        toks = self.toks
+        self.i += 1  # past '{'
+        depth = 0
+        expecting = True
+        while self.i < len(toks):
+            t = toks[self.i]
+            if t.text == "{" or t.text == "(":
+                depth += 1
+            elif t.text == ")" :
+                depth -= 1
+            elif t.text == "}":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0 and t.text == ",":
+                expecting = True
+            elif depth == 0 and expecting and t.kind == "ident":
+                enum.enumerators.append((t.text, t.line))
+                expecting = False
+            self.i += 1
+        # leave '}' for the main loop?  We consumed up to it; skip it
+        # plus a trailing `;` if present.
+        if self.i < len(toks) and toks[self.i].text == "}":
+            pass  # main loop advanced past via our return
+        # The caller's loop continues after self.i; step past '}'.
+        # (the scope was never pushed, so no pop is needed)
+
+    # ----- statement analysis ---------------------------------------------
+
+    def _flush_stmt(self):
+        sc = self.cur()
+        stmt = sc.stmt
+        sc.stmt = []
+        if not stmt:
+            return
+        toks = [t for t, _ in stmt]
+        idxs = [i for _, i in stmt]
+
+        # Braceless loop: `while (...) body;` flushed as one stmt.
+        # A `do { ... } while (cond);` tail flushes as `while (cond)`
+        # with nothing after the condition -- extend the just-closed
+        # do-loop's extent over its condition instead.
+        if (toks[0].kind == "keyword" and toks[0].text in ("while",
+                                                           "for")
+                and sc.kind in ("func", "loop", "ctrl", "block")):
+            if toks[0].text == "while" and toks[-1].text == ")" \
+                    and self.loop_extents \
+                    and idxs[0] - self.loop_extents[-1][2] <= 2:
+                loop, s, _ = self.loop_extents[-1]
+                self.loop_extents[-1] = (loop, s, idxs[-1])
+                return
+            loop = Loop(self.path, toks[0].line,
+                        self.loop_stack[-1] if self.loop_stack else
+                        None, self.enclosing_func())
+            self.fm.loops.append(loop)
+            self.loop_extents.append((loop, idxs[0], idxs[-1]))
+            return
+
+        if sc.kind in ("file", "namespace", "record"):
+            self._analyze_decl(sc, toks)
+        elif sc.kind in ("func", "loop", "ctrl", "block"):
+            self._maybe_local_atomic(toks)
+
+    def _analyze_decl(self, sc, toks):
+        """Field / global / method-declaration analysis."""
+        texts = [t.text for t in toks]
+        if not texts or texts[0] in ("using", "template", "friend",
+                                     "typedef"):
+            # method declarations inside templates etc. are rare here
+            pass
+        rec = sc.obj if sc.kind == "record" else None
+
+        # Method declaration: `ret name(args) [qualifiers]` with no
+        # body -- record its access for out-of-line definitions.
+        if rec is not None:
+            name = _func_name_from_header(toks)
+            if name:
+                self.method_access[(rec.name, name[0])] = sc.access
+                return
+
+        decl = _parse_atomic_decl(toks)
+        if decl is None:
+            return
+        name, is_ptr, is_ref, alignas64 = decl
+        storage = "field" if rec is not None else "global"
+        d = AtomicDecl(name, self.path, toks[0].line, record=rec,
+                       storage=storage, is_pointer=is_ptr,
+                       is_reference=is_ref, alignas64=alignas64)
+        self.fm.atomic_decls.append(d)
+        if rec is not None and not is_ptr and not is_ref:
+            rec.atomic_fields.append(d)
+
+    def _maybe_local_atomic(self, toks):
+        decl = _parse_atomic_decl(toks)
+        if decl is None:
+            return
+        name, is_ptr, is_ref, alignas64 = decl
+        d = AtomicDecl(name, self.path, toks[0].line, record=None,
+                       storage="local", is_pointer=is_ptr,
+                       is_reference=is_ref, alignas64=alignas64,
+                       func=self.enclosing_func())
+        self.fm.atomic_decls.append(d)
+
+    def _extract_params(self, fn, header):
+        group = _param_group(header)
+        if group is None:
+            return
+        for part in _split_top_commas(group):
+            decl = _parse_atomic_decl(part, allow_unnamed=True)
+            if decl is None:
+                continue
+            name, is_ptr, is_ref, _ = decl
+            if not name:
+                continue
+            d = AtomicDecl(name, self.path,
+                           part[0].line if part else fn.line,
+                           record=None, storage="param",
+                           is_pointer=is_ptr, is_reference=is_ref,
+                           func=fn)
+            self.fm.atomic_decls.append(d)
+
+    # ----- pass B: ops, calls, operator accesses --------------------------
+
+    def extract_ops(self):
+        decl_lines = {(d.file, d.line) for d in self.fm.atomic_decls}
+        for fn, start, end in self.func_extents:
+            self._scan_range(fn, start, end, decl_lines)
+
+    def _loops_at(self, idx):
+        """Innermost-out list of loops whose extent contains idx."""
+        hits = [(e - s, loop) for loop, s, e in self.loop_extents
+                if s <= idx <= e]
+        hits.sort(key=lambda pair: pair[0])
+        return [loop for _, loop in hits]
+
+    def _scan_range(self, fn, start, end, decl_lines):
+        toks = self.toks
+        i = start
+        while i <= end and i < len(toks):
+            t = toks[i]
+            if t.kind in ("ident", "keyword"):
+                nxt = toks[i + 1] if i + 1 < len(toks) else None
+                prev = toks[i - 1] if i > 0 else None
+                if (nxt is not None and nxt.text == "("
+                        and t.kind == "ident"):
+                    callee = t.text
+                    qualified = callee
+                    if (prev is not None and prev.text == "::"
+                            and i >= 2 and toks[i - 2].kind == "ident"):
+                        qualified = toks[i - 2].text + "::" + callee
+                    fn.calls.append(qualified)
+                    for loop in self._loops_at(i):
+                        loop.calls.append(qualified)
+                    if (callee in ATOMIC_OPS and prev is not None
+                            and prev.text in (".", "->")):
+                        i = self._handle_atomic_op(fn, i, callee)
+                        continue
+                elif t.kind == "ident":
+                    self._maybe_operator_access(fn, i, decl_lines)
+            i += 1
+
+    def _handle_atomic_op(self, fn, i, method):
+        toks = self.toks
+        receiver = _receiver_before(toks, i - 1)
+        args, close = _call_args(toks, i + 1)
+        orders, order_args = [], set()
+        for ai, arg in enumerate(args):
+            o = _order_in_arg(arg)
+            if o is not None:
+                orders.append(o)
+                order_args.add(ai)
+        loops = self._loops_at(i)
+        loop = loops[0] if loops else None
+        snippet = _snippet(toks, i, close)
+        op = AtomicOp(method, receiver, None, self.path,
+                      toks[i].line, toks[i].col, orders,
+                      len(args), fn, loop, snippet)
+        op.order_positions = sorted(order_args)
+        self.fm.ops.append(op)
+        fn.ops.append(op)
+        for lp in loops:
+            lp.ops.append(op)
+        # Keep scanning inside the argument list so nested atomic ops
+        # (`x.store(y.load(...), ...)`) are still discovered.
+        return i + 1
+
+    def _maybe_operator_access(self, fn, i, decl_lines):
+        toks = self.toks
+        t = toks[i]
+        nxt = toks[i + 1] if i + 1 < len(toks) else None
+        prev = toks[i - 1] if i > 0 else None
+        hit = None
+        if nxt is not None and nxt.text in _ASSIGN_OPS | _INCDEC:
+            hit = nxt.text
+        elif prev is not None and prev.text in _INCDEC:
+            hit = prev.text
+        if hit is None:
+            return
+        # Member access through another object (x.foo ++) still
+        # resolves by terminal name; but skip declarations.
+        if (self.path, t.line) in decl_lines:
+            return
+        # Skip `ident =` where the ident is preceded by . or -> on a
+        # NON-atomic chain -- resolution decides later; record the
+        # candidate with its terminal name.
+        acc = OperatorAccess(hit, None, self.path, t.line, t.col,
+                             "%s %s" % (t.text, hit))
+        acc.name = t.text
+        acc.func = fn
+        acc.through = (prev.text if prev is not None
+                       and prev.text in (".", "->") else None)
+        self.fm.operator_accesses.append(acc)
+
+
+# ----- header classification ---------------------------------------------
+
+
+def _strip_intro(header):
+    """Drop template intros, attributes, and storage keywords."""
+    toks = list(header)
+    out = []
+    i = 0
+    while i < len(toks):
+        t = toks[i]
+        if t.text == "template" and i + 1 < len(toks) and \
+                toks[i + 1].text == "<":
+            depth = 0
+            i += 1
+            while i < len(toks):
+                if toks[i].text == "<":
+                    depth += 1
+                elif toks[i].text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif toks[i].text == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        break
+                i += 1
+            i += 1
+            continue
+        if t.text == "[" and i + 1 < len(toks) and \
+                toks[i + 1].text == "[":
+            depth = 0
+            while i < len(toks):
+                if toks[i].text == "[":
+                    depth += 1
+                elif toks[i].text == "]":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            i += 1
+            continue
+        if t.kind == "keyword" and t.text in _DECL_PREFIX_SKIP:
+            i += 1
+            continue
+        out.append(t)
+        i += 1
+    return out
+
+
+def _classify_header(header):
+    toks = _strip_intro(header)
+    if not toks:
+        return "block", None
+    first = toks[0]
+
+    if first.text == "namespace":
+        parts = []
+        for t in toks[1:]:
+            if t.kind == "ident":
+                parts.append(t.text)
+            elif t.text == "::":
+                continue
+            else:
+                break
+        return "namespace", "::".join(parts)
+
+    if first.text == "enum":
+        name = ""
+        for t in toks[1:]:
+            if t.kind == "ident":
+                name = t.text
+                break
+            if t.text == ":":
+                break
+        return "enum", name
+
+    if first.text in ("class", "struct", "union"):
+        name = ""
+        alignas64 = False
+        i = 1
+        while i < len(toks):
+            t = toks[i]
+            if t.text == "alignas":
+                alignas64 = _alignas_is_padded(toks, i)
+                while i < len(toks) and toks[i].text != ")":
+                    i += 1
+            elif t.kind == "ident" and not name:
+                name = t.text
+            elif t.text in (":", "final"):
+                break
+            i += 1
+        return "record", (first.text, name, alignas64)
+
+    if first.kind == "keyword" and first.text in _CONTROL_KEYWORDS:
+        if first.text in _LOOP_KEYWORDS:
+            return "loop", None
+        if (first.text == "else" and len(toks) > 1
+                and toks[1].text in _LOOP_KEYWORDS):
+            return "loop", None
+        return "ctrl", None
+
+    if first.text == "extern":
+        return "block", None
+
+    name = _func_name_from_header(header)
+    if name:
+        return "func", name
+    return "block", None
+
+
+def _func_name_from_header(header):
+    """(name, qualifier) when the header is a function signature,
+    else None.  The parameter list is the first top-level paren group
+    preceded by an identifier or `operator X`."""
+    toks = header
+    depth = 0
+    for i, t in enumerate(toks):
+        if t.text == "(":
+            if depth == 0 and i > 0:
+                prev = toks[i - 1]
+                if prev.kind == "ident":
+                    qualifier = None
+                    if i >= 3 and toks[i - 2].text == "::" and \
+                            toks[i - 3].kind == "ident":
+                        qualifier = toks[i - 3].text
+                    if prev.text not in ("alignas", "decltype",
+                                         "noexcept", "sizeof",
+                                         "alignof"):
+                        return (prev.text, qualifier)
+                if prev.kind == "keyword" and prev.text == "operator":
+                    return ("operator()", None)
+                if prev.kind == "punct" and i >= 2 and \
+                        toks[i - 2].text == "operator":
+                    return ("operator" + prev.text, None)
+                return None
+            depth += 1
+        elif t.text == ")":
+            depth = max(0, depth - 1)
+    return None
+
+
+def _alignas_is_padded(toks, i):
+    """alignas(N) with N >= 64, or a named constant (assumed ok)."""
+    j = i + 1
+    if j < len(toks) and toks[j].text == "(":
+        j += 1
+        if j < len(toks):
+            t = toks[j]
+            if t.kind == "number":
+                try:
+                    return int(t.text, 0) >= 64
+                except ValueError:
+                    return True
+            return True
+    return False
+
+
+# ----- declaration parsing ------------------------------------------------
+
+
+def _parse_atomic_decl(toks, allow_unnamed=False):
+    """If toks declare a std::atomic variable, return
+    (name, is_pointer, is_reference, alignas64); else None."""
+    texts = [t.text for t in toks]
+    at = -1
+    for i, x in enumerate(texts):
+        if x == "atomic" or x == "atomic_flag" or \
+                x.startswith("atomic_"):
+            # require std:: or bare atomic usage as a type name
+            if i >= 2 and texts[i - 1] == "::" and \
+                    texts[i - 2] == "std":
+                at = i
+                break
+            if i == 0 or texts[i - 1] not in (".", "->"):
+                at = i
+                break
+    if at < 0:
+        return None
+    # Don't treat expressions (e.g. `x = atomic_thing.load()`) or
+    # using-aliases as declarations.
+    if "using" in texts[:at] or "return" in texts[:at]:
+        return None
+    if "=" in texts[:at]:
+        return None
+
+    alignas64 = False
+    for i, x in enumerate(texts):
+        if x == "alignas":
+            alignas64 = _alignas_is_padded(toks, i)
+            break
+
+    # Skip the template argument list, then read the declarator.
+    j = at + 1
+    if j < len(texts) and texts[j] == "<":
+        depth = 0
+        while j < len(texts):
+            if texts[j] == "<":
+                depth += 1
+            elif texts[j] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif texts[j] == ">>":
+                depth -= 2
+                if depth <= 0:
+                    break
+            j += 1
+        j += 1
+    is_ptr = False
+    is_ref = False
+    name = None
+    while j < len(texts):
+        x = texts[j]
+        if x == "*":
+            is_ptr = True
+        elif x == "&" or x == "&&":
+            is_ref = True
+        elif x in ("const", "volatile"):
+            pass
+        elif toks[j].kind == "ident":
+            name = x
+        elif x in (";", "=", "[", "{", ",", ")"):
+            break
+        else:
+            break
+        j += 1
+    if name is None and not allow_unnamed:
+        return None
+    if name is None:
+        return None
+    return (name, is_ptr, is_ref, alignas64)
+
+
+# ----- expression helpers -------------------------------------------------
+
+
+def _receiver_before(toks, dot_idx):
+    """Terminal identifier of the receiver component directly before
+    the `.`/`->` at dot_idx (skipping one []-subscript group)."""
+    j = dot_idx - 1
+    if j >= 0 and toks[j].text == "]":
+        depth = 0
+        while j >= 0:
+            if toks[j].text == "]":
+                depth += 1
+            elif toks[j].text == "[":
+                depth -= 1
+                if depth == 0:
+                    j -= 1
+                    break
+            j -= 1
+    if j >= 0 and toks[j].kind == "ident":
+        return toks[j].text
+    return None
+
+
+def _call_args(toks, open_idx):
+    """Split the args of the call whose '(' is at open_idx.
+    Returns ([arg_token_lists], close_idx)."""
+    args = []
+    cur = []
+    depth = 0
+    i = open_idx
+    while i < len(toks):
+        t = toks[i]
+        if t.text in ("(", "[", "{"):
+            depth += 1
+            if depth > 1:
+                cur.append(t)
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+            if depth == 0:
+                if cur:
+                    args.append(cur)
+                return args, i
+            cur.append(t)
+        elif t.text == "," and depth == 1:
+            args.append(cur)
+            cur = []
+        else:
+            if depth >= 1:
+                cur.append(t)
+        i += 1
+    if cur:
+        args.append(cur)
+    return args, len(toks) - 1
+
+
+def _order_in_arg(arg):
+    """Normalized memory order named in an argument, if any."""
+    for k, t in enumerate(arg):
+        if t.kind != "ident":
+            continue
+        x = t.text
+        if x in MEMORY_ORDERS and x.startswith("memory_order"):
+            return MEMORY_ORDERS[x]
+        if x == "memory_order" and k + 2 < len(arg) and \
+                arg[k + 1].text == "::":
+            return MEMORY_ORDERS.get(arg[k + 2].text)
+    return None
+
+
+def _split_top_commas(toks):
+    parts = []
+    cur = []
+    depth = 0
+    for t in toks:
+        if t.text in ("(", "[", "{", "<"):
+            depth += 1
+        elif t.text in (")", "]", "}", ">"):
+            depth -= 1
+        elif t.text == ">>":
+            depth -= 2
+        if t.text == "," and depth <= 0:
+            parts.append(cur)
+            cur = []
+        else:
+            cur.append(t)
+    if cur:
+        parts.append(cur)
+    return parts
+
+
+def _param_group(header):
+    """Token list inside the function header's parameter parens."""
+    depth = 0
+    start = None
+    for i, t in enumerate(header):
+        if t.text == "(":
+            if depth == 0 and i > 0 and header[i - 1].kind == "ident":
+                start = i + 1
+                depth = 1
+                continue
+            depth += 1 if depth else 0
+        elif t.text == ")" and depth:
+            depth -= 1
+            if depth == 0 and start is not None:
+                return header[start:i]
+        elif depth == 0:
+            continue
+    return None
+
+
+def _snippet(toks, start, end, limit=9):
+    parts = []
+    for t in toks[max(0, start - 3):min(end + 1, start + limit)]:
+        parts.append(t.text)
+    out = " ".join(parts)
+    return out if len(out) <= 72 else out[:69] + "..."

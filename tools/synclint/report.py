@@ -1,0 +1,94 @@
+"""Human table + machine-readable JSON output for Sync-Lint."""
+
+import json
+import os
+
+SCHEMA = "splash4-synclint-v1"
+
+
+def _rel(path, root):
+    try:
+        rel = os.path.relpath(path, root)
+    except ValueError:
+        return path
+    return path if rel.startswith("..") else rel
+
+
+def human_report(findings, files_analyzed, frontend, project_root,
+                 out):
+    active = [f for f in findings if not f.allowlisted]
+    allowed = [f for f in findings if f.allowlisted]
+    if active or allowed:
+        width = max(len("%s:%d:%d" % (_rel(f.file, project_root),
+                                      f.line, f.col))
+                    for f in findings)
+        for f in active + allowed:
+            loc = "%s:%d:%d" % (_rel(f.file, project_root), f.line,
+                                f.col)
+            tag = f.rule if not f.allowlisted else f.rule + "*"
+            out.write("%-4s %-*s %s\n" % (tag, width, loc, f.message))
+            if f.allowlisted:
+                out.write("     %-*s allowlisted: %s\n"
+                          % (width, "", f.reason))
+    if allowed:
+        out.write("(* = allowlisted, not counted)\n")
+    by_rule = {}
+    for f in active:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    if active:
+        parts = ", ".join("%s=%d" % kv for kv in sorted(
+            by_rule.items()))
+        out.write("sync-lint: %d finding(s) [%s] (%d allowlisted) "
+                  "across %d file(s) [frontend=%s]\n"
+                  % (len(active), parts, len(allowed),
+                     files_analyzed, frontend))
+    else:
+        out.write("sync-lint: clean -- %d file(s), 0 findings "
+                  "(%d allowlisted) [frontend=%s]\n"
+                  % (files_analyzed, len(allowed), frontend))
+
+
+def json_report(findings, files_analyzed, frontend, project_root,
+                roots, sync_roots, disabled, rules):
+    active = [f for f in findings if not f.allowlisted]
+    allowed = [f for f in findings if f.allowlisted]
+    by_rule = {}
+    for f in active:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+
+    def lower(f, with_reason=False):
+        d = {
+            "rule": f.rule,
+            "file": _rel(f.file, project_root),
+            "line": f.line,
+            "column": f.col,
+            "message": f.message,
+            "snippet": f.snippet,
+        }
+        if with_reason:
+            d["reason"] = f.reason
+        return d
+
+    return {
+        "schema": SCHEMA,
+        "frontend": frontend,
+        "roots": list(roots),
+        "sync_roots": list(sync_roots),
+        "files_analyzed": files_analyzed,
+        "rules": [{"id": rid, "name": name, "title": title,
+                   "enabled": rid not in disabled}
+                  for rid, name, title, _ in rules],
+        "findings": [lower(f) for f in active],
+        "allowlisted": [lower(f, with_reason=True) for f in allowed],
+        "summary": {
+            "total": len(active),
+            "allowlisted": len(allowed),
+            "by_rule": by_rule,
+        },
+    }
+
+
+def write_json(doc, path):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")

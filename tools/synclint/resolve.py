@@ -1,0 +1,139 @@
+"""Receiver resolution for the built-in frontend.
+
+The structural parser records atomic operations with their terminal
+receiver identifier; this pass binds each one to a declared
+std::atomic, links out-of-line member functions to their records, and
+discards ambiguous-name calls (`.load()`, `.clear()` ...) whose
+receiver is not a known atomic -- those are ordinary method calls on
+non-atomic objects (the simulated-cache `CacheLine::load`, container
+`clear()`, condition-variable `wait()`, ...).
+
+The clang frontend does not need this pass: there the receiver's type
+comes straight from the AST.
+"""
+
+from synclint.model import UNAMBIGUOUS_OPS
+
+
+def resolve(model):
+    records_by_name = {}
+    for r in model.all_records():
+        if r.name and r.name not in records_by_name:
+            records_by_name[r.name] = r
+
+    method_access = {}
+    for fm in model.files:
+        method_access.update(fm.method_access)
+
+    # Link out-of-line definitions (`void McsLock::lock()`) to their
+    # record and pick up the access of the in-class declaration.
+    for fm in model.files:
+        for fn in fm.funcs:
+            if fn.record is None and "::" in fn.qualname:
+                prefix = fn.qualname.split("::")[0]
+                rec = records_by_name.get(prefix)
+                if rec is not None:
+                    fn.record = rec
+                    fn.access = method_access.get(
+                        (rec.name, fn.name), fn.access)
+
+    # Indexes over atomic declarations.
+    by_func = {}        # (id(func), name) -> decl  [locals + params]
+    fields_by_rec = {}  # record-name -> {field-name: decl}
+    globals_by_file = {}
+    globals_all = {}
+    for fm in model.files:
+        for d in fm.atomic_decls:
+            if d.storage in ("local", "param") and d.func is not None:
+                by_func.setdefault((id(d.func), d.name), d)
+            elif d.storage == "field" and d.record is not None:
+                fields_by_rec.setdefault(
+                    d.record.name, {}).setdefault(d.name, d)
+            elif d.storage == "global":
+                globals_by_file.setdefault(
+                    fm.path, {}).setdefault(d.name, d)
+                globals_all.setdefault(d.name, d)
+
+    def field_in_file(path, name):
+        for fm in model.files:
+            if fm.path != path:
+                continue
+            for r in fm.records:
+                d = fields_by_rec.get(r.name, {}).get(name)
+                if d is not None:
+                    return d
+        return None
+
+    def field_anywhere(name):
+        for fields in fields_by_rec.values():
+            if name in fields:
+                return fields[name]
+        return None
+
+    def resolve_op(op):
+        recv = op.receiver
+        if recv is None:
+            return None
+        if op.func is not None:
+            d = by_func.get((id(op.func), recv))
+            if d is not None:
+                return d
+            if op.func.record is not None:
+                d = fields_by_rec.get(op.func.record.name,
+                                      {}).get(recv)
+                if d is not None:
+                    return d
+        d = field_in_file(op.file, recv)
+        if d is not None:
+            return d
+        d = globals_by_file.get(op.file, {}).get(recv)
+        if d is not None:
+            return d
+        d = globals_all.get(recv)
+        if d is not None:
+            return d
+        return field_anywhere(recv)
+
+    for fm in model.files:
+        kept = []
+        for op in fm.ops:
+            op.decl = resolve_op(op)
+            if op.decl is None and op.method not in UNAMBIGUOUS_OPS:
+                # Ambiguous method name on an unknown receiver:
+                # not an atomic op.
+                if op.func is not None and op in op.func.ops:
+                    op.func.ops.remove(op)
+                for lfm in model.files:
+                    for loop in lfm.loops:
+                        if op in loop.ops:
+                            loop.ops.remove(op)
+                continue
+            kept.append(op)
+        fm.ops = kept
+
+    # Operator-form accesses: keep only those that bind to a known
+    # value (or reference) atomic.  Deliberately narrower than op
+    # resolution -- no cross-file field matching on bare identifiers,
+    # which would false-positive on common names like `value`.
+    for fm in model.files:
+        kept = []
+        for acc in fm.operator_accesses:
+            d = None
+            if acc.func is not None:
+                d = by_func.get((id(acc.func), acc.name))
+                if d is None and acc.func.record is not None:
+                    d = fields_by_rec.get(acc.func.record.name,
+                                          {}).get(acc.name)
+            if d is None and acc.through is not None:
+                d = field_in_file(fm.path, acc.name)
+            if d is None:
+                d = globals_by_file.get(fm.path, {}).get(acc.name)
+            if d is None and acc.through is None:
+                d = globals_all.get(acc.name)
+            if d is None or d.is_pointer:
+                continue
+            acc.decl = d
+            kept.append(acc)
+        fm.operator_accesses = kept
+
+    return model

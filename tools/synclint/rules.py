@@ -1,0 +1,403 @@
+"""Sync-Lint rules R1-R6 over the shared concurrency model.
+
+Each rule is a pure function Model -> [Finding]; the frontends only
+differ in how the model was produced.  Rule semantics are documented
+in docs/ANALYSIS.md ("Static analysis"); the corpus under
+tests/tools/synclint_corpus/ proves each rule live.
+"""
+
+from synclint.model import (
+    VALUE_ARGS, ACQUIRE_SIDE, RELEASE_SIDE, ORDER_RANK,
+)
+
+
+class Finding:
+    __slots__ = ("rule", "file", "line", "col", "message", "snippet",
+                 "allowlisted", "reason")
+
+    def __init__(self, rule, file, line, col, message, snippet=""):
+        self.rule = rule
+        self.file = file
+        self.line = line
+        self.col = col
+        self.message = message
+        self.snippet = snippet
+        self.allowlisted = False
+        self.reason = ""
+
+
+class RuleConfig:
+    def __init__(self, sync_files, exempt_namespaces=None,
+                 r6_enum="SyncObjKind", r6_record="FastSlot",
+                 disabled=None):
+        self.sync_files = set(sync_files)
+        self.exempt_namespaces = set(
+            exempt_namespaces or ("sync_chaos", "sync_scope"))
+        self.r6_enum = r6_enum
+        self.r6_record = r6_record
+        self.disabled = set(disabled or ())
+
+
+def _terminal(call):
+    return call.split("::")[-1]
+
+
+def _calls_name(calls, name):
+    return any(_terminal(c) == name for c in calls)
+
+
+def _exempt(func, cfg):
+    if func is None:
+        return False
+    parts = set((func.namespace or "").split("::"))
+    if func.record is not None:
+        parts |= set((func.record.namespace or "").split("::"))
+    return bool(parts & cfg.exempt_namespaces)
+
+
+_RETRY_RMW = {"exchange", "test_and_set"}
+
+
+def _is_retry_rmw(op):
+    return op.is_cas or op.method in _RETRY_RMW
+
+
+# ----- R1: explicit memory orders -----------------------------------------
+
+
+def rule_r1(model, cfg):
+    out = []
+    for fm in model.files:
+        for op in fm.ops:
+            if op.is_cas:
+                continue  # CAS order handling belongs to R2
+            required = VALUE_ARGS.get(op.method)
+            if required is None:
+                continue  # notify_one/notify_all take no order
+            if op.n_args <= required:
+                out.append(Finding(
+                    "R1", op.file, op.line, op.col,
+                    "atomic .%s() without an explicit memory_order "
+                    "(implicitly seq_cst)" % op.method, op.snippet))
+            elif not op.orders:
+                out.append(Finding(
+                    "R1", op.file, op.line, op.col,
+                    "atomic .%s() order argument is not a recognized "
+                    "memory_order constant" % op.method, op.snippet))
+        for acc in fm.operator_accesses:
+            out.append(Finding(
+                "R1", acc.file, acc.line, acc.col,
+                "operator-form atomic access '%s' is implicitly "
+                "seq_cst; use an explicit .load/.store/.fetch_* with "
+                "a memory_order" % acc.snippet, acc.snippet))
+    return out
+
+
+# ----- R2: CAS order pairs + release/acquire pairing ----------------------
+
+
+def rule_r2(model, cfg):
+    out = []
+    release_ops = {}   # member_key -> first release-side write op
+    acquire_keys = set()
+    write_methods = {"store", "exchange", "fetch_add", "fetch_sub",
+                     "fetch_and", "fetch_or", "fetch_xor",
+                     "test_and_set"}
+    read_methods = {"load", "exchange", "fetch_add", "fetch_sub",
+                    "fetch_and", "fetch_or", "fetch_xor",
+                    "test_and_set", "wait", "test"}
+
+    for fm in model.files:
+        for op in fm.ops:
+            if op.is_cas:
+                out.extend(_check_cas(op))
+            key = op.member_key()
+            if key is None:
+                continue
+            pos_order = dict(zip(op.order_positions, op.orders))
+            if op.is_cas:
+                success = pos_order.get(2)
+                failure = pos_order.get(3)
+                if success in RELEASE_SIDE:
+                    release_ops.setdefault(key, op)
+                if success in ACQUIRE_SIDE or failure in ACQUIRE_SIDE:
+                    acquire_keys.add(key)
+            else:
+                sides = set(op.orders)
+                if op.method in write_methods and \
+                        sides & RELEASE_SIDE:
+                    release_ops.setdefault(key, op)
+                if op.method in read_methods and \
+                        sides & ACQUIRE_SIDE:
+                    acquire_keys.add(key)
+
+    for key, op in sorted(release_ops.items(),
+                          key=lambda kv: (kv[1].file, kv[1].line)):
+        if key not in acquire_keys:
+            out.append(Finding(
+                "R2", op.file, op.line, op.col,
+                "release-side write to %s::%s has no acquire-side "
+                "read of the same member in the analyzed roots"
+                % key, op.snippet))
+    return out
+
+
+def _check_cas(op):
+    pos_order = dict(zip(op.order_positions, op.orders))
+    if op.n_args <= 2:
+        return [Finding(
+            "R2", op.file, op.line, op.col,
+            "%s() with implicit success/failure memory orders"
+            % op.method, op.snippet)]
+    if op.n_args == 3:
+        return [Finding(
+            "R2", op.file, op.line, op.col,
+            "%s() names only a success order; the failure order must "
+            "be explicit too" % op.method, op.snippet)]
+    success = pos_order.get(2)
+    failure = pos_order.get(3)
+    if success is None or failure is None:
+        return [Finding(
+            "R2", op.file, op.line, op.col,
+            "%s() order arguments are not recognized memory_order "
+            "constants" % op.method, op.snippet)]
+    if failure in ("release", "acq_rel"):
+        return [Finding(
+            "R2", op.file, op.line, op.col,
+            "%s() failure order '%s' is invalid (must be a load "
+            "order)" % (op.method, failure), op.snippet)]
+    if ORDER_RANK[failure] > ORDER_RANK[success] or \
+            (success == "release" and failure in ("acquire",
+                                                  "consume")):
+        return [Finding(
+            "R2", op.file, op.line, op.col,
+            "%s() failure order '%s' is stronger than success order "
+            "'%s'" % (op.method, failure, success), op.snippet)]
+    return []
+
+
+# ----- R3: chaos-hook coverage of CAS retry loops -------------------------
+
+
+def rule_r3(model, cfg):
+    out = []
+    flagged_loops = set()
+    for fm in model.files:
+        if fm.path not in cfg.sync_files:
+            continue
+        for op in fm.ops:
+            if not _is_retry_rmw(op) or op.loop is None:
+                continue
+            if _exempt(op.func, cfg):
+                continue
+            if _calls_name(op.loop.calls, "forcedCasFail"):
+                continue
+            if id(op.loop) in flagged_loops:
+                continue
+            flagged_loops.add(id(op.loop))
+            out.append(Finding(
+                "R3", op.file, op.line, op.col,
+                "CAS retry loop (line %d) does not invoke "
+                "sync_chaos::forcedCasFail(); fault injection loses "
+                "coverage here" % op.loop.line, op.snippet))
+    return out
+
+
+# ----- R4: Sync-Scope attempt/retry hooks ---------------------------------
+
+
+def rule_r4(model, cfg):
+    out = []
+
+    funcs = list(model.all_funcs())
+    by_name = {}
+    for fn in funcs:
+        by_name.setdefault(fn.name, []).append(fn)
+
+    rmw = {id(f): any(op.is_rmw for op in f.ops) for f in funcs}
+    notes = {id(f): _calls_name(f.calls, "noteAttempt")
+             for f in funcs}
+
+    def candidates(fn, callee):
+        t = _terminal(callee)
+        cands = by_name.get(t, [])
+        if fn.record is not None:
+            same = [c for c in cands if c.record is not None
+                    and c.record.name == fn.record.name]
+            if same:
+                return same
+        return [c for c in cands if c.record is None
+                and c.file in cfg.sync_files]
+
+    edges = {id(f): [] for f in funcs}
+    for fn in funcs:
+        seen = set()
+        for callee in fn.calls:
+            t = _terminal(callee)
+            if t in seen:
+                continue
+            seen.add(t)
+            for c in candidates(fn, callee):
+                if c is not fn:
+                    edges[id(fn)].append(c)
+
+    changed = True
+    while changed:
+        changed = False
+        for fn in funcs:
+            for c in edges[id(fn)]:
+                if rmw[id(c)] and not rmw[id(fn)]:
+                    rmw[id(fn)] = True
+                    changed = True
+                if notes[id(c)] and not notes[id(fn)]:
+                    notes[id(fn)] = True
+                    changed = True
+
+    for fn in funcs:
+        if fn.file not in cfg.sync_files:
+            continue
+        if fn.access != "public" or _exempt(fn, cfg):
+            continue
+        if fn.record is not None and fn.name == fn.record.name:
+            continue  # constructors initialize, they don't operate
+        if fn.name.startswith("operator"):
+            continue
+        if rmw[id(fn)] and not notes[id(fn)]:
+            out.append(Finding(
+                "R4", fn.file, fn.line, 1,
+                "public primitive op %s() performs read-modify-write "
+                "atomics but never reaches sync_scope::noteAttempt()"
+                % fn.qualname))
+
+    flagged_loops = set()
+    for fm in model.files:
+        if fm.path not in cfg.sync_files:
+            continue
+        for op in fm.ops:
+            if not _is_retry_rmw(op) or op.loop is None:
+                continue
+            if _exempt(op.func, cfg):
+                continue
+            if _calls_name(op.loop.calls, "noteRetry"):
+                continue
+            if id(op.loop) in flagged_loops:
+                continue
+            flagged_loops.add(id(op.loop))
+            out.append(Finding(
+                "R4", op.file, op.line, op.col,
+                "retry loop (line %d) does not emit "
+                "sync_scope::noteRetry()" % op.loop.line,
+                op.snippet))
+    return out
+
+
+# ----- R5: alignas(64) padding of shared atomic-holding records -----------
+
+
+def rule_r5(model, cfg):
+    out = []
+    for fm in model.files:
+        for rec in fm.records:
+            fields = rec.atomic_fields
+            if len(fields) < 2:
+                continue
+            offenders = [f.name for f in fields if not f.alignas64]
+            if not offenders:
+                continue
+            out.append(Finding(
+                "R5", rec.file, rec.line, 1,
+                "record %s holds %d atomic members on a shared cache "
+                "line; add alignas(64) to: %s"
+                % (rec.qualname or rec.name or "(anon)", len(fields),
+                   ", ".join(offenders))))
+    return out
+
+
+# ----- R6: World handle kinds registered in the slot-table union ----------
+
+
+def rule_r6(model, cfg):
+    enum = model.find_enum(cfg.r6_enum)
+    rec = model.find_record(cfg.r6_record)
+    if enum is None and rec is None:
+        return []  # neither side in the analyzed roots: out of scope
+    if enum is None or rec is None:
+        present = enum or rec
+        return [Finding(
+            "R6", present.file, present.line, 1,
+            "registration pair incomplete: need both enum %s and "
+            "record %s in the analyzed roots"
+            % (cfg.r6_enum, cfg.r6_record))]
+    groups = set(rec.union_groups)
+    out = []
+    for name, line in enum.enumerators:
+        if name.lower() not in groups:
+            out.append(Finding(
+                "R6", enum.file, line, 1,
+                "handle kind %s::%s has no '%s' group in the %s "
+                "slot-table union (%s:%d)"
+                % (cfg.r6_enum, name, name.lower(), cfg.r6_record,
+                   rec.file, rec.line)))
+    return out
+
+
+RULES = [
+    ("R1", "explicit-memory-order",
+     "every std::atomic operation names an explicit memory_order",
+     rule_r1),
+    ("R2", "cas-order-pairs",
+     "CAS success/failure orders are explicit and valid; release "
+     "writes pair with acquire reads on the same member", rule_r2),
+    ("R3", "chaos-hook-coverage",
+     "every CAS retry loop in src/sync invokes "
+     "sync_chaos::forcedCasFail()", rule_r3),
+    ("R4", "sync-scope-hooks",
+     "public primitive ops emit sync_scope attempt/retry hooks",
+     rule_r4),
+    ("R5", "false-sharing-padding",
+     "records holding multiple atomics pad them with alignas(64)",
+     rule_r5),
+    ("R6", "slot-table-registration",
+     "every SyncObjKind handle kind has a FastSlot union group",
+     rule_r6),
+]
+
+
+def run_rules(model, cfg):
+    findings = []
+    for rule_id, _, _, fn in RULES:
+        if rule_id in cfg.disabled:
+            continue
+        findings.extend(fn(model, cfg))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings
+
+
+def apply_allowlist(model, findings):
+    """Mark allowlisted findings; emit hygiene findings for pragmas
+    that are unjustified or match nothing."""
+    allows = [a for fm in model.files for a in fm.allows]
+    for f in findings:
+        for a in allows:
+            if a.file != f.file or f.rule not in a.rules:
+                continue
+            if f.line not in (a.line, a.anchor):
+                continue
+            a.used = True
+            if a.reason:
+                f.allowlisted = True
+                f.reason = a.reason
+            break
+    hygiene = []
+    for a in allows:
+        if not a.reason:
+            hygiene.append(Finding(
+                "R0", a.file, a.line, 1,
+                "allowlist pragma without a justification; write "
+                "`// synclint: allow(Rn) <reason>`"))
+        elif not a.used:
+            hygiene.append(Finding(
+                "R0", a.file, a.line, 1,
+                "unused allowlist pragma (no matching finding); "
+                "remove it"))
+    return findings + hygiene
