@@ -13,6 +13,7 @@
  *   --quick      shorthand for --scale=0.25
  *   --threads=N  simulated thread count where applicable (default 64)
  *   --jobs=N     concurrent fork-isolated jobs (default 1: in-process)
+ *   --retries=N  Run-Guard retry budget per job (default 1)
  *   --csv        CSV output instead of markdown
  */
 
@@ -41,6 +42,7 @@ struct ExperimentOptions
     double scale = 1.0;
     int threads = 64;
     int jobs = 1;
+    int retries = 1;
     bool csv = false;
 
     ExperimentOptions(int argc, char** argv)
@@ -52,6 +54,9 @@ struct ExperimentOptions
         jobs = static_cast<int>(args.getInt("jobs", 1));
         if (jobs < 1)
             fatal("--jobs needs at least one worker");
+        retries = static_cast<int>(args.getInt("retries", 1));
+        if (retries < 0)
+            fatal("--retries cannot be negative");
         csv = args.has("csv");
     }
 
@@ -76,7 +81,7 @@ class ExperimentPlan
 {
   public:
     explicit ExperimentPlan(const ExperimentOptions& opts)
-        : jobs_(opts.jobs)
+        : jobs_(opts.jobs), retries_(opts.retries)
     {
     }
 
@@ -102,6 +107,13 @@ class ExperimentPlan
     {
         SchedulerOptions sched;
         sched.jobs = jobs_;
+        // Experiments keep the Run-Guard retry budget (a crashed
+        // repetition must not abort a figure) but never quarantine:
+        // a figure needs every configuration's real result, not a
+        // skipped row (the Splash-4 methodology compares complete
+        // cross products).
+        sched.retry.maxRetries = retries_;
+        sched.retry.quarantineAfter = 0;
         outcomes_ = runPlan(plan_, sched);
     }
 
@@ -124,6 +136,7 @@ class ExperimentPlan
 
   private:
     int jobs_;
+    int retries_;
     RunPlan plan_;
     std::vector<JobOutcome> outcomes_;
 };

@@ -47,6 +47,97 @@ chaosPreset(int level, std::uint64_t seed)
     return chaos;
 }
 
+/**
+ * FNV-1a hashes the textual key, the seed is mixed in, and splitmix64
+ * whitens the result; nothing here depends on call order, wall time,
+ * or which worker evaluates it.
+ */
+double
+deterministicDraw(std::uint64_t seed, const char* kind,
+                  const std::string& jobId, int attempt)
+{
+    std::uint64_t h = 1469598103934665603ull; // FNV-1a offset basis
+    const auto mix = [&h](const std::string& s) {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ull; // FNV-1a prime
+        }
+        h ^= static_cast<unsigned char>('/');
+        h *= 1099511628211ull;
+    };
+    mix(kind);
+    mix(jobId);
+    mix(std::to_string(attempt));
+    std::uint64_t x = h ^ seed;
+    // splitmix64 finalizer
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+bool
+HarnessChaosOptions::drawKill(const std::string& jobId, int attempt) const
+{
+    return enabled &&
+           deterministicDraw(seed, "kill", jobId, attempt) < killChildProb;
+}
+
+bool
+HarnessChaosOptions::drawWedge(const std::string& jobId, int attempt) const
+{
+    return enabled && deterministicDraw(seed, "wedge", jobId, attempt) <
+                          wedgeChildProb;
+}
+
+bool
+HarnessChaosOptions::drawTear(const std::string& jobId, int attempt) const
+{
+    return enabled &&
+           deterministicDraw(seed, "tear", jobId, attempt) < tearStoreProb;
+}
+
+std::string
+HarnessChaosOptions::describe() const
+{
+    if (!enabled)
+        return "-";
+    return "seed=" + std::to_string(seed);
+}
+
+HarnessChaosOptions
+harnessChaosPreset(int level, std::uint64_t seed)
+{
+    HarnessChaosOptions chaos;
+    chaos.seed = seed;
+    switch (level) {
+      case 0:
+        break;
+      case 1: // mild: rare mid-run kills, occasional torn appends
+        chaos.enabled = true;
+        chaos.killChildProb = 0.1;
+        chaos.wedgeChildProb = 0.0;
+        chaos.tearStoreProb = 0.05;
+        break;
+      case 2: // aggressive: frequent kills, wedges, regular tears
+        chaos.enabled = true;
+        chaos.killChildProb = 0.25;
+        chaos.wedgeChildProb = 0.1;
+        chaos.tearStoreProb = 0.15;
+        break;
+      case 3: // storm: most jobs need a retry to survive
+        chaos.enabled = true;
+        chaos.killChildProb = 0.45;
+        chaos.wedgeChildProb = 0.2;
+        chaos.tearStoreProb = 0.3;
+        break;
+      default:
+        fatal("--chaos-harness must be 0..3");
+    }
+    return chaos;
+}
+
 int
 watchdogExitCode(RunStatus status)
 {
@@ -57,7 +148,7 @@ RunStatus
 watchdogExitStatus(int exitCode)
 {
     const int lo = watchdogExitCode(RunStatus::Deadlock);
-    const int hi = watchdogExitCode(RunStatus::Crash);
+    const int hi = watchdogExitCode(RunStatus::CpuLimit);
     if (exitCode < lo || exitCode > hi)
         return RunStatus::Ok;
     return static_cast<RunStatus>(exitCode - kWatchdogExitBase);

@@ -70,6 +70,73 @@ struct ChaosOptions
 ChaosOptions chaosPreset(int level, std::uint64_t seed);
 
 /**
+ * Run-Guard harness-level chaos: seeded faults against the campaign
+ * *infrastructure* rather than the workload.  Where ChaosOptions
+ * perturbs synchronization operations inside a run, these faults kill
+ * isolated children mid-run, wedge them (heartbeats stop but the
+ * process lives), and tear the ResultStore tail — the failures a
+ * long-running campaign service actually sees.
+ *
+ * Every decision is a pure function of (seed, fault kind, jobId,
+ * attempt).  It does not depend on wall time, scheduling order, or
+ * worker count, so a campaign under --jobs=1 and --jobs=4 injects the
+ * *same* faults into the *same* jobs, and the recovery machinery can
+ * be held to bit-identical reports (tests/harness/test_run_guard.cc).
+ * jobIds are content-derived (core/run_plan.h), so a {seed, plan}
+ * pair reproduces across machines.
+ */
+struct HarnessChaosOptions
+{
+    bool enabled = false;
+
+    /** Master seed; every per-job decision derives from it. */
+    std::uint64_t seed = 0;
+
+    /** Probability a child is SIGKILLed mid-run (looks like a crash). */
+    double killChildProb = 0.0;
+
+    /**
+     * Probability a child wedges: it keeps running but stops sending
+     * heartbeats and never produces a result, so only the heartbeat
+     * protocol (not the wall-clock watchdog) catches it quickly.
+     */
+    double wedgeChildProb = 0.0;
+
+    /**
+     * Probability a ResultStore append is torn: half the record is
+     * written without its newline, simulating a crash mid-write.
+     */
+    double tearStoreProb = 0.0;
+
+    /** Deterministic decision: kill this (jobId, attempt)? */
+    bool drawKill(const std::string& jobId, int attempt) const;
+
+    /** Deterministic decision: wedge this (jobId, attempt)? */
+    bool drawWedge(const std::string& jobId, int attempt) const;
+
+    /** Deterministic decision: tear the store append for this job? */
+    bool drawTear(const std::string& jobId, int attempt) const;
+
+    /** Short description for logs ("-" when disabled). */
+    std::string describe() const;
+};
+
+/**
+ * Canonical harness-chaos intensities for --chaos-harness:
+ *  0 disabled, 1 mild, 2 aggressive, 3 storm.
+ */
+HarnessChaosOptions harnessChaosPreset(int level, std::uint64_t seed);
+
+/**
+ * The deterministic uniform draw in [0, 1) behind every Run-Guard
+ * decision, keyed by (seed, kind, jobId, attempt).  Exposed so other
+ * per-job randomness (retry backoff jitter) shares the same
+ * order-independent discipline instead of inventing its own.
+ */
+double deterministicDraw(std::uint64_t seed, const char* kind,
+                         const std::string& jobId, int attempt);
+
+/**
  * Progress budgets turning hangs into structured outcomes.  Zero
  * fields fall back to the generous defaults below; fixtures plant
  * tight budgets to classify failures quickly.
@@ -116,7 +183,11 @@ constexpr int kWatchdogExitBase = 40;
 /** Exit code encoding a watchdog-detected status. */
 int watchdogExitCode(RunStatus status);
 
-/** Decode watchdogExitCode(); RunStatus::Ok if not one. */
+/**
+ * Decode watchdogExitCode(); RunStatus::Ok if not one.  Decodes every
+ * failure status (Deadlock through CpuLimit) — OutOfMemory rides this
+ * protocol when a child's new-handler fires under RLIMIT_AS.
+ */
 RunStatus watchdogExitStatus(int exitCode);
 
 } // namespace splash

@@ -20,6 +20,14 @@ toString(RunStatus status)
         return "timeout";
       case RunStatus::Crash:
         return "crash";
+      case RunStatus::OutOfMemory:
+        return "oom";
+      case RunStatus::CpuLimit:
+        return "cpu-limit";
+      case RunStatus::Hung:
+        return "hung";
+      case RunStatus::Quarantined:
+        return "quarantined";
     }
     return "unknown";
 }

@@ -75,6 +75,11 @@ enum class BarrierKind
  * Outcome classification of one benchmark run.  Everything except Ok is
  * a failure; the distinctions drive the suite's per-benchmark status
  * table and let a failure be reproduced from its chaos seed.
+ *
+ * The values are stable identifiers: they cross the fork-isolation
+ * pipe numerically and ride the watchdog exit-code protocol
+ * (kWatchdogExitBase + value), so new statuses are appended, never
+ * inserted.
  */
 enum class RunStatus
 {
@@ -84,7 +89,16 @@ enum class RunStatus
     Livelock,     ///< sync operations keep flowing but the run never ends
     Timeout,      ///< virtual-time or wall-clock budget exhausted
     Crash,        ///< the (isolated) run died on a signal or abort
+    OutOfMemory,  ///< RLIMIT_AS exhausted (allocation failure in child)
+    CpuLimit,     ///< RLIMIT_CPU exhausted (kernel SIGXCPU)
+    Hung,         ///< heartbeats stopped; the parent escalated a kill
+    Quarantined,  ///< skipped: its benchmark exhausted the campaign's
+                  ///< failure patience (Run-Guard quarantine list)
 };
+
+/** One past the last RunStatus value (for table-driven code). */
+constexpr int kNumRunStatuses =
+    static_cast<int>(RunStatus::Quarantined) + 1;
 
 /** Name of a run status for reports ("ok", "deadlock", ...). */
 const char* toString(RunStatus status);

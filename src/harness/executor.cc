@@ -1,10 +1,14 @@
 #include "harness/executor.h"
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <sstream>
+#include <thread>
 
 #include "core/benchmark.h"
 #include "core/sync_profile.h"
@@ -16,6 +20,7 @@
 #define SPLASH_HAVE_FORK_ISOLATION 1
 #include <poll.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 #else
@@ -202,10 +207,111 @@ confineToCoreSet(const std::vector<int>& cores)
 
 #if SPLASH_HAVE_FORK_ISOLATION
 
+/** Child-side new-handler: carry OOM out via the exit-code protocol. */
+[[noreturn]] void
+oomExit()
+{
+    _exit(watchdogExitCode(RunStatus::OutOfMemory));
+}
+
+/**
+ * Apply Run-Guard kernel limits inside the forked child.  Core dumps
+ * are always off (a chaos campaign kills children on purpose; cores
+ * would flood the disk).  Best-effort: a refused setrlimit warns and
+ * runs unlimited rather than failing the job.
+ */
+void
+applyResourceLimits(const ResourceLimits& limits)
+{
+    struct rlimit rl;
+    rl.rlim_cur = 0;
+    rl.rlim_max = 0;
+    (void)setrlimit(RLIMIT_CORE, &rl);
+    if (limits.maxAddressSpaceMb > 0) {
+        const rlim_t bytes =
+            static_cast<rlim_t>(limits.maxAddressSpaceMb) * 1024 * 1024;
+        rl.rlim_cur = bytes;
+        rl.rlim_max = bytes;
+        if (setrlimit(RLIMIT_AS, &rl) != 0)
+            warn("run-guard: cannot apply RLIMIT_AS; running unlimited");
+        // An allocation past the ceiling must classify as OutOfMemory,
+        // not Crash: route operator-new failure through the watchdog
+        // exit-code protocol.
+        std::set_new_handler(oomExit);
+    }
+    if (limits.maxCpuSeconds > 0) {
+        // Soft limit delivers SIGXCPU (classified CpuLimit by the
+        // parent); the hard limit sits above so the kernel's SIGKILL
+        // never races the classification.
+        rl.rlim_cur = static_cast<rlim_t>(limits.maxCpuSeconds);
+        rl.rlim_max = static_cast<rlim_t>(limits.maxCpuSeconds) + 5;
+        if (setrlimit(RLIMIT_CPU, &rl) != 0)
+            warn("run-guard: cannot apply RLIMIT_CPU; running unlimited");
+    }
+}
+
+/** Write all of @p data to @p fd (short writes retried). */
+void
+writeAll(int fd, const std::string& data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = write(fd, data.data() + off, data.size() - off);
+        if (n <= 0)
+            break;
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+/**
+ * Why the parent decided to end the child (escalation trigger).  The
+ * distinction drives the RunStatus: a silent pipe means *hung*, an
+ * exhausted wall budget merely *slow*.
+ */
+enum class KillReason
+{
+    None,
+    WallLimit,
+    HeartbeatSilence,
+};
+
+/**
+ * SIGTERM -> bounded grace -> SIGKILL.  Keeps draining the pipe
+ * during the grace so a child blocked writing its result can still
+ * die.  @return true when SIGTERM sufficed, false when the child had
+ * to be SIGKILLed — a wedged child must never pin a worker slot.
+ */
+bool
+escalateKill(pid_t pid, int pipeFd, double graceSeconds)
+{
+    kill(pid, SIGTERM);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(graceSeconds));
+    char buf[4096];
+    for (;;) {
+        int wstatus = 0;
+        if (waitpid(pid, &wstatus, WNOHANG) == pid)
+            return true; // child honored SIGTERM within the grace
+        struct pollfd pfd = {pipeFd, POLLIN, 0};
+        if (poll(&pfd, 1, 50 /* ms */) > 0) {
+            if (read(pipeFd, buf, sizeof buf) <= 0) {
+                // EOF: writer gone; keep waiting for the zombie.
+            }
+        }
+        if (std::chrono::steady_clock::now() >= deadline) {
+            kill(pid, SIGKILL);
+            return false;
+        }
+    }
+}
+
 /** One fork-isolated attempt; never throws, never takes the suite down. */
 RunResult
 runIsolatedAttempt(const std::string& name, const RunConfig& config,
-                   const IsolateOptions& iso)
+                   const IsolateOptions& iso, const std::string& jobId,
+                   int attempt)
 {
     int fds[2];
     if (pipe(fds) != 0)
@@ -220,75 +326,155 @@ runIsolatedAttempt(const std::string& name, const RunConfig& config,
         // _exit without flushing the parent's duplicated buffers.
         close(fds[0]);
         confineToCoreSet(config.cpuAffinity);
-        RunResult result = runBenchmark(name, config);
-        const std::string wire = serializeRunResult(result);
-        std::size_t off = 0;
-        while (off < wire.size()) {
-            const ssize_t n =
-                write(fds[1], wire.data() + off, wire.size() - off);
-            if (n <= 0)
-                break;
-            off += static_cast<std::size_t>(n);
+        applyResourceLimits(iso.limits);
+
+        // Run-Guard harness chaos, drawn deterministically from
+        // (seed, kind, jobId, attempt): a killed child looks exactly
+        // like a mid-run crash; a wedged one keeps living but goes
+        // silent and shrugs off SIGTERM, so only heartbeat detection
+        // plus SIGKILL escalation can reclaim its worker slot.
+        if (iso.harnessChaos.drawKill(jobId, attempt))
+            raise(SIGKILL);
+        if (iso.harnessChaos.drawWedge(jobId, attempt)) {
+            signal(SIGTERM, SIG_IGN);
+            for (;;)
+                pause();
         }
+
+        // Heartbeat emitter: proof-of-life frames on the result pipe
+        // while the benchmark runs.  Joined before the result is
+        // serialized, so frames never interleave with result bytes
+        // (and the decoder would ignore them anyway).
+        std::atomic<bool> done{false};
+        std::thread heartbeat;
+        if (iso.heartbeatIntervalSeconds > 0) {
+            const int fd = fds[1];
+            const double interval = iso.heartbeatIntervalSeconds;
+            heartbeat = std::thread([fd, interval, &done] {
+                std::uint64_t n = 0;
+                while (!done.load(std::memory_order_relaxed)) {
+                    writeAll(fd, wire::heartbeatLine(n++));
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(interval));
+                }
+            });
+        }
+
+        RunResult result = runBenchmark(name, config);
+
+        if (heartbeat.joinable()) {
+            done.store(true, std::memory_order_relaxed);
+            heartbeat.join();
+        }
+        writeAll(fds[1], serializeRunResult(result));
         close(fds[1]);
         _exit(0);
     }
 
-    // Parent: drain the pipe until EOF or the attempt deadline.
+    // Parent: drain the pipe until EOF, the wall deadline, or — with
+    // heartbeat detection on — a silence longer than the heartbeat
+    // timeout (any pipe byte counts as proof of life).
     close(fds[1]);
     const double limit = attemptTimeout(config, iso);
-    double waited = 0.0;
-    bool timedOut = false;
-    std::string wire;
+    const auto start = std::chrono::steady_clock::now();
+    auto lastByte = start;
+    KillReason killReason = KillReason::None;
+    double silentFor = 0.0;
+    std::string wireText;
     char buf[4096];
     for (;;) {
         struct pollfd pfd = {fds[0], POLLIN, 0};
         const int ready = poll(&pfd, 1, 200 /* ms */);
+        const auto now = std::chrono::steady_clock::now();
         if (ready > 0) {
             const ssize_t n = read(fds[0], buf, sizeof(buf));
             if (n <= 0)
                 break; // EOF: child finished (or died)
-            wire.append(buf, static_cast<std::size_t>(n));
+            wireText.append(buf, static_cast<std::size_t>(n));
+            lastByte = now;
             continue;
         }
-        waited += 0.2;
-        if (waited >= limit) {
-            timedOut = true;
-            kill(pid, SIGKILL);
+        const double elapsed =
+            std::chrono::duration<double>(now - start).count();
+        silentFor = std::chrono::duration<double>(now - lastByte).count();
+        if (iso.heartbeatTimeoutSeconds > 0 &&
+            silentFor >= iso.heartbeatTimeoutSeconds) {
+            killReason = KillReason::HeartbeatSilence;
+            break;
+        }
+        if (elapsed >= limit) {
+            killReason = KillReason::WallLimit;
             break;
         }
     }
+
+    bool termSufficed = true;
+    if (killReason != KillReason::None)
+        termSufficed = escalateKill(pid, fds[0], iso.killGraceSeconds);
     close(fds[0]);
 
     int wstatus = 0;
-    while (waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+    if (!(killReason != KillReason::None && termSufficed)) {
+        // escalateKill()'s WNOHANG already reaped a SIGTERM-compliant
+        // child; everything else is reaped here.
+        while (waitpid(pid, &wstatus, 0) < 0 && errno == EINTR) {
+        }
     }
 
     RunResult result;
     result.verified = false;
-    if (timedOut) {
+    if (killReason == KillReason::HeartbeatSilence) {
+        result.status = RunStatus::Hung;
+        std::ostringstream os;
+        os << "no heartbeat for " << silentFor << "s (timeout "
+           << iso.heartbeatTimeoutSeconds << "s); "
+           << (termSufficed ? "child terminated by SIGTERM"
+                            : "child ignored SIGTERM; escalated to "
+                              "SIGKILL");
+        result.statusDetail = os.str();
+        result.verifyMessage = "skipped: run hung";
+        return result;
+    }
+    if (killReason == KillReason::WallLimit) {
         result.status = RunStatus::Timeout;
         std::ostringstream os;
-        os << "isolated run exceeded " << limit
-           << "s wall limit; child killed";
+        os << "isolated run exceeded " << limit << "s wall limit; "
+           << (termSufficed ? "child terminated by SIGTERM"
+                            : "child ignored SIGTERM; escalated to "
+                              "SIGKILL");
         result.statusDetail = os.str();
         result.verifyMessage = "skipped: run timeout";
         return result;
     }
     if (WIFSIGNALED(wstatus)) {
-        result.status = RunStatus::Crash;
         const int sig = WTERMSIG(wstatus);
+        result.status =
+            sig == SIGXCPU ? RunStatus::CpuLimit : RunStatus::Crash;
         std::ostringstream os;
-        os << "child killed by signal " << sig << " ("
-           << strsignal(sig) << ")";
+        if (sig == SIGXCPU)
+            os << "RLIMIT_CPU (" << iso.limits.maxCpuSeconds
+               << "s) exhausted (SIGXCPU)";
+        else
+            os << "child killed by signal " << sig << " ("
+               << strsignal(sig) << ")";
         result.statusDetail = os.str();
-        result.verifyMessage = "skipped: run crash";
+        result.verifyMessage =
+            std::string("skipped: run ") + toString(result.status);
         return result;
     }
     const int code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1;
-    if (code == 0 && deserializeRunResult(wire, result))
+    if (code == 0 && deserializeRunResult(wireText, result))
         return result;
     const RunStatus decoded = watchdogExitStatus(code);
+    if (decoded == RunStatus::OutOfMemory) {
+        result.status = decoded;
+        std::ostringstream os;
+        os << "RLIMIT_AS (" << iso.limits.maxAddressSpaceMb
+           << " MiB) exhausted; allocation failed";
+        result.statusDetail = os.str();
+        result.verifyMessage = "skipped: run oom";
+        return result;
+    }
     if (decoded != RunStatus::Ok) {
         // Native watchdog fired inside the child and carried its
         // classification out through the exit code.
@@ -314,22 +500,25 @@ runIsolatedAttempt(const std::string& name, const RunConfig& config,
 
 #endif // SPLASH_HAVE_FORK_ISOLATION
 
+} // namespace
+
 RunResult
-runOneAttempt(const std::string& name, const RunConfig& config,
-              const IsolateOptions& iso)
+runBenchmarkAttempt(const std::string& name, const RunConfig& config,
+                    const IsolateOptions& iso, const std::string& jobId,
+                    int attempt)
 {
 #if SPLASH_HAVE_FORK_ISOLATION
     if (iso.enabled)
-        return runIsolatedAttempt(name, config, iso);
+        return runIsolatedAttempt(name, config, iso, jobId, attempt);
 #else
     if (iso.enabled)
         warn("suite isolation unavailable on this platform; running "
              "in-process");
 #endif
+    (void)jobId;
+    (void)attempt;
     return runBenchmark(name, config);
 }
-
-} // namespace
 
 RunResult
 runBenchmarkResilient(const std::string& name, const RunConfig& config,
@@ -339,7 +528,8 @@ runBenchmarkResilient(const std::string& name, const RunConfig& config,
     RunConfig attemptConfig = config;
     RunResult result;
     for (int attempt = 1;; ++attempt) {
-        result = runOneAttempt(name, attemptConfig, iso);
+        result = runBenchmarkAttempt(name, attemptConfig, iso,
+                                     std::string(), attempt);
         result.attempts = attempt;
         if (result.ok() || attempt >= maxAttempts)
             return result;

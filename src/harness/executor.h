@@ -23,9 +23,33 @@
 
 #include <string>
 
+#include "core/chaos.h"
 #include "engine/engine.h"
 
 namespace splash {
+
+/**
+ * Per-job kernel resource limits applied inside the forked child
+ * (Run-Guard).  Zero fields leave the inherited limit untouched.
+ * Core dumps are always disabled in isolated children regardless —
+ * a chaos campaign must not litter the working tree with cores.
+ */
+struct ResourceLimits
+{
+    /**
+     * RLIMIT_AS ceiling in MiB.  An allocation beyond it fails; the
+     * child's new-handler converts that into a clean OutOfMemory
+     * classification via the watchdog exit-code protocol.
+     */
+    long maxAddressSpaceMb = 0;
+
+    /**
+     * RLIMIT_CPU soft ceiling in seconds.  The kernel's SIGXCPU ends
+     * the child and the parent classifies it CpuLimit; the hard
+     * ceiling is set slightly above so SIGXCPU always fires first.
+     */
+    long maxCpuSeconds = 0;
+};
 
 /** Crash-isolation policy for executor runs. */
 struct IsolateOptions
@@ -34,16 +58,65 @@ struct IsolateOptions
     bool enabled = false;
 
     /**
-     * Hard wall limit per attempt before the parent SIGKILLs the
-     * child and records a Timeout row.  Zero derives a limit from the
-     * watchdog wall budget (plus grace) so the in-process watchdog
-     * normally fires first with a better classification.
+     * Hard wall limit per attempt before the parent escalates
+     * (SIGTERM, bounded grace, SIGKILL) and records a Timeout row.
+     * Zero derives a limit from the watchdog wall budget (plus grace)
+     * so the in-process watchdog normally fires first with a better
+     * classification.
      */
     double timeoutSeconds = 0;
 
-    /** Total attempts per benchmark: 1 initial + seeded retries. */
+    /**
+     * Total attempts per benchmark for the legacy
+     * runBenchmarkResilient() loop: 1 initial + seeded retries.  The
+     * scheduler's Run-Guard retry engine supersedes this knob (it
+     * calls runBenchmarkAttempt() directly and owns the policy).
+     */
     int maxAttempts = 2;
+
+    /**
+     * Grace between SIGTERM and SIGKILL when the parent must end the
+     * child (wall limit or heartbeat silence).  The signal that
+     * actually ended the child is recorded in statusDetail.
+     */
+    double killGraceSeconds = 2.0;
+
+    /**
+     * Interval between child heartbeat frames on the result pipe
+     * (wire::heartbeatLine).  Zero disables emission.  Emission is
+     * harmless when no one watches: the result decoder ignores
+     * unknown keys.
+     */
+    double heartbeatIntervalSeconds = 0.2;
+
+    /**
+     * Parent-side hang detector: if the pipe stays silent this long,
+     * the child is classified Hung and escalated — distinguishing a
+     * *hung* child from a merely *slow* one in seconds instead of
+     * waiting out the wall budget.  Zero disables detection.
+     */
+    double heartbeatTimeoutSeconds = 0;
+
+    /** Kernel resource limits applied inside the child. */
+    ResourceLimits limits;
+
+    /** Run-Guard harness chaos (child kills / wedges), seeded. */
+    HarnessChaosOptions harnessChaos;
 };
+
+/**
+ * Run exactly one attempt of one job under the isolation policy.
+ * This is the scheduler-facing Run-Guard entry point: the (jobId,
+ * attempt) pair keys the deterministic harness-chaos draws and is
+ * meaningless otherwise.  RunResult::attempts is left at its default;
+ * the caller owns retry accounting.  With isolation disabled this
+ * degrades to runBenchmark().
+ */
+RunResult runBenchmarkAttempt(const std::string& name,
+                              const RunConfig& config,
+                              const IsolateOptions& iso,
+                              const std::string& jobId = std::string(),
+                              int attempt = 1);
 
 /**
  * Run one benchmark under the isolation policy.  Failed attempts

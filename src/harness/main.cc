@@ -111,11 +111,51 @@ usage()
         "                            packed = neighboring cores,\n"
         "                            spread = far apart (default none)\n"
         "  --results=FILE            append one JSONL record per job\n"
-        "                            (schema splash4-results-v1) to\n"
+        "                            (schema splash4-results-v2,\n"
+        "                            started intents + results) to\n"
         "                            FILE as jobs finish\n"
         "  --resume                  reload --results and re-run only\n"
         "                            jobs without a terminal record\n"
-        "                            (default FILE: results.jsonl)\n"
+        "                            (default FILE: results.jsonl);\n"
+        "                            reports which unfinished jobs\n"
+        "                            died mid-run vs never started\n"
+        "  --fsync=none|data|full    per-record store durability\n"
+        "                            (default none: flush only)\n"
+        "  --retries=N               Run-Guard retry budget per job\n"
+        "                            beyond the first attempt\n"
+        "                            (default 1); retries back off\n"
+        "                            exponentially with deterministic\n"
+        "                            jitter\n"
+        "  --retry-backoff=SECONDS   first backoff delay (default\n"
+        "                            0.05; 0 disables backoff)\n"
+        "  --quarantine-after=N      quarantine a benchmark after N of\n"
+        "                            its jobs fail terminally; its\n"
+        "                            remaining jobs are skipped and\n"
+        "                            reported as quarantined\n"
+        "                            (default 0 = off)\n"
+        "  --max-fail-rate=F         campaign failure budget in [0,1]:\n"
+        "                            exit 0 while the failed+\n"
+        "                            quarantined fraction stays within\n"
+        "                            F (default 0: any failure fails)\n"
+        "  --heartbeat=SECONDS       child heartbeat interval under\n"
+        "                            --isolate (default 0.2)\n"
+        "  --heartbeat-timeout=SECONDS\n"
+        "                            classify a child Hung after this\n"
+        "                            much pipe silence (default 0 =\n"
+        "                            off; chaos-harness defaults to 5)\n"
+        "  --kill-grace=SECONDS      grace between SIGTERM and SIGKILL\n"
+        "                            when ending a child (default 2)\n"
+        "  --limit-as-mb=N           per-job RLIMIT_AS in MiB; an\n"
+        "                            allocation past it reports oom\n"
+        "  --limit-cpu-s=N           per-job RLIMIT_CPU in seconds;\n"
+        "                            exceeding it reports cpu-limit\n"
+        "  --chaos-harness=0..3      Run-Guard harness chaos: seeded\n"
+        "                            child kills, wedges, and torn\n"
+        "                            store appends (implies --isolate)\n"
+        "  --chaos-harness-seed=S    harness chaos seed (default 1);\n"
+        "                            draws are keyed by job id, so a\n"
+        "                            {seed, plan} pair reproduces\n"
+        "                            across --jobs=N and machines\n"
         "  --chaos-level=0..3        Chaos-Sentry fault injection\n"
         "                            intensity (implies --watchdog)\n"
         "  --chaos-seed=S            chaos seed; a given {seed, level}\n"
@@ -207,6 +247,54 @@ main(int argc, char** argv)
     sched.placement = parsePlacement(args.get("placement", "none"));
     sched.isolate.enabled = args.has("isolate");
     sched.isolate.timeoutSeconds = args.getDouble("isolate-timeout", 0);
+
+    // Run-Guard: retry policy, heartbeats, resource limits, and
+    // harness-level chaos (see docs/RESILIENCE.md).
+    sched.retry.maxRetries =
+        static_cast<int>(args.getInt("retries", 1));
+    if (sched.retry.maxRetries < 0)
+        fatal("--retries cannot be negative");
+    sched.retry.backoffBaseSeconds =
+        args.getDouble("retry-backoff", 0.05);
+    sched.retry.quarantineAfter =
+        static_cast<int>(args.getInt("quarantine-after", 0));
+    if (sched.retry.quarantineAfter < 0)
+        fatal("--quarantine-after cannot be negative");
+    const double maxFailRate = args.getDouble("max-fail-rate", 0.0);
+    if (maxFailRate < 0.0 || maxFailRate > 1.0)
+        fatal("--max-fail-rate must be in [0, 1]");
+    sched.isolate.heartbeatIntervalSeconds =
+        args.getDouble("heartbeat", 0.2);
+    sched.isolate.heartbeatTimeoutSeconds =
+        args.getDouble("heartbeat-timeout", 0);
+    sched.isolate.killGraceSeconds = args.getDouble("kill-grace", 2.0);
+    sched.isolate.limits.maxAddressSpaceMb =
+        static_cast<long>(args.getInt("limit-as-mb", 0));
+    sched.isolate.limits.maxCpuSeconds =
+        static_cast<long>(args.getInt("limit-cpu-s", 0));
+
+    const int harnessChaosLevel = static_cast<int>(args.getInt(
+        "chaos-harness", args.has("chaos-harness-seed") ? 1 : 0));
+    if (harnessChaosLevel > 0) {
+        const auto seed = static_cast<std::uint64_t>(
+            args.getInt("chaos-harness-seed", 1));
+        sched.isolate.harnessChaos =
+            harnessChaosPreset(harnessChaosLevel, seed);
+        // Killing and wedging children only makes sense against
+        // isolated children, and wedge recovery needs the heartbeat
+        // detector armed.
+        sched.isolate.enabled = true;
+        if (sched.isolate.heartbeatTimeoutSeconds <= 0)
+            sched.isolate.heartbeatTimeoutSeconds = 5.0;
+        inform("chaos-harness: level " +
+               std::to_string(harnessChaosLevel) + ", " +
+               sched.isolate.harnessChaos.describe() +
+               " (reproduce with --chaos-harness=" +
+               std::to_string(harnessChaosLevel) +
+               " --chaos-harness-seed=" +
+               std::to_string(sched.isolate.harnessChaos.seed) + ")");
+    }
+
     if (config.raceCheck && (sched.isolate.enabled || sched.jobs > 1))
         fatal("--isolate/--jobs>1 cannot carry Sync-Sentry reports "
               "across the process boundary; run --race-check with "
@@ -230,6 +318,10 @@ main(int argc, char** argv)
     std::unique_ptr<ResultStore> store;
     if (!resultsPath.empty()) {
         store = std::make_unique<ResultStore>(resultsPath);
+        store->setFsyncPolicy(
+            parseFsyncPolicy(args.get("fsync", "none")));
+        if (harnessChaosLevel > 0)
+            store->setHarnessChaos(sched.isolate.harnessChaos);
         if (resume) {
             store->load();
         } else if (std::filesystem::exists(resultsPath)) {
@@ -247,7 +339,11 @@ main(int argc, char** argv)
         "race-check",      "csv",             "list",
         "fast-path",       "sweep",           "repeat",
         "jobs",            "placement",       "results",
-        "resume",
+        "resume",          "fsync",
+        "retries",         "retry-backoff",   "quarantine-after",
+        "max-fail-rate",   "heartbeat",       "heartbeat-timeout",
+        "kill-grace",      "limit-as-mb",     "limit-cpu-s",
+        "chaos-harness",   "chaos-harness-seed",
         "chaos-level",     "chaos-seed",      "watchdog",
         "watchdog-steps",  "watchdog-cycles", "watchdog-wall",
         "isolate",         "isolate-timeout"};
@@ -332,7 +428,7 @@ main(int argc, char** argv)
             std::printf("%s", table.toCsv().c_str());
         else
             table.print("Thread sweep (speedup vs first entry)");
-        return planExitCode(outcomes);
+        return planExitCode(outcomes, maxFailRate);
     }
 
     if (config.chaos.enabled) {
@@ -379,6 +475,28 @@ main(int argc, char** argv)
         std::printf("%s", table.toCsv().c_str());
     else
         table.print("Run summary");
+    // Run-Guard roll-up: on stderr always (greppable by CI without
+    // touching the diffable stdout report), and as a stdout section
+    // in table mode.
+    {
+        const CampaignSummary summary = summarizeCampaign(outcomes);
+        inform("run-guard: retries=" + std::to_string(summary.retries) +
+               " recovered=" + std::to_string(summary.recovered) +
+               " quarantined=" + std::to_string(summary.quarantined) +
+               " failed=" + std::to_string(summary.failed) + " of " +
+               std::to_string(summary.total) + " jobs");
+        if (!args.has("csv"))
+            printRunGuardSummary(outcomes);
+        if (maxFailRate > 0 &&
+            summary.failed + summary.quarantined > 0 &&
+            summary.failRate() <= maxFailRate) {
+            warn("run-guard: " +
+                 std::to_string(summary.failed + summary.quarantined) +
+                 " failed/quarantined jobs within the --max-fail-rate=" +
+                 std::to_string(maxFailRate) +
+                 " budget; exit stays 0");
+        }
+    }
     if (config.raceCheck && !race_clean) {
         warn("race-check: violations detected (see reports above)");
         return 1;
@@ -393,6 +511,7 @@ main(int argc, char** argv)
                 "non-profiled run");
     }
     // Any failed row (deadlock, livelock, timeout, crash, or failed
-    // verification) makes the whole invocation fail.
-    return planExitCode(outcomes);
+    // verification) beyond the --max-fail-rate budget makes the whole
+    // invocation fail.
+    return planExitCode(outcomes, maxFailRate);
 }

@@ -164,6 +164,32 @@ printSyncProfile(const std::string& benchName, const RunResult& result)
     std::fflush(stdout);
 }
 
+void
+printRunGuardSummary(const std::vector<JobOutcome>& outcomes)
+{
+    const CampaignSummary s = summarizeCampaign(outcomes);
+    std::printf("Run-Guard: %d jobs: %d ok, %d failed, %d quarantined; "
+                "%d retries, %d recovered\n",
+                s.total, s.ok, s.failed, s.quarantined, s.retries,
+                s.recovered);
+    if (s.quarantined > 0) {
+        // Deterministic order: first plan appearance.
+        std::vector<std::string> benchmarks;
+        for (const JobOutcome& outcome : outcomes) {
+            if (outcome.result.status != RunStatus::Quarantined)
+                continue;
+            if (std::find(benchmarks.begin(), benchmarks.end(),
+                          outcome.job.benchmark) == benchmarks.end())
+                benchmarks.push_back(outcome.job.benchmark);
+        }
+        std::printf("  quarantined benchmarks:");
+        for (const std::string& name : benchmarks)
+            std::printf(" %s", name.c_str());
+        std::printf("\n");
+    }
+    std::fflush(stdout);
+}
+
 bool
 printRaceReport(const RunResult& result)
 {

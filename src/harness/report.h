@@ -10,6 +10,7 @@
 
 #include "core/stats.h"
 #include "engine/engine.h"
+#include "harness/scheduler.h"
 #include "util/table.h"
 
 namespace splash {
@@ -37,6 +38,15 @@ bool printRaceReport(const RunResult& result);
  */
 void printSyncProfile(const std::string& benchName,
                       const RunResult& result);
+
+/**
+ * Print the Run-Guard campaign section: retry / recovery /
+ * quarantine counters plus the quarantined-benchmark list.  Every
+ * number is deterministic for a given {plan, chaos seeds}, so two
+ * campaigns of the same plan print identical sections under any
+ * --jobs=N.
+ */
+void printRunGuardSummary(const std::vector<JobOutcome>& outcomes);
 
 } // namespace splash
 

@@ -11,6 +11,13 @@
 #include "util/log.h"
 #include "util/wire.h"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define SPLASH_HAVE_FSYNC 1
+#include <unistd.h>
+#else
+#define SPLASH_HAVE_FSYNC 0
+#endif
+
 namespace splash {
 
 namespace {
@@ -192,9 +199,11 @@ bool
 parseStatusName(const std::string& name, RunStatus& out)
 {
     static const RunStatus kAll[] = {
-        RunStatus::Ok,       RunStatus::VerifyFailed,
-        RunStatus::Deadlock, RunStatus::Livelock,
-        RunStatus::Timeout,  RunStatus::Crash,
+        RunStatus::Ok,          RunStatus::VerifyFailed,
+        RunStatus::Deadlock,    RunStatus::Livelock,
+        RunStatus::Timeout,     RunStatus::Crash,
+        RunStatus::OutOfMemory, RunStatus::CpuLimit,
+        RunStatus::Hung,        RunStatus::Quarantined,
     };
     for (const RunStatus status : kAll) {
         if (name == toString(status)) {
@@ -206,6 +215,19 @@ parseStatusName(const std::string& name, RunStatus& out)
 }
 
 } // namespace
+
+FsyncPolicy
+parseFsyncPolicy(const std::string& name)
+{
+    if (name == "none")
+        return FsyncPolicy::None;
+    if (name == "data")
+        return FsyncPolicy::Data;
+    if (name == "full")
+        return FsyncPolicy::Full;
+    fatal("unknown fsync policy '" + name +
+          "' (expected none, data, or full)");
+}
 
 ResultRecord
 makeResultRecord(const JobSpec& job, const RunResult& result)
@@ -267,6 +289,7 @@ toJsonLine(const ResultRecord& record)
 {
     std::ostringstream os;
     os << "{\"schema\":\"" << ResultStore::kSchema << "\""
+       << ",\"type\":\"result\""
        << ",\"jobId\":\"" << wire::jsonEscape(record.jobId) << "\""
        << ",\"benchmark\":\"" << wire::jsonEscape(record.benchmark)
        << "\""
@@ -300,6 +323,43 @@ toJsonLine(const ResultRecord& record)
     return os.str();
 }
 
+std::string
+toStartedJsonLine(const std::string& jobId, const std::string& benchmark,
+                  int attempt)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"" << ResultStore::kSchema << "\""
+       << ",\"type\":\"started\""
+       << ",\"jobId\":\"" << wire::jsonEscape(jobId) << "\""
+       << ",\"benchmark\":\"" << wire::jsonEscape(benchmark) << "\""
+       << ",\"attempt\":" << attempt << "}";
+    return os.str();
+}
+
+bool
+parseStartedLine(const std::string& line, std::string& jobId,
+                 int& attempt)
+{
+    std::map<std::string, std::string> fields;
+    if (!parseFlatObject(line, fields))
+        return false;
+    const std::string* schema = lookup(fields, "schema");
+    if (!schema || *schema != ResultStore::kSchema)
+        return false;
+    const std::string* type = lookup(fields, "type");
+    if (!type || *type != "started")
+        return false;
+    const std::string* id = lookup(fields, "jobId");
+    if (!id || id->empty())
+        return false;
+    std::uint64_t u64 = 0;
+    if (!parseU64(fields, "attempt", u64) || u64 < 1)
+        return false;
+    jobId = *id;
+    attempt = static_cast<int>(u64);
+    return true;
+}
+
 bool
 parseJsonLine(const std::string& line, ResultRecord& record)
 {
@@ -308,8 +368,16 @@ parseJsonLine(const std::string& line, ResultRecord& record)
         return false;
 
     const std::string* schema = lookup(fields, "schema");
-    if (!schema || *schema != ResultStore::kSchema)
+    if (!schema)
         return false;
+    if (*schema == ResultStore::kSchema) {
+        // v2 requires the record type; intents are not results.
+        const std::string* type = lookup(fields, "type");
+        if (!type || *type != "result")
+            return false;
+    } else if (*schema != ResultStore::kSchemaV1) {
+        return false; // v1 result records carry no type field
+    }
     const std::string* jobId = lookup(fields, "jobId");
     const std::string* benchmark = lookup(fields, "benchmark");
     if (!jobId || jobId->empty() || !benchmark || benchmark->empty())
@@ -415,9 +483,16 @@ ResultStore::load()
             continue;
         }
         ResultRecord record;
+        std::string startedId;
+        int startedAttempt = 0;
         if (parseJsonLine(line, record)) {
             records_[record.jobId] = record; // last record wins
             ++loaded;
+        } else if (parseStartedLine(line, startedId, startedAttempt)) {
+            int& attempts = started_[startedId];
+            if (startedAttempt > attempts)
+                attempts = startedAttempt;
+            ++startedCount_[startedId];
         } else {
             warn("result store: skipping malformed record in " +
                  path_);
@@ -438,7 +513,7 @@ ResultStore::load()
 }
 
 void
-ResultStore::append(const ResultRecord& record)
+ResultStore::writeLine(const std::string& line, bool tear)
 {
     if (!out_) {
         out_ = std::fopen(path_.c_str(), "ab");
@@ -446,12 +521,70 @@ ResultStore::append(const ResultRecord& record)
             fatal("result store: cannot open " + path_ +
                   " for append");
     }
-    const std::string line = toJsonLine(record);
-    std::fwrite(line.data(), 1, line.size(), out_);
-    std::fputc('\n', out_);
+    if (tornTail_) {
+        // Terminate the torn fragment so it becomes one malformed
+        // interior line (skipped by load()) instead of corrupting
+        // this record.  This mirrors what a real crash leaves: the
+        // torn bytes stay on disk, only framing is restored.
+        std::fputc('\n', out_);
+        tornTail_ = false;
+    }
+    if (tear) {
+        // Chaos tear: write half the record and no newline, exactly
+        // the on-disk shape of a campaign killed mid-fwrite.
+        std::fwrite(line.data(), 1, line.size() / 2, out_);
+        tornTail_ = true;
+    } else {
+        std::fwrite(line.data(), 1, line.size(), out_);
+        std::fputc('\n', out_);
+    }
     // Flush per record so a killed campaign leaves at worst one
     // truncated line — the contract --resume depends on.
     std::fflush(out_);
+#if SPLASH_HAVE_FSYNC
+    if (fsyncPolicy_ == FsyncPolicy::Data) {
+#if defined(__APPLE__)
+        fsync(fileno(out_)); // macOS has no fdatasync
+#else
+        fdatasync(fileno(out_));
+#endif
+    } else if (fsyncPolicy_ == FsyncPolicy::Full) {
+        fsync(fileno(out_));
+    }
+#endif
+}
+
+void
+ResultStore::appendStarted(const JobSpec& job, int attempt)
+{
+    writeLine(toStartedJsonLine(job.jobId, job.benchmark, attempt),
+              /*tear=*/false);
+    int& attempts = started_[job.jobId];
+    if (attempt > attempts)
+        attempts = attempt;
+    ++startedCount_[job.jobId];
+}
+
+void
+ResultStore::append(const ResultRecord& record)
+{
+    // Tear draws key on the cumulative intent count, not the
+    // per-campaign attempt number: a fresh campaign's count equals
+    // its attempt count (identical draws under any --jobs=N), but a
+    // resumed campaign's count keeps growing, so the same job cannot
+    // re-tear forever — resume loops converge even with chaos armed.
+    const int epoch = startedCount(record.jobId);
+    const bool tear =
+        chaos_.drawTear(record.jobId,
+                        epoch > 0 ? epoch : record.attempts);
+    if (tear)
+        warn("run-guard chaos: tearing store append for job " +
+             record.jobId + " (seed " + std::to_string(chaos_.seed) +
+             ")");
+    writeLine(toJsonLine(record), tear);
+    // The in-memory map keeps the full record either way: this
+    // campaign's report is unaffected; only a later --resume sees the
+    // torn line and deterministically re-runs the job.
     records_[record.jobId] = record;
 }
 
@@ -460,6 +593,26 @@ ResultStore::find(const std::string& jobId) const
 {
     const auto it = records_.find(jobId);
     return it == records_.end() ? nullptr : &it->second;
+}
+
+bool
+ResultStore::diedMidRun(const std::string& jobId) const
+{
+    return started_.count(jobId) != 0 && records_.count(jobId) == 0;
+}
+
+int
+ResultStore::startedAttempts(const std::string& jobId) const
+{
+    const auto it = started_.find(jobId);
+    return it == started_.end() ? 0 : it->second;
+}
+
+int
+ResultStore::startedCount(const std::string& jobId) const
+{
+    const auto it = startedCount_.find(jobId);
+    return it == startedCount_.end() ? 0 : it->second;
 }
 
 } // namespace splash

@@ -3,7 +3,7 @@
  * Result store: the persistence layer of the suite pipeline.
  *
  * Campaign results are appended to a JSONL file (one self-contained
- * JSON object per line, schema `splash4-results-v1`) as jobs complete,
+ * JSON object per line, schema `splash4-results-v2`) as jobs complete,
  * keyed by the run plan's content-derived job ids.  Because the file
  * is append-only and flushed per record, a crashed or killed campaign
  * leaves a valid prefix: --resume reloads the store, skips every job
@@ -13,12 +13,25 @@
  * the file is trimmed back to the last complete record before new
  * ones are appended.
  *
+ * Run-Guard (v2) adds crash durability machinery:
+ *  - write-ahead `"type":"started"` intent records appended before
+ *    each attempt, so --resume can distinguish a job that *never ran*
+ *    from one that *died mid-run* (intent without terminal record);
+ *  - a configurable fsync policy (flush-only by default, fdatasync or
+ *    full fsync per record for machines that may lose power);
+ *  - a seeded tear hook for harness chaos, writing deliberately torn
+ *    half-records to prove the recovery path in tests and CI.
+ * v1 files (`splash4-results-v1`, result records only) load
+ * read-only: their records count as terminal, they just carry no
+ * intents.
+ *
  * The store keeps the scalar summary of a run (status, verification,
  * cycles, wall time, construct totals, wait percentage).  Per-run
  * artifacts that do not fit a summary row — Sync-Scope construct
  * breakdowns and timelines — are written by --profile-out instead.
  *
- * Validated by tools/check_results_schema.py; see docs/SUITE.md.
+ * Validated by tools/check_results_schema.py; see docs/SUITE.md and
+ * docs/RESILIENCE.md (Run-Guard).
  */
 
 #ifndef SPLASH_HARNESS_RESULT_STORE_H
@@ -28,9 +41,26 @@
 #include <map>
 #include <string>
 
+#include "core/chaos.h"
 #include "core/run_plan.h"
 
 namespace splash {
+
+/**
+ * Per-record durability guarantee.  None (default) flushes stdio
+ * buffers — survives the campaign process dying; Data adds
+ * fdatasync() — survives the OS dying; Full adds fsync() — also
+ * persists file metadata.
+ */
+enum class FsyncPolicy
+{
+    None,
+    Data,
+    Full,
+};
+
+/** Parse "none"/"data"/"full" (fatal on anything else). */
+FsyncPolicy parseFsyncPolicy(const std::string& name);
 
 /** One terminal per-job record, as stored on disk. */
 struct ResultRecord
@@ -76,7 +106,10 @@ RunResult recordToRunResult(const ResultRecord& record);
 class ResultStore
 {
   public:
-    static constexpr const char* kSchema = "splash4-results-v1";
+    static constexpr const char* kSchema = "splash4-results-v2";
+
+    /** Previous schema, still accepted read-only by load(). */
+    static constexpr const char* kSchemaV1 = "splash4-results-v1";
 
     explicit ResultStore(std::string path);
     ~ResultStore();
@@ -84,35 +117,90 @@ class ResultStore
     ResultStore(const ResultStore&) = delete;
     ResultStore& operator=(const ResultStore&) = delete;
 
+    /** Per-record durability (default FsyncPolicy::None). */
+    void setFsyncPolicy(FsyncPolicy policy) { fsyncPolicy_ = policy; }
+
+    /** Arm the seeded tear hook (Run-Guard harness chaos). */
+    void setHarnessChaos(const HarnessChaosOptions& chaos)
+    {
+        chaos_ = chaos;
+    }
+
     /**
      * Load existing records (the resume path).  Malformed interior
      * lines are skipped with a warning; a truncated final line is
      * dropped and the file trimmed back to the last complete record.
      * A missing file is an empty store.  When two records share a job
-     * id the later one wins.  @return records loaded.
+     * id the later one wins.  @return terminal records loaded.
      */
     std::size_t load();
 
-    /** Append one record and flush it to disk. */
+    /**
+     * Write-ahead intent: append a `started` record before attempt
+     * @p attempt of @p job runs, so a campaign killed mid-run leaves
+     * proof the job was in flight (diedMidRun()).
+     */
+    void appendStarted(const JobSpec& job, int attempt);
+
+    /** Append one terminal record and flush it to disk. */
     void append(const ResultRecord& record);
 
     /** Terminal record for @p jobId, or null. */
     const ResultRecord* find(const std::string& jobId) const;
 
+    /**
+     * True when @p jobId has a started intent but no terminal record:
+     * a previous campaign died while the job was in flight (as
+     * opposed to a job that never started).  Both re-run on --resume;
+     * the distinction feeds the resume report.
+     */
+    bool diedMidRun(const std::string& jobId) const;
+
+    /** Highest attempt number recorded as started for @p jobId (0 = none). */
+    int startedAttempts(const std::string& jobId) const;
+
+    /**
+     * Total started intents on record for @p jobId, across this
+     * campaign and every campaign this file has absorbed.  This is
+     * the tear chaos key: unlike the per-campaign attempt number it
+     * keeps growing across resumes, so a job whose record tore cannot
+     * deterministically tear forever — resume loops converge.
+     */
+    int startedCount(const std::string& jobId) const;
+
     std::size_t size() const { return records_.size(); }
     const std::string& path() const { return path_; }
 
   private:
+    void writeLine(const std::string& line, bool tear);
+
     std::string path_;
     std::map<std::string, ResultRecord> records_;
+    std::map<std::string, int> started_;      // jobId -> max attempt
+    std::map<std::string, int> startedCount_; // jobId -> intent lines
     std::FILE* out_ = nullptr;
+    FsyncPolicy fsyncPolicy_ = FsyncPolicy::None;
+    HarnessChaosOptions chaos_{};
+    bool tornTail_ = false;
 };
 
-/** Serialize one record as its JSONL line (without the newline). */
+/** Serialize one terminal record as its JSONL line (no newline). */
 std::string toJsonLine(const ResultRecord& record);
 
-/** Parse one JSONL line; @return false on any malformation. */
+/** Serialize one started-intent record as its JSONL line (no newline). */
+std::string toStartedJsonLine(const std::string& jobId,
+                              const std::string& benchmark, int attempt);
+
+/**
+ * Parse one JSONL line as a terminal result record (v2 or v1);
+ * @return false on any malformation — including well-formed intent
+ * records, which are not results (see parseStartedLine()).
+ */
 bool parseJsonLine(const std::string& line, ResultRecord& record);
+
+/** Parse one JSONL line as a v2 started-intent record. */
+bool parseStartedLine(const std::string& line, std::string& jobId,
+                      int& attempt);
 
 } // namespace splash
 

@@ -1,11 +1,15 @@
 #include "harness/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
+#include <map>
 #include <mutex>
 #include <thread>
 
 #include "util/log.h"
+#include "util/rng.h"
 
 namespace splash {
 
@@ -102,6 +106,27 @@ detectCores()
     return n == 0 ? 1 : static_cast<int>(n);
 }
 
+/**
+ * Exponential backoff before retry @p attempt+1, with deterministic
+ * jitter drawn from (jobId, attempt) so concurrent retries of
+ * different jobs de-correlate without introducing order dependence.
+ */
+double
+backoffSeconds(const RetryPolicy& policy, const std::string& jobId,
+               int attempt)
+{
+    if (policy.backoffBaseSeconds <= 0)
+        return 0;
+    double delay =
+        policy.backoffBaseSeconds *
+        std::pow(policy.backoffMultiplier,
+                 static_cast<double>(attempt - 1));
+    delay = std::min(delay, policy.backoffMaxSeconds);
+    delay +=
+        delay * 0.25 * deterministicDraw(0, "backoff", jobId, attempt);
+    return delay;
+}
+
 } // namespace
 
 std::vector<JobOutcome>
@@ -113,6 +138,7 @@ runPlan(const RunPlan& plan, const SchedulerOptions& options,
     // Resume pre-pass: anything with a terminal record replays from
     // the store; only the rest is dispatched.
     std::vector<std::size_t> pending;
+    std::size_t diedMidRun = 0;
     for (std::size_t i = 0; i < plan.size(); ++i) {
         outcomes[i].job = plan.job(i);
         if (store) {
@@ -120,8 +146,11 @@ runPlan(const RunPlan& plan, const SchedulerOptions& options,
                     store->find(outcomes[i].job.jobId)) {
                 outcomes[i].result = recordToRunResult(*record);
                 outcomes[i].resumed = true;
+                outcomes[i].done = true;
                 continue;
             }
+            if (store->diedMidRun(outcomes[i].job.jobId))
+                ++diedMidRun;
         }
         pending.push_back(i);
     }
@@ -130,6 +159,14 @@ runPlan(const RunPlan& plan, const SchedulerOptions& options,
                " of " + std::to_string(plan.size()) +
                " jobs already in " + store->path() + "; " +
                std::to_string(pending.size()) + " to run");
+    }
+    if (diedMidRun > 0) {
+        // The write-ahead intents make the distinction: these jobs
+        // were in flight when the previous campaign died (as opposed
+        // to never having started); they re-run from attempt 1 so the
+        // resumed campaign replays the original deterministic draws.
+        inform("resume: " + std::to_string(diedMidRun) +
+               " of the unfinished jobs died mid-run; re-running");
     }
     if (pending.empty())
         return outcomes;
@@ -167,10 +204,12 @@ runPlan(const RunPlan& plan, const SchedulerOptions& options,
         }
     }
 
+    const RetryPolicy& retry = options.retry;
     std::mutex mutex;
     std::condition_variable coresFreed;
     std::size_t next = 0;
     std::size_t dispatched = 0;
+    std::map<std::string, int> inFlight; // benchmark -> running jobs
 
     // Dispatch is strictly plan order: a worker claims the head job
     // and, under a placement, waits for that job's cores before
@@ -183,6 +222,55 @@ runPlan(const RunPlan& plan, const SchedulerOptions& options,
                 return;
             const std::size_t idx = pending[next];
             JobSpec& job = outcomes[idx].job;
+
+            if (retry.quarantineAfter > 0 &&
+                inFlight.count(job.benchmark) != 0) {
+                // Same-benchmark serialization: the quarantine
+                // decision below must see every plan-earlier job of
+                // this benchmark as terminal, under any --jobs=N.
+                // In-flight same-benchmark jobs are always
+                // plan-earlier (dispatch is plan-ordered), so hold
+                // the head until they drain.
+                coresFreed.wait(lock);
+                continue;
+            }
+            if (retry.quarantineAfter > 0) {
+                int failedBefore = 0;
+                for (std::size_t p = 0; p < idx; ++p) {
+                    const JobOutcome& prior = outcomes[p];
+                    if (prior.job.benchmark != job.benchmark)
+                        continue;
+                    panicIf(!prior.done,
+                            "run-guard: quarantine decision saw a "
+                            "non-terminal same-benchmark job");
+                    if (prior.result.status != RunStatus::Ok &&
+                        prior.result.status != RunStatus::Quarantined)
+                        ++failedBefore;
+                }
+                if (failedBefore >= retry.quarantineAfter) {
+                    // Skipped, not run — and not appended to the
+                    // store: the underlying failures are stored, so a
+                    // resume re-derives the same quarantine decision.
+                    ++next;
+                    RunResult& res = outcomes[idx].result;
+                    res.status = RunStatus::Quarantined;
+                    res.verified = false;
+                    res.attempts = 0;
+                    res.statusDetail =
+                        "quarantined: " + std::to_string(failedBefore) +
+                        " earlier " + job.benchmark +
+                        " jobs failed terminally";
+                    res.verifyMessage = "skipped: benchmark quarantined";
+                    outcomes[idx].done = true;
+                    warn("run-guard: quarantining " + job.benchmark +
+                         " job " + job.jobId + " (" +
+                         std::to_string(failedBefore) +
+                         " earlier failures)");
+                    coresFreed.notify_all();
+                    continue;
+                }
+            }
+
             std::vector<int> cores;
             if (!allocator.tryAcquire(job.config.threads, cores)) {
                 coresFreed.wait(lock);
@@ -190,6 +278,7 @@ runPlan(const RunPlan& plan, const SchedulerOptions& options,
             }
             ++next;
             job.config.cpuAffinity = cores;
+            ++inFlight[job.benchmark];
             const std::size_t runIndex = ++dispatched;
             if (jobs > 1) {
                 inform("job " + std::to_string(runIndex) + "/" +
@@ -199,13 +288,56 @@ runPlan(const RunPlan& plan, const SchedulerOptions& options,
                        toString(job.config.engine) + ", t=" +
                        std::to_string(job.config.threads) + ")");
             }
-            lock.unlock();
-            RunResult result =
-                runBenchmarkResilient(job.benchmark, job.config, iso);
-            lock.lock();
+
+            // Run-Guard retry engine.  Attempt numbering always
+            // starts at 1 (even on a resumed campaign) so the
+            // deterministic harness-chaos draws replay identically;
+            // each attempt is announced to the store first (the
+            // write-ahead intent a killed campaign leaves behind).
+            const int maxAttempts = 1 + std::max(0, retry.maxRetries);
+            RunConfig attemptConfig = job.config;
+            RunResult result;
+            int attempt = 1;
+            for (;;) {
+                if (store)
+                    store->appendStarted(job, attempt);
+                lock.unlock();
+                result = runBenchmarkAttempt(job.benchmark,
+                                             attemptConfig, iso,
+                                             job.jobId, attempt);
+                lock.lock();
+                if (result.ok() || attempt >= maxAttempts)
+                    break;
+                const double delay =
+                    backoffSeconds(retry, job.jobId, attempt);
+                std::string note =
+                    job.benchmark + " [" + job.jobId + "]: attempt " +
+                    std::to_string(attempt) + " failed (" +
+                    toString(result.status) + "); retrying";
+                if (retry.perturbChaosSeed &&
+                    attemptConfig.chaos.enabled) {
+                    std::uint64_t seed = attemptConfig.chaos.seed;
+                    attemptConfig.chaos.seed = Rng::splitmix64(seed);
+                    note += " with derived chaos seed " +
+                            std::to_string(attemptConfig.chaos.seed);
+                }
+                inform(note);
+                if (delay > 0) {
+                    lock.unlock();
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(delay));
+                    lock.lock();
+                }
+                ++attempt;
+            }
+            result.attempts = attempt;
+
             if (!cores.empty())
                 allocator.release(cores);
+            if (--inFlight[job.benchmark] == 0)
+                inFlight.erase(job.benchmark);
             outcomes[idx].result = std::move(result);
+            outcomes[idx].done = true;
             if (store)
                 store->append(
                     makeResultRecord(job, outcomes[idx].result));
@@ -226,13 +358,48 @@ runPlan(const RunPlan& plan, const SchedulerOptions& options,
     return outcomes;
 }
 
-int
-planExitCode(const std::vector<JobOutcome>& outcomes)
+double
+CampaignSummary::failRate() const
 {
-    for (const JobOutcome& outcome : outcomes)
-        if (!outcome.result.ok())
-            return 1;
-    return 0;
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(failed + quarantined) / total;
+}
+
+CampaignSummary
+summarizeCampaign(const std::vector<JobOutcome>& outcomes)
+{
+    CampaignSummary summary;
+    summary.total = static_cast<int>(outcomes.size());
+    for (const JobOutcome& outcome : outcomes) {
+        const RunResult& result = outcome.result;
+        if (outcome.resumed)
+            ++summary.resumed;
+        if (result.attempts > 1)
+            summary.retries += result.attempts - 1;
+        if (result.status == RunStatus::Quarantined) {
+            ++summary.quarantined;
+        } else if (result.ok()) {
+            ++summary.ok;
+            if (result.attempts > 1)
+                ++summary.recovered;
+        } else {
+            ++summary.failed;
+        }
+    }
+    return summary;
+}
+
+int
+planExitCode(const std::vector<JobOutcome>& outcomes,
+             double maxFailRate)
+{
+    const CampaignSummary summary = summarizeCampaign(outcomes);
+    if (summary.failed + summary.quarantined == 0)
+        return 0;
+    // Degrade gracefully inside the budget: failures are marked and
+    // reported either way; the budget only gates the exit code.
+    return summary.failRate() <= maxFailRate ? 0 : 1;
 }
 
 } // namespace splash

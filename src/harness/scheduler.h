@@ -78,6 +78,59 @@ class CoreAllocator
     std::vector<bool> busy_;
 };
 
+/**
+ * Run-Guard retry policy: how the scheduler reacts to a failed
+ * attempt before accepting the failure as terminal.
+ *
+ * Every decision is deterministic: backoff jitter is drawn from
+ * (jobId, attempt) via deterministicDraw(), the retry chaos seed is
+ * derived from the failing one with splitmix64 (reproducible from the
+ * printed original), and attempt numbering always restarts at 1 — a
+ * resumed campaign replays the exact harness-chaos draws of the
+ * campaign it resumes, which is what lets a chaos run converge to a
+ * report bit-identical to the fault-free run.
+ */
+struct RetryPolicy
+{
+    /**
+     * Retries after the first attempt (so maxRetries=1 means at most
+     * two attempts).  The default preserves the suite's historical
+     * one-seeded-retry behavior under isolation.
+     */
+    int maxRetries = 1;
+
+    /** First backoff delay; doubles each retry (see multiplier). */
+    double backoffBaseSeconds = 0.05;
+
+    /** Exponential growth factor between consecutive backoffs. */
+    double backoffMultiplier = 2.0;
+
+    /** Backoff ceiling (before jitter). */
+    double backoffMaxSeconds = 2.0;
+
+    /**
+     * Derive a fresh chaos seed for each retry (splitmix64 of the
+     * failing seed) so a run felled by in-workload chaos does not
+     * deterministically die the same death again.  Harness-chaos
+     * draws are keyed by attempt number and re-roll regardless.
+     */
+    bool perturbChaosSeed = true;
+
+    /**
+     * Quarantine a benchmark once this many of its jobs have failed
+     * terminally (all retries exhausted): its remaining plan jobs are
+     * skipped with RunStatus::Quarantined instead of burning retry
+     * budget on a repeat offender.  0 disables quarantine.
+     *
+     * Determinism: with quarantine on, the scheduler serializes
+     * same-benchmark jobs (plan-order dispatch already makes
+     * in-flight same-benchmark jobs plan-earlier ones), so the
+     * decision — failed terminal outcomes among plan-earlier jobs of
+     * the benchmark — sees the same history under any --jobs=N.
+     */
+    int quarantineAfter = 0;
+};
+
 /** Scheduling policy for one plan execution. */
 struct SchedulerOptions
 {
@@ -85,6 +138,7 @@ struct SchedulerOptions
     Placement placement = Placement::None;
     int totalCores = 0;     ///< 0 = detect the host's core count
     IsolateOptions isolate; ///< forced on when jobs > 1
+    RetryPolicy retry;      ///< Run-Guard retry/backoff/quarantine
 };
 
 /** One plan job's final outcome, in plan order. */
@@ -93,6 +147,7 @@ struct JobOutcome
     JobSpec job; ///< as executed (cpuAffinity holds the core set used)
     RunResult result;
     bool resumed = false; ///< replayed from the store, not re-run
+    bool done = false;    ///< terminal (set for every returned outcome)
 };
 
 /**
@@ -105,8 +160,32 @@ std::vector<JobOutcome> runPlan(const RunPlan& plan,
                                 const SchedulerOptions& options,
                                 ResultStore* store = nullptr);
 
-/** Suite exit code: 0 when every outcome is Ok, 1 otherwise. */
-int planExitCode(const std::vector<JobOutcome>& outcomes);
+/** Deterministic campaign roll-up for the Run-Guard report section. */
+struct CampaignSummary
+{
+    int total = 0;
+    int ok = 0;          ///< terminal Ok (possibly after retries)
+    int failed = 0;      ///< terminal non-Ok, excluding quarantined
+    int quarantined = 0; ///< skipped by the quarantine list
+    int retries = 0;     ///< attempts beyond each job's first, summed
+    int recovered = 0;   ///< jobs that failed at least once, then Ok
+    int resumed = 0;     ///< replayed from the store, not re-run
+
+    /** Fraction of the plan that failed or was quarantined. */
+    double failRate() const;
+};
+
+CampaignSummary summarizeCampaign(const std::vector<JobOutcome>& outcomes);
+
+/**
+ * Suite exit code under the campaign failure budget: 0 when the
+ * failed+quarantined fraction is within @p maxFailRate (0.0 keeps the
+ * historical any-failure-fails contract), 1 otherwise.  Failures
+ * beyond the budget never abort the campaign — every job still runs
+ * and reports; the budget only decides the exit code.
+ */
+int planExitCode(const std::vector<JobOutcome>& outcomes,
+                 double maxFailRate = 0.0);
 
 } // namespace splash
 

@@ -77,5 +77,17 @@ jsonEscape(const std::string& text)
     return out;
 }
 
+std::string
+heartbeatLine(std::uint64_t count)
+{
+    return "hb=" + std::to_string(count) + "\n";
+}
+
+bool
+isHeartbeatLine(const std::string& line)
+{
+    return line.compare(0, 3, "hb=") == 0;
+}
+
 } // namespace wire
 } // namespace splash

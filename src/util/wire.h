@@ -35,6 +35,23 @@ std::string unescape(const std::string& value);
 /** Escape a string for embedding in a JSON string literal. */
 std::string jsonEscape(const std::string& text);
 
+/**
+ * Run-Guard heartbeat framing.  An isolated child interleaves
+ * "hb=<n>\n" lines on the result pipe while the benchmark runs; the
+ * parent treats any pipe byte as proof of life and distinguishes a
+ * *hung* child (silent pipe) from a merely *slow* one in seconds,
+ * instead of waiting out the wall-clock watchdog.  Heartbeat lines
+ * use the same key=value framing as the result codec, whose decoder
+ * ignores unknown keys — so heartbeats are transparent to result
+ * deserialization by construction.
+ */
+
+/** One heartbeat line including its trailing newline ("hb=<n>\n"). */
+std::string heartbeatLine(std::uint64_t count);
+
+/** True iff @p line (no newline) is a heartbeat frame. */
+bool isHeartbeatLine(const std::string& line);
+
 } // namespace wire
 } // namespace splash
 

@@ -1,7 +1,9 @@
 /**
  * @file
  * Planted benchmark fixtures shared by the harness-pipeline tests:
- * a clean run, a verification failure, a deadlock, and a crash.
+ * a clean run, a verification failure, a deadlock, a crash, plus the
+ * Run-Guard trio — a slow-but-alive sleeper (heartbeats), a memory
+ * hog (RLIMIT_AS), and a CPU spinner (RLIMIT_CPU).
  * ensurePlantedRegistered() is inline so its registration guard is
  * one shared static across every test TU in the binary (the registry
  * panics on duplicates).
@@ -10,8 +12,10 @@
 #ifndef SPLASH_TESTS_HARNESS_PLANTED_BENCHMARKS_H
 #define SPLASH_TESTS_HARNESS_PLANTED_BENCHMARKS_H
 
+#include <chrono>
 #include <cstdlib>
 #include <memory>
+#include <thread>
 
 #include "core/benchmark.h"
 #include "engine/engine.h"
@@ -147,6 +151,67 @@ class CrashBenchmark : public PlantedBenchmark
     BarrierHandle bar_;
 };
 
+/**
+ * Sleeps (real wall time) in setup, then completes and verifies.
+ * Slow but demonstrably alive: under fork isolation the heartbeat
+ * thread keeps ticking through the sleep, so only harnesses *without*
+ * heartbeats may classify it as hung.
+ */
+class SleepyBenchmark : public OkBenchmark
+{
+  public:
+    std::string name() const override { return "zz-sleepy"; }
+    void
+    setup(World& world, const Params& params) override
+    {
+        OkBenchmark::setup(world, params);
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            params.getInt("sleepMs", 300)));
+    }
+};
+
+/**
+ * Allocates `mb` megabytes in setup (default 64).  Under a smaller
+ * RLIMIT_AS the allocation fails and the child exits through the
+ * OutOfMemory exit-code protocol; unlimited, it completes normally.
+ */
+class HogBenchmark : public OkBenchmark
+{
+  public:
+    std::string name() const override { return "zz-hog"; }
+    void
+    setup(World& world, const Params& params) override
+    {
+        OkBenchmark::setup(world, params);
+        const std::size_t bytes =
+            static_cast<std::size_t>(params.getInt("mb", 64)) * 1024 *
+            1024;
+        hoard_.reset(new char[bytes]);
+        hoard_[0] = 1; // keep the allocation observable
+    }
+
+  private:
+    std::unique_ptr<char[]> hoard_;
+};
+
+/**
+ * Burns CPU forever in setup.  Only RLIMIT_CPU (SIGXCPU -> CpuLimit)
+ * can end it promptly; never run it without that limit armed.
+ */
+class SpinBenchmark : public OkBenchmark
+{
+  public:
+    std::string name() const override { return "zz-spin"; }
+    void
+    setup(World& world, const Params& params) override
+    {
+        OkBenchmark::setup(world, params);
+        volatile std::uint64_t x = 0;
+        for (;;)
+            ++x;
+    }
+};
+
 inline void
 ensurePlantedRegistered()
 {
@@ -164,6 +229,15 @@ ensurePlantedRegistered()
         });
         registerBenchmark("zz-crash", [] {
             return std::make_unique<CrashBenchmark>();
+        });
+        registerBenchmark("zz-sleepy", [] {
+            return std::make_unique<SleepyBenchmark>();
+        });
+        registerBenchmark("zz-hog", [] {
+            return std::make_unique<HogBenchmark>();
+        });
+        registerBenchmark("zz-spin", [] {
+            return std::make_unique<SpinBenchmark>();
         });
         return true;
     }();

@@ -7,6 +7,12 @@
  * watchdog exit-code decoding.  These assertions are carried over
  * from the pre-pipeline suite_runner tests, so the extraction
  * demonstrably preserved the watchdog/retry semantics.
+ *
+ * The Run-Guard section covers the hardened-execution layer: the
+ * heartbeat protocol (slow-but-alive children survive, silent ones
+ * classify Hung), SIGTERM -> SIGKILL escalation against wedged
+ * children, per-job rlimits (OutOfMemory, CpuLimit), and the
+ * wall-timeout signal classification.
  */
 
 #include <gtest/gtest.h>
@@ -221,6 +227,145 @@ TEST(Executor, IsolationDecodesTheNativeWatchdogExit)
         runBenchmarkResilient("zz-deadlock", config, iso);
     EXPECT_EQ(result.status, RunStatus::Deadlock);
     EXPECT_NE(result.statusDetail.find("watchdog"), std::string::npos)
+        << result.statusDetail;
+}
+
+// ---------------------------------------------------------------- //
+// Run-Guard: heartbeats, escalation, resource limits.               //
+// ---------------------------------------------------------------- //
+
+TEST(RunGuard, HeartbeatKeepsSlowChildAlive)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    iso.heartbeatIntervalSeconds = 0.1;
+    iso.heartbeatTimeoutSeconds = 0.4;
+    RunConfig config = simConfig();
+    config.params.set("sleepMs", std::int64_t{900});
+    // The child is silent on the *benchmark* for > 2x the heartbeat
+    // timeout, but the heartbeat thread proves it alive throughout.
+    const RunResult result =
+        runBenchmarkAttempt("zz-sleepy", config, iso);
+    EXPECT_EQ(result.status, RunStatus::Ok);
+    EXPECT_TRUE(result.verified);
+}
+
+TEST(RunGuard, SilentChildClassifiesHungViaSigterm)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    iso.heartbeatIntervalSeconds = 0; // heartbeats off: total silence
+    iso.heartbeatTimeoutSeconds = 0.4;
+    iso.killGraceSeconds = 1.0;
+    RunConfig config = simConfig();
+    config.params.set("sleepMs", std::int64_t{5000});
+    const RunResult result =
+        runBenchmarkAttempt("zz-sleepy", config, iso);
+    EXPECT_EQ(result.status, RunStatus::Hung);
+    EXPECT_FALSE(result.verified);
+    EXPECT_NE(result.statusDetail.find("no heartbeat"),
+              std::string::npos)
+        << result.statusDetail;
+    // A sleeping child honors SIGTERM: no escalation needed.
+    EXPECT_NE(result.statusDetail.find("terminated by SIGTERM"),
+              std::string::npos)
+        << result.statusDetail;
+}
+
+TEST(RunGuard, WedgedChildNeedsSigkillEscalation)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    iso.heartbeatIntervalSeconds = 0.05;
+    iso.heartbeatTimeoutSeconds = 0.3;
+    iso.killGraceSeconds = 0.2;
+    iso.harnessChaos.enabled = true;
+    iso.harnessChaos.seed = 1;
+    iso.harnessChaos.wedgeChildProb = 1.0; // every draw wedges
+    const RunResult result =
+        runBenchmarkAttempt("zz-ok", simConfig(), iso, "wedge-job", 1);
+    EXPECT_EQ(result.status, RunStatus::Hung);
+    EXPECT_NE(result.statusDetail.find("escalated to SIGKILL"),
+              std::string::npos)
+        << result.statusDetail;
+}
+
+TEST(RunGuard, ChaosKillClassifiesAsCrash)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    iso.harnessChaos.enabled = true;
+    iso.harnessChaos.seed = 1;
+    iso.harnessChaos.killChildProb = 1.0;
+    const RunResult result =
+        runBenchmarkAttempt("zz-ok", simConfig(), iso, "kill-job", 1);
+    EXPECT_EQ(result.status, RunStatus::Crash);
+    EXPECT_NE(result.statusDetail.find("signal 9"), std::string::npos)
+        << result.statusDetail;
+}
+
+TEST(RunGuard, AddressSpaceLimitClassifiesOutOfMemory)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    iso.limits.maxAddressSpaceMb = 256;
+    RunConfig config = simConfig();
+    config.params.set("mb", std::int64_t{1024}); // 4x the ceiling
+    const RunResult result =
+        runBenchmarkAttempt("zz-hog", config, iso);
+    EXPECT_EQ(result.status, RunStatus::OutOfMemory);
+    EXPECT_NE(result.statusDetail.find("RLIMIT_AS"), std::string::npos)
+        << result.statusDetail;
+}
+
+TEST(RunGuard, UnderTheLimitTheHogCompletes)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    iso.limits.maxAddressSpaceMb = 2048;
+    RunConfig config = simConfig();
+    config.params.set("mb", std::int64_t{16});
+    const RunResult result =
+        runBenchmarkAttempt("zz-hog", config, iso);
+    EXPECT_EQ(result.status, RunStatus::Ok);
+    EXPECT_TRUE(result.verified);
+}
+
+TEST(RunGuard, CpuLimitClassifiesViaSigxcpu)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    iso.limits.maxCpuSeconds = 1; // kernel minimum granularity
+    const RunResult result =
+        runBenchmarkAttempt("zz-spin", simConfig(), iso);
+    EXPECT_EQ(result.status, RunStatus::CpuLimit);
+    EXPECT_NE(result.statusDetail.find("SIGXCPU"), std::string::npos)
+        << result.statusDetail;
+}
+
+TEST(RunGuard, WallTimeoutReportsSigtermClassification)
+{
+    ensurePlantedRegistered();
+    IsolateOptions iso;
+    iso.enabled = true;
+    iso.timeoutSeconds = 0.5;
+    RunConfig config = simConfig();
+    config.params.set("sleepMs", std::int64_t{5000});
+    const RunResult result =
+        runBenchmarkAttempt("zz-sleepy", config, iso);
+    EXPECT_EQ(result.status, RunStatus::Timeout);
+    EXPECT_NE(result.statusDetail.find("wall limit"),
+              std::string::npos)
+        << result.statusDetail;
+    EXPECT_NE(result.statusDetail.find("terminated by SIGTERM"),
+              std::string::npos)
         << result.statusDetail;
 }
 

@@ -5,6 +5,11 @@
  * tolerance — a malformed interior line is skipped and a truncated
  * final line (the record a killed campaign was writing) is dropped
  * with the file trimmed back to the last complete record.
+ *
+ * Run-Guard (v2) coverage: started-intent records and the
+ * died-mid-run distinction, v1 files loading read-only, and the
+ * seeded tear hook — including the epoch keying that lets a torn
+ * job's re-append stop tearing on resume, so resume loops converge.
  */
 
 #include <gtest/gtest.h>
@@ -79,8 +84,9 @@ TEST(ResultRecord, JsonLineRoundTrips)
 {
     const ResultRecord rec = sampleRecord("00112233445566aa");
     const std::string line = toJsonLine(rec);
-    EXPECT_NE(line.find("\"schema\":\"splash4-results-v1\""),
+    EXPECT_NE(line.find("\"schema\":\"splash4-results-v2\""),
               std::string::npos);
+    EXPECT_NE(line.find("\"type\":\"result\""), std::string::npos);
     ResultRecord back;
     ASSERT_TRUE(parseJsonLine(line, back));
     EXPECT_EQ(back.jobId, rec.jobId);
@@ -230,6 +236,141 @@ TEST(ResultStore, MissingFileLoadsEmpty)
     ResultStore store(tempPath("missing"));
     EXPECT_EQ(store.load(), 0u);
     EXPECT_EQ(store.size(), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// Run-Guard: v2 intents, v1 compatibility, the seeded tear hook.    //
+// ---------------------------------------------------------------- //
+
+JobSpec
+sampleJob(const std::string& jobId, const std::string& benchmark)
+{
+    JobSpec job;
+    job.jobId = jobId;
+    job.benchmark = benchmark;
+    return job;
+}
+
+TEST(ResultRecord, StartedIntentRoundTrips)
+{
+    const std::string line = toStartedJsonLine("job-a", "fft", 3);
+    EXPECT_NE(line.find("\"type\":\"started\""), std::string::npos);
+    std::string jobId;
+    int attempt = 0;
+    ASSERT_TRUE(parseStartedLine(line, jobId, attempt));
+    EXPECT_EQ(jobId, "job-a");
+    EXPECT_EQ(attempt, 3);
+    // An intent is not a result; the result parser must reject it.
+    ResultRecord rec;
+    EXPECT_FALSE(parseJsonLine(line, rec));
+    // And vice versa.
+    EXPECT_FALSE(parseStartedLine(toJsonLine(sampleRecord("job-a")),
+                                  jobId, attempt));
+}
+
+TEST(ResultStore, IntentsDistinguishDiedMidRunFromNeverRan)
+{
+    const std::string path = tempPath("intents");
+    {
+        ResultStore store(path);
+        store.appendStarted(sampleJob("job-a", "fft"), 1);
+        store.appendStarted(sampleJob("job-a", "fft"), 2);
+        store.appendStarted(sampleJob("job-b", "lu"), 1);
+        store.append(sampleRecord("job-b")); // b finished; a did not
+    }
+    ResultStore store(path);
+    EXPECT_EQ(store.load(), 1u); // intents are not terminal records
+    EXPECT_TRUE(store.diedMidRun("job-a"));
+    EXPECT_FALSE(store.diedMidRun("job-b"));  // has a terminal record
+    EXPECT_FALSE(store.diedMidRun("job-c"));  // never started
+    EXPECT_EQ(store.startedAttempts("job-a"), 2);
+    EXPECT_EQ(store.startedCount("job-a"), 2);
+    EXPECT_EQ(store.startedAttempts("job-c"), 0);
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, V1RecordsLoadReadOnly)
+{
+    const std::string path = tempPath("v1compat");
+    // Craft a v1 line: old schema string, no type field.
+    std::string v1 = toJsonLine(sampleRecord("job-v1"));
+    const std::string from = "\"schema\":\"splash4-results-v2\","
+                             "\"type\":\"result\"";
+    const std::size_t pos = v1.find(from);
+    ASSERT_NE(pos, std::string::npos);
+    v1.replace(pos, from.size(),
+               "\"schema\":\"splash4-results-v1\"");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << v1 << "\n";
+    }
+    ResultStore store(path);
+    EXPECT_EQ(store.load(), 1u);
+    ASSERT_NE(store.find("job-v1"), nullptr);
+    EXPECT_EQ(store.find("job-v1")->status, RunStatus::Ok);
+    EXPECT_FALSE(store.diedMidRun("job-v1")); // v1 carries no intents
+    std::remove(path.c_str());
+}
+
+TEST(ResultStore, ChaosTearLeavesRecoverableStoreThatConverges)
+{
+    // Find a seed whose tear draw fires on the first write epoch but
+    // not the second: the deterministic shape of "this job's record
+    // tore once, then its resume re-append survived".
+    HarnessChaosOptions chaos;
+    chaos.enabled = true;
+    chaos.tearStoreProb = 0.5;
+    for (chaos.seed = 1;; ++chaos.seed) {
+        if (chaos.drawTear("job-a", 1) && !chaos.drawTear("job-a", 2))
+            break;
+        ASSERT_LT(chaos.seed, 10000u) << "no suitable tear seed found";
+    }
+
+    const std::string path = tempPath("tear");
+    {
+        // Campaign 1: the append tears (epoch 1 = one started intent).
+        ResultStore store(path);
+        store.setHarnessChaos(chaos);
+        store.appendStarted(sampleJob("job-a", "fft"), 1);
+        store.append(sampleRecord("job-a"));
+        // The in-memory view keeps the full record regardless.
+        EXPECT_NE(store.find("job-a"), nullptr);
+    }
+    {
+        // Resume 1: the torn tail is dropped, the job reads as
+        // died-mid-run, and the re-append draws epoch 2 — no tear.
+        ResultStore store(path);
+        store.setHarnessChaos(chaos);
+        EXPECT_EQ(store.load(), 0u);
+        EXPECT_TRUE(store.diedMidRun("job-a"));
+        store.appendStarted(sampleJob("job-a", "fft"), 1);
+        EXPECT_EQ(store.startedCount("job-a"), 2);
+        store.append(sampleRecord("job-a"));
+    }
+    // Resume 2: the store is whole; nothing to re-run.
+    ResultStore store(path);
+    store.setHarnessChaos(chaos);
+    EXPECT_EQ(store.load(), 1u);
+    ASSERT_NE(store.find("job-a"), nullptr);
+    EXPECT_FALSE(store.diedMidRun("job-a"));
+    std::remove(path.c_str());
+}
+
+TEST(FsyncPolicy, ParsesAndPersists)
+{
+    EXPECT_EQ(parseFsyncPolicy("none"), FsyncPolicy::None);
+    EXPECT_EQ(parseFsyncPolicy("data"), FsyncPolicy::Data);
+    EXPECT_EQ(parseFsyncPolicy("full"), FsyncPolicy::Full);
+    // Records survive a full-fsync append like any other.
+    const std::string path = tempPath("fsync");
+    {
+        ResultStore store(path);
+        store.setFsyncPolicy(FsyncPolicy::Full);
+        store.append(sampleRecord("job-a"));
+    }
+    ResultStore store(path);
+    EXPECT_EQ(store.load(), 1u);
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Run-Guard scheduler tests: the hardened-campaign layer on top of
+ * the executor.  Covers the deterministic chaos draw itself, the
+ * retry engine's determinism across worker counts (--jobs=1 and
+ * --jobs=4 must inject the same faults into the same jobs and
+ * produce identical outcomes), convergence of a chaos campaign to
+ * fault-free results, quarantine of repeat-offender benchmarks (and
+ * its re-derivation on resume), the campaign failure budget, and the
+ * CampaignSummary counters feeding the Run-Guard report section.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "core/chaos.h"
+#include "harness/scheduler.h"
+#include "planted_benchmarks.h"
+
+namespace splash {
+namespace {
+
+using planted::ensurePlantedRegistered;
+using planted::simConfig;
+
+TEST(DeterministicDraw, IsPureAndWellDistributed)
+{
+    const double a = deterministicDraw(42, "kill", "job-a", 1);
+    EXPECT_EQ(a, deterministicDraw(42, "kill", "job-a", 1));
+    EXPECT_GE(a, 0.0);
+    EXPECT_LT(a, 1.0);
+    // Every key component perturbs the draw.
+    EXPECT_NE(a, deterministicDraw(43, "kill", "job-a", 1));
+    EXPECT_NE(a, deterministicDraw(42, "wedge", "job-a", 1));
+    EXPECT_NE(a, deterministicDraw(42, "kill", "job-b", 1));
+    EXPECT_NE(a, deterministicDraw(42, "kill", "job-a", 2));
+    // Segments must not concatenate ambiguously: ("ab","c") != ("a","bc").
+    EXPECT_NE(deterministicDraw(0, "x", "ab", 1),
+              deterministicDraw(0, "xa", "b", 1));
+}
+
+TEST(HarnessChaos, PresetsScaleAndValidate)
+{
+    const HarnessChaosOptions mild = harnessChaosPreset(1, 7);
+    const HarnessChaosOptions storm = harnessChaosPreset(3, 7);
+    EXPECT_TRUE(mild.enabled);
+    EXPECT_EQ(mild.seed, 7u);
+    EXPECT_GT(storm.killChildProb, mild.killChildProb);
+    EXPECT_GT(storm.tearStoreProb, mild.tearStoreProb);
+    EXPECT_FALSE(harnessChaosPreset(0, 7).enabled);
+}
+
+TEST(PlanExitCode, FailureBudgetGatesTheExitCode)
+{
+    // Fabricated campaign: 8 ok, 2 terminal failures.
+    std::vector<JobOutcome> outcomes(10);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        outcomes[i].done = true;
+        outcomes[i].result.status =
+            i < 2 ? RunStatus::Crash : RunStatus::Ok;
+        outcomes[i].result.verified = i >= 2;
+    }
+    EXPECT_EQ(planExitCode(outcomes), 1);          // historical default
+    EXPECT_EQ(planExitCode(outcomes, 0.19), 1);    // over budget
+    EXPECT_EQ(planExitCode(outcomes, 0.20), 0);    // within budget
+    EXPECT_EQ(planExitCode(outcomes, 1.0), 0);
+    // No failures: exit 0 regardless of budget.
+    for (auto& outcome : outcomes) {
+        outcome.result.status = RunStatus::Ok;
+        outcome.result.verified = true;
+    }
+    EXPECT_EQ(planExitCode(outcomes, 0.0), 0);
+}
+
+TEST(CampaignSummary, CountsRetriesRecoveriesAndQuarantine)
+{
+    std::vector<JobOutcome> outcomes(4);
+    // Recovered: failed twice, then Ok.
+    outcomes[0].result.status = RunStatus::Ok;
+    outcomes[0].result.verified = true;
+    outcomes[0].result.attempts = 3;
+    // Terminal failure after one retry.
+    outcomes[1].result.status = RunStatus::Crash;
+    outcomes[1].result.attempts = 2;
+    // Quarantined (skipped, zero attempts).
+    outcomes[2].result.status = RunStatus::Quarantined;
+    outcomes[2].result.attempts = 0;
+    // Resumed clean run.
+    outcomes[3].result.status = RunStatus::Ok;
+    outcomes[3].result.verified = true;
+    outcomes[3].result.attempts = 1;
+    outcomes[3].resumed = true;
+
+    const CampaignSummary s = summarizeCampaign(outcomes);
+    EXPECT_EQ(s.total, 4);
+    EXPECT_EQ(s.ok, 2);
+    EXPECT_EQ(s.failed, 1);
+    EXPECT_EQ(s.quarantined, 1);
+    EXPECT_EQ(s.retries, 3); // 2 from the recovery + 1 from the failure
+    EXPECT_EQ(s.recovered, 1);
+    EXPECT_EQ(s.resumed, 1);
+    EXPECT_DOUBLE_EQ(s.failRate(), 0.5);
+}
+
+TEST(RunGuardScheduler, QuarantineSkipsRepeatOffenders)
+{
+    ensurePlantedRegistered();
+    RunPlan plan;
+    RunConfig config = simConfig();
+    for (int rep = 0; rep < 3; ++rep) {
+        config.params.set("rep", static_cast<std::int64_t>(rep));
+        plan.add("zz-deadlock", config);
+    }
+    config.params.set("rep", std::int64_t{0});
+    plan.add("zz-ok", config);
+
+    SchedulerOptions options;
+    options.retry.maxRetries = 0;
+    options.retry.quarantineAfter = 2;
+    const auto outcomes = runPlan(plan, options);
+    ASSERT_EQ(outcomes.size(), 4u);
+    EXPECT_EQ(outcomes[0].result.status, RunStatus::Deadlock);
+    EXPECT_EQ(outcomes[1].result.status, RunStatus::Deadlock);
+    // The third repeat offender is skipped, not run.
+    EXPECT_EQ(outcomes[2].result.status, RunStatus::Quarantined);
+    EXPECT_EQ(outcomes[2].result.attempts, 0);
+    EXPECT_EQ(outcomes[2].result.verifyMessage,
+              "skipped: benchmark quarantined");
+    // Other benchmarks are unaffected.
+    EXPECT_EQ(outcomes[3].result.status, RunStatus::Ok);
+    const CampaignSummary s = summarizeCampaign(outcomes);
+    EXPECT_EQ(s.failed, 2);
+    EXPECT_EQ(s.quarantined, 1);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+std::string
+tempStorePath(const char* tag)
+{
+    std::string path = ::testing::TempDir();
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    path += "splash4-runguard-" + std::string(tag) + "-" +
+            std::to_string(::getpid()) + ".jsonl";
+    std::remove(path.c_str());
+    return path;
+}
+
+/** Six distinct zz-work jobs (distinct content-derived ids). */
+RunPlan
+workPlan()
+{
+    RunPlan plan;
+    RunConfig config = simConfig();
+    for (int units : {10, 20, 30, 40, 50, 60}) {
+        config.params.set("units", static_cast<std::int64_t>(units));
+        plan.add("zz-work", config);
+    }
+    return plan;
+}
+
+/**
+ * Kill-only chaos with a seed chosen so at least one job dies on its
+ * first attempt and every job survives some attempt within the retry
+ * budget.  The scan is deterministic, so every test run picks the
+ * same seed.
+ */
+HarnessChaosOptions
+killChaosFor(const RunPlan& plan, int maxAttempts)
+{
+    HarnessChaosOptions chaos;
+    chaos.enabled = true;
+    chaos.killChildProb = 0.4;
+    for (chaos.seed = 1;; ++chaos.seed) {
+        bool sawKill = false;
+        bool allRecover = true;
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+            const std::string& jobId = plan.job(i).jobId;
+            int survivingAttempt = 0;
+            for (int a = 1; a <= maxAttempts; ++a) {
+                if (!chaos.drawKill(jobId, a)) {
+                    survivingAttempt = a;
+                    break;
+                }
+            }
+            if (survivingAttempt == 0)
+                allRecover = false;
+            if (survivingAttempt != 1)
+                sawKill = true;
+        }
+        if (sawKill && allRecover)
+            return chaos;
+        if (chaos.seed > 10000) {
+            ADD_FAILURE() << "no suitable chaos seed in 10k tries";
+            return chaos;
+        }
+    }
+}
+
+TEST(RunGuardScheduler, ChaosOutcomesAreIdenticalAcrossWorkerCounts)
+{
+    ensurePlantedRegistered();
+    const RunPlan plan = workPlan();
+    SchedulerOptions options;
+    options.isolate.enabled = true;
+    options.retry.maxRetries = 3;
+    options.retry.backoffBaseSeconds = 0; // keep the test fast
+    options.isolate.harnessChaos = killChaosFor(plan, 4);
+
+    SchedulerOptions serial = options;
+    SchedulerOptions parallel = options;
+    parallel.jobs = 4;
+    const auto a = runPlan(plan, serial);
+    const auto b = runPlan(plan, parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].job.jobId, b[i].job.jobId);
+        EXPECT_EQ(a[i].result.status, b[i].result.status) << i;
+        // Chaos draws are keyed by (jobId, attempt), never by worker
+        // count or dispatch order — so even the retry counts match.
+        EXPECT_EQ(a[i].result.attempts, b[i].result.attempts) << i;
+        EXPECT_EQ(a[i].result.simCycles, b[i].result.simCycles) << i;
+        EXPECT_EQ(a[i].result.totals.workUnits,
+                  b[i].result.totals.workUnits)
+            << i;
+    }
+    const CampaignSummary sa = summarizeCampaign(a);
+    const CampaignSummary sb = summarizeCampaign(b);
+    EXPECT_EQ(sa.retries, sb.retries);
+    EXPECT_GT(sa.retries, 0); // the chaos seed guarantees a casualty
+    EXPECT_EQ(sa.recovered, sb.recovered);
+}
+
+TEST(RunGuardScheduler, ChaosCampaignConvergesToFaultFreeResults)
+{
+    ensurePlantedRegistered();
+    const RunPlan plan = workPlan();
+
+    SchedulerOptions faultFree;
+    faultFree.isolate.enabled = true;
+    const auto baseline = runPlan(plan, faultFree);
+
+    SchedulerOptions chaotic = faultFree;
+    chaotic.retry.maxRetries = 3;
+    chaotic.retry.backoffBaseSeconds = 0;
+    chaotic.isolate.harnessChaos = killChaosFor(plan, 4);
+    const auto survived = runPlan(plan, chaotic);
+
+    ASSERT_EQ(baseline.size(), survived.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        // Retries recover every casualty, and recovered runs are
+        // bit-identical to never-harmed ones (deterministic engine;
+        // harness faults never leak into workload results).
+        EXPECT_EQ(survived[i].result.status, RunStatus::Ok) << i;
+        EXPECT_EQ(survived[i].result.simCycles,
+                  baseline[i].result.simCycles)
+            << i;
+        EXPECT_EQ(survived[i].result.totals.workUnits,
+                  baseline[i].result.totals.workUnits)
+            << i;
+    }
+}
+
+TEST(RunGuardScheduler, QuarantineIsRederivedOnResume)
+{
+    ensurePlantedRegistered();
+    RunPlan plan;
+    RunConfig config = simConfig();
+    for (int rep = 0; rep < 3; ++rep) {
+        config.params.set("rep", static_cast<std::int64_t>(rep));
+        plan.add("zz-deadlock", config);
+    }
+    config.params.set("rep", std::int64_t{0});
+    plan.add("zz-ok", config);
+
+    SchedulerOptions options;
+    options.retry.maxRetries = 0;
+    options.retry.quarantineAfter = 2;
+
+    const std::string path = tempStorePath("quarantine");
+    std::vector<RunStatus> first;
+    {
+        ResultStore store(path);
+        const auto outcomes = runPlan(plan, options, &store);
+        for (const auto& outcome : outcomes)
+            first.push_back(outcome.result.status);
+        // Quarantined rows are not persisted: the store holds only
+        // what actually ran.
+        EXPECT_EQ(store.size(), 3u);
+    }
+    {
+        ResultStore store(path);
+        EXPECT_EQ(store.load(), 3u);
+        const auto outcomes = runPlan(plan, options, &store);
+        ASSERT_EQ(outcomes.size(), first.size());
+        for (std::size_t i = 0; i < outcomes.size(); ++i)
+            EXPECT_EQ(outcomes[i].result.status, first[i]) << i;
+        // The ran jobs replayed; the quarantine was re-derived from
+        // their stored failures without running anything new.
+        EXPECT_TRUE(outcomes[0].resumed);
+        EXPECT_TRUE(outcomes[1].resumed);
+        EXPECT_FALSE(outcomes[2].resumed);
+        EXPECT_EQ(outcomes[2].result.status, RunStatus::Quarantined);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(RunGuardScheduler, IntentsMarkDiedMidRunJobs)
+{
+    ensurePlantedRegistered();
+    const RunPlan plan = workPlan();
+    const std::string path = tempStorePath("intents");
+
+    SchedulerOptions options;
+    options.isolate.enabled = true;
+    {
+        ResultStore store(path);
+        runPlan(plan, options, &store);
+    }
+    {
+        // Simulate a campaign killed mid-job: drop the last result
+        // record but keep every intent, then resume.
+        ResultStore full(path);
+        ASSERT_EQ(full.load(), plan.size());
+        const std::string lastId = plan.job(plan.size() - 1).jobId;
+        EXPECT_FALSE(full.diedMidRun(lastId));
+    }
+    // Rewrite the store without the last job's result line.
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+        in.close();
+        const std::string lastId = plan.job(plan.size() - 1).jobId;
+        std::string kept;
+        std::size_t lineStart = 0;
+        while (lineStart < content.size()) {
+            std::size_t newline = content.find('\n', lineStart);
+            if (newline == std::string::npos)
+                newline = content.size() - 1;
+            const std::string line =
+                content.substr(lineStart, newline - lineStart);
+            lineStart = newline + 1;
+            if (line.find("\"type\":\"result\"") != std::string::npos &&
+                line.find(lastId) != std::string::npos)
+                continue;
+            kept += line + "\n";
+        }
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << kept;
+    }
+    ResultStore store(path);
+    EXPECT_EQ(store.load(), plan.size() - 1);
+    EXPECT_TRUE(store.diedMidRun(plan.job(plan.size() - 1).jobId));
+    const auto outcomes = runPlan(plan, options, &store);
+    ASSERT_EQ(outcomes.size(), plan.size());
+    EXPECT_FALSE(outcomes[plan.size() - 1].resumed);
+    EXPECT_EQ(outcomes[plan.size() - 1].result.status, RunStatus::Ok);
+    std::remove(path.c_str());
+}
+
+#endif // fork isolation
+
+} // namespace
+} // namespace splash

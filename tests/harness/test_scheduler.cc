@@ -106,7 +106,7 @@ TEST(Scheduler, FailureRowsDoNotStopThePlan)
     plan.add("zz-deadlock", simConfig());
     plan.add("zz-ok", simConfig());
     SchedulerOptions options;
-    options.isolate.maxAttempts = 1;
+    options.retry.maxRetries = 0; // no retry: fail fast
     const auto outcomes = runPlan(plan, options);
     ASSERT_EQ(outcomes.size(), 2u);
     EXPECT_EQ(outcomes[0].result.status, RunStatus::Deadlock);

@@ -1,21 +1,38 @@
 #!/usr/bin/env python3
-"""Validate result stores against the splash4-results-v1 schema.
+"""Validate result stores against the splash4-results-v2 schema.
 
-Usage: check_results_schema.py FILE [FILE...]
+Usage: check_results_schema.py [--tolerate-torn] FILE [FILE...]
 
 FILEs are JSONL result stores written by the harness's --results flag
-(one record per completed job; see docs/SUITE.md).  Standard library
-only; exits nonzero with one line per violation.  A truncated final
-line is reported as a warning, not an error, because it is the
-expected shape of a store whose campaign was killed mid-write — the
-harness itself drops and trims it on --resume.
+(see docs/SUITE.md and docs/RESILIENCE.md).  A v2 store interleaves
+two record types:
+
+  {"schema":"splash4-results-v2","type":"started",...}   write-ahead
+      intent, appended before each attempt runs (crash forensics);
+  {"schema":"splash4-results-v2","type":"result",...}    one terminal
+      record per completed job.
+
+Records under the previous schema (splash4-results-v1, result records
+only, no type field) are accepted read-only, so old stores keep
+validating.  Standard library only; exits nonzero with one line per
+violation.
+
+A truncated final line is reported as a warning, not an error: it is
+the expected shape of a store whose campaign was killed mid-write —
+the harness drops and trims it on --resume.  With --tolerate-torn,
+malformed *interior* lines also degrade to warnings: a torn append
+(harness chaos, or a crash followed by a resumed campaign) leaves its
+fragment mid-file, newline-terminated by the next append, and the
+harness skips it the same way.
 """
 
 import json
 import sys
 
+SCHEMA_V2 = "splash4-results-v2"
+SCHEMA_V1 = "splash4-results-v1"
 STATUSES = {"ok", "verify-fail", "deadlock", "livelock", "timeout",
-            "crash"}
+            "crash", "oom", "cpu-limit", "hung", "quarantined"}
 COUNTERS = [
     "simCycles", "lineTransfers", "barrierCrossings", "lockAcquires",
     "ticketOps", "sumOps", "stackOps", "flagOps", "workUnits",
@@ -50,17 +67,26 @@ def check_counter(errors, path, obj, key):
     return value or 0
 
 
-def check_record(errors, path, doc):
-    schema = doc.get("schema")
-    if schema != "splash4-results-v1":
-        fail(errors, path, "unknown schema '%s'" % schema)
-        return None
+def check_job_id(errors, path, doc):
     job_id = require(errors, path, doc, "jobId", str)
     if job_id is not None and (
             len(job_id) != 16
             or any(c not in "0123456789abcdef" for c in job_id)):
         fail(errors, path, "jobId '%s' is not 16 lowercase hex digits"
              % job_id)
+    return job_id
+
+
+def check_started(errors, path, doc):
+    check_job_id(errors, path, doc)
+    require(errors, path, doc, "benchmark", str)
+    attempt = require(errors, path, doc, "attempt", int)
+    if attempt is not None and attempt < 1:
+        fail(errors, path, "attempt < 1")
+
+
+def check_result(errors, path, doc):
+    check_job_id(errors, path, doc)
     require(errors, path, doc, "benchmark", str)
     suite = require(errors, path, doc, "suite", str)
     if suite is not None and suite not in {"splash3", "splash4"}:
@@ -95,11 +121,35 @@ def check_record(errors, path, doc):
             fail(errors, path, "waitPct outside [0, 100]")
     require(errors, path, doc, "verifyMessage", str)
     require(errors, path, doc, "statusDetail", str)
-    return job_id
 
 
-def check_store(errors, path, text):
-    records = 0
+def check_record(errors, path, doc):
+    """Dispatch on schema/type.  @return 'result' | 'started' | None."""
+    schema = doc.get("schema")
+    if schema == SCHEMA_V1:
+        if "type" in doc:
+            fail(errors, path,
+                 "v1 record carries a type field (v2 feature)")
+        check_result(errors, path, doc)
+        return "result"
+    if schema != SCHEMA_V2:
+        fail(errors, path, "unknown schema '%s'" % schema)
+        return None
+    rtype = require(errors, path, doc, "type", str)
+    if rtype == "result":
+        check_result(errors, path, doc)
+        return "result"
+    if rtype == "started":
+        check_started(errors, path, doc)
+        return "started"
+    if rtype is not None:
+        fail(errors, path, "unknown record type '%s'" % rtype)
+    return None
+
+
+def check_store(errors, path, text, tolerate_torn):
+    results = 0
+    started = 0
     lines = text.split("\n")
     truncated_tail = lines and lines[-1].strip() != ""
     if truncated_tail:
@@ -114,38 +164,52 @@ def check_store(errors, path, text):
         try:
             doc = json.loads(line)
         except ValueError as exc:
-            fail(errors, where, "invalid JSON: %s" % exc)
+            if tolerate_torn:
+                sys.stderr.write(
+                    "%s: warning: torn/malformed line skipped "
+                    "(the harness skips it too)\n" % where)
+            else:
+                fail(errors, where, "invalid JSON: %s" % exc)
             continue
         if not isinstance(doc, dict):
             fail(errors, where, "record is not a JSON object")
             continue
-        check_record(errors, where, doc)
-        records += 1
-    if records == 0 and not truncated_tail:
+        kind = check_record(errors, where, doc)
+        if kind == "result":
+            results += 1
+        elif kind == "started":
+            started += 1
+    if results + started == 0 and not truncated_tail:
         fail(errors, path, "store holds no records")
-    return records
+    return results, started
 
 
 def main(argv):
-    if len(argv) < 2:
+    args = list(argv[1:])
+    tolerate_torn = "--tolerate-torn" in args
+    args = [a for a in args if a != "--tolerate-torn"]
+    if not args:
         sys.stderr.write(__doc__)
         return 2
     errors = []
-    total = 0
-    for path in argv[1:]:
+    results = 0
+    started = 0
+    for path in args:
         try:
             with open(path, "r") as handle:
                 text = handle.read()
         except OSError as exc:
             fail(errors, path, "cannot read: %s" % exc)
             continue
-        total += check_store(errors, path, text)
+        r, s = check_store(errors, path, text, tolerate_torn)
+        results += r
+        started += s
     for line in errors:
         sys.stderr.write(line + "\n")
     if errors:
         return 1
-    print("ok: %d result record(s) conform to splash4-results-v1"
-          % total)
+    print("ok: %d result record(s), %d started intent(s) conform to "
+          "%s" % (results, started, SCHEMA_V2))
     return 0
 
 
