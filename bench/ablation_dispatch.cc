@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "engine/fast_context.h"
@@ -34,9 +35,11 @@
 #include "sync/atomic_reduction.h"
 #include "sync/barrier.h"
 #include "sync/lockfree_stack.h"
+#include "sync/mpmc_queue.h"
 #include "sync/pause_flag.h"
 #include "sync/spinlock.h"
 #include "sync/task_queue.h"
+#include "sync/ws_deque.h"
 
 namespace {
 
@@ -97,6 +100,12 @@ main(int argc, char** argv)
         auto stack = world.createStack(
             static_cast<std::uint32_t>(2 * threads + 2));
         auto flag = world.createFlag();
+        auto queue = world.createQueue(
+            static_cast<std::uint32_t>(2 * threads + 2));
+        // Owner discipline: dequePush/dequePop are owner-only, so
+        // each thread gets its own deque (like radiosity's layout).
+        auto deques = world.createDeques(
+            static_cast<std::size_t>(threads), 8);
 
         // Bare primitives for the raw (zero-dispatch) baseline,
         // shared by the engine's threads exactly like the handles.
@@ -107,6 +116,11 @@ main(int argc, char** argv)
         LockFreeStack rawStack(
             static_cast<std::uint32_t>(2 * threads + 2));
         AtomicFlag rawFlag;
+        MpmcQueue rawQueue(static_cast<std::uint32_t>(2 * threads + 2));
+        std::vector<std::unique_ptr<WorkStealingDeque>> rawDeques;
+        for (int t = 0; t < threads; ++t)
+            rawDeques.push_back(
+                std::make_unique<WorkStealingDeque>(8u));
 
         auto measure = [&](const Workload& w, const auto& rawLoop,
                            const auto& loop) {
@@ -202,6 +216,45 @@ main(int argc, char** argv)
                     ctx.stackPush(stack,
                                   static_cast<std::uint32_t>(ctx.tid()));
                     ctx.stackPop(stack, v);
+                }
+            });
+        measure(
+            {"queue", 1 << 15},
+            [&](auto& ctx, int iters) {
+                std::uint32_t v;
+                for (int i = 0; i < iters; ++i) {
+                    rawQueue.push(
+                        static_cast<std::uint32_t>(ctx.tid()));
+                    rawQueue.pop(v);
+                }
+            },
+            [&](auto& ctx, int iters) {
+                std::uint32_t v;
+                for (int i = 0; i < iters; ++i) {
+                    ctx.queuePush(queue,
+                                  static_cast<std::uint32_t>(ctx.tid()));
+                    ctx.queuePop(queue, v);
+                }
+            });
+        measure(
+            {"deque", 1 << 15},
+            [&](auto& ctx, int iters) {
+                auto& mine =
+                    *rawDeques[static_cast<std::size_t>(ctx.tid())];
+                std::uint32_t v;
+                for (int i = 0; i < iters; ++i) {
+                    mine.push(static_cast<std::uint32_t>(ctx.tid()));
+                    mine.pop(v);
+                }
+            },
+            [&](auto& ctx, int iters) {
+                const auto mine =
+                    deques[static_cast<std::size_t>(ctx.tid())];
+                std::uint32_t v;
+                for (int i = 0; i < iters; ++i) {
+                    ctx.dequePush(mine,
+                                  static_cast<std::uint32_t>(ctx.tid()));
+                    ctx.dequePop(mine, v);
                 }
             });
         measure(

@@ -139,11 +139,9 @@ RadiosityBenchmark::setup(World& world, const Params& params)
     threshold_ = 1e-4 * std::max(emittedTotal_, 1e-12);
 
     barrier_ = world.createBarrier();
-    taskQueues_.clear();
-    for (int t = 0; t < world.nthreads(); ++t) {
-        taskQueues_.push_back(
-            world.createStack(static_cast<std::uint32_t>(n + 8)));
-    }
+    taskDeques_ = world.createDeques(
+        static_cast<std::size_t>(world.nthreads()),
+        static_cast<std::uint32_t>(n + 8));
     received_ = world.createSums(n, 0.0);
     unshotTotal_ = world.createSum(0.0);
 }
@@ -162,25 +160,30 @@ RadiosityBenchmark::kernel(Ctx& ctx)
     ctx.timedBegin("radiosity.iterate"); // lock-free end to end
 
     for (int round = 0; round < maxRounds_; ++round) {
-        // Select shooters (single thread; cheap scan), dealing tasks
-        // round-robin onto the per-thread queues.
-        if (tid == 0) {
+        // Select shooters: each thread scans its own patch slice and
+        // deals its tasks into its own deque (push is owner-only by
+        // the work-stealing contract; the old single-thread deal
+        // round-robined onto shared stacks instead).
+        {
             const double task_eps = threshold_ / (4.0 * n);
-            std::size_t dealt = 0;
-            for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t i = lo; i < hi; ++i) {
                 shotThisRound_[i] =
                     unshot_[i] * patches_[i].area > task_eps;
                 if (shotThisRound_[i]) {
-                    ctx.stackPush(taskQueues_[dealt++ % nthreads],
+                    ctx.dequePush(taskDeques_[tid],
                                   static_cast<std::uint32_t>(i));
                 }
             }
-            ctx.work(n / 4 + 1);
+            ctx.work((hi - lo) / 4 + 1);
         }
         ctx.barrier(barrier_);
 
-        // Shoot: drain the own queue first, then steal.  No tasks are
-        // pushed during this phase, so a full empty scan terminates.
+        // Shoot: drain the own deque first, then steal.  No tasks are
+        // pushed during this phase, and an owner's pop only reports
+        // empty when its deque really is drained, so every deque is
+        // emptied by its owner at the latest and the full probe scan
+        // terminates with no task stranded (a lost steal race just
+        // advances the probe; the owner still covers its own deque).
         const auto shoot = [&](std::uint32_t shooter) {
             const double u = unshot_[shooter];
             const double ai = patches_[shooter].area;
@@ -197,7 +200,11 @@ RadiosityBenchmark::kernel(Ctx& ctx)
         for (int probe = 0; probe < nthreads;) {
             const int victim = (tid + probe) % nthreads;
             std::uint32_t shooter;
-            if (ctx.stackPop(taskQueues_[victim], shooter)) {
+            const bool got =
+                victim == tid
+                    ? ctx.dequePop(taskDeques_[victim], shooter)
+                    : ctx.dequeSteal(taskDeques_[victim], shooter);
+            if (got) {
                 shoot(shooter);
                 probe = 0; // fresh work may remain anywhere
             } else {

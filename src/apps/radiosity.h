@@ -4,12 +4,14 @@
  *
  * The six interior faces are subdivided into patches; a central
  * ceiling area emits.  Every round, patches with enough unshot energy
- * become tasks on per-thread work stacks with stealing (the
- * original's distributed task queues; Splash-3 realizes each as a
- * lock-protected stack, Splash-4 as a lock-free Treiber stack -- the
- * app's defining construct) and workers shoot that energy to every
- * receiving patch through per-patch shared accumulators.  Rounds
- * proceed until the total unshot energy drops below threshold.
+ * become tasks on per-thread work-stealing deques (the original's
+ * distributed task queues; Splash-3 realizes each as a lock-protected
+ * deque, Splash-4 as a bounded Chase-Lev deque -- the app's defining
+ * construct): each thread deals its own patch slice into its own
+ * deque, drains it owner-side, then steals from the others.  Workers
+ * shoot that energy to every receiving patch through per-patch shared
+ * accumulators.  Rounds proceed until the total unshot energy drops
+ * below threshold.
  *
  * Form factors use an analytic disc-to-disc approximation computed on
  * the fly during shooting, as the original computes its form factors
@@ -38,7 +40,7 @@ class RadiosityBenchmark : public TemplatedBenchmark<RadiosityBenchmark>
     std::string name() const override { return "radiosity"; }
     std::string description() const override
     {
-        return "progressive radiosity; shared shooting-task stack";
+        return "progressive radiosity; work-stealing shooter deques";
     }
     std::string inputDescription() const override;
 
@@ -83,7 +85,7 @@ class RadiosityBenchmark : public TemplatedBenchmark<RadiosityBenchmark>
     bool converged_ = false; ///< written by tid 0 between barriers
 
     BarrierHandle barrier_;
-    std::vector<StackHandle> taskQueues_; ///< one per thread, stealable
+    std::vector<DequeHandle> taskDeques_; ///< one per thread, stealable
     std::vector<SumHandle> received_;
     SumHandle unshotTotal_;
 };

@@ -84,6 +84,22 @@ class Context
     /** Pop a task id; false when empty. */
     virtual bool stackPop(StackHandle s, std::uint32_t& value) = 0;
 
+    /** Enqueue a task id; false if the (bounded) queue is full. */
+    virtual bool queuePush(QueueHandle q, std::uint32_t value) = 0;
+
+    /** Dequeue a task id (FIFO); false when empty. */
+    virtual bool queuePop(QueueHandle q, std::uint32_t& value) = 0;
+
+    /**
+     * Work-stealing deque operations.  dequePush/dequePop are
+     * owner-only (call them only on the deque the calling thread
+     * owns); dequeSteal may target any deque and returns false both
+     * when empty and when the steal race was lost (retry or move on).
+     */
+    virtual bool dequePush(DequeHandle d, std::uint32_t value) = 0;
+    virtual bool dequePop(DequeHandle d, std::uint32_t& value) = 0;
+    virtual bool dequeSteal(DequeHandle d, std::uint32_t& value) = 0;
+
     /** Pause-variable operations. */
     virtual void flagSet(FlagHandle f) = 0;
     virtual void flagWait(FlagHandle f) = 0;

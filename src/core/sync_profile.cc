@@ -26,6 +26,10 @@ toString(SyncObjKind kind)
         return "stack";
       case SyncObjKind::Flag:
         return "flag";
+      case SyncObjKind::Queue:
+        return "queue";
+      case SyncObjKind::Deque:
+        return "deque";
       default:
         return "?";
     }
@@ -144,6 +148,10 @@ realizationName(const SyncObjDesc& desc, SuiteVersion suite)
         return s4 ? "treiber" : "locked";
       case SyncObjKind::Flag:
         return s4 ? "atomic" : "condvar";
+      case SyncObjKind::Queue:
+        return s4 ? "mpmc" : "locked";
+      case SyncObjKind::Deque:
+        return s4 ? "chase-lev" : "locked";
     }
     return "?";
 }
@@ -161,6 +169,8 @@ categoryOf(SyncObjKind kind, SuiteVersion suite)
       case SyncObjKind::Ticket:
       case SyncObjKind::Sum:
       case SyncObjKind::Stack:
+      case SyncObjKind::Queue:
+      case SyncObjKind::Deque:
         // The lock-free generation turns these into bare RMWs; the
         // lock-based generation spends the time inside a hidden lock.
         return suite == SuiteVersion::Splash4 ? TimeCategory::Atomic
@@ -185,7 +195,7 @@ buildSyncProfile(const World& world, EngineKind engine,
     // Name each object instance with a per-kind ordinal so reports stay
     // stable across runs: barrier#0, lock#0, lock#1, ...
     const auto& objects = world.objects();
-    std::size_t perKindNext[6] = {};
+    std::size_t perKindNext[kNumSyncObjKinds] = {};
     profile.constructs.resize(objects.size());
     for (std::size_t i = 0; i < objects.size(); ++i) {
         const SyncObjDesc& desc = objects[i];

@@ -134,6 +134,8 @@ struct TicketHandle : Handle {};
 struct SumHandle : Handle {};
 struct StackHandle : Handle {};
 struct FlagHandle : Handle {};
+struct QueueHandle : Handle {};
+struct DequeHandle : Handle {};
 
 } // namespace splash
 

@@ -147,6 +147,37 @@ World::createStack(std::uint32_t capacity)
     return h;
 }
 
+QueueHandle
+World::createQueue(std::uint32_t capacity)
+{
+    panicIf(capacity == 0, "queue capacity must be positive");
+    QueueHandle h;
+    h.index = add({SyncObjKind::Queue, capacity, LockKind::Mutex,
+                  BarrierKind::Auto, 0.0});
+    return h;
+}
+
+DequeHandle
+World::createDeque(std::uint32_t capacity)
+{
+    panicIf(capacity == 0, "deque capacity must be positive");
+    DequeHandle h;
+    h.index = add({SyncObjKind::Deque, capacity, LockKind::Mutex,
+                  BarrierKind::Auto, 0.0});
+    return h;
+}
+
+std::vector<DequeHandle>
+World::createDeques(std::size_t count, std::uint32_t capacity)
+{
+    objects_.reserve(objects_.size() + count);
+    std::vector<DequeHandle> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(createDeque(capacity));
+    return out;
+}
+
 FlagHandle
 World::createFlag()
 {

@@ -29,13 +29,18 @@ enum class SyncObjKind
     Sum,
     Stack,
     Flag,
+    Queue, ///< bounded MPMC FIFO (S4: Vyukov ring; S3: locked deque)
+    Deque, ///< work-stealing deque (S4: Chase-Lev; S3: locked deque)
 };
+
+/** One past the last SyncObjKind value (for table-driven code). */
+constexpr int kNumSyncObjKinds = static_cast<int>(SyncObjKind::Deque) + 1;
 
 /** One allocated synchronization object. */
 struct SyncObjDesc
 {
     SyncObjKind kind;
-    std::uint32_t capacity = 0;         ///< stack capacity
+    std::uint32_t capacity = 0;         ///< stack/queue/deque capacity
     LockKind lockKind = LockKind::Mutex; ///< for Lock objects
     BarrierKind barrierKind = BarrierKind::Auto; ///< for Barriers
     double initialValue = 0.0;           ///< for Sum objects
@@ -95,6 +100,10 @@ class World
                                       double initial = 0.0);
     StackHandle createStack(std::uint32_t capacity);
     FlagHandle createFlag();
+    QueueHandle createQueue(std::uint32_t capacity);
+    DequeHandle createDeque(std::uint32_t capacity);
+    std::vector<DequeHandle> createDeques(std::size_t count,
+                                          std::uint32_t capacity);
 
     /**
      * Bulk-range creation: reserve and append @p count contiguous

@@ -49,9 +49,11 @@
 #include "sync/atomic_reduction.h"
 #include "sync/barrier.h"
 #include "sync/lockfree_stack.h"
+#include "sync/mpmc_queue.h"
 #include "sync/pause_flag.h"
 #include "sync/spinlock.h"
 #include "sync/task_queue.h"
+#include "sync/ws_deque.h"
 #include "util/log.h"
 
 namespace splash {
@@ -108,6 +110,16 @@ struct FastSlot
             AtomicFlag* atomic;
             CondFlag* cond;
         } flag;
+        struct
+        {
+            MpmcQueue* lockFree;
+            LockedQueue* locked;
+        } queue;
+        struct
+        {
+            WorkStealingDeque* lockFree;
+            LockedDeque* locked;
+        } deque;
     };
 
     FastSlot() : barrier{nullptr, nullptr, nullptr} {}
@@ -294,6 +306,69 @@ class NativeFastContext final
             return stackPopProfiled(slot, s, value);
         return slot.stack.lockFree ? slot.stack.lockFree->pop(value)
                                   : slot.stack.locked->pop(value);
+    }
+
+    /** Enqueue a task id; false if the (bounded) queue is full. */
+    bool
+    queuePush(QueueHandle q, std::uint32_t value)
+    {
+        ++stats_.stackOps;
+        tick();
+        const FastSlot& slot = at(q.index);
+        if (recorder_) [[unlikely]]
+            return queuePushProfiled(slot, q, value);
+        return slot.queue.lockFree ? slot.queue.lockFree->push(value)
+                                   : slot.queue.locked->push(value);
+    }
+
+    /** Dequeue a task id (FIFO); false when empty. */
+    bool
+    queuePop(QueueHandle q, std::uint32_t& value)
+    {
+        ++stats_.stackOps;
+        tick();
+        const FastSlot& slot = at(q.index);
+        if (recorder_) [[unlikely]]
+            return queuePopProfiled(slot, q, value);
+        return slot.queue.lockFree ? slot.queue.lockFree->pop(value)
+                                   : slot.queue.locked->pop(value);
+    }
+
+    /** Work-stealing deque ops; push/pop are owner-only. */
+    bool
+    dequePush(DequeHandle d, std::uint32_t value)
+    {
+        ++stats_.stackOps;
+        tick();
+        const FastSlot& slot = at(d.index);
+        if (recorder_) [[unlikely]]
+            return dequePushProfiled(slot, d, value);
+        return slot.deque.lockFree ? slot.deque.lockFree->push(value)
+                                   : slot.deque.locked->push(value);
+    }
+
+    bool
+    dequePop(DequeHandle d, std::uint32_t& value)
+    {
+        ++stats_.stackOps;
+        tick();
+        const FastSlot& slot = at(d.index);
+        if (recorder_) [[unlikely]]
+            return dequePopProfiled(slot, d, value);
+        return slot.deque.lockFree ? slot.deque.lockFree->pop(value)
+                                   : slot.deque.locked->pop(value);
+    }
+
+    bool
+    dequeSteal(DequeHandle d, std::uint32_t& value)
+    {
+        ++stats_.stackOps;
+        tick();
+        const FastSlot& slot = at(d.index);
+        if (recorder_) [[unlikely]]
+            return dequeStealProfiled(slot, d, value);
+        return slot.deque.lockFree ? slot.deque.lockFree->steal(value)
+                                   : slot.deque.locked->steal(value);
     }
 
     /** Pause-variable operations. */
@@ -487,6 +562,66 @@ class NativeFastContext final
         profiledOp(s.index, "pop", [&] {
             ok = slot.stack.lockFree ? slot.stack.lockFree->pop(value)
                                     : slot.stack.locked->pop(value);
+        });
+        return ok;
+    }
+
+    [[gnu::noinline, gnu::cold]] bool
+    queuePushProfiled(const FastSlot& slot, QueueHandle q,
+                      std::uint32_t value)
+    {
+        bool ok = false;
+        profiledOp(q.index, "push", [&] {
+            ok = slot.queue.lockFree ? slot.queue.lockFree->push(value)
+                                     : slot.queue.locked->push(value);
+        });
+        return ok;
+    }
+
+    [[gnu::noinline, gnu::cold]] bool
+    queuePopProfiled(const FastSlot& slot, QueueHandle q,
+                     std::uint32_t& value)
+    {
+        bool ok = false;
+        profiledOp(q.index, "pop", [&] {
+            ok = slot.queue.lockFree ? slot.queue.lockFree->pop(value)
+                                     : slot.queue.locked->pop(value);
+        });
+        return ok;
+    }
+
+    [[gnu::noinline, gnu::cold]] bool
+    dequePushProfiled(const FastSlot& slot, DequeHandle d,
+                      std::uint32_t value)
+    {
+        bool ok = false;
+        profiledOp(d.index, "push", [&] {
+            ok = slot.deque.lockFree ? slot.deque.lockFree->push(value)
+                                     : slot.deque.locked->push(value);
+        });
+        return ok;
+    }
+
+    [[gnu::noinline, gnu::cold]] bool
+    dequePopProfiled(const FastSlot& slot, DequeHandle d,
+                     std::uint32_t& value)
+    {
+        bool ok = false;
+        profiledOp(d.index, "pop", [&] {
+            ok = slot.deque.lockFree ? slot.deque.lockFree->pop(value)
+                                     : slot.deque.locked->pop(value);
+        });
+        return ok;
+    }
+
+    [[gnu::noinline, gnu::cold]] bool
+    dequeStealProfiled(const FastSlot& slot, DequeHandle d,
+                       std::uint32_t& value)
+    {
+        bool ok = false;
+        profiledOp(d.index, "steal", [&] {
+            ok = slot.deque.lockFree ? slot.deque.lockFree->steal(value)
+                                     : slot.deque.locked->steal(value);
         });
         return ok;
     }

@@ -22,9 +22,11 @@
 #include "sync/chaos_hook.h"
 #include "sync/scope_hook.h"
 #include "sync/lockfree_stack.h"
+#include "sync/mpmc_queue.h"
 #include "sync/pause_flag.h"
 #include "sync/spinlock.h"
 #include "sync/task_queue.h"
+#include "sync/ws_deque.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -47,6 +49,10 @@ struct NativeObject
     std::unique_ptr<AtomicAccumulator> atomicSum;
     std::unique_ptr<LockedStack> lockedStack;
     std::unique_ptr<LockFreeStack> lockFreeStack;
+    std::unique_ptr<LockedQueue> lockedQueue;
+    std::unique_ptr<MpmcQueue> mpmcQueue;
+    std::unique_ptr<LockedDeque> lockedDeque;
+    std::unique_ptr<WorkStealingDeque> wsDeque;
     std::unique_ptr<CondFlag> condFlag;
     std::unique_ptr<AtomicFlag> atomicFlag;
 };
@@ -111,6 +117,24 @@ class NativeObjects
                         desc.capacity);
                 }
                 break;
+              case SyncObjKind::Queue:
+                if (s4) {
+                    obj.mpmcQueue = std::make_unique<MpmcQueue>(
+                        desc.capacity);
+                } else {
+                    obj.lockedQueue = std::make_unique<LockedQueue>(
+                        desc.capacity);
+                }
+                break;
+              case SyncObjKind::Deque:
+                if (s4) {
+                    obj.wsDeque = std::make_unique<WorkStealingDeque>(
+                        desc.capacity);
+                } else {
+                    obj.lockedDeque = std::make_unique<LockedDeque>(
+                        desc.capacity);
+                }
+                break;
               case SyncObjKind::Flag:
                 if (s4)
                     obj.atomicFlag = std::make_unique<AtomicFlag>();
@@ -170,6 +194,14 @@ class NativeObjects
                 slot.stack.lockFree = obj.lockFreeStack.get();
             else if (obj.lockedStack)
                 slot.stack.locked = obj.lockedStack.get();
+            else if (obj.mpmcQueue)
+                slot.queue.lockFree = obj.mpmcQueue.get();
+            else if (obj.lockedQueue)
+                slot.queue.locked = obj.lockedQueue.get();
+            else if (obj.wsDeque)
+                slot.deque.lockFree = obj.wsDeque.get();
+            else if (obj.lockedDeque)
+                slot.deque.locked = obj.lockedDeque.get();
             else if (obj.atomicFlag)
                 slot.flag.atomic = obj.atomicFlag.get();
             else if (obj.condFlag)
@@ -408,6 +440,96 @@ class NativeContext : public Context
             profiledOp(s.index, "pop", pop);
         else
             pop();
+        return ok;
+    }
+
+    bool
+    queuePush(QueueHandle q, std::uint32_t value) override
+    {
+        ++stats_.stackOps;
+        tick();
+        auto& obj = objects_.at(q.index);
+        bool ok = false;
+        const auto push = [&] {
+            ok = obj.mpmcQueue ? obj.mpmcQueue->push(value)
+                               : obj.lockedQueue->push(value);
+        };
+        if (recorder_)
+            profiledOp(q.index, "push", push);
+        else
+            push();
+        return ok;
+    }
+
+    bool
+    queuePop(QueueHandle q, std::uint32_t& value) override
+    {
+        ++stats_.stackOps;
+        tick();
+        auto& obj = objects_.at(q.index);
+        bool ok = false;
+        const auto pop = [&] {
+            ok = obj.mpmcQueue ? obj.mpmcQueue->pop(value)
+                               : obj.lockedQueue->pop(value);
+        };
+        if (recorder_)
+            profiledOp(q.index, "pop", pop);
+        else
+            pop();
+        return ok;
+    }
+
+    bool
+    dequePush(DequeHandle d, std::uint32_t value) override
+    {
+        ++stats_.stackOps;
+        tick();
+        auto& obj = objects_.at(d.index);
+        bool ok = false;
+        const auto push = [&] {
+            ok = obj.wsDeque ? obj.wsDeque->push(value)
+                             : obj.lockedDeque->push(value);
+        };
+        if (recorder_)
+            profiledOp(d.index, "push", push);
+        else
+            push();
+        return ok;
+    }
+
+    bool
+    dequePop(DequeHandle d, std::uint32_t& value) override
+    {
+        ++stats_.stackOps;
+        tick();
+        auto& obj = objects_.at(d.index);
+        bool ok = false;
+        const auto pop = [&] {
+            ok = obj.wsDeque ? obj.wsDeque->pop(value)
+                             : obj.lockedDeque->pop(value);
+        };
+        if (recorder_)
+            profiledOp(d.index, "pop", pop);
+        else
+            pop();
+        return ok;
+    }
+
+    bool
+    dequeSteal(DequeHandle d, std::uint32_t& value) override
+    {
+        ++stats_.stackOps;
+        tick();
+        auto& obj = objects_.at(d.index);
+        bool ok = false;
+        const auto steal = [&] {
+            ok = obj.wsDeque ? obj.wsDeque->steal(value)
+                             : obj.lockedDeque->steal(value);
+        };
+        if (recorder_)
+            profiledOp(d.index, "steal", steal);
+        else
+            steal();
         return ok;
     }
 

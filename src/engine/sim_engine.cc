@@ -126,6 +126,34 @@ struct SimStack
     std::uint32_t capacity = 0;
 };
 
+/**
+ * Modeled bounded MPMC FIFO.  The S4 realization (a Vyukov ring) keeps
+ * producers and consumers on distinct position words, so the model
+ * gives each its own cache line; S3 shares one lock.
+ */
+struct SimQueue
+{
+    SimLine enqueueLine;
+    SimLine dequeueLine;
+    SimLock lock;
+    std::deque<std::uint32_t> items;
+    std::uint32_t capacity = 0;
+};
+
+/**
+ * Modeled work-stealing deque.  The S4 realization (Chase-Lev) has an
+ * owner-local bottom index and a steal-contended top index; only the
+ * last-element race and steals pay RMW traffic on the top line.
+ */
+struct SimDeque
+{
+    SimLine topLine;    ///< steal-contended CAS word
+    SimLine bottomLine; ///< owner's index (stolen reads only)
+    SimLock lock;
+    std::deque<std::uint32_t> items;
+    std::uint32_t capacity = 0;
+};
+
 /** Modeled pause flag. */
 struct SimFlag
 {
@@ -142,6 +170,8 @@ struct SimObject
     std::unique_ptr<SimTicket> ticket;
     std::unique_ptr<SimSum> sum;
     std::unique_ptr<SimStack> stack;
+    std::unique_ptr<SimQueue> queue;
+    std::unique_ptr<SimDeque> deque;
     std::unique_ptr<SimFlag> flag;
 };
 
@@ -253,6 +283,30 @@ class SimMachine
                                            "stack" + id);
                     checker_->registerSync(&obj.stack->lock,
                                            "stack" + id + ".lock");
+                }
+                break;
+              case SyncObjKind::Queue:
+                obj.queue = std::make_unique<SimQueue>();
+                obj.queue->capacity = desc.capacity;
+                if (checker_) {
+                    checker_->registerSync(&obj.queue->enqueueLine,
+                                           "queue" + id + ".enq");
+                    checker_->registerSync(&obj.queue->dequeueLine,
+                                           "queue" + id + ".deq");
+                    checker_->registerSync(&obj.queue->lock,
+                                           "queue" + id + ".lock");
+                }
+                break;
+              case SyncObjKind::Deque:
+                obj.deque = std::make_unique<SimDeque>();
+                obj.deque->capacity = desc.capacity;
+                if (checker_) {
+                    checker_->registerSync(&obj.deque->topLine,
+                                           "deque" + id + ".top");
+                    checker_->registerSync(&obj.deque->bottomLine,
+                                           "deque" + id + ".bottom");
+                    checker_->registerSync(&obj.deque->lock,
+                                           "deque" + id + ".lock");
                 }
                 break;
               case SyncObjKind::Flag:
@@ -496,6 +550,14 @@ class SimMachine
             } else if (obj.stack) {
                 total += obj.stack->headLine.transferCount();
                 total += obj.stack->lock.line.transferCount();
+            } else if (obj.queue) {
+                total += obj.queue->enqueueLine.transferCount();
+                total += obj.queue->dequeueLine.transferCount();
+                total += obj.queue->lock.line.transferCount();
+            } else if (obj.deque) {
+                total += obj.deque->topLine.transferCount();
+                total += obj.deque->bottomLine.transferCount();
+                total += obj.deque->lock.line.transferCount();
             } else if (obj.flag) {
                 total += obj.flag->line.transferCount();
                 total += obj.flag->lock.line.transferCount();
@@ -1091,6 +1153,227 @@ class SimContext : public Context
         }
         if (auto* sr = machine_.recorder(me_.tid))
             sr->record(s.index, "pop", entry, me_.clock - entry,
+                       1 + retries, retries);
+        return ok;
+    }
+
+    bool
+    queuePush(QueueHandle q, std::uint32_t value) override
+    {
+        ++stats_.stackOps;
+        machine_.traceOp(me_, "q-push", q.index);
+        auto& obj = *machine_.object(q.index).queue;
+        const VTime entry = me_.clock;
+        bool ok = true;
+        std::uint64_t retries = 0;
+        if (suite_ == SuiteVersion::Splash4) {
+            // Vyukov ring: producers contend only on the enqueue
+            // position word; a full queue is detected from the cell
+            // sequence read (modeled as part of the same line visit).
+            machine_.awaitTurn(me_);
+            retries += static_cast<std::uint64_t>(
+                machine_.chaosRmwRetries(me_, obj.enqueueLine));
+            me_.clock = obj.enqueueLine.rmw(me_.tid, me_.clock, prof_);
+            if (auto* rc = machine_.checker())
+                rc->rmw(me_.tid, &obj.enqueueLine, me_.clock);
+            if (obj.items.size() >= obj.capacity)
+                ok = false;
+            else
+                obj.items.push_back(value);
+            stats_.addCycles(TimeCategory::Atomic, me_.clock - entry);
+        } else {
+            machine_.rawLockAcquire(me_, obj.lock);
+            me_.clock += prof_.criticalOpCycles;
+            if (obj.items.size() >= obj.capacity)
+                ok = false;
+            else
+                obj.items.push_back(value);
+            machine_.rawLockRelease(me_, obj.lock);
+            stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+        }
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(q.index, "push", entry, me_.clock - entry,
+                       1 + retries, retries);
+        return ok;
+    }
+
+    bool
+    queuePop(QueueHandle q, std::uint32_t& value) override
+    {
+        ++stats_.stackOps;
+        machine_.traceOp(me_, "q-pop", q.index);
+        auto& obj = *machine_.object(q.index).queue;
+        const VTime entry = me_.clock;
+        bool ok = false;
+        std::uint64_t retries = 0;
+        if (suite_ == SuiteVersion::Splash4) {
+            machine_.awaitTurn(me_);
+            if (obj.items.empty()) {
+                // Empty check is a load of the dequeue position.
+                me_.clock =
+                    obj.dequeueLine.load(me_.tid, me_.clock, prof_);
+                if (auto* rc = machine_.checker())
+                    rc->acquire(me_.tid, &obj.dequeueLine, me_.clock);
+            } else {
+                retries += static_cast<std::uint64_t>(
+                    machine_.chaosRmwRetries(me_, obj.dequeueLine));
+                me_.clock =
+                    obj.dequeueLine.rmw(me_.tid, me_.clock, prof_);
+                if (auto* rc = machine_.checker())
+                    rc->rmw(me_.tid, &obj.dequeueLine, me_.clock);
+                value = obj.items.front();
+                obj.items.pop_front();
+                ok = true;
+            }
+            stats_.addCycles(TimeCategory::Atomic, me_.clock - entry);
+        } else {
+            machine_.rawLockAcquire(me_, obj.lock);
+            me_.clock += prof_.criticalOpCycles;
+            if (!obj.items.empty()) {
+                value = obj.items.front();
+                obj.items.pop_front();
+                ok = true;
+            }
+            machine_.rawLockRelease(me_, obj.lock);
+            stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+        }
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(q.index, "pop", entry, me_.clock - entry,
+                       1 + retries, retries);
+        return ok;
+    }
+
+    bool
+    dequePush(DequeHandle d, std::uint32_t value) override
+    {
+        ++stats_.stackOps;
+        machine_.traceOp(me_, "d-push", d.index);
+        auto& obj = *machine_.object(d.index).deque;
+        const VTime entry = me_.clock;
+        bool ok = true;
+        if (suite_ == SuiteVersion::Splash4) {
+            // Chase-Lev push: owner-only store + release of bottom; no
+            // CAS, so no chaos retry injection on this op.
+            machine_.awaitTurn(me_);
+            me_.clock = obj.bottomLine.rmw(me_.tid, me_.clock, prof_);
+            if (auto* rc = machine_.checker())
+                rc->rmw(me_.tid, &obj.bottomLine, me_.clock);
+            if (obj.items.size() >= obj.capacity)
+                ok = false;
+            else
+                obj.items.push_back(value);
+            stats_.addCycles(TimeCategory::Atomic, me_.clock - entry);
+        } else {
+            machine_.rawLockAcquire(me_, obj.lock);
+            me_.clock += prof_.criticalOpCycles;
+            if (obj.items.size() >= obj.capacity)
+                ok = false;
+            else
+                obj.items.push_back(value);
+            machine_.rawLockRelease(me_, obj.lock);
+            stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+        }
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(d.index, "push", entry, me_.clock - entry, 1, 0);
+        return ok;
+    }
+
+    bool
+    dequePop(DequeHandle d, std::uint32_t& value) override
+    {
+        ++stats_.stackOps;
+        machine_.traceOp(me_, "d-pop", d.index);
+        auto& obj = *machine_.object(d.index).deque;
+        const VTime entry = me_.clock;
+        bool ok = false;
+        std::uint64_t retries = 0;
+        if (suite_ == SuiteVersion::Splash4) {
+            machine_.awaitTurn(me_);
+            // Owner pop: publish the decremented bottom, then read top.
+            me_.clock = obj.bottomLine.rmw(me_.tid, me_.clock, prof_);
+            if (auto* rc = machine_.checker())
+                rc->rmw(me_.tid, &obj.bottomLine, me_.clock);
+            if (obj.items.empty()) {
+                me_.clock = obj.topLine.load(me_.tid, me_.clock, prof_);
+                if (auto* rc = machine_.checker())
+                    rc->acquire(me_.tid, &obj.topLine, me_.clock);
+            } else {
+                if (obj.items.size() == 1) {
+                    // Last element: the owner races stealers with a
+                    // CAS on top.
+                    retries += static_cast<std::uint64_t>(
+                        machine_.chaosRmwRetries(me_, obj.topLine));
+                    me_.clock =
+                        obj.topLine.rmw(me_.tid, me_.clock, prof_);
+                    if (auto* rc = machine_.checker())
+                        rc->rmw(me_.tid, &obj.topLine, me_.clock);
+                }
+                value = obj.items.back();
+                obj.items.pop_back();
+                ok = true;
+            }
+            stats_.addCycles(TimeCategory::Atomic, me_.clock - entry);
+        } else {
+            machine_.rawLockAcquire(me_, obj.lock);
+            me_.clock += prof_.criticalOpCycles;
+            if (!obj.items.empty()) {
+                value = obj.items.back();
+                obj.items.pop_back();
+                ok = true;
+            }
+            machine_.rawLockRelease(me_, obj.lock);
+            stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+        }
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(d.index, "pop", entry, me_.clock - entry,
+                       1 + retries, retries);
+        return ok;
+    }
+
+    bool
+    dequeSteal(DequeHandle d, std::uint32_t& value) override
+    {
+        ++stats_.stackOps;
+        machine_.traceOp(me_, "d-steal", d.index);
+        auto& obj = *machine_.object(d.index).deque;
+        const VTime entry = me_.clock;
+        bool ok = false;
+        std::uint64_t retries = 0;
+        if (suite_ == SuiteVersion::Splash4) {
+            machine_.awaitTurn(me_);
+            if (obj.items.empty()) {
+                // Empty check reads top then bottom.
+                me_.clock = obj.topLine.load(me_.tid, me_.clock, prof_);
+                me_.clock =
+                    obj.bottomLine.load(me_.tid, me_.clock, prof_);
+                if (auto* rc = machine_.checker()) {
+                    rc->acquire(me_.tid, &obj.topLine, me_.clock);
+                    rc->acquire(me_.tid, &obj.bottomLine, me_.clock);
+                }
+            } else {
+                retries += static_cast<std::uint64_t>(
+                    machine_.chaosRmwRetries(me_, obj.topLine));
+                me_.clock = obj.topLine.rmw(me_.tid, me_.clock, prof_);
+                if (auto* rc = machine_.checker())
+                    rc->rmw(me_.tid, &obj.topLine, me_.clock);
+                value = obj.items.front();
+                obj.items.pop_front();
+                ok = true;
+            }
+            stats_.addCycles(TimeCategory::Atomic, me_.clock - entry);
+        } else {
+            machine_.rawLockAcquire(me_, obj.lock);
+            me_.clock += prof_.criticalOpCycles;
+            if (!obj.items.empty()) {
+                value = obj.items.front();
+                obj.items.pop_front();
+                ok = true;
+            }
+            machine_.rawLockRelease(me_, obj.lock);
+            stats_.addCycles(TimeCategory::Lock, me_.clock - entry);
+        }
+        if (auto* sr = machine_.recorder(me_.tid))
+            sr->record(d.index, "steal", entry, me_.clock - entry,
                        1 + retries, retries);
         return ok;
     }

@@ -52,7 +52,7 @@ CholeskyBenchmark::setup(World& world, const Params& params)
     panelTicket_ = world.createTicket();
     const std::uint32_t max_tasks = static_cast<std::uint32_t>(
         numBlocks_ * (numBlocks_ + 1) / 2 + 1);
-    updateTasks_ = world.createStack(max_tasks);
+    updateTasks_ = world.createQueue(max_tasks);
 }
 
 void
@@ -136,19 +136,22 @@ CholeskyBenchmark::kernel(Ctx& ctx)
         }
         ctx.barrier(barrier_);
 
-        // Trailing updates distributed through the shared task stack.
+        // Trailing updates distributed through the shared task queue
+        // (FIFO: the Vyukov ring recycles cells by position, so the
+        // single-producer burst here cannot hit a reclamation stall
+        // the way a node-recycling stack could).
         if (tid == 0) {
             for (std::size_t bi = k + 1; bi < numBlocks_; ++bi) {
                 for (std::size_t bj = k + 1; bj <= bi; ++bj) {
                     const std::uint32_t task = static_cast<std::uint32_t>(
                         bi * numBlocks_ + bj);
-                    ctx.stackPush(updateTasks_, task);
+                    ctx.queuePush(updateTasks_, task);
                 }
             }
         }
         ctx.barrier(barrier_);
         std::uint32_t task;
-        while (ctx.stackPop(updateTasks_, task)) {
+        while (ctx.queuePop(updateTasks_, task)) {
             const std::size_t bi = task / numBlocks_;
             const std::size_t bj = task % numBlocks_;
             trailingUpdate(k, bi, bj);

@@ -5,9 +5,9 @@
  *
  * Right-looking factorization of an SPD matrix.  The per-step panel
  * solves are claimed through a shared ticket and the trailing-matrix
- * updates flow through a shared task stack -- the kernel's
+ * updates flow through a shared task queue -- the kernel's
  * characteristic construct pair (Splash-3: lock-protected queue and
- * counter, Splash-4: lock-free stack and fetch&add).
+ * counter, Splash-4: lock-free MPMC ring and fetch&add).
  *
  * Parameters: size (N), block (B), seed.
  */
@@ -30,7 +30,7 @@ class CholeskyBenchmark : public TemplatedBenchmark<CholeskyBenchmark>
     std::string name() const override { return "cholesky"; }
     std::string description() const override
     {
-        return "blocked SPD Cholesky; ticket + task-stack scheduling";
+        return "blocked SPD Cholesky; ticket + task-queue scheduling";
     }
     std::string inputDescription() const override;
 
@@ -63,7 +63,7 @@ class CholeskyBenchmark : public TemplatedBenchmark<CholeskyBenchmark>
 
     BarrierHandle barrier_;
     TicketHandle panelTicket_;
-    StackHandle updateTasks_;
+    QueueHandle updateTasks_;
 };
 
 } // namespace splash

@@ -1,10 +1,32 @@
 /**
  * @file
- * Treiber stack over a fixed node pool with a tagged head to avoid ABA.
+ * Treiber stack over a fixed node pool, made recycle-safe by a
+ * ReclaimDomain (epoch-based by default, hazard-pointer selectable).
  *
- * Used as the Splash-4 replacement for the lock-protected task stacks in
- * radiosity and cholesky.  Values are 32-bit task ids; the pool capacity
- * is fixed at construction (the suite's task counts are known up front).
+ * Used as the Splash-4 replacement for the lock-protected task stacks
+ * in radiosity and cholesky.  Values are 32-bit task ids; the pool
+ * capacity is fixed at construction (the suite's task counts are known
+ * up front).
+ *
+ * Why SMR and not just tagged heads: a pop/alloc loser holds a stale
+ * head snapshot and reads that node's link field before its CAS can
+ * tell it the node was recycled.  The tag makes the CAS fail -- it
+ * cannot make the read itself well-defined when a recycler is
+ * concurrently rewriting the field.  Under SMR a popped node is
+ * *retired*, not freed: its link fields are rewritten only after every
+ * read-side section that could have seen it live has closed, so all
+ * node fields are plain (non-atomic) data again.
+ *
+ * The live list and the free list keep separate link arrays (next_
+ * vs freeNext_): push writes next_, deferred reclamation writes
+ * freeNext_, and neither write can overlap a protected read of the
+ * other under the domain's grace-period guarantee.
+ *
+ * Retry-loop idiom (audit note): after a real compare_exchange_weak
+ * failure the loop reuses the CAS-updated expected value -- there is
+ * deliberately no reload.  Only the chaos branch reloads, because it
+ * skips the CAS entirely and must emulate the failed CAS's refresh of
+ * the expected value to keep making progress.
  */
 
 #ifndef SPLASH_SYNC_LOCKFREE_STACK_H
@@ -15,6 +37,7 @@
 #include <vector>
 
 #include "sync/chaos_hook.h"
+#include "sync/reclaim.h"
 #include "sync/scope_hook.h"
 #include "util/log.h"
 
@@ -23,26 +46,69 @@ namespace splash {
 /** Lock-free LIFO of uint32 values with bounded capacity. */
 class LockFreeStack
 {
-  public:
-    /** @param capacity maximum number of simultaneously-held values. */
-    explicit LockFreeStack(std::uint32_t capacity)
-        : nodes_(capacity), freeHead_(pack(0, 0)), head_(pack(kNil, 0))
+  private:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    static constexpr std::uint64_t
+    pack(std::uint32_t idx, std::uint32_t tg)
     {
+        return (static_cast<std::uint64_t>(tg) << 32) | idx;
+    }
+    static constexpr std::uint32_t index(std::uint64_t h)
+    {
+        return static_cast<std::uint32_t>(h);
+    }
+    static constexpr std::uint32_t tag(std::uint64_t h)
+    {
+        return static_cast<std::uint32_t>(h >> 32);
+    }
+
+  public:
+    /**
+     * @param capacity maximum number of simultaneously-held values.
+     * @param policy   reclamation scheme for the node pool.
+     *
+     * Note: under epoch reclamation a popped node returns to the free
+     * list only after a grace period, so a stack driven at exactly
+     * @p capacity in-flight values by multiple threads can transiently
+     * report full; allocation drains the caller's own retirees before
+     * giving up, which restores exactness for single-threaded use.
+     */
+    explicit LockFreeStack(std::uint32_t capacity,
+                           ReclaimPolicy policy = ReclaimPolicy::Epoch)
+        : value_(capacity), next_(capacity), freeNext_(capacity),
+          freeHead_(pack(0, 0)), head_(pack(kNil, 0)),
+          domain_(policy, &LockFreeStack::reclaimNode, this)
+    {
+        // The packed head must give the tag a full 32 bits.  Under SMR
+        // the tag is defense-in-depth, not the safety argument:
+        // reclamation already guarantees a node cannot re-enter
+        // circulation while any read-side section that saw it live is
+        // open, so an ABA'd CAS would require a full
+        // retire/grace/realloc cycle inside one pinned snapshot window
+        // -- impossible by construction.  For the tag itself to wrap
+        // into a false CAS success, one stalled snapshot would have to
+        // survive 2^32 successful head swaps; Run-Guard campaign op
+        // budgets stay far below 2^32 total ops per run.
+        static_assert(index(pack(7, 9)) == 7 && tag(pack(7, 9)) == 9,
+                      "tagged-head packing must round-trip index/tag");
+        static_assert(tag(pack(0, 0xffffffffu)) == 0xffffffffu,
+                      "tag field must span a full 32 bits");
         panicIf(capacity == 0 || capacity >= kNil,
                 "lock-free stack capacity out of range");
         for (std::uint32_t i = 0; i < capacity; ++i)
-            nodes_[i].next.store((i + 1 < capacity) ? i + 1 : kNil,
-                                 std::memory_order_relaxed);
+            freeNext_[i] = (i + 1 < capacity) ? i + 1 : kNil;
     }
 
     /** Push a value; returns false when the pool is exhausted. */
     bool
     push(std::uint32_t value)
     {
-        const std::uint32_t node = allocNode();
+        ReclaimDomain::Guard guard(domain_);
+        const std::uint32_t node = allocNode(guard);
         if (node == kNil)
             return false;
-        nodes_[node].value.store(value, std::memory_order_relaxed);
+        value_[node] = value;
         std::uint64_t old_head = head_.load(std::memory_order_acquire);
         for (;;) {
             sync_scope::noteAttempt();
@@ -51,8 +117,7 @@ class LockFreeStack
                 old_head = head_.load(std::memory_order_acquire);
                 continue;
             }
-            nodes_[node].next.store(index(old_head),
-                                    std::memory_order_relaxed);
+            next_[node] = index(old_head);
             const std::uint64_t new_head = pack(node, tag(old_head) + 1);
             if (head_.compare_exchange_weak(old_head, new_head,
                                             std::memory_order_acq_rel,
@@ -67,6 +132,7 @@ class LockFreeStack
     bool
     pop(std::uint32_t& value)
     {
+        ReclaimDomain::Guard guard(domain_);
         std::uint64_t old_head = head_.load(std::memory_order_acquire);
         for (;;) {
             sync_scope::noteAttempt();
@@ -78,18 +144,17 @@ class LockFreeStack
             const std::uint32_t node = index(old_head);
             if (node == kNil)
                 return false;
-            // Losers may read a node the winner is already recycling;
-            // the stale snapshot is discarded when the tagged CAS
-            // fails, but the read itself must be atomic.
-            const std::uint64_t new_head = pack(
-                nodes_[node].next.load(std::memory_order_relaxed),
-                tag(old_head) + 1);
+            if (!domain_.protect(guard.slot(), node, head_, old_head)) {
+                sync_scope::noteRetry();
+                continue; // protect() refreshed old_head
+            }
+            const std::uint64_t new_head =
+                pack(next_[node], tag(old_head) + 1);
             if (head_.compare_exchange_weak(old_head, new_head,
                                             std::memory_order_acq_rel,
                                             std::memory_order_acquire)) {
-                value =
-                    nodes_[node].value.load(std::memory_order_relaxed);
-                freeNode(node);
+                value = value_[node];
+                domain_.retire(guard.slot(), node);
                 return true;
             }
             sync_scope::noteRetry();
@@ -103,65 +168,23 @@ class LockFreeStack
         return index(head_.load(std::memory_order_acquire)) == kNil;
     }
 
+    /** The stack's reclamation domain (test introspection). */
+    const ReclaimDomain& domain() const { return domain_; }
+
   private:
-    static constexpr std::uint32_t kNil = 0xffffffffu;
-
-    // synclint: allow(R5) pool nodes are deliberately dense -- padding
-    // 64k-node pools to a line apiece costs megabytes, and the hot
-    // contention point is the tagged heads above, not node interiors.
-    struct Node
+    /** ReclaimDomain callback: @p node finished its grace period. */
+    static void
+    reclaimNode(void* owner, std::uint32_t node)
     {
-        // Relaxed atomics: the tagged head CASes provide all ordering;
-        // these only make the concurrent loser/recycler accesses
-        // well-defined.
-        std::atomic<std::uint32_t> value{0};
-        std::atomic<std::uint32_t> next{kNil};
-    };
-
-    static std::uint64_t
-    pack(std::uint32_t idx, std::uint32_t tg)
-    {
-        return (static_cast<std::uint64_t>(tg) << 32) | idx;
-    }
-    static std::uint32_t index(std::uint64_t h)
-    {
-        return static_cast<std::uint32_t>(h);
-    }
-    static std::uint32_t tag(std::uint64_t h)
-    {
-        return static_cast<std::uint32_t>(h >> 32);
+        static_cast<LockFreeStack*>(owner)->linkFree(node);
     }
 
-    std::uint32_t
-    allocNode()
-    {
-        std::uint64_t old_head = freeHead_.load(std::memory_order_acquire);
-        for (;;) {
-            sync_scope::noteAttempt();
-            if (sync_chaos::forcedCasFail()) {
-                sync_scope::noteRetry();
-                old_head = freeHead_.load(std::memory_order_acquire);
-                continue;
-            }
-            const std::uint32_t node = index(old_head);
-            if (node == kNil)
-                return kNil;
-            const std::uint64_t new_head = pack(
-                nodes_[node].next.load(std::memory_order_relaxed),
-                tag(old_head) + 1);
-            if (freeHead_.compare_exchange_weak(
-                    old_head, new_head, std::memory_order_acq_rel,
-                    std::memory_order_acquire)) {
-                return node;
-            }
-            sync_scope::noteRetry();
-        }
-    }
-
+    /** Return a quiescent node to the free list (reclaim path only). */
     void
-    freeNode(std::uint32_t node)
+    linkFree(std::uint32_t node)
     {
-        std::uint64_t old_head = freeHead_.load(std::memory_order_acquire);
+        std::uint64_t old_head =
+            freeHead_.load(std::memory_order_acquire);
         for (;;) {
             sync_scope::noteAttempt();
             if (sync_chaos::forcedCasFail()) {
@@ -169,8 +192,7 @@ class LockFreeStack
                 old_head = freeHead_.load(std::memory_order_acquire);
                 continue;
             }
-            nodes_[node].next.store(index(old_head),
-                                    std::memory_order_relaxed);
+            freeNext_[node] = index(old_head);
             const std::uint64_t new_head = pack(node, tag(old_head) + 1);
             if (freeHead_.compare_exchange_weak(
                     old_head, new_head, std::memory_order_acq_rel,
@@ -181,12 +203,62 @@ class LockFreeStack
         }
     }
 
-    std::vector<Node> nodes_;
+    /** Pop a node off the free list; kNil when truly exhausted. */
+    std::uint32_t
+    allocNode(ReclaimDomain::Guard& guard)
+    {
+        bool flushed = false;
+        std::uint64_t old_head =
+            freeHead_.load(std::memory_order_acquire);
+        for (;;) {
+            sync_scope::noteAttempt();
+            if (sync_chaos::forcedCasFail()) {
+                sync_scope::noteRetry();
+                old_head = freeHead_.load(std::memory_order_acquire);
+                continue;
+            }
+            const std::uint32_t node = index(old_head);
+            if (node == kNil) {
+                if (flushed)
+                    return kNil;
+                // Free list empty but our own retirees may just be
+                // waiting out their grace period; reclaim what we can
+                // and look once more.
+                flushed = true;
+                domain_.flush(guard.slot());
+                old_head = freeHead_.load(std::memory_order_acquire);
+                if (index(old_head) == kNil)
+                    return kNil;
+                continue;
+            }
+            if (!domain_.protect(guard.slot(), node, freeHead_,
+                                 old_head)) {
+                sync_scope::noteRetry();
+                continue; // protect() refreshed old_head
+            }
+            const std::uint64_t new_head =
+                pack(freeNext_[node], tag(old_head) + 1);
+            if (freeHead_.compare_exchange_weak(
+                    old_head, new_head, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                return node;
+            }
+            sync_scope::noteRetry();
+        }
+    }
+
+    // Node fields are plain data: the reclamation grace period is what
+    // orders recycling writes against read-side loads, so no per-field
+    // atomicity (and no dense-pool alignment exemption) is needed.
+    std::vector<std::uint32_t> value_;
+    std::vector<std::uint32_t> next_;     ///< live links (push writes)
+    std::vector<std::uint32_t> freeNext_; ///< free links (reclaim writes)
     // The free-list and live-list heads are contended by different
-    // operations (push pops the free list, pop pushes onto it);
+    // operations (push pops the free list, pop retires onto it);
     // separate lines keep one hot CAS from invalidating the other.
     alignas(64) std::atomic<std::uint64_t> freeHead_;
     alignas(64) std::atomic<std::uint64_t> head_;
+    ReclaimDomain domain_;
 };
 
 } // namespace splash

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer FIFO queue (Vyukov-style
+ * sequence-number ring).
+ *
+ * Used as the Splash-4 replacement for the lock-protected task queue
+ * in cholesky.  Each ring cell carries a sequence number that encodes
+ * whose turn it is: a producer may claim the cell when seq == pos, a
+ * consumer when seq == pos + 1, and claiming happens by CAS on the
+ * shared position counter -- the cell payload itself is plain data
+ * published by the cell's own release/acquire sequence handoff.
+ *
+ * No reclamation domain is needed: the ring never recycles nodes
+ * through a free list, cells are reused in place and the sequence
+ * number (monotonic over the full 64-bit position space) is both the
+ * ABA guard and the publication flag.
+ *
+ * Capacity is rounded up to a power of two so the ring index is a
+ * mask; capacity() reports the rounded value.
+ */
+
+#ifndef SPLASH_SYNC_MPMC_QUEUE_H
+#define SPLASH_SYNC_MPMC_QUEUE_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sync/chaos_hook.h"
+#include "sync/scope_hook.h"
+#include "util/log.h"
+
+namespace splash {
+
+/** Lock-free bounded FIFO of uint32 values. */
+class MpmcQueue
+{
+  public:
+    /** @param capacity minimum element capacity (rounded up to 2^k). */
+    explicit MpmcQueue(std::uint32_t capacity)
+    {
+        panicIf(capacity == 0 || capacity > (1u << 30),
+                "mpmc queue capacity out of range");
+        std::uint32_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        cells_ = std::vector<Cell>(cap);
+        mask_ = cap - 1;
+        for (std::uint32_t i = 0; i < cap; ++i)
+            cells_[i].seq.store(i, std::memory_order_relaxed);
+        enqueuePos_.store(0, std::memory_order_relaxed);
+        dequeuePos_.store(0, std::memory_order_relaxed);
+    }
+
+    /** Enqueue a value; returns false when the ring is full. */
+    bool
+    push(std::uint32_t value)
+    {
+        std::uint64_t pos =
+            enqueuePos_.load(std::memory_order_relaxed);
+        for (;;) {
+            sync_scope::noteAttempt();
+            if (sync_chaos::forcedCasFail()) {
+                sync_scope::noteRetry();
+                pos = enqueuePos_.load(std::memory_order_relaxed);
+                continue;
+            }
+            Cell& cell = cells_[pos & mask_];
+            const std::uint64_t seq =
+                cell.seq.load(std::memory_order_acquire);
+            const auto dif = static_cast<std::int64_t>(seq) -
+                             static_cast<std::int64_t>(pos);
+            if (dif == 0) {
+                // Our turn: claim the slot by advancing the counter.
+                if (enqueuePos_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_acq_rel,
+                        std::memory_order_relaxed)) {
+                    cell.value = value;
+                    cell.seq.store(pos + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+                sync_scope::noteRetry();
+            } else if (dif < 0) {
+                // The cell still holds an element from one lap ago:
+                // the ring is full.
+                return false;
+            } else {
+                // Another producer claimed this position; catch up.
+                sync_scope::noteRetry();
+                pos = enqueuePos_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Dequeue into @p value; returns false when empty. */
+    bool
+    pop(std::uint32_t& value)
+    {
+        std::uint64_t pos =
+            dequeuePos_.load(std::memory_order_relaxed);
+        for (;;) {
+            sync_scope::noteAttempt();
+            if (sync_chaos::forcedCasFail()) {
+                sync_scope::noteRetry();
+                pos = dequeuePos_.load(std::memory_order_relaxed);
+                continue;
+            }
+            Cell& cell = cells_[pos & mask_];
+            const std::uint64_t seq =
+                cell.seq.load(std::memory_order_acquire);
+            const auto dif = static_cast<std::int64_t>(seq) -
+                             static_cast<std::int64_t>(pos + 1);
+            if (dif == 0) {
+                if (dequeuePos_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_acq_rel,
+                        std::memory_order_relaxed)) {
+                    value = cell.value;
+                    cell.seq.store(pos + mask_ + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+                sync_scope::noteRetry();
+            } else if (dif < 0) {
+                // The producer for this position has not published
+                // yet: the queue is empty.
+                return false;
+            } else {
+                sync_scope::noteRetry();
+                pos = dequeuePos_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Approximate emptiness (exact when quiescent). */
+    bool
+    empty() const
+    {
+        return dequeuePos_.load(std::memory_order_acquire) >=
+               enqueuePos_.load(std::memory_order_acquire);
+    }
+
+    /** Rounded (power-of-two) element capacity. */
+    std::uint32_t capacity() const { return mask_ + 1; }
+
+  private:
+    struct Cell
+    {
+        std::atomic<std::uint64_t> seq{0};
+        std::uint32_t value = 0; ///< plain: published via seq handoff
+    };
+
+    std::vector<Cell> cells_;
+    std::uint64_t mask_ = 0;
+    alignas(64) std::atomic<std::uint64_t> enqueuePos_{0};
+    alignas(64) std::atomic<std::uint64_t> dequeuePos_{0};
+};
+
+} // namespace splash
+
+#endif // SPLASH_SYNC_MPMC_QUEUE_H

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * ReclaimDomain implementation: epoch advance/drain machinery, hazard
+ * scanning, and the process-wide dense thread-slot registry.
+ *
+ * Memory-order contract (see docs/LOCKFREE.md for the full argument):
+ *
+ *  - Epoch mode builds the happens-before chain
+ *        reader unpin (release store of Slot::state)
+ *     -> tryAdvance (seq_cst load of every Slot::state)
+ *     -> epoch CAS (seq_cst)
+ *     -> drain (acquire load of globalEpoch_)
+ *     -> reclaim callback's writes to the node,
+ *    so a node's recycling writes always happen-after every read-side
+ *    section that could have observed it live.  Pin publication uses a
+ *    seq_cst store validated against a seq_cst re-load of the global
+ *    epoch, closing the store/load reordering window between "I am
+ *    pinned at e" and "e is still current".
+ *
+ *  - Hazard mode puts the hazard publish, the head re-validation, and
+ *    the scanner's hazard collection all at seq_cst: whichever lands
+ *    first in the total order, either the scanner sees the hazard (and
+ *    defers the node) or the reader sees the unlink (re-validation
+ *    fails and it never dereferences the node).  Fences are avoided
+ *    deliberately -- TSan cannot model atomic_thread_fence.
+ */
+
+#include "sync/reclaim.h"
+
+#include <bit>
+
+#include "sync/chaos_hook.h"
+#include "sync/scope_hook.h"
+#include "util/log.h"
+
+namespace splash {
+
+namespace reclaim_detail {
+
+namespace {
+
+constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+constexpr std::uint32_t kSlotWords =
+    (ReclaimDomain::kMaxThreads + 63) / 64;
+
+/** Claimed-slot bitmap + scan bound; process-wide, shared by every
+ *  domain so one dense id works across all of them. */
+std::atomic<std::uint64_t> g_slotBits[kSlotWords];
+std::atomic<std::uint32_t> g_slotHighWater{0};
+
+} // namespace
+
+std::uint32_t
+slotHighWater()
+{
+    return g_slotHighWater.load(std::memory_order_acquire);
+}
+
+/** Claim the lowest free slot id (panics when kMaxThreads exceeded). */
+std::uint32_t
+acquireSlotId()
+{
+    for (std::uint32_t w = 0; w < kSlotWords; ++w) {
+        std::uint64_t bits =
+            g_slotBits[w].load(std::memory_order_acquire);
+        for (;;) {
+            sync_scope::noteAttempt();
+            if (sync_chaos::forcedCasFail()) {
+                sync_scope::noteRetry();
+                bits = g_slotBits[w].load(std::memory_order_acquire);
+                continue;
+            }
+            if (bits == ~std::uint64_t{0})
+                break; // word full, try the next one
+            const auto bit =
+                static_cast<std::uint32_t>(std::countr_one(bits));
+            const std::uint32_t id = w * 64 + bit;
+            if (id >= ReclaimDomain::kMaxThreads)
+                break;
+            if (g_slotBits[w].compare_exchange_weak(
+                    bits, bits | (std::uint64_t{1} << bit),
+                    std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+                std::uint32_t hw =
+                    g_slotHighWater.load(std::memory_order_acquire);
+                while (hw < id + 1) {
+                    sync_scope::noteAttempt();
+                    if (sync_chaos::forcedCasFail()) {
+                        sync_scope::noteRetry();
+                        hw = g_slotHighWater.load(
+                            std::memory_order_acquire);
+                        continue;
+                    }
+                    if (g_slotHighWater.compare_exchange_weak(
+                            hw, id + 1, std::memory_order_acq_rel,
+                            std::memory_order_acquire))
+                        break;
+                    sync_scope::noteRetry();
+                }
+                return id;
+            }
+            sync_scope::noteRetry();
+        }
+    }
+    panic("reclaim: thread-slot registry exhausted "
+          "(more than kMaxThreads concurrent threads)");
+}
+
+/** Return a slot id to the registry (thread exit). */
+void
+releaseSlotId(std::uint32_t id)
+{
+    sync_scope::noteAttempt();
+    const std::uint32_t w = id / 64;
+    const std::uint64_t bit = std::uint64_t{1} << (id % 64);
+    g_slotBits[w].fetch_and(~bit, std::memory_order_acq_rel);
+}
+
+namespace {
+
+/** TLS anchor: releases the thread's slot id when the thread exits. */
+struct TlsSlot
+{
+    std::uint32_t id = kInvalidSlot;
+
+    ~TlsSlot()
+    {
+        if (id != kInvalidSlot)
+            releaseSlotId(id);
+    }
+};
+
+} // namespace
+
+std::uint32_t
+threadSlot()
+{
+    thread_local TlsSlot tls;
+    if (tls.id == kInvalidSlot) {
+        // Registry setup is amortized one-time cost, not part of the
+        // operation that happened to trigger it; keep its attempts out
+        // of the active profiling window so per-op attempt counts stay
+        // deterministic (fast-vs-virtual parity).
+        sync_scope::OpSuspend suspend;
+        tls.id = acquireSlotId();
+    }
+    return tls.id;
+}
+
+} // namespace reclaim_detail
+
+namespace {
+
+/** Retires between epoch-advance attempts (amortizes the slot scan). */
+constexpr std::uint64_t kAdvanceBatch = 16;
+
+/** Hazard retire-list length that triggers a scan. */
+constexpr std::size_t kScanBatch = 32;
+
+} // namespace
+
+ReclaimDomain::ReclaimDomain(ReclaimPolicy policy, ReclaimFn reclaim,
+                             void* owner)
+    : policy_(policy), reclaim_(reclaim), owner_(owner),
+      slots_(kMaxThreads)
+{
+    panicIf(reclaim == nullptr, "reclaim: null reclaim callback");
+}
+
+std::uint32_t
+ReclaimDomain::pin()
+{
+    const std::uint32_t slot = reclaim_detail::threadSlot();
+    Slot& s = slots_[slot];
+    if (s.depth++ != 0)
+        return slot;
+    if (policy_ == ReclaimPolicy::Epoch) {
+        // Publish-and-validate: after the store, re-read the global
+        // epoch; if it moved, republish so the advance scan never sees
+        // this thread pinned behind an epoch it did not observe.
+        std::uint64_t e = globalEpoch_.load(std::memory_order_seq_cst);
+        for (;;) {
+            s.state.store((e << 1) | 1, std::memory_order_seq_cst);
+            const std::uint64_t now =
+                globalEpoch_.load(std::memory_order_seq_cst);
+            if (now == e)
+                break;
+            e = now;
+        }
+    }
+    return slot;
+}
+
+void
+ReclaimDomain::unpin(std::uint32_t slot)
+{
+    Slot& s = slots_[slot];
+    if (--s.depth != 0)
+        return;
+    if (policy_ == ReclaimPolicy::Epoch)
+        s.state.store(0, std::memory_order_release);
+    else
+        s.hazard.store(kNoNode, std::memory_order_release);
+}
+
+bool
+ReclaimDomain::protect(std::uint32_t slot, std::uint32_t node,
+                       const std::atomic<std::uint64_t>& head,
+                       std::uint64_t& expected)
+{
+    if (policy_ == ReclaimPolicy::Epoch)
+        return true;
+    Slot& s = slots_[slot];
+    // seq_cst store + seq_cst re-load: the publish and the validation
+    // sit in the single total order, so a scanner that misses this
+    // hazard must have unlinked the node first -- in which case the
+    // validation below fails and the caller restarts.  (Fence-free
+    // formulation; TSan cannot model atomic_thread_fence.)
+    s.hazard.store(node, std::memory_order_seq_cst);
+    const std::uint64_t now = head.load(std::memory_order_seq_cst);
+    if (now == expected)
+        return true;
+    expected = now;
+    return false;
+}
+
+void
+ReclaimDomain::retire(std::uint32_t slot, std::uint32_t node)
+{
+    Slot& s = slots_[slot];
+    if (policy_ == ReclaimPolicy::Hazard) {
+        s.retired.push_back(node);
+        if (s.retired.size() >= kScanBatch)
+            scan(s);
+        return;
+    }
+    const std::uint64_t e =
+        globalEpoch_.load(std::memory_order_acquire);
+    const auto b = static_cast<std::uint32_t>(e % 3);
+    if (s.bucketEpoch[b] != e) {
+        // Reusing the bucket at epoch e: its contents were retired at
+        // e-3 or earlier, i.e. at least three advances ago -- past the
+        // two-advance grace period, so they are free to recycle.
+        drainBucket(s, b);
+        s.bucketEpoch[b] = e;
+    }
+    s.bucket[b].push_back(node);
+    if (++s.sinceAdvance >= kAdvanceBatch) {
+        s.sinceAdvance = 0;
+        tryAdvance();
+        drainSafe(s);
+    }
+}
+
+void
+ReclaimDomain::flush(std::uint32_t slot)
+{
+    Slot& s = slots_[slot];
+    if (policy_ == ReclaimPolicy::Hazard) {
+        // The caller holds no protected reference (precondition), so
+        // its own stale hazard must not defer its own retirees.
+        s.hazard.store(kNoNode, std::memory_order_release);
+        scan(s);
+        return;
+    }
+    // Walk the epoch forward far enough to free our own retirees,
+    // republishing our pin each step so this thread's own read-side
+    // section is not the one blocking the grace period.
+    for (int step = 0; step < 3; ++step) {
+        if (s.depth != 0) {
+            const std::uint64_t e =
+                globalEpoch_.load(std::memory_order_seq_cst);
+            s.state.store((e << 1) | 1, std::memory_order_seq_cst);
+        }
+        tryAdvance();
+    }
+    drainSafe(s);
+}
+
+/**
+ * Advance the global epoch by one if every pinned thread has observed
+ * the current value.  A single CAS attempt: concurrent advancers who
+ * lose simply leave the epoch one ahead, which is what they wanted.
+ */
+bool
+ReclaimDomain::tryAdvance()
+{
+    std::uint64_t e = globalEpoch_.load(std::memory_order_seq_cst);
+    const std::uint32_t hw = reclaim_detail::slotHighWater();
+    for (std::uint32_t i = 0; i < hw; ++i) {
+        const std::uint64_t st =
+            slots_[i].state.load(std::memory_order_seq_cst);
+        if ((st & 1) != 0 && (st >> 1) != e)
+            return false; // a reader still sits behind this epoch
+    }
+    sync_scope::noteAttempt();
+    if (sync_chaos::forcedCasFail())
+        return false;
+    return globalEpoch_.compare_exchange_strong(
+        e, e + 1, std::memory_order_seq_cst,
+        std::memory_order_relaxed);
+}
+
+void
+ReclaimDomain::drainBucket(Slot& slot, std::uint32_t b)
+{
+    std::vector<std::uint32_t>& nodes = slot.bucket[b];
+    if (nodes.empty())
+        return;
+    for (const std::uint32_t node : nodes)
+        reclaim_(owner_, node);
+    reclaimedTotal_.fetch_add(nodes.size(),
+                              std::memory_order_relaxed);
+    nodes.clear();
+}
+
+void
+ReclaimDomain::drainSafe(Slot& slot)
+{
+    const std::uint64_t e =
+        globalEpoch_.load(std::memory_order_acquire);
+    for (std::uint32_t b = 0; b < 3; ++b) {
+        if (!slot.bucket[b].empty() && slot.bucketEpoch[b] + 2 <= e)
+            drainBucket(slot, b);
+    }
+}
+
+void
+ReclaimDomain::scan(Slot& slot)
+{
+    const std::uint32_t hw = reclaim_detail::slotHighWater();
+    std::uint32_t hazards[kMaxThreads];
+    for (std::uint32_t i = 0; i < hw; ++i)
+        hazards[i] = slots_[i].hazard.load(std::memory_order_seq_cst);
+    std::vector<std::uint32_t> deferred;
+    deferred.reserve(slot.retired.size());
+    std::uint64_t freed = 0;
+    for (const std::uint32_t node : slot.retired) {
+        bool protectedNode = false;
+        for (std::uint32_t i = 0; i < hw; ++i) {
+            if (hazards[i] == node) {
+                protectedNode = true;
+                break;
+            }
+        }
+        if (protectedNode) {
+            deferred.push_back(node);
+        } else {
+            reclaim_(owner_, node);
+            ++freed;
+        }
+    }
+    slot.retired.swap(deferred);
+    if (freed != 0)
+        reclaimedTotal_.fetch_add(freed, std::memory_order_relaxed);
+}
+
+} // namespace splash

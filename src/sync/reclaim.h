@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Safe memory reclamation for the lock-free constructs.
+ *
+ * The Treiber stack's node pool has the classic use-after-recycle
+ * problem: a CAS loser holds a snapshot of the old head and reads that
+ * node's link field while the winner may already be recycling the node
+ * through the free list.  Tagged heads make the loser's CAS fail, but
+ * they cannot make the read itself safe -- the loser dereferences a
+ * node whose fields another thread is rewriting.  The fix is to defer
+ * recycling until no thread can still hold such a snapshot.
+ *
+ * ReclaimDomain provides that guarantee in two selectable flavors:
+ *
+ *  - Epoch (default): a global epoch counter plus one pinned-epoch
+ *    slot per thread.  Readers pin before loading shared pointers and
+ *    unpin afterwards; retired nodes are booked into per-thread
+ *    buckets keyed by the retire epoch and handed back to the owner
+ *    only after the global epoch has advanced twice past it.  An
+ *    advance requires every pinned thread to have observed the current
+ *    epoch, so a node is never recycled while any thread that could
+ *    have seen it live is still inside its read-side section.
+ *
+ *  - Hazard: per-thread single-hazard slots.  A reader publishes the
+ *    node index it is about to dereference and re-validates the source
+ *    pointer (the tagged head makes re-validation exact); retirement
+ *    scans all published hazards and defers nodes that are still
+ *    protected.  Bounded garbage, per-node cost on the read side.
+ *
+ * Nodes are pool indices (uint32), not pointers: the constructs in
+ * this suite keep fixed node pools, so "reclaim" means "hand the index
+ * back to the owner's free list" via the callback installed at
+ * construction.  The domain never touches node memory itself.
+ *
+ * Thread identity comes from a process-wide dense slot registry
+ * (reclaim_detail): a thread claims a slot id on first use and its
+ * TLS destructor releases it on exit, so ids stay small and scanning
+ * stays O(high-water mark).
+ */
+
+#ifndef SPLASH_SYNC_RECLAIM_H
+#define SPLASH_SYNC_RECLAIM_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace splash {
+
+namespace reclaim_detail {
+
+/** Dense slot id of the calling thread (claimed on first use). */
+std::uint32_t threadSlot();
+
+/** One past the highest slot id ever claimed (scan bound). */
+std::uint32_t slotHighWater();
+
+} // namespace reclaim_detail
+
+/** Which safe-memory-reclamation scheme a domain runs. */
+enum class ReclaimPolicy
+{
+    Epoch,  ///< epoch-based: zero-cost reads, grace-period batching
+    Hazard, ///< hazard-pointer: per-read publish, bounded garbage
+};
+
+/**
+ * One reclamation domain, owned by one lock-free construct instance.
+ *
+ * Usage on the read/update side (see LockFreeStack):
+ *
+ *     ReclaimDomain::Guard guard(domain_);          // pin
+ *     std::uint64_t head = head_.load(...);
+ *     for (;;) {
+ *         // hazard mode: publish + re-validate; epoch mode: no-op
+ *         if (!domain_.protect(guard.slot(), index(head), head_, head))
+ *             continue;                             // head refreshed
+ *         ... read node fields, CAS head ...
+ *     }
+ *     domain_.retire(guard.slot(), node);           // after unlink
+ *     // guard unpins on scope exit
+ */
+class ReclaimDomain
+{
+  public:
+    /** Hands a quiescent node index back to the owning construct. */
+    using ReclaimFn = void (*)(void* owner, std::uint32_t node);
+
+    /** "No node" sentinel for hazard slots (matches pool kNil). */
+    static constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+    /** Upper bound on concurrently live threads using any domain. */
+    static constexpr std::uint32_t kMaxThreads = 128;
+
+    ReclaimDomain(ReclaimPolicy policy, ReclaimFn reclaim, void* owner);
+
+    ReclaimDomain(const ReclaimDomain&) = delete;
+    ReclaimDomain& operator=(const ReclaimDomain&) = delete;
+
+    /**
+     * Enter a read-side section; returns the caller's slot id.
+     * Nests (only the outermost pin publishes/unpublishes).
+     */
+    std::uint32_t pin();
+
+    /** Leave the read-side section opened by the matching pin(). */
+    void unpin(std::uint32_t slot);
+
+    /**
+     * Make it safe to dereference @p node, which was read from the
+     * tagged head @p head when it held @p expected.  Epoch mode: the
+     * pin already protects every reachable node, returns true.  Hazard
+     * mode: publishes the hazard, then re-validates that @p head still
+     * equals @p expected; on mismatch refreshes @p expected and
+     * returns false (caller must restart from the new head).
+     */
+    bool protect(std::uint32_t slot, std::uint32_t node,
+                 const std::atomic<std::uint64_t>& head,
+                 std::uint64_t& expected);
+
+    /**
+     * Book an unlinked node for deferred reclamation.  The node must
+     * already be unreachable from the construct's shared heads; the
+     * reclaim callback fires once no reader can still hold it.
+     */
+    void retire(std::uint32_t slot, std::uint32_t node);
+
+    /**
+     * Reclaim as aggressively as currently possible (pool-exhausted
+     * path).  The caller may hold its pin but must hold no protected
+     * node references: epoch mode republishes the caller's pin at the
+     * current epoch so its own read-side section does not block the
+     * grace period of its own retirees.  Only the calling thread's
+     * retire lists are drained; nodes booked by other threads stay
+     * deferred until those threads retire or flush again.
+     */
+    void flush(std::uint32_t slot);
+
+    ReclaimPolicy policy() const { return policy_; }
+
+    /** Total nodes handed back to the owner so far (tests). */
+    std::uint64_t reclaimed() const
+    {
+        return reclaimedTotal_.load(std::memory_order_acquire);
+    }
+
+    /** RAII pin/unpin around one logical construct operation. */
+    class Guard
+    {
+      public:
+        explicit Guard(ReclaimDomain& domain)
+            : domain_(domain), slot_(domain.pin())
+        {
+        }
+
+        ~Guard() { domain_.unpin(slot_); }
+
+        Guard(const Guard&) = delete;
+        Guard& operator=(const Guard&) = delete;
+
+        std::uint32_t slot() const { return slot_; }
+
+      private:
+        ReclaimDomain& domain_;
+        std::uint32_t slot_;
+    };
+
+  private:
+    /** Per-thread reclamation state, indexed by registry slot id. */
+    struct Slot
+    {
+        /** Epoch mode: (observed epoch << 1) | pinned bit. */
+        alignas(64) std::atomic<std::uint64_t> state{0};
+        /** Hazard mode: protected node index, kNoNode when none. */
+        alignas(64) std::atomic<std::uint32_t> hazard{kNoNode};
+        // Owner-thread-only bookkeeping below (never read remotely).
+        std::uint32_t depth = 0;          ///< pin nesting
+        std::uint64_t sinceAdvance = 0;   ///< retires since tryAdvance
+        std::uint64_t bucketEpoch[3] = {0, 0, 0};
+        std::vector<std::uint32_t> bucket[3]; ///< epoch retire lists
+        std::vector<std::uint32_t> retired;   ///< hazard retire list
+    };
+
+    bool tryAdvance();
+    void drainBucket(Slot& slot, std::uint32_t b);
+    void drainSafe(Slot& slot);
+    void scan(Slot& slot);
+
+    ReclaimPolicy policy_;
+    ReclaimFn reclaim_;
+    void* owner_;
+    std::vector<Slot> slots_;
+    alignas(64) std::atomic<std::uint64_t> globalEpoch_{0};
+    alignas(64) std::atomic<std::uint64_t> reclaimedTotal_{0};
+};
+
+} // namespace splash
+
+#endif // SPLASH_SYNC_RECLAIM_H

@@ -87,6 +87,27 @@ class OpWindow
     OpCounters* prev_;
 };
 
+/**
+ * RAII detaching the calling thread from any active op window.  For
+ * one-time amortized setup that happens to run inside a primitive's
+ * first operation (e.g. claiming a reclamation thread slot): charging
+ * its attempts to that arbitrary operation would make per-op profiles
+ * depend on which op ran first, breaking fast-vs-virtual parity.
+ */
+class OpSuspend
+{
+  public:
+    OpSuspend() : prev_(tlsActiveOp) { tlsActiveOp = nullptr; }
+
+    ~OpSuspend() { tlsActiveOp = prev_; }
+
+    OpSuspend(const OpSuspend&) = delete;
+    OpSuspend& operator=(const OpSuspend&) = delete;
+
+  private:
+    OpCounters* prev_;
+};
+
 } // namespace sync_scope
 } // namespace splash
 

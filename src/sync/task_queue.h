@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <vector>
 
@@ -58,6 +59,106 @@ class LockedStack
   private:
     std::mutex mutex_;
     std::vector<std::uint32_t> items_;
+};
+
+/** Mutex-guarded bounded FIFO of uint32 task ids (Splash-3 flavor). */
+class LockedQueue
+{
+  public:
+    explicit LockedQueue(std::uint32_t capacity) : capacity_(capacity)
+    {
+    }
+
+    bool
+    push(std::uint32_t value)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (items_.size() >= capacity_)
+            return false;
+        items_.push_back(value);
+        return true;
+    }
+
+    bool
+    pop(std::uint32_t& value)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (items_.empty())
+            return false;
+        value = items_.front();
+        items_.pop_front();
+        return true;
+    }
+
+    bool
+    empty()
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        return items_.empty();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::deque<std::uint32_t> items_;
+    std::uint64_t capacity_;
+};
+
+/**
+ * Mutex-guarded bounded work-stealing deque (Splash-3 flavor): the
+ * owner pushes/pops at the bottom, thieves steal from the top.  Same
+ * owner-discipline contract as WorkStealingDeque, enforced here only
+ * by convention (the mutex makes any interleaving safe).
+ */
+class LockedDeque
+{
+  public:
+    explicit LockedDeque(std::uint32_t capacity) : capacity_(capacity)
+    {
+    }
+
+    bool
+    push(std::uint32_t value)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (items_.size() >= capacity_)
+            return false;
+        items_.push_back(value);
+        return true;
+    }
+
+    bool
+    pop(std::uint32_t& value)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (items_.empty())
+            return false;
+        value = items_.back();
+        items_.pop_back();
+        return true;
+    }
+
+    bool
+    steal(std::uint32_t& value)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (items_.empty())
+            return false;
+        value = items_.front();
+        items_.pop_front();
+        return true;
+    }
+
+    bool
+    empty()
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        return items_.empty();
+    }
+
+  private:
+    std::mutex mutex_;
+    std::deque<std::uint32_t> items_;
+    std::uint64_t capacity_;
 };
 
 /** Splash-3 ticket dispenser: lock around an integer. */

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Bounded Chase-Lev work-stealing deque (Le/Pop/Cohen/Nardelli C11
+ * formalization, fixed-size ring, no growth).
+ *
+ * Used as the Splash-4 replacement for radiosity's per-thread task
+ * queues: the owning thread pushes and pops at the bottom with plain
+ * loads/stores plus fences, thieves steal from the top with a single
+ * CAS.  Ownership discipline is the caller's contract -- push() and
+ * pop() may only be called by the deque's owner thread, steal() by
+ * anyone.
+ *
+ * The ring cells are relaxed atomics, which looks like the old
+ * LockFreeStack workaround but is the opposite situation: cells hold
+ * values indexed by monotonic positions, never recycled pointers, so
+ * there is no use-after-free class to defend against -- the relaxed
+ * cell accesses are the published C11 formalization of the algorithm,
+ * with the top/bottom fences carrying all ordering.  No reclamation
+ * domain is needed for the bounded (non-growing) variant.
+ *
+ * Capacity is rounded up to a power of two so the ring index is a
+ * mask; capacity() reports the rounded value.
+ */
+
+#ifndef SPLASH_SYNC_WS_DEQUE_H
+#define SPLASH_SYNC_WS_DEQUE_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sync/chaos_hook.h"
+#include "sync/scope_hook.h"
+#include "util/log.h"
+
+namespace splash {
+
+/** Lock-free bounded work-stealing deque of uint32 values. */
+class WorkStealingDeque
+{
+  public:
+    /** @param capacity minimum element capacity (rounded up to 2^k). */
+    explicit WorkStealingDeque(std::uint32_t capacity)
+        : cells_(roundCapacity(capacity)), mask_(cells_.size() - 1)
+    {
+    }
+
+    /**
+     * Owner only: push at the bottom; returns false when full.
+     */
+    bool
+    push(std::uint32_t value)
+    {
+        sync_scope::noteAttempt();
+        const std::int64_t b =
+            bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        if (b - t > static_cast<std::int64_t>(mask_))
+            return false; // ring full
+        cells_[static_cast<std::uint64_t>(b) & mask_].store(
+            value, std::memory_order_relaxed);
+        // Release publication of the cell write to thieves (the
+        // fence-free variant of the C11 formalization: TSan cannot
+        // model atomic_thread_fence, so ordering rides the accesses).
+        bottom_.store(b + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Owner only: pop from the bottom.  A false return means the
+     * deque is empty (or its last element was genuinely taken by a
+     * concurrent thief): a chaos-forced CAS failure re-examines the
+     * deque instead of returning, because callers use pop()'s false
+     * to conclude their own deque is drained -- a spurious false
+     * would strand the remaining task.
+     */
+    bool
+    pop(std::uint32_t& value)
+    {
+        for (;;) {
+            sync_scope::noteAttempt();
+            const std::int64_t b =
+                bottom_.load(std::memory_order_relaxed) - 1;
+            // The seq_cst store/load pair orders "I reserved the
+            // bottom element" against a thief's "I read bottom" in
+            // the single total order (fence-free variant; see push()).
+            bottom_.store(b, std::memory_order_seq_cst);
+            std::int64_t t = top_.load(std::memory_order_seq_cst);
+            if (t < b) {
+                // More than one element: the bottom one is ours alone.
+                value =
+                    cells_[static_cast<std::uint64_t>(b) & mask_].load(
+                        std::memory_order_relaxed);
+                return true;
+            }
+            if (t == b) {
+                // Exactly one element: race a potential thief for it.
+                // A chaos-forced failure models losing that race; the
+                // element stays visible, so restore bottom and retry.
+                if (sync_chaos::forcedCasFail()) {
+                    bottom_.store(b + 1, std::memory_order_relaxed);
+                    sync_scope::noteRetry();
+                    continue;
+                }
+                const bool won = top_.compare_exchange_strong(
+                    t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_relaxed);
+                bottom_.store(b + 1, std::memory_order_relaxed);
+                if (!won)
+                    return false; // a real thief took the last one
+                value =
+                    cells_[static_cast<std::uint64_t>(b) & mask_].load(
+                        std::memory_order_relaxed);
+                return true;
+            }
+            // Already empty: restore bottom.
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return false;
+        }
+    }
+
+    /**
+     * Any thread: steal from the top; returns false when empty or
+     * when the race for the top element was lost (caller retries).
+     */
+    bool
+    steal(std::uint32_t& value)
+    {
+        sync_scope::noteAttempt();
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        const std::int64_t b =
+            bottom_.load(std::memory_order_seq_cst);
+        if (t >= b)
+            return false; // empty
+        // Read the cell before claiming it: a successful CAS on top_
+        // is what validates the read (Chase-Lev's speculative load).
+        const std::uint32_t candidate =
+            cells_[static_cast<std::uint64_t>(t) & mask_].load(
+                std::memory_order_relaxed);
+        if (sync_chaos::forcedCasFail())
+            return false; // modeled lost race
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+            return false; // lost to the owner or another thief
+        }
+        value = candidate;
+        return true;
+    }
+
+    /** Approximate emptiness (exact when quiescent). */
+    bool
+    empty() const
+    {
+        return top_.load(std::memory_order_acquire) >=
+               bottom_.load(std::memory_order_acquire);
+    }
+
+    /** Rounded (power-of-two) element capacity. */
+    std::uint32_t capacity() const { return mask_ + 1; }
+
+  private:
+    static std::uint32_t
+    roundCapacity(std::uint32_t capacity)
+    {
+        panicIf(capacity == 0 || capacity > (1u << 30),
+                "work-stealing deque capacity out of range");
+        std::uint32_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        return cap;
+    }
+
+    alignas(64) std::vector<std::atomic<std::uint32_t>> cells_;
+    std::uint64_t mask_ = 0;
+    alignas(64) std::atomic<std::int64_t> top_{0};
+    alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+} // namespace splash
+
+#endif // SPLASH_SYNC_WS_DEQUE_H

@@ -27,6 +27,8 @@ TEST(World, DescriptorsMatchKinds)
     world.createSums(4, 1.5);
     world.createStack(16);
     world.createFlag();
+    world.createQueue(8);
+    world.createDeques(2, 4);
 
     EXPECT_EQ(world.countOf(SyncObjKind::Barrier), 1u);
     EXPECT_EQ(world.countOf(SyncObjKind::Lock), 3u);
@@ -34,7 +36,9 @@ TEST(World, DescriptorsMatchKinds)
     EXPECT_EQ(world.countOf(SyncObjKind::Sum), 4u);
     EXPECT_EQ(world.countOf(SyncObjKind::Stack), 1u);
     EXPECT_EQ(world.countOf(SyncObjKind::Flag), 1u);
-    EXPECT_EQ(world.objects().size(), 12u);
+    EXPECT_EQ(world.countOf(SyncObjKind::Queue), 1u);
+    EXPECT_EQ(world.countOf(SyncObjKind::Deque), 2u);
+    EXPECT_EQ(world.objects().size(), 15u);
 }
 
 TEST(World, SumInitialValueStored)

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * WorkStealingDeque unit and torture tests: owner-side LIFO, thief-side
+ * FIFO, the single-element owner-vs-thief race, and conservation under
+ * real concurrency with chaos CAS injection armed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sync/chaos_hook.h"
+#include "sync/task_queue.h"
+#include "sync/ws_deque.h"
+
+namespace splash {
+namespace {
+
+TEST(WorkStealingDeque, OwnerPushPopIsLifo)
+{
+    WorkStealingDeque deque(8);
+    for (std::uint32_t i = 0; i < 5; ++i)
+        EXPECT_TRUE(deque.push(i));
+    std::uint32_t v;
+    for (std::uint32_t i = 5; i-- > 0;) {
+        ASSERT_TRUE(deque.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(deque.pop(v));
+    EXPECT_TRUE(deque.empty());
+}
+
+TEST(WorkStealingDeque, StealTakesOldestFirst)
+{
+    WorkStealingDeque deque(8);
+    for (std::uint32_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(deque.push(i));
+    std::uint32_t v;
+    ASSERT_TRUE(deque.steal(v));
+    EXPECT_EQ(v, 0u); // FIFO from the top
+    ASSERT_TRUE(deque.pop(v));
+    EXPECT_EQ(v, 3u); // LIFO from the bottom
+    ASSERT_TRUE(deque.steal(v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(deque.pop(v));
+    EXPECT_EQ(v, 2u);
+    EXPECT_FALSE(deque.steal(v));
+    EXPECT_FALSE(deque.pop(v));
+}
+
+TEST(WorkStealingDeque, CapacityRoundsUpAndBounds)
+{
+    WorkStealingDeque deque(5);
+    EXPECT_EQ(deque.capacity(), 8u);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        EXPECT_TRUE(deque.push(i));
+    EXPECT_FALSE(deque.push(99));
+    std::uint32_t v;
+    ASSERT_TRUE(deque.steal(v)); // frees a top slot
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(deque.push(99));
+}
+
+TEST(WorkStealingDeque, RingRecyclesAcrossManyLaps)
+{
+    WorkStealingDeque deque(2);
+    std::uint32_t v;
+    for (std::uint32_t lap = 0; lap < 1000; ++lap) {
+        ASSERT_TRUE(deque.push(lap));
+        ASSERT_TRUE(lap % 2 ? deque.pop(v) : deque.steal(v));
+        ASSERT_EQ(v, lap);
+    }
+    EXPECT_TRUE(deque.empty());
+}
+
+/**
+ * Chaos-forced CAS failures must never make pop() spuriously report
+ * empty: with no thieves running, the owner always drains its own
+ * deque completely (this is the contract radiosity's termination scan
+ * depends on).
+ */
+TEST(WorkStealingDeque, ChaosNeverStrandsTheLastElement)
+{
+    sync_chaos::configure(/*seed=*/0xdecafULL, /*perMille=*/400);
+    WorkStealingDeque deque(4);
+    std::uint32_t v;
+    for (int round = 0; round < 200; ++round) {
+        ASSERT_TRUE(deque.push(static_cast<std::uint32_t>(round)));
+        ASSERT_TRUE(deque.pop(v))
+            << "chaos CAS failure stranded the last element";
+        ASSERT_EQ(v, static_cast<std::uint32_t>(round));
+    }
+    sync_chaos::reset();
+    EXPECT_TRUE(deque.empty());
+}
+
+/**
+ * One owner mixing push/pop with three thieves stealing: every pushed
+ * value is taken exactly once (sum + count conservation).
+ */
+TEST(WorkStealingDeque, OwnerWithThievesConserves)
+{
+    const std::uint32_t total = 40000;
+    const int nthieves = 3;
+    WorkStealingDeque deque(512);
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> taken_sum{0};
+    std::atomic<std::uint64_t> taken_count{0};
+
+    auto thief = [&] {
+        std::uint32_t v;
+        while (!done.load(std::memory_order_acquire) ||
+               !deque.empty()) {
+            if (deque.steal(v)) {
+                taken_sum.fetch_add(v, std::memory_order_relaxed);
+                taken_count.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    };
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < nthieves; ++t)
+        thieves.emplace_back(thief);
+
+    // Owner: push everything, popping a batch whenever the ring
+    // fills, then drain the remainder itself.
+    std::uint32_t v;
+    for (std::uint32_t i = 0; i < total; ++i) {
+        while (!deque.push(i)) {
+            if (deque.pop(v)) {
+                taken_sum.fetch_add(v, std::memory_order_relaxed);
+                taken_count.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    }
+    while (deque.pop(v)) {
+        taken_sum.fetch_add(v, std::memory_order_relaxed);
+        taken_count.fetch_add(1, std::memory_order_relaxed);
+    }
+    done.store(true, std::memory_order_release);
+    for (auto& t : thieves)
+        t.join();
+
+    const std::uint64_t want = static_cast<std::uint64_t>(total);
+    EXPECT_EQ(taken_count.load(), want);
+    EXPECT_EQ(taken_sum.load(), want * (want - 1) / 2);
+    EXPECT_TRUE(deque.empty());
+}
+
+TEST(LockedDeque, PopIsLifoStealIsFifo)
+{
+    LockedDeque deque(4);
+    EXPECT_TRUE(deque.push(1));
+    EXPECT_TRUE(deque.push(2));
+    EXPECT_TRUE(deque.push(3));
+    std::uint32_t v;
+    ASSERT_TRUE(deque.pop(v));
+    EXPECT_EQ(v, 3u);
+    ASSERT_TRUE(deque.steal(v));
+    EXPECT_EQ(v, 1u);
+    ASSERT_TRUE(deque.pop(v));
+    EXPECT_EQ(v, 2u);
+    EXPECT_FALSE(deque.pop(v));
+    EXPECT_TRUE(deque.empty());
+}
+
+TEST(LockedDeque, BoundedAtCapacity)
+{
+    LockedDeque deque(2);
+    EXPECT_TRUE(deque.push(1));
+    EXPECT_TRUE(deque.push(2));
+    EXPECT_FALSE(deque.push(3));
+}
+
+} // namespace
+} // namespace splash

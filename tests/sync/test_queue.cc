@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sync/mpmc_queue.h"
+#include "sync/task_queue.h"
+
+namespace splash {
+namespace {
+
+TEST(MpmcQueue, FifoOrderSingleThread)
+{
+    MpmcQueue queue(8);
+    for (std::uint32_t i = 0; i < 5; ++i)
+        EXPECT_TRUE(queue.push(i));
+    std::uint32_t v;
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        ASSERT_TRUE(queue.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(queue.pop(v));
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(MpmcQueue, CapacityRoundsUpAndBounds)
+{
+    MpmcQueue queue(3);
+    EXPECT_EQ(queue.capacity(), 4u); // rounded to the next power of two
+    for (std::uint32_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(queue.push(i));
+    EXPECT_FALSE(queue.push(99));
+    std::uint32_t v;
+    EXPECT_TRUE(queue.pop(v));
+    EXPECT_EQ(v, 0u);
+    // The freed cell is reusable immediately: no grace period, the
+    // sequence number is the recycling protocol.
+    EXPECT_TRUE(queue.push(99));
+}
+
+TEST(MpmcQueue, CellsRecycleAcrossManyLaps)
+{
+    MpmcQueue queue(2);
+    std::uint32_t v;
+    for (std::uint32_t lap = 0; lap < 1000; ++lap) {
+        ASSERT_TRUE(queue.push(lap));
+        ASSERT_TRUE(queue.pop(v));
+        ASSERT_EQ(v, lap);
+    }
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersConserve)
+{
+    const std::uint32_t per_thread = 20000;
+    const int pairs = 2;
+    MpmcQueue queue(256); // much smaller than the traffic: forces laps
+    std::atomic<std::uint64_t> popped_sum{0};
+    std::atomic<std::uint64_t> popped_count{0};
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(per_thread) * pairs;
+
+    auto producer = [&](int tid) {
+        for (std::uint32_t i = 0; i < per_thread; ++i) {
+            const std::uint32_t value =
+                static_cast<std::uint32_t>(tid) * per_thread + i;
+            while (!queue.push(value))
+                std::this_thread::yield();
+        }
+    };
+    auto consumer = [&] {
+        std::uint32_t v;
+        while (popped_count.load(std::memory_order_acquire) < total) {
+            if (queue.pop(v)) {
+                popped_sum.fetch_add(v, std::memory_order_relaxed);
+                popped_count.fetch_add(1, std::memory_order_acq_rel);
+            } else {
+                std::this_thread::yield();
+            }
+        }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < pairs; ++t)
+        threads.emplace_back(producer, t);
+    for (int t = 0; t < pairs; ++t)
+        threads.emplace_back(consumer);
+    for (auto& t : threads)
+        t.join();
+
+    EXPECT_EQ(popped_count.load(), total);
+    EXPECT_EQ(popped_sum.load(), total * (total - 1) / 2);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(LockedQueue, FifoOrderAndBound)
+{
+    LockedQueue queue(2);
+    EXPECT_TRUE(queue.push(10));
+    EXPECT_TRUE(queue.push(20));
+    EXPECT_FALSE(queue.push(30));
+    std::uint32_t v;
+    ASSERT_TRUE(queue.pop(v));
+    EXPECT_EQ(v, 10u);
+    ASSERT_TRUE(queue.pop(v));
+    EXPECT_EQ(v, 20u);
+    EXPECT_FALSE(queue.pop(v));
+    EXPECT_TRUE(queue.empty());
+}
+
+} // namespace
+} // namespace splash

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * ReclaimDomain torture tests: drive both reclamation policies with a
+ * generation-tagged node pool and assert the core SMR guarantee -- a
+ * node observed under a live pin (epoch) or a validated hazard is
+ * never reclaimed out from under the reader.
+ *
+ * The invariant check is the payload canary: a publisher writes a
+ * node's payload to its generation tag before linking it, and the
+ * reclaim callback poisons the payload when the domain hands the node
+ * back.  A reader that loads the shared head under protection and
+ * then sees anything but the exact tag has witnessed a
+ * use-after-reclaim -- precisely the bug class the domain exists to
+ * close (and the one the old tag-only LockFreeStack had).
+ *
+ * Chaos CAS-failure injection is armed for the concurrent cases so
+ * the domain's internal retry loops (epoch advance, slot registry)
+ * and the harness's publish loop all exercise their failure paths;
+ * the suite's TSan CI stage runs this file under
+ * -fsanitize=thread, where any ordering hole in the pin/advance/drain
+ * chain surfaces as a data race on the payload word.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sync/chaos_hook.h"
+#include "sync/reclaim.h"
+#include "util/rng.h"
+
+namespace splash {
+namespace {
+
+constexpr std::uint64_t kPoison = 0xdeadbeefdeadbeefULL;
+
+/** Generation-tagged single-slot container driven by a ReclaimDomain. */
+struct TortureBox
+{
+    static constexpr std::uint32_t kNodes = 64;
+
+    explicit TortureBox(ReclaimPolicy policy)
+        : domain(policy, &TortureBox::reclaimNode, this)
+    {
+        for (std::uint32_t i = 1; i < kNodes; ++i) {
+            payload[i].store(kPoison, std::memory_order_relaxed);
+            freePool.push_back(i);
+        }
+        // Node 0 starts published with tag 0.
+        payload[0].store(0, std::memory_order_relaxed);
+        head.store(pack(0, 0), std::memory_order_relaxed);
+    }
+
+    static std::uint64_t
+    pack(std::uint32_t node, std::uint32_t tag)
+    {
+        return (static_cast<std::uint64_t>(tag) << 32) | node;
+    }
+    static std::uint32_t nodeOf(std::uint64_t h)
+    {
+        return static_cast<std::uint32_t>(h);
+    }
+    static std::uint32_t tagOf(std::uint64_t h)
+    {
+        return static_cast<std::uint32_t>(h >> 32);
+    }
+
+    /** Domain callback: the node is quiescent; poison and recycle. */
+    static void
+    reclaimNode(void* owner, std::uint32_t node)
+    {
+        auto* self = static_cast<TortureBox*>(owner);
+        const std::uint64_t prev = self->payload[node].exchange(
+            kPoison, std::memory_order_acq_rel);
+        // A node must be reclaimed exactly once per publication.
+        EXPECT_NE(prev, kPoison) << "double reclaim of node " << node;
+        std::lock_guard<std::mutex> lock(self->poolMutex);
+        self->freePool.push_back(node);
+    }
+
+    /**
+     * Read the published node under protection and check its canary.
+     * Returns the observed tag for liveness accounting.
+     */
+    std::uint32_t
+    read()
+    {
+        ReclaimDomain::Guard guard(domain);
+        std::uint64_t snap = head.load(std::memory_order_seq_cst);
+        while (!domain.protect(guard.slot(), nodeOf(snap), head, snap)) {
+            // hazard mode lost the race to an updater; snap refreshed
+        }
+        const std::uint64_t got =
+            payload[nodeOf(snap)].load(std::memory_order_acquire);
+        EXPECT_EQ(got, static_cast<std::uint64_t>(tagOf(snap)))
+            << "use-after-reclaim: node " << nodeOf(snap)
+            << " observed under protection with payload " << got;
+        return tagOf(snap);
+    }
+
+    /**
+     * Replace the published node with a freshly allocated one and
+     * retire the old one.  Returns false when the pool is transiently
+     * empty (all nodes parked in grace periods).
+     */
+    bool
+    update(std::uint32_t tag)
+    {
+        ReclaimDomain::Guard guard(domain);
+        std::uint32_t fresh;
+        {
+            std::lock_guard<std::mutex> lock(poolMutex);
+            if (freePool.empty())
+                return false;
+            fresh = freePool.back();
+            freePool.pop_back();
+        }
+        payload[fresh].store(tag, std::memory_order_release);
+        std::uint64_t old = head.load(std::memory_order_seq_cst);
+        for (;;) {
+            while (
+                !domain.protect(guard.slot(), nodeOf(old), head, old)) {
+            }
+            if (head.compare_exchange_strong(old, pack(fresh, tag),
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire))
+                break;
+        }
+        domain.retire(guard.slot(), nodeOf(old));
+        return true;
+    }
+
+    /** Drain the caller's deferred retirees as far as possible. */
+    void
+    drain()
+    {
+        ReclaimDomain::Guard guard(domain);
+        domain.flush(guard.slot());
+    }
+
+    std::uint32_t
+    freeCount()
+    {
+        std::lock_guard<std::mutex> lock(poolMutex);
+        return static_cast<std::uint32_t>(freePool.size());
+    }
+
+    ReclaimDomain domain;
+    std::atomic<std::uint64_t> head{0};
+    std::atomic<std::uint64_t> payload[kNodes];
+    std::mutex poolMutex;
+    std::vector<std::uint32_t> freePool;
+};
+
+class ReclaimTorture : public ::testing::TestWithParam<ReclaimPolicy>
+{
+};
+
+TEST_P(ReclaimTorture, SingleThreadRecyclesThroughGracePeriods)
+{
+    TortureBox box(GetParam());
+    std::uint32_t tag = 1;
+    std::uint32_t published = 0;
+    for (int i = 0; i < 5000; ++i) {
+        box.read();
+        if (box.update(tag)) {
+            ++tag;
+            ++published;
+        } else {
+            box.drain();
+        }
+    }
+    box.drain();
+    EXPECT_GT(published, TortureBox::kNodes * 4)
+        << "pool never recycled: grace periods are not resolving";
+    EXPECT_GT(box.domain.reclaimed(), 0u);
+}
+
+TEST_P(ReclaimTorture, SeededChaosTortureNeverReclaimsProtectedNode)
+{
+    // Force ~15% of instrumented CAS attempts (epoch advances, slot
+    // registry claims) to fail, widening every retry window the
+    // domain has.  The payload canary in read() is the assertion.
+    sync_chaos::configure(/*seed=*/0x5eed5eedULL, /*perMille=*/150);
+
+    TortureBox box(GetParam());
+    const int nthreads = 4;
+    const int iters = 4000;
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> updates{0};
+
+    auto body = [&](int tid) {
+        Rng rng(0x1000u + static_cast<std::uint64_t>(tid));
+        std::uint32_t tag =
+            static_cast<std::uint32_t>(tid + 1) << 24;
+        for (int i = 0; i < iters; ++i) {
+            if (rng.below(4) != 0) {
+                box.read();
+                reads.fetch_add(1, std::memory_order_relaxed);
+            } else if (box.update(++tag)) {
+                updates.fetch_add(1, std::memory_order_relaxed);
+            } else {
+                box.drain();
+            }
+        }
+        // Leave nothing stranded in this thread's retire buckets.
+        box.drain();
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < nthreads; ++t)
+        threads.emplace_back(body, t);
+    for (auto& t : threads)
+        t.join();
+
+    sync_chaos::reset();
+
+    EXPECT_GT(reads.load(), 0u);
+    EXPECT_GT(updates.load(), static_cast<std::uint64_t>(nthreads));
+    EXPECT_GT(box.domain.reclaimed(), 0u);
+    // Conservation: every node is either free, the published one, or
+    // still parked in a (now-unreachable) retire bucket of an exited
+    // thread; a final drain from this thread frees our own only, so
+    // just bound the census instead of demanding exactness.
+    EXPECT_LE(box.freeCount(), TortureBox::kNodes - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ReclaimTorture,
+                         ::testing::Values(ReclaimPolicy::Epoch,
+                                           ReclaimPolicy::Hazard));
+
+} // namespace
+} // namespace splash

@@ -29,9 +29,13 @@ main()
 
     corpus::ChaosBlindCounter r3;
     r3.add(1);
+    corpus::ChaosBlindRing r3ring;
+    (void)r3ring.tryClaimHooked();
 
     corpus::ScopeBlindLatch r4;
     r4.countedArrive();
+    corpus::ScopeBlindDeque r4deque;
+    (void)r4deque.popBottomHooked();
 
     corpus::SharedLineCounters r5{};
     r5.produced.store(1, std::memory_order_relaxed);

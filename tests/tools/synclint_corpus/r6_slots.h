@@ -19,12 +19,16 @@ namespace corpus {
 
 struct FakeBarrier;
 struct FakeLock;
+struct FakeQueue;
+struct FakeLockedQueue;
 
 enum class SyncObjKind : std::uint8_t
 {
     Barrier,
     Lock,
     Rwlock, // PLANT(R6) no 'rwlock' group in the FastSlot union
+    Queue,  // clean: 'queue' group registered below
+    Deque,  // PLANT(R6) no 'deque' group in the FastSlot union
 };
 
 struct FastSlot
@@ -41,6 +45,14 @@ struct FastSlot
         {
             FakeLock* impl;
         } lock;
+        // Two-realization group (the S3/S4 split the real table
+        // uses): the group name, not its member count, is the
+        // registration the rule checks.
+        struct
+        {
+            FakeQueue* lockFree;
+            FakeLockedQueue* locked;
+        } queue;
     };
 };
 

@@ -54,6 +54,59 @@ class ChaosBlindCounter
     std::atomic<std::uint64_t> bits_{0};
 };
 
+/**
+ * Vyukov-queue shape: a sequence-guarded position-claim loop.  The
+ * CAS is the ring-cell claim; skipping the chaos hook here would let
+ * fault injection miss the exact retry window the MPMC queue relies
+ * on, so the lint must flag it like any head-swing loop.
+ */
+class ChaosBlindRing
+{
+  public:
+    bool
+    tryClaim()
+    {
+        sync_scope::noteAttempt();
+        std::uint64_t pos =
+            enqueuePos_.load(std::memory_order_relaxed);
+        for (;;) {
+            const std::uint64_t seq =
+                cellSeq_.load(std::memory_order_acquire);
+            if (seq != pos)
+                return false; // cell not ready: queue full here
+            if (enqueuePos_.compare_exchange_weak( // PLANT(R3) seq-guarded claim loop without forcedCasFail
+                    pos, pos + 1, std::memory_order_acq_rel,
+                    std::memory_order_relaxed))
+                return true;
+            sync_scope::noteRetry();
+        }
+    }
+
+    bool
+    tryClaimHooked()
+    {
+        sync_scope::noteAttempt();
+        std::uint64_t pos =
+            enqueuePos_.load(std::memory_order_relaxed);
+        for (;;) {
+            const std::uint64_t seq =
+                cellSeq_.load(std::memory_order_acquire);
+            if (seq != pos)
+                return false;
+            if (!sync_chaos::forcedCasFail() &&
+                enqueuePos_.compare_exchange_weak(
+                    pos, pos + 1, std::memory_order_acq_rel,
+                    std::memory_order_relaxed))
+                return true; // clean: chaos hook guards the claim
+            sync_scope::noteRetry();
+        }
+    }
+
+  private:
+    alignas(64) std::atomic<std::uint64_t> cellSeq_{0};
+    alignas(64) std::atomic<std::uint64_t> enqueuePos_{0};
+};
+
 } // namespace corpus
 
 #endif // SYNCLINT_CORPUS_R3_CHAOS_H

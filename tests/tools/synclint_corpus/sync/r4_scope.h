@@ -81,6 +81,80 @@ class ScopeDelegatingLatch
     std::atomic<std::uint64_t> ticks_{0};
 };
 
+/**
+ * Chase-Lev shape: the owner's pop races a thief for the last
+ * element with a single CAS on top.  That race is a retry site like
+ * any other -- the scope profile undercounts contention if the loop
+ * skips noteRetry.
+ */
+class ScopeBlindDeque
+{
+  public:
+    bool
+    popBottom()
+    {
+        sync_scope::noteAttempt();
+        const std::int64_t b =
+            bottom_.load(std::memory_order_relaxed) - 1;
+        bottom_.store(b, std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        for (;;) {
+            if (t < b)
+                return true; // more than one element: ours alone
+            if (t > b) {
+                bottom_.store(b + 1, std::memory_order_relaxed);
+                return false; // already empty
+            }
+            if (sync_chaos::forcedCasFail())
+                continue; // modeled lost race
+            if (top_.compare_exchange_strong( // PLANT(R4) last-element race loop without noteRetry
+                    t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_relaxed)) {
+                bottom_.store(b + 1, std::memory_order_relaxed);
+                return true;
+            }
+        }
+    }
+
+    bool
+    popBottomHooked()
+    {
+        sync_scope::noteAttempt();
+        const std::int64_t b =
+            bottom_.load(std::memory_order_relaxed) - 1;
+        bottom_.store(b, std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        for (;;) {
+            if (t < b)
+                return true;
+            if (t > b) {
+                bottom_.store(b + 1, std::memory_order_relaxed);
+                return false;
+            }
+            if (sync_chaos::forcedCasFail() ||
+                !top_.compare_exchange_strong(
+                    t, t + 1, std::memory_order_seq_cst,
+                    std::memory_order_relaxed)) {
+                sync_scope::noteRetry(); // clean: race loss counted
+                continue;
+            }
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+
+    bool
+    empty() const
+    {
+        return top_.load(std::memory_order_acquire) >=
+               bottom_.load(std::memory_order_acquire);
+    }
+
+  private:
+    alignas(64) std::atomic<std::int64_t> top_{0};
+    alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
 } // namespace corpus
 
 #endif // SYNCLINT_CORPUS_R4_SCOPE_H

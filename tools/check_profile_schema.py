@@ -12,7 +12,8 @@ schema this enforces.
 import json
 import sys
 
-KINDS = {"barrier", "lock", "ticket", "sum", "stack", "flag"}
+KINDS = {"barrier", "lock", "ticket", "sum", "stack", "flag",
+         "queue", "deque"}
 CATEGORIES = {"compute", "barrier", "lock", "atomic", "flag"}
 REALIZATIONS = {
     "barrier": {"cond", "sense", "tree"},
@@ -21,6 +22,8 @@ REALIZATIONS = {
     "sum": {"locked", "cas"},
     "stack": {"locked", "treiber"},
     "flag": {"condvar", "atomic"},
+    "queue": {"locked", "mpmc"},
+    "deque": {"locked", "chase-lev"},
 }
 HIST_BUCKETS = 32
 
