@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Ablation A4: does the machine decide the winner?
+ *
+ * Per-construct micro-kernels (barrier, lock counter, ticket, sum,
+ * stack, flag broadcast) run under both suite realizations on every
+ * built-in machine profile.  The headline per-construct number is the
+ * S3-vs-S4 speedup (s3/s4 cycles): how much that construct gains from
+ * the lock-free realization on that machine.  The point of the table
+ * is that the *ranking* of those speedups is machine-dependent:
+ *
+ *   - on epyc64 the condvar barrier is the biggest S4 win (parking is
+ *     brutal), ahead of the FAA constructs;
+ *   - t3-512 (4x16x8, heavy SMT, cheap sibling transfers) flips that:
+ *     FAA tickets/sums gain more than barriers, and the spin-flag
+ *     broadcast drops to the bottom of the ranking;
+ *   - sg2044 (LL/SC mode) charges failed CAS loops llscRetryCycles
+ *     instead of casRetryCycles, dragging the CAS-loop constructs
+ *     below the wait-free FAA ticket in the ranking.
+ *
+ * --assert-inversion exits nonzero unless both t3-512 and sg2044
+ * flip at least one pairwise construct ranking vs epyc64 (with a tie
+ * margin, so a near-tie on the reference machine cannot fake an
+ * inversion) — CI runs this so the machine matrix provably changes a
+ * conclusion, not just the constants.
+ */
+
+#include "experiment_common.h"
+
+#include <cmath>
+
+namespace {
+
+using namespace splash;
+
+/** One micro-kernel: @p ops rounds against a single shared object. */
+VTime
+constructCycles(const std::string& construct, const std::string& machine,
+                SuiteVersion suite, int threads, int ops)
+{
+    World world(threads, suite);
+    auto bar = world.createBarrier();
+    auto lock = world.createLock();
+    auto ticket = world.createTicket();
+    auto sum = world.createSum();
+    auto stack = world.createStack(
+        static_cast<std::uint32_t>(threads * ops + 1));
+    auto flag = world.createFlag();
+    RunConfig config;
+    config.threads = threads;
+    config.suite = suite;
+    config.engine = EngineKind::Sim;
+    config.profile = machine;
+    auto engine = makeEngine(world, config);
+    return engine
+        ->run([&](Context& ctx) {
+            if (construct == "barrier") {
+                for (int i = 0; i < ops; ++i)
+                    ctx.barrier(bar);
+            } else if (construct == "lock") {
+                for (int i = 0; i < ops; ++i) {
+                    ctx.lockAcquire(lock);
+                    ctx.work(1);
+                    ctx.lockRelease(lock);
+                }
+            } else if (construct == "ticket") {
+                for (int i = 0; i < ops; ++i)
+                    (void)ctx.ticketNext(ticket);
+            } else if (construct == "sum") {
+                for (int i = 0; i < ops; ++i)
+                    ctx.sumAdd(sum, 1.0);
+            } else if (construct == "stack") {
+                std::uint32_t value = 0;
+                for (int i = 0; i < ops; ++i) {
+                    ctx.stackPush(
+                        stack, static_cast<std::uint32_t>(ctx.tid()));
+                    ctx.stackPop(stack, value);
+                }
+            } else { // flag: thread 0 broadcasts, the rest wait
+                for (int i = 0; i < ops; ++i) {
+                    if (ctx.tid() == 0) {
+                        ctx.work(5);
+                        ctx.flagSet(flag);
+                    } else {
+                        ctx.flagWait(flag);
+                    }
+                    ctx.barrier(bar);
+                    if (ctx.tid() == 0)
+                        ctx.flagClear(flag);
+                    ctx.barrier(bar);
+                }
+            }
+        })
+        .makespan;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+    bench::ExperimentOptions opts(argc, argv);
+    CliArgs args(argc, argv);
+    const bool assertInversion = args.has("assert-inversion");
+    const int ops =
+        std::max(1, static_cast<int>(std::lround(40 * opts.scale)));
+
+    const std::vector<std::string> machines = {"epyc64", "icelake64",
+                                               "t3-512", "sg2044"};
+    const std::vector<std::string> constructs = {
+        "barrier", "lock", "ticket", "sum", "stack", "flag"};
+
+    // ratio[machine][construct] = S3 cycles / S4 cycles (>1: the
+    // lock-free realization wins on that machine).
+    std::vector<std::vector<double>> ratio(
+        machines.size(), std::vector<double>(constructs.size(), 0.0));
+
+    Table table({"construct", "machine", "threads", "splash3",
+                 "splash4", "s3/s4", "s4 wins"});
+    for (std::size_t c = 0; c < constructs.size(); ++c) {
+        for (std::size_t m = 0; m < machines.size(); ++m) {
+            const int threads = std::min(
+                opts.threads, machineProfile(machines[m]).maxThreads());
+            const VTime s3 = constructCycles(
+                constructs[c], machines[m], SuiteVersion::Splash3,
+                threads, ops);
+            const VTime s4 = constructCycles(
+                constructs[c], machines[m], SuiteVersion::Splash4,
+                threads, ops);
+            ratio[m][c] = static_cast<double>(s3) /
+                          static_cast<double>(std::max<VTime>(1, s4));
+            table.cell(constructs[c])
+                .cell(machines[m])
+                .cell(std::to_string(threads))
+                .cell(static_cast<std::uint64_t>(s3))
+                .cell(static_cast<std::uint64_t>(s4))
+                .cell(ratio[m][c], 2)
+                .cell(ratio[m][c] > 1.0 ? "yes" : "NO");
+            table.endRow();
+        }
+    }
+    opts.emit(table,
+              "Ablation A4: per-construct cycles by machine profile, "
+              "both suite realizations (" + std::to_string(ops) +
+                  " ops/thread)");
+
+    // A ranking inversion: a pair of constructs whose S3-vs-S4
+    // speedup order flips between epyc64 and another machine.  The
+    // reference gap must clear a tie margin so that two constructs
+    // that are effectively tied on epyc64 (FAA ticket vs CAS sum
+    // differ by 0.1% there) cannot fake an inversion.
+    constexpr double kTieMargin = 1.02;
+    std::vector<std::string> inversions;
+    std::vector<bool> machineFlipped(machines.size(), false);
+    for (std::size_t m = 1; m < machines.size(); ++m) {
+        for (std::size_t a = 0; a < constructs.size(); ++a) {
+            for (std::size_t b = 0; b < constructs.size(); ++b) {
+                if (ratio[0][a] >= ratio[0][b] * kTieMargin &&
+                    ratio[m][b] >= ratio[m][a] * kTieMargin) {
+                    inversions.push_back(
+                        constructs[a] + ">" + constructs[b] +
+                        " on epyc64 but " + constructs[b] + ">" +
+                        constructs[a] + " on " + machines[m]);
+                    machineFlipped[m] = true;
+                }
+            }
+        }
+    }
+    if (!inversions.empty()) {
+        std::printf("speedup-ranking inversions vs epyc64:\n");
+        for (const auto& inv : inversions)
+            std::printf("  %s\n", inv.c_str());
+    }
+    if (assertInversion) {
+        bool ok = true;
+        for (const std::string machine : {"t3-512", "sg2044"}) {
+            std::size_t m = 0;
+            while (machines[m] != machine)
+                ++m;
+            if (!machineFlipped[m]) {
+                std::fprintf(stderr,
+                             "assert-inversion: %s did not flip any "
+                             "S3-vs-S4 construct ranking vs epyc64\n",
+                             machine.c_str());
+                ok = false;
+            }
+        }
+        if (!ok)
+            return 1;
+        std::printf("assert-inversion: ok\n");
+    }
+    return 0;
+}

@@ -18,7 +18,8 @@ main(int argc, char** argv)
     using namespace splash;
     bench::ExperimentOptions opts(argc, argv);
     CliArgs args(argc, argv);
-    const std::string profile = args.get("profile", "epyc64");
+    const std::string profile =
+        args.get("machine", args.get("profile", "epyc64"));
 
     bench::ExperimentPlan plan(opts);
     std::vector<std::size_t> jobs;
@@ -29,7 +30,8 @@ main(int argc, char** argv)
                                     opts.scale * 0.5));
     plan.run();
 
-    Table table({"benchmark", "suite", "line transfers",
+    Table table({"benchmark", "suite", "line transfers", "same_core",
+                 "same_domain", "cross_domain", "memory",
                  "per 1k work units", "s3/s4"});
     std::size_t at = 0;
     for (const auto& name : suiteOrder()) {
@@ -41,7 +43,10 @@ main(int argc, char** argv)
             transfers[idx] = result.lineTransfers;
             table.cell(name)
                 .cell(toString(suite))
-                .cell(result.lineTransfers)
+                .cell(result.lineTransfers);
+            for (int s = 0; s < kNumTransferScopes; ++s)
+                table.cell(result.transfersByScope[s]);
+            table
                 .cell(1000.0 * static_cast<double>(result.lineTransfers) /
                           static_cast<double>(result.totals.workUnits),
                       2)

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "sim/machine.h"
 #include "util/log.h"
 #include "util/rng.h"
 #include "util/wire.h"
@@ -40,9 +41,12 @@ canonicalContent(const std::string& benchmark, const RunConfig& config,
        << ";racecheck=" << (config.raceCheck ? 1 : 0)
        << ";syncprofile=" << (config.syncProfile ? 1 : 0);
     // The machine profile shapes sim results only; keep native job ids
-    // stable across hosts that default it differently.
+    // stable across hosts that default it differently.  The id covers
+    // the profile's *content* hash, not its spec string: renaming a
+    // file or re-expressing a built-in with identical costs keeps
+    // cached results valid, while editing any cost invalidates them.
     if (config.engine == EngineKind::Sim)
-        os << ";profile=" << wire::escape(config.profile);
+        os << ";machine=" << machineProfile(config.profile).contentHash;
     if (config.chaos.enabled) {
         os << ";chaos=" << config.chaos.seed << ','
            << config.chaos.casFailProb << ',' << config.chaos.syncDelayMax

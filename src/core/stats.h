@@ -9,12 +9,14 @@
 #ifndef SPLASH_CORE_STATS_H
 #define SPLASH_CORE_STATS_H
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/types.h"
+#include "sim/machine.h"
 
 namespace splash {
 
@@ -80,6 +82,12 @@ struct RunResult
     std::vector<ThreadStats> perThread;  ///< per-thread breakdown
     VTime simCycles = 0;    ///< simulated makespan (Sim engine)
     std::uint64_t lineTransfers = 0; ///< modeled coherence traffic
+    /**
+     * lineTransfers split by distance traveled (TransferScope order:
+     * same-core, same-domain, cross-domain, memory).  Sim engine only;
+     * sums to lineTransfers.
+     */
+    std::array<std::uint64_t, kNumTransferScopes> transfersByScope{};
     double wallSeconds = 0; ///< host wall-clock time of the parallel phase
     bool verified = false;  ///< benchmark self-check outcome
     std::string verifyMessage;

@@ -11,6 +11,7 @@
 #ifndef SPLASH_ENGINE_ENGINE_H
 #define SPLASH_ENGINE_ENGINE_H
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
@@ -20,6 +21,7 @@
 #include "core/context.h"
 #include "core/stats.h"
 #include "core/world.h"
+#include "sim/machine.h"
 
 namespace splash {
 
@@ -44,6 +46,11 @@ struct EngineOutcome
     VTime makespan = 0;     ///< simulated cycles (Sim engine; 0 native)
     double wallSeconds = 0; ///< host wall time of the parallel section
     std::uint64_t lineTransfers = 0; ///< modeled coherence traffic
+    /**
+     * lineTransfers bucketed by distance traveled (Sim engine; all
+     * zero native).  Indexed by TransferScope; sums to lineTransfers.
+     */
+    std::array<std::uint64_t, kNumTransferScopes> transfersByScope{};
     std::vector<ThreadStats> perThread;
     /** Watchdog classification; Ok unless the run was aborted. */
     RunStatus status = RunStatus::Ok;

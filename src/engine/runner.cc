@@ -104,6 +104,7 @@ runBenchmark(Benchmark& benchmark, const RunConfig& config)
     result.statusDetail = outcome.statusDetail;
     result.simCycles = outcome.makespan;
     result.lineTransfers = outcome.lineTransfers;
+    result.transfersByScope = outcome.transfersByScope;
     result.wallSeconds = outcome.wallSeconds;
     if (outcome.raceReport) {
         outcome.raceReport->benchmark = benchmark.name();

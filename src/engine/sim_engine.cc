@@ -195,8 +195,16 @@ class SimMachine
           chaos_(options.chaos), wd_(options.watchdog),
           rng_(options.chaos.seed)
     {
-        panicIf(nthreads_ > 64,
-                "sim engine supports at most 64 threads");
+        panicIf(nthreads_ > prof_.maxThreads(),
+                "run asks for " + std::to_string(nthreads_) +
+                    " threads but machine '" + prof_.name +
+                    "' models only " +
+                    std::to_string(prof_.maxThreads()) +
+                    " hardware threads (" +
+                    std::to_string(prof_.topology.domains) + "x" +
+                    std::to_string(prof_.topology.coresPerDomain) +
+                    "x" + std::to_string(prof_.topology.smtPerCore) +
+                    ")");
         wdMaxSyncOps_ = wd_.maxSyncOps ? wd_.maxSyncOps
                                        : kDefaultMaxSyncOps;
         wdMaxCycles_ = wd_.maxVirtualCycles ? wd_.maxVirtualCycles
@@ -527,43 +535,65 @@ class SimMachine
         return max;
     }
 
+    /** Visit every modeled cache line of every sync object. */
+    template <typename Fn>
+    void
+    forEachLine(Fn&& fn) const
+    {
+        for (const auto& obj : objects_) {
+            if (obj.barrier) {
+                fn(obj.barrier->counterLine);
+                fn(obj.barrier->senseLine);
+                fn(obj.barrier->mutex.line);
+                for (const auto& node : obj.barrier->nodes)
+                    fn(node.line);
+            } else if (obj.lock) {
+                fn(obj.lock->line);
+            } else if (obj.ticket) {
+                fn(obj.ticket->line);
+                fn(obj.ticket->lock.line);
+            } else if (obj.sum) {
+                fn(obj.sum->line);
+                fn(obj.sum->lock.line);
+            } else if (obj.stack) {
+                fn(obj.stack->headLine);
+                fn(obj.stack->lock.line);
+            } else if (obj.queue) {
+                fn(obj.queue->enqueueLine);
+                fn(obj.queue->dequeueLine);
+                fn(obj.queue->lock.line);
+            } else if (obj.deque) {
+                fn(obj.deque->topLine);
+                fn(obj.deque->bottomLine);
+                fn(obj.deque->lock.line);
+            } else if (obj.flag) {
+                fn(obj.flag->line);
+                fn(obj.flag->lock.line);
+            }
+        }
+    }
+
     /** Total modeled cache-line transfers (coherence traffic proxy). */
     std::uint64_t
     totalLineTransfers() const
     {
         std::uint64_t total = 0;
-        for (const auto& obj : objects_) {
-            if (obj.barrier) {
-                total += obj.barrier->counterLine.transferCount();
-                total += obj.barrier->senseLine.transferCount();
-                total += obj.barrier->mutex.line.transferCount();
-                for (const auto& node : obj.barrier->nodes)
-                    total += node.line.transferCount();
-            } else if (obj.lock) {
-                total += obj.lock->line.transferCount();
-            } else if (obj.ticket) {
-                total += obj.ticket->line.transferCount();
-                total += obj.ticket->lock.line.transferCount();
-            } else if (obj.sum) {
-                total += obj.sum->line.transferCount();
-                total += obj.sum->lock.line.transferCount();
-            } else if (obj.stack) {
-                total += obj.stack->headLine.transferCount();
-                total += obj.stack->lock.line.transferCount();
-            } else if (obj.queue) {
-                total += obj.queue->enqueueLine.transferCount();
-                total += obj.queue->dequeueLine.transferCount();
-                total += obj.queue->lock.line.transferCount();
-            } else if (obj.deque) {
-                total += obj.deque->topLine.transferCount();
-                total += obj.deque->bottomLine.transferCount();
-                total += obj.deque->lock.line.transferCount();
-            } else if (obj.flag) {
-                total += obj.flag->line.transferCount();
-                total += obj.flag->lock.line.transferCount();
-            }
-        }
+        forEachLine(
+            [&](const SimLine& line) { total += line.transferCount(); });
         return total;
+    }
+
+    /** Transfers bucketed by distance traveled; sums to the total. */
+    std::array<std::uint64_t, kNumTransferScopes>
+    transfersByScope() const
+    {
+        std::array<std::uint64_t, kNumTransferScopes> by{};
+        forEachLine([&](const SimLine& line) {
+            for (int s = 0; s < kNumTransferScopes; ++s)
+                by[s] += line.transferCount(
+                    static_cast<TransferScope>(s));
+        });
+        return by;
     }
 
     // ----- modeled primitive building blocks ----------------------------
@@ -573,7 +603,8 @@ class SimMachine
     rawLockAcquire(SimThread& me, SimLock& lock)
     {
         awaitTurn(me);
-        me.clock = lock.line.rmw(me.tid, me.clock, prof_);
+        me.clock = lock.line.rmw(me.tid, me.clock, prof_,
+                                 AtomicOp::Cas);
         if (!lock.held) {
             lock.held = true;
             lock.owner = me.tid;
@@ -586,7 +617,8 @@ class SimMachine
         lock.waiters.push_back(me.tid);
         blockSelf(me);
         // Granted by the releaser; pull the line to finish acquisition.
-        me.clock = lock.line.rmw(me.tid, me.clock, prof_);
+        me.clock = lock.line.rmw(me.tid, me.clock, prof_,
+                                 AtomicOp::Cas);
         if (checker_)
             checker_->acquire(me.tid, &lock, me.clock);
     }
@@ -598,7 +630,8 @@ class SimMachine
         awaitTurn(me);
         panicIf(!lock.held || lock.owner != me.tid,
                 "sim lock released by non-owner");
-        me.clock = lock.line.rmw(me.tid, me.clock, prof_);
+        me.clock = lock.line.rmw(me.tid, me.clock, prof_,
+                                 AtomicOp::Cas);
         if (checker_)
             checker_->release(me.tid, &lock, me.clock);
         if (lock.waiters.empty()) {
@@ -747,15 +780,15 @@ class SimMachine
      *         account them as RMW retries.
      */
     int
-    chaosRmwRetries(SimThread& me, SimLine& line)
+    chaosRmwRetries(SimThread& me, SimLine& line, AtomicOp op)
     {
         if (!chaos_.enabled || chaos_.casFailProb <= 0)
             return 0;
         int forced = 0;
         while (forced < kMaxForcedCasRetries &&
                rng_.uniform() < chaos_.casFailProb) {
-            me.clock = line.rmw(me.tid, me.clock, prof_);
-            me.clock += prof_.casRetryCycles;
+            me.clock = line.rmw(me.tid, me.clock, prof_, op);
+            me.clock += prof_.retryCycles(op);
             ++forced;
         }
         return forced;
@@ -806,7 +839,8 @@ class SimMachine
         int idx = barrier.leafOf[me.tid];
         for (;;) {
             auto& node = barrier.nodes[idx];
-            me.clock = node.line.rmw(me.tid, me.clock, prof_);
+            me.clock = node.line.rmw(me.tid, me.clock, prof_,
+                                     AtomicOp::Faa);
             if (++node.count < node.expected) {
                 barrier.waiters.push_back(me.tid);
                 blockSelf(me);
@@ -818,7 +852,8 @@ class SimMachine
             idx = node.parent;
         }
         // Root reached: flip the sense word and release everyone.
-        me.clock = barrier.senseLine.rmw(me.tid, me.clock, prof_);
+        me.clock = barrier.senseLine.rmw(me.tid, me.clock, prof_,
+                                         AtomicOp::Store);
         for (const int waiter : barrier.waiters) {
             const VTime seen =
                 barrier.senseLine.load(waiter, me.clock, prof_);
@@ -831,7 +866,8 @@ class SimMachine
     senseBarrierArrive(SimThread& me, SimBarrier& barrier)
     {
         awaitTurn(me);
-        me.clock = barrier.counterLine.rmw(me.tid, me.clock, prof_);
+        me.clock = barrier.counterLine.rmw(me.tid, me.clock, prof_,
+                                           AtomicOp::Faa);
         if (++barrier.arrived < nthreads_) {
             barrier.waiters.push_back(me.tid);
             blockSelf(me);
@@ -840,7 +876,8 @@ class SimMachine
         }
         // Last arrival: flip the sense word and release everyone.
         barrier.arrived = 0;
-        me.clock = barrier.senseLine.rmw(me.tid, me.clock, prof_);
+        me.clock = barrier.senseLine.rmw(me.tid, me.clock, prof_,
+                                         AtomicOp::Store);
         for (const int waiter : barrier.waiters) {
             const VTime seen =
                 barrier.senseLine.load(waiter, me.clock, prof_);
@@ -864,8 +901,10 @@ class SimMachine
             // with the mutex held, so the woken crowd convoys on the
             // mutex cache line (acquire + release), but does not park
             // a second time.
-            me.clock = barrier.mutex.line.rmw(me.tid, me.clock, prof_);
-            me.clock = barrier.mutex.line.rmw(me.tid, me.clock, prof_);
+            me.clock = barrier.mutex.line.rmw(me.tid, me.clock, prof_,
+                                              AtomicOp::Cas);
+            me.clock = barrier.mutex.line.rmw(me.tid, me.clock, prof_,
+                                              AtomicOp::Cas);
             return;
         }
         barrier.arrived = 0;
@@ -976,8 +1015,10 @@ class SimContext : public Context
         if (suite_ == SuiteVersion::Splash4) {
             machine_.awaitTurn(me_);
             retries += static_cast<std::uint64_t>(
-                machine_.chaosRmwRetries(me_, obj.line));
-            me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
+                machine_.chaosRmwRetries(me_, obj.line,
+                                         AtomicOp::Faa));
+            me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_,
+                                     AtomicOp::Faa);
             old = obj.value;
             obj.value += step;
             if (auto* rc = machine_.checker())
@@ -1027,12 +1068,14 @@ class SimContext : public Context
             // CAS failures under contention).
             machine_.awaitTurn(me_);
             retries += static_cast<std::uint64_t>(
-                machine_.chaosRmwRetries(me_, obj.line));
+                machine_.chaosRmwRetries(me_, obj.line,
+                                         AtomicOp::Cas));
             const std::uint64_t transfers_before =
                 obj.line.transferCount();
-            me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
+            me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_,
+                                     AtomicOp::Cas);
             if (obj.line.transferCount() != transfers_before) {
-                me_.clock += prof_.casRetryCycles;
+                me_.clock += prof_.retryCycles(AtomicOp::Cas);
                 ++retries;
             }
             obj.value += delta;
@@ -1091,8 +1134,10 @@ class SimContext : public Context
         if (suite_ == SuiteVersion::Splash4) {
             machine_.awaitTurn(me_);
             retries += static_cast<std::uint64_t>(
-                machine_.chaosRmwRetries(me_, obj.headLine));
-            me_.clock = obj.headLine.rmw(me_.tid, me_.clock, prof_);
+                machine_.chaosRmwRetries(me_, obj.headLine,
+                                         AtomicOp::Cas));
+            me_.clock = obj.headLine.rmw(me_.tid, me_.clock, prof_,
+                                         AtomicOp::Cas);
             if (auto* rc = machine_.checker())
                 rc->rmw(me_.tid, &obj.headLine, me_.clock);
             if (obj.items.size() >= obj.capacity)
@@ -1131,8 +1176,10 @@ class SimContext : public Context
                     rc->acquire(me_.tid, &obj.headLine, me_.clock);
             } else {
                 retries += static_cast<std::uint64_t>(
-                    machine_.chaosRmwRetries(me_, obj.headLine));
-                me_.clock = obj.headLine.rmw(me_.tid, me_.clock, prof_);
+                    machine_.chaosRmwRetries(me_, obj.headLine,
+                                             AtomicOp::Cas));
+                me_.clock = obj.headLine.rmw(me_.tid, me_.clock, prof_,
+                                             AtomicOp::Cas);
                 if (auto* rc = machine_.checker())
                     rc->rmw(me_.tid, &obj.headLine, me_.clock);
                 value = obj.items.back();
@@ -1172,8 +1219,10 @@ class SimContext : public Context
             // sequence read (modeled as part of the same line visit).
             machine_.awaitTurn(me_);
             retries += static_cast<std::uint64_t>(
-                machine_.chaosRmwRetries(me_, obj.enqueueLine));
-            me_.clock = obj.enqueueLine.rmw(me_.tid, me_.clock, prof_);
+                machine_.chaosRmwRetries(me_, obj.enqueueLine,
+                                         AtomicOp::Cas));
+            me_.clock = obj.enqueueLine.rmw(me_.tid, me_.clock, prof_,
+                                            AtomicOp::Cas);
             if (auto* rc = machine_.checker())
                 rc->rmw(me_.tid, &obj.enqueueLine, me_.clock);
             if (obj.items.size() >= obj.capacity)
@@ -1216,9 +1265,10 @@ class SimContext : public Context
                     rc->acquire(me_.tid, &obj.dequeueLine, me_.clock);
             } else {
                 retries += static_cast<std::uint64_t>(
-                    machine_.chaosRmwRetries(me_, obj.dequeueLine));
-                me_.clock =
-                    obj.dequeueLine.rmw(me_.tid, me_.clock, prof_);
+                    machine_.chaosRmwRetries(me_, obj.dequeueLine,
+                                             AtomicOp::Cas));
+                me_.clock = obj.dequeueLine.rmw(me_.tid, me_.clock,
+                                                prof_, AtomicOp::Cas);
                 if (auto* rc = machine_.checker())
                     rc->rmw(me_.tid, &obj.dequeueLine, me_.clock);
                 value = obj.items.front();
@@ -1255,7 +1305,8 @@ class SimContext : public Context
             // Chase-Lev push: owner-only store + release of bottom; no
             // CAS, so no chaos retry injection on this op.
             machine_.awaitTurn(me_);
-            me_.clock = obj.bottomLine.rmw(me_.tid, me_.clock, prof_);
+            me_.clock = obj.bottomLine.rmw(me_.tid, me_.clock, prof_,
+                                           AtomicOp::Store);
             if (auto* rc = machine_.checker())
                 rc->rmw(me_.tid, &obj.bottomLine, me_.clock);
             if (obj.items.size() >= obj.capacity)
@@ -1290,7 +1341,8 @@ class SimContext : public Context
         if (suite_ == SuiteVersion::Splash4) {
             machine_.awaitTurn(me_);
             // Owner pop: publish the decremented bottom, then read top.
-            me_.clock = obj.bottomLine.rmw(me_.tid, me_.clock, prof_);
+            me_.clock = obj.bottomLine.rmw(me_.tid, me_.clock, prof_,
+                                           AtomicOp::Store);
             if (auto* rc = machine_.checker())
                 rc->rmw(me_.tid, &obj.bottomLine, me_.clock);
             if (obj.items.empty()) {
@@ -1302,9 +1354,10 @@ class SimContext : public Context
                     // Last element: the owner races stealers with a
                     // CAS on top.
                     retries += static_cast<std::uint64_t>(
-                        machine_.chaosRmwRetries(me_, obj.topLine));
-                    me_.clock =
-                        obj.topLine.rmw(me_.tid, me_.clock, prof_);
+                        machine_.chaosRmwRetries(me_, obj.topLine,
+                                                 AtomicOp::Cas));
+                    me_.clock = obj.topLine.rmw(me_.tid, me_.clock,
+                                                prof_, AtomicOp::Cas);
                     if (auto* rc = machine_.checker())
                         rc->rmw(me_.tid, &obj.topLine, me_.clock);
                 }
@@ -1352,8 +1405,10 @@ class SimContext : public Context
                 }
             } else {
                 retries += static_cast<std::uint64_t>(
-                    machine_.chaosRmwRetries(me_, obj.topLine));
-                me_.clock = obj.topLine.rmw(me_.tid, me_.clock, prof_);
+                    machine_.chaosRmwRetries(me_, obj.topLine,
+                                             AtomicOp::Cas));
+                me_.clock = obj.topLine.rmw(me_.tid, me_.clock, prof_,
+                                            AtomicOp::Cas);
                 if (auto* rc = machine_.checker())
                     rc->rmw(me_.tid, &obj.topLine, me_.clock);
                 value = obj.items.front();
@@ -1389,8 +1444,10 @@ class SimContext : public Context
         if (suite_ == SuiteVersion::Splash4) {
             machine_.awaitTurn(me_);
             retries += static_cast<std::uint64_t>(
-                machine_.chaosRmwRetries(me_, obj.line));
-            me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
+                machine_.chaosRmwRetries(me_, obj.line,
+                                         AtomicOp::Swp));
+            me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_,
+                                     AtomicOp::Swp);
             if (auto* rc = machine_.checker())
                 rc->rmw(me_.tid, &obj.line, me_.clock);
             obj.value = true;
@@ -1448,8 +1505,10 @@ class SimContext : public Context
                 me_.clock += prof_.parkCycles;
                 machine_.blockSelf(me_);
                 // Requeued wake: convoy on the mutex line, no re-park.
-                me_.clock = obj.lock.line.rmw(me_.tid, me_.clock, prof_);
-                me_.clock = obj.lock.line.rmw(me_.tid, me_.clock, prof_);
+                me_.clock = obj.lock.line.rmw(me_.tid, me_.clock,
+                                              prof_, AtomicOp::Cas);
+                me_.clock = obj.lock.line.rmw(me_.tid, me_.clock,
+                                              prof_, AtomicOp::Cas);
             } else {
                 machine_.rawLockRelease(me_, obj.lock);
             }
@@ -1468,7 +1527,8 @@ class SimContext : public Context
     {
         auto& obj = *machine_.object(f.index).flag;
         machine_.awaitTurn(me_);
-        me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_);
+        me_.clock = obj.line.rmw(me_.tid, me_.clock, prof_,
+                                 AtomicOp::Store);
         if (auto* rc = machine_.checker())
             rc->rmw(me_.tid, &obj.line, me_.clock);
         obj.value = false;
@@ -1569,6 +1629,7 @@ SimEngine::run(const ThreadBody& body)
     outcome.statusDetail = machine.statusDetail();
     outcome.makespan = machine.makespan();
     outcome.lineTransfers = machine.totalLineTransfers();
+    outcome.transfersByScope = machine.transfersByScope();
     outcome.raceReport = machine.takeRaceReport();
     outcome.wallSeconds =
         std::chrono::duration<double>(stop - start).count();

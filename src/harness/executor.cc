@@ -43,6 +43,10 @@ serializeRunResult(const RunResult& result)
     os << "verifyMessage=" << wire::escape(result.verifyMessage) << "\n";
     os << "simCycles=" << result.simCycles << "\n";
     os << "lineTransfers=" << result.lineTransfers << "\n";
+    os << "transfersByScope=" << result.transfersByScope[0];
+    for (int s = 1; s < kNumTransferScopes; ++s)
+        os << "," << result.transfersByScope[s];
+    os << "\n";
     os << "wallSeconds=" << result.wallSeconds << "\n";
     os << "barrierCrossings=" << result.totals.barrierCrossings << "\n";
     os << "lockAcquires=" << result.totals.lockAcquires << "\n";
@@ -99,6 +103,14 @@ deserializeRunResult(const std::string& text, RunResult& result)
         } else if (key == "lineTransfers") {
             result.lineTransfers =
                 std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "transfersByScope") {
+            std::istringstream scopes(value);
+            std::string item;
+            for (int s = 0;
+                 s < kNumTransferScopes && std::getline(scopes, item, ',');
+                 ++s)
+                result.transfersByScope[s] =
+                    std::strtoull(item.c_str(), nullptr, 10);
         } else if (key == "wallSeconds") {
             result.wallSeconds = std::atof(value.c_str());
         } else if (key == "barrierCrossings") {

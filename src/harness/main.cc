@@ -77,8 +77,11 @@ usage()
         "  --suite=splash3|splash4   (default splash4)\n"
         "  --engine=native|sim       (default sim)\n"
         "  --threads=N               (default 4)\n"
-        "  --profile=NAME            machine profile (default epyc64;\n"
-        "                            sim engine)\n"
+        "  --machine=NAME|FILE       machine model for the sim engine\n"
+        "                            (default epyc64): a built-in name\n"
+        "                            or a splash4-machine-v1 JSON file;\n"
+        "                            see docs/MACHINES.md\n"
+        "  --profile=NAME            alias for --machine=NAME\n"
         "  --profile                 bare: attach the Sync-Scope\n"
         "                            synchronization profiler and print\n"
         "                            a per-construct wait breakdown\n"
@@ -202,14 +205,29 @@ main(int argc, char** argv)
     config.threads = static_cast<int>(args.getInt("threads", 4));
     config.suite = parseSuite(args.get("suite", "splash4"));
     config.engine = parseEngine(args.get("engine", "sim"));
-    // --profile wears two hats: with a value it selects the sim
-    // machine profile; bare (CliArgs renders bare flags as "1") it
-    // attaches the Sync-Scope synchronization profiler.
+    // --machine selects the sim machine model: a built-in name or a
+    // path to a splash4-machine-v1 JSON file.  --profile wears two
+    // hats (kept for compatibility): with a value it is an alias for
+    // --machine; bare (CliArgs renders bare flags as "1") it attaches
+    // the Sync-Scope synchronization profiler.
+    const std::string machineArg = args.get("machine", "");
     const std::string profileArg = args.get("profile", "");
     if (profileArg == "1")
         config.syncProfile = true;
     else if (!profileArg.empty())
         config.profile = profileArg;
+    if (!machineArg.empty() && machineArg != "1") {
+        if (!profileArg.empty() && profileArg != "1" &&
+            profileArg != machineArg)
+            fatal("--machine and --profile select different machines; "
+                  "drop one");
+        config.profile = machineArg;
+    } else if (machineArg == "1") {
+        fatal("--machine needs a value: --machine=NAME or "
+              "--machine=path/to/file.json");
+    }
+    if (config.engine == EngineKind::Sim)
+        machineProfile(config.profile); // fail fast on bad specs
     const std::string profileOut = args.get("profile-out", "");
     if (!profileOut.empty() && profileOut != "1")
         config.syncProfile = true;
@@ -335,7 +353,8 @@ main(int argc, char** argv)
     // Forward everything else as benchmark parameters.
     static const std::vector<std::string> reserved = {
         "threads",         "suite",           "engine",
-        "profile",         "profile-out",     "detail",
+        "machine",         "profile",         "profile-out",
+        "detail",
         "race-check",      "csv",             "list",
         "fast-path",       "sweep",           "repeat",
         "jobs",            "placement",       "results",

@@ -47,8 +47,14 @@ printRunDetail(const std::string& benchName, const RunConfig& config,
     std::printf("== %s [%s, %s, %d threads", benchName.c_str(),
                 toString(config.suite), toString(config.engine),
                 config.threads);
-    if (config.engine == EngineKind::Sim)
-        std::printf(", profile=%s", config.profile.c_str());
+    if (config.engine == EngineKind::Sim) {
+        const MachineProfile& machine = machineProfile(config.profile);
+        std::printf(", machine=%s (%dx%dx%d, %s)",
+                    machine.name.c_str(), machine.topology.domains,
+                    machine.topology.coresPerDomain,
+                    machine.topology.smtPerCore,
+                    machine.llscMode ? "llsc" : "amo");
+    }
     if (config.engine == EngineKind::Native)
         std::printf(", fast-path=%s", toString(config.fastPath));
     std::printf("]\n");
@@ -62,6 +68,15 @@ printRunDetail(const std::string& benchName, const RunConfig& config,
     if (config.engine == EngineKind::Sim) {
         std::printf("  simulated cycles: %llu\n",
                     static_cast<unsigned long long>(result.simCycles));
+        std::printf("  line transfers: %llu (",
+                    static_cast<unsigned long long>(
+                        result.lineTransfers));
+        for (int s = 0; s < kNumTransferScopes; ++s)
+            std::printf("%s%s=%llu", s ? " " : "",
+                        toString(static_cast<TransferScope>(s)),
+                        static_cast<unsigned long long>(
+                            result.transfersByScope[s]));
+        std::printf(")\n");
     }
     std::printf("  wall seconds: %.4f\n", result.wallSeconds);
     std::printf("  construct counts: barriers=%llu locks=%llu "

@@ -246,6 +246,7 @@ makeResultRecord(const JobSpec& job, const RunResult& result)
     rec.attempts = result.attempts;
     rec.simCycles = result.simCycles;
     rec.lineTransfers = result.lineTransfers;
+    rec.transfersByScope = result.transfersByScope;
     rec.wallSeconds = result.wallSeconds;
     rec.barrierCrossings = result.totals.barrierCrossings;
     rec.lockAcquires = result.totals.lockAcquires;
@@ -271,6 +272,7 @@ recordToRunResult(const ResultRecord& record)
     result.attempts = record.attempts;
     result.simCycles = record.simCycles;
     result.lineTransfers = record.lineTransfers;
+    result.transfersByScope = record.transfersByScope;
     result.wallSeconds = record.wallSeconds;
     result.totals.barrierCrossings = record.barrierCrossings;
     result.totals.lockAcquires = record.lockAcquires;
@@ -303,6 +305,10 @@ toJsonLine(const ResultRecord& record)
        << ",\"attempts\":" << record.attempts
        << ",\"simCycles\":" << record.simCycles
        << ",\"lineTransfers\":" << record.lineTransfers
+       << ",\"transfersSameCore\":" << record.transfersByScope[0]
+       << ",\"transfersSameDomain\":" << record.transfersByScope[1]
+       << ",\"transfersCrossDomain\":" << record.transfersByScope[2]
+       << ",\"transfersMemory\":" << record.transfersByScope[3]
        << ",\"wallSeconds\":";
     appendNumber(os, record.wallSeconds);
     os << ",\"barrierCrossings\":" << record.barrierCrossings
@@ -427,6 +433,12 @@ parseJsonLine(const std::string& line, ResultRecord& record)
         record.attempts = static_cast<int>(u64);
     parseU64(fields, "simCycles", record.simCycles);
     parseU64(fields, "lineTransfers", record.lineTransfers);
+    parseU64(fields, "transfersSameCore", record.transfersByScope[0]);
+    parseU64(fields, "transfersSameDomain",
+             record.transfersByScope[1]);
+    parseU64(fields, "transfersCrossDomain",
+             record.transfersByScope[2]);
+    parseU64(fields, "transfersMemory", record.transfersByScope[3]);
     parseF64(fields, "wallSeconds", record.wallSeconds);
     parseU64(fields, "barrierCrossings", record.barrierCrossings);
     parseU64(fields, "lockAcquires", record.lockAcquires);

@@ -37,12 +37,14 @@
 #ifndef SPLASH_HARNESS_RESULT_STORE_H
 #define SPLASH_HARNESS_RESULT_STORE_H
 
+#include <array>
 #include <cstdio>
 #include <map>
 #include <string>
 
 #include "core/chaos.h"
 #include "core/run_plan.h"
+#include "sim/machine.h"
 
 namespace splash {
 
@@ -78,6 +80,8 @@ struct ResultRecord
     int attempts = 1;
     VTime simCycles = 0;
     std::uint64_t lineTransfers = 0;
+    /** Per-TransferScope split of lineTransfers (sim runs). */
+    std::array<std::uint64_t, kNumTransferScopes> transfersByScope{};
     double wallSeconds = 0;
     std::uint64_t barrierCrossings = 0;
     std::uint64_t lockAcquires = 0;

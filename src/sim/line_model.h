@@ -3,22 +3,134 @@
  * Cache-line contention model used by the simulation engine.
  *
  * Every synchronization variable is assigned a SimLine that tracks an
- * exclusive owner, a sharer bitmask, and the virtual time at which the
- * line next becomes available.  Atomic RMWs serialize on the line
+ * exclusive owner, the set of sharers, and the virtual time at which
+ * the line next becomes available.  Atomic RMWs serialize on the line
  * (back-to-back contenders each pay a transfer), which is precisely the
  * hardware behavior that makes a single fetch&add cheaper than a
  * lock/unlock pair around the same update.
+ *
+ * An access is priced from the machine's (op x coherence-state) table:
+ * the requester sees the line as Owned (exclusive), Shared (holds a
+ * copy; an RMW is an in-place upgrade), or Invalid — split into
+ * invalid-local-domain and invalid-remote-domain by where the nearest
+ * holder sits in the machine topology, with per-hop distance cycles
+ * added for cross-domain supplies and an optional flat SMT-sibling
+ * price when the holder shares the requester's core.  A line nobody
+ * holds is fetched from memory at the invalid-remote price.  Each
+ * transfer is also bucketed by distance traveled (TransferScope) for
+ * the characterization tables.
  */
 
 #ifndef SPLASH_SIM_LINE_MODEL_H
 #define SPLASH_SIM_LINE_MODEL_H
 
+#include <array>
 #include <cstdint>
+#include <vector>
 
 #include "core/types.h"
 #include "sim/machine.h"
 
 namespace splash {
+
+/**
+ * Set of thread ids sharing a line.  The first 64 tids live in an
+ * inline word (the overwhelmingly common case — and the only case the
+ * old bitmask supported, silently aliasing tid 64 onto tid 0); larger
+ * machines (t3-512) spill into overflow words allocated on first use.
+ */
+class SharerSet
+{
+  public:
+    bool
+    contains(int tid) const
+    {
+        if (tid < 64)
+            return (low_ >> tid) & 1ULL;
+        const std::size_t word = highWord(tid);
+        return word < high_.size() &&
+               ((high_[word] >> (tid & 63)) & 1ULL);
+    }
+
+    void
+    add(int tid)
+    {
+        if (tid < 64) {
+            low_ |= 1ULL << tid;
+            return;
+        }
+        const std::size_t word = highWord(tid);
+        if (word >= high_.size())
+            high_.resize(word + 1, 0);
+        high_[word] |= 1ULL << (tid & 63);
+    }
+
+    /** Collapse to the single member @p tid. */
+    void
+    assign(int tid)
+    {
+        low_ = 0;
+        for (auto& word : high_)
+            word = 0;
+        add(tid);
+    }
+
+    bool
+    empty() const
+    {
+        if (low_ != 0)
+            return false;
+        for (const auto word : high_)
+            if (word != 0)
+                return false;
+        return true;
+    }
+
+    bool
+    soleMember(int tid) const
+    {
+        return contains(tid) && count() == 1;
+    }
+
+    int
+    count() const
+    {
+        int n = __builtin_popcountll(low_);
+        for (const auto word : high_)
+            n += __builtin_popcountll(word);
+        return n;
+    }
+
+    /** Invoke @p fn(tid) for every member, ascending. */
+    template <typename Fn>
+    void
+    forEach(Fn&& fn) const
+    {
+        forEachBit(low_, 0, fn);
+        for (std::size_t i = 0; i < high_.size(); ++i)
+            forEachBit(high_[i], 64 * static_cast<int>(i + 1), fn);
+    }
+
+  private:
+    static std::size_t
+    highWord(int tid)
+    {
+        return static_cast<std::size_t>(tid >> 6) - 1;
+    }
+
+    template <typename Fn>
+    static void
+    forEachBit(std::uint64_t word, int base, Fn&& fn)
+    {
+        while (word != 0) {
+            fn(base + __builtin_ctzll(word));
+            word &= word - 1;
+        }
+    }
+
+    std::uint64_t low_ = 0;
+    std::vector<std::uint64_t> high_;
+};
 
 /** State of one modeled cache line holding a sync variable. */
 class SimLine
@@ -27,22 +139,34 @@ class SimLine
     static constexpr int kNoOwner = -1;
 
     /**
-     * Perform an atomic RMW by thread @p tid arriving at @p now.
+     * Perform an atomic RMW of class @p op by thread @p tid arriving
+     * at @p now.
      * @return completion time (line held exclusively by tid).
      */
     VTime
-    rmw(int tid, VTime now, const MachineProfile& prof)
+    rmw(int tid, VTime now, const MachineProfile& prof, AtomicOp op)
     {
         const VTime start = now > freeAt_ ? now : freeAt_;
-        const bool local = owner_ == tid && sharers_ == bit(tid);
-        const VTime cost =
-            local ? prof.rmwLocalCycles : prof.rmwRemoteCycles;
+        VTime cost;
+        if (owner_ == tid && sharers_.soleMember(tid)) {
+            cost = prof.cost(op, CoherenceState::Owned);
+        } else if (sharers_.contains(tid)) {
+            // In-place upgrade: invalidate the other copies.  Reach
+            // (and extra hop cycles) follow the farthest other sharer.
+            const Reach reach = upgradeReach(tid, prof.topology);
+            cost = prof.cost(op, CoherenceState::Shared) + reach.extra;
+            recordTransfer(reach.scope);
+        } else {
+            const Reach reach = supplyReach(tid, prof.topology);
+            cost = reach.override >= 0
+                       ? static_cast<VTime>(reach.override)
+                       : prof.cost(op, reach.state) + reach.extra;
+            recordTransfer(reach.scope);
+        }
         owner_ = tid;
-        sharers_ = bit(tid);
+        sharers_.assign(tid);
         freeAt_ = start + cost;
         ++rmwCount_;
-        if (!local)
-            ++transferCount_;
         return freeAt_;
     }
 
@@ -54,14 +178,24 @@ class SimLine
     VTime
     load(int tid, VTime now, const MachineProfile& prof)
     {
-        if (sharers_ & bit(tid))
-            return now + prof.loadLocalCycles;
+        if (sharers_.contains(tid)) {
+            const CoherenceState state =
+                owner_ == tid && sharers_.soleMember(tid)
+                    ? CoherenceState::Owned
+                    : CoherenceState::Shared;
+            return now + prof.cost(AtomicOp::Load, state);
+        }
         const VTime start = now > freeAt_ ? now : freeAt_;
-        sharers_ |= bit(tid);
+        const Reach reach = supplyReach(tid, prof.topology);
+        const VTime cost =
+            reach.override >= 0
+                ? static_cast<VTime>(reach.override)
+                : prof.cost(AtomicOp::Load, reach.state) + reach.extra;
+        sharers_.add(tid);
         owner_ = kNoOwner;
         freeAt_ = start + prof.loadOccupancy;
-        ++transferCount_;
-        return start + prof.loadRemoteCycles;
+        recordTransfer(reach.scope);
+        return start + cost;
     }
 
     /** Time at which the line is next available. */
@@ -70,19 +204,106 @@ class SimLine
     /** Dynamic counts, for the characterization tables. */
     std::uint64_t rmwCount() const { return rmwCount_; }
     std::uint64_t transferCount() const { return transferCount_; }
+    std::uint64_t
+    transferCount(TransferScope scope) const
+    {
+        return scopeCount_[static_cast<int>(scope)];
+    }
 
   private:
-    static std::uint64_t
-    bit(int tid)
+    struct Reach
     {
-        return 1ULL << (tid & 63);
+        CoherenceState state;
+        TransferScope scope;
+        VTime extra = 0; ///< added domain-distance cycles
+        /** When >= 0: flat price replacing the table lookup. */
+        std::int64_t override = -1;
+    };
+
+    /**
+     * Where a missing line is supplied from, as seen by non-sharer
+     * @p tid: the nearest current holder wins (SMT sibling, then same
+     * domain, then closest domain); a line nobody holds comes from
+     * memory at the invalid-remote price.
+     */
+    Reach
+    supplyReach(int tid, const MachineTopology& topo) const
+    {
+        if (sharers_.empty())
+            return {CoherenceState::InvalidRemote,
+                    TransferScope::Memory, 0};
+        const int reqCore = topo.coreOf(tid);
+        const int reqDomain = topo.domainOf(tid);
+        bool sameCore = false, sameDomain = false;
+        int minHop = topo.domains;
+        sharers_.forEach([&](int other) {
+            if (topo.coreOf(other) == reqCore)
+                sameCore = true;
+            const int hop = topo.domainOf(other) - reqDomain;
+            const int dist = hop < 0 ? -hop : hop;
+            if (dist == 0)
+                sameDomain = true;
+            else if (dist < minHop)
+                minHop = dist;
+        });
+        if (sameCore) {
+            // A sibling supply through the shared L1 replaces the
+            // invalid-state price entirely when the shortcut is on.
+            return {CoherenceState::InvalidLocal,
+                    TransferScope::SameCore, 0,
+                    topo.smtSiblingTransferCycles};
+        }
+        if (sameDomain)
+            return {CoherenceState::InvalidLocal,
+                    TransferScope::SameDomain, 0};
+        return {CoherenceState::InvalidRemote,
+                TransferScope::CrossDomain,
+                topo.domainDistanceCycles[minHop]};
+    }
+
+    /** Invalidation reach of a Shared->Owned upgrade by sharer tid. */
+    Reach
+    upgradeReach(int tid, const MachineTopology& topo) const
+    {
+        const int reqCore = topo.coreOf(tid);
+        const int reqDomain = topo.domainOf(tid);
+        bool outsideCore = false, outsideDomain = false;
+        int maxHop = 0;
+        sharers_.forEach([&](int other) {
+            if (other == tid)
+                return;
+            if (topo.coreOf(other) != reqCore)
+                outsideCore = true;
+            const int hop = topo.domainOf(other) - reqDomain;
+            const int dist = hop < 0 ? -hop : hop;
+            if (dist > 0)
+                outsideDomain = true;
+            if (dist > maxHop)
+                maxHop = dist;
+        });
+        if (outsideDomain)
+            return {CoherenceState::Shared, TransferScope::CrossDomain,
+                    topo.domainDistanceCycles[maxHop]};
+        if (outsideCore)
+            return {CoherenceState::Shared, TransferScope::SameDomain,
+                    0};
+        // Sole sharer (or only SMT siblings): silent in-place upgrade.
+        return {CoherenceState::Shared, TransferScope::SameCore, 0};
+    }
+
+    void
+    recordTransfer(TransferScope scope)
+    {
+        ++transferCount_;
+        ++scopeCount_[static_cast<int>(scope)];
     }
 
     int owner_ = kNoOwner;
-    std::uint64_t sharers_ = 0;
+    SharerSet sharers_;
     VTime freeAt_ = 0;
     std::uint64_t rmwCount_ = 0;
     std::uint64_t transferCount_ = 0;
+    std::array<std::uint64_t, kNumTransferScopes> scopeCount_{};
 };
 
 } // namespace splash

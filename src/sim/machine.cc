@@ -1,110 +1,575 @@
 #include "sim/machine.h"
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "sim/builtin_profiles.h"
+#include "util/json.h"
 #include "util/log.h"
 
 namespace splash {
 
 namespace {
 
-std::vector<MachineProfile>
-buildProfiles()
+const char* const kOpKeys[kNumAtomicOps] = {"load", "store", "cas",
+                                            "faa", "swp"};
+const char* const kStateKeys[kNumCoherenceStates] = {
+    "owned", "shared", "invalidLocal", "invalidRemote"};
+
+/** Hard ceiling on modeled hardware threads (sanity, not a design). */
+constexpr int kMaxModeledThreads = 65536;
+
+std::uint64_t
+fnv1a64(const std::string& text)
 {
-    std::vector<MachineProfile> profiles;
-
-    // AMD EPYC 7702: 64 cores across 16 CCXs on 8 chiplets. Cross-CCX
-    // line transfers bounce through the IO die; futex wakeups traverse
-    // the OS scheduler.  This is the "real hardware" target where the
-    // paper reports the largest Splash-4 gains (52% at 64 threads).
-    {
-        MachineProfile p;
-        p.name = "epyc64";
-        p.maxThreads = 64;
-        p.workUnitCycles = 12;
-        p.loadLocalCycles = 4;
-        p.loadRemoteCycles = 110;
-        p.loadOccupancy = 14;
-        p.rmwLocalCycles = 22;
-        p.rmwRemoteCycles = 190;
-        p.casRetryCycles = 60;
-        p.parkCycles = 3000;
-        p.wakeCyclesPerWaiter = 650;
-        p.wakeLatencyCycles = 3800;
-        p.spinResumeCycles = 60;
-        p.criticalOpCycles = 15;
-        profiles.push_back(p);
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (const unsigned char c : text) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
     }
-
-    // gem5-20 simulated Intel Ice Lake server: 64 cores on one mesh,
-    // uniform and lower transfer latencies; gem5's simulated OS wakeups
-    // are cheaper.  Paper reports 34% average gain here.
-    {
-        MachineProfile p;
-        p.name = "icelake64";
-        p.maxThreads = 64;
-        p.workUnitCycles = 12;
-        p.loadLocalCycles = 4;
-        p.loadRemoteCycles = 70;
-        p.loadOccupancy = 9;
-        p.rmwLocalCycles = 20;
-        p.rmwRemoteCycles = 95;
-        p.casRetryCycles = 35;
-        p.parkCycles = 1300;
-        p.wakeCyclesPerWaiter = 260;
-        p.wakeLatencyCycles = 1500;
-        p.spinResumeCycles = 45;
-        p.criticalOpCycles = 15;
-        profiles.push_back(p);
-    }
-
-    // Small, fast profile for unit tests: tiny latencies keep simulated
-    // numbers easy to reason about by hand.
-    {
-        MachineProfile p;
-        p.name = "test4";
-        p.maxThreads = 4;
-        p.workUnitCycles = 1;
-        p.loadLocalCycles = 1;
-        p.loadRemoteCycles = 10;
-        p.loadOccupancy = 2;
-        p.rmwLocalCycles = 2;
-        p.rmwRemoteCycles = 10;
-        p.casRetryCycles = 3;
-        p.parkCycles = 50;
-        p.wakeCyclesPerWaiter = 10;
-        p.wakeLatencyCycles = 60;
-        p.spinResumeCycles = 5;
-        p.criticalOpCycles = 2;
-        profiles.push_back(p);
-    }
-
-    return profiles;
+    return hash;
 }
 
-const std::vector<MachineProfile>&
-profiles()
+/** Validation context: origin label + first-error capture. */
+struct Check
 {
-    static const std::vector<MachineProfile> instance = buildProfiles();
+    const std::string& origin;
+    std::string& error;
+    bool ok = true;
+
+    bool
+    fail(const std::string& what)
+    {
+        if (ok) {
+            error = origin + ": " + what;
+            ok = false;
+        }
+        return false;
+    }
+};
+
+/** Every member of @p obj must appear in @p allowed. */
+bool
+rejectUnknown(Check& check, const json::Value& obj,
+              const std::string& where,
+              std::initializer_list<const char*> allowed)
+{
+    for (const auto& [key, value] : obj.members()) {
+        (void)value;
+        bool known = false;
+        for (const char* name : allowed)
+            if (key == name)
+                known = true;
+        if (!known)
+            return check.fail("unknown field '" + where + key + "'");
+    }
+    return true;
+}
+
+const json::Value*
+requireField(Check& check, const json::Value& obj,
+             const std::string& where, const char* key,
+             json::Value::Kind kind)
+{
+    const json::Value* field = obj.find(key);
+    if (field == nullptr) {
+        check.fail("missing field '" + where + key + "'");
+        return nullptr;
+    }
+    if (field->kind() != kind) {
+        check.fail("field '" + where + key + "' must be " +
+                   json::Value::kindName(kind) + ", got " +
+                   json::Value::kindName(field->kind()));
+        return nullptr;
+    }
+    return field;
+}
+
+/** Non-negative whole number (cycle counts, core counts). */
+bool
+requireCount(Check& check, const json::Value& obj,
+             const std::string& where, const char* key,
+             std::int64_t& out, std::int64_t min = 0)
+{
+    const json::Value* field =
+        requireField(check, obj, where, key, json::Value::Kind::Number);
+    if (field == nullptr)
+        return false;
+    const double v = field->asNumber();
+    if (!(v >= static_cast<double>(min)) || v > 9.0e15 ||
+        std::floor(v) != v)
+        return check.fail("field '" + where + key +
+                          "' must be a whole number >= " +
+                          std::to_string(min));
+    out = static_cast<std::int64_t>(v);
+    return true;
+}
+
+bool
+parseTopology(Check& check, const json::Value& obj,
+              MachineTopology& topo)
+{
+    const std::string where = "topology.";
+    if (!rejectUnknown(check, obj, where,
+                       {"domains", "coresPerDomain", "smtPerCore",
+                        "domainDistanceCycles",
+                        "smtSiblingTransferCycles"}))
+        return false;
+    std::int64_t domains = 0, cores = 0, smt = 0;
+    if (!requireCount(check, obj, where, "domains", domains, 1) ||
+        !requireCount(check, obj, where, "coresPerDomain", cores, 1) ||
+        !requireCount(check, obj, where, "smtPerCore", smt, 1))
+        return false;
+    if (domains * cores * smt > kMaxModeledThreads)
+        return check.fail("topology models " +
+                          std::to_string(domains * cores * smt) +
+                          " hardware threads; the cap is " +
+                          std::to_string(kMaxModeledThreads));
+    topo.domains = static_cast<int>(domains);
+    topo.coresPerDomain = static_cast<int>(cores);
+    topo.smtPerCore = static_cast<int>(smt);
+
+    const json::Value* dist =
+        requireField(check, obj, where, "domainDistanceCycles",
+                     json::Value::Kind::Array);
+    if (dist == nullptr)
+        return false;
+    if (dist->items().size() != static_cast<std::size_t>(domains))
+        return check.fail(
+            "topology.domainDistanceCycles needs exactly one entry per "
+            "hop distance (" +
+            std::to_string(domains) + "), got " +
+            std::to_string(dist->items().size()));
+    topo.domainDistanceCycles.clear();
+    for (std::size_t i = 0; i < dist->items().size(); ++i) {
+        const json::Value& entry = dist->items()[i];
+        const double v =
+            entry.isNumber() ? entry.asNumber() : -1.0;
+        if (!(v >= 0) || std::floor(v) != v)
+            return check.fail("topology.domainDistanceCycles[" +
+                              std::to_string(i) +
+                              "] must be a whole number >= 0");
+        topo.domainDistanceCycles.push_back(
+            static_cast<VTime>(v));
+    }
+    if (topo.domainDistanceCycles[0] != 0)
+        return check.fail("topology.domainDistanceCycles[0] is the "
+                          "same-domain hop and must be 0");
+
+    topo.smtSiblingTransferCycles = -1;
+    if (const json::Value* sibling =
+            obj.find("smtSiblingTransferCycles")) {
+        const double v =
+            sibling->isNumber() ? sibling->asNumber() : -2.0;
+        if (!(v >= -1) || std::floor(v) != v)
+            return check.fail(
+                "topology.smtSiblingTransferCycles must be a whole "
+                "number >= -1 (-1 disables the SMT shortcut)");
+        topo.smtSiblingTransferCycles = static_cast<std::int64_t>(v);
+    }
+    return true;
+}
+
+bool
+parseAtomics(Check& check, const json::Value& obj,
+             MachineProfile& profile)
+{
+    const std::string where = "atomics.";
+    if (!rejectUnknown(check, obj, where,
+                       {"mode", "casRetryCycles", "llscRetryCycles",
+                        "costs"}))
+        return false;
+    const json::Value* mode =
+        requireField(check, obj, where, "mode",
+                     json::Value::Kind::String);
+    if (mode == nullptr)
+        return false;
+    if (mode->asString() == "amo") {
+        profile.llscMode = false;
+    } else if (mode->asString() == "llsc") {
+        profile.llscMode = true;
+    } else {
+        return check.fail("atomics.mode must be \"amo\" or \"llsc\", "
+                          "got \"" + mode->asString() + "\"");
+    }
+    std::int64_t casRetry = 0;
+    if (!requireCount(check, obj, where, "casRetryCycles", casRetry))
+        return false;
+    profile.casRetryCycles = static_cast<VTime>(casRetry);
+    profile.llscRetryCycles = 0;
+    if (profile.llscMode) {
+        std::int64_t llscRetry = 0;
+        if (!requireCount(check, obj, where, "llscRetryCycles",
+                          llscRetry))
+            return false;
+        profile.llscRetryCycles = static_cast<VTime>(llscRetry);
+    } else if (obj.find("llscRetryCycles") != nullptr) {
+        return check.fail("atomics.llscRetryCycles is only meaningful "
+                          "with mode \"llsc\"");
+    }
+
+    const json::Value* costs = requireField(
+        check, obj, where, "costs", json::Value::Kind::Object);
+    if (costs == nullptr)
+        return false;
+    if (!rejectUnknown(check, *costs, where + "costs.",
+                       {"load", "store", "cas", "faa", "swp"}))
+        return false;
+    for (int op = 0; op < kNumAtomicOps; ++op) {
+        const json::Value* row =
+            requireField(check, *costs, where + "costs.", kOpKeys[op],
+                         json::Value::Kind::Object);
+        if (row == nullptr)
+            return false;
+        const std::string rowWhere =
+            where + "costs." + kOpKeys[op] + ".";
+        if (!rejectUnknown(check, *row, rowWhere,
+                           {"owned", "shared", "invalidLocal",
+                            "invalidRemote"}))
+            return false;
+        for (int state = 0; state < kNumCoherenceStates; ++state) {
+            std::int64_t cycles = 0;
+            if (!requireCount(check, *row, rowWhere, kStateKeys[state],
+                              cycles))
+                return false;
+            profile.atomicCycles[op][state] =
+                static_cast<VTime>(cycles);
+        }
+    }
+    return true;
+}
+
+bool
+parseSection(Check& check, const json::Value& root, const char* name,
+             const json::Value*& out)
+{
+    out = nullptr;
+    const json::Value* section = requireField(
+        check, root, "", name, json::Value::Kind::Object);
+    if (section == nullptr)
+        return false;
+    out = section;
+    return true;
+}
+
+} // namespace
+
+const char*
+toString(AtomicOp op)
+{
+    return kOpKeys[static_cast<int>(op)];
+}
+
+const char*
+toString(CoherenceState state)
+{
+    return kStateKeys[static_cast<int>(state)];
+}
+
+const char*
+toString(TransferScope scope)
+{
+    switch (scope) {
+      case TransferScope::SameCore:
+        return "same_core";
+      case TransferScope::SameDomain:
+        return "same_domain";
+      case TransferScope::CrossDomain:
+        return "cross_domain";
+      case TransferScope::Memory:
+        return "memory";
+    }
+    return "?";
+}
+
+bool
+parseMachineProfile(const std::string& text, const std::string& origin,
+                    MachineProfile& out, std::string& error)
+{
+    Check check{origin, error};
+    json::Value root;
+    std::string parseError;
+    if (!json::parse(text, root, parseError))
+        return check.fail(parseError);
+    if (!root.isObject())
+        return check.fail("profile document must be a JSON object");
+    if (!rejectUnknown(check, root, "",
+                       {"schema", "name", "description", "isa",
+                        "topology", "atomics", "execution",
+                        "scheduler"}))
+        return false;
+
+    const json::Value* schema = requireField(
+        check, root, "", "schema", json::Value::Kind::String);
+    if (schema == nullptr)
+        return false;
+    if (schema->asString() != kMachineSchema)
+        return check.fail("schema is '" + schema->asString() +
+                          "', expected '" + kMachineSchema + "'");
+
+    const json::Value* name = requireField(
+        check, root, "", "name", json::Value::Kind::String);
+    if (name == nullptr)
+        return false;
+    if (name->asString().empty())
+        return check.fail("name must not be empty");
+    for (const char c : name->asString()) {
+        if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '-' || c == '_' || c == '.'))
+            return check.fail("name '" + name->asString() +
+                              "' may only use [a-z0-9._-]");
+    }
+    out = MachineProfile{};
+    out.name = name->asString();
+    if (const json::Value* desc = root.find("description")) {
+        if (!desc->isString())
+            return check.fail("description must be a string");
+        out.description = desc->asString();
+    }
+    if (const json::Value* isa = root.find("isa")) {
+        if (!isa->isString())
+            return check.fail("isa must be a string");
+        out.isa = isa->asString();
+    }
+
+    const json::Value* section = nullptr;
+    if (!parseSection(check, root, "topology", section) ||
+        !parseTopology(check, *section, out.topology))
+        return false;
+    if (!parseSection(check, root, "atomics", section) ||
+        !parseAtomics(check, *section, out))
+        return false;
+
+    if (!parseSection(check, root, "execution", section))
+        return false;
+    if (!rejectUnknown(check, *section, "execution.",
+                       {"workUnitCycles", "loadOccupancyCycles"}))
+        return false;
+    std::int64_t v = 0;
+    if (!requireCount(check, *section, "execution.", "workUnitCycles",
+                      v, 1))
+        return false;
+    out.workUnitCycles = static_cast<VTime>(v);
+    if (!requireCount(check, *section, "execution.",
+                      "loadOccupancyCycles", v))
+        return false;
+    out.loadOccupancy = static_cast<VTime>(v);
+
+    if (!parseSection(check, root, "scheduler", section))
+        return false;
+    if (!rejectUnknown(check, *section, "scheduler.",
+                       {"parkCycles", "wakeCyclesPerWaiter",
+                        "wakeLatencyCycles", "spinResumeCycles",
+                        "criticalOpCycles"}))
+        return false;
+    struct
+    {
+        const char* key;
+        VTime MachineProfile::*field;
+    } schedFields[] = {
+        {"parkCycles", &MachineProfile::parkCycles},
+        {"wakeCyclesPerWaiter", &MachineProfile::wakeCyclesPerWaiter},
+        {"wakeLatencyCycles", &MachineProfile::wakeLatencyCycles},
+        {"spinResumeCycles", &MachineProfile::spinResumeCycles},
+        {"criticalOpCycles", &MachineProfile::criticalOpCycles},
+    };
+    for (const auto& field : schedFields) {
+        if (!requireCount(check, *section, "scheduler.", field.key, v))
+            return false;
+        out.*(field.field) = static_cast<VTime>(v);
+    }
+
+    out.contentHash = [&] {
+        char buf[17];
+        std::snprintf(buf, sizeof buf, "%016llx",
+                      static_cast<unsigned long long>(fnv1a64(
+                          machineProfileCanonicalText(out))));
+        return std::string(buf);
+    }();
+    return true;
+}
+
+std::string
+machineProfileCanonicalText(const MachineProfile& profile)
+{
+    // Covers every field that shapes simulated results — and nothing
+    // else: name/description/isa stay out, so two differently-named
+    // profiles with identical semantics content-hash (and job-id)
+    // identically, which is exactly when their cached results are
+    // interchangeable.
+    std::ostringstream os;
+    const MachineTopology& t = profile.topology;
+    os << "topo=" << t.domains << 'x' << t.coresPerDomain << 'x'
+       << t.smtPerCore << ";dist=";
+    for (std::size_t i = 0; i < t.domainDistanceCycles.size(); ++i)
+        os << (i ? "," : "") << t.domainDistanceCycles[i];
+    os << ";smtxfer=" << t.smtSiblingTransferCycles
+       << ";mode=" << (profile.llscMode ? "llsc" : "amo")
+       << ";casretry=" << profile.casRetryCycles
+       << ";llscretry=" << profile.llscRetryCycles;
+    for (int op = 0; op < kNumAtomicOps; ++op) {
+        os << ';' << kOpKeys[op] << '=';
+        for (int state = 0; state < kNumCoherenceStates; ++state)
+            os << (state ? "," : "")
+               << profile.atomicCycles[op][state];
+    }
+    os << ";work=" << profile.workUnitCycles
+       << ";occ=" << profile.loadOccupancy
+       << ";park=" << profile.parkCycles
+       << ";wakeper=" << profile.wakeCyclesPerWaiter
+       << ";wakelat=" << profile.wakeLatencyCycles
+       << ";spin=" << profile.spinResumeCycles
+       << ";crit=" << profile.criticalOpCycles;
+    return os.str();
+}
+
+std::string
+machineProfileToJson(const MachineProfile& profile)
+{
+    std::ostringstream os;
+    const MachineTopology& t = profile.topology;
+    os << "{\n"
+       << "  \"schema\": \"" << kMachineSchema << "\",\n"
+       << "  \"name\": \"" << json::escape(profile.name) << "\",\n";
+    if (!profile.description.empty())
+        os << "  \"description\": \""
+           << json::escape(profile.description) << "\",\n";
+    if (!profile.isa.empty())
+        os << "  \"isa\": \"" << json::escape(profile.isa) << "\",\n";
+    os << "  \"topology\": {\n"
+       << "    \"domains\": " << t.domains << ",\n"
+       << "    \"coresPerDomain\": " << t.coresPerDomain << ",\n"
+       << "    \"smtPerCore\": " << t.smtPerCore << ",\n"
+       << "    \"domainDistanceCycles\": [";
+    for (std::size_t i = 0; i < t.domainDistanceCycles.size(); ++i)
+        os << (i ? ", " : "") << t.domainDistanceCycles[i];
+    os << "]";
+    if (t.smtSiblingTransferCycles >= 0)
+        os << ",\n    \"smtSiblingTransferCycles\": "
+           << t.smtSiblingTransferCycles;
+    os << "\n  },\n"
+       << "  \"atomics\": {\n"
+       << "    \"mode\": \"" << (profile.llscMode ? "llsc" : "amo")
+       << "\",\n"
+       << "    \"casRetryCycles\": " << profile.casRetryCycles;
+    if (profile.llscMode)
+        os << ",\n    \"llscRetryCycles\": "
+           << profile.llscRetryCycles;
+    os << ",\n    \"costs\": {\n";
+    for (int op = 0; op < kNumAtomicOps; ++op) {
+        os << "      \"" << kOpKeys[op] << "\": {";
+        for (int state = 0; state < kNumCoherenceStates; ++state)
+            os << (state ? ", " : "") << "\"" << kStateKeys[state]
+               << "\": " << profile.atomicCycles[op][state];
+        os << "}" << (op + 1 < kNumAtomicOps ? "," : "") << "\n";
+    }
+    os << "    }\n"
+       << "  },\n"
+       << "  \"execution\": {\n"
+       << "    \"workUnitCycles\": " << profile.workUnitCycles
+       << ",\n"
+       << "    \"loadOccupancyCycles\": " << profile.loadOccupancy
+       << "\n  },\n"
+       << "  \"scheduler\": {\n"
+       << "    \"parkCycles\": " << profile.parkCycles << ",\n"
+       << "    \"wakeCyclesPerWaiter\": "
+       << profile.wakeCyclesPerWaiter << ",\n"
+       << "    \"wakeLatencyCycles\": " << profile.wakeLatencyCycles
+       << ",\n"
+       << "    \"spinResumeCycles\": " << profile.spinResumeCycles
+       << ",\n"
+       << "    \"criticalOpCycles\": " << profile.criticalOpCycles
+       << "\n  }\n"
+       << "}\n";
+    return os.str();
+}
+
+namespace {
+
+/** Built-in + file-loaded profile registry (cached by spec). */
+class ProfileRegistry
+{
+  public:
+    ProfileRegistry()
+    {
+        for (const auto& builtin : kBuiltinMachineJson) {
+            MachineProfile profile;
+            std::string error;
+            if (!parseMachineProfile(builtin.json,
+                                     std::string("builtin '") +
+                                         builtin.name + "'",
+                                     profile, error))
+                fatal("embedded machine profile is invalid -- " +
+                      error);
+            panicIf(profile.name != builtin.name,
+                    "embedded machine profile name mismatch");
+            names_.push_back(profile.name);
+            cache_.emplace(profile.name, std::move(profile));
+        }
+    }
+
+    const MachineProfile&
+    resolve(const std::string& spec)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(spec);
+        if (it != cache_.end())
+            return it->second;
+        const bool looksLikeFile =
+            spec.find('/') != std::string::npos ||
+            (spec.size() > 5 &&
+             spec.compare(spec.size() - 5, 5, ".json") == 0);
+        if (!looksLikeFile) {
+            std::string known;
+            for (const auto& name : names_)
+                known += (known.empty() ? "" : ", ") + name;
+            fatal("unknown machine '" + spec +
+                  "' (built-ins: " + known +
+                  "; a path or *.json loads a profile file)");
+        }
+        std::ifstream in(spec);
+        if (!in)
+            fatal("cannot read machine profile '" + spec + "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        MachineProfile profile;
+        std::string error;
+        if (!parseMachineProfile(text.str(), spec, profile, error))
+            fatal("invalid machine profile -- " + error);
+        return cache_.emplace(spec, std::move(profile)).first->second;
+    }
+
+    std::vector<std::string> names() const { return names_; }
+
+  private:
+    std::mutex mutex_;
+    std::map<std::string, MachineProfile> cache_;
+    std::vector<std::string> names_;
+};
+
+ProfileRegistry&
+registry()
+{
+    static ProfileRegistry instance;
     return instance;
 }
 
 } // namespace
 
 const MachineProfile&
-machineProfile(const std::string& name)
+machineProfile(const std::string& spec)
 {
-    for (const auto& profile : profiles())
-        if (profile.name == name)
-            return profile;
-    fatal("unknown machine profile '" + name + "'");
+    return registry().resolve(spec);
 }
 
 std::vector<std::string>
 machineProfileNames()
 {
-    std::vector<std::string> names;
-    for (const auto& profile : profiles())
-        names.push_back(profile.name);
-    return names;
+    return registry().names();
 }
 
 } // namespace splash

@@ -1,22 +1,43 @@
 /**
  * @file
- * Machine cost profiles for the virtual-time simulation engine.
+ * Data-driven machine cost profiles for the virtual-time simulation
+ * engine.
  *
- * A profile captures, in cycles, the costs that differentiate lock-based
- * from lock-free synchronization on a real multicore: cache-line
- * transfer latency between cores, local RMW latency, and the
- * futex-style park/wake penalties paid by sleeping mutexes and
- * condition-variable barriers.  Two profiles mirror the paper's
- * evaluation targets: a 64-core AMD EPYC 7702 ("epyc64", chiplet-based,
- * expensive cross-CCX transfers, heavyweight OS wakeups) and a gem5-20
- * simulated 64-core Intel Ice Lake mesh ("icelake64", lower uniform
- * latencies).  Absolute values are plausible magnitudes, not calibrated
- * measurements; the experiments only rely on their relative ordering.
+ * A profile captures, in cycles, what differentiates lock-based from
+ * lock-free synchronization on a real multicore — and it does so per
+ * *coherence state*, not per construct: Schweizer et al. ("Evaluating
+ * the Cost of Atomic Operations on Modern Architectures", PAPERS.md)
+ * measured that a CAS on an Modified-owned line, a Shared line needing
+ * an upgrade, and an Invalid line needing a transfer differ by an order
+ * of magnitude, and differ again across NUMA distance.  The profile is
+ * therefore:
+ *
+ *  - a topology: domains (sockets/CCX groups) x cores x SMT threads
+ *    per core, with per-domain-distance transfer penalties and an
+ *    optional cheap SMT-sibling transfer (the SPARC T3 regime);
+ *  - an atomic cost table keyed by (op class: load/store/CAS/FAA/SWP)
+ *    x (coherence state: owned / shared / invalid-local-domain /
+ *    invalid-remote-domain);
+ *  - an atomic *mode*: AMO machines retry failed CAS at
+ *    casRetryCycles, LL/SC machines (RISC-V LR/SC) pay the distinct —
+ *    typically much larger — llscRetryCycles per failed attempt;
+ *  - scheduler costs: futex park/wake penalties paid by sleeping
+ *    mutexes and condition-variable barriers.
+ *
+ * Profiles are data, not code: built-ins (epyc64, icelake64, t3-512,
+ * sg2044, test4) are embedded copies of the JSON files under machines/
+ * in the source tree, parsed by the same strict splash4-machine-v1 loader
+ * that reads user-supplied files, so `--machine=path/to/host.json`
+ * adds a machine without recompiling (docs/MACHINES.md; the
+ * tools/calibrate binary emits such a file from measurements of the
+ * host).  Absolute values are plausible magnitudes, not claims; the
+ * experiments rely on their relative ordering.
  */
 
 #ifndef SPLASH_SIM_MACHINE_H
 #define SPLASH_SIM_MACHINE_H
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,34 +46,167 @@
 
 namespace splash {
 
+/** Schema identifier accepted by the profile loader. */
+inline constexpr const char* kMachineSchema = "splash4-machine-v1";
+
+/** Atomic operation classes priced by the cost table. */
+enum class AtomicOp
+{
+    Load,  ///< acquire load of a sync variable
+    Store, ///< release store (sense flip, Chase-Lev bottom)
+    Cas,   ///< compare&swap (locks, Treiber stack, CAS reductions)
+    Faa,   ///< fetch&add (tickets, barrier arrival counters)
+    Swp,   ///< atomic exchange (flag set)
+};
+inline constexpr int kNumAtomicOps = 5;
+
+/** Coherence state of the accessed line, from the requester's side. */
+enum class CoherenceState
+{
+    Owned,         ///< exclusively held by the requester (M/E)
+    Shared,        ///< requester holds a shared copy (upgrade on RMW)
+    InvalidLocal,  ///< held elsewhere in the requester's domain
+    InvalidRemote, ///< held in another domain (or only in memory)
+};
+inline constexpr int kNumCoherenceStates = 4;
+
+/** Distance a modeled line transfer traveled (characterization). */
+enum class TransferScope
+{
+    SameCore,    ///< SMT-sibling supply or in-place upgrade
+    SameDomain,  ///< core-to-core within one domain
+    CrossDomain, ///< domain-to-domain (NUMA/interconnect hop)
+    Memory,      ///< first touch: fetched from memory
+};
+inline constexpr int kNumTransferScopes = 4;
+
+const char* toString(AtomicOp op);
+const char* toString(CoherenceState state);
+const char* toString(TransferScope scope);
+
+/**
+ * Physical layout: domains x cores x SMT.  Simulated thread tids map
+ * onto hardware threads compactly (SMT-first, then cores, then
+ * domains), mirroring a packed OS pinning: tids [0, smtPerCore) share
+ * core 0 of domain 0.
+ */
+struct MachineTopology
+{
+    int domains = 1;        ///< sockets / NUMA domains / CCX groups
+    int coresPerDomain = 1; ///< physical cores per domain
+    int smtPerCore = 1;     ///< hardware threads per core
+    /**
+     * Extra transfer cycles by inter-domain hop distance; index is
+     * |domainA - domainB|, entry 0 (same domain) must be 0.  Length
+     * equals `domains`, so every possible hop is priced explicitly.
+     */
+    std::vector<VTime> domainDistanceCycles{0};
+    /**
+     * When >= 0: a line supplied by an SMT sibling (same core) costs
+     * this flat amount instead of the table's invalid-state price —
+     * heavy-SMT parts (SPARC T3) share L1 between siblings.  -1
+     * disables the shortcut.
+     */
+    std::int64_t smtSiblingTransferCycles = -1;
+
+    int totalThreads() const
+    {
+        return domains * coresPerDomain * smtPerCore;
+    }
+    int coreOf(int tid) const { return tid / smtPerCore; }
+    int domainOf(int tid) const
+    {
+        return coreOf(tid) / coresPerDomain;
+    }
+};
+
 /** Cost model parameters (all latencies in cycles). */
 struct MachineProfile
 {
     std::string name;
-    int maxThreads = 64;
+    std::string description;
+    std::string isa; ///< informational ("x86-64", "sparc-v9", ...)
 
-    VTime workUnitCycles = 1;    ///< cycles per ctx.work() unit
-    VTime loadLocalCycles = 4;   ///< load hitting the local cache
-    VTime loadRemoteCycles = 60; ///< load that must fetch the line
-    VTime loadOccupancy = 10;    ///< serialization window of a miss
-    VTime rmwLocalCycles = 20;   ///< RMW on an owned line
-    VTime rmwRemoteCycles = 100; ///< RMW needing a line transfer
-    VTime casRetryCycles = 30;   ///< extra cost per failed CAS attempt
+    MachineTopology topology;
 
-    VTime parkCycles = 1000;     ///< going to sleep on a futex
+    /** cycles[op][state]; see cost(). */
+    std::array<std::array<VTime, kNumCoherenceStates>, kNumAtomicOps>
+        atomicCycles{};
+
+    /**
+     * Atomic mode.  false = AMO (x86/SPARC-style single-instruction
+     * RMW; failed CAS costs casRetryCycles).  true = LL/SC (RISC-V
+     * LR/SC; a failed CAS loses its reservation and pays the distinct
+     * llscRetryCycles round trip).  FAA/SWP are single AMOs on both.
+     */
+    bool llscMode = false;
+    VTime casRetryCycles = 30;  ///< extra cost per failed CAS (AMO)
+    VTime llscRetryCycles = 0;  ///< extra cost per failed SC (LL/SC)
+
+    VTime workUnitCycles = 1; ///< cycles per ctx.work() unit
+    VTime loadOccupancy = 10; ///< serialization window of a load miss
+
+    VTime parkCycles = 1000;         ///< going to sleep on a futex
     VTime wakeCyclesPerWaiter = 250; ///< waker-side cost per wakeup
     VTime wakeLatencyCycles = 1200;  ///< sleep-to-running latency
-    VTime spinResumeCycles = 40;     ///< spinner notices the flipped line
+    VTime spinResumeCycles = 40;     ///< spinner notices flipped line
 
     /** Critical-section body cost for locked counters/sums. */
     VTime criticalOpCycles = 15;
+
+    /**
+     * FNV-1a of the canonical serialization: two profiles hash equal
+     * iff every cost and topology field matches.  Job ids cover this
+     * (not the name), so cached results cannot alias across profiles.
+     */
+    std::string contentHash;
+
+    /** Simulated threads this machine can run (= hardware threads). */
+    int maxThreads() const { return topology.totalThreads(); }
+
+    /** Table lookup (no topology adjustments; see SimLine). */
+    VTime
+    cost(AtomicOp op, CoherenceState state) const
+    {
+        return atomicCycles[static_cast<int>(op)]
+                           [static_cast<int>(state)];
+    }
+
+    /** Cost of one failed attempt of @p op's retry loop. */
+    VTime
+    retryCycles(AtomicOp op) const
+    {
+        return (llscMode && op == AtomicOp::Cas) ? llscRetryCycles
+                                                 : casRetryCycles;
+    }
 };
 
-/** Look up a profile by name (fatal if unknown). */
-const MachineProfile& machineProfile(const std::string& name);
+/**
+ * Resolve a machine spec: a built-in name (`epyc64`) or a path to a
+ * splash4-machine-v1 JSON file (anything containing '/' or ending in
+ * `.json`).  Loaded files are cached by spec; fatal on unknown names,
+ * unreadable files, or validation failures.
+ */
+const MachineProfile& machineProfile(const std::string& spec);
 
 /** Names of all built-in profiles. */
 std::vector<std::string> machineProfileNames();
+
+/**
+ * Parse and validate splash4-machine-v1 JSON text.  On success fills
+ * @p out (including contentHash) and returns true; otherwise returns
+ * false with a one-line reason in @p error.  @p origin names the
+ * source in error messages.
+ */
+bool parseMachineProfile(const std::string& text,
+                         const std::string& origin, MachineProfile& out,
+                         std::string& error);
+
+/** Serialize @p profile as splash4-machine-v1 JSON (loader-clean). */
+std::string machineProfileToJson(const MachineProfile& profile);
+
+/** Canonical one-line text covering every result-shaping field. */
+std::string machineProfileCanonicalText(const MachineProfile& profile);
 
 } // namespace splash
 

@@ -1,0 +1,370 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace splash {
+namespace json {
+
+const Value*
+Value::find(const std::string& key) const
+{
+    for (const auto& [name, value] : members_)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+const char*
+Value::kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return "bool";
+      case Kind::Number:
+        return "number";
+      case Kind::String:
+        return "string";
+      case Kind::Array:
+        return "array";
+      case Kind::Object:
+        return "object";
+    }
+    return "?";
+}
+
+/** Recursive-descent parser with line/column tracking. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    bool
+    run(Value& out, std::string& error)
+    {
+        if (!parseValue(out) || !(skipSpace(), atEnd())) {
+            if (ok_) // trailing garbage after a valid document
+                fail("trailing content after the JSON document");
+            error = error_;
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    atEnd() const
+    {
+        return pos_ >= text_.size();
+    }
+
+    char
+    peek() const
+    {
+        return atEnd() ? '\0' : text_[pos_];
+    }
+
+    char
+    take()
+    {
+        const char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    void
+    skipSpace()
+    {
+        while (!atEnd() && (peek() == ' ' || peek() == '\t' ||
+                            peek() == '\n' || peek() == '\r'))
+            take();
+    }
+
+    bool
+    fail(const std::string& what)
+    {
+        if (ok_) {
+            std::ostringstream os;
+            os << what << " at line " << line_ << ":" << column_;
+            error_ = os.str();
+            ok_ = false;
+        }
+        return false;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (peek() != c)
+            return fail(std::string("expected '") + c + "'");
+        take();
+        return true;
+    }
+
+    bool
+    parseValue(Value& out)
+    {
+        skipSpace();
+        if (atEnd())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case '{':
+            return parseObject(out);
+          case '[':
+            return parseArray(out);
+          case '"':
+            out.kind_ = Value::Kind::String;
+            return parseString(out.string_);
+          case 't':
+          case 'f':
+            return parseKeyword(out);
+          case 'n':
+            return parseKeyword(out);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Value& out)
+    {
+        out.kind_ = Value::Kind::Object;
+        take(); // '{'
+        skipSpace();
+        if (peek() == '}') {
+            take();
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (!expect(':'))
+                return false;
+            Value child;
+            if (!parseValue(child))
+                return false;
+            out.members_.emplace_back(std::move(key),
+                                      std::move(child));
+            skipSpace();
+            if (peek() == ',') {
+                take();
+                continue;
+            }
+            return expect('}');
+        }
+    }
+
+    bool
+    parseArray(Value& out)
+    {
+        out.kind_ = Value::Kind::Array;
+        take(); // '['
+        skipSpace();
+        if (peek() == ']') {
+            take();
+            return true;
+        }
+        for (;;) {
+            Value child;
+            if (!parseValue(child))
+                return false;
+            out.items_.push_back(std::move(child));
+            skipSpace();
+            if (peek() == ',') {
+                take();
+                continue;
+            }
+            return expect(']');
+        }
+    }
+
+    bool
+    parseString(std::string& out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        for (;;) {
+            if (atEnd())
+                return fail("unterminated string");
+            const char c = take();
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (atEnd())
+                return fail("unterminated escape");
+            const char esc = take();
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out.push_back(esc);
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (atEnd() || !std::isxdigit(
+                                       static_cast<unsigned char>(peek())))
+                        return fail("bad \\u escape");
+                    const char h = take();
+                    code = code * 16 +
+                           static_cast<unsigned>(
+                               h <= '9' ? h - '0'
+                                        : (h | 0x20) - 'a' + 10);
+                }
+                // UTF-8 encode the BMP code point (profiles are
+                // ASCII in practice; surrogate pairs unsupported).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    parseKeyword(Value& out)
+    {
+        static const struct
+        {
+            const char* word;
+            Value::Kind kind;
+            bool value;
+        } keywords[] = {
+            {"true", Value::Kind::Bool, true},
+            {"false", Value::Kind::Bool, false},
+            {"null", Value::Kind::Null, false},
+        };
+        for (const auto& kw : keywords) {
+            const std::size_t len = std::string(kw.word).size();
+            if (text_.compare(pos_, len, kw.word) == 0) {
+                for (std::size_t i = 0; i < len; ++i)
+                    take();
+                out.kind_ = kw.kind;
+                out.bool_ = kw.value;
+                return true;
+            }
+        }
+        return fail("unexpected token");
+    }
+
+    bool
+    parseNumber(Value& out)
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            take();
+        while (!atEnd() &&
+               (std::isdigit(static_cast<unsigned char>(peek())) ||
+                peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                peek() == '+' || peek() == '-'))
+            take();
+        if (pos_ == start)
+            return fail("unexpected token");
+        const std::string token = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        out.number_ = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("malformed number '" + token + "'");
+        out.kind_ = Value::Kind::Number;
+        return true;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+    std::size_t line_ = 1;
+    std::size_t column_ = 1;
+    bool ok_ = true;
+    std::string error_;
+};
+
+bool
+parse(const std::string& text, Value& out, std::string& error)
+{
+    return Parser(text).run(out, error);
+}
+
+std::string
+escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace json
+} // namespace splash

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal JSON reader shared by the machine-profile loader and the
+ * calibration tool.
+ *
+ * The suite's exporters (Sync-Scope, the result store) write JSON with
+ * hand-rolled emitters; this is the matching *reader* for the places
+ * that must consume JSON — currently the splash4-machine-v1 profile
+ * files.  It is a strict recursive-descent parser over the full JSON
+ * grammar (objects, arrays, strings with escapes, numbers, booleans,
+ * null) with two deliberate properties the loader depends on:
+ *
+ *  - object member order is preserved, so validators can report the
+ *    first offending key deterministically;
+ *  - parse errors carry a line/column position, so a typo in a
+ *    user-supplied machine file points at the byte that broke.
+ *
+ * No dependencies beyond the standard library; numbers are held as
+ * doubles (machine-profile cycle counts stay far below 2^53).
+ */
+
+#ifndef SPLASH_UTIL_JSON_H
+#define SPLASH_UTIL_JSON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace splash {
+namespace json {
+
+/** One parsed JSON value (a tree; children owned by value). */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Value() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; only valid for the matching kind. */
+    bool asBool() const { return bool_; }
+    double asNumber() const { return number_; }
+    const std::string& asString() const { return string_; }
+
+    /** Array elements in order (empty unless isArray()). */
+    const std::vector<Value>& items() const { return items_; }
+
+    /** Object members in file order (empty unless isObject()). */
+    const std::vector<std::pair<std::string, Value>>&
+    members() const
+    {
+        return members_;
+    }
+
+    /** First member named @p key, or nullptr. */
+    const Value* find(const std::string& key) const;
+
+    /** Human-readable kind name for error messages. */
+    static const char* kindName(Kind kind);
+
+  private:
+    friend class Parser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> items_;
+    std::vector<std::pair<std::string, Value>> members_;
+};
+
+/**
+ * Parse @p text as one JSON document.  On success returns true and
+ * fills @p out; on failure returns false and sets @p error to a
+ * one-line description with 1-based line:column position.  Trailing
+ * non-whitespace after the document is an error.
+ */
+bool parse(const std::string& text, Value& out, std::string& error);
+
+/** JSON string escaping for emitters (quotes not included). */
+std::string escape(const std::string& text);
+
+} // namespace json
+} // namespace splash
+
+#endif // SPLASH_UTIL_JSON_H

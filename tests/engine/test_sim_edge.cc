@@ -49,6 +49,9 @@ TEST(SimEdge, MaxThreadsSupported)
 
 TEST(SimEdge, SixtyFiveThreadsRejected)
 {
+    // A 65th thread used to alias onto tid 0 in the 64-bit sharer
+    // mask; now any oversubscription of the machine's modeled
+    // hardware threads is fatal at startup.
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
     EXPECT_DEATH(
         {
@@ -56,7 +59,33 @@ TEST(SimEdge, SixtyFiveThreadsRejected)
             SimEngine engine(world, prof());
             engine.run([](Context&) {});
         },
-        "at most 64");
+        "65 threads but machine 'test4' models only 64");
+}
+
+TEST(SimEdge, BigMachineRunsBeyondSixtyFourThreads)
+{
+    // t3-512 models 512 hardware threads; 65+ must work, not alias.
+    World world(80, SuiteVersion::Splash4);
+    auto bar = world.createBarrier();
+    SimEngine engine(world, machineProfile("t3-512"));
+    auto outcome = engine.run([&](Context& ctx) {
+        ctx.work(10);
+        ctx.barrier(bar);
+    });
+    EXPECT_EQ(outcome.status, RunStatus::Ok);
+    EXPECT_EQ(outcome.perThread.size(), 80u);
+}
+
+TEST(SimEdge, FiveHundredThirteenThreadsRejected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            World world(513, SuiteVersion::Splash4);
+            SimEngine engine(world, machineProfile("t3-512"));
+            engine.run([](Context&) {});
+        },
+        "513 threads but machine 't3-512' models only 512");
 }
 
 TEST(SimEdge, PureComputeMakespanIsMaxNotSum)

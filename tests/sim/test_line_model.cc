@@ -9,22 +9,30 @@ class LineModelTest : public ::testing::Test
 {
   protected:
     const MachineProfile& prof_ = machineProfile("test4");
+
+    VTime
+    cost(AtomicOp op, CoherenceState state) const
+    {
+        return prof_.cost(op, state);
+    }
 };
 
-TEST_F(LineModelTest, FirstRmwPaysTransfer)
+TEST_F(LineModelTest, FirstRmwPaysMemoryFetch)
 {
     SimLine line;
-    const VTime done = line.rmw(0, 100, prof_);
-    EXPECT_EQ(done, 100 + prof_.rmwRemoteCycles);
+    const VTime done = line.rmw(0, 100, prof_, AtomicOp::Cas);
+    EXPECT_EQ(done, 100 + cost(AtomicOp::Cas,
+                               CoherenceState::InvalidRemote));
     EXPECT_EQ(line.transferCount(), 1u);
+    EXPECT_EQ(line.transferCount(TransferScope::Memory), 1u);
 }
 
-TEST_F(LineModelTest, RepeatedOwnerRmwIsLocal)
+TEST_F(LineModelTest, RepeatedOwnerRmwIsOwned)
 {
     SimLine line;
-    VTime t = line.rmw(0, 0, prof_);
-    const VTime t2 = line.rmw(0, t, prof_);
-    EXPECT_EQ(t2 - t, prof_.rmwLocalCycles);
+    VTime t = line.rmw(0, 0, prof_, AtomicOp::Faa);
+    const VTime t2 = line.rmw(0, t, prof_, AtomicOp::Faa);
+    EXPECT_EQ(t2 - t, cost(AtomicOp::Faa, CoherenceState::Owned));
     EXPECT_EQ(line.transferCount(), 1u);
 }
 
@@ -33,56 +41,149 @@ TEST_F(LineModelTest, ContendedRmwsSerialize)
     SimLine line;
     // Two threads arrive at the same instant; the second's RMW cannot
     // start before the first completes.
-    const VTime first = line.rmw(0, 50, prof_);
-    const VTime second = line.rmw(1, 50, prof_);
-    EXPECT_GE(second, first + prof_.rmwRemoteCycles);
+    const VTime first = line.rmw(0, 50, prof_, AtomicOp::Cas);
+    const VTime second = line.rmw(1, 50, prof_, AtomicOp::Cas);
+    EXPECT_GE(second, first + cost(AtomicOp::Cas,
+                                   CoherenceState::InvalidLocal));
 }
 
 TEST_F(LineModelTest, SharerLoadIsLocal)
 {
     SimLine line;
     const VTime miss = line.load(2, 10, prof_);
-    EXPECT_EQ(miss, 10 + prof_.loadRemoteCycles);
+    EXPECT_EQ(miss, 10 + cost(AtomicOp::Load,
+                              CoherenceState::InvalidRemote));
     const VTime hit = line.load(2, miss, prof_);
-    EXPECT_EQ(hit, miss + prof_.loadLocalCycles);
+    EXPECT_EQ(hit, miss + cost(AtomicOp::Load,
+                               CoherenceState::Shared));
 }
 
 TEST_F(LineModelTest, RmwInvalidatesSharers)
 {
     SimLine line;
     (void)line.load(1, 0, prof_);
-    (void)line.rmw(0, 1000, prof_);
+    (void)line.rmw(0, 1000, prof_, AtomicOp::Cas);
     // Thread 1 lost the line; its next load is a miss again.
     const VTime reload = line.load(1, 5000, prof_);
-    EXPECT_EQ(reload, 5000 + prof_.loadRemoteCycles);
+    EXPECT_EQ(reload, 5000 + cost(AtomicOp::Load,
+                                  CoherenceState::InvalidLocal));
 }
 
 TEST_F(LineModelTest, OwnerRmwAfterForeignLoadPaysAgain)
 {
     SimLine line;
-    VTime t = line.rmw(0, 0, prof_);
+    VTime t = line.rmw(0, 0, prof_, AtomicOp::Cas);
     (void)line.load(1, t, prof_);
     // The line was demoted to shared; even the old owner pays the
     // upgrade on its next RMW.
     const VTime before = line.transferCount();
-    (void)line.rmw(0, 10000, prof_);
+    (void)line.rmw(0, 10000, prof_, AtomicOp::Cas);
     EXPECT_EQ(line.transferCount(), before + 1);
+}
+
+TEST_F(LineModelTest, SoleSharerUpgradeIsSameCoreScope)
+{
+    SimLine line;
+    (void)line.load(3, 0, prof_);
+    // tid 3 holds the only copy but not ownership; its RMW upgrades
+    // in place (Shared price, no data motion beyond the invalidate).
+    const VTime t = line.rmw(3, 1000, prof_, AtomicOp::Cas);
+    EXPECT_EQ(t, 1000 + cost(AtomicOp::Cas, CoherenceState::Shared));
+    EXPECT_EQ(line.transferCount(TransferScope::SameCore), 1u);
+}
+
+TEST(SharerSetTest, TracksThreadsBeyondSixtyFour)
+{
+    SharerSet set;
+    // The old bitmask aliased tid & 63: tid 64 looked like tid 0.
+    set.add(64);
+    EXPECT_TRUE(set.contains(64));
+    EXPECT_FALSE(set.contains(0));
+    set.add(0);
+    set.add(511);
+    EXPECT_EQ(set.count(), 3);
+    std::vector<int> seen;
+    set.forEach([&](int tid) { seen.push_back(tid); });
+    EXPECT_EQ(seen, (std::vector<int>{0, 64, 511}));
+    EXPECT_FALSE(set.soleMember(64));
+    set.assign(64);
+    EXPECT_TRUE(set.soleMember(64));
+    EXPECT_EQ(set.count(), 1);
+}
+
+TEST(LineModelBigMachine, HighTidsDoNotAliasLowTids)
+{
+    const MachineProfile& prof = machineProfile("t3-512");
+    SimLine line;
+    (void)line.rmw(0, 0, prof, AtomicOp::Cas);
+    // Old model: bit(64) == bit(0), so tid 64 looked like the owner
+    // and was charged the cheap owned price.  Now it must pay a
+    // transfer.
+    const std::uint64_t before = line.transferCount();
+    (void)line.rmw(64, 100000, prof, AtomicOp::Cas);
+    EXPECT_EQ(line.transferCount(), before + 1);
+}
+
+TEST(LineModelBigMachine, SmtSiblingSupplyIsCheap)
+{
+    const MachineProfile& prof = machineProfile("t3-512");
+    ASSERT_EQ(prof.topology.smtPerCore, 8);
+    ASSERT_GE(prof.topology.smtSiblingTransferCycles, 0);
+    SimLine line;
+    VTime t = line.rmw(0, 0, prof, AtomicOp::Cas);
+    // tid 1 is an SMT sibling of tid 0 (same core): flat cheap price.
+    const VTime done = line.rmw(1, t, prof, AtomicOp::Cas);
+    EXPECT_EQ(done - t, static_cast<VTime>(
+                            prof.topology.smtSiblingTransferCycles));
+    EXPECT_EQ(line.transferCount(TransferScope::SameCore), 1u);
+    // tid 8 is another core in the same domain: invalid-local price.
+    const VTime far = line.rmw(8, done, prof, AtomicOp::Cas);
+    EXPECT_EQ(far - done, prof.cost(AtomicOp::Cas,
+                                    CoherenceState::InvalidLocal));
+    EXPECT_EQ(line.transferCount(TransferScope::SameDomain), 1u);
+}
+
+TEST(LineModelBigMachine, CrossDomainAddsDistance)
+{
+    const MachineProfile& prof = machineProfile("t3-512");
+    SimLine line;
+    VTime t = line.rmw(0, 0, prof, AtomicOp::Cas); // domain 0
+    // tid 384 lives in domain 3: base invalid-remote plus 3 hops.
+    ASSERT_EQ(prof.topology.domainOf(384), 3);
+    const VTime done = line.rmw(384, t, prof, AtomicOp::Cas);
+    EXPECT_EQ(done - t,
+              prof.cost(AtomicOp::Cas, CoherenceState::InvalidRemote) +
+                  prof.topology.domainDistanceCycles[3]);
+    EXPECT_EQ(line.transferCount(TransferScope::CrossDomain), 1u);
 }
 
 TEST(MachineProfiles, KnownNamesResolve)
 {
     for (const auto& name : machineProfileNames())
         EXPECT_EQ(machineProfile(name).name, name);
-    EXPECT_GE(machineProfileNames().size(), 3u);
+    EXPECT_GE(machineProfileNames().size(), 5u);
 }
 
 TEST(MachineProfiles, EpycPricierThanIcelake)
 {
     const auto& epyc = machineProfile("epyc64");
     const auto& ice = machineProfile("icelake64");
-    EXPECT_GT(epyc.rmwRemoteCycles, ice.rmwRemoteCycles);
+    EXPECT_GT(epyc.cost(AtomicOp::Cas, CoherenceState::InvalidLocal),
+              ice.cost(AtomicOp::Cas, CoherenceState::InvalidLocal));
     EXPECT_GT(epyc.wakeLatencyCycles, ice.wakeLatencyCycles);
     EXPECT_GT(epyc.parkCycles, ice.parkCycles);
+}
+
+TEST(MachineProfiles, LlscRetryDistinctFromCas)
+{
+    const auto& sg = machineProfile("sg2044");
+    EXPECT_TRUE(sg.llscMode);
+    EXPECT_GT(sg.llscRetryCycles, sg.casRetryCycles);
+    EXPECT_EQ(sg.retryCycles(AtomicOp::Cas), sg.llscRetryCycles);
+    EXPECT_EQ(sg.retryCycles(AtomicOp::Faa), sg.casRetryCycles);
+    const auto& epyc = machineProfile("epyc64");
+    EXPECT_FALSE(epyc.llscMode);
+    EXPECT_EQ(epyc.retryCycles(AtomicOp::Cas), epyc.casRetryCycles);
 }
 
 } // namespace

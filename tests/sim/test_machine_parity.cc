@@ -1,0 +1,85 @@
+// Bit-identical parity against the pre-refactor hardcoded machine
+// profiles.  The goldens in parity_golden.inc were captured from the
+// PR 8 tree (commit d9dc541), before MachineProfile grew topology and
+// coherence-state cost tables; the data-driven epyc64/icelake64
+// profiles must reproduce every simCycles and lineTransfers value
+// exactly.  A mismatch here means the refactor changed cost semantics,
+// not just representation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "engine/engine.h"
+#include "harness/presets.h"
+#include "harness/suite.h"
+
+namespace splash {
+namespace {
+
+struct GoldenRow {
+    const char* benchmark;
+    const char* suite;
+    const char* machine;
+    int threads;
+    std::uint64_t simCycles;
+    std::uint64_t lineTransfers;
+};
+
+const GoldenRow kGolden[] = {
+#include "parity_golden.inc"
+};
+
+SuiteVersion
+suiteFromName(const std::string& name)
+{
+    return name == "splash3" ? SuiteVersion::Splash3
+                             : SuiteVersion::Splash4;
+}
+
+TEST(MachineParity, GoldensAreComplete)
+{
+    // 12 benchmarks x 2 suites x 2 machines x 2 thread counts.
+    EXPECT_EQ(std::size(kGolden), 96u);
+}
+
+class MachineParityRow
+    : public ::testing::TestWithParam<GoldenRow>
+{
+};
+
+TEST_P(MachineParityRow, BitIdentical)
+{
+    const GoldenRow& row = GetParam();
+    RunConfig config;
+    config.threads = row.threads;
+    config.suite = suiteFromName(row.suite);
+    config.engine = EngineKind::Sim;
+    config.profile = row.machine;
+    config.params = benchParams(row.benchmark, 0.1);
+    const RunResult result = runBenchmark(row.benchmark, config);
+    ASSERT_TRUE(result.verified) << result.verifyMessage;
+    EXPECT_EQ(result.simCycles, row.simCycles);
+    EXPECT_EQ(result.lineTransfers, row.lineTransfers);
+}
+
+std::string
+rowName(const ::testing::TestParamInfo<GoldenRow>& info)
+{
+    std::string name = std::string(info.param.benchmark) + "_" +
+                       info.param.suite + "_" + info.param.machine +
+                       "_t" + std::to_string(info.param.threads);
+    for (char& c : name)
+        if (c == '-' || c == '.')
+            c = '_';
+    return name;
+}
+
+struct RegisterBenchmarks {
+    RegisterBenchmarks() { registerAllBenchmarks(); }
+} registerBenchmarksOnce;
+
+INSTANTIATE_TEST_SUITE_P(Golden, MachineParityRow,
+                         ::testing::ValuesIn(kGolden), rowName);
+
+} // namespace
+} // namespace splash

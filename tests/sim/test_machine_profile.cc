@@ -1,0 +1,225 @@
+// Loader contract for splash4-machine-v1 profile files: round-trips
+// through the emitter, rejects malformed or unknown input loudly, and
+// resolves file paths without recompiling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "sim/machine.h"
+
+namespace splash {
+namespace {
+
+std::string
+validJson()
+{
+    return machineProfileToJson(machineProfile("test4"));
+}
+
+bool
+parse(const std::string& text, MachineProfile& out, std::string& error)
+{
+    return parseMachineProfile(text, "test-input", out, error);
+}
+
+std::string
+replaced(std::string text, const std::string& from,
+         const std::string& to)
+{
+    const auto pos = text.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    if (pos != std::string::npos)
+        text.replace(pos, from.size(), to);
+    return text;
+}
+
+TEST(MachineProfileLoader, RoundTripPreservesContentHash)
+{
+    for (const auto& name : machineProfileNames()) {
+        const MachineProfile& original = machineProfile(name);
+        MachineProfile reparsed;
+        std::string error;
+        ASSERT_TRUE(parse(machineProfileToJson(original), reparsed,
+                          error))
+            << name << ": " << error;
+        EXPECT_EQ(reparsed.name, original.name);
+        EXPECT_EQ(reparsed.contentHash, original.contentHash) << name;
+        EXPECT_EQ(machineProfileCanonicalText(reparsed),
+                  machineProfileCanonicalText(original));
+        for (int op = 0; op < kNumAtomicOps; ++op)
+            for (int s = 0; s < kNumCoherenceStates; ++s)
+                EXPECT_EQ(reparsed.atomicCycles[op][s],
+                          original.atomicCycles[op][s]);
+    }
+}
+
+TEST(MachineProfileLoader, ContentHashIgnoresNameAndDescription)
+{
+    MachineProfile a;
+    MachineProfile b;
+    std::string error;
+    ASSERT_TRUE(parse(validJson(), a, error)) << error;
+    std::string renamed =
+        replaced(validJson(), "\"test4\"", "\"other-name\"");
+    ASSERT_TRUE(parse(renamed, b, error)) << error;
+    EXPECT_NE(a.name, b.name);
+    EXPECT_EQ(a.contentHash, b.contentHash);
+}
+
+TEST(MachineProfileLoader, ContentHashCoversCosts)
+{
+    MachineProfile a;
+    MachineProfile b;
+    std::string error;
+    ASSERT_TRUE(parse(validJson(), a, error)) << error;
+    const std::string bumped =
+        replaced(validJson(), "\"casRetryCycles\": 3",
+                 "\"casRetryCycles\": 4");
+    ASSERT_TRUE(parse(bumped, b, error)) << error;
+    EXPECT_NE(a.contentHash, b.contentHash);
+}
+
+TEST(MachineProfileLoader, RejectsWrongSchema)
+{
+    MachineProfile out;
+    std::string error;
+    EXPECT_FALSE(parse(replaced(validJson(), "splash4-machine-v1",
+                                "splash4-machine-v2"),
+                       out, error));
+    EXPECT_NE(error.find("schema"), std::string::npos) << error;
+}
+
+TEST(MachineProfileLoader, RejectsUnknownTopLevelField)
+{
+    MachineProfile out;
+    std::string error;
+    const std::string text = replaced(
+        validJson(), "\"topology\":", "\"frobnicate\": 1, \"topology\":");
+    EXPECT_FALSE(parse(text, out, error));
+    EXPECT_NE(error.find("frobnicate"), std::string::npos) << error;
+}
+
+TEST(MachineProfileLoader, RejectsMissingOpRow)
+{
+    MachineProfile out;
+    std::string error;
+    // Drop the whole swp row (keys are exhaustive, not defaulted).
+    std::string text = validJson();
+    const auto pos = text.find("\"swp\"");
+    ASSERT_NE(pos, std::string::npos);
+    const auto end = text.find('}', pos);
+    ASSERT_NE(end, std::string::npos);
+    auto start = text.rfind(',', pos);
+    ASSERT_NE(start, std::string::npos);
+    text.erase(start, end + 1 - start);
+    EXPECT_FALSE(parse(text, out, error));
+    EXPECT_NE(error.find("swp"), std::string::npos) << error;
+}
+
+TEST(MachineProfileLoader, RejectsMalformedTopology)
+{
+    MachineProfile out;
+    std::string error;
+    EXPECT_FALSE(parse(replaced(validJson(), "\"domains\": 1",
+                                "\"domains\": 0"),
+                       out, error));
+    // Distance vector length must equal the domain count.
+    EXPECT_FALSE(parse(replaced(validJson(),
+                                "\"domainDistanceCycles\": [0]",
+                                "\"domainDistanceCycles\": [0, 40]"),
+                       out, error));
+    // Self-distance must be zero.
+    EXPECT_FALSE(parse(replaced(validJson(),
+                                "\"domainDistanceCycles\": [0]",
+                                "\"domainDistanceCycles\": [7]"),
+                       out, error));
+}
+
+TEST(MachineProfileLoader, RejectsLlscRetryInAmoMode)
+{
+    MachineProfile out;
+    std::string error;
+    const std::string text = replaced(
+        validJson(), "\"casRetryCycles\": 3",
+        "\"casRetryCycles\": 3, \"llscRetryCycles\": 100");
+    EXPECT_FALSE(parse(text, out, error));
+    EXPECT_NE(error.find("llscRetryCycles"), std::string::npos)
+        << error;
+}
+
+TEST(MachineProfileLoader, RequiresLlscRetryInLlscMode)
+{
+    MachineProfile out;
+    std::string error;
+    EXPECT_FALSE(parse(replaced(validJson(), "\"mode\": \"amo\"",
+                                "\"mode\": \"llsc\""),
+                       out, error));
+    EXPECT_NE(error.find("llscRetryCycles"), std::string::npos)
+        << error;
+}
+
+TEST(MachineProfileLoader, RejectsNonJson)
+{
+    MachineProfile out;
+    std::string error;
+    EXPECT_FALSE(parse("not json at all {", out, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(MachineProfileLoader, RejectsBadName)
+{
+    MachineProfile out;
+    std::string error;
+    EXPECT_FALSE(parse(replaced(validJson(), "\"test4\"",
+                                "\"Has Spaces\""),
+                       out, error));
+    EXPECT_NE(error.find("name"), std::string::npos) << error;
+}
+
+TEST(MachineProfileLoader, LoadsProfileFromFile)
+{
+    // --machine=<path.json> must work without recompiling: write a
+    // variant profile to disk and resolve it through the registry.
+    const std::string path =
+        ::testing::TempDir() + "/parity_variant.json";
+    std::string text = replaced(validJson(), "\"test4\"",
+                                "\"file-variant\"");
+    text = replaced(text, "\"workUnitCycles\": 1",
+                    "\"workUnitCycles\": 9");
+    {
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good());
+        out << text;
+    }
+    const MachineProfile& loaded = machineProfile(path);
+    EXPECT_EQ(loaded.name, "file-variant");
+    EXPECT_EQ(loaded.workUnitCycles, 9u);
+    // Cached: resolving the same path returns the same object.
+    EXPECT_EQ(&machineProfile(path), &loaded);
+    std::remove(path.c_str());
+}
+
+TEST(MachineProfileLoader, BuiltinsCoverTheMatrix)
+{
+    const auto names = machineProfileNames();
+    for (const char* required :
+         {"epyc64", "icelake64", "t3-512", "sg2044", "test4"}) {
+        bool found = false;
+        for (const auto& name : names)
+            found = found || name == required;
+        EXPECT_TRUE(found) << required;
+    }
+    EXPECT_EQ(machineProfile("t3-512").maxThreads(), 512);
+    EXPECT_EQ(machineProfile("epyc64").maxThreads(), 64);
+}
+
+TEST(MachineProfileLoader, UnknownNameDiesWithCatalog)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH((void)machineProfile("no-such-machine"), "epyc64");
+}
+
+} // namespace
+} // namespace splash

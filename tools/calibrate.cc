@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Host calibration: measure this machine's atomic costs per coherence
+ * state and emit a splash4-machine-v1 profile, closing the loop from
+ * real hardware back to the simulator (docs/MACHINES.md).
+ *
+ * Method.  All costs are reported in "cycles" defined as the latency
+ * of one dependent integer add, so the profile is frequency-agnostic:
+ *   - owned:          a single pinned thread hammering a private line;
+ *   - shared upgrade: a pinned pair where the partner re-reads the
+ *     line between the measuring thread's RMWs;
+ *   - invalid local / invalid remote: a pinned ping-pong pair placed
+ *     at each topology distance (SMT sibling, same domain, cross
+ *     domain) alternating RMWs on one line, halved for the one-way
+ *     transfer cost.
+ *
+ * Topology comes from Linux sysfs (package/core ids); elsewhere the
+ * host is modeled as one flat domain.  --dry-run skips measurement
+ * and emits a placeholder table (still schema-valid) so CI can smoke
+ * the emit+validate path in milliseconds.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/machine.h"
+#include "util/cli.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace splash {
+namespace {
+
+struct HostCpu {
+    int cpu = 0;
+    int package = 0;
+    int core = 0;
+};
+
+struct HostTopology {
+    std::vector<HostCpu> cpus;
+    int domains = 1;
+    int coresPerDomain = 1;
+    int smtPerCore = 1;
+};
+
+bool
+readSysfsInt(const std::string& path, int& out)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        return false;
+    in >> out;
+    return in.good() || in.eof();
+}
+
+/**
+ * Read package/core ids from sysfs.  Falls back to a flat
+ * 1 x hardware_concurrency x 1 layout off Linux or when sysfs is
+ * unavailable (containers sometimes hide it).
+ */
+HostTopology
+detectTopology()
+{
+    HostTopology topo;
+    const int n = std::max(
+        1u, std::thread::hardware_concurrency());
+    for (int cpu = 0; cpu < n; ++cpu) {
+        HostCpu entry;
+        entry.cpu = cpu;
+        const std::string base = "/sys/devices/system/cpu/cpu" +
+                                 std::to_string(cpu) + "/topology/";
+        if (!readSysfsInt(base + "physical_package_id",
+                          entry.package) ||
+            !readSysfsInt(base + "core_id", entry.core)) {
+            entry.package = 0;
+            entry.core = cpu;
+        }
+        topo.cpus.push_back(entry);
+    }
+    std::set<int> packages;
+    std::set<std::pair<int, int>> cores;
+    for (const HostCpu& cpu : topo.cpus) {
+        packages.insert(cpu.package);
+        cores.insert({cpu.package, cpu.core});
+    }
+    topo.domains = static_cast<int>(packages.size());
+    const int totalCores = static_cast<int>(cores.size());
+    topo.coresPerDomain =
+        std::max(1, totalCores / std::max(1, topo.domains));
+    topo.smtPerCore = std::max(
+        1, static_cast<int>(topo.cpus.size()) / std::max(1, totalCores));
+    return topo;
+}
+
+void
+pinTo(int cpu)
+{
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)cpu;
+#endif
+}
+
+double
+secondsPerRun(const std::function<void()>& body)
+{
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+/** Latency of one dependent integer add: the "cycle" unit. */
+double
+measureAddChain(int iters)
+{
+    volatile std::uint64_t sink = 0;
+    std::uint64_t acc = 1;
+    const double seconds = secondsPerRun([&] {
+        for (int i = 0; i < iters; ++i)
+            acc += acc ^ 1u; // dependent: no ILP across iterations
+        sink = acc;
+    });
+    (void)sink;
+    return seconds / iters;
+}
+
+/** Uncontended RMW on a thread-private line (owned state). */
+double
+measureOwnedRmw(int cpu, int iters)
+{
+    double seconds = 0;
+    std::thread worker([&] {
+        pinTo(cpu);
+        alignas(64) std::atomic<std::uint64_t> line{0};
+        seconds = secondsPerRun([&] {
+            for (int i = 0; i < iters; ++i)
+                line.fetch_add(1, std::memory_order_acq_rel);
+        });
+    });
+    worker.join();
+    return seconds / iters;
+}
+
+/**
+ * Ping-pong RMWs between two pinned cpus: each observed round trip
+ * moves the line twice, so half the round-trip time approximates one
+ * invalid-state transfer at that distance.
+ */
+double
+measurePingPong(int cpuA, int cpuB, int rounds)
+{
+    alignas(64) std::atomic<std::uint64_t> line{0};
+    std::atomic<bool> go{false};
+    double seconds = 0;
+    std::thread peer([&] {
+        pinTo(cpuB);
+        go.store(true, std::memory_order_release);
+        for (int i = 0; i < rounds; ++i) {
+            while (line.load(std::memory_order_acquire) % 2 == 0) {
+            }
+            line.fetch_add(1, std::memory_order_acq_rel);
+        }
+    });
+    std::thread driver([&] {
+        pinTo(cpuA);
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        seconds = secondsPerRun([&] {
+            for (int i = 0; i < rounds; ++i) {
+                line.fetch_add(1, std::memory_order_acq_rel);
+                while (line.load(std::memory_order_acquire) % 2 == 1) {
+                }
+            }
+        });
+    });
+    peer.join();
+    driver.join();
+    return seconds / (2.0 * rounds);
+}
+
+/** First cpu matching a placement predicate, or -1. */
+int
+findCpu(const HostTopology& topo, const HostCpu& ref, bool sameCore,
+        bool sameDomain)
+{
+    for (const HostCpu& cpu : topo.cpus) {
+        if (cpu.cpu == ref.cpu)
+            continue;
+        const bool core =
+            cpu.package == ref.package && cpu.core == ref.core;
+        const bool domain = cpu.package == ref.package;
+        if (sameCore ? core : (sameDomain ? (domain && !core)
+                                          : !domain))
+            return cpu.cpu;
+    }
+    return -1;
+}
+
+VTime
+toCycles(double seconds, double cycleSeconds)
+{
+    const double cycle = seconds / cycleSeconds;
+    return static_cast<VTime>(std::max(1.0, cycle + 0.5));
+}
+
+MachineProfile
+placeholderProfile(const HostTopology& topo, const std::string& name)
+{
+    // Start from epyc64's table so a dry run still emits plausible,
+    // schema-valid numbers; only the topology reflects the host.
+    MachineProfile profile = machineProfile("epyc64");
+    profile.name = name;
+    profile.description =
+        "Dry-run profile: host topology with placeholder costs "
+        "(rerun tools/calibrate without --dry-run to measure).";
+    profile.isa = "host";
+    profile.topology.domains = topo.domains;
+    profile.topology.coresPerDomain = topo.coresPerDomain;
+    profile.topology.smtPerCore = topo.smtPerCore;
+    profile.topology.domainDistanceCycles.assign(topo.domains, 0);
+    for (int d = 1; d < topo.domains; ++d)
+        profile.topology.domainDistanceCycles[d] =
+            static_cast<VTime>(80 * d);
+    profile.topology.smtSiblingTransferCycles =
+        topo.smtPerCore > 1 ? 25 : -1;
+    return profile;
+}
+
+} // namespace
+} // namespace splash
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+    CliArgs args(argc, argv,
+                 {"dry-run", "out", "name", "samples", "help"});
+    if (args.has("help")) {
+        std::printf(
+            "usage: calibrate [--dry-run] [--out=FILE] [--name=NAME] "
+            "[--samples=N]\n"
+            "Measures host atomic costs per coherence state and emits "
+            "a splash4-machine-v1 profile (docs/MACHINES.md).\n"
+            "  --dry-run   skip measurement; emit placeholder costs\n"
+            "  --out=FILE  write the profile there (default: stdout)\n"
+            "  --name=NAME profile name (default: host)\n"
+            "  --samples=N measurement iterations (default: 200000)\n");
+        return 0;
+    }
+    const std::string name = args.get("name", "host");
+    const int samples = static_cast<int>(
+        std::max<std::int64_t>(1000, args.getInt("samples", 200000)));
+    const HostTopology topo = detectTopology();
+    std::fprintf(stderr,
+                 "calibrate: host topology %dx%dx%d (%zu cpus)\n",
+                 topo.domains, topo.coresPerDomain, topo.smtPerCore,
+                 topo.cpus.size());
+
+    MachineProfile profile = placeholderProfile(topo, name);
+    if (!args.has("dry-run")) {
+        const double cycle = measureAddChain(samples * 10);
+        const HostCpu& ref = topo.cpus.front();
+        const double owned = measureOwnedRmw(ref.cpu, samples);
+        std::fprintf(stderr,
+                     "calibrate: add-chain %.2f ns, owned RMW %.2f ns\n",
+                     cycle * 1e9, owned * 1e9);
+
+        // One transfer measurement per topology distance that exists
+        // on this host; missing distances inherit the nearest one.
+        const int sibling = findCpu(topo, ref, true, true);
+        const int local = findCpu(topo, ref, false, true);
+        const int remote = findCpu(topo, ref, false, false);
+        const int rounds = std::max(1000, samples / 10);
+        double localXfer = owned * 4;
+        double remoteXfer = owned * 8;
+        if (local >= 0)
+            localXfer = measurePingPong(ref.cpu, local, rounds);
+        if (remote >= 0)
+            remoteXfer = measurePingPong(ref.cpu, remote, rounds);
+        else
+            remoteXfer = localXfer;
+        if (sibling >= 0) {
+            const double sib =
+                measurePingPong(ref.cpu, sibling, rounds);
+            profile.topology.smtSiblingTransferCycles =
+                static_cast<std::int64_t>(toCycles(sib, cycle));
+        }
+        std::fprintf(stderr,
+                     "calibrate: transfer local %.2f ns, remote "
+                     "%.2f ns\n",
+                     localXfer * 1e9, remoteXfer * 1e9);
+
+        const VTime ownedC = toCycles(owned, cycle);
+        const VTime localC = toCycles(localXfer, cycle);
+        const VTime remoteC = toCycles(remoteXfer, cycle);
+        for (const AtomicOp op : {AtomicOp::Cas, AtomicOp::Faa,
+                                  AtomicOp::Swp, AtomicOp::Store}) {
+            const int row = static_cast<int>(op);
+            profile.atomicCycles[row][0] = ownedC;
+            profile.atomicCycles[row][1] = localC;
+            profile.atomicCycles[row][2] = localC;
+            profile.atomicCycles[row][3] = remoteC;
+        }
+        const int loads = static_cast<int>(AtomicOp::Load);
+        profile.atomicCycles[loads][0] = 1;
+        profile.atomicCycles[loads][1] = 1;
+        profile.atomicCycles[loads][2] = localC;
+        profile.atomicCycles[loads][3] = remoteC;
+        profile.casRetryCycles = std::max<VTime>(1, localC / 2);
+        profile.workUnitCycles = 1;
+        profile.loadOccupancy = std::max<VTime>(1, ownedC / 2);
+        // Cross-domain hop premium beyond the base invalid-remote
+        // price; with one domain there is nothing to measure.
+        for (int d = 1; d < profile.topology.domains; ++d)
+            profile.topology.domainDistanceCycles[d] =
+                remoteC > localC ? (remoteC - localC) * d : 0;
+    }
+
+    // Self-check: whatever we emit must survive the strict loader.
+    const std::string text = machineProfileToJson(profile);
+    MachineProfile reparsed;
+    std::string error;
+    if (!parseMachineProfile(text, "calibrate output", reparsed,
+                             error)) {
+        std::fprintf(stderr, "calibrate: emitted invalid profile: %s\n",
+                     error.c_str());
+        return 1;
+    }
+
+    const std::string out = args.get("out", "");
+    if (out.empty()) {
+        std::fputs(text.c_str(), stdout);
+    } else {
+        std::ofstream file(out);
+        if (!file.good()) {
+            std::fprintf(stderr, "calibrate: cannot write %s\n",
+                         out.c_str());
+            return 1;
+        }
+        file << text;
+        std::fprintf(stderr, "calibrate: wrote %s (%s)\n", out.c_str(),
+                     reparsed.contentHash.c_str());
+    }
+    return 0;
+}

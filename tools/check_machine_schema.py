@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Validate machine profile files against the splash4-machine-v1 schema.
+
+Usage: check_machine_schema.py FILE [FILE...]
+
+FILEs are machine profile documents (machines/*.json, or anything the
+harness accepts via --machine=<path>); see docs/MACHINES.md.  This is
+an independent re-statement of the C++ loader's contract
+(src/sim/machine.cc) so a profile that drifts from the schema fails in
+CI even before a simulator binary touches it.  Standard library only;
+exits nonzero with one line per violation.
+"""
+
+import json
+import sys
+
+SCHEMA = "splash4-machine-v1"
+OPS = ["load", "store", "cas", "faa", "swp"]
+STATES = ["owned", "shared", "invalidLocal", "invalidRemote"]
+TOP_KEYS = {"schema", "name", "description", "isa", "topology",
+            "atomics", "execution", "scheduler"}
+TOPOLOGY_KEYS = {"domains", "coresPerDomain", "smtPerCore",
+                 "domainDistanceCycles", "smtSiblingTransferCycles"}
+ATOMICS_KEYS = {"mode", "casRetryCycles", "llscRetryCycles", "costs"}
+EXECUTION_KEYS = {"workUnitCycles", "loadOccupancyCycles"}
+SCHEDULER_KEYS = {"parkCycles", "wakeCyclesPerWaiter",
+                  "wakeLatencyCycles", "spinResumeCycles",
+                  "criticalOpCycles"}
+MAX_MODELED_THREADS = 65536
+NAME_CHARS = set("abcdefghijklmnopqrstuvwxyz0123456789._-")
+
+
+def fail(errors, path, message):
+    errors.append("%s: %s" % (path, message))
+
+
+def cycles(errors, path, obj, key, minimum=0):
+    """A whole non-negative cycle count (bool is not a number)."""
+    if key not in obj:
+        fail(errors, path, "missing key '%s'" % key)
+        return None
+    value = obj[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        fail(errors, path, "key '%s' must be a whole number of cycles"
+             % key)
+        return None
+    if value < minimum:
+        fail(errors, path, "key '%s' must be >= %d" % (key, minimum))
+        return None
+    return value
+
+
+def reject_unknown(errors, path, obj, allowed, context):
+    for key in obj:
+        if key not in allowed:
+            fail(errors, path, "unknown %s key '%s'" % (context, key))
+
+
+def check_topology(errors, path, doc):
+    topo = doc.get("topology")
+    if not isinstance(topo, dict):
+        fail(errors, path, "missing or non-object 'topology'")
+        return
+    reject_unknown(errors, path, topo, TOPOLOGY_KEYS, "topology")
+    domains = cycles(errors, path, topo, "domains", minimum=1)
+    cores = cycles(errors, path, topo, "coresPerDomain", minimum=1)
+    smt = cycles(errors, path, topo, "smtPerCore", minimum=1)
+    if None not in (domains, cores, smt):
+        total = domains * cores * smt
+        if total > MAX_MODELED_THREADS:
+            fail(errors, path, "topology models %d threads (cap %d)"
+                 % (total, MAX_MODELED_THREADS))
+    dist = topo.get("domainDistanceCycles")
+    if not isinstance(dist, list):
+        fail(errors, path,
+             "missing or non-array 'domainDistanceCycles'")
+    else:
+        if domains is not None and len(dist) != domains:
+            fail(errors, path,
+                 "domainDistanceCycles has %d entries for %d domain(s)"
+                 % (len(dist), domains))
+        for i, value in enumerate(dist):
+            if isinstance(value, bool) or not isinstance(value, int) \
+                    or value < 0:
+                fail(errors, path,
+                     "domainDistanceCycles[%d] must be a whole "
+                     "non-negative cycle count" % i)
+        if dist and dist[0] != 0:
+            fail(errors, path, "domainDistanceCycles[0] (self-hop) "
+                 "must be 0")
+    if "smtSiblingTransferCycles" in topo:
+        value = topo["smtSiblingTransferCycles"]
+        if isinstance(value, bool) or not isinstance(value, int) \
+                or value < -1:
+            fail(errors, path, "smtSiblingTransferCycles must be a "
+                 "whole number >= -1 (-1 disables the override)")
+
+
+def check_atomics(errors, path, doc):
+    atomics = doc.get("atomics")
+    if not isinstance(atomics, dict):
+        fail(errors, path, "missing or non-object 'atomics'")
+        return
+    reject_unknown(errors, path, atomics, ATOMICS_KEYS, "atomics")
+    mode = atomics.get("mode")
+    if mode not in ("amo", "llsc"):
+        fail(errors, path, "atomics.mode must be 'amo' or 'llsc'")
+    cycles(errors, path, atomics, "casRetryCycles")
+    if mode == "llsc":
+        cycles(errors, path, atomics, "llscRetryCycles")
+    elif mode == "amo" and "llscRetryCycles" in atomics:
+        fail(errors, path,
+             "llscRetryCycles is only meaningful in llsc mode")
+    costs = atomics.get("costs")
+    if not isinstance(costs, dict):
+        fail(errors, path, "missing or non-object 'atomics.costs'")
+        return
+    reject_unknown(errors, path, costs, set(OPS), "atomics.costs")
+    for op in OPS:
+        row = costs.get(op)
+        if not isinstance(row, dict):
+            fail(errors, path, "missing cost row for op '%s'" % op)
+            continue
+        reject_unknown(errors, path, row, set(STATES),
+                       "cost row '%s'" % op)
+        for state in STATES:
+            cycles(errors, path, row, state)
+
+
+def check_profile(errors, path, doc):
+    if doc.get("schema") != SCHEMA:
+        fail(errors, path, "schema must be '%s' (got %r)"
+             % (SCHEMA, doc.get("schema")))
+    reject_unknown(errors, path, doc, TOP_KEYS, "top-level")
+    name = doc.get("name")
+    if not isinstance(name, str) or not name \
+            or any(c not in NAME_CHARS for c in name):
+        fail(errors, path, "name must be non-empty [a-z0-9._-]")
+    for key in ("description", "isa"):
+        if key in doc and not isinstance(doc[key], str):
+            fail(errors, path, "key '%s' must be a string" % key)
+    check_topology(errors, path, doc)
+    check_atomics(errors, path, doc)
+    for section, keys in (("execution", EXECUTION_KEYS),
+                          ("scheduler", SCHEDULER_KEYS)):
+        obj = doc.get(section)
+        if not isinstance(obj, dict):
+            fail(errors, path, "missing or non-object '%s'" % section)
+            continue
+        reject_unknown(errors, path, obj, keys, section)
+        for key in keys:
+            cycles(errors, path, obj, key)
+
+
+def main(argv):
+    paths = argv[1:]
+    if not paths:
+        sys.stderr.write(__doc__)
+        return 2
+    errors = []
+    checked = 0
+    for path in paths:
+        try:
+            with open(path, "r") as handle:
+                doc = json.load(handle)
+        except OSError as exc:
+            fail(errors, path, "cannot read: %s" % exc)
+            continue
+        except ValueError as exc:
+            fail(errors, path, "invalid JSON: %s" % exc)
+            continue
+        if not isinstance(doc, dict):
+            fail(errors, path, "document is not a JSON object")
+            continue
+        check_profile(errors, path, doc)
+        checked += 1
+    for line in errors:
+        sys.stderr.write(line + "\n")
+    if errors:
+        return 1
+    print("ok: %d machine profile(s) conform to %s" % (checked, SCHEMA))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
