@@ -106,8 +106,8 @@ main(int argc, char** argv)
     const int ops =
         std::max(1, static_cast<int>(std::lround(40 * opts.scale)));
 
-    const std::vector<std::string> machines = {"epyc64", "icelake64",
-                                               "t3-512", "sg2044"};
+    const std::vector<std::string> machines = {
+        "epyc64", "icelake64", "t3-512", "sg2044", "power10"};
     const std::vector<std::string> constructs = {
         "barrier", "lock", "ticket", "sum", "stack", "flag"};
 

@@ -101,6 +101,27 @@ class ExperimentPlan
         return plan_.add(name, config);
     }
 
+    /**
+     * Queue one sim rate campaign (docs/THROUGHPUT.md): @p iterations
+     * closed-loop iterations whose sustained throughput and latency
+     * percentiles come back in RunResult::iterations.
+     */
+    std::size_t
+    addRate(const std::string& name, SuiteVersion suite,
+            const std::string& profile, int threads, double scale,
+            int iterations)
+    {
+        RunConfig config;
+        config.threads = threads;
+        config.suite = suite;
+        config.engine = EngineKind::Sim;
+        config.profile = profile;
+        config.mode = RunMode::Rate;
+        config.rate.iterations = iterations;
+        config.params = benchParams(name, scale);
+        return plan_.add(name, config);
+    }
+
     /** Execute every queued job (on --jobs workers). */
     void
     run()

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Figure 5: Splash-4 vs Splash-3 under sustained load.  Where
+ * Figures 1-2 compare one-shot ROI latency, this experiment runs each
+ * workload as a SPEC-rate-style closed-loop campaign (N back-to-back
+ * iterations over one long-lived World, docs/THROUGHPUT.md) and
+ * compares steady-state throughput: lock-free constructs shorten the
+ * synchronization path of *every* iteration, so the one-shot cycle
+ * reduction compounds into a sustained ops/sec gain — and tail
+ * latency (p95/p99 completion time) tightens because lock convoys no
+ * longer stretch the slowest iterations.
+ *
+ * Rows come in suite pairs per benchmark; the splash4 row carries the
+ * throughput ratio vs its splash3 partner.  Everything runs on the
+ * simulated epyc64 machine (override with --machine), so the table is
+ * bit-identical across hosts, --jobs, and re-runs.
+ *
+ * Extra flags beyond the common set:
+ *   --iters=N       iterations per campaign (default 5)
+ *   --machine=NAME  sim machine profile (default epyc64)
+ */
+
+#include "experiment_common.h"
+
+#include "util/stats_math.h"
+#include "util/steady.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace splash;
+    using namespace splash::bench;
+
+    ExperimentOptions opts(argc, argv);
+    CliArgs args(argc, argv);
+    const int iters = static_cast<int>(args.getInt("iters", 5));
+    if (iters < 1)
+        fatal("--iters needs at least one iteration");
+    const std::string machine = args.get("machine", "epyc64");
+
+    ExperimentPlan plan(opts);
+    std::vector<std::size_t> s3Jobs, s4Jobs;
+    for (const auto& name : suiteOrder()) {
+        s3Jobs.push_back(plan.addRate(name, SuiteVersion::Splash3,
+                                      machine, opts.threads, opts.scale,
+                                      iters));
+        s4Jobs.push_back(plan.addRate(name, SuiteVersion::Splash4,
+                                      machine, opts.threads, opts.scale,
+                                      iters));
+    }
+    plan.run();
+
+    Table table({"benchmark", "suite", "iters", "warmup", "ops_per_sec",
+                 "lat_p50_cyc", "lat_p95_cyc", "lat_p99_cyc", "vs_s3"});
+    std::vector<double> gains;
+    std::size_t at = 0;
+    for (const auto& name : suiteOrder()) {
+        const RateSummary s3 = summarizeRate(
+            plan.result(s3Jobs[at]).iterations, EngineKind::Sim);
+        const RateSummary s4 = summarizeRate(
+            plan.result(s4Jobs[at]).iterations, EngineKind::Sim);
+        ++at;
+        const double gain =
+            s3.opsPerSec > 0 ? s4.opsPerSec / s3.opsPerSec : 0.0;
+        gains.push_back(gain);
+        table.cell(name)
+            .cell("splash3")
+            .cell(static_cast<std::uint64_t>(s3.iterations))
+            .cell(static_cast<std::uint64_t>(s3.warmupIterations))
+            .cell(s3.opsPerSec, 2)
+            .cell(s3.p50, 0)
+            .cell(s3.p95, 0)
+            .cell(s3.p99, 0)
+            .cell("-");
+        table.endRow();
+        table.cell(name)
+            .cell("splash4")
+            .cell(static_cast<std::uint64_t>(s4.iterations))
+            .cell(static_cast<std::uint64_t>(s4.warmupIterations))
+            .cell(s4.opsPerSec, 2)
+            .cell(s4.p50, 0)
+            .cell(s4.p95, 0)
+            .cell(s4.p99, 0)
+            .cell(gain, 3);
+        table.endRow();
+    }
+    table.cell("geomean")
+        .cell("-")
+        .cell("-")
+        .cell("-")
+        .cell("-")
+        .cell("-")
+        .cell("-")
+        .cell("-")
+        .cell(geomean(gains), 3);
+    table.endRow();
+
+    opts.emit(table,
+              "Figure 5: sustained throughput under " +
+                  std::to_string(iters) + "-iteration closed-loop "
+                  "campaigns, " + std::to_string(opts.threads) +
+                  " threads, machine " + machine +
+                  " (vs_s3 = splash4 ops/sec over splash3)");
+    return 0;
+}

@@ -27,6 +27,14 @@ Benchmark::runFast(NativeFastContext&)
 }
 
 void
+Benchmark::prepareIteration(World& world, const Params& params)
+{
+    world.beginReplay();
+    setup(world, params);
+    world.endReplay();
+}
+
+void
 registerBenchmark(const std::string& name, BenchmarkFactory factory)
 {
     auto [it, inserted] = registry().emplace(name, std::move(factory));

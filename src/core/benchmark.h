@@ -80,6 +80,18 @@ class Benchmark
      * @return true when the run's output is correct.
      */
     virtual bool verify(std::string& message) = 0;
+
+    /**
+     * Single-threaded, between rate-mode iterations: regenerate input
+     * data from the (iteration-derived) seed in @p params without
+     * re-allocating the World.  The default replays setup() under
+     * World replay mode — create* calls hand back the existing
+     * handles in creation order — which is correct for any workload
+     * whose setup() is layout-deterministic, i.e. all twelve suite
+     * workloads.  Override for a cheaper in-place reset.  See
+     * docs/THROUGHPUT.md.
+     */
+    virtual void prepareIteration(World& world, const Params& params);
 };
 
 /**

@@ -53,6 +53,16 @@ canonicalContent(const std::string& benchmark, const RunConfig& config,
            << ',' << config.chaos.stallThreads << ','
            << config.chaos.spuriousWakeProb;
     }
+    // Rate-mode parameters shape results (iteration count, arrival
+    // process); Single jobs stay byte-identical to the pre-rate
+    // encoding so existing stores keep resolving.
+    if (config.mode == RunMode::Rate) {
+        os << ";mode=rate;rateiters=" << config.rate.iterations
+           << ";ratesecs=" << config.rate.seconds
+           << ";arrival=" << toString(config.rate.arrival);
+        if (config.rate.arrival == ArrivalKind::Open)
+            os << ";lambda=" << config.rate.lambda;
+    }
     // The base input seed is normalized into its own field so an
     // explicit --seed=1 and the default produce the same id.
     os << ";baseseed=" << config.params.getInt("seed", 1);
@@ -83,6 +93,14 @@ deriveSeed(std::uint64_t baseSeed, const std::string& key)
 {
     std::uint64_t x = baseSeed ^ fnv1a64(key);
     return Rng::splitmix64(x);
+}
+
+std::uint64_t
+deriveIterationSeed(std::uint64_t jobSeed, int iteration)
+{
+    if (iteration == 0)
+        return jobSeed;
+    return deriveSeed(jobSeed, "iter/" + std::to_string(iteration));
 }
 
 std::size_t

@@ -19,13 +19,23 @@
  *    repetition) only, so a benchmark's input data is identical across
  *    suites, engines, and thread counts — the papers' methodology
  *    (same algorithm, same data, different constructs) requires it.
+ *  - The *iteration* seed (rate mode) is derived from the job's input
+ *    seed and the stable key "iter/<iteration>", with iteration 0
+ *    running the input seed itself — so iteration inputs are a pure
+ *    function of (base seed, benchmark, repetition, iteration),
+ *    independent of --jobs, --resume, and arrival timing, and a rate
+ *    job's first iteration consumes exactly the input a single-shot
+ *    run of the same job would.
  *  - The *chaos* seed is derived from (base chaos seed, job id), so
  *    each run's fault-injection schedule is unique but reproducible.
  *
  * The job id covers everything that determines the run's results:
  * benchmark, repetition, suite, engine, threads, machine profile,
- * fast-path mode, race checking, profiling, chaos plan, and the
- * benchmark parameters as supplied (base seeds, not derived ones).
+ * fast-path mode, race checking, profiling, chaos plan, rate-mode
+ * parameters (iteration/second budgets and the arrival model; Single
+ * jobs are encoded exactly as before the mode existed, so pre-rate
+ * stores stay valid), and the benchmark parameters as supplied (base
+ * seeds, not derived ones).
  * Execution policy that cannot change results — watchdog budgets,
  * isolation, CPU placement — is deliberately excluded, so a resumed
  * campaign may tighten its watchdog or change --jobs without
@@ -88,6 +98,14 @@ std::string computeJobId(const std::string& benchmark,
 
 /** Mix a base seed with a stable string key (splitmix64 over FNV-1a). */
 std::uint64_t deriveSeed(std::uint64_t baseSeed, const std::string& key);
+
+/**
+ * Input seed for iteration @p iteration of a rate-mode job whose
+ * derived input seed is @p jobSeed: iteration 0 is the job seed
+ * itself (single-shot parity), iteration i > 0 derives via the
+ * stable key "iter/<i>" (see the seed policy in the file comment).
+ */
+std::uint64_t deriveIterationSeed(std::uint64_t jobSeed, int iteration);
 
 /**
  * Build the standard suite plan: every named benchmark x repetitions

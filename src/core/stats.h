@@ -101,6 +101,16 @@ struct RunResult
     std::shared_ptr<const RaceReport> raceReport;
     /** Sync-Scope profile; null unless run with profiling. */
     std::shared_ptr<const SyncProfile> syncProfile;
+    /** Iteration lifecycle this result measured (docs/THROUGHPUT.md). */
+    RunMode mode = RunMode::Single;
+    /**
+     * Per-iteration campaign-clock timings (rate mode; empty under
+     * Single).  After a --resume continuation this holds the full
+     * stream — previously persisted iterations plus the ones this run
+     * executed — while the counters above cover only the locally run
+     * iterations, so rate reporting derives from these samples alone.
+     */
+    std::vector<IterationSample> iterations;
 
     /** True when the run completed and verified. */
     bool ok() const { return status == RunStatus::Ok; }

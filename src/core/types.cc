@@ -71,6 +71,28 @@ parseFastPath(const std::string& name)
           "' (expected on, off, or auto)");
 }
 
+const char*
+toString(RunMode mode)
+{
+    return mode == RunMode::Rate ? "rate" : "single";
+}
+
+RunMode
+parseRunMode(const std::string& name)
+{
+    if (name == "single")
+        return RunMode::Single;
+    if (name == "rate")
+        return RunMode::Rate;
+    fatal("unknown run mode '" + name + "' (expected single or rate)");
+}
+
+const char*
+toString(ArrivalKind kind)
+{
+    return kind == ArrivalKind::Open ? "open" : "closed";
+}
+
 SuiteVersion
 parseSuite(const std::string& name)
 {

@@ -53,6 +53,48 @@ enum class FastPath
     Auto, ///< fast when available, virtual otherwise
 };
 
+/**
+ * How many workload iterations one run executes (docs/THROUGHPUT.md).
+ *
+ * Single is the classic one-ROI time-to-completion measurement.  Rate
+ * runs a stream of iterations against one World — setup once, then
+ * prepareIteration/run/verify per iteration — and reports sustained
+ * ops/sec plus iteration-completion tail latency instead of a single
+ * wall time.
+ */
+enum class RunMode
+{
+    Single, ///< one ROI iteration, time-to-completion
+    Rate,   ///< SPEC-rate-style iteration stream under sustained load
+};
+
+/** Arrival model for rate-mode iterations (docs/THROUGHPUT.md). */
+enum class ArrivalKind
+{
+    Closed, ///< next iteration arrives when the previous one completes
+    Open,   ///< iterations arrive at a fixed rate, queueing if the
+            ///< previous one overran its arrival gap
+};
+
+/**
+ * Timing of one rate-mode iteration on the campaign clock (zero at
+ * campaign start).  The sim engine fills the cycle fields (virtual
+ * time at the 1 GHz nominal clock); the native engine fills the
+ * seconds fields (host steady clock).  Latency is completion -
+ * arrival, so under open arrivals it includes queueing delay.
+ */
+struct IterationSample
+{
+    int iteration = 0;
+    VTime arrivalCycles = 0;
+    VTime startCycles = 0;
+    VTime completionCycles = 0;
+    double arrivalSeconds = 0;
+    double startSeconds = 0;
+    double completionSeconds = 0;
+    bool verified = false;
+};
+
 /** Lock realization used where the suite keeps an explicit lock. */
 enum class LockKind
 {
@@ -120,6 +162,15 @@ const char* toString(FastPath mode);
 
 /** Parse "on"/"off"/"auto" (fatal on anything else). */
 FastPath parseFastPath(const std::string& name);
+
+/** Name of a run mode for reports and stores ("single", "rate"). */
+const char* toString(RunMode mode);
+
+/** Parse "single"/"rate" (fatal on anything else). */
+RunMode parseRunMode(const std::string& name);
+
+/** Name of an arrival model ("closed", "open"). */
+const char* toString(ArrivalKind kind);
 
 /** Opaque handle base; value indexes the World's descriptor table. */
 struct Handle

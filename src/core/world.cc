@@ -13,8 +13,39 @@ World::World(int nthreads, SuiteVersion suite)
 std::uint32_t
 World::add(SyncObjDesc desc)
 {
+    if (replaying_) {
+        panicIf(replayCursor_ >= objects_.size(),
+                "world replay: setup() created more sync objects than "
+                "the original pass; prepareIteration must re-create "
+                "the same layout (docs/THROUGHPUT.md)");
+        panicIf(objects_[replayCursor_].kind != desc.kind,
+                "world replay: setup() created a different sync-object "
+                "sequence than the original pass; prepareIteration "
+                "must be layout-deterministic (docs/THROUGHPUT.md)");
+        objects_[replayCursor_] = desc;
+        return static_cast<std::uint32_t>(replayCursor_++);
+    }
     objects_.push_back(desc);
     return static_cast<std::uint32_t>(objects_.size() - 1);
+}
+
+void
+World::beginReplay()
+{
+    panicIf(replaying_, "world replay: beginReplay() while replaying");
+    replaying_ = true;
+    replayCursor_ = 0;
+}
+
+void
+World::endReplay()
+{
+    panicIf(!replaying_, "world replay: endReplay() without begin");
+    panicIf(replayCursor_ != objects_.size(),
+            "world replay: setup() created fewer sync objects than "
+            "the original pass; prepareIteration must re-create "
+            "the same layout (docs/THROUGHPUT.md)");
+    replaying_ = false;
 }
 
 BarrierHandle

@@ -116,6 +116,22 @@ class World
     TicketRange createTicketRange(std::size_t count);
     SumRange createSumRange(std::size_t count, double initial = 0.0);
 
+    /**
+     * Iteration replay (rate mode, docs/THROUGHPUT.md): between
+     * beginReplay() and endReplay() the create* calls walk the
+     * existing descriptor table in creation order instead of growing
+     * it, so a benchmark's setup() doubles as its per-iteration state
+     * regenerator — data arrays are rebuilt from the new iteration
+     * seed while the synchronization layout the engines realized
+     * stays put.  The replayed kind sequence must match the original
+     * setup() exactly (fatal otherwise); descriptor payloads
+     * (capacity, initial value) are refreshed from the replay so
+     * seed-dependent initial sums track the new input.
+     */
+    void beginReplay();
+    void endReplay();
+    bool replaying() const { return replaying_; }
+
     /** Full descriptor table, indexed by handle. */
     const std::vector<SyncObjDesc>& objects() const { return objects_; }
 
@@ -128,6 +144,8 @@ class World
     const int nthreads_;
     const SuiteVersion suite_;
     std::vector<SyncObjDesc> objects_;
+    bool replaying_ = false;
+    std::size_t replayCursor_ = 0;
 };
 
 } // namespace splash

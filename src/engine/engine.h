@@ -72,6 +72,42 @@ class ExecutionEngine
     virtual EngineOutcome run(const ThreadBody& body) = 0;
 };
 
+/**
+ * Rate-mode stream shape (RunMode::Rate; docs/THROUGHPUT.md).  At
+ * least one of the two budgets must be positive; with both set the
+ * run stops at whichever bound is hit first.
+ */
+struct RateOptions
+{
+    /** Iteration budget (0 = bounded by seconds only). */
+    int iterations = 0;
+    /**
+     * Campaign-time budget in seconds: stop admitting new iterations
+     * once the campaign clock passes it.  Sim campaigns measure it in
+     * virtual time at the 1 GHz nominal clock; native campaigns on
+     * the host steady clock.  0 = bounded by iterations only.
+     */
+    double seconds = 0;
+    ArrivalKind arrival = ArrivalKind::Closed;
+    /** Open-loop arrival rate, iterations/second (arrival == Open). */
+    double lambda = 0;
+};
+
+/**
+ * Caller hooks into a rate run's iteration stream.  `completed` seeds
+ * a resumed job with the iterations a previous campaign already
+ * finished — the run continues on the campaign clock after the last
+ * of them.  `onIteration` fires after each newly finished iteration;
+ * inside a fork-isolated child it streams the sample up the result
+ * pipe so the parent can persist iterations as they complete (which
+ * is what makes mid-job kill-and-resume possible).
+ */
+struct RunHooks
+{
+    const std::vector<IterationSample>* completed = nullptr;
+    std::function<void(const IterationSample&)> onIteration;
+};
+
 /** Complete configuration of one benchmark run. */
 struct RunConfig
 {
@@ -91,6 +127,8 @@ struct RunConfig
     FastPath fastPath = FastPath::Auto;
     ChaosOptions chaos;     ///< seeded fault injection (Chaos-Sentry)
     WatchdogOptions watchdog; ///< deadlock/livelock/timeout budgets
+    RunMode mode = RunMode::Single; ///< iteration lifecycle
+    RateOptions rate;               ///< stream shape (mode == Rate)
     /**
      * Host cores this run may use (scheduler placement).  Empty means
      * unpinned.  The native engine pins worker thread t to
@@ -105,11 +143,21 @@ struct RunConfig
 std::unique_ptr<ExecutionEngine> makeEngine(const World& world,
                                             const RunConfig& config);
 
-/** setup + engine execution + verify, with merged statistics. */
+/**
+ * setup + engine execution + verify, with merged statistics.  Under
+ * RunMode::Rate this drives the whole iteration stream:
+ * prepareIteration/run/verify per iteration against one World, with
+ * the arrival process on the campaign clock (sim: virtual time;
+ * native: host steady clock).
+ */
 RunResult runBenchmark(Benchmark& benchmark, const RunConfig& config);
+RunResult runBenchmark(Benchmark& benchmark, const RunConfig& config,
+                       const RunHooks& hooks);
 
 /** Convenience: instantiate by name and run. */
 RunResult runBenchmark(const std::string& name, const RunConfig& config);
+RunResult runBenchmark(const std::string& name, const RunConfig& config,
+                       const RunHooks& hooks);
 
 } // namespace splash
 

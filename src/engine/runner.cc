@@ -2,17 +2,29 @@
  * @file
  * Top-level glue: configure a World, pick an engine, run a benchmark,
  * and merge statistics into a RunResult.
+ *
+ * Two lifecycles live here (docs/THROUGHPUT.md): the classic
+ * single-shot ROI (setup / engine run / verify) and the rate mode,
+ * which drives a stream of iterations against one World —
+ * prepareIteration / run / verify per iteration — under a closed- or
+ * open-loop arrival process on the campaign clock.
  */
 
 #include "engine/engine.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "analysis/race_report.h"
+#include "core/run_plan.h"
 #include "core/sync_profile.h"
 #include "engine/fast_context.h"
 #include "engine/native_engine.h"
 #include "engine/sim_engine.h"
 #include "sim/machine.h"
 #include "util/log.h"
+#include "util/steady.h"
 
 namespace splash {
 
@@ -48,40 +60,16 @@ selectFastPath(const Benchmark& benchmark, const RunConfig& config)
            !config.raceCheck && benchmark.hasFastPath();
 }
 
-} // namespace
-
-std::unique_ptr<ExecutionEngine>
-makeEngine(const World& world, const RunConfig& config)
+/**
+ * One engine execution of the benchmark's parallel body.  Engines are
+ * constructed per call, so every iteration of a rate stream runs
+ * against fresh realizations of the World's descriptors.
+ */
+EngineOutcome
+executeOnce(Benchmark& benchmark, const RunConfig& config,
+            const World& world, bool fast)
 {
-    if (config.engine == EngineKind::Native) {
-        if (config.raceCheck)
-            fatal("--race-check requires the sim engine");
-        NativeOptions options;
-        options.chaos = config.chaos;
-        options.syncProfile = config.syncProfile;
-        options.watchdog = config.watchdog;
-        options.cpuAffinity = config.cpuAffinity;
-        return std::make_unique<NativeEngine>(world, options);
-    }
-    SimOptions options;
-    options.raceCheck = config.raceCheck;
-    options.syncProfile = config.syncProfile;
-    options.chaos = config.chaos;
-    options.watchdog = config.watchdog;
-    return std::make_unique<SimEngine>(
-        world, machineProfile(config.profile), options);
-}
-
-RunResult
-runBenchmark(Benchmark& benchmark, const RunConfig& config)
-{
-    panicIf(config.threads < 1, "run needs at least one thread");
-
-    World world(config.threads, config.suite);
-    benchmark.setup(world, config.params);
-
-    EngineOutcome outcome;
-    if (selectFastPath(benchmark, config)) {
+    if (fast) {
         // Monomorphized hot path: build the native engine concretely
         // (runFast is not part of the engine-agnostic interface) and
         // run the kernel instantiated over NativeFastContext.
@@ -91,13 +79,21 @@ runBenchmark(Benchmark& benchmark, const RunConfig& config)
         options.watchdog = config.watchdog;
         options.cpuAffinity = config.cpuAffinity;
         NativeEngine engine(world, options);
-        outcome = engine.runFast(
+        return engine.runFast(
             [&](NativeFastContext& ctx) { benchmark.runFast(ctx); });
-    } else {
-        auto engine = makeEngine(world, config);
-        outcome =
-            engine->run([&](Context& ctx) { benchmark.run(ctx); });
     }
+    auto engine = makeEngine(world, config);
+    return engine->run([&](Context& ctx) { benchmark.run(ctx); });
+}
+
+RunResult
+runSingle(Benchmark& benchmark, const RunConfig& config)
+{
+    World world(config.threads, config.suite);
+    benchmark.setup(world, config.params);
+
+    EngineOutcome outcome = executeOnce(benchmark, config, world,
+                                        selectFastPath(benchmark, config));
 
     RunResult result;
     result.status = outcome.status;
@@ -132,10 +128,237 @@ runBenchmark(Benchmark& benchmark, const RunConfig& config)
 }
 
 RunResult
-runBenchmark(const std::string& name, const RunConfig& config)
+runRate(Benchmark& benchmark, const RunConfig& config,
+        const RunHooks& hooks)
+{
+    const RateOptions& rate = config.rate;
+    panicIf(rate.iterations <= 0 && rate.seconds <= 0,
+            "rate mode needs an iteration or time budget "
+            "(--rate-iters / --rate-seconds)");
+    panicIf(rate.arrival == ArrivalKind::Open && rate.lambda <= 0,
+            "open arrivals need a positive rate (--arrival=open:<lambda>)");
+    if (config.raceCheck)
+        fatal("--race-check requires single-shot mode (a rate stream "
+              "would overwrite the race report every iteration)");
+
+    const bool sim = config.engine == EngineKind::Sim;
+    const bool fast = selectFastPath(benchmark, config);
+
+    // setup() always runs with the job's derived input seed; iteration
+    // 0 consumes it directly (single-shot parity), later iterations
+    // regenerate state from deriveIterationSeed (run_plan.h).
+    Params params = config.params;
+    const auto jobSeed =
+        static_cast<std::uint64_t>(params.getInt("seed", 1));
+
+    World world(config.threads, config.suite);
+    benchmark.setup(world, params);
+
+    RunResult result;
+    result.mode = RunMode::Rate;
+    result.status = RunStatus::Ok;
+
+    // Campaign clock: resumes continue after the last persisted
+    // completion rather than restarting at zero.
+    int iter = 0;
+    VTime vclock = 0;  // sim campaign clock (virtual cycles)
+    double wclock = 0; // native campaign clock (seconds)
+    if (hooks.completed && !hooks.completed->empty()) {
+        result.iterations = *hooks.completed;
+        const IterationSample& last = result.iterations.back();
+        iter = last.iteration + 1;
+        vclock = last.completionCycles;
+        wclock = last.completionSeconds;
+    }
+
+    const auto campaignStart =
+        std::chrono::steady_clock::now() -
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(wclock));
+    const auto nowSeconds = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - campaignStart)
+            .count();
+    };
+
+    for (;;) {
+        if (rate.iterations > 0 && iter >= rate.iterations)
+            break;
+        if (rate.seconds > 0) {
+            const double elapsed =
+                sim ? static_cast<double>(vclock) / kSimNominalHz
+                    : nowSeconds();
+            if (elapsed >= rate.seconds)
+                break;
+        }
+
+        // Regenerate this iteration's input (iteration 0 of a fresh
+        // campaign already holds it from setup()).
+        params.set("seed", static_cast<std::int64_t>(
+                               deriveIterationSeed(jobSeed, iter)));
+        if (iter > 0)
+            benchmark.prepareIteration(world, params);
+
+        IterationSample sample;
+        sample.iteration = iter;
+
+        // Arrival process on the campaign clock.  Open-loop arrivals
+        // are fixed instants i/lambda; a late start (previous
+        // iteration overran the gap) shows up as queueing delay in
+        // the completion latency.
+        if (sim) {
+            VTime arrival = vclock;
+            if (rate.arrival == ArrivalKind::Open) {
+                arrival = static_cast<VTime>(
+                    kSimNominalHz / rate.lambda *
+                    static_cast<double>(iter));
+            }
+            sample.arrivalCycles = arrival;
+            sample.startCycles = std::max(vclock, arrival);
+        } else {
+            double arrival = wclock;
+            if (rate.arrival == ArrivalKind::Open) {
+                arrival = static_cast<double>(iter) / rate.lambda;
+                // The open-loop injector waits for the arrival
+                // instant when the stream is ahead of schedule.
+                const double ahead = arrival - nowSeconds();
+                if (ahead > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(ahead));
+            }
+            sample.arrivalSeconds = arrival;
+            sample.startSeconds = std::max(nowSeconds(), arrival);
+        }
+
+        // Each iteration draws its own reproducible fault schedule.
+        RunConfig iterConfig = config;
+        if (iterConfig.chaos.enabled && iter > 0)
+            iterConfig.chaos.seed = deriveSeed(
+                config.chaos.seed, "chaos-iter/" + std::to_string(iter));
+
+        EngineOutcome outcome =
+            executeOnce(benchmark, iterConfig, world, fast);
+
+        if (sim) {
+            sample.completionCycles = sample.startCycles + outcome.makespan;
+            vclock = sample.completionCycles;
+        } else {
+            sample.completionSeconds = nowSeconds();
+            wclock = sample.completionSeconds;
+        }
+
+        result.lineTransfers += outcome.lineTransfers;
+        for (std::size_t s = 0; s < outcome.transfersByScope.size(); ++s)
+            result.transfersByScope[s] += outcome.transfersByScope[s];
+        result.wallSeconds += outcome.wallSeconds;
+        if (result.perThread.size() < outcome.perThread.size())
+            result.perThread.resize(outcome.perThread.size());
+        for (std::size_t t = 0; t < outcome.perThread.size(); ++t)
+            result.perThread[t].merge(outcome.perThread[t]);
+        if (outcome.syncProfile) {
+            // Keep the last iteration's profile (documented limitation;
+            // profiles are per-engine-execution by construction).
+            outcome.syncProfile->benchmark = benchmark.name();
+            result.syncProfile = outcome.syncProfile;
+        }
+
+        if (outcome.status != RunStatus::Ok) {
+            // The failed iteration is not recorded as completed, so a
+            // retry or resume re-runs it.
+            result.status = outcome.status;
+            result.statusDetail = outcome.statusDetail;
+            result.verified = false;
+            result.verifyMessage = "iteration " + std::to_string(iter) +
+                                   ": run " + toString(outcome.status);
+            break;
+        }
+
+        std::string message;
+        sample.verified = benchmark.verify(message);
+        if (!sample.verified) {
+            // Like a non-Ok outcome, a verify failure is not recorded
+            // as a completed iteration: a retry or resume re-runs it.
+            result.status = RunStatus::VerifyFailed;
+            result.verified = false;
+            result.verifyMessage = "iteration " + std::to_string(iter) +
+                                   ": " + message;
+            break;
+        }
+        result.iterations.push_back(sample);
+        if (hooks.onIteration)
+            hooks.onIteration(sample);
+        ++iter;
+    }
+
+    if (result.status == RunStatus::Ok) {
+        result.verified = true;
+        result.verifyMessage =
+            std::to_string(result.iterations.size()) +
+            " iterations verified";
+    }
+    // The campaign makespan: virtual for sim; for native, wallSeconds
+    // is the campaign span (arrival gaps included), not the sum of
+    // the iterations' parallel sections.
+    result.simCycles = vclock;
+    if (!sim)
+        result.wallSeconds = wclock;
+    for (const auto& stats : result.perThread)
+        result.totals.merge(stats);
+    return result;
+}
+
+} // namespace
+
+std::unique_ptr<ExecutionEngine>
+makeEngine(const World& world, const RunConfig& config)
+{
+    if (config.engine == EngineKind::Native) {
+        if (config.raceCheck)
+            fatal("--race-check requires the sim engine");
+        NativeOptions options;
+        options.chaos = config.chaos;
+        options.syncProfile = config.syncProfile;
+        options.watchdog = config.watchdog;
+        options.cpuAffinity = config.cpuAffinity;
+        return std::make_unique<NativeEngine>(world, options);
+    }
+    SimOptions options;
+    options.raceCheck = config.raceCheck;
+    options.syncProfile = config.syncProfile;
+    options.chaos = config.chaos;
+    options.watchdog = config.watchdog;
+    return std::make_unique<SimEngine>(
+        world, machineProfile(config.profile), options);
+}
+
+RunResult
+runBenchmark(Benchmark& benchmark, const RunConfig& config,
+             const RunHooks& hooks)
+{
+    panicIf(config.threads < 1, "run needs at least one thread");
+    if (config.mode == RunMode::Rate)
+        return runRate(benchmark, config, hooks);
+    return runSingle(benchmark, config);
+}
+
+RunResult
+runBenchmark(Benchmark& benchmark, const RunConfig& config)
+{
+    return runBenchmark(benchmark, config, RunHooks{});
+}
+
+RunResult
+runBenchmark(const std::string& name, const RunConfig& config,
+             const RunHooks& hooks)
 {
     auto benchmark = makeBenchmark(name);
-    return runBenchmark(*benchmark, config);
+    return runBenchmark(*benchmark, config, hooks);
+}
+
+RunResult
+runBenchmark(const std::string& name, const RunConfig& config)
+{
+    return runBenchmark(name, config, RunHooks{});
 }
 
 } // namespace splash

@@ -33,6 +33,51 @@
 
 namespace splash {
 
+namespace {
+
+/**
+ * CSV body of one IterationSample for the wire codec.  %.17g
+ * round-trips the native-clock doubles exactly, so a resumed or
+ * isolated campaign reports bit-identical latencies.
+ */
+std::string
+serializeIterationFields(const IterationSample& sample)
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof buf, "%d,%llu,%llu,%llu,%.17g,%.17g,%.17g,%d",
+        sample.iteration,
+        static_cast<unsigned long long>(sample.arrivalCycles),
+        static_cast<unsigned long long>(sample.startCycles),
+        static_cast<unsigned long long>(sample.completionCycles),
+        sample.arrivalSeconds, sample.startSeconds,
+        sample.completionSeconds, sample.verified ? 1 : 0);
+    return buf;
+}
+
+bool
+parseIterationFields(const std::string& value, IterationSample& sample)
+{
+    unsigned long long cycles[3] = {};
+    double seconds[3] = {};
+    int verified = 0;
+    if (std::sscanf(value.c_str(), "%d,%llu,%llu,%llu,%lg,%lg,%lg,%d",
+                    &sample.iteration, &cycles[0], &cycles[1],
+                    &cycles[2], &seconds[0], &seconds[1], &seconds[2],
+                    &verified) != 8)
+        return false;
+    sample.arrivalCycles = cycles[0];
+    sample.startCycles = cycles[1];
+    sample.completionCycles = cycles[2];
+    sample.arrivalSeconds = seconds[0];
+    sample.startSeconds = seconds[1];
+    sample.completionSeconds = seconds[2];
+    sample.verified = verified != 0;
+    return true;
+}
+
+} // namespace
+
 std::string
 serializeRunResult(const RunResult& result)
 {
@@ -73,6 +118,15 @@ serializeRunResult(const RunResult& result)
         // timeline does not (run without --isolate to capture traces).
         os << "syncscope="
            << wire::escape(result.syncProfile->serializeWire()) << "\n";
+    }
+    if (result.mode == RunMode::Rate) {
+        os << "mode=" << static_cast<int>(result.mode) << "\n";
+        // The final result carries the whole stream (resumed +
+        // locally-run); the `iterevent=` lines streamed mid-run are a
+        // durability side channel, not part of this codec.
+        for (std::size_t i = 0; i < result.iterations.size(); ++i)
+            os << "iter" << i << "="
+               << serializeIterationFields(result.iterations[i]) << "\n";
     }
     return os.str();
 }
@@ -134,6 +188,18 @@ deserializeRunResult(const std::string& text, RunResult& result)
         } else if (key == "workUnits") {
             result.totals.workUnits =
                 std::strtoull(value.c_str(), nullptr, 10);
+        } else if (key == "mode") {
+            result.mode = static_cast<RunMode>(std::atoi(value.c_str()));
+        } else if (key.size() > 4 && key.compare(0, 4, "iter") == 0 &&
+                   key.find_first_not_of("0123456789", 4) ==
+                       std::string::npos) {
+            const std::size_t index = static_cast<std::size_t>(
+                std::atoll(key.c_str() + 4));
+            if (index >= result.iterations.size())
+                result.iterations.resize(index + 1);
+            if (!parseIterationFields(value, result.iterations[index]))
+                warn("suite isolation: dropping malformed iteration "
+                     "wire payload");
         } else if (key.size() > 6 && key.compare(0, 6, "thread") == 0) {
             const std::size_t index = static_cast<std::size_t>(
                 std::atoll(key.c_str() + 6));
@@ -319,11 +385,41 @@ escalateKill(pid_t pid, int pipeFd, double graceSeconds)
     }
 }
 
+/**
+ * Forward every complete `iterevent=` line newly arrived in
+ * @p wireText (from @p scanPos on) to the parent-side iteration hook.
+ * Heartbeats, result fields, and partial tails are left for the
+ * final decoder; only whole lines advance the cursor.
+ */
+void
+drainIterationEvents(const std::string& wireText, std::size_t& scanPos,
+                     const RunHooks& hooks)
+{
+    for (;;) {
+        const std::size_t newline = wireText.find('\n', scanPos);
+        if (newline == std::string::npos)
+            return;
+        const std::string line =
+            wireText.substr(scanPos, newline - scanPos);
+        scanPos = newline + 1;
+        if (line.compare(0, 10, "iterevent=") != 0)
+            continue;
+        IterationSample sample;
+        if (parseIterationFields(line.substr(10), sample)) {
+            if (hooks.onIteration)
+                hooks.onIteration(sample);
+        } else {
+            warn("suite isolation: dropping malformed iteration "
+                 "event");
+        }
+    }
+}
+
 /** One fork-isolated attempt; never throws, never takes the suite down. */
 RunResult
 runIsolatedAttempt(const std::string& name, const RunConfig& config,
                    const IsolateOptions& iso, const std::string& jobId,
-                   int attempt)
+                   int attempt, const RunHooks& hooks)
 {
     int fds[2];
     if (pipe(fds) != 0)
@@ -372,7 +468,19 @@ runIsolatedAttempt(const std::string& name, const RunConfig& config,
             });
         }
 
-        RunResult result = runBenchmark(name, config);
+        // Rate jobs stream each completed iteration up the pipe as
+        // one atomic write (well under PIPE_BUF, so heartbeat frames
+        // cannot shear it); the parent persists them immediately,
+        // which is what lets a killed campaign resume mid-job.
+        RunHooks childHooks;
+        childHooks.completed = hooks.completed;
+        const int resultFd = fds[1];
+        childHooks.onIteration = [resultFd](const IterationSample& s) {
+            writeAll(resultFd, "iterevent=" +
+                                   serializeIterationFields(s) + "\n");
+        };
+
+        RunResult result = runBenchmark(name, config, childHooks);
 
         if (heartbeat.joinable()) {
             done.store(true, std::memory_order_relaxed);
@@ -393,6 +501,7 @@ runIsolatedAttempt(const std::string& name, const RunConfig& config,
     KillReason killReason = KillReason::None;
     double silentFor = 0.0;
     std::string wireText;
+    std::size_t scanPos = 0;
     char buf[4096];
     for (;;) {
         struct pollfd pfd = {fds[0], POLLIN, 0};
@@ -403,6 +512,7 @@ runIsolatedAttempt(const std::string& name, const RunConfig& config,
             if (n <= 0)
                 break; // EOF: child finished (or died)
             wireText.append(buf, static_cast<std::size_t>(n));
+            drainIterationEvents(wireText, scanPos, hooks);
             lastByte = now;
             continue;
         }
@@ -517,11 +627,12 @@ runIsolatedAttempt(const std::string& name, const RunConfig& config,
 RunResult
 runBenchmarkAttempt(const std::string& name, const RunConfig& config,
                     const IsolateOptions& iso, const std::string& jobId,
-                    int attempt)
+                    int attempt, const RunHooks& hooks)
 {
 #if SPLASH_HAVE_FORK_ISOLATION
     if (iso.enabled)
-        return runIsolatedAttempt(name, config, iso, jobId, attempt);
+        return runIsolatedAttempt(name, config, iso, jobId, attempt,
+                                  hooks);
 #else
     if (iso.enabled)
         warn("suite isolation unavailable on this platform; running "
@@ -529,7 +640,7 @@ runBenchmarkAttempt(const std::string& name, const RunConfig& config,
 #endif
     (void)jobId;
     (void)attempt;
-    return runBenchmark(name, config);
+    return runBenchmark(name, config, hooks);
 }
 
 RunResult

@@ -111,12 +111,20 @@ struct IsolateOptions
  * meaningless otherwise.  RunResult::attempts is left at its default;
  * the caller owns retry accounting.  With isolation disabled this
  * degrades to runBenchmark().
+ *
+ * @p hooks crosses the fork boundary for rate jobs: the child resumes
+ * from hooks.completed (its address space is a copy of the parent's),
+ * and streams each newly completed iteration up the result pipe as a
+ * self-contained `iterevent=` line, which the parent decodes and
+ * forwards to hooks.onIteration while the job is still running — so
+ * iterations persist even when the attempt later dies.
  */
 RunResult runBenchmarkAttempt(const std::string& name,
                               const RunConfig& config,
                               const IsolateOptions& iso,
                               const std::string& jobId = std::string(),
-                              int attempt = 1);
+                              int attempt = 1,
+                              const RunHooks& hooks = RunHooks());
 
 /**
  * Run one benchmark under the isolation policy.  Failed attempts

@@ -100,6 +100,24 @@ usage()
         "                            primitive pointers, or the virtual\n"
         "                            Context; see docs/ARCHITECTURE.md\n"
         "  --csv                     emit CSV instead of markdown\n"
+        "  --rate-iters=N            throughput mode: run N iterations\n"
+        "                            per job and report sustained\n"
+        "                            ops/sec + latency percentiles\n"
+        "                            (docs/THROUGHPUT.md)\n"
+        "  --rate-seconds=S          throughput mode: iterate until S\n"
+        "                            seconds of (virtual or wall) time\n"
+        "                            elapse; combines with --rate-iters\n"
+        "                            (whichever budget ends first)\n"
+        "  --arrival=closed|open:L   iteration arrival model (default\n"
+        "                            closed): closed starts each\n"
+        "                            iteration when the previous one\n"
+        "                            completes; open:L injects at L\n"
+        "                            iterations/sec so queueing delay\n"
+        "                            shows up in completion latency\n"
+        "  --job-arrival=R           open-loop *job* arrival: dispatch\n"
+        "                            plan job k no earlier than\n"
+        "                            campaign start + k/R seconds\n"
+        "                            (default 0 = all eligible at once)\n"
         "  --sweep=1,4,16,64         run each thread count, print\n"
         "                            cycles and speedup (sim engine)\n"
         "  --repeat=N                run each benchmark N times; each\n"
@@ -114,9 +132,11 @@ usage()
         "                            packed = neighboring cores,\n"
         "                            spread = far apart (default none)\n"
         "  --results=FILE            append one JSONL record per job\n"
-        "                            (schema splash4-results-v2,\n"
-        "                            started intents + results) to\n"
-        "                            FILE as jobs finish\n"
+        "                            (schema splash4-results-v3,\n"
+        "                            started intents, per-iteration\n"
+        "                            records, and results; v1/v2 files\n"
+        "                            stay loadable) to FILE as jobs\n"
+        "                            finish\n"
         "  --resume                  reload --results and re-run only\n"
         "                            jobs without a terminal record\n"
         "                            (default FILE: results.jsonl);\n"
@@ -238,6 +258,43 @@ main(int argc, char** argv)
         fatal("--race-check requires --engine=sim");
     config.fastPath = parseFastPath(args.get("fast-path", "auto"));
 
+    // Throughput mode (docs/THROUGHPUT.md): either budget flag turns
+    // every plan job into a rate campaign of back-to-back iterations.
+    const int rateIters = static_cast<int>(args.getInt("rate-iters", 0));
+    const double rateSeconds = args.getDouble("rate-seconds", 0);
+    if (rateIters < 0)
+        fatal("--rate-iters cannot be negative");
+    if (rateSeconds < 0)
+        fatal("--rate-seconds cannot be negative");
+    if (rateIters > 0 || rateSeconds > 0) {
+        config.mode = RunMode::Rate;
+        config.rate.iterations = rateIters;
+        config.rate.seconds = rateSeconds;
+    }
+    const std::string arrivalArg = args.get("arrival", "");
+    if (!arrivalArg.empty()) {
+        if (config.mode != RunMode::Rate)
+            fatal("--arrival needs a rate budget: add --rate-iters=N "
+                  "or --rate-seconds=S");
+        if (arrivalArg == "closed") {
+            config.rate.arrival = ArrivalKind::Closed;
+        } else if (arrivalArg.compare(0, 5, "open:") == 0) {
+            config.rate.arrival = ArrivalKind::Open;
+            config.rate.lambda = std::atof(arrivalArg.c_str() + 5);
+            if (config.rate.lambda <= 0)
+                fatal("--arrival=open:<lambda> needs a positive "
+                      "injection rate");
+        } else {
+            fatal("--arrival must be 'closed' or 'open:<lambda>'");
+        }
+    }
+    if (config.raceCheck && config.mode == RunMode::Rate)
+        fatal("--race-check requires single-shot mode; drop the rate "
+              "flags");
+    if (args.has("sweep") && config.mode == RunMode::Rate)
+        fatal("--sweep reports single-shot cycles and speedup; drop "
+              "the rate flags");
+
     // Chaos-Sentry: seeded fault injection plus progress watchdogs.
     const int chaosLevel = static_cast<int>(
         args.getInt("chaos-level", args.has("chaos-seed") ? 1 : 0));
@@ -263,6 +320,9 @@ main(int argc, char** argv)
     if (sched.jobs < 1)
         fatal("--jobs needs at least one worker");
     sched.placement = parsePlacement(args.get("placement", "none"));
+    sched.jobArrivalPerSecond = args.getDouble("job-arrival", 0);
+    if (sched.jobArrivalPerSecond < 0)
+        fatal("--job-arrival cannot be negative");
     sched.isolate.enabled = args.has("isolate");
     sched.isolate.timeoutSeconds = args.getDouble("isolate-timeout", 0);
 
@@ -357,6 +417,8 @@ main(int argc, char** argv)
         "detail",
         "race-check",      "csv",             "list",
         "fast-path",       "sweep",           "repeat",
+        "rate-iters",      "rate-seconds",    "arrival",
+        "job-arrival",
         "jobs",            "placement",       "results",
         "resume",          "fsync",
         "retries",         "retry-backoff",   "quarantine-after",
@@ -463,12 +525,16 @@ main(int argc, char** argv)
     const std::vector<JobOutcome> outcomes =
         runPlan(plan, sched, store.get());
 
-    Table table(runRowHeaders());
+    Table table(config.mode == RunMode::Rate ? rateRowHeaders()
+                                             : runRowHeaders());
     bool race_clean = true;
     for (const JobOutcome& outcome : outcomes) {
         const RunResult& result = outcome.result;
         const RunConfig& jobConfig = outcome.job.config;
-        addRunRow(table, outcome.job.benchmark, jobConfig, result);
+        if (jobConfig.mode == RunMode::Rate)
+            addRateRow(table, outcome.job.benchmark, jobConfig, result);
+        else
+            addRunRow(table, outcome.job.benchmark, jobConfig, result);
         if (args.has("detail"))
             printRunDetail(outcome.job.benchmark, jobConfig, result);
         if (!args.has("csv"))
@@ -493,7 +559,9 @@ main(int argc, char** argv)
     if (args.has("csv"))
         std::printf("%s", table.toCsv().c_str());
     else
-        table.print("Run summary");
+        table.print(config.mode == RunMode::Rate
+                        ? "Rate campaign (steady-state throughput)"
+                        : "Run summary");
     // Run-Guard roll-up: on stderr always (greppable by CI without
     // touching the diffable stdout report), and as a stdout section
     // in table mode.

@@ -5,6 +5,7 @@
 
 #include "analysis/race_report.h"
 #include "core/sync_profile.h"
+#include "util/steady.h"
 
 namespace splash {
 
@@ -40,6 +41,42 @@ addRunRow(Table& table, const std::string& benchName,
     table.endRow();
 }
 
+std::vector<std::string>
+rateRowHeaders()
+{
+    return {"benchmark", "suite",    "engine",  "threads",
+            "iters",     "warmup",   "ops_per_sec", "lat_p50",
+            "lat_p95",   "lat_p99",  "verified", "status",
+            "tries"};
+}
+
+void
+addRateRow(Table& table, const std::string& benchName,
+           const RunConfig& config, const RunResult& result)
+{
+    const RateSummary summary =
+        summarizeRate(result.iterations, config.engine);
+    // Sim latencies are virtual cycles (integers); native latencies
+    // are wall seconds, scaled to milliseconds for readability.
+    const bool sim = config.engine == EngineKind::Sim;
+    const double latScale = sim ? 1.0 : 1e3;
+    const int latDecimals = sim ? 0 : 3;
+    table.cell(benchName)
+        .cell(toString(config.suite))
+        .cell(toString(config.engine))
+        .cell(std::to_string(config.threads))
+        .cell(static_cast<std::uint64_t>(summary.iterations))
+        .cell(static_cast<std::uint64_t>(summary.warmupIterations))
+        .cell(summary.opsPerSec, 2)
+        .cell(summary.p50 * latScale, latDecimals)
+        .cell(summary.p95 * latScale, latDecimals)
+        .cell(summary.p99 * latScale, latDecimals)
+        .cell(result.verified ? "yes" : "NO")
+        .cell(toString(result.status))
+        .cell(std::to_string(result.attempts));
+    table.endRow();
+}
+
 void
 printRunDetail(const std::string& benchName, const RunConfig& config,
                const RunResult& result)
@@ -65,6 +102,22 @@ printRunDetail(const std::string& benchName, const RunConfig& config,
     std::printf("  verified: %s (%s)\n",
                 result.verified ? "yes" : "NO",
                 result.verifyMessage.c_str());
+    if (result.mode == RunMode::Rate) {
+        const RateSummary summary =
+            summarizeRate(result.iterations, config.engine);
+        std::printf("  rate: %d iterations (%d warmup), %.2f ops/sec "
+                    "sustained over %.6f s steady span\n",
+                    summary.iterations, summary.warmupIterations,
+                    summary.opsPerSec, summary.steadySpanSeconds);
+        if (summary.simTime)
+            std::printf("  latency (cycles): p50=%.0f p95=%.0f "
+                        "p99=%.0f\n",
+                        summary.p50, summary.p95, summary.p99);
+        else
+            std::printf("  latency (ms): p50=%.3f p95=%.3f p99=%.3f\n",
+                        summary.p50 * 1e3, summary.p95 * 1e3,
+                        summary.p99 * 1e3);
+    }
     if (config.engine == EngineKind::Sim) {
         std::printf("  simulated cycles: %llu\n",
                     static_cast<unsigned long long>(result.simCycles));

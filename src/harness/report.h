@@ -22,6 +22,19 @@ void addRunRow(Table& table, const std::string& benchName,
 /** Headers matching addRunRow. */
 std::vector<std::string> runRowHeaders();
 
+/**
+ * One row summarizing a rate-mode campaign job.  Every column is
+ * derived from the job's iteration samples alone (summarizeRate), so a
+ * resumed campaign — whose RunResult counters cover only the locally
+ * re-run iterations — prints a row bit-identical to an uninterrupted
+ * one.  Sim latencies are reported in cycles, native in milliseconds.
+ */
+void addRateRow(Table& table, const std::string& benchName,
+                const RunConfig& config, const RunResult& result);
+
+/** Headers matching addRateRow. */
+std::vector<std::string> rateRowHeaders();
+
 /** Print a single run's full detail (counts, categories). */
 void printRunDetail(const std::string& benchName,
                     const RunConfig& config, const RunResult& result);

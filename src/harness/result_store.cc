@@ -9,6 +9,7 @@
 
 #include "core/sync_profile.h"
 #include "util/log.h"
+#include "util/steady.h"
 #include "util/wire.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -260,6 +261,17 @@ makeResultRecord(const JobSpec& job, const RunResult& result)
                       : -1.0;
     rec.verifyMessage = result.verifyMessage;
     rec.statusDetail = result.statusDetail;
+    rec.mode = result.mode;
+    if (result.mode == RunMode::Rate) {
+        const RateSummary summary =
+            summarizeRate(result.iterations, job.config.engine);
+        rec.iterations = summary.iterations;
+        rec.warmupIterations = summary.warmupIterations;
+        rec.opsPerSec = summary.opsPerSec;
+        rec.latencyP50 = summary.p50;
+        rec.latencyP95 = summary.p95;
+        rec.latencyP99 = summary.p99;
+    }
     return rec;
 }
 
@@ -283,6 +295,9 @@ recordToRunResult(const ResultRecord& record)
     result.totals.workUnits = record.workUnits;
     result.verifyMessage = record.verifyMessage;
     result.statusDetail = record.statusDetail;
+    // Rate iteration streams are separate records; the scheduler's
+    // resume path re-attaches them via ResultStore::iterationsFor().
+    result.mode = record.mode;
     return result;
 }
 
@@ -322,6 +337,19 @@ toJsonLine(const ResultRecord& record)
         os << ",\"waitPct\":";
         appendNumber(os, record.waitPct);
     }
+    if (record.mode == RunMode::Rate) {
+        os << ",\"mode\":\"rate\""
+           << ",\"iterations\":" << record.iterations
+           << ",\"warmupIterations\":" << record.warmupIterations
+           << ",\"opsPerSec\":";
+        appendNumber(os, record.opsPerSec);
+        os << ",\"latencyP50\":";
+        appendNumber(os, record.latencyP50);
+        os << ",\"latencyP95\":";
+        appendNumber(os, record.latencyP95);
+        os << ",\"latencyP99\":";
+        appendNumber(os, record.latencyP99);
+    }
     os << ",\"verifyMessage\":\""
        << wire::jsonEscape(record.verifyMessage) << "\""
        << ",\"statusDetail\":\""
@@ -350,7 +378,8 @@ parseStartedLine(const std::string& line, std::string& jobId,
     if (!parseFlatObject(line, fields))
         return false;
     const std::string* schema = lookup(fields, "schema");
-    if (!schema || *schema != ResultStore::kSchema)
+    if (!schema || (*schema != ResultStore::kSchema &&
+                    *schema != ResultStore::kSchemaV2))
         return false;
     const std::string* type = lookup(fields, "type");
     if (!type || *type != "started")
@@ -376,8 +405,10 @@ parseJsonLine(const std::string& line, ResultRecord& record)
     const std::string* schema = lookup(fields, "schema");
     if (!schema)
         return false;
-    if (*schema == ResultStore::kSchema) {
-        // v2 requires the record type; intents are not results.
+    if (*schema == ResultStore::kSchema ||
+        *schema == ResultStore::kSchemaV2) {
+        // v2+ requires the record type; intents and iteration
+        // records are not results.
         const std::string* type = lookup(fields, "type");
         if (!type || *type != "result")
             return false;
@@ -449,10 +480,83 @@ parseJsonLine(const std::string& line, ResultRecord& record)
     parseU64(fields, "workUnits", record.workUnits);
     if (!parseF64(fields, "waitPct", record.waitPct))
         record.waitPct = -1.0;
+    const std::string* mode = lookup(fields, "mode");
+    if (mode && *mode == "rate") {
+        record.mode = RunMode::Rate;
+        if (parseU64(fields, "iterations", u64))
+            record.iterations = static_cast<int>(u64);
+        if (parseU64(fields, "warmupIterations", u64))
+            record.warmupIterations = static_cast<int>(u64);
+        parseF64(fields, "opsPerSec", record.opsPerSec);
+        parseF64(fields, "latencyP50", record.latencyP50);
+        parseF64(fields, "latencyP95", record.latencyP95);
+        parseF64(fields, "latencyP99", record.latencyP99);
+    }
     if (const std::string* text = lookup(fields, "verifyMessage"))
         record.verifyMessage = *text;
     if (const std::string* text = lookup(fields, "statusDetail"))
         record.statusDetail = *text;
+    return true;
+}
+
+std::string
+toIterationJsonLine(const std::string& jobId,
+                    const std::string& benchmark,
+                    const IterationSample& sample)
+{
+    std::ostringstream os;
+    os << "{\"schema\":\"" << ResultStore::kSchema << "\""
+       << ",\"type\":\"iteration\""
+       << ",\"jobId\":\"" << wire::jsonEscape(jobId) << "\""
+       << ",\"benchmark\":\"" << wire::jsonEscape(benchmark) << "\""
+       << ",\"iteration\":" << sample.iteration
+       << ",\"arrivalCycles\":" << sample.arrivalCycles
+       << ",\"startCycles\":" << sample.startCycles
+       << ",\"completionCycles\":" << sample.completionCycles
+       << ",\"arrivalSeconds\":";
+    appendNumber(os, sample.arrivalSeconds);
+    os << ",\"startSeconds\":";
+    appendNumber(os, sample.startSeconds);
+    os << ",\"completionSeconds\":";
+    appendNumber(os, sample.completionSeconds);
+    os << ",\"verified\":" << (sample.verified ? "true" : "false")
+       << "}";
+    return os.str();
+}
+
+bool
+parseIterationLine(const std::string& line, std::string& jobId,
+                   IterationSample& sample)
+{
+    std::map<std::string, std::string> fields;
+    if (!parseFlatObject(line, fields))
+        return false;
+    const std::string* schema = lookup(fields, "schema");
+    if (!schema || *schema != ResultStore::kSchema)
+        return false;
+    const std::string* type = lookup(fields, "type");
+    if (!type || *type != "iteration")
+        return false;
+    const std::string* id = lookup(fields, "jobId");
+    if (!id || id->empty())
+        return false;
+    std::uint64_t u64 = 0;
+    if (!parseU64(fields, "iteration", u64))
+        return false;
+    sample.iteration = static_cast<int>(u64);
+    if (!parseU64(fields, "arrivalCycles", sample.arrivalCycles) ||
+        !parseU64(fields, "startCycles", sample.startCycles) ||
+        !parseU64(fields, "completionCycles", sample.completionCycles))
+        return false;
+    if (!parseF64(fields, "arrivalSeconds", sample.arrivalSeconds) ||
+        !parseF64(fields, "startSeconds", sample.startSeconds) ||
+        !parseF64(fields, "completionSeconds", sample.completionSeconds))
+        return false;
+    const std::string* verified = lookup(fields, "verified");
+    if (!verified || (*verified != "true" && *verified != "false"))
+        return false;
+    sample.verified = *verified == "true";
+    jobId = *id;
     return true;
 }
 
@@ -497,6 +601,7 @@ ResultStore::load()
         ResultRecord record;
         std::string startedId;
         int startedAttempt = 0;
+        IterationSample sample;
         if (parseJsonLine(line, record)) {
             records_[record.jobId] = record; // last record wins
             ++loaded;
@@ -505,6 +610,8 @@ ResultStore::load()
             if (startedAttempt > attempts)
                 attempts = startedAttempt;
             ++startedCount_[startedId];
+        } else if (parseIterationLine(line, startedId, sample)) {
+            iterations_[startedId].push_back(sample);
         } else {
             warn("result store: skipping malformed record in " +
                  path_);
@@ -598,6 +705,41 @@ ResultStore::append(const ResultRecord& record)
     // campaign's report is unaffected; only a later --resume sees the
     // torn line and deterministically re-runs the job.
     records_[record.jobId] = record;
+}
+
+void
+ResultStore::appendIteration(const std::string& jobId,
+                             const std::string& benchmark,
+                             const IterationSample& sample)
+{
+    // Iteration records never tear: a lost iteration only costs a
+    // re-run of that iteration, and the tear-recovery machinery is
+    // already proven on terminal records.
+    writeLine(toIterationJsonLine(jobId, benchmark, sample),
+              /*tear=*/false);
+    iterations_[jobId].push_back(sample);
+}
+
+std::vector<IterationSample>
+ResultStore::iterationsFor(const std::string& jobId) const
+{
+    const auto it = iterations_.find(jobId);
+    if (it == iterations_.end())
+        return {};
+    // Last record for an iteration index wins (a retried attempt
+    // re-streams deterministically identical samples).
+    std::map<int, IterationSample> byIndex;
+    for (const IterationSample& sample : it->second)
+        byIndex[sample.iteration] = sample;
+    std::vector<IterationSample> prefix;
+    int expect = 0;
+    for (const auto& [index, sample] : byIndex) {
+        if (index != expect)
+            break;
+        prefix.push_back(sample);
+        ++expect;
+    }
+    return prefix;
 }
 
 const ResultRecord*

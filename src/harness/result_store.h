@@ -3,7 +3,7 @@
  * Result store: the persistence layer of the suite pipeline.
  *
  * Campaign results are appended to a JSONL file (one self-contained
- * JSON object per line, schema `splash4-results-v2`) as jobs complete,
+ * JSON object per line, schema `splash4-results-v3`) as jobs complete,
  * keyed by the run plan's content-derived job ids.  Because the file
  * is append-only and flushed per record, a crashed or killed campaign
  * leaves a valid prefix: --resume reloads the store, skips every job
@@ -21,9 +21,19 @@
  *    full fsync per record for machines that may lose power);
  *  - a seeded tear hook for harness chaos, writing deliberately torn
  *    half-records to prove the recovery path in tests and CI.
- * v1 files (`splash4-results-v1`, result records only) load
+ * Throughput mode (v3) adds per-iteration durability for rate jobs
+ * (docs/THROUGHPUT.md):
+ *  - `"type":"iteration"` records appended as each rate-mode
+ *    iteration completes, streamed up from the fork-isolated child,
+ *    so --resume restarts an incomplete rate job at its last
+ *    completed iteration instead of from scratch;
+ *  - terminal records of rate jobs carry the campaign summary
+ *    (iterations, warmup split, sustained ops/sec, p50/p95/p99
+ *    completion latency).
+ * v1 files (`splash4-results-v1`, result records only) and v2 files
+ * (`splash4-results-v2`, intents + results, single-shot only) load
  * read-only: their records count as terminal, they just carry no
- * intents.
+ * iteration streams.
  *
  * The store keeps the scalar summary of a run (status, verification,
  * cycles, wall time, construct totals, wait percentage).  Per-run
@@ -93,6 +103,16 @@ struct ResultRecord
     double waitPct = -1.0; ///< negative = run carried no profile
     std::string verifyMessage;
     std::string statusDetail;
+
+    /** Iteration lifecycle (v3; earlier schemas are always Single). */
+    RunMode mode = RunMode::Single;
+    /** Rate-mode campaign summary (mode == Rate; see util/steady.h). */
+    int iterations = 0;
+    int warmupIterations = 0;
+    double opsPerSec = 0;
+    double latencyP50 = 0; ///< cycles (sim) or seconds (native)
+    double latencyP95 = 0;
+    double latencyP99 = 0;
 };
 
 /** Summarize one finished job into its store record. */
@@ -110,9 +130,10 @@ RunResult recordToRunResult(const ResultRecord& record);
 class ResultStore
 {
   public:
-    static constexpr const char* kSchema = "splash4-results-v2";
+    static constexpr const char* kSchema = "splash4-results-v3";
 
-    /** Previous schema, still accepted read-only by load(). */
+    /** Previous schemas, still accepted read-only by load(). */
+    static constexpr const char* kSchemaV2 = "splash4-results-v2";
     static constexpr const char* kSchemaV1 = "splash4-results-v1";
 
     explicit ResultStore(std::string path);
@@ -149,6 +170,23 @@ class ResultStore
     /** Append one terminal record and flush it to disk. */
     void append(const ResultRecord& record);
 
+    /**
+     * Append one completed rate-mode iteration (streamed from the
+     * child as it finishes), so a campaign killed mid-job resumes at
+     * the last completed iteration instead of from scratch.
+     */
+    void appendIteration(const std::string& jobId,
+                         const std::string& benchmark,
+                         const IterationSample& sample);
+
+    /**
+     * Completed iterations on record for @p jobId, as the contiguous
+     * prefix 0..k (sorted, deduplicated last-wins; a gap ends the
+     * prefix — everything after a lost iteration re-runs).
+     */
+    std::vector<IterationSample>
+    iterationsFor(const std::string& jobId) const;
+
     /** Terminal record for @p jobId, or null. */
     const ResultRecord* find(const std::string& jobId) const;
 
@@ -182,6 +220,9 @@ class ResultStore
     std::map<std::string, ResultRecord> records_;
     std::map<std::string, int> started_;      // jobId -> max attempt
     std::map<std::string, int> startedCount_; // jobId -> intent lines
+    // jobId -> iteration records in append order (iterationsFor sorts
+    // and dedupes; retries may re-stream identical samples).
+    std::map<std::string, std::vector<IterationSample>> iterations_;
     std::FILE* out_ = nullptr;
     FsyncPolicy fsyncPolicy_ = FsyncPolicy::None;
     HarnessChaosOptions chaos_{};
@@ -202,9 +243,18 @@ std::string toStartedJsonLine(const std::string& jobId,
  */
 bool parseJsonLine(const std::string& line, ResultRecord& record);
 
-/** Parse one JSONL line as a v2 started-intent record. */
+/** Parse one JSONL line as a started-intent record (v3 or v2). */
 bool parseStartedLine(const std::string& line, std::string& jobId,
                       int& attempt);
+
+/** Serialize one iteration record as its JSONL line (no newline). */
+std::string toIterationJsonLine(const std::string& jobId,
+                                const std::string& benchmark,
+                                const IterationSample& sample);
+
+/** Parse one JSONL line as a v3 iteration record. */
+bool parseIterationLine(const std::string& line, std::string& jobId,
+                        IterationSample& sample);
 
 } // namespace splash
 

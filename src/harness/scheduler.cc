@@ -145,6 +145,12 @@ runPlan(const RunPlan& plan, const SchedulerOptions& options,
             if (const ResultRecord* record =
                     store->find(outcomes[i].job.jobId)) {
                 outcomes[i].result = recordToRunResult(*record);
+                // Rate jobs replay their full iteration stream so the
+                // resumed report derives from the same samples the
+                // original campaign saw (bit-identical rows).
+                if (record->mode == RunMode::Rate)
+                    outcomes[i].result.iterations =
+                        store->iterationsFor(outcomes[i].job.jobId);
                 outcomes[i].resumed = true;
                 outcomes[i].done = true;
                 continue;
@@ -205,6 +211,7 @@ runPlan(const RunPlan& plan, const SchedulerOptions& options,
     }
 
     const RetryPolicy& retry = options.retry;
+    const auto campaignStart = std::chrono::steady_clock::now();
     std::mutex mutex;
     std::condition_variable coresFreed;
     std::size_t next = 0;
@@ -289,6 +296,23 @@ runPlan(const RunPlan& plan, const SchedulerOptions& options,
                        std::to_string(job.config.threads) + ")");
             }
 
+            // Open-loop job arrival: this job enters the system at
+            // its dispatch ordinal's arrival instant, not before.
+            // The claimed job (and its cores) wait with the worker so
+            // later arrivals cannot jump the plan order.
+            if (options.jobArrivalPerSecond > 0) {
+                const auto target =
+                    campaignStart +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(runIndex - 1) /
+                            options.jobArrivalPerSecond));
+                lock.unlock();
+                std::this_thread::sleep_until(target);
+                lock.lock();
+            }
+
             // Run-Guard retry engine.  Attempt numbering always
             // starts at 1 (even on a resumed campaign) so the
             // deterministic harness-chaos draws replay identically;
@@ -299,12 +323,28 @@ runPlan(const RunPlan& plan, const SchedulerOptions& options,
             RunResult result;
             int attempt = 1;
             for (;;) {
+                // Rate jobs continue from whatever the store already
+                // holds — refreshed per attempt, so a retry after a
+                // mid-stream death picks up the iterations the dead
+                // attempt managed to stream out.
+                std::vector<IterationSample> completed;
+                RunHooks hooks;
+                if (job.config.mode == RunMode::Rate && store) {
+                    completed = store->iterationsFor(job.jobId);
+                    hooks.completed = &completed;
+                    hooks.onIteration =
+                        [&mutex, store, &job](const IterationSample& s) {
+                            std::lock_guard<std::mutex> guard(mutex);
+                            store->appendIteration(job.jobId,
+                                                   job.benchmark, s);
+                        };
+                }
                 if (store)
                     store->appendStarted(job, attempt);
                 lock.unlock();
                 result = runBenchmarkAttempt(job.benchmark,
                                              attemptConfig, iso,
-                                             job.jobId, attempt);
+                                             job.jobId, attempt, hooks);
                 lock.lock();
                 if (result.ok() || attempt >= maxAttempts)
                     break;

@@ -139,6 +139,15 @@ struct SchedulerOptions
     int totalCores = 0;     ///< 0 = detect the host's core count
     IsolateOptions isolate; ///< forced on when jobs > 1
     RetryPolicy retry;      ///< Run-Guard retry/backoff/quarantine
+    /**
+     * Open-loop *job* arrival (docs/THROUGHPUT.md): dispatch job k of
+     * the pending list no earlier than campaign start + k/rate
+     * seconds, modeling a continuous submission stream instead of a
+     * batch.  0 disables (all jobs eligible immediately).  Dispatch
+     * stays plan-ordered and results stay deterministic: arrival only
+     * delays wall-clock start times, never changes job content.
+     */
+    double jobArrivalPerSecond = 0;
 };
 
 /** One plan job's final outcome, in plan order. */

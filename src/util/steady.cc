@@ -1,0 +1,105 @@
+#include "util/steady.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace splash {
+
+std::size_t
+steadyStateTruncation(const std::vector<double>& series)
+{
+    const std::size_t n = series.size();
+    if (n < 4)
+        return 0;
+
+    // Suffix sums let every candidate truncation evaluate in O(1).
+    std::vector<double> suffixSum(n + 1, 0.0);
+    std::vector<double> suffixSq(n + 1, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+        suffixSum[i] = suffixSum[i + 1] + series[i];
+        suffixSq[i] = suffixSq[i + 1] + series[i] * series[i];
+    }
+
+    const std::size_t dMax = n / 2;
+    std::size_t bestD = 0;
+    double bestMser = 0;
+    bool haveBest = false;
+    for (std::size_t d = 0; d <= dMax; ++d) {
+        const double m = static_cast<double>(n - d);
+        const double mean = suffixSum[d] / m;
+        // Catastrophic cancellation can push this a hair negative.
+        const double sse =
+            std::max(0.0, suffixSq[d] - m * mean * mean);
+        const double mser = sse / (m * m);
+        if (!haveBest || mser < bestMser) {
+            haveBest = true;
+            bestMser = mser;
+            bestD = d;
+        }
+    }
+    return bestD;
+}
+
+double
+percentileNearestRank(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    const double n = static_cast<double>(values.size());
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    rank = std::min(std::max<std::size_t>(rank, 1), values.size());
+    return values[rank - 1];
+}
+
+RateSummary
+summarizeRate(const std::vector<IterationSample>& iterations,
+              EngineKind engine)
+{
+    RateSummary summary;
+    summary.iterations = static_cast<int>(iterations.size());
+    summary.simTime = engine == EngineKind::Sim;
+    if (iterations.empty())
+        return summary;
+
+    std::vector<double> latencies;
+    latencies.reserve(iterations.size());
+    for (const IterationSample& it : iterations) {
+        latencies.push_back(
+            summary.simTime
+                ? static_cast<double>(it.completionCycles -
+                                      it.arrivalCycles)
+                : it.completionSeconds - it.arrivalSeconds);
+    }
+
+    const std::size_t warmup = steadyStateTruncation(latencies);
+    summary.warmupIterations = static_cast<int>(warmup);
+    const std::vector<double> steady(latencies.begin() +
+                                         static_cast<std::ptrdiff_t>(warmup),
+                                     latencies.end());
+    summary.p50 = percentileNearestRank(steady, 50);
+    summary.p95 = percentileNearestRank(steady, 95);
+    summary.p99 = percentileNearestRank(steady, 99);
+
+    // The steady span runs from the last warmup completion (campaign
+    // start when nothing was discarded) to the final completion.
+    double spanSeconds;
+    if (summary.simTime) {
+        const VTime spanStart =
+            warmup ? iterations[warmup - 1].completionCycles : 0;
+        spanSeconds = static_cast<double>(
+                          iterations.back().completionCycles - spanStart) /
+                      kSimNominalHz;
+    } else {
+        const double spanStart =
+            warmup ? iterations[warmup - 1].completionSeconds : 0;
+        spanSeconds = iterations.back().completionSeconds - spanStart;
+    }
+    summary.steadySpanSeconds = spanSeconds;
+    if (spanSeconds > 0)
+        summary.opsPerSec =
+            static_cast<double>(steady.size()) / spanSeconds;
+    return summary;
+}
+
+} // namespace splash

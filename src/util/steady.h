@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Steady-state detection and latency summarization for rate-mode
+ * campaigns (docs/THROUGHPUT.md).
+ *
+ * A rate run's early iterations are polluted by warmup — cold caches,
+ * allocator growth, branch-predictor training — so sustained
+ * throughput and tail latency must be computed over the steady phase
+ * only.  The detector is MSER-style (Marginal Standard Error Rule,
+ * White 1997): pick the truncation point d that minimizes the
+ * standard error of the remaining n-d observations' mean,
+ *
+ *     MSER(d) = (1 / (n-d)^2) * sum_{i>=d} (x_i - mean_{i>=d})^2,
+ *
+ * which trades discarded samples against residual variance.  All of
+ * it is deterministic (fixed tie-breaks, nearest-rank percentiles),
+ * so rate reports are bit-identical across --jobs and --resume.
+ */
+
+#ifndef SPLASH_UTIL_STEADY_H
+#define SPLASH_UTIL_STEADY_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace splash {
+
+/**
+ * Nominal sim clock: virtual cycles convert to seconds at 1 GHz for
+ * ops/sec reporting, so sim throughput numbers stay deterministic.
+ */
+constexpr double kSimNominalHz = 1e9;
+
+/**
+ * MSER truncation point of @p series: the number of leading warmup
+ * observations to discard.  Capped at n/2 (the rule's standard
+ * guard: discarding more than half the data means the run never
+ * reached steady state and the statistic is unreliable anyway);
+ * ties break toward the smallest d.  Series shorter than 4 return 0.
+ */
+std::size_t steadyStateTruncation(const std::vector<double>& series);
+
+/**
+ * Nearest-rank percentile (inclusive): the smallest element with at
+ * least p percent of the data at or below it.  @p p in [0, 100];
+ * deterministic, no interpolation.  Empty input returns 0.
+ */
+double percentileNearestRank(std::vector<double> values, double p);
+
+/** Rate-mode campaign summary derived purely from iteration samples. */
+struct RateSummary
+{
+    int iterations = 0;       ///< completed iterations (whole stream)
+    int warmupIterations = 0; ///< leading iterations MSER discarded
+    double opsPerSec = 0;     ///< steady-phase sustained throughput
+    /**
+     * Completion latency (completion - arrival) percentiles over the
+     * steady phase: virtual cycles for sim campaigns, seconds native.
+     */
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double steadySpanSeconds = 0; ///< steady-phase duration
+    bool simTime = false;         ///< latencies are in cycles
+};
+
+/**
+ * Summarize a campaign's iteration stream: MSER warmup split on the
+ * completion-latency series, nearest-rank tail percentiles, and
+ * sustained ops/sec over the steady span (from the last warmup
+ * completion — campaign start if none — to the last completion).
+ */
+RateSummary summarizeRate(const std::vector<IterationSample>& iterations,
+                          EngineKind engine);
+
+} // namespace splash
+
+#endif // SPLASH_UTIL_STEADY_H

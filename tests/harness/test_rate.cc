@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Rate-mode pipeline tests (docs/THROUGHPUT.md): iteration seed
+ * policy, job-id coverage of the rate parameters (with single-shot
+ * ids unchanged), single-shot parity of a one-iteration campaign,
+ * determinism of iteration streams across --jobs, resume-from-
+ * iteration-records continuation, and the v3 store record formats
+ * (with v2 lines still readable).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/run_plan.h"
+#include "harness/result_store.h"
+#include "harness/scheduler.h"
+#include "planted_benchmarks.h"
+
+namespace splash {
+namespace {
+
+using planted::ensurePlantedRegistered;
+using planted::simConfig;
+
+RunConfig
+rateConfig(int iterations)
+{
+    RunConfig config = simConfig();
+    config.mode = RunMode::Rate;
+    config.rate.iterations = iterations;
+    return config;
+}
+
+TEST(RateSeeds, IterationZeroIsTheJobSeed)
+{
+    EXPECT_EQ(deriveIterationSeed(1234, 0), 1234u);
+    const std::uint64_t one = deriveIterationSeed(1234, 1);
+    EXPECT_NE(one, 1234u);
+    EXPECT_EQ(one, deriveSeed(1234, "iter/1"));
+    EXPECT_NE(deriveIterationSeed(1234, 2), one);
+    // A pure function of (job seed, iteration) — stable across calls.
+    EXPECT_EQ(deriveIterationSeed(1234, 7), deriveIterationSeed(1234, 7));
+}
+
+TEST(RateJobIds, SingleShotIdsIgnoreRateFields)
+{
+    ensurePlantedRegistered();
+    // A Single-mode job's id must be byte-identical to what it was
+    // before the mode existed, even if rate fields are (meaninglessly)
+    // populated — pre-rate stores must stay resumable.
+    RunConfig plain = simConfig();
+    RunConfig decorated = simConfig();
+    decorated.rate.iterations = 9;
+    decorated.rate.seconds = 3.5;
+    decorated.rate.lambda = 100;
+    EXPECT_EQ(computeJobId("zz-work", plain, 0),
+              computeJobId("zz-work", decorated, 0));
+}
+
+TEST(RateJobIds, RateParametersAreCovered)
+{
+    ensurePlantedRegistered();
+    const std::string single = computeJobId("zz-work", simConfig(), 0);
+    const std::string rate4 =
+        computeJobId("zz-work", rateConfig(4), 0);
+    const std::string rate8 =
+        computeJobId("zz-work", rateConfig(8), 0);
+    EXPECT_NE(single, rate4);
+    EXPECT_NE(rate4, rate8);
+    RunConfig open = rateConfig(4);
+    open.rate.arrival = ArrivalKind::Open;
+    open.rate.lambda = 50;
+    const std::string openId = computeJobId("zz-work", open, 0);
+    EXPECT_NE(openId, rate4);
+    open.rate.lambda = 100;
+    EXPECT_NE(computeJobId("zz-work", open, 0), openId);
+}
+
+TEST(RateRun, OneIterationMatchesSingleShot)
+{
+    ensurePlantedRegistered();
+    const RunResult single = runBenchmark("zz-work", simConfig());
+    ASSERT_EQ(single.status, RunStatus::Ok);
+
+    const RunResult rate = runBenchmark("zz-work", rateConfig(1));
+    ASSERT_EQ(rate.status, RunStatus::Ok);
+    ASSERT_EQ(rate.iterations.size(), 1u);
+    // Iteration 0 consumes the job seed itself, so a one-iteration
+    // campaign is the single-shot run: same virtual makespan.
+    EXPECT_EQ(rate.iterations[0].completionCycles, single.simCycles);
+    EXPECT_EQ(rate.simCycles, single.simCycles);
+    EXPECT_TRUE(rate.verified);
+}
+
+TEST(RateRun, IterationsChainOnTheCampaignClock)
+{
+    ensurePlantedRegistered();
+    const RunResult result = runBenchmark("zz-work", rateConfig(5));
+    ASSERT_EQ(result.status, RunStatus::Ok);
+    ASSERT_EQ(result.iterations.size(), 5u);
+    VTime clock = 0;
+    for (int i = 0; i < 5; ++i) {
+        const IterationSample& sample = result.iterations[i];
+        EXPECT_EQ(sample.iteration, i);
+        EXPECT_EQ(sample.arrivalCycles, clock);
+        EXPECT_EQ(sample.startCycles, clock);
+        EXPECT_GT(sample.completionCycles, sample.startCycles);
+        EXPECT_TRUE(sample.verified);
+        clock = sample.completionCycles;
+    }
+    EXPECT_EQ(result.simCycles, clock);
+}
+
+TEST(RateRun, SecondsBudgetRunsAtLeastOneIteration)
+{
+    ensurePlantedRegistered();
+    RunConfig config = simConfig();
+    config.mode = RunMode::Rate;
+    // A virtually-instant budget: the loop must still complete the
+    // first iteration (elapsed is checked before each start).
+    config.rate.seconds = 1e-9;
+    const RunResult result = runBenchmark("zz-work", config);
+    ASSERT_EQ(result.status, RunStatus::Ok);
+    EXPECT_GE(result.iterations.size(), 1u);
+}
+
+TEST(RateRun, OpenArrivalsPinInjectionInstants)
+{
+    ensurePlantedRegistered();
+    RunConfig config = rateConfig(4);
+    config.rate.arrival = ArrivalKind::Open;
+    config.rate.lambda = 1000.0; // 1e6 cycles apart at 1 GHz
+    const RunResult result = runBenchmark("zz-work", config);
+    ASSERT_EQ(result.status, RunStatus::Ok);
+    ASSERT_EQ(result.iterations.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        const IterationSample& sample = result.iterations[i];
+        EXPECT_EQ(sample.arrivalCycles,
+                  static_cast<VTime>(i) * 1000000u);
+        EXPECT_GE(sample.startCycles, sample.arrivalCycles);
+    }
+}
+
+TEST(RateRun, ResumeContinuesTheExactStream)
+{
+    ensurePlantedRegistered();
+    const RunResult full = runBenchmark("zz-work", rateConfig(5));
+    ASSERT_EQ(full.iterations.size(), 5u);
+
+    // Replay the first two iterations as "already persisted": the
+    // resumed campaign must regenerate iterations 2..4 bit-identically
+    // and return the full five-sample stream.
+    std::vector<IterationSample> completed(full.iterations.begin(),
+                                           full.iterations.begin() + 2);
+    RunHooks hooks;
+    hooks.completed = &completed;
+    std::vector<int> streamed;
+    hooks.onIteration = [&streamed](const IterationSample& sample) {
+        streamed.push_back(sample.iteration);
+    };
+    const RunResult resumed =
+        runBenchmark("zz-work", rateConfig(5), hooks);
+    ASSERT_EQ(resumed.status, RunStatus::Ok);
+    ASSERT_EQ(resumed.iterations.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(resumed.iterations[i].iteration, i);
+        EXPECT_EQ(resumed.iterations[i].completionCycles,
+                  full.iterations[i].completionCycles)
+            << "iteration " << i;
+    }
+    // Only the locally re-run iterations stream through the hook.
+    EXPECT_EQ(streamed, (std::vector<int>{2, 3, 4}));
+}
+
+TEST(RateScheduler, StreamsAreIdenticalAcrossJobs)
+{
+    ensurePlantedRegistered();
+    const auto buildPlan = [] {
+        RunPlan plan;
+        for (int rep = 0; rep < 3; ++rep)
+            plan.add("zz-work", rateConfig(3), rep);
+        plan.add("zz-ok", rateConfig(3));
+        return plan;
+    };
+    SchedulerOptions serial;
+    serial.jobs = 1;
+    SchedulerOptions parallel;
+    parallel.jobs = 4; // forces fork isolation: the wire codec carries
+                       // the iteration stream back across the fork
+    const auto a = runPlan(buildPlan(), serial);
+    const auto b = runPlan(buildPlan(), parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t j = 0; j < a.size(); ++j) {
+        ASSERT_EQ(a[j].result.iterations.size(), 3u) << "job " << j;
+        ASSERT_EQ(b[j].result.iterations.size(), 3u) << "job " << j;
+        for (int i = 0; i < 3; ++i) {
+            EXPECT_EQ(a[j].result.iterations[i].completionCycles,
+                      b[j].result.iterations[i].completionCycles)
+                << "job " << j << " iteration " << i;
+        }
+        EXPECT_EQ(a[j].result.simCycles, b[j].result.simCycles);
+    }
+}
+
+TEST(RateStore, IterationRecordsRoundTrip)
+{
+    IterationSample sample;
+    sample.iteration = 3;
+    sample.arrivalCycles = 1000;
+    sample.startCycles = 1100;
+    sample.completionCycles = 2250;
+    sample.arrivalSeconds = 0.25;
+    sample.startSeconds = 0.251;
+    sample.completionSeconds = 0.375;
+    sample.verified = true;
+    const std::string line =
+        toIterationJsonLine("00112233deadbeef", "fft", sample);
+    std::string jobId;
+    IterationSample parsed;
+    ASSERT_TRUE(parseIterationLine(line, jobId, parsed));
+    EXPECT_EQ(jobId, "00112233deadbeef");
+    EXPECT_EQ(parsed.iteration, 3);
+    EXPECT_EQ(parsed.arrivalCycles, 1000u);
+    EXPECT_EQ(parsed.startCycles, 1100u);
+    EXPECT_EQ(parsed.completionCycles, 2250u);
+    EXPECT_DOUBLE_EQ(parsed.arrivalSeconds, 0.25);
+    EXPECT_DOUBLE_EQ(parsed.completionSeconds, 0.375);
+    EXPECT_TRUE(parsed.verified);
+}
+
+TEST(RateStore, V2ResultLinesStayReadable)
+{
+    // A v2 store (no iteration records, no rate fields) written by an
+    // older harness must keep loading under the v3 reader.
+    const std::string v2 =
+        "{\"schema\":\"splash4-results-v2\",\"type\":\"result\","
+        "\"jobId\":\"0123456789abcdef\",\"benchmark\":\"fft\","
+        "\"suite\":\"splash4\",\"engine\":\"sim\",\"threads\":4,"
+        "\"repetition\":0,\"seed\":1,\"status\":\"ok\","
+        "\"verified\":true,\"attempts\":1,\"simCycles\":123,"
+        "\"lineTransfers\":0,\"transfersSameCore\":0,"
+        "\"transfersSameDomain\":0,\"transfersCrossDomain\":0,"
+        "\"transfersMemory\":0,\"wallSeconds\":0.5,"
+        "\"barrierCrossings\":1,\"lockAcquires\":0,\"ticketOps\":0,"
+        "\"sumOps\":0,\"stackOps\":0,\"flagOps\":0,\"workUnits\":10,"
+        "\"verifyMessage\":\"ok\",\"statusDetail\":\"\"}";
+    ResultRecord record;
+    ASSERT_TRUE(parseJsonLine(v2, record));
+    EXPECT_EQ(record.mode, RunMode::Single);
+    EXPECT_EQ(record.simCycles, 123u);
+
+    // And v2 started intents likewise.
+    const std::string started =
+        "{\"schema\":\"splash4-results-v2\",\"type\":\"started\","
+        "\"jobId\":\"0123456789abcdef\",\"benchmark\":\"fft\","
+        "\"attempt\":1}";
+    std::string jobId;
+    int attempt = 0;
+    ASSERT_TRUE(parseStartedLine(started, jobId, attempt));
+    EXPECT_EQ(attempt, 1);
+
+    // Iteration records are a v3 feature: a v2-stamped one is not a
+    // valid iteration line.
+    IterationSample sample;
+    std::string id;
+    std::string v2iter = toIterationJsonLine("0123456789abcdef", "fft",
+                                             sample);
+    const auto pos = v2iter.find("splash4-results-v3");
+    ASSERT_NE(pos, std::string::npos);
+    v2iter.replace(pos, 18, "splash4-results-v2");
+    EXPECT_FALSE(parseIterationLine(v2iter, id, sample));
+}
+
+TEST(RateStore, SchedulerPersistsAndResumesIterations)
+{
+    ensurePlantedRegistered();
+    const std::string path =
+        ::testing::TempDir() + "/rate_resume_store.jsonl";
+    std::remove(path.c_str());
+
+    RunPlan plan;
+    plan.add("zz-work", rateConfig(4));
+    const std::string jobId = plan.job(0).jobId;
+    SchedulerOptions options;
+
+    std::vector<JobOutcome> first;
+    {
+        ResultStore store(path);
+        store.load();
+        first = runPlan(plan, options, &store);
+        ASSERT_EQ(first.size(), 1u);
+        ASSERT_EQ(first[0].result.iterations.size(), 4u);
+        EXPECT_EQ(store.iterationsFor(jobId).size(), 4u);
+    }
+    {
+        // A fresh process loading the same store must see the full
+        // iteration stream and replay the terminal without re-running.
+        ResultStore store(path);
+        store.load();
+        EXPECT_EQ(store.iterationsFor(jobId).size(), 4u);
+        const auto resumed = runPlan(plan, options, &store);
+        ASSERT_EQ(resumed.size(), 1u);
+        EXPECT_TRUE(resumed[0].resumed);
+        ASSERT_EQ(resumed[0].result.iterations.size(), 4u);
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(resumed[0].result.iterations[i].completionCycles,
+                      first[0].result.iterations[i].completionCycles);
+    }
+    {
+        // Drop the terminal record but keep the iteration records:
+        // the re-run must continue from the persisted prefix, not
+        // restart at iteration 0 (mid-rate-job kill + --resume).
+        ResultStore store(path);
+        store.load();
+        std::vector<IterationSample> kept =
+            store.iterationsFor(jobId);
+        ASSERT_EQ(kept.size(), 4u);
+        kept.resize(2);
+        const std::string partial =
+            ::testing::TempDir() + "/rate_resume_partial.jsonl";
+        std::remove(partial.c_str());
+        {
+            ResultStore rewrite(partial);
+            rewrite.load();
+            for (const IterationSample& sample : kept)
+                rewrite.appendIteration(jobId, "zz-work", sample);
+        }
+        ResultStore store2(partial);
+        store2.load();
+        EXPECT_EQ(store2.iterationsFor(jobId).size(), 2u);
+        const auto continued = runPlan(plan, options, &store2);
+        ASSERT_EQ(continued.size(), 1u);
+        EXPECT_FALSE(continued[0].resumed);
+        ASSERT_EQ(continued[0].result.iterations.size(), 4u);
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(
+                continued[0].result.iterations[i].completionCycles,
+                first[0].result.iterations[i].completionCycles)
+                << "iteration " << i;
+        std::remove(partial.c_str());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(RateStore, ContiguousPrefixStopsAtGaps)
+{
+    const std::string path =
+        ::testing::TempDir() + "/rate_gap_store.jsonl";
+    std::remove(path.c_str());
+    ResultStore store(path);
+    store.load();
+    IterationSample sample;
+    sample.verified = true;
+    for (const int index : {0, 1, 3}) {
+        sample.iteration = index;
+        sample.completionCycles = 100u * (index + 1);
+        store.appendIteration("aaaabbbbccccdddd", "fft", sample);
+    }
+    // Iteration 2 never completed: the resumable prefix is [0, 1] —
+    // resuming past a hole would run iterations against the wrong
+    // predecessor state.
+    const auto prefix = store.iterationsFor("aaaabbbbccccdddd");
+    ASSERT_EQ(prefix.size(), 2u);
+    EXPECT_EQ(prefix[1].iteration, 1);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace splash

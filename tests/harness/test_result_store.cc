@@ -84,7 +84,7 @@ TEST(ResultRecord, JsonLineRoundTrips)
 {
     const ResultRecord rec = sampleRecord("00112233445566aa");
     const std::string line = toJsonLine(rec);
-    EXPECT_NE(line.find("\"schema\":\"splash4-results-v2\""),
+    EXPECT_NE(line.find("\"schema\":\"splash4-results-v3\""),
               std::string::npos);
     EXPECT_NE(line.find("\"type\":\"result\""), std::string::npos);
     ResultRecord back;
@@ -294,7 +294,7 @@ TEST(ResultStore, V1RecordsLoadReadOnly)
     const std::string path = tempPath("v1compat");
     // Craft a v1 line: old schema string, no type field.
     std::string v1 = toJsonLine(sampleRecord("job-v1"));
-    const std::string from = "\"schema\":\"splash4-results-v2\","
+    const std::string from = "\"schema\":\"splash4-results-v3\","
                              "\"type\":\"result\"";
     const std::size_t pos = v1.find(from);
     ASSERT_NE(pos, std::string::npos);

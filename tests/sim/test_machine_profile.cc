@@ -205,7 +205,8 @@ TEST(MachineProfileLoader, BuiltinsCoverTheMatrix)
 {
     const auto names = machineProfileNames();
     for (const char* required :
-         {"epyc64", "icelake64", "t3-512", "sg2044", "test4"}) {
+         {"epyc64", "icelake64", "t3-512", "sg2044", "power10",
+          "test4"}) {
         bool found = false;
         for (const auto& name : names)
             found = found || name == required;
@@ -213,6 +214,29 @@ TEST(MachineProfileLoader, BuiltinsCoverTheMatrix)
     }
     EXPECT_EQ(machineProfile("t3-512").maxThreads(), 512);
     EXPECT_EQ(machineProfile("epyc64").maxThreads(), 64);
+}
+
+TEST(MachineProfileLoader, Power10ModelsLlscSmt)
+{
+    // The POWER10 profile must stay an LL/SC machine wide enough for
+    // 128-thread campaigns, with the reservation-loss retry penalty
+    // dominating the single-op CAS retry cost (that asymmetry is what
+    // the LL/SC-vs-AMO ablation measures).
+    const MachineProfile& p10 = machineProfile("power10");
+    EXPECT_TRUE(p10.llscMode);
+    EXPECT_EQ(p10.topology.smtPerCore, 4);
+    EXPECT_EQ(p10.maxThreads(), 128);
+    EXPECT_GT(p10.llscRetryCycles, 4 * p10.casRetryCycles);
+    // Round-trips through the emitter like every builtin (the parity
+    // loop above covers it too once it is in the registry, but a
+    // direct check keeps the failure message pointed at power10).
+    MachineProfile reparsed;
+    std::string error;
+    ASSERT_TRUE(parseMachineProfile(machineProfileToJson(p10),
+                                    "power10-roundtrip", reparsed,
+                                    error))
+        << error;
+    EXPECT_EQ(reparsed.contentHash, p10.contentHash);
 }
 
 TEST(MachineProfileLoader, UnknownNameDiesWithCatalog)

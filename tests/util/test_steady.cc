@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Steady-state detector and percentile tests (util/steady): MSER
+ * truncation on synthetic series with known warmup shapes, the
+ * nearest-rank percentile contract, and summarizeRate over synthetic
+ * iteration streams for both engine time bases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/steady.h"
+
+namespace splash {
+namespace {
+
+/**
+ * Reference MSER: direct per-d evaluation of the rule, same cap and
+ * tie-break as the production suffix-sum implementation.  @return the
+ * minimal MSER value (the test compares values, not indices, so the
+ * two summation orders cannot disagree over a floating-point tie).
+ */
+double
+mserValue(const std::vector<double>& series, std::size_t d)
+{
+    const std::size_t n = series.size();
+    const std::size_t m = n - d;
+    double mean = 0;
+    for (std::size_t i = d; i < n; ++i)
+        mean += series[i];
+    mean /= static_cast<double>(m);
+    double ss = 0;
+    for (std::size_t i = d; i < n; ++i)
+        ss += (series[i] - mean) * (series[i] - mean);
+    return ss / (static_cast<double>(m) * static_cast<double>(m));
+}
+
+TEST(SteadyState, ConstantSeriesNeedsNoWarmup)
+{
+    const std::vector<double> series(16, 42.0);
+    EXPECT_EQ(steadyStateTruncation(series), 0u);
+}
+
+TEST(SteadyState, ShortSeriesNeverTruncates)
+{
+    EXPECT_EQ(steadyStateTruncation({}), 0u);
+    EXPECT_EQ(steadyStateTruncation({5.0}), 0u);
+    EXPECT_EQ(steadyStateTruncation({9.0, 1.0}), 0u);
+    EXPECT_EQ(steadyStateTruncation({9.0, 5.0, 1.0}), 0u);
+}
+
+TEST(SteadyState, CleanStepChangeIsCutAtTheStep)
+{
+    // Three slow warmup iterations, then a constant steady phase: the
+    // rule must discard exactly the warmup (ties between equally-flat
+    // suffixes break toward keeping more data).
+    const std::vector<double> series = {100, 100, 100, 10, 10,
+                                        10,  10,  10,  10, 10};
+    EXPECT_EQ(steadyStateTruncation(series), 3u);
+}
+
+TEST(SteadyState, LinearDriftHitsTheHalfCap)
+{
+    // A series that never settles: the rule wants to discard
+    // everything, and the n/2 guard must stop it.
+    std::vector<double> series;
+    for (int i = 1; i <= 10; ++i)
+        series.push_back(static_cast<double>(i));
+    EXPECT_EQ(steadyStateTruncation(series), 5u);
+}
+
+TEST(SteadyState, HeavyTailedNoiseStaysWithinTheCap)
+{
+    // Constant latencies with sparse large spikes (GC-pause shape):
+    // whatever the rule picks must respect its contract — at most
+    // n/2 — and achieve the minimal MSER value.
+    std::vector<double> series(40, 20.0);
+    series[7] = 400.0;
+    series[19] = 900.0;
+    series[33] = 400.0;
+    const std::size_t d = steadyStateTruncation(series);
+    EXPECT_LE(d, series.size() / 2);
+    double best = mserValue(series, 0);
+    for (std::size_t cand = 1; cand <= series.size() / 2; ++cand)
+        best = std::min(best, mserValue(series, cand));
+    EXPECT_NEAR(mserValue(series, d), best, 1e-9 * (1.0 + best));
+}
+
+TEST(SteadyState, MatchesBruteForceReference)
+{
+    // Deterministic pseudo-random series: the suffix-sum
+    // implementation must achieve the same minimal MSER value as the
+    // naive per-d evaluation on every one.
+    std::uint64_t state = 12345;
+    const auto next = [&state] {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<double>((state >> 33) % 1000);
+    };
+    for (int round = 0; round < 8; ++round) {
+        std::vector<double> series;
+        const std::size_t n = 5 + 7 * static_cast<std::size_t>(round);
+        for (std::size_t i = 0; i < n; ++i)
+            series.push_back(next());
+        const std::size_t d = steadyStateTruncation(series);
+        ASSERT_LE(d, n / 2);
+        double best = mserValue(series, 0);
+        for (std::size_t cand = 1; cand <= n / 2; ++cand)
+            best = std::min(best, mserValue(series, cand));
+        EXPECT_NEAR(mserValue(series, d), best, 1e-9 * (1.0 + best))
+            << "round " << round;
+    }
+}
+
+TEST(Percentile, NearestRankSemantics)
+{
+    const std::vector<double> ten = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    // rank = ceil(p/100 * n), clamped to [1, n]; no interpolation.
+    EXPECT_EQ(percentileNearestRank(ten, 50), 5.0);
+    EXPECT_EQ(percentileNearestRank(ten, 90), 9.0);
+    EXPECT_EQ(percentileNearestRank(ten, 95), 10.0);
+    EXPECT_EQ(percentileNearestRank(ten, 99), 10.0);
+    EXPECT_EQ(percentileNearestRank(ten, 0), 1.0);
+    EXPECT_EQ(percentileNearestRank(ten, 100), 10.0);
+}
+
+TEST(Percentile, SortsItsInputAndHandlesEdges)
+{
+    EXPECT_EQ(percentileNearestRank({}, 50), 0.0);
+    EXPECT_EQ(percentileNearestRank({7.0}, 1), 7.0);
+    EXPECT_EQ(percentileNearestRank({7.0}, 99), 7.0);
+    const std::vector<double> unsorted = {9, 1, 5, 3, 7};
+    EXPECT_EQ(percentileNearestRank(unsorted, 50), 5.0);
+    EXPECT_EQ(percentileNearestRank(unsorted, 100), 9.0);
+}
+
+IterationSample
+simSample(int iteration, VTime arrival, VTime completion)
+{
+    IterationSample sample;
+    sample.iteration = iteration;
+    sample.arrivalCycles = arrival;
+    sample.startCycles = arrival;
+    sample.completionCycles = completion;
+    sample.verified = true;
+    return sample;
+}
+
+TEST(SummarizeRate, EmptyStreamIsAllZeros)
+{
+    const RateSummary summary = summarizeRate({}, EngineKind::Sim);
+    EXPECT_EQ(summary.iterations, 0);
+    EXPECT_EQ(summary.warmupIterations, 0);
+    EXPECT_EQ(summary.opsPerSec, 0.0);
+    EXPECT_EQ(summary.p50, 0.0);
+}
+
+TEST(SummarizeRate, ConstantSimStreamSustainsNominalRate)
+{
+    // Five back-to-back iterations of 1000 cycles each: no warmup,
+    // flat latency, and 5 completions over 5000 virtual cycles at the
+    // 1 GHz nominal clock = 1e6 ops/sec.
+    std::vector<IterationSample> stream;
+    for (int i = 0; i < 5; ++i)
+        stream.push_back(simSample(i, static_cast<VTime>(i) * 1000,
+                                   static_cast<VTime>(i + 1) * 1000));
+    const RateSummary summary = summarizeRate(stream, EngineKind::Sim);
+    EXPECT_EQ(summary.iterations, 5);
+    EXPECT_EQ(summary.warmupIterations, 0);
+    EXPECT_TRUE(summary.simTime);
+    EXPECT_EQ(summary.p50, 1000.0);
+    EXPECT_EQ(summary.p99, 1000.0);
+    EXPECT_NEAR(summary.steadySpanSeconds, 5000.0 / kSimNominalHz,
+                1e-12);
+    EXPECT_NEAR(summary.opsPerSec, 1e6, 1e-3);
+}
+
+TEST(SummarizeRate, WarmupIsExcludedFromTheSteadySpan)
+{
+    // Four slow warmup iterations then eight fast ones: the steady
+    // span starts at the last warmup completion, and the percentiles
+    // see only the fast latencies.
+    std::vector<IterationSample> stream;
+    VTime clock = 0;
+    for (int i = 0; i < 12; ++i) {
+        const VTime latency = i < 4 ? 5000 : 100;
+        stream.push_back(simSample(i, clock, clock + latency));
+        clock += latency;
+    }
+    const RateSummary summary = summarizeRate(stream, EngineKind::Sim);
+    EXPECT_EQ(summary.iterations, 12);
+    EXPECT_EQ(summary.warmupIterations, 4);
+    EXPECT_EQ(summary.p50, 100.0);
+    EXPECT_EQ(summary.p99, 100.0);
+    // 8 steady completions over 8 * 100 cycles.
+    EXPECT_NEAR(summary.steadySpanSeconds, 800.0 / kSimNominalHz,
+                1e-12);
+    EXPECT_NEAR(summary.opsPerSec,
+                8.0 / (800.0 / kSimNominalHz), 1e-3);
+}
+
+TEST(SummarizeRate, NativeStreamUsesWallSeconds)
+{
+    std::vector<IterationSample> stream;
+    for (int i = 0; i < 6; ++i) {
+        IterationSample sample;
+        sample.iteration = i;
+        sample.arrivalSeconds = 0.010 * i;
+        sample.startSeconds = sample.arrivalSeconds;
+        sample.completionSeconds = sample.arrivalSeconds + 0.010;
+        sample.verified = true;
+        stream.push_back(sample);
+    }
+    const RateSummary summary =
+        summarizeRate(stream, EngineKind::Native);
+    EXPECT_FALSE(summary.simTime);
+    EXPECT_EQ(summary.warmupIterations, 0);
+    EXPECT_NEAR(summary.p50, 0.010, 1e-12);
+    EXPECT_NEAR(summary.steadySpanSeconds, 0.060, 1e-9);
+    EXPECT_NEAR(summary.opsPerSec, 100.0, 1e-6);
+}
+
+} // namespace
+} // namespace splash

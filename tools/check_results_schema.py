@@ -1,20 +1,26 @@
 #!/usr/bin/env python3
-"""Validate result stores against the splash4-results-v2 schema.
+"""Validate result stores against the splash4-results-v3 schema.
 
 Usage: check_results_schema.py [--tolerate-torn] FILE [FILE...]
 
 FILEs are JSONL result stores written by the harness's --results flag
-(see docs/SUITE.md and docs/RESILIENCE.md).  A v2 store interleaves
-two record types:
+(see docs/SUITE.md, docs/RESILIENCE.md, and docs/THROUGHPUT.md).  A
+v3 store interleaves three record types:
 
-  {"schema":"splash4-results-v2","type":"started",...}   write-ahead
+  {"schema":"splash4-results-v3","type":"started",...}   write-ahead
       intent, appended before each attempt runs (crash forensics);
-  {"schema":"splash4-results-v2","type":"result",...}    one terminal
-      record per completed job.
+  {"schema":"splash4-results-v3","type":"iteration",...} one record
+      per completed rate-mode iteration, appended as it completes
+      (what --resume restarts a rate job from);
+  {"schema":"splash4-results-v3","type":"result",...}    one terminal
+      record per completed job; rate-mode terminals additionally
+      carry mode/iterations/warmupIterations/opsPerSec/latencyP*.
 
-Records under the previous schema (splash4-results-v1, result records
-only, no type field) are accepted read-only, so old stores keep
-validating.  Standard library only; exits nonzero with one line per
+Records under the previous schemas (splash4-results-v2 started/result
+pairs, splash4-results-v1 result records only, no type field) are
+accepted read-only, so old stores keep validating — but iteration
+records and rate summary fields are v3-only features and fail under a
+v2 stamp.  Standard library only; exits nonzero with one line per
 violation.
 
 A truncated final line is reported as a warning, not an error: it is
@@ -29,6 +35,7 @@ harness skips it the same way.
 import json
 import sys
 
+SCHEMA_V3 = "splash4-results-v3"
 SCHEMA_V2 = "splash4-results-v2"
 SCHEMA_V1 = "splash4-results-v1"
 STATUSES = {"ok", "verify-fail", "deadlock", "livelock", "timeout",
@@ -85,7 +92,52 @@ def check_started(errors, path, doc):
         fail(errors, path, "attempt < 1")
 
 
-def check_result(errors, path, doc):
+def check_iteration(errors, path, doc):
+    check_job_id(errors, path, doc)
+    require(errors, path, doc, "benchmark", str)
+    iteration = require(errors, path, doc, "iteration", int)
+    if iteration is not None and iteration < 0:
+        fail(errors, path, "iteration < 0")
+    for key in ("arrivalCycles", "startCycles", "completionCycles"):
+        check_counter(errors, path, doc, key)
+    for key in ("arrivalSeconds", "startSeconds", "completionSeconds"):
+        value = require(errors, path, doc, key, (int, float))
+        if value is not None and value < 0:
+            fail(errors, path, "key '%s' is negative" % key)
+    verified = require(errors, path, doc, "verified", bool)
+    if verified is False:
+        # Only completed (verified) iterations are ever persisted;
+        # failed ones are re-run by retry/resume instead.
+        fail(errors, path, "persisted iteration is not verified")
+
+
+def check_rate_summary(errors, path, doc):
+    mode = require(errors, path, doc, "mode", str)
+    if mode is not None and mode != "rate":
+        fail(errors, path, "unknown mode '%s'" % mode)
+    iterations = require(errors, path, doc, "iterations", int)
+    if iterations is not None and iterations < 0:
+        fail(errors, path, "iterations < 0")
+    warmup = require(errors, path, doc, "warmupIterations", int)
+    if warmup is not None and warmup < 0:
+        fail(errors, path, "warmupIterations < 0")
+    if (iterations is not None and warmup is not None
+            and warmup > iterations):
+        fail(errors, path, "warmupIterations > iterations")
+    for key in ("opsPerSec", "latencyP50", "latencyP95", "latencyP99"):
+        value = require(errors, path, doc, key, (int, float))
+        if value is not None and value < 0:
+            fail(errors, path, "key '%s' is negative" % key)
+
+
+def check_result(errors, path, doc, schema=SCHEMA_V3):
+    if "mode" in doc:
+        if schema == SCHEMA_V3:
+            check_rate_summary(errors, path, doc)
+        else:
+            fail(errors, path,
+                 "rate summary fields on a %s record (v3 feature)"
+                 % schema)
     check_job_id(errors, path, doc)
     require(errors, path, doc, "benchmark", str)
     suite = require(errors, path, doc, "suite", str)
@@ -124,24 +176,34 @@ def check_result(errors, path, doc):
 
 
 def check_record(errors, path, doc):
-    """Dispatch on schema/type.  @return 'result' | 'started' | None."""
+    """Dispatch on schema/type.
+
+    @return 'result' | 'started' | 'iteration' | None.
+    """
     schema = doc.get("schema")
     if schema == SCHEMA_V1:
         if "type" in doc:
             fail(errors, path,
                  "v1 record carries a type field (v2 feature)")
-        check_result(errors, path, doc)
+        check_result(errors, path, doc, SCHEMA_V1)
         return "result"
-    if schema != SCHEMA_V2:
+    if schema not in (SCHEMA_V2, SCHEMA_V3):
         fail(errors, path, "unknown schema '%s'" % schema)
         return None
     rtype = require(errors, path, doc, "type", str)
     if rtype == "result":
-        check_result(errors, path, doc)
+        check_result(errors, path, doc, schema)
         return "result"
     if rtype == "started":
         check_started(errors, path, doc)
         return "started"
+    if rtype == "iteration":
+        if schema != SCHEMA_V3:
+            fail(errors, path,
+                 "iteration record under %s (v3 feature)" % schema)
+            return None
+        check_iteration(errors, path, doc)
+        return "iteration"
     if rtype is not None:
         fail(errors, path, "unknown record type '%s'" % rtype)
     return None
@@ -150,6 +212,7 @@ def check_record(errors, path, doc):
 def check_store(errors, path, text, tolerate_torn):
     results = 0
     started = 0
+    iterations = 0
     lines = text.split("\n")
     truncated_tail = lines and lines[-1].strip() != ""
     if truncated_tail:
@@ -179,9 +242,11 @@ def check_store(errors, path, text, tolerate_torn):
             results += 1
         elif kind == "started":
             started += 1
-    if results + started == 0 and not truncated_tail:
+        elif kind == "iteration":
+            iterations += 1
+    if results + started + iterations == 0 and not truncated_tail:
         fail(errors, path, "store holds no records")
-    return results, started
+    return results, started, iterations
 
 
 def main(argv):
@@ -194,6 +259,7 @@ def main(argv):
     errors = []
     results = 0
     started = 0
+    iterations = 0
     for path in args:
         try:
             with open(path, "r") as handle:
@@ -201,15 +267,17 @@ def main(argv):
         except OSError as exc:
             fail(errors, path, "cannot read: %s" % exc)
             continue
-        r, s = check_store(errors, path, text, tolerate_torn)
+        r, s, i = check_store(errors, path, text, tolerate_torn)
         results += r
         started += s
+        iterations += i
     for line in errors:
         sys.stderr.write(line + "\n")
     if errors:
         return 1
-    print("ok: %d result record(s), %d started intent(s) conform to "
-          "%s" % (results, started, SCHEMA_V2))
+    print("ok: %d result record(s), %d started intent(s), %d "
+          "iteration record(s) conform to %s"
+          % (results, started, iterations, SCHEMA_V3))
     return 0
 
 
